@@ -1,0 +1,362 @@
+//! The actor model.
+//!
+//! An [`Actor`] is one remote IP with an activity window, a visit rate, a
+//! set of honeypot targets, and a behavior that generates a
+//! [`SessionScript`] per visit. Actors are produced by cohort in
+//! [`crate::population`] and expanded into a time-ordered plan by
+//! [`crate::schedule`].
+
+use crate::credentials::{CredentialList, PG_SINGLE_COMBOS};
+use crate::scripts::SessionScript;
+use decoy_store::{ConfigVariant, Dbms, InteractionLevel};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Which honeypot group an actor visits (resolved to concrete instances by
+/// the experiment runner).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TargetSelector {
+    /// DBMS family.
+    pub dbms: Dbms,
+    /// Interaction level.
+    pub level: InteractionLevel,
+    /// Restrict to one configuration variant (`None` = any instance).
+    pub config: Option<ConfigVariant>,
+}
+
+impl TargetSelector {
+    /// Low-interaction target on the multi-service VMs.
+    pub fn low_multi(dbms: Dbms) -> Self {
+        TargetSelector {
+            dbms,
+            level: InteractionLevel::Low,
+            config: Some(ConfigVariant::MultiService),
+        }
+    }
+
+    /// Low-interaction target on the single-service control VMs.
+    pub fn low_single(dbms: Dbms) -> Self {
+        TargetSelector {
+            dbms,
+            level: InteractionLevel::Low,
+            config: Some(ConfigVariant::SingleService),
+        }
+    }
+
+    /// Medium-interaction target (any config unless given).
+    pub fn medium(dbms: Dbms, config: Option<ConfigVariant>) -> Self {
+        TargetSelector {
+            dbms,
+            level: InteractionLevel::Medium,
+            config,
+        }
+    }
+
+    /// The high-interaction MongoDB fleet.
+    pub fn high_mongo() -> Self {
+        TargetSelector {
+            dbms: Dbms::MongoDb,
+            level: InteractionLevel::High,
+            config: None,
+        }
+    }
+}
+
+/// What an actor does on each visit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ActorScript {
+    /// Connect and leave.
+    Scan,
+    /// MSSQL credential stuffing with a total attempt budget.
+    MssqlBruteforcer {
+        /// Total attempts over the actor's lifetime.
+        attempts_total: u64,
+    },
+    /// MySQL credential stuffing.
+    MysqlBruteforcer {
+        /// Total attempts over the actor's lifetime.
+        attempts_total: u64,
+    },
+    /// The PostgreSQL single-combination pattern of §5.
+    PgSingleCombo {
+        /// Index into [`PG_SINGLE_COMBOS`].
+        combo: usize,
+        /// Times the same pair is retried per visit.
+        repeats: u32,
+    },
+    /// Redis information gathering (KEYS/INFO; TYPE-walk on fake data).
+    RedisScout {
+        /// Walk each key with TYPE (the fake-data behavior).
+        type_walk: bool,
+    },
+    /// Redis AUTH guessing (the 5-IP cluster of Table 9).
+    RedisBrute,
+    /// Elasticsearch scouting.
+    ElasticScout {
+        /// Deep scouting (indices + search).
+        deep: bool,
+    },
+    /// MongoDB scouting.
+    MongoScout {
+        /// Enumerate databases/collections (institutional deep scouting).
+        deep: bool,
+    },
+    /// PostgreSQL scouting (login + version probing).
+    PgScout,
+    /// Medium-PG brute-forcing (heavier against the restricted config, §6).
+    PgMedBrute {
+        /// Attempts per visit against login-disabled instances.
+        burst: u32,
+    },
+    /// A Table 9 campaign, one script per visit.
+    Campaign(SessionScript),
+}
+
+/// One simulated remote endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Actor {
+    /// Stable identity; seeds per-actor randomness.
+    pub id: u64,
+    /// Source address (drawn from the actor's AS prefix).
+    pub src: Ipv4Addr,
+    /// Owning AS.
+    pub asn: u32,
+    /// Cohort name (diagnostics / EXPERIMENTS.md breakdowns).
+    pub cohort: &'static str,
+    /// First active day (0-based within the 20-day window).
+    pub first_day: u32,
+    /// Number of consecutive active days.
+    pub active_days: u32,
+    /// Mean visits per target per active day.
+    pub visits_per_day: f64,
+    /// The honeypot groups this actor contacts.
+    pub targets: Vec<TargetSelector>,
+    /// Behavior.
+    pub behavior: ActorScript,
+}
+
+impl Actor {
+    /// Generate the script for one visit to `target`. `visit_seq` counts
+    /// visits so far; `total_visits` is the actor's lifetime visit count
+    /// (used to spread login budgets).
+    pub fn script_for_visit<R: Rng>(
+        &self,
+        target: &TargetSelector,
+        visit_seq: u32,
+        total_visits: u32,
+        rng: &mut R,
+    ) -> SessionScript {
+        match &self.behavior {
+            ActorScript::Scan => SessionScript::ConnectOnly,
+            ActorScript::MssqlBruteforcer { attempts_total } => {
+                if target.dbms != Dbms::Mssql {
+                    return SessionScript::ConnectOnly;
+                }
+                let per_visit = per_visit_budget(*attempts_total, total_visits, visit_seq);
+                let mut creds =
+                    CredentialList::mssql(self.id.wrapping_add(visit_seq as u64));
+                SessionScript::MssqlBrute {
+                    creds: creds.take(per_visit as usize),
+                }
+            }
+            ActorScript::MysqlBruteforcer { attempts_total } => {
+                if target.dbms != Dbms::MySql {
+                    return SessionScript::ConnectOnly;
+                }
+                let per_visit = per_visit_budget(*attempts_total, total_visits, visit_seq);
+                let mut creds =
+                    CredentialList::mysql(self.id.wrapping_add(visit_seq as u64));
+                SessionScript::MysqlBrute {
+                    creds: creds.take(per_visit as usize),
+                }
+            }
+            ActorScript::PgSingleCombo { combo, repeats } => {
+                let (user, password) = PG_SINGLE_COMBOS[combo % PG_SINGLE_COMBOS.len()];
+                SessionScript::PgLogin {
+                    user: user.into(),
+                    password: password.into(),
+                    repeats: *repeats,
+                }
+            }
+            ActorScript::RedisScout { type_walk } => SessionScript::RedisScout {
+                type_walk: *type_walk && target.config == Some(ConfigVariant::FakeData),
+            },
+            ActorScript::RedisBrute => {
+                let n = rng.gen_range(3..8);
+                SessionScript::RedisAuth {
+                    passwords: (0..n)
+                        .map(|i| format!("redis{}", (self.id as u32).wrapping_add(i) % 1000))
+                        .collect(),
+                }
+            }
+            ActorScript::ElasticScout { deep } => SessionScript::ElasticScout { deep: *deep },
+            ActorScript::MongoScout { deep } => SessionScript::MongoScout { deep: *deep },
+            ActorScript::PgScout => SessionScript::PgScout,
+            ActorScript::PgMedBrute { burst } => {
+                if target.config == Some(ConfigVariant::LoginDisabled) {
+                    // aggressive credential attack against the restricted
+                    // variant (§6: twice the attempts of the open one)
+                    let mut creds = CredentialList::mssql(self.id ^ 0x5157);
+                    let creds = creds
+                        .take(*burst as usize)
+                        .into_iter()
+                        .map(|(_, p)| ("postgres".to_string(), p))
+                        .collect::<Vec<_>>();
+                    SessionScript::PgBrute { creds }
+                } else {
+                    // bot scripts log in once against the open config
+                    SessionScript::PgLogin {
+                        user: "postgres".into(),
+                        password: "postgres".into(),
+                        repeats: 1,
+                    }
+                }
+            }
+            ActorScript::Campaign(script) => script.clone(),
+        }
+    }
+
+    /// Total planned visits per target over the actor's lifetime (before
+    /// Poisson noise).
+    pub fn expected_visits(&self) -> f64 {
+        self.active_days as f64 * self.visits_per_day
+    }
+}
+
+/// Spread `total` over `visits` visits: every visit gets the base share,
+/// the first visit absorbs the remainder.
+fn per_visit_budget(total: u64, visits: u32, visit_seq: u32) -> u64 {
+    let visits = visits.max(1) as u64;
+    let base = total / visits;
+    if visit_seq == 0 {
+        base + total % visits
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn actor(behavior: ActorScript) -> Actor {
+        Actor {
+            id: 99,
+            src: Ipv4Addr::new(60, 0, 0, 1),
+            asn: 4134,
+            cohort: "test",
+            first_day: 0,
+            active_days: 2,
+            visits_per_day: 1.0,
+            targets: vec![TargetSelector::low_multi(Dbms::Mssql)],
+            behavior,
+        }
+    }
+
+    #[test]
+    fn budget_spreading_is_exact() {
+        assert_eq!(per_visit_budget(10, 3, 0), 4);
+        assert_eq!(per_visit_budget(10, 3, 1), 3);
+        assert_eq!(per_visit_budget(10, 3, 2), 3);
+        assert_eq!(per_visit_budget(5, 0, 0), 5);
+        let total: u64 = (0..4).map(|v| per_visit_budget(1000, 4, v)).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn mssql_brute_visits_carry_credentials() {
+        let a = actor(ActorScript::MssqlBruteforcer { attempts_total: 20 });
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = TargetSelector::low_multi(Dbms::Mssql);
+        let s0 = a.script_for_visit(&t, 0, 2, &mut rng);
+        let s1 = a.script_for_visit(&t, 1, 2, &mut rng);
+        let (SessionScript::MssqlBrute { creds: c0 }, SessionScript::MssqlBrute { creds: c1 }) =
+            (s0, s1)
+        else {
+            panic!("expected brute scripts");
+        };
+        assert_eq!(c0.len() + c1.len(), 20);
+        // the same visit regenerates identical credentials (determinism)
+        let s0_again = a.script_for_visit(&t, 0, 2, &mut rng);
+        let SessionScript::MssqlBrute { creds: c0_again } = s0_again else {
+            panic!();
+        };
+        assert_eq!(c0, c0_again);
+    }
+
+    #[test]
+    fn bruteforcer_only_brutes_its_dbms() {
+        let a = actor(ActorScript::MssqlBruteforcer { attempts_total: 10 });
+        let mut rng = StdRng::seed_from_u64(0);
+        let redis = TargetSelector::low_multi(Dbms::Redis);
+        assert_eq!(
+            a.script_for_visit(&redis, 0, 1, &mut rng),
+            SessionScript::ConnectOnly
+        );
+    }
+
+    #[test]
+    fn type_walk_only_on_fake_data_instances() {
+        let a = actor(ActorScript::RedisScout { type_walk: true });
+        let mut rng = StdRng::seed_from_u64(0);
+        let fake = TargetSelector::medium(Dbms::Redis, Some(ConfigVariant::FakeData));
+        let plain = TargetSelector::medium(Dbms::Redis, Some(ConfigVariant::Default));
+        assert_eq!(
+            a.script_for_visit(&fake, 0, 1, &mut rng),
+            SessionScript::RedisScout { type_walk: true }
+        );
+        assert_eq!(
+            a.script_for_visit(&plain, 0, 1, &mut rng),
+            SessionScript::RedisScout { type_walk: false }
+        );
+    }
+
+    #[test]
+    fn pg_med_brute_is_heavier_on_restricted_config() {
+        let a = actor(ActorScript::PgMedBrute { burst: 40 });
+        let mut rng = StdRng::seed_from_u64(0);
+        let open = TargetSelector::medium(Dbms::Postgres, Some(ConfigVariant::Default));
+        let closed =
+            TargetSelector::medium(Dbms::Postgres, Some(ConfigVariant::LoginDisabled));
+        let open_script = a.script_for_visit(&open, 0, 1, &mut rng);
+        assert_eq!(open_script.connections_per_visit(), 1);
+        let closed_script = a.script_for_visit(&closed, 0, 1, &mut rng);
+        assert_eq!(closed_script.connections_per_visit(), 40);
+    }
+
+    #[test]
+    fn campaign_scripts_pass_through() {
+        let a = actor(ActorScript::Campaign(SessionScript::JdwpProbe));
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = TargetSelector::medium(Dbms::Redis, None);
+        assert_eq!(
+            a.script_for_visit(&t, 0, 1, &mut rng),
+            SessionScript::JdwpProbe
+        );
+        assert_eq!(a.expected_visits(), 2.0);
+    }
+
+    #[test]
+    fn pg_single_combo_repeats_same_pair() {
+        let a = actor(ActorScript::PgSingleCombo {
+            combo: 0,
+            repeats: 3,
+        });
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = TargetSelector::low_multi(Dbms::Postgres);
+        let SessionScript::PgLogin {
+            user,
+            password,
+            repeats,
+        } = a.script_for_visit(&t, 0, 1, &mut rng)
+        else {
+            panic!();
+        };
+        assert_eq!(user, "postgres");
+        assert_eq!(password, "postgres");
+        assert_eq!(repeats, 3);
+    }
+}

@@ -1,0 +1,217 @@
+//! Brute-force credential corpora.
+//!
+//! §5 of the paper: MSSQL brute-forcers tried 240,131 unique combinations
+//! (14,540 usernames, 226,961 passwords), led by the Table 12 pairs — `sa`
+//! with short numeric passwords. Generated lists here mix those exact top
+//! pairs with a seeded long tail so that the Table 12 reproduction shows
+//! the same head and a realistic tail.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The Table 12 head: top observed MSSQL `(username, password)` pairs, in
+/// order.
+pub const MSSQL_TOP_CREDENTIALS: &[(&str, &str)] = &[
+    ("sa", "123"),
+    ("admin", "123456"),
+    ("hbv7", ""),
+    ("test", "1"),
+    ("root", "aaaaaa"),
+    ("user", "0"),
+    ("administrator", "1234"),
+    ("sa1", "P@ssw0rd"),
+    ("petroleum", "12345"),
+    ("sa2", "password"),
+];
+
+/// Common MySQL brute pairs (cloud-hosted MySQL brute cohort of Table 6).
+pub const MYSQL_TOP_CREDENTIALS: &[(&str, &str)] = &[
+    ("root", "root"),
+    ("root", "123456"),
+    ("root", "password"),
+    ("admin", "admin"),
+    ("mysql", "mysql"),
+    ("root", ""),
+    ("root", "aaaaaa"),
+    ("test", "test"),
+];
+
+/// The single combinations PostgreSQL "brute-forcers" tried (§5: "attackers
+/// that try a single combination once or repeatedly without changing their
+/// input combination").
+pub const PG_SINGLE_COMBOS: &[(&str, &str)] = &[
+    ("postgres", "postgres"),
+    ("postgres", "123456"),
+    ("postgres", "password"),
+    ("admin", "admin"),
+];
+
+/// A seeded credential stream for one brute-force actor.
+#[derive(Debug)]
+pub struct CredentialList {
+    rng: StdRng,
+    head: &'static [(&'static str, &'static str)],
+    /// Probability of drawing from the head list (keeps Table 12's ranking).
+    head_bias: f64,
+}
+
+impl CredentialList {
+    /// MSSQL-style list for one actor.
+    pub fn mssql(seed: u64) -> Self {
+        CredentialList {
+            rng: StdRng::seed_from_u64(seed),
+            head: MSSQL_TOP_CREDENTIALS,
+            head_bias: 0.55,
+        }
+    }
+
+    /// MySQL-style list for one actor.
+    pub fn mysql(seed: u64) -> Self {
+        CredentialList {
+            rng: StdRng::seed_from_u64(seed),
+            head: MYSQL_TOP_CREDENTIALS,
+            head_bias: 0.7,
+        }
+    }
+
+    /// Draw the next `(username, password)` attempt.
+    pub fn draw(&mut self) -> (String, String) {
+        if self.rng.gen_bool(self.head_bias) {
+            // head draws are rank-biased: rank r with weight ~ 1/(r+1)
+            let weights: Vec<f64> = (0..self.head.len())
+                .map(|r| 1.0 / (r + 1) as f64)
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let mut pick = self.rng.gen_range(0.0..total);
+            for (idx, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    let (u, p) = self.head[idx];
+                    return (u.to_string(), p.to_string());
+                }
+                pick -= w;
+            }
+            let (u, p) = self.head[0];
+            (u.to_string(), p.to_string())
+        } else {
+            (self.tail_username(), self.tail_password())
+        }
+    }
+
+    /// Draw `n` attempts.
+    pub fn take(&mut self, n: usize) -> Vec<(String, String)> {
+        (0..n).map(|_| self.draw()).collect()
+    }
+
+    fn tail_username(&mut self) -> String {
+        // Long-tail usernames: mostly `sa`, sometimes service names or
+        // generated ones — matching the paper's 14,540 distinct usernames
+        // against a much larger password space.
+        match self.rng.gen_range(0..10) {
+            0..=5 => "sa".to_string(),
+            6 => "admin".to_string(),
+            7 => "sqlserver".to_string(),
+            8 => format!("user{}", self.rng.gen_range(0..500)),
+            _ => format!("db{}", self.rng.gen_range(0..200)),
+        }
+    }
+
+    fn tail_password(&mut self) -> String {
+        const ROOTS: &[&str] = &[
+            "password", "qwerty", "admin", "sql", "server", "abc", "pass", "login",
+        ];
+        match self.rng.gen_range(0..6) {
+            0 => format!("{}", self.rng.gen_range(0..1_000_000)),
+            1 => format!(
+                "{}{}",
+                ROOTS[self.rng.gen_range(0..ROOTS.len())],
+                self.rng.gen_range(0..10_000)
+            ),
+            2 => format!(
+                "{}@{}",
+                ROOTS[self.rng.gen_range(0..ROOTS.len())],
+                self.rng.gen_range(0..1000)
+            ),
+            3 => format!("P@ss{}", self.rng.gen_range(0..100_000)),
+            4 => format!("{}!", ROOTS[self.rng.gen_range(0..ROOTS.len())]),
+            _ => {
+                let len = self.rng.gen_range(6..12);
+                (0..len)
+                    .map(|_| (b'a' + self.rng.gen_range(0..26)) as char)
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = CredentialList::mssql(7);
+        let mut b = CredentialList::mssql(7);
+        assert_eq!(a.take(100), b.take(100));
+        let mut c = CredentialList::mssql(8);
+        assert_ne!(a.take(100), c.take(100));
+    }
+
+    #[test]
+    fn sa_dominates_mssql_draws() {
+        // Table 12: `sa` is the top username by a wide margin.
+        let mut list = CredentialList::mssql(1);
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for (u, _) in list.take(5000) {
+            *counts.entry(u).or_insert(0) += 1;
+        }
+        let sa = counts["sa"];
+        let max_other = counts
+            .iter()
+            .filter(|(k, _)| k.as_str() != "sa")
+            .map(|(_, &v)| v)
+            .max()
+            .unwrap();
+        assert!(sa > max_other * 3, "sa={sa}, max_other={max_other}");
+    }
+
+    #[test]
+    fn top_pair_ranks_first() {
+        let mut list = CredentialList::mssql(2);
+        let mut counts: HashMap<(String, String), usize> = HashMap::new();
+        for pair in list.take(20_000) {
+            *counts.entry(pair).or_insert(0) += 1;
+        }
+        let top = counts
+            .iter()
+            .max_by_key(|(_, &v)| v)
+            .map(|(k, _)| k.clone())
+            .unwrap();
+        assert_eq!(top, ("sa".to_string(), "123".to_string()));
+    }
+
+    #[test]
+    fn long_tail_is_wide() {
+        // §5: far more unique passwords than usernames.
+        let mut list = CredentialList::mssql(3);
+        let draws = list.take(20_000);
+        let users: HashSet<_> = draws.iter().map(|(u, _)| u.clone()).collect();
+        let passwords: HashSet<_> = draws.iter().map(|(_, p)| p.clone()).collect();
+        assert!(passwords.len() > users.len() * 5);
+        assert!(passwords.len() > 3000, "{}", passwords.len());
+    }
+
+    #[test]
+    fn mysql_head_differs() {
+        let mut list = CredentialList::mysql(4);
+        let draws = list.take(1000);
+        assert!(draws.iter().any(|(u, p)| u == "root" && p == "root"));
+    }
+
+    #[test]
+    fn pg_single_combos_are_static() {
+        assert!(PG_SINGLE_COMBOS.contains(&("postgres", "postgres")));
+        assert_eq!(MSSQL_TOP_CREDENTIALS.len(), 10);
+        assert_eq!(MSSQL_TOP_CREDENTIALS[2], ("hbv7", ""));
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # decoy-agents
+//!
+//! The attacker-population simulator — our substitute for the live Internet
+//! traffic the paper's honeypots received over 20 days (see DESIGN.md's
+//! substitution table).
+//!
+//! * [`credentials`] — brute-force credential corpora (Table 12's top
+//!   MSSQL pairs, generated long-tail lists, the paper's single-combination
+//!   PostgreSQL actors).
+//! * [`scripts`] — per-session attack scripts: every campaign of Table 9
+//!   and Listings 1–14, expressed as protocol-level intents.
+//! * [`actors`] — the actor model: source address, activity window, visit
+//!   rate, targets, script.
+//! * [`population`] — cohort definitions calibrated to the paper's
+//!   aggregates (country/AS mixes of Tables 5–7, the classification splits
+//!   of Table 8, the campaign sizes of Table 9), scaled by a global factor.
+//! * [`schedule`] — expands actors into a time-ordered session plan over
+//!   the virtual 20-day window.
+//! * [`driver`] — network mode: runs a planned session against a live
+//!   honeypot over real TCP, announcing the actor's address via the PROXY
+//!   protocol and speaking the real client protocol.
+//! * [`direct`] — direct mode: emits the equivalent standardized events
+//!   without TCP, for full-volume runs (an integration test asserts the two
+//!   modes produce equivalent aggregates).
+//!
+//! Everything is deterministic in `(seed, scale)`.
+
+pub mod actors;
+pub mod credentials;
+pub mod direct;
+pub mod driver;
+pub mod population;
+pub mod schedule;
+pub mod scripts;
+
+pub use actors::{Actor, ActorScript, TargetSelector};
+pub use population::{build_population, PopulationConfig};
+pub use schedule::{build_schedule, PlannedSession};
+pub use scripts::SessionScript;

@@ -1,0 +1,1108 @@
+//! The attacker population, calibrated to the paper's aggregates.
+//!
+//! Each cohort encodes one slice of the observed population: who they are
+//! (AS/country pool), how long they stay (retention), how often they visit,
+//! what they do (behavior), and where they go (targets). The counts and
+//! volumes are the paper's published numbers at `scale = 1.0`; the
+//! experiment runner typically runs scaled down, which preserves every
+//! ratio the tables report.
+//!
+//! Calibration sources:
+//! * §5 — 3,340 low-interaction sources; US 58 % / CN 10 % / GB 9.3 %;
+//!   1,468 institutional; 18,162,811 login attempts of which 18,076,729
+//!   MSSQL; Russia's 16.6 M driven by 4 IPs in AS208091 active 16–19 days.
+//! * Table 5 — per-country login volumes and IP counts.
+//! * Table 6 — per-AS source counts and login splits.
+//! * Table 8 — medium/high population sizes and class splits.
+//! * Table 9 — campaign sizes (P2PInfect 35, Kinsing 196, ransom 62, ...).
+//! * §5 control group — 1,543 sources hit both instance groups, 177 only
+//!   the single-service group, 1,620 only the multi-service group; 41 / 295
+//!   brute-forcers are group-exclusive.
+
+use crate::actors::{Actor, ActorScript, TargetSelector};
+use crate::scripts::SessionScript;
+use decoy_geo::GeoDb;
+use decoy_store::{ConfigVariant, Dbms, InteractionLevel};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Global population parameters.
+#[derive(Debug, Clone)]
+pub struct PopulationConfig {
+    /// Linear scale on cohort sizes and volumes (1.0 = paper scale).
+    pub scale: f64,
+    /// RNG seed; same `(seed, scale)` ⇒ identical population.
+    pub seed: u64,
+    /// Days in the observation window (the paper ran 20).
+    pub days: u32,
+    /// Include cohorts targeting the §7 extension honeypots (medium MySQL,
+    /// CouchDB). Off by default so the paper-calibrated tables are
+    /// unperturbed.
+    pub extensions: bool,
+}
+
+impl PopulationConfig {
+    /// Paper-scale configuration.
+    pub fn paper(seed: u64) -> Self {
+        PopulationConfig {
+            scale: 1.0,
+            seed,
+            days: 20,
+            extensions: false,
+        }
+    }
+
+    /// A scaled-down configuration.
+    pub fn scaled(seed: u64, scale: f64) -> Self {
+        PopulationConfig {
+            scale,
+            seed,
+            days: 20,
+            extensions: false,
+        }
+    }
+
+    /// Enable the §7 extension cohorts.
+    pub fn with_extensions(mut self) -> Self {
+        self.extensions = true;
+        self
+    }
+}
+
+/// How an actor picks its activity window.
+#[derive(Debug, Clone, Copy)]
+enum Retention {
+    /// 1–3 days (most scanners; drives the 43 % single-day fraction).
+    Short,
+    /// 4–10 days.
+    Medium,
+    /// 15–20 days (institutional scanners, persistent exploiters).
+    Long,
+    /// Exactly this many days.
+    Fixed(u32),
+}
+
+/// A weighted `(asn, country)` source pool.
+#[derive(Debug, Clone)]
+struct SourcePool {
+    /// `(asn, country or None, weight)`.
+    entries: Vec<(u32, Option<&'static str>, f64)>,
+}
+
+impl SourcePool {
+    fn of(entries: &[(u32, Option<&'static str>, f64)]) -> Self {
+        SourcePool {
+            entries: entries.to_vec(),
+        }
+    }
+
+    fn single(asn: u32, country: Option<&'static str>) -> Self {
+        SourcePool {
+            entries: vec![(asn, country, 1.0)],
+        }
+    }
+
+    fn draw<R: Rng>(&self, geo: &GeoDb, rng: &mut R) -> (std::net::Ipv4Addr, u32) {
+        let total: f64 = self.entries.iter().map(|e| e.2).sum();
+        let mut pick = rng.gen_range(0.0..total);
+        for (asn, country, weight) in &self.entries {
+            if pick < *weight {
+                let ip = geo
+                    .sample_ip(*asn, *country, rng)
+                    .unwrap_or_else(|| panic!("AS{asn} has no prefix in {country:?}"));
+                return (ip, *asn);
+            }
+            pick -= weight;
+        }
+        let (asn, country, _) = self.entries[0];
+        (
+            geo.sample_ip(asn, country, rng).expect("pool entry valid"),
+            asn,
+        )
+    }
+}
+
+/// Which instance groups a low-interaction actor contacts (§5 control
+/// group).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GroupChoice {
+    Both,
+    MultiOnly,
+    SingleOnly,
+}
+
+struct Cohort {
+    name: &'static str,
+    count: usize,
+    pinned: bool, // identity-critical cohorts keep their exact count
+    pool: SourcePool,
+    retention: Retention,
+    visits_per_day: f64,
+    behavior: ActorScript,
+    targets: CohortTargets,
+}
+
+#[derive(Debug, Clone)]
+enum CohortTargets {
+    /// All four low-interaction DBMS, instance group per §5 mix.
+    LowAll,
+    /// One low DBMS only.
+    LowOne(Dbms),
+    /// One medium/high family (all configs).
+    Family(Dbms, InteractionLevel),
+    /// Specific selectors.
+    Exact(Vec<TargetSelector>),
+}
+
+/// Build the full actor population.
+pub fn build_population(config: &PopulationConfig, geo: &GeoDb) -> Vec<Actor> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut actors = Vec::new();
+    let mut next_id: u64 = 1;
+    let mut cohort_list = cohorts(config.scale);
+    if config.extensions {
+        cohort_list.extend(extension_cohorts());
+    }
+    for cohort in cohort_list {
+        let count = if cohort.pinned {
+            cohort.count
+        } else {
+            scale_count(cohort.count, config.scale)
+        };
+        for _ in 0..count {
+            let (src, asn) = cohort.pool.draw(geo, &mut rng);
+            let active_days = match cohort.retention {
+                // §5: 43% of all clients appear on a single day; short-lived
+                // cohorts are heavily single-day
+                Retention::Short => {
+                    if rng.gen_bool(0.78) {
+                        1
+                    } else {
+                        rng.gen_range(2..=3)
+                    }
+                }
+                Retention::Medium => rng.gen_range(4..=10),
+                Retention::Long => rng.gen_range(15..=config.days.max(16)),
+                Retention::Fixed(d) => d,
+            }
+            .min(config.days);
+            let first_day = rng.gen_range(0..=config.days.saturating_sub(active_days));
+            let targets = resolve_targets(&cohort.targets, &mut rng);
+            actors.push(Actor {
+                id: next_id,
+                src,
+                asn,
+                cohort: cohort.name,
+                first_day,
+                active_days,
+                visits_per_day: cohort.visits_per_day,
+                targets,
+                behavior: cohort.behavior.clone(),
+            });
+            next_id += 1;
+        }
+    }
+    actors
+}
+
+/// Round a scaled count, keeping nonzero cohorts alive.
+fn scale_count(count: usize, scale: f64) -> usize {
+    if count == 0 {
+        return 0;
+    }
+    ((count as f64 * scale).round() as usize).max(1)
+}
+
+fn resolve_targets<R: Rng>(targets: &CohortTargets, rng: &mut R) -> Vec<TargetSelector> {
+    match targets {
+        CohortTargets::Exact(list) => list.clone(),
+        CohortTargets::Family(dbms, level) => vec![TargetSelector {
+            dbms: *dbms,
+            level: *level,
+            config: None,
+        }],
+        CohortTargets::LowOne(dbms) => low_group(rng)
+            .into_iter()
+            .flat_map(|g| group_selectors(g, &[*dbms]))
+            .collect(),
+        CohortTargets::LowAll => {
+            let all = [Dbms::MySql, Dbms::Postgres, Dbms::Redis, Dbms::Mssql];
+            low_group(rng)
+                .into_iter()
+                .flat_map(|g| group_selectors(g, &all))
+                .collect()
+        }
+    }
+}
+
+/// §5 control-group mix: 1,543 both / 1,620 multi-only / 177 single-only
+/// out of 3,340 ⇒ probabilities 0.462 / 0.485 / 0.053.
+fn low_group<R: Rng>(rng: &mut R) -> Vec<GroupChoice> {
+    let x: f64 = rng.gen();
+    if x < 0.462 {
+        vec![GroupChoice::Both]
+    } else if x < 0.462 + 0.485 {
+        vec![GroupChoice::MultiOnly]
+    } else {
+        vec![GroupChoice::SingleOnly]
+    }
+}
+
+fn group_selectors(group: GroupChoice, dbms: &[Dbms]) -> Vec<TargetSelector> {
+    let mut out = Vec::new();
+    for &d in dbms {
+        match group {
+            GroupChoice::Both => {
+                out.push(TargetSelector::low_multi(d));
+                out.push(TargetSelector::low_single(d));
+            }
+            GroupChoice::MultiOnly => out.push(TargetSelector::low_multi(d)),
+            GroupChoice::SingleOnly => out.push(TargetSelector::low_single(d)),
+        }
+    }
+    out
+}
+
+/// Scale a login volume.
+fn vol(v: u64, scale: f64) -> u64 {
+    ((v as f64 * scale).round() as u64).max(1)
+}
+
+/// The cohort table. Volumes inside behaviors are pre-scaled here; counts
+/// are scaled by the caller.
+fn cohorts(scale: f64) -> Vec<Cohort> {
+    use ActorScript as B;
+    let mut list: Vec<Cohort> = Vec::new();
+
+    // ---------------------------------------------------------------
+    // Low-interaction fleet: scanners (§5, Tables 5–7)
+    // ---------------------------------------------------------------
+    // Institutional scanners: 1,468 sources, persistent, no logins.
+    list.push(Cohort {
+        name: "institutional-scanners",
+        count: 1468,
+        pinned: false,
+        pool: SourcePool::of(&[
+            (398324, None, 93.0),  // Censys
+            (211298, None, 252.0), // Constantine Cybersecurity
+            (398722, None, 400.0), // Shodan-style
+            (63113, None, 300.0),  // ShadowServer-style
+            (202623, None, 250.0), // Rapid7-style
+            (213412, None, 60.0),  // ONYPHE
+            (134698, None, 70.0),  // ZoomEye
+            (211680, None, 43.0),  // BinaryEdge
+        ]),
+        retention: Retention::Long,
+        visits_per_day: 2.0,
+        behavior: B::Scan,
+        targets: CohortTargets::LowAll,
+    });
+    // Hurricane transit scanners: 643 sources, zero logins (Table 6 row 1).
+    list.push(Cohort {
+        name: "transit-scanners",
+        count: 643,
+        pinned: false,
+        pool: SourcePool::single(6939, None),
+        retention: Retention::Short,
+        visits_per_day: 1.5,
+        behavior: B::Scan,
+        targets: CohortTargets::LowAll,
+    });
+    // Cloud scan-only populations (Table 6 IP counts minus their brute slices).
+    for (name, asn, count, country) in [
+        ("gcp-scanners", 396982u32, 500usize, Some("US")),
+        ("digitalocean-scanners", 14061, 370, None),
+        ("amazon-scanners", 14618, 154, Some("US")),
+        ("ucloud-scanners", 135377, 120, None),
+        ("akamai-scanners", 63949, 71, None),
+        ("unicom-scanners", 4837, 76, Some("CN")),
+        ("chinanet-scanners", 4134, 60, Some("CN")),
+        ("misc-telecom-scanners", 7922, 120, Some("US")),
+        ("misc-eu-scanners", 16276, 100, None),
+    ] {
+        list.push(Cohort {
+            name,
+            count,
+            pinned: false,
+            pool: SourcePool::single(asn, country),
+            retention: Retention::Short,
+            visits_per_day: 1.2,
+            behavior: B::Scan,
+            targets: CohortTargets::LowAll,
+        });
+    }
+
+    // ---------------------------------------------------------------
+    // Low-interaction fleet: brute-forcers (§5, Table 5, Table 12)
+    // ---------------------------------------------------------------
+    // The four Russian heavy hitters: AS208091, ≈4.15M MSSQL attempts each,
+    // active 16–19 days. Identity-critical: count stays 4 at any scale.
+    list.push(Cohort {
+        name: "ru-heavy-mssql-brute",
+        count: 4,
+        pinned: true,
+        pool: SourcePool::single(208091, Some("RU")),
+        retention: Retention::Fixed(17),
+        visits_per_day: 6.0,
+        behavior: B::MssqlBruteforcer {
+            attempts_total: vol(4_157_370, scale),
+        },
+        targets: CohortTargets::Exact(vec![
+            TargetSelector::low_multi(Dbms::Mssql),
+            TargetSelector::low_single(Dbms::Mssql),
+        ]),
+    });
+    // The remaining low-volume Russian sources (§5: "at most a few hundred
+    // login attempts over 1 to 3 days").
+    list.push(Cohort {
+        name: "ru-light-mssql-brute",
+        count: 5,
+        pinned: true,
+        pool: SourcePool::of(&[(12389, Some("RU"), 3.0), (208091, Some("RU"), 2.0)]),
+        retention: Retention::Short,
+        visits_per_day: 1.0,
+        behavior: B::MssqlBruteforcer {
+            attempts_total: vol(300, scale),
+        },
+        targets: CohortTargets::LowOne(Dbms::Mssql),
+    });
+    // Per-country MSSQL brute cohorts (Table 5).
+    for (name, count, pool, total) in [
+        (
+            "cn-chinanet-mssql-brute",
+            40usize,
+            SourcePool::single(4134, Some("CN")),
+            517_234u64,
+        ),
+        (
+            "cn-misc-mssql-brute",
+            12,
+            SourcePool::of(&[
+                (45102, Some("CN"), 1.0),
+                (132203, Some("CN"), 1.0),
+                (134121, Some("CN"), 2.0),
+            ]),
+            361_419,
+        ),
+        ("ee-mssql-brute", 2, SourcePool::single(3249, Some("EE")), 160_642),
+        ("kr-mssql-brute", 5, SourcePool::single(4766, Some("KR")), 76_005),
+        ("ua-mssql-brute", 1, SourcePool::single(15895, Some("UA")), 96_999),
+        ("ir-mssql-brute", 1, SourcePool::single(58224, Some("IR")), 74_856),
+        ("ge-mssql-brute", 1, SourcePool::single(16010, Some("GE")), 62_850),
+        ("gr-mssql-brute", 1, SourcePool::single(6799, Some("GR")), 13_040),
+        ("in-mssql-brute", 6, SourcePool::single(9829, Some("IN")), 12_472),
+        (
+            "us-mssql-brute",
+            80,
+            SourcePool::of(&[
+                (396982, Some("US"), 2.0),
+                (14061, Some("US"), 2.0),
+                (9009, Some("US"), 1.0),
+                (7922, Some("US"), 1.0),
+            ]),
+            54_543,
+        ),
+        (
+            "longtail-mssql-brute",
+            230,
+            SourcePool::of(&[
+                (16276, None, 2.0),
+                (24940, None, 2.0),
+                (9009, None, 2.0),
+                (3320, Some("DE"), 1.0),
+                (3215, Some("FR"), 1.0),
+                (8866, Some("BG"), 1.0),
+                (1136, Some("NL"), 1.0),
+                (7473, Some("SG"), 1.0),
+                (7713, Some("ID"), 1.0),
+                (266842, Some("BR"), 1.0),
+            ]),
+            14_265,
+        ),
+    ] {
+        let per_actor = (total as f64 / count as f64).round() as u64;
+        let pinned = count <= 6;
+        // pinned cohorts keep their exact actor count, so the per-actor
+        // budget carries the scale; scaled cohorts shrink in actors instead
+        // (scaling the budget too would scale the total twice)
+        let attempts_total = if pinned { vol(per_actor, scale) } else { per_actor };
+        list.push(Cohort {
+            name,
+            count,
+            pinned,
+            pool,
+            retention: Retention::Medium,
+            visits_per_day: 2.0,
+            behavior: B::MssqlBruteforcer { attempts_total },
+            targets: CohortTargets::LowOne(Dbms::Mssql),
+        });
+    }
+    // MySQL brute cohorts (cloud-hosted, Table 6 login split).
+    for (name, count, asn, country, total) in [
+        ("gcp-mysql-brute", 60usize, 396982u32, Some("US"), 5_101u64),
+        ("do-mysql-brute", 22, 14061, None, 1_028),
+        ("ucloud-mysql-brute", 22, 135377, None, 643),
+        ("akamai-mysql-brute", 20, 63949, None, 1_270),
+        ("unicom-mysql-brute", 12, 4837, Some("CN"), 2_711),
+        ("kr-mysql-brute", 1, 4766, Some("KR"), 21_522),
+        ("us-mysql-brute", 21, 7922, Some("US"), 12_623),
+        ("longtail-mysql-brute", 52, 24940, None, 49_000),
+    ] {
+        let per_actor = (total as f64 / count as f64).round() as u64;
+        let pinned = count <= 2;
+        let attempts_total = if pinned { vol(per_actor, scale) } else { per_actor };
+        list.push(Cohort {
+            name,
+            count,
+            pinned,
+            pool: SourcePool::single(asn, country),
+            retention: Retention::Medium,
+            visits_per_day: 1.5,
+            behavior: B::MysqlBruteforcer { attempts_total },
+            targets: CohortTargets::LowOne(Dbms::MySql),
+        });
+    }
+    // Minority AS types that attempted logins (Table 7: IP Service 35,
+    // ICT 25, ISP 1, Security 1).
+    for (name, count, asn, dbms) in [
+        ("ipservice-mssql-brute", 35usize, 202425u32, Dbms::Mssql),
+        ("ict-mysql-brute", 25, 13335, Dbms::MySql),
+        ("isp-mssql-brute", 1, 5089, Dbms::Mssql),
+        ("security-mssql-brute", 1, 211298, Dbms::Mssql),
+    ] {
+        list.push(Cohort {
+            name,
+            count,
+            pinned: count <= 2,
+            pool: SourcePool::single(asn, None),
+            retention: Retention::Short,
+            visits_per_day: 1.0,
+            behavior: match dbms {
+                Dbms::MySql => B::MysqlBruteforcer { attempts_total: 40 },
+                _ => B::MssqlBruteforcer { attempts_total: 60 },
+            },
+            targets: CohortTargets::LowOne(dbms),
+        });
+    }
+    // PostgreSQL single-combination actors (§5: 13 login attempts, US).
+    list.push(Cohort {
+        name: "pg-single-combo",
+        count: 5,
+        pinned: true,
+        pool: SourcePool::of(&[(396982, Some("US"), 1.0), (14061, Some("US"), 1.0)]),
+        retention: Retention::Short,
+        visits_per_day: 1.0,
+        behavior: B::PgSingleCombo {
+            combo: 0,
+            repeats: 2,
+        },
+        targets: CohortTargets::LowOne(Dbms::Postgres),
+    });
+
+    // ---------------------------------------------------------------
+    // Medium/high fleet (Tables 8 and 9, §6)
+    // ---------------------------------------------------------------
+    // Scanners per family: (count, institutional count).
+    for (name, dbms, level, total, institutional) in [
+        ("pg-med-scanners", Dbms::Postgres, InteractionLevel::Medium, 1140usize, 909usize),
+        ("elastic-med-scanners", Dbms::Elastic, InteractionLevel::Medium, 608, 456),
+        ("mongo-high-scanners", Dbms::MongoDb, InteractionLevel::High, 706, 415),
+        ("redis-med-scanners", Dbms::Redis, InteractionLevel::Medium, 676, 379),
+    ] {
+        list.push(Cohort {
+            name,
+            count: institutional,
+            pinned: false,
+            pool: SourcePool::of(&[
+                (398324, None, 2.0),
+                (398722, None, 4.0),
+                (63113, None, 3.0),
+                (202623, None, 2.0),
+                (211298, None, 2.0),
+                (213412, None, 1.0),
+                (134698, None, 1.0),
+            ]),
+            // scan fleets rotate addresses: each IP is short-lived even
+            // though the organization scans continuously (Figure 5)
+            retention: Retention::Short,
+            visits_per_day: 1.0,
+            behavior: B::Scan,
+            targets: CohortTargets::Family(dbms, level),
+        });
+        list.push(Cohort {
+            name: Box::leak(format!("{name}-other").into_boxed_str()),
+            count: total - institutional,
+            pinned: false,
+            pool: SourcePool::of(&[
+                (6939, None, 3.0),
+                (14618, None, 2.0),
+                (7922, None, 1.0),
+                (4134, None, 1.0),
+                (39134, None, 1.0),
+            ]),
+            retention: Retention::Short,
+            visits_per_day: 1.0,
+            behavior: B::Scan,
+            targets: CohortTargets::Family(dbms, level),
+        });
+    }
+    // Scouts (Table 8 scouting minus the Table 9 sub-campaigns).
+    for (name, count, behavior, dbms, level, pool) in [
+        (
+            "pg-med-scouts",
+            345usize,
+            B::PgScout,
+            Dbms::Postgres,
+            InteractionLevel::Medium,
+            SourcePool::of(&[
+                (396982, None, 2.0),
+                (16276, Some("FR"), 2.0),
+                (24940, Some("DE"), 2.0),
+                (63113, None, 2.0), // institutional scouting (§6)
+                (4134, Some("CN"), 1.0),
+            ]),
+        ),
+        (
+            "elastic-med-scouts",
+            610,
+            B::ElasticScout { deep: true },
+            Dbms::Elastic,
+            InteractionLevel::Medium,
+            SourcePool::of(&[
+                (398722, None, 3.0), // institutional deep scouting
+                (398324, None, 2.0),
+                (14061, None, 2.0),
+                (134698, Some("CN"), 1.0),
+            ]),
+        ),
+        (
+            "mongo-high-scouts",
+            403,
+            B::MongoScout { deep: true },
+            Dbms::MongoDb,
+            InteractionLevel::High,
+            SourcePool::of(&[
+                (398722, None, 2.0),
+                (63113, None, 2.0),
+                (14061, None, 2.0),
+                (9009, None, 1.0),
+            ]),
+        ),
+    ] {
+        list.push(Cohort {
+            name,
+            count,
+            pinned: false,
+            pool,
+            retention: Retention::Medium,
+            visits_per_day: 0.8,
+            behavior,
+            targets: CohortTargets::Family(dbms, level),
+        });
+    }
+    // Redis scouts visit both configurations; the TYPE-walk of §6 only
+    // manifests on the fake-data instances.
+    list.push(Cohort {
+        name: "redis-med-scouts",
+        count: 245,
+        pinned: false,
+        pool: SourcePool::of(&[
+            (4134, Some("CN"), 2.0),
+            (14061, None, 2.0),
+            (398324, None, 1.0),
+            (7473, Some("SG"), 1.0),
+        ]),
+        retention: Retention::Medium,
+        visits_per_day: 0.8,
+        behavior: B::RedisScout { type_walk: true },
+        targets: CohortTargets::Exact(vec![
+            TargetSelector::medium(Dbms::Redis, Some(ConfigVariant::Default)),
+            TargetSelector::medium(Dbms::Redis, Some(ConfigVariant::FakeData)),
+        ]),
+    });
+    // Fake-data harvesters: the adversaries §4.2's measurement objective is
+    // after — they read the planted entries and reuse the bait passwords as
+    // credentials (detected by `decoy-analysis::honeytokens`).
+    list.push(Cohort {
+        name: "fake-data-harvesters",
+        count: 6,
+        pinned: true,
+        pool: SourcePool::of(&[(4134, Some("CN"), 1.0), (14061, None, 1.0)]),
+        retention: Retention::Medium,
+        visits_per_day: 0.6,
+        behavior: B::Campaign(SessionScript::HarvestAndReuse),
+        targets: CohortTargets::Exact(vec![TargetSelector::medium(
+            Dbms::Redis,
+            Some(ConfigVariant::FakeData),
+        )]),
+    });
+    // Cross-family scanners: the Figure 4 intersections ("certain scanners
+    // probing multiple DBMS platforms").
+    list.push(Cohort {
+        name: "cross-family-scanners",
+        count: 180,
+        pinned: false,
+        pool: SourcePool::of(&[
+            (398722, None, 2.0),
+            (398324, None, 1.0),
+            (6939, None, 2.0),
+            (14618, None, 1.0),
+        ]),
+        retention: Retention::Short,
+        visits_per_day: 1.0,
+        behavior: B::Scan,
+        targets: CohortTargets::Exact(vec![
+            TargetSelector::medium(Dbms::Postgres, None),
+            TargetSelector::medium(Dbms::Elastic, None),
+            TargetSelector::medium(Dbms::Redis, None),
+            TargetSelector::high_mongo(),
+        ]),
+    });
+    // RDP scanners that sweep Redis AND PostgreSQL (the cross-DBMS RDP
+    // pattern §6 calls out explicitly).
+    list.push(Cohort {
+        name: "rdp-cross-scan",
+        count: 10,
+        pinned: false,
+        pool: SourcePool::of(&[(7922, Some("US"), 1.0), (3320, Some("DE"), 1.0)]),
+        retention: Retention::Short,
+        visits_per_day: 0.8,
+        behavior: B::Campaign(SessionScript::RdpProbe),
+        targets: CohortTargets::Exact(vec![
+            TargetSelector::medium(Dbms::Redis, None),
+            TargetSelector::medium(Dbms::Postgres, None),
+        ]),
+    });
+    // Medium-PG brute (84 IPs, 15 clusters; §6 config asymmetry).
+    list.push(Cohort {
+        name: "pg-med-brute",
+        count: 84,
+        pinned: false,
+        pool: SourcePool::of(&[
+            (16276, Some("FR"), 2.0),
+            (24940, Some("DE"), 2.0),
+            (396982, Some("US"), 1.0),
+            (12389, Some("RU"), 1.0),
+        ]),
+        retention: Retention::Medium,
+        visits_per_day: 1.0,
+        behavior: B::PgMedBrute { burst: 12 },
+        targets: CohortTargets::Exact(vec![
+            TargetSelector::medium(Dbms::Postgres, Some(ConfigVariant::Default)),
+            TargetSelector::medium(Dbms::Postgres, Some(ConfigVariant::LoginDisabled)),
+        ]),
+    });
+    // Redis AUTH brute (5 IPs, 1 cluster).
+    list.push(Cohort {
+        name: "redis-med-brute",
+        count: 5,
+        pinned: true,
+        pool: SourcePool::single(4134, Some("CN")),
+        retention: Retention::Short,
+        visits_per_day: 1.0,
+        behavior: B::RedisBrute,
+        targets: CohortTargets::Family(Dbms::Redis, InteractionLevel::Medium),
+    });
+
+    // ---------------------------------------------------------------
+    // Campaigns (Table 9, Listings 1–14); Table 10 country mixes.
+    // ---------------------------------------------------------------
+    let campaign = |name: &'static str,
+                    count: usize,
+                    pinned: bool,
+                    pool: SourcePool,
+                    retention: Retention,
+                    script: SessionScript,
+                    targets: CohortTargets| Cohort {
+        name,
+        count,
+        pinned,
+        pool,
+        retention,
+        visits_per_day: 0.7,
+        behavior: B::Campaign(script),
+        targets,
+    };
+    // P2PInfect: 35 IPs, Redis; exploiters are persistent (Figure 5).
+    // Keyspace-writing campaigns (P2PInfect FLUSHes; ABCbot SETs cron
+    // entries) are routed to the default-config instances: the direct-mode
+    // emitter is stateless, and keeping the fake-data keyspaces unmutated
+    // preserves network≡direct equivalence for the harvest cohort.
+    list.push(campaign(
+        "p2pinfect",
+        35,
+        false,
+        SourcePool::of(&[
+            (4134, Some("CN"), 3.0),
+            (4837, Some("CN"), 1.0),
+            (7473, Some("SG"), 1.0),
+            (136907, None, 1.0),
+        ]),
+        Retention::Long,
+        SessionScript::P2pInfect,
+        CohortTargets::Exact(vec![TargetSelector::medium(
+            Dbms::Redis,
+            Some(ConfigVariant::Default),
+        )]),
+    ));
+    list.push(campaign(
+        "abcbot",
+        1,
+        true,
+        SourcePool::single(4134, Some("CN")),
+        Retention::Medium,
+        SessionScript::AbcBot,
+        CohortTargets::Exact(vec![TargetSelector::medium(
+            Dbms::Redis,
+            Some(ConfigVariant::Default),
+        )]),
+    ));
+    list.push(campaign(
+        "redis-cve-2022-0543",
+        1,
+        true,
+        SourcePool::single(14061, Some("US")),
+        Retention::Short,
+        SessionScript::RedisCve20220543,
+        CohortTargets::Family(Dbms::Redis, InteractionLevel::Medium),
+    ));
+    // Kinsing: 196 IPs, 4 clusters; Table 10's PG country mix (FR/DE/US/RU/CN heavy).
+    list.push(campaign(
+        "kinsing",
+        196,
+        false,
+        // hosting-heavy (Table 11: exploitation concentrates in hosting
+        // ASes), with the CN share on telecom (infected machines, §6.2)
+        SourcePool::of(&[
+            (16276, Some("FR"), 26.0),
+            (3215, Some("FR"), 2.0),
+            (24940, Some("DE"), 22.0),
+            (3320, Some("DE"), 4.0),
+            (396982, Some("US"), 22.0),
+            (14061, Some("US"), 14.0),
+            (201229, Some("RU"), 12.0),
+            (4134, Some("CN"), 14.0),
+            (4837, Some("CN"), 6.0),
+            (9009, Some("GB"), 10.0),
+            (201229, Some("NL"), 3.0),
+            (1136, Some("NL"), 2.0),
+            (7713, Some("ID"), 5.0),
+            (45102, Some("SG"), 2.0),
+            (7473, Some("SG"), 2.0),
+            (24940, Some("FI"), 6.0),
+        ]),
+        Retention::Long,
+        SessionScript::Kinsing,
+        // Kinsing verifies its login before injecting; bots that land on the
+        // restricted config move on, so observed Kinsing activity lives on
+        // the open instances.
+        CohortTargets::Exact(vec![TargetSelector::medium(
+            Dbms::Postgres,
+            Some(ConfigVariant::Default),
+        )]),
+    ));
+    // Privilege manipulation: 25 IPs, 3 clusters.
+    list.push(campaign(
+        "pg-privilege-manipulation",
+        25,
+        false,
+        SourcePool::of(&[
+            (396982, Some("US"), 2.0),
+            (16276, Some("FR"), 1.0),
+            (24940, Some("DE"), 1.0),
+        ]),
+        Retention::Medium,
+        SessionScript::PgPrivilege,
+        CohortTargets::Exact(vec![TargetSelector::medium(
+            Dbms::Postgres,
+            Some(ConfigVariant::Default),
+        )]),
+    ));
+    // Lucifer: 2 IPs on Elasticsearch (CN telecom per Table 10).
+    list.push(campaign(
+        "lucifer",
+        2,
+        true,
+        SourcePool::single(4134, Some("CN")),
+        Retention::Medium,
+        SessionScript::Lucifer,
+        CohortTargets::Family(Dbms::Elastic, InteractionLevel::Medium),
+    ));
+    // Mongo ransom: 62 IPs, two groups (Table 10: Bulgaria-heavy).
+    list.push(campaign(
+        "mongo-ransom-group-a",
+        29,
+        false,
+        SourcePool::of(&[(34224, Some("BG"), 3.0), (44901, Some("BG"), 1.0)]),
+        Retention::Long,
+        SessionScript::MongoRansom { group: 0 },
+        CohortTargets::Exact(vec![TargetSelector::high_mongo()]),
+    ));
+    list.push(campaign(
+        "mongo-ransom-group-b",
+        33,
+        false,
+        SourcePool::of(&[
+            (396982, Some("US"), 8.0),
+            (14061, Some("US"), 8.0),
+            (1136, Some("NL"), 3.0),
+            (2856, Some("GB"), 3.0),
+            (24940, Some("DE"), 2.0),
+            (7473, Some("SG"), 1.0),
+            (9009, None, 3.0),
+        ]),
+        Retention::Long,
+        SessionScript::MongoRansom { group: 1 },
+        CohortTargets::Exact(vec![TargetSelector::high_mongo()]),
+    ));
+    // Foreign-service scans (Table 9 top rows).
+    list.push(campaign(
+        "rdp-scan-pg",
+        164,
+        false,
+        SourcePool::of(&[
+            (3320, Some("DE"), 2.0),
+            (3215, Some("FR"), 2.0),
+            (2856, Some("GB"), 1.0),
+            (7922, Some("US"), 2.0),
+            (12389, Some("RU"), 1.0),
+        ]),
+        Retention::Short,
+        SessionScript::RdpProbe,
+        CohortTargets::Family(Dbms::Postgres, InteractionLevel::Medium),
+    ));
+    list.push(campaign(
+        "rdp-scan-redis",
+        14,
+        false,
+        SourcePool::of(&[(7922, Some("US"), 1.0), (4134, Some("CN"), 1.0)]),
+        Retention::Short,
+        SessionScript::RdpProbe,
+        CohortTargets::Family(Dbms::Redis, InteractionLevel::Medium),
+    ));
+    list.push(campaign(
+        "jdwp-scan-redis",
+        2,
+        true,
+        SourcePool::single(13335, Some("US")),
+        Retention::Short,
+        SessionScript::JdwpProbe,
+        CohortTargets::Family(Dbms::Redis, InteractionLevel::Medium),
+    ));
+    list.push(campaign(
+        "vmware-recon",
+        15,
+        false,
+        SourcePool::of(&[(14618, Some("US"), 2.0), (16276, Some("FR"), 1.0)]),
+        Retention::Short,
+        SessionScript::VmwareRecon,
+        CohortTargets::Family(Dbms::Elastic, InteractionLevel::Medium),
+    ));
+    list.push(campaign(
+        "craftcms-probe",
+        2,
+        true,
+        SourcePool::single(14061, Some("DE")),
+        Retention::Short,
+        SessionScript::CraftCms,
+        CohortTargets::Family(Dbms::Elastic, InteractionLevel::Medium),
+    ));
+    list
+}
+
+/// Cohorts for the §7 extension honeypots (only with
+/// [`PopulationConfig::extensions`]): scanners/scouts/ransom against
+/// CouchDB and SQL-speaking visitors against the medium MySQL honeypot.
+fn extension_cohorts() -> Vec<Cohort> {
+    use ActorScript as B;
+    vec![
+        Cohort {
+            name: "couch-scanners",
+            count: 120,
+            pinned: false,
+            pool: SourcePool::of(&[(398722, None, 2.0), (6939, None, 2.0), (14618, None, 1.0)]),
+            retention: Retention::Short,
+            visits_per_day: 1.0,
+            behavior: B::Scan,
+            targets: CohortTargets::Family(Dbms::CouchDb, InteractionLevel::Medium),
+        },
+        Cohort {
+            name: "couch-scouts",
+            count: 40,
+            pinned: false,
+            pool: SourcePool::of(&[(14061, None, 2.0), (4134, Some("CN"), 1.0)]),
+            retention: Retention::Medium,
+            visits_per_day: 0.8,
+            behavior: B::Campaign(SessionScript::CouchScout),
+            targets: CohortTargets::Family(Dbms::CouchDb, InteractionLevel::Medium),
+        },
+        Cohort {
+            name: "couch-ransom",
+            count: 8,
+            pinned: true,
+            pool: SourcePool::of(&[(34224, Some("BG"), 1.0), (9009, None, 1.0)]),
+            retention: Retention::Long,
+            visits_per_day: 0.6,
+            behavior: B::Campaign(SessionScript::CouchRansom),
+            targets: CohortTargets::Family(Dbms::CouchDb, InteractionLevel::Medium),
+        },
+        Cohort {
+            name: "mysql-med-visitors",
+            count: 60,
+            pinned: false,
+            pool: SourcePool::of(&[(396982, Some("US"), 2.0), (4837, Some("CN"), 1.0)]),
+            retention: Retention::Medium,
+            visits_per_day: 0.8,
+            behavior: B::Campaign(SessionScript::MysqlScout),
+            targets: CohortTargets::Exact(vec![TargetSelector::medium(
+                Dbms::MySql,
+                Some(ConfigVariant::Default),
+            )]),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::{HashMap, HashSet};
+
+    #[test]
+    fn extensions_are_opt_in() {
+        let geo = GeoDb::builtin();
+        let plain = build_population(&PopulationConfig::scaled(9, 0.05), &geo);
+        assert!(!plain.iter().any(|a| a.cohort.starts_with("couch")));
+        let extended =
+            build_population(&PopulationConfig::scaled(9, 0.05).with_extensions(), &geo);
+        assert!(extended.iter().any(|a| a.cohort == "couch-scanners"));
+        assert!(extended.iter().any(|a| a.cohort == "couch-ransom"));
+        assert!(extended.iter().any(|a| a.cohort == "mysql-med-visitors"));
+        assert!(extended.len() > plain.len());
+    }
+
+    #[test]
+    fn population_is_deterministic() {
+        let geo = GeoDb::builtin();
+        let config = PopulationConfig::scaled(5, 0.05);
+        let a = build_population(&config, &geo);
+        let b = build_population(&config, &geo);
+        assert_eq!(a, b);
+        let c = build_population(&PopulationConfig::scaled(6, 0.05), &geo);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn pinned_cohorts_survive_scaling() {
+        let geo = GeoDb::builtin();
+        let pop = build_population(&PopulationConfig::scaled(1, 0.01), &geo);
+        let heavies: Vec<_> = pop
+            .iter()
+            .filter(|a| a.cohort == "ru-heavy-mssql-brute")
+            .collect();
+        assert_eq!(heavies.len(), 4, "the 4 Russian heavy hitters are pinned");
+        for h in &heavies {
+            assert_eq!(h.asn, 208091);
+            assert_eq!(h.active_days, 17);
+            let ActorScript::MssqlBruteforcer { attempts_total } = h.behavior else {
+                panic!("heavies brute MSSQL");
+            };
+            // 4.157M × 0.01
+            assert!((41000..=42100).contains(&attempts_total), "{attempts_total}");
+        }
+    }
+
+    #[test]
+    fn paper_scale_population_size_is_plausible() {
+        let geo = GeoDb::builtin();
+        let pop = build_population(&PopulationConfig::paper(1), &geo);
+        // low fleet ≈ 3,340 + medium/high ≈ 5,405 minus overlaps; the
+        // builder creates ~ 3,400 low + ~ 3,700 med/high actors
+        assert!(pop.len() > 6000, "{}", pop.len());
+        assert!(pop.len() < 10_500, "{}", pop.len());
+        // unique sources dominate (collisions within /16 pools are rare)
+        let ips: HashSet<_> = pop.iter().map(|a| a.src).collect();
+        assert!(ips.len() as f64 > pop.len() as f64 * 0.95);
+    }
+
+    #[test]
+    fn campaign_sizes_match_table9_at_full_scale() {
+        let geo = GeoDb::builtin();
+        let pop = build_population(&PopulationConfig::paper(2), &geo);
+        let mut by_cohort: HashMap<&str, usize> = HashMap::new();
+        for a in &pop {
+            *by_cohort.entry(a.cohort).or_insert(0) += 1;
+        }
+        assert_eq!(by_cohort["p2pinfect"], 35);
+        assert_eq!(by_cohort["abcbot"], 1);
+        assert_eq!(by_cohort["kinsing"], 196);
+        assert_eq!(by_cohort["pg-privilege-manipulation"], 25);
+        assert_eq!(by_cohort["lucifer"], 2);
+        assert_eq!(
+            by_cohort["mongo-ransom-group-a"] + by_cohort["mongo-ransom-group-b"],
+            62
+        );
+        assert_eq!(by_cohort["rdp-scan-pg"], 164);
+        assert_eq!(by_cohort["jdwp-scan-redis"], 2);
+        assert_eq!(by_cohort["vmware-recon"], 15);
+        assert_eq!(by_cohort["craftcms-probe"], 2);
+        assert_eq!(by_cohort["redis-med-brute"], 5);
+        assert_eq!(by_cohort["pg-med-brute"], 84);
+    }
+
+    #[test]
+    fn actors_stay_within_the_window() {
+        let geo = GeoDb::builtin();
+        let pop = build_population(&PopulationConfig::scaled(3, 0.1), &geo);
+        for a in &pop {
+            assert!(a.active_days >= 1);
+            assert!(a.first_day + a.active_days <= 20, "{a:?}");
+            assert!(!a.targets.is_empty());
+        }
+    }
+
+    #[test]
+    fn country_mix_is_us_heavy_for_low_scanners() {
+        let geo = GeoDb::builtin();
+        let pop = build_population(&PopulationConfig::paper(4), &geo);
+        let mut us = 0usize;
+        let mut total = 0usize;
+        for a in &pop {
+            // low-interaction cohorts only
+            if !a
+                .targets
+                .iter()
+                .any(|t| t.level == InteractionLevel::Low)
+            {
+                continue;
+            }
+            total += 1;
+            let meta = geo.lookup(std::net::IpAddr::V4(a.src)).unwrap();
+            if meta.country == "US" {
+                us += 1;
+            }
+        }
+        let share = us as f64 / total as f64;
+        assert!(
+            (0.40..0.75).contains(&share),
+            "US share of low fleet = {share:.2}"
+        );
+    }
+
+    #[test]
+    fn mssql_login_budget_is_near_paper_total() {
+        let geo = GeoDb::builtin();
+        let pop = build_population(&PopulationConfig::paper(5), &geo);
+        let total: u64 = pop
+            .iter()
+            .filter_map(|a| match a.behavior {
+                ActorScript::MssqlBruteforcer { attempts_total } => Some(attempts_total),
+                _ => None,
+            })
+            .sum();
+        // paper: 18,076,729 MSSQL attempts
+        assert!(
+            (17_000_000..19_200_000).contains(&total),
+            "MSSQL budget {total}"
+        );
+    }
+}

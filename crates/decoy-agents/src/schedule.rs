@@ -1,0 +1,231 @@
+//! Expand actors into a time-ordered session plan.
+//!
+//! For each actor, each active day draws a Poisson visit count per target
+//! (at least one visit on the first day so no actor is silent), places the
+//! visits at random instants within the day, and instantiates the visit's
+//! [`SessionScript`]. The merged plan is sorted by virtual timestamp; the
+//! runner replays it while advancing the simulated clock.
+
+use crate::actors::{Actor, TargetSelector};
+use crate::scripts::SessionScript;
+use decoy_net::time::{Timestamp, MILLIS_PER_DAY};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One planned visit (which may open several TCP connections, e.g. brute
+/// bursts).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedSession {
+    /// Virtual start time.
+    pub ts: Timestamp,
+    /// Index into the actor vector.
+    pub actor_idx: usize,
+    /// Source address (copied for convenience).
+    pub src: std::net::Ipv4Addr,
+    /// Target group.
+    pub target: TargetSelector,
+    /// What happens.
+    pub script: SessionScript,
+}
+
+/// Sample a Poisson-distributed count (Knuth's method; fine for the small
+/// rates actors use).
+pub fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // pathological lambda guard
+        }
+    }
+}
+
+/// Build the plan for the whole population over a window starting at
+/// `origin`.
+pub fn build_schedule(
+    actors: &[Actor],
+    origin: Timestamp,
+    seed: u64,
+) -> Vec<PlannedSession> {
+    let mut plan = Vec::new();
+    for (actor_idx, actor) in actors.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(seed ^ actor.id.wrapping_mul(0x9e37_79b9));
+        // Draw per-target, per-day visit counts first so budgets (e.g. a
+        // brute-forcer's total login attempts) can be split across the
+        // actor's WHOLE lifetime, not per target.
+        let mut per_target: Vec<Vec<u32>> = Vec::with_capacity(actor.targets.len());
+        for _ in &actor.targets {
+            let mut per_day: Vec<u32> = (0..actor.active_days)
+                .map(|_| poisson(actor.visits_per_day, &mut rng))
+                .collect();
+            if per_day.iter().all(|&v| v == 0) {
+                // guaranteed first-day visit so no actor is silent
+                per_day[0] = 1;
+            }
+            per_target.push(per_day);
+        }
+        let grand_total: u32 = per_target.iter().flatten().sum();
+        let mut visit_seq = 0u32;
+        for (target, per_day) in actor.targets.iter().zip(&per_target) {
+            for (day_offset, &visits) in per_day.iter().enumerate() {
+                let day = actor.first_day as u64 + day_offset as u64;
+                for _ in 0..visits {
+                    let offset_ms = rng.gen_range(0..MILLIS_PER_DAY);
+                    let ts = origin.add_millis(day * MILLIS_PER_DAY + offset_ms);
+                    let script =
+                        actor.script_for_visit(target, visit_seq, grand_total, &mut rng);
+                    plan.push(PlannedSession {
+                        ts,
+                        actor_idx,
+                        src: actor.src,
+                        target: *target,
+                        script,
+                    });
+                    visit_seq += 1;
+                }
+            }
+        }
+    }
+    plan.sort_by_key(|s| (s.ts, s.actor_idx));
+    plan
+}
+
+/// Total TCP connections the plan implies (brute bursts count each
+/// credential attempt).
+pub fn total_connections(plan: &[PlannedSession]) -> usize {
+    plan.iter()
+        .map(|s| s.script.connections_per_visit())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actors::ActorScript;
+    use decoy_net::time::EXPERIMENT_START;
+    use decoy_store::Dbms;
+
+    fn scan_actor(id: u64, first_day: u32, active_days: u32) -> Actor {
+        Actor {
+            id,
+            src: std::net::Ipv4Addr::new(60, 0, 0, id as u8),
+            asn: 6939,
+            cohort: "test",
+            first_day,
+            active_days,
+            visits_per_day: 1.0,
+            targets: vec![TargetSelector::low_multi(Dbms::Redis)],
+            behavior: ActorScript::Scan,
+        }
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| poisson(3.0, &mut rng) as u64).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert_eq!(poisson(0.0, &mut rng), 0);
+        assert_eq!(poisson(-1.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_deterministic() {
+        let actors: Vec<Actor> = (1..=20).map(|i| scan_actor(i, (i % 10) as u32, 3)).collect();
+        let a = build_schedule(&actors, EXPERIMENT_START, 7);
+        let b = build_schedule(&actors, EXPERIMENT_START, 7);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].ts <= w[1].ts));
+        let c = build_schedule(&actors, EXPERIMENT_START, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn every_actor_appears_at_least_once() {
+        let actors: Vec<Actor> = (1..=50).map(|i| {
+            let mut a = scan_actor(i, 0, 1);
+            a.visits_per_day = 0.05; // almost always zero draws
+            a
+        }).collect();
+        let plan = build_schedule(&actors, EXPERIMENT_START, 3);
+        let seen: std::collections::HashSet<usize> =
+            plan.iter().map(|s| s.actor_idx).collect();
+        assert_eq!(seen.len(), 50);
+    }
+
+    #[test]
+    fn sessions_fall_inside_the_actor_window() {
+        let actors = vec![scan_actor(1, 5, 3)];
+        let plan = build_schedule(&actors, EXPERIMENT_START, 1);
+        for s in &plan {
+            let day = s.ts.days_since(EXPERIMENT_START);
+            assert!((5..8).contains(&day), "day {day}");
+        }
+    }
+
+    #[test]
+    fn brute_budget_is_preserved_across_visits() {
+        let mut actor = scan_actor(9, 0, 4);
+        actor.visits_per_day = 2.0;
+        actor.targets = vec![TargetSelector::low_multi(Dbms::Mssql)];
+        actor.behavior = ActorScript::MssqlBruteforcer {
+            attempts_total: 1234,
+        };
+        let plan = build_schedule(&[actor], EXPERIMENT_START, 2);
+        let attempts: usize = plan
+            .iter()
+            .map(|s| match &s.script {
+                SessionScript::MssqlBrute { creds } => creds.len(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(attempts, 1234);
+        assert_eq!(total_connections(&plan), 1234);
+    }
+
+    #[test]
+    fn brute_budget_spans_multiple_targets() {
+        // §5's heavy hitters hit both instance groups; the attempt budget is
+        // per actor, not per target (regression test for double-counting).
+        let mut actor = scan_actor(4, 0, 5);
+        actor.visits_per_day = 1.5;
+        actor.targets = vec![
+            TargetSelector::low_multi(Dbms::Mssql),
+            TargetSelector::low_single(Dbms::Mssql),
+        ];
+        actor.behavior = ActorScript::MssqlBruteforcer {
+            attempts_total: 10_000,
+        };
+        let plan = build_schedule(&[actor], EXPERIMENT_START, 5);
+        let attempts: usize = plan
+            .iter()
+            .map(|s| match &s.script {
+                SessionScript::MssqlBrute { creds } => creds.len(),
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(attempts, 10_000);
+        // both groups actually receive attempts
+        for group in [
+            decoy_store::ConfigVariant::MultiService,
+            decoy_store::ConfigVariant::SingleService,
+        ] {
+            assert!(
+                plan.iter()
+                    .any(|s| s.target.config == Some(group)
+                        && s.script.connections_per_visit() > 0),
+                "{group:?} untouched"
+            );
+        }
+    }
+}

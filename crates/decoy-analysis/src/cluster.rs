@@ -1,0 +1,557 @@
+//! Agglomerative hierarchical clustering with Ward linkage (§6.1).
+//!
+//! "We employ Agglomerative Hierarchical Clustering ... iteratively merges
+//! the most similar pairs of clusters based on the Euclidean distance
+//! between their TF-based feature vectors, using Ward linkage to minimize
+//! the variance within clusters at each merging step."
+//!
+//! Implementation notes:
+//! * Sources with byte-identical action sequences are deduplicated first and
+//!   enter the hierarchy as one weighted point — the common case, since a
+//!   campaign's bots run the same script. This is why thousands of IPs
+//!   reduce to the 20–79 clusters of Table 8.
+//! * Ward is run on squared Euclidean distances with the Lance–Williams
+//!   recurrence; weighted initial dissimilarities use the exact Ward form
+//!   `2·wᵢwⱼ/(wᵢ+wⱼ)·‖xᵢ−xⱼ‖²`.
+//! * Each step merges the globally closest pair (Ward is reducible, so
+//!   merge heights are monotone and the dendrogram can be cut directly).
+//! * The paper's manual review pass is reproduced by
+//!   [`refine_by_behavior`]: clusters mixing exploiting sources with
+//!   non-exploiting ones are split, mirroring the reassignments described
+//!   in §6.1.
+
+use crate::classify::BehaviorProfile;
+use crate::tf::{action_sequences, TfVector, Vocabulary};
+use decoy_store::{Dbms, EventStore};
+use std::collections::{BTreeMap, HashMap};
+use std::net::IpAddr;
+
+/// One merge step: clusters `a` and `b` (ids in scipy convention: leaves are
+/// `0..n`, the cluster created by step `s` is `n + s`) joined at `height`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Merge {
+    /// First merged cluster id.
+    pub a: usize,
+    /// Second merged cluster id.
+    pub b: usize,
+    /// Ward criterion value (variance increase) at this merge.
+    pub height: f64,
+    /// Total weight of the resulting cluster.
+    pub size: f64,
+}
+
+/// The full merge history over `n` leaves.
+#[derive(Debug, Clone, Default)]
+pub struct Dendrogram {
+    /// Number of leaves.
+    pub n: usize,
+    /// Merges in the order performed (heights are non-decreasing).
+    pub merges: Vec<Merge>,
+}
+
+impl Dendrogram {
+    /// Cut so that merges with `height <= threshold` are applied. Returns a
+    /// label in `0..k` for each leaf.
+    pub fn cut_at(&self, threshold: f64) -> Vec<usize> {
+        let apply = self
+            .merges
+            .iter()
+            .take_while(|m| m.height <= threshold)
+            .count();
+        self.cut_after(apply)
+    }
+
+    /// Cut into exactly `k` clusters (or as close as the hierarchy allows).
+    pub fn cut_into(&self, k: usize) -> Vec<usize> {
+        let k = k.clamp(1, self.n.max(1));
+        let apply = self.n.saturating_sub(k).min(self.merges.len());
+        self.cut_after(apply)
+    }
+
+    /// Apply the first `steps` merges and label the components.
+    fn cut_after(&self, steps: usize) -> Vec<usize> {
+        let mut parent: Vec<usize> = (0..self.n + steps).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for (step, merge) in self.merges.iter().take(steps).enumerate() {
+            let new_id = self.n + step;
+            let ra = find(&mut parent, merge.a);
+            let rb = find(&mut parent, merge.b);
+            parent[ra] = new_id;
+            parent[rb] = new_id;
+        }
+        // compact component labels
+        let mut labels = vec![0usize; self.n];
+        let mut next = 0usize;
+        let mut seen: HashMap<usize, usize> = HashMap::new();
+        for (leaf, label_slot) in labels.iter_mut().enumerate() {
+            let root = find(&mut parent, leaf);
+            let label = *seen.entry(root).or_insert_with(|| {
+                let l = next;
+                next += 1;
+                l
+            });
+            *label_slot = label;
+        }
+        labels
+    }
+
+    /// Number of clusters after cutting at `threshold`.
+    pub fn clusters_at(&self, threshold: f64) -> usize {
+        let applied = self
+            .merges
+            .iter()
+            .take_while(|m| m.height <= threshold)
+            .count();
+        self.n - applied
+    }
+}
+
+/// Ward clustering over weighted points. `weights[i]` is the multiplicity
+/// of point `i` (deduplicated sources).
+pub fn ward_cluster(vectors: &[TfVector], weights: &[f64]) -> Dendrogram {
+    let n = vectors.len();
+    assert_eq!(n, weights.len());
+    if n == 0 {
+        return Dendrogram::default();
+    }
+    // condensed squared-distance matrix with Ward's weighted initial form
+    let mut dist = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d2 = vectors[i].distance_sq(&vectors[j]);
+            let w = 2.0 * weights[i] * weights[j] / (weights[i] + weights[j]);
+            dist[i * n + j] = w * d2;
+            dist[j * n + i] = w * d2;
+        }
+    }
+    let mut active: Vec<bool> = vec![true; n];
+    let mut size: Vec<f64> = weights.to_vec();
+    let mut cluster_id: Vec<usize> = (0..n).collect();
+    let mut merges = Vec::with_capacity(n.saturating_sub(1));
+
+    for step in 0..n.saturating_sub(1) {
+        // globally closest active pair
+        let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
+        for i in 0..n {
+            if !active[i] {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if !active[j] {
+                    continue;
+                }
+                let d = dist[i * n + j];
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let (i, j, height) = best;
+        // Lance–Williams update for Ward: merge j into i's slot.
+        let (si, sj) = (size[i], size[j]);
+        for k in 0..n {
+            if !active[k] || k == i || k == j {
+                continue;
+            }
+            let sk = size[k];
+            let dik = dist[i * n + k];
+            let djk = dist[j * n + k];
+            let dij = dist[i * n + j];
+            let updated =
+                ((si + sk) * dik + (sj + sk) * djk - sk * dij) / (si + sj + sk);
+            dist[i * n + k] = updated;
+            dist[k * n + i] = updated;
+        }
+        active[j] = false;
+        size[i] = si + sj;
+        merges.push(Merge {
+            a: cluster_id[i],
+            b: cluster_id[j],
+            height,
+            size: si + sj,
+        });
+        cluster_id[i] = n + step;
+    }
+    Dendrogram { n, merges }
+}
+
+/// High-level clustering result for one honeypot family.
+#[derive(Debug, Clone)]
+pub struct ClusterResult {
+    /// Cluster label per source IP.
+    pub assignments: BTreeMap<IpAddr, usize>,
+    /// Number of clusters after the cut (and any refinement).
+    pub num_clusters: usize,
+    /// One representative action sequence per cluster, for manual review.
+    pub representatives: BTreeMap<usize, Vec<String>>,
+    /// The dendrogram over the deduplicated sequences.
+    pub dendrogram: Dendrogram,
+    /// The vocabulary used for vectorization.
+    pub vocabulary: Vocabulary,
+}
+
+/// Cluster all sources seen on `dbms` honeypots: dedup identical sequences,
+/// Ward-cluster the unique weighted vectors, cut at `threshold`.
+pub fn cluster_sources(store: &EventStore, dbms: Option<Dbms>, threshold: f64) -> ClusterResult {
+    let docs = action_sequences(store, dbms);
+    // dedupe identical documents
+    let mut unique: Vec<Vec<String>> = Vec::new();
+    let mut by_doc: HashMap<Vec<String>, usize> = HashMap::new();
+    let mut members: Vec<Vec<IpAddr>> = Vec::new();
+    for (src, doc) in &docs {
+        let idx = *by_doc.entry(doc.clone()).or_insert_with(|| {
+            unique.push(doc.clone());
+            members.push(Vec::new());
+            unique.len() - 1
+        });
+        members[idx].push(*src);
+    }
+    let mut vocab = Vocabulary::new();
+    let vectors: Vec<TfVector> = unique
+        .iter()
+        .map(|doc| TfVector::from_terms(doc, &mut vocab))
+        .collect();
+    let weights: Vec<f64> = members.iter().map(|m| m.len() as f64).collect();
+    let dendrogram = ward_cluster(&vectors, &weights);
+    let labels = dendrogram.cut_at(threshold);
+
+    let mut assignments = BTreeMap::new();
+    let mut representatives: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    for (uniq_idx, label) in labels.iter().enumerate() {
+        representatives
+            .entry(*label)
+            .or_insert_with(|| unique[uniq_idx].clone());
+        for src in &members[uniq_idx] {
+            assignments.insert(*src, *label);
+        }
+    }
+    let num_clusters = representatives.len();
+    ClusterResult {
+        assignments,
+        num_clusters,
+        representatives,
+        dendrogram,
+        vocabulary: vocab,
+    }
+}
+
+impl ClusterResult {
+    /// Cluster inventory for manual review (§6.1's "each cluster was
+    /// manually scrutinized"): id, member count, and the representative
+    /// action sequence, largest clusters first.
+    pub fn summary(&self) -> Vec<ClusterSummaryRow> {
+        let mut sizes: BTreeMap<usize, usize> = BTreeMap::new();
+        for label in self.assignments.values() {
+            *sizes.entry(*label).or_insert(0) += 1;
+        }
+        let mut rows: Vec<ClusterSummaryRow> = sizes
+            .into_iter()
+            .map(|(id, members)| ClusterSummaryRow {
+                id,
+                members,
+                representative: self
+                    .representatives
+                    .get(&id)
+                    .cloned()
+                    .unwrap_or_default(),
+            })
+            .collect();
+        rows.sort_by(|a, b| b.members.cmp(&a.members).then_with(|| a.id.cmp(&b.id)));
+        rows
+    }
+
+    /// Render the inventory as text (used by forensics tooling).
+    pub fn render_summary(&self, max_rows: usize, max_terms: usize) -> String {
+        let mut out = String::new();
+        for row in self.summary().into_iter().take(max_rows) {
+            let mut script: Vec<&str> = row
+                .representative
+                .iter()
+                .map(String::as_str)
+                .take(max_terms)
+                .collect();
+            if row.representative.len() > max_terms {
+                script.push("…");
+            }
+            out.push_str(&format!(
+                "cluster {:>3}  {:>5} IPs  [{}]
+",
+                row.id,
+                row.members,
+                script.join(" | ")
+            ));
+        }
+        out
+    }
+}
+
+/// One row of [`ClusterResult::summary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSummaryRow {
+    /// Cluster label.
+    pub id: usize,
+    /// Number of member sources.
+    pub members: usize,
+    /// Representative action sequence.
+    pub representative: Vec<String>,
+}
+
+/// The manual-review pass of §6.1: a cluster that mixes exploiting and
+/// non-exploiting sources ("certain scanning IPs were incorrectly grouped
+/// with exploiting IPs") is split, moving the minority-behavior members
+/// into a fresh cluster. Returns the number of reassigned sources.
+pub fn refine_by_behavior(
+    result: &mut ClusterResult,
+    profiles: &BTreeMap<IpAddr, BehaviorProfile>,
+) -> usize {
+    let mut by_cluster: BTreeMap<usize, Vec<IpAddr>> = BTreeMap::new();
+    for (src, label) in &result.assignments {
+        by_cluster.entry(*label).or_default().push(*src);
+    }
+    let mut next_label = result.num_clusters;
+    let mut reassigned = 0usize;
+    for (_label, srcs) in by_cluster {
+        let exploiting: Vec<IpAddr> = srcs
+            .iter()
+            .copied()
+            .filter(|s| profiles.get(s).map(|p| p.exploiting).unwrap_or(false))
+            .collect();
+        let benign = srcs.len() - exploiting.len();
+        if exploiting.is_empty() || benign == 0 {
+            continue; // pure cluster
+        }
+        // minority moves out
+        let movers: Vec<IpAddr> = if exploiting.len() * 2 <= srcs.len() {
+            exploiting
+        } else {
+            srcs.iter()
+                .copied()
+                .filter(|s| !profiles.get(s).map(|p| p.exploiting).unwrap_or(false))
+                .collect()
+        };
+        for src in movers {
+            result.assignments.insert(src, next_label);
+            reassigned += 1;
+        }
+        next_label += 1;
+    }
+    result.num_clusters = result
+        .assignments
+        .values()
+        .collect::<std::collections::HashSet<_>>()
+        .len();
+    reassigned
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(points: &[&[f64]]) -> Vec<TfVector> {
+        points
+            .iter()
+            .map(|p| TfVector {
+                values: p.to_vec(),
+                total_terms: 1,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_obvious_groups() {
+        // two tight pairs far apart
+        let vectors = vecs(&[
+            &[0.0, 0.0],
+            &[0.05, 0.0],
+            &[1.0, 1.0],
+            &[1.0, 0.95],
+        ]);
+        let d = ward_cluster(&vectors, &[1.0; 4]);
+        assert_eq!(d.merges.len(), 3);
+        // heights are monotone
+        for w in d.merges.windows(2) {
+            assert!(w[0].height <= w[1].height + 1e-12);
+        }
+        let labels = d.cut_into(2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_eq!(d.cut_into(1).iter().collect::<std::collections::HashSet<_>>().len(), 1);
+        assert_eq!(d.cut_into(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn cut_at_threshold_counts_clusters() {
+        let vectors = vecs(&[&[0.0], &[0.001], &[10.0], &[10.001]]);
+        let d = ward_cluster(&vectors, &[1.0; 4]);
+        // tiny threshold: only the two near-zero merges applied
+        assert_eq!(d.clusters_at(0.1), 2);
+        assert_eq!(d.clusters_at(1e9), 1);
+        let labels = d.cut_at(0.1);
+        assert_eq!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[2]);
+    }
+
+    #[test]
+    fn weighted_points_behave_like_duplicates() {
+        // one point with weight 3 == three identical unweighted points
+        let heavy = ward_cluster(
+            &vecs(&[&[0.0], &[1.0]]),
+            &[3.0, 1.0],
+        );
+        let flat = ward_cluster(
+            &vecs(&[&[0.0], &[0.0], &[0.0], &[1.0]]),
+            &[1.0; 4],
+        );
+        // final merge height must coincide (identical points merge at 0)
+        let h_heavy = heavy.merges.last().unwrap().height;
+        let h_flat = flat.merges.last().unwrap().height;
+        assert!((h_heavy - h_flat).abs() < 1e-9, "{h_heavy} vs {h_flat}");
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let d = ward_cluster(&[], &[]);
+        assert_eq!(d.n, 0);
+        assert!(d.merges.is_empty());
+        let d = ward_cluster(&vecs(&[&[1.0]]), &[1.0]);
+        assert_eq!(d.n, 1);
+        assert!(d.merges.is_empty());
+        assert_eq!(d.cut_at(0.0), vec![0]);
+    }
+
+    #[test]
+    fn cluster_sources_dedupes_bot_scripts() {
+        // (closure below captures the store mutably through the local)
+        use decoy_net::time::EXPERIMENT_START;
+        use decoy_store::{ConfigVariant, Event, EventKind, HoneypotId, InteractionLevel};
+        let store = EventStore::new();
+        let hp = HoneypotId::new(
+            Dbms::Redis,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+            0,
+        );
+        // 10 bots running the same script, 3 running another
+        let log_cmd = |src: IpAddr, action: &str| {
+            store.log(Event {
+                ts: EXPERIMENT_START,
+                honeypot: hp,
+                src,
+                session: 1,
+                kind: EventKind::Command {
+                    action: action.into(),
+                    raw: action.into(),
+                },
+            });
+        };
+        for i in 0..10u8 {
+            let src = IpAddr::from([10, 0, 0, i]);
+            log_cmd(src, "INFO");
+            log_cmd(src, "SLAVEOF <IP> <N>");
+        }
+        for i in 0..3u8 {
+            let src = IpAddr::from([10, 0, 1, i]);
+            log_cmd(src, "KEYS *");
+        }
+        let result = cluster_sources(&store, Some(Dbms::Redis), 0.05);
+        assert_eq!(result.num_clusters, 2);
+        assert_eq!(result.assignments.len(), 13);
+        // all bots of one script share a label
+        let label0 = result.assignments[&IpAddr::from([10, 0, 0, 0])];
+        for i in 0..10u8 {
+            assert_eq!(result.assignments[&IpAddr::from([10, 0, 0, i])], label0);
+        }
+        let label1 = result.assignments[&IpAddr::from([10, 0, 1, 0])];
+        assert_ne!(label0, label1);
+        // representatives carry the scripts
+        let reps: Vec<_> = result.representatives.values().collect();
+        assert!(reps.iter().any(|r| r.contains(&"SLAVEOF <IP> <N>".to_string())));
+    }
+
+    #[test]
+    fn summary_orders_by_size_and_renders() {
+        use decoy_net::time::EXPERIMENT_START;
+        use decoy_store::{ConfigVariant, Event, EventKind, HoneypotId, InteractionLevel};
+        let store = EventStore::new();
+        let hp = HoneypotId::new(
+            Dbms::Redis,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+            0,
+        );
+        for (n, action) in [(6u8, "INFO"), (2u8, "KEYS *")] {
+            for i in 0..n {
+                store.log(Event {
+                    ts: EXPERIMENT_START,
+                    honeypot: hp,
+                    src: IpAddr::from([10, n, 0, i]),
+                    session: 1,
+                    kind: EventKind::Command {
+                        action: action.into(),
+                        raw: action.into(),
+                    },
+                });
+            }
+        }
+        let result = cluster_sources(&store, Some(Dbms::Redis), 0.05);
+        let summary = result.summary();
+        assert_eq!(summary.len(), 2);
+        assert_eq!(summary[0].members, 6);
+        assert_eq!(summary[0].representative, vec!["INFO".to_string()]);
+        assert_eq!(summary[1].members, 2);
+        let text = result.render_summary(10, 3);
+        assert!(text.contains("6 IPs"));
+        assert!(text.contains("INFO"));
+    }
+
+    #[test]
+    fn refine_splits_mixed_clusters() {
+        use crate::classify::BehaviorProfile;
+        let mut assignments = BTreeMap::new();
+        let a: IpAddr = "10.0.0.1".parse().unwrap();
+        let b: IpAddr = "10.0.0.2".parse().unwrap();
+        let c: IpAddr = "10.0.0.3".parse().unwrap();
+        assignments.insert(a, 0);
+        assignments.insert(b, 0);
+        assignments.insert(c, 0);
+        let mut result = ClusterResult {
+            assignments,
+            num_clusters: 1,
+            representatives: BTreeMap::new(),
+            dendrogram: Dendrogram::default(),
+            vocabulary: Vocabulary::new(),
+        };
+        let mut profiles = BTreeMap::new();
+        profiles.insert(
+            a,
+            BehaviorProfile {
+                scanning: true,
+                scouting: true,
+                exploiting: true,
+            },
+        );
+        for ip in [b, c] {
+            profiles.insert(
+                ip,
+                BehaviorProfile {
+                    scanning: true,
+                    ..Default::default()
+                },
+            );
+        }
+        let moved = refine_by_behavior(&mut result, &profiles);
+        assert_eq!(moved, 1); // the lone exploiter moved out
+        assert_eq!(result.num_clusters, 2);
+        assert_ne!(result.assignments[&a], result.assignments[&b]);
+        assert_eq!(result.assignments[&b], result.assignments[&c]);
+        // pure clusters are untouched on a second pass
+        assert_eq!(refine_by_behavior(&mut result, &profiles), 0);
+    }
+}

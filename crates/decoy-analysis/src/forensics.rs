@@ -1,0 +1,170 @@
+//! Forensic session reconstruction — render a source's captured activity
+//! the way the paper's Appendix E listings present it (Listing 1, 2, 4, ...):
+//! numbered command lines with volatile fields already masked, connection
+//! boundaries marked, and login attempts summarized.
+
+use decoy_store::{Dbms, EventKind, EventStore};
+use std::fmt::Write as _;
+use std::net::IpAddr;
+
+/// One reconstructed session (connection) from a source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionListing {
+    /// Honeypot family the session hit.
+    pub dbms: Dbms,
+    /// Session sequence number on that honeypot.
+    pub session: u64,
+    /// Masked lines in order.
+    pub lines: Vec<String>,
+}
+
+/// Reconstruct all sessions of `src` (optionally scoped to one family).
+pub fn sessions_of(store: &EventStore, src: IpAddr, dbms: Option<Dbms>) -> Vec<SessionListing> {
+    let mut sessions: Vec<SessionListing> = Vec::new();
+    for event in store.by_src(src) {
+        if let Some(d) = dbms {
+            if event.honeypot.dbms != d {
+                continue;
+            }
+        }
+        let key = (event.honeypot.dbms, event.session);
+        let line = match &event.kind {
+            EventKind::Connect => Some("NewConnect".to_string()),
+            EventKind::Disconnect => Some("Closed".to_string()),
+            EventKind::Command { action, .. } => Some(action.clone()),
+            EventKind::LoginAttempt {
+                username, success, ..
+            } => Some(format!(
+                "login {} as {username} ({})",
+                if *success { "accepted" } else { "rejected" },
+                "password masked"
+            )),
+            EventKind::Payload {
+                recognized,
+                preview,
+                ..
+            } => Some(match recognized {
+                Some(label) => format!("[{label}] {preview}"),
+                None => format!("[payload] {preview}"),
+            }),
+            EventKind::Malformed { detail } => Some(format!("[malformed] {detail}")),
+        };
+        match sessions.last_mut() {
+            Some(last) if (last.dbms, last.session) == key => {
+                if let Some(line) = line {
+                    last.lines.push(line);
+                }
+            }
+            _ => {
+                sessions.push(SessionListing {
+                    dbms: key.0,
+                    session: key.1,
+                    lines: line.into_iter().collect(),
+                });
+            }
+        }
+    }
+    sessions
+}
+
+/// Render a source's activity as a numbered, paper-style listing.
+pub fn render_listing(store: &EventStore, src: IpAddr, dbms: Option<Dbms>) -> String {
+    let mut out = String::new();
+    for listing in sessions_of(store, src, dbms) {
+        let _ = writeln!(
+            out,
+            "-- {} session {} --",
+            listing.dbms.label(),
+            listing.session
+        );
+        for (i, line) in listing.lines.iter().enumerate() {
+            let _ = writeln!(out, "{:>3}  {line}", i + 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoy_net::time::EXPERIMENT_START;
+    use decoy_store::{ConfigVariant, Event, HoneypotId, InteractionLevel};
+
+    fn log(store: &EventStore, session: u64, kind: EventKind) {
+        store.log(Event {
+            ts: EXPERIMENT_START,
+            honeypot: HoneypotId::new(
+                Dbms::Redis,
+                InteractionLevel::Medium,
+                ConfigVariant::Default,
+                0,
+            ),
+            src: "60.1.2.3".parse().unwrap(),
+            session,
+            kind,
+        });
+    }
+
+    #[test]
+    fn reconstructs_sessions_in_order_with_masking() {
+        let store = EventStore::new();
+        let src: IpAddr = "60.1.2.3".parse().unwrap();
+        log(&store, 1, EventKind::Connect);
+        log(
+            &store,
+            1,
+            EventKind::Command {
+                action: "SLAVEOF <IP> <N>".into(),
+                raw: "SLAVEOF 1.2.3.4 8886".into(),
+            },
+        );
+        log(&store, 1, EventKind::Disconnect);
+        log(&store, 2, EventKind::Connect);
+        log(
+            &store,
+            2,
+            EventKind::LoginAttempt {
+                username: "default".into(),
+                password: "secret".into(),
+                success: false,
+            },
+        );
+        log(&store, 2, EventKind::Disconnect);
+
+        let sessions = sessions_of(&store, src, Some(Dbms::Redis));
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(
+            sessions[0].lines,
+            vec!["NewConnect", "SLAVEOF <IP> <N>", "Closed"]
+        );
+        let listing = render_listing(&store, src, None);
+        assert!(listing.contains("-- Redis session 1 --"));
+        assert!(listing.contains("  2  SLAVEOF <IP> <N>"));
+        // credentials never appear in a listing
+        assert!(!listing.contains("secret"));
+        assert!(listing.contains("login rejected as default"));
+    }
+
+    #[test]
+    fn unknown_source_renders_empty() {
+        let store = EventStore::new();
+        let listing = render_listing(&store, "60.9.9.9".parse().unwrap(), None);
+        assert!(listing.is_empty());
+    }
+
+    #[test]
+    fn foreign_payloads_carry_their_label() {
+        let store = EventStore::new();
+        log(
+            &store,
+            3,
+            EventKind::Payload {
+                len: 14,
+                recognized: Some("jdwp-scan".into()),
+                preview: "JDWP-Handshake".into(),
+            },
+        );
+        let listing = render_listing(&store, "60.1.2.3".parse().unwrap(), None);
+        assert!(listing.contains("[jdwp-scan] JDWP-Handshake"));
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # decoy-analysis
+//!
+//! The paper's analysis pipeline (§4.3, §5, §6) over the standardized event
+//! store:
+//!
+//! * [`classify`] — the scanning / scouting / exploiting behavior rules.
+//! * [`tf`] — per-source action sequences and Term Frequency vectors (§6.1).
+//! * [`cluster`] — agglomerative hierarchical clustering with Ward linkage
+//!   (Lance–Williams recurrence, nearest-neighbor-chain algorithm).
+//! * [`tagging`] — campaign tags (P2PInfect, ABCbot, Kinsing, Lucifer,
+//!   ransom, CVE probes, ...) assigned from recognizable action patterns.
+//! * [`ecdf`] — empirical CDFs (client retention, Figures 3 and 5).
+//! * [`timeseries`] — hourly activity series (Figures 2, 6–9).
+//! * [`upset`] — cross-honeypot IP intersections (Figure 4).
+//! * [`tables`] — the aggregations behind Tables 5–12 and the §5/§6
+//!   headline statistics.
+//! * [`intel`] — synthetic threat-intelligence feeds reproducing the §6.2
+//!   coverage-gap measurement.
+//! * [`honeytokens`] — bait-credential reuse detection (§4.2's fake-data
+//!   objective and the honeytoken tripwire of the related work).
+//! * [`forensics`] — per-source session reconstruction in the paper's
+//!   Appendix E listing style.
+
+pub mod classify;
+pub mod cluster;
+pub mod ecdf;
+pub mod forensics;
+pub mod honeytokens;
+pub mod intel;
+pub mod tables;
+pub mod tagging;
+pub mod tf;
+pub mod timeseries;
+pub mod upset;
+
+pub use classify::{classify_sources, Behavior, BehaviorProfile};
+pub use cluster::{cluster_sources, Dendrogram};
+pub use ecdf::Ecdf;
+pub use tf::{action_sequences, TfVector, Vocabulary};

@@ -1,0 +1,607 @@
+//! The aggregations behind the paper's tables.
+//!
+//! * [`logins_by_country`] — Table 5 (top countries by login attempts, with
+//!   the per-DBMS split and the IPs-attempting / IPs-total ratio).
+//! * [`asn_table`] — Table 6 (top ASes by IP count with login distribution).
+//! * [`astype_login_ips`] — Table 7 (#IPs by AS type attempting logins).
+//! * [`exploit_countries`] — Table 10 (exploiting IPs by country × family).
+//! * [`astype_behavior`] — Table 11 (AS type × behavior class).
+//! * [`top_credentials`] — Table 12 (top usernames/passwords).
+//! * [`bruteforce_summary`] / [`scanning_summary`] — the §5 headline stats.
+
+use crate::classify::{classify_sources, Behavior};
+use decoy_geo::{AsType, GeoDb};
+use decoy_store::{Dbms, EventKind, EventStore};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::net::IpAddr;
+
+/// One row of Table 5.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountryLoginRow {
+    /// ISO country code ("??" for unmapped space).
+    pub country: String,
+    /// Total login attempts from the country.
+    pub logins: u64,
+    /// Distinct IPs that attempted at least one login.
+    pub ips_with_logins: usize,
+    /// Distinct IPs observed at all.
+    pub ips_total: usize,
+    /// Login attempts per DBMS.
+    pub per_dbms: BTreeMap<Dbms, u64>,
+}
+
+/// Build Table 5 rows, sorted by login attempts descending.
+pub fn logins_by_country(store: &EventStore, geo: &GeoDb) -> Vec<CountryLoginRow> {
+    let mut logins: HashMap<String, u64> = HashMap::new();
+    let mut per_dbms: HashMap<String, BTreeMap<Dbms, u64>> = HashMap::new();
+    let mut login_ips: HashMap<String, BTreeSet<IpAddr>> = HashMap::new();
+    let mut all_ips: HashMap<String, BTreeSet<IpAddr>> = HashMap::new();
+    store.fold((), |(), event| {
+        let country = geo
+            .lookup(event.src)
+            .map(|m| m.country)
+            .unwrap_or_else(|| "??".to_string());
+        all_ips.entry(country.clone()).or_default().insert(event.src);
+        if matches!(event.kind, EventKind::LoginAttempt { .. }) {
+            *logins.entry(country.clone()).or_insert(0) += 1;
+            *per_dbms
+                .entry(country.clone())
+                .or_default()
+                .entry(event.honeypot.dbms)
+                .or_insert(0) += 1;
+            login_ips.entry(country).or_default().insert(event.src);
+        }
+    });
+    let mut rows: Vec<CountryLoginRow> = all_ips
+        .keys()
+        .map(|country| CountryLoginRow {
+            country: country.clone(),
+            logins: logins.get(country).copied().unwrap_or(0),
+            ips_with_logins: login_ips.get(country).map(BTreeSet::len).unwrap_or(0),
+            ips_total: all_ips[country].len(),
+            per_dbms: per_dbms.get(country).cloned().unwrap_or_default(),
+        })
+        .collect();
+    rows.sort_by(|a, b| b.logins.cmp(&a.logins).then_with(|| a.country.cmp(&b.country)));
+    rows
+}
+
+/// One row of Table 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsnRow {
+    /// AS number.
+    pub asn: u32,
+    /// AS name (empty for unmapped).
+    pub name: String,
+    /// Distinct IPs from this AS.
+    pub ips: usize,
+    /// Share of all observed IPs.
+    pub share: f64,
+    /// Total login attempts.
+    pub logins: u64,
+    /// Login attempts per DBMS.
+    pub per_dbms: BTreeMap<Dbms, u64>,
+}
+
+/// Build Table 6 rows, sorted by IP count descending. Unmapped sources are
+/// aggregated under ASN 0.
+pub fn asn_table(store: &EventStore, geo: &GeoDb) -> Vec<AsnRow> {
+    let mut ips: HashMap<u32, BTreeSet<IpAddr>> = HashMap::new();
+    let mut logins: HashMap<u32, u64> = HashMap::new();
+    let mut per_dbms: HashMap<u32, BTreeMap<Dbms, u64>> = HashMap::new();
+    store.fold((), |(), event| {
+        let asn = geo.lookup(event.src).map(|m| m.asn).unwrap_or(0);
+        ips.entry(asn).or_default().insert(event.src);
+        if matches!(event.kind, EventKind::LoginAttempt { .. }) {
+            *logins.entry(asn).or_insert(0) += 1;
+            *per_dbms
+                .entry(asn)
+                .or_default()
+                .entry(event.honeypot.dbms)
+                .or_insert(0) += 1;
+        }
+    });
+    let total_ips: usize = ips.values().map(BTreeSet::len).sum();
+    let mut rows: Vec<AsnRow> = ips
+        .iter()
+        .map(|(&asn, set)| AsnRow {
+            asn,
+            name: geo
+                .record(asn)
+                .map(|r| r.name.clone())
+                .unwrap_or_default(),
+            ips: set.len(),
+            share: set.len() as f64 / total_ips.max(1) as f64,
+            logins: logins.get(&asn).copied().unwrap_or(0),
+            per_dbms: per_dbms.get(&asn).cloned().unwrap_or_default(),
+        })
+        .collect();
+    rows.sort_by(|a, b| b.ips.cmp(&a.ips).then_with(|| a.asn.cmp(&b.asn)));
+    rows
+}
+
+/// Table 7: distinct IPs that attempted logins, by AS type.
+pub fn astype_login_ips(store: &EventStore, geo: &GeoDb) -> BTreeMap<AsType, usize> {
+    let mut per_type: BTreeMap<AsType, BTreeSet<IpAddr>> = BTreeMap::new();
+    store.fold((), |(), event| {
+        if matches!(event.kind, EventKind::LoginAttempt { .. }) {
+            let as_type = geo
+                .lookup(event.src)
+                .map(|m| m.as_type)
+                .unwrap_or(AsType::Unknown);
+            per_type.entry(as_type).or_default().insert(event.src);
+        }
+    });
+    per_type.into_iter().map(|(t, s)| (t, s.len())).collect()
+}
+
+/// One row of Table 10.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploitCountryRow {
+    /// ISO country code.
+    pub country: String,
+    /// Total exploiting IPs.
+    pub ips: usize,
+    /// Exploiting IPs per honeypot family.
+    pub per_dbms: BTreeMap<Dbms, usize>,
+}
+
+/// Build Table 10: exploiting sources by country and family, sorted by
+/// total descending. `families` is the medium/high set.
+pub fn exploit_countries(
+    store: &EventStore,
+    geo: &GeoDb,
+    families: &[Dbms],
+) -> Vec<ExploitCountryRow> {
+    let mut per_country: BTreeMap<String, BTreeSet<IpAddr>> = BTreeMap::new();
+    let mut per_pair: BTreeMap<(String, Dbms), BTreeSet<IpAddr>> = BTreeMap::new();
+    for &dbms in families {
+        for (src, profile) in classify_sources(store, Some(dbms)) {
+            if !profile.exploiting {
+                continue;
+            }
+            let country = geo
+                .lookup(src)
+                .map(|m| m.country)
+                .unwrap_or_else(|| "??".to_string());
+            per_country.entry(country.clone()).or_default().insert(src);
+            per_pair.entry((country, dbms)).or_default().insert(src);
+        }
+    }
+    let mut rows: Vec<ExploitCountryRow> = per_country
+        .iter()
+        .map(|(country, set)| ExploitCountryRow {
+            country: country.clone(),
+            ips: set.len(),
+            per_dbms: families
+                .iter()
+                .map(|&d| {
+                    (
+                        d,
+                        per_pair
+                            .get(&(country.clone(), d))
+                            .map(BTreeSet::len)
+                            .unwrap_or(0),
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    rows.sort_by(|a, b| b.ips.cmp(&a.ips).then_with(|| a.country.cmp(&b.country)));
+    rows
+}
+
+/// Table 11: AS type × primary behavior class, over `families`.
+pub fn astype_behavior(
+    store: &EventStore,
+    geo: &GeoDb,
+    families: &[Dbms],
+) -> BTreeMap<AsType, BTreeMap<Behavior, usize>> {
+    // a source's profile is merged across families, then counted once
+    let mut merged: BTreeMap<IpAddr, crate::classify::BehaviorProfile> = BTreeMap::new();
+    for &dbms in families {
+        for (src, profile) in classify_sources(store, Some(dbms)) {
+            merged.entry(src).or_default().merge(profile);
+        }
+    }
+    let mut out: BTreeMap<AsType, BTreeMap<Behavior, usize>> = BTreeMap::new();
+    for (src, profile) in merged {
+        let as_type = geo
+            .lookup(src)
+            .map(|m| m.as_type)
+            .unwrap_or(AsType::Unknown);
+        *out.entry(as_type)
+            .or_default()
+            .entry(profile.primary())
+            .or_insert(0) += 1;
+    }
+    out
+}
+
+/// Table 12 shape: top-k usernames and passwords for one DBMS.
+#[derive(Debug, Clone, Default)]
+pub struct CredentialStats {
+    /// (username, attempts), descending.
+    pub top_usernames: Vec<(String, u64)>,
+    /// (password, attempts), descending.
+    pub top_passwords: Vec<(String, u64)>,
+    /// Distinct (username, password) combinations.
+    pub unique_combinations: usize,
+    /// Distinct usernames.
+    pub unique_usernames: usize,
+    /// Distinct passwords.
+    pub unique_passwords: usize,
+}
+
+/// Compute credential statistics for `dbms`, keeping the top `k` of each.
+pub fn top_credentials(store: &EventStore, dbms: Dbms, k: usize) -> CredentialStats {
+    let mut users: HashMap<String, u64> = HashMap::new();
+    let mut passwords: HashMap<String, u64> = HashMap::new();
+    let mut combos: BTreeSet<(String, String)> = BTreeSet::new();
+    for event in store.by_dbms(dbms) {
+        if let EventKind::LoginAttempt {
+            username, password, ..
+        } = &event.kind
+        {
+            *users.entry(username.clone()).or_insert(0) += 1;
+            *passwords.entry(password.clone()).or_insert(0) += 1;
+            combos.insert((username.clone(), password.clone()));
+        }
+    }
+    let top = |map: HashMap<String, u64>| {
+        let mut v: Vec<(String, u64)> = map.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    };
+    let unique_usernames = users.len();
+    let unique_passwords = passwords.len();
+    CredentialStats {
+        top_usernames: top(users),
+        top_passwords: top(passwords),
+        unique_combinations: combos.len(),
+        unique_usernames,
+        unique_passwords,
+    }
+}
+
+/// The §5 brute-force headline numbers.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BruteforceSummary {
+    /// Total login attempts across all DBMS.
+    pub total_logins: u64,
+    /// Login attempts per DBMS.
+    pub per_dbms: BTreeMap<Dbms, u64>,
+    /// Distinct sources that attempted at least one login.
+    pub clients: usize,
+    /// Mean attempts per such source.
+    pub avg_attempts_per_client: f64,
+}
+
+/// Compute the brute-force summary over the whole store.
+pub fn bruteforce_summary(store: &EventStore) -> BruteforceSummary {
+    let mut summary = BruteforceSummary::default();
+    let mut clients: BTreeSet<IpAddr> = BTreeSet::new();
+    store.fold((), |(), event| {
+        if matches!(event.kind, EventKind::LoginAttempt { .. }) {
+            summary.total_logins += 1;
+            *summary.per_dbms.entry(event.honeypot.dbms).or_insert(0) += 1;
+            clients.insert(event.src);
+        }
+    });
+    summary.clients = clients.len();
+    summary.avg_attempts_per_client = if clients.is_empty() {
+        0.0
+    } else {
+        summary.total_logins as f64 / clients.len() as f64
+    };
+    summary
+}
+
+/// The §5 control-group comparison: multi-service VMs vs single-service
+/// VMs ("Adversaries do not care whether a system runs multiple services").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ControlGroupSummary {
+    /// Distinct sources seen on single-service instances.
+    pub single_ips: usize,
+    /// Distinct sources seen on multi-service instances.
+    pub multi_ips: usize,
+    /// Sources seen on both.
+    pub overlap: usize,
+    /// Sources that brute-forced only single-service instances.
+    pub brute_single_only: usize,
+    /// Sources that brute-forced only multi-service instances.
+    pub brute_multi_only: usize,
+}
+
+/// Compute the §5 control-group comparison over the low-interaction fleet.
+pub fn control_group_summary(store: &EventStore) -> ControlGroupSummary {
+    use decoy_store::ConfigVariant;
+    let mut single: BTreeSet<IpAddr> = BTreeSet::new();
+    let mut multi: BTreeSet<IpAddr> = BTreeSet::new();
+    let mut brute_single: BTreeSet<IpAddr> = BTreeSet::new();
+    let mut brute_multi: BTreeSet<IpAddr> = BTreeSet::new();
+    store.fold((), |(), event| {
+        let is_login = matches!(event.kind, EventKind::LoginAttempt { .. });
+        match event.honeypot.config {
+            ConfigVariant::SingleService => {
+                single.insert(event.src);
+                if is_login {
+                    brute_single.insert(event.src);
+                }
+            }
+            ConfigVariant::MultiService => {
+                multi.insert(event.src);
+                if is_login {
+                    brute_multi.insert(event.src);
+                }
+            }
+            _ => {}
+        }
+    });
+    ControlGroupSummary {
+        overlap: single.intersection(&multi).count(),
+        brute_single_only: brute_single.difference(&brute_multi).count(),
+        brute_multi_only: brute_multi.difference(&brute_single).count(),
+        single_ips: single.len(),
+        multi_ips: multi.len(),
+    }
+}
+
+/// The §5 scanning-population summary.
+#[derive(Debug, Clone, Default)]
+pub struct ScanningSummary {
+    /// Distinct sources observed.
+    pub unique_ips: usize,
+    /// Sources on the institutional-scanner list.
+    pub institutional_ips: usize,
+    /// (country, distinct sources), descending.
+    pub country_counts: Vec<(String, usize)>,
+}
+
+/// Compute the scanning summary over the whole store.
+pub fn scanning_summary(store: &EventStore, geo: &GeoDb) -> ScanningSummary {
+    let sources = store.sources();
+    let mut per_country: HashMap<String, usize> = HashMap::new();
+    let mut institutional = 0usize;
+    for src in &sources {
+        let meta = geo.lookup(*src);
+        let country = meta
+            .as_ref()
+            .map(|m| m.country.clone())
+            .unwrap_or_else(|| "??".to_string());
+        *per_country.entry(country).or_insert(0) += 1;
+        if meta.map(|m| m.institutional).unwrap_or(false) {
+            institutional += 1;
+        }
+    }
+    let mut country_counts: Vec<(String, usize)> = per_country.into_iter().collect();
+    country_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ScanningSummary {
+        unique_ips: sources.len(),
+        institutional_ips: institutional,
+        country_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoy_net::time::EXPERIMENT_START;
+    use decoy_store::{ConfigVariant, Event, HoneypotId, InteractionLevel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    struct Fixture {
+        store: Arc<EventStore>,
+        geo: Arc<GeoDb>,
+        chinanet_ip: IpAddr,
+        censys_ip: IpAddr,
+        ru_ip: IpAddr,
+    }
+
+    fn fixture() -> Fixture {
+        let geo = GeoDb::builtin();
+        let mut rng = StdRng::seed_from_u64(9);
+        let chinanet_ip = IpAddr::V4(geo.sample_ip(4134, None, &mut rng).unwrap());
+        let censys_ip = IpAddr::V4(geo.sample_ip(398324, None, &mut rng).unwrap());
+        let ru_ip = IpAddr::V4(geo.sample_ip(208091, Some("RU"), &mut rng).unwrap());
+        let store = EventStore::new();
+        let hp = |dbms| HoneypotId::new(dbms, InteractionLevel::Low, ConfigVariant::MultiService, 0);
+        let log = |src: IpAddr, dbms, kind| {
+            store.log(Event {
+                ts: EXPERIMENT_START,
+                honeypot: hp(dbms),
+                src,
+                session: 1,
+                kind,
+            })
+        };
+        // censys scans only
+        log(censys_ip, Dbms::Mssql, EventKind::Connect);
+        // chinanet brute-forces MSSQL twice
+        for pw in ["123", "123456"] {
+            log(
+                chinanet_ip,
+                Dbms::Mssql,
+                EventKind::LoginAttempt {
+                    username: "sa".into(),
+                    password: pw.into(),
+                    success: false,
+                },
+            );
+        }
+        // the RU hoster hammers MSSQL
+        for _ in 0..10 {
+            log(
+                ru_ip,
+                Dbms::Mssql,
+                EventKind::LoginAttempt {
+                    username: "sa".into(),
+                    password: "P@ssw0rd".into(),
+                    success: false,
+                },
+            );
+        }
+        // one MySQL login from chinanet
+        log(
+            chinanet_ip,
+            Dbms::MySql,
+            EventKind::LoginAttempt {
+                username: "root".into(),
+                password: "root".into(),
+                success: false,
+            },
+        );
+        Fixture {
+            store,
+            geo,
+            chinanet_ip,
+            censys_ip,
+            ru_ip,
+        }
+    }
+
+    #[test]
+    fn table5_country_rows() {
+        let f = fixture();
+        let rows = logins_by_country(&f.store, &f.geo);
+        // RU tops by volume (10 logins)
+        assert_eq!(rows[0].country, "RU");
+        assert_eq!(rows[0].logins, 10);
+        assert_eq!(rows[0].ips_with_logins, 1);
+        assert_eq!(rows[0].per_dbms[&Dbms::Mssql], 10);
+        let cn = rows.iter().find(|r| r.country == "CN").unwrap();
+        assert_eq!(cn.logins, 3);
+        assert_eq!(cn.per_dbms[&Dbms::Mssql], 2);
+        assert_eq!(cn.per_dbms[&Dbms::MySql], 1);
+        // US row exists (censys) with zero logins
+        let us = rows.iter().find(|r| r.country == "US").unwrap();
+        assert_eq!(us.logins, 0);
+        assert_eq!(us.ips_total, 1);
+    }
+
+    #[test]
+    fn table6_asn_rows() {
+        let f = fixture();
+        let rows = asn_table(&f.store, &f.geo);
+        let chinanet = rows.iter().find(|r| r.asn == 4134).unwrap();
+        assert_eq!(chinanet.ips, 1);
+        assert_eq!(chinanet.logins, 3);
+        assert_eq!(chinanet.name, "Chinanet");
+        let censys = rows.iter().find(|r| r.asn == 398324).unwrap();
+        assert_eq!(censys.logins, 0);
+        let total_share: f64 = rows.iter().map(|r| r.share).sum();
+        assert!((total_share - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table7_astype_logins() {
+        let f = fixture();
+        let t = astype_login_ips(&f.store, &f.geo);
+        assert_eq!(t[&AsType::Telecom], 1); // chinanet
+        assert_eq!(t[&AsType::Hosting], 1); // AS208091
+        assert!(!t.contains_key(&AsType::Security)); // censys never logged in
+    }
+
+    #[test]
+    fn table12_credentials() {
+        let f = fixture();
+        let stats = top_credentials(&f.store, Dbms::Mssql, 10);
+        assert_eq!(stats.top_usernames[0], ("sa".to_string(), 12));
+        assert_eq!(stats.top_passwords[0], ("P@ssw0rd".to_string(), 10));
+        assert_eq!(stats.unique_combinations, 3);
+        assert_eq!(stats.unique_usernames, 1);
+        assert_eq!(stats.unique_passwords, 3);
+    }
+
+    #[test]
+    fn bruteforce_and_scanning_summaries() {
+        let f = fixture();
+        let b = bruteforce_summary(&f.store);
+        assert_eq!(b.total_logins, 13);
+        assert_eq!(b.per_dbms[&Dbms::Mssql], 12);
+        assert_eq!(b.per_dbms[&Dbms::MySql], 1);
+        assert_eq!(b.clients, 2);
+        assert!((b.avg_attempts_per_client - 6.5).abs() < 1e-12);
+
+        let s = scanning_summary(&f.store, &f.geo);
+        assert_eq!(s.unique_ips, 3);
+        assert_eq!(s.institutional_ips, 1);
+        assert_eq!(s.country_counts.len(), 3);
+        // sanity: the fixture IPs resolve where expected
+        assert_eq!(f.geo.lookup(f.censys_ip).unwrap().country, "US");
+        assert_eq!(f.geo.lookup(f.ru_ip).unwrap().country, "RU");
+        assert_eq!(f.geo.lookup(f.chinanet_ip).unwrap().country, "CN");
+    }
+
+    #[test]
+    fn control_group_accounting() {
+        use decoy_store::ConfigVariant;
+        let geo = GeoDb::builtin();
+        let _ = &geo;
+        let store = EventStore::new();
+        let hp = |config| {
+            HoneypotId::new(Dbms::Mssql, InteractionLevel::Low, config, 0)
+        };
+        let log = |src: IpAddr, config, kind| {
+            store.log(Event {
+                ts: EXPERIMENT_START,
+                honeypot: hp(config),
+                src,
+                session: 1,
+                kind,
+            })
+        };
+        let a: IpAddr = "60.0.0.1".parse().unwrap(); // both groups, brutes multi only
+        let b: IpAddr = "60.0.0.2".parse().unwrap(); // single only, brutes there
+        let c: IpAddr = "60.0.0.3".parse().unwrap(); // multi only, scan only
+        let login = EventKind::LoginAttempt {
+            username: "sa".into(),
+            password: "1".into(),
+            success: false,
+        };
+        log(a, ConfigVariant::SingleService, EventKind::Connect);
+        log(a, ConfigVariant::MultiService, login.clone());
+        log(b, ConfigVariant::SingleService, login.clone());
+        log(c, ConfigVariant::MultiService, EventKind::Connect);
+        let summary = control_group_summary(&store);
+        assert_eq!(summary.single_ips, 2);
+        assert_eq!(summary.multi_ips, 2);
+        assert_eq!(summary.overlap, 1);
+        assert_eq!(summary.brute_single_only, 1); // b
+        assert_eq!(summary.brute_multi_only, 1); // a
+    }
+
+    #[test]
+    fn table10_and_table11_exploiters() {
+        let f = fixture();
+        // add an exploiting source on medium Redis from Chinanet
+        let hp = HoneypotId::new(
+            Dbms::Redis,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+            0,
+        );
+        f.store.log(Event {
+            ts: EXPERIMENT_START,
+            honeypot: hp,
+            src: f.chinanet_ip,
+            session: 2,
+            kind: EventKind::Command {
+                action: "SLAVEOF <IP> <N>".into(),
+                raw: "SLAVEOF 1.2.3.4 8886".into(),
+            },
+        });
+        let families = [Dbms::Elastic, Dbms::MongoDb, Dbms::Postgres, Dbms::Redis];
+        let rows = exploit_countries(&f.store, &f.geo, &families);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].country, "CN");
+        assert_eq!(rows[0].per_dbms[&Dbms::Redis], 1);
+        assert_eq!(rows[0].per_dbms[&Dbms::Postgres], 0);
+
+        let t11 = astype_behavior(&f.store, &f.geo, &families);
+        assert_eq!(t11[&AsType::Telecom][&Behavior::Exploiting], 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! Term Frequency vectorization of action sequences (§6.1).
+//!
+//! Each source IP's observed action sequence is a "document"; each
+//! normalized action is a "term". `tf(t, d)` is the relative frequency of
+//! term `t` in document `d` (duplicates included), exactly as the paper
+//! defines it. Vectors are dense over a shared [`Vocabulary`] so Euclidean
+//! distances (the clustering metric) are straightforward.
+
+use decoy_store::{Dbms, EventKind, EventStore};
+use std::collections::BTreeMap;
+use std::net::IpAddr;
+
+/// Bidirectional term ↔ index mapping shared by a set of documents.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    terms: Vec<String>,
+    index: BTreeMap<String, usize>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Index of `term`, inserting it if new.
+    pub fn intern(&mut self, term: &str) -> usize {
+        if let Some(&i) = self.index.get(term) {
+            return i;
+        }
+        let i = self.terms.len();
+        self.terms.push(term.to_string());
+        self.index.insert(term.to_string(), i);
+        i
+    }
+
+    /// Index of `term` if known.
+    pub fn get(&self, term: &str) -> Option<usize> {
+        self.index.get(term).copied()
+    }
+
+    /// The term at `index`.
+    pub fn term(&self, index: usize) -> Option<&str> {
+        self.terms.get(index).map(String::as_str)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// A dense TF vector over a [`Vocabulary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TfVector {
+    /// Relative frequencies; `values.len() == vocabulary.len()` at build
+    /// time (older vectors are implicitly zero-extended by [`TfVector::distance_sq`]).
+    pub values: Vec<f64>,
+    /// Total number of terms in the underlying document.
+    pub total_terms: usize,
+}
+
+impl TfVector {
+    /// Build from a document (sequence of terms), interning new terms.
+    pub fn from_terms(terms: &[String], vocab: &mut Vocabulary) -> Self {
+        let mut counts: Vec<f64> = vec![0.0; vocab.len()];
+        for term in terms {
+            let idx = vocab.intern(term);
+            if idx >= counts.len() {
+                counts.resize(idx + 1, 0.0);
+            }
+            counts[idx] += 1.0;
+        }
+        let total = terms.len().max(1) as f64;
+        for v in &mut counts {
+            *v /= total;
+        }
+        TfVector {
+            values: counts,
+            total_terms: terms.len(),
+        }
+    }
+
+    /// Squared Euclidean distance, treating missing trailing dimensions as
+    /// zero (vectors built before the vocabulary grew).
+    pub fn distance_sq(&self, other: &TfVector) -> f64 {
+        let n = self.values.len().max(other.values.len());
+        let mut sum = 0.0;
+        for i in 0..n {
+            let a = self.values.get(i).copied().unwrap_or(0.0);
+            let b = other.values.get(i).copied().unwrap_or(0.0);
+            let d = a - b;
+            sum += d * d;
+        }
+        sum
+    }
+
+    /// Euclidean distance.
+    pub fn distance(&self, other: &TfVector) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+}
+
+/// Extract the per-source action sequences ("documents") for one DBMS, in
+/// event order. Terms are: normalized command actions, `LOGIN` for
+/// authentication attempts, the recognized label for foreign payloads, and
+/// `MALFORMED` for grammar violations. Connects/disconnects carry no
+/// behavioral signal and are excluded (they would swamp the TF mass of
+/// scanners' documents).
+pub fn action_sequences(
+    store: &EventStore,
+    dbms: Option<Dbms>,
+) -> BTreeMap<IpAddr, Vec<String>> {
+    let events = match dbms {
+        Some(d) => store.by_dbms(d),
+        None => store.all(),
+    };
+    let mut docs: BTreeMap<IpAddr, Vec<String>> = BTreeMap::new();
+    for event in &events {
+        let term = match &event.kind {
+            EventKind::Connect | EventKind::Disconnect => None,
+            EventKind::LoginAttempt { .. } => Some("LOGIN".to_string()),
+            EventKind::Command { action, .. } => Some(action.clone()),
+            EventKind::Payload { recognized, .. } => Some(
+                recognized
+                    .clone()
+                    .unwrap_or_else(|| "PAYLOAD".to_string()),
+            ),
+            EventKind::Malformed { .. } => Some("MALFORMED".to_string()),
+        };
+        // Every connecting source gets a (possibly empty) document so that
+        // scanners appear in the clustering input too.
+        let doc = docs.entry(event.src).or_default();
+        if let Some(term) = term {
+            doc.push(term);
+        }
+    }
+    docs
+}
+
+/// Vectorize a set of documents under one shared vocabulary; returns
+/// `(sources, vectors, vocabulary)` with parallel ordering.
+pub fn vectorize(
+    docs: &BTreeMap<IpAddr, Vec<String>>,
+) -> (Vec<IpAddr>, Vec<TfVector>, Vocabulary) {
+    let mut vocab = Vocabulary::new();
+    let mut sources = Vec::with_capacity(docs.len());
+    let mut vectors = Vec::with_capacity(docs.len());
+    for (src, terms) in docs {
+        sources.push(*src);
+        vectors.push(TfVector::from_terms(terms, &mut vocab));
+    }
+    (sources, vectors, vocab)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn tf_matches_paper_definition() {
+        let mut vocab = Vocabulary::new();
+        // document: [SET, SET, GET] → tf(SET)=2/3, tf(GET)=1/3
+        let v = TfVector::from_terms(&terms(&["SET", "SET", "GET"]), &mut vocab);
+        assert_eq!(v.total_terms, 3);
+        assert!((v.values[vocab.get("SET").unwrap()] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((v.values[vocab.get("GET").unwrap()] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_document_is_zero_vector() {
+        let mut vocab = Vocabulary::new();
+        vocab.intern("SET");
+        let v = TfVector::from_terms(&[], &mut vocab);
+        assert_eq!(v.total_terms, 0);
+        assert!(v.values.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn distances_tolerate_vocabulary_growth() {
+        let mut vocab = Vocabulary::new();
+        let a = TfVector::from_terms(&terms(&["SET"]), &mut vocab);
+        let b = TfVector::from_terms(&terms(&["GET"]), &mut vocab);
+        // a was built before GET existed: len 1 vs len 2
+        assert_eq!(a.values.len(), 1);
+        assert_eq!(b.values.len(), 2);
+        assert!((a.distance_sq(&b) - 2.0).abs() < 1e-12);
+        assert!((a.distance(&b) - 2.0_f64.sqrt()).abs() < 1e-12);
+        // identical documents are at distance zero regardless of when built
+        let a2 = TfVector::from_terms(&terms(&["SET"]), &mut vocab);
+        assert_eq!(a.distance_sq(&a2), 0.0);
+    }
+
+    #[test]
+    fn hash_variant_sequences_vectorize_identically() {
+        // The motivating example of §6.1: DELETE /tmp/hash1 vs hash2 —
+        // after masking both are the same term, so TF vectors coincide.
+        let mut vocab = Vocabulary::new();
+        let doc1 = terms(&["DELETE /tmp/<HASH>", "LOGIN"]);
+        let doc2 = terms(&["DELETE /tmp/<HASH>", "LOGIN"]);
+        let v1 = TfVector::from_terms(&doc1, &mut vocab);
+        let v2 = TfVector::from_terms(&doc2, &mut vocab);
+        assert_eq!(v1.distance_sq(&v2), 0.0);
+    }
+
+    #[test]
+    fn vocabulary_intern_is_idempotent() {
+        let mut vocab = Vocabulary::new();
+        let a = vocab.intern("INFO");
+        let b = vocab.intern("INFO");
+        assert_eq!(a, b);
+        assert_eq!(vocab.len(), 1);
+        assert_eq!(vocab.term(0), Some("INFO"));
+        assert_eq!(vocab.term(1), None);
+        assert!(!vocab.is_empty());
+    }
+
+    #[test]
+    fn sequences_from_store() {
+        use decoy_net::time::EXPERIMENT_START;
+        use decoy_store::{ConfigVariant, Event, HoneypotId, InteractionLevel};
+        let store = EventStore::new();
+        let src: IpAddr = "192.0.2.10".parse().unwrap();
+        let hp = HoneypotId::new(
+            Dbms::Redis,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+            0,
+        );
+        for kind in [
+            EventKind::Connect,
+            EventKind::LoginAttempt {
+                username: "u".into(),
+                password: "p".into(),
+                success: false,
+            },
+            EventKind::Command {
+                action: "KEYS *".into(),
+                raw: "KEYS *".into(),
+            },
+            EventKind::Disconnect,
+        ] {
+            store.log(Event {
+                ts: EXPERIMENT_START,
+                honeypot: hp,
+                src,
+                session: 1,
+                kind,
+            });
+        }
+        let docs = action_sequences(&store, Some(Dbms::Redis));
+        assert_eq!(docs[&src], terms(&["LOGIN", "KEYS *"]));
+        let (sources, vectors, vocab) = vectorize(&docs);
+        assert_eq!(sources, vec![src]);
+        assert_eq!(vectors.len(), 1);
+        assert_eq!(vocab.len(), 2);
+    }
+}

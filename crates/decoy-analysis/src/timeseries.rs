@@ -1,0 +1,169 @@
+//! Hourly activity series (Figure 2, Figures 6–9).
+//!
+//! For each hour of the observation window: the number of distinct client
+//! IPs connecting, and the cumulative count of never-before-seen IPs — the
+//! two curves of the paper's temporal-distribution figures.
+
+use decoy_net::time::Timestamp;
+use decoy_store::{Dbms, EventStore};
+use std::collections::HashSet;
+use std::net::IpAddr;
+
+/// One hourly bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HourBucket {
+    /// Distinct client IPs seen this hour.
+    pub unique_clients: usize,
+    /// Clients seen this hour that had never appeared before.
+    pub new_clients: usize,
+    /// Cumulative distinct clients up to and including this hour.
+    pub cumulative_clients: usize,
+}
+
+/// The full series over `[origin, origin + hours)`.
+#[derive(Debug, Clone)]
+pub struct HourlySeries {
+    /// Series origin.
+    pub origin: Timestamp,
+    /// One bucket per hour.
+    pub buckets: Vec<HourBucket>,
+}
+
+impl HourlySeries {
+    /// Mean distinct clients per hour (the paper's "on average we observe
+    /// 50 clients probing our honeypots every hour").
+    pub fn mean_clients_per_hour(&self) -> f64 {
+        if self.buckets.is_empty() {
+            return 0.0;
+        }
+        self.buckets.iter().map(|b| b.unique_clients).sum::<usize>() as f64
+            / self.buckets.len() as f64
+    }
+
+    /// Mean previously-unseen clients per hour ("7 previously unseen
+    /// clients each hour").
+    pub fn mean_new_clients_per_hour(&self) -> f64 {
+        if self.buckets.is_empty() {
+            return 0.0;
+        }
+        self.buckets.iter().map(|b| b.new_clients).sum::<usize>() as f64
+            / self.buckets.len() as f64
+    }
+
+    /// Total distinct clients over the window.
+    pub fn total_unique_clients(&self) -> usize {
+        self.buckets
+            .last()
+            .map(|b| b.cumulative_clients)
+            .unwrap_or(0)
+    }
+}
+
+/// Build the hourly series for honeypots of `dbms` (all when `None`).
+/// Events outside `[origin, origin + hours·1h)` are ignored.
+pub fn hourly_series(
+    store: &EventStore,
+    dbms: Option<Dbms>,
+    origin: Timestamp,
+    hours: usize,
+) -> HourlySeries {
+    let events = match dbms {
+        Some(d) => store.by_dbms(d),
+        None => store.all(),
+    };
+    let mut per_hour: Vec<HashSet<IpAddr>> = vec![HashSet::new(); hours];
+    for event in &events {
+        if event.ts < origin {
+            continue;
+        }
+        let h = event.ts.hours_since(origin) as usize;
+        if h < hours {
+            per_hour[h].insert(event.src);
+        }
+    }
+    let mut seen: HashSet<IpAddr> = HashSet::new();
+    let mut buckets = Vec::with_capacity(hours);
+    for hour_set in per_hour {
+        let mut new_clients = 0;
+        for ip in &hour_set {
+            if seen.insert(*ip) {
+                new_clients += 1;
+            }
+        }
+        buckets.push(HourBucket {
+            unique_clients: hour_set.len(),
+            new_clients,
+            cumulative_clients: seen.len(),
+        });
+    }
+    HourlySeries { origin, buckets }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoy_net::time::{EXPERIMENT_START, MILLIS_PER_HOUR};
+    use decoy_store::{ConfigVariant, Event, EventKind, HoneypotId, InteractionLevel};
+
+    fn log_at(store: &EventStore, src: u8, hour: u64) {
+        store.log(Event {
+            ts: EXPERIMENT_START.add_millis(hour * MILLIS_PER_HOUR + 60_000),
+            honeypot: HoneypotId::new(
+                Dbms::MySql,
+                InteractionLevel::Low,
+                ConfigVariant::MultiService,
+                0,
+            ),
+            src: IpAddr::from([203, 0, 113, src]),
+            session: 1,
+            kind: EventKind::Connect,
+        });
+    }
+
+    #[test]
+    fn buckets_and_cumulative_counts() {
+        let store = EventStore::new();
+        // hour 0: ips 1, 2; hour 1: ips 2, 3; hour 3: ip 1 again
+        log_at(&store, 1, 0);
+        log_at(&store, 2, 0);
+        log_at(&store, 2, 1);
+        log_at(&store, 3, 1);
+        log_at(&store, 1, 3);
+        let s = hourly_series(&store, Some(Dbms::MySql), EXPERIMENT_START, 4);
+        assert_eq!(s.buckets[0], HourBucket { unique_clients: 2, new_clients: 2, cumulative_clients: 2 });
+        assert_eq!(s.buckets[1], HourBucket { unique_clients: 2, new_clients: 1, cumulative_clients: 3 });
+        assert_eq!(s.buckets[2], HourBucket { unique_clients: 0, new_clients: 0, cumulative_clients: 3 });
+        assert_eq!(s.buckets[3], HourBucket { unique_clients: 1, new_clients: 0, cumulative_clients: 3 });
+        assert_eq!(s.total_unique_clients(), 3);
+        assert!((s.mean_clients_per_hour() - 5.0 / 4.0).abs() < 1e-12);
+        assert!((s.mean_new_clients_per_hour() - 3.0 / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn events_outside_window_are_ignored() {
+        let store = EventStore::new();
+        log_at(&store, 1, 0);
+        log_at(&store, 2, 100); // beyond a 4-hour window
+        let s = hourly_series(&store, None, EXPERIMENT_START, 4);
+        assert_eq!(s.total_unique_clients(), 1);
+    }
+
+    #[test]
+    fn multiple_events_same_ip_same_hour_count_once() {
+        let store = EventStore::new();
+        for _ in 0..10 {
+            log_at(&store, 7, 2);
+        }
+        let s = hourly_series(&store, None, EXPERIMENT_START, 4);
+        assert_eq!(s.buckets[2].unique_clients, 1);
+    }
+
+    #[test]
+    fn empty_series() {
+        let store = EventStore::new();
+        let s = hourly_series(&store, None, EXPERIMENT_START, 0);
+        assert_eq!(s.total_unique_clients(), 0);
+        assert_eq!(s.mean_clients_per_hour(), 0.0);
+        assert_eq!(s.mean_new_clients_per_hour(), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates Section 5 of the paper and times the analysis behind it.
+//! Run: `cargo bench -p decoy-bench --bench sec5_summary`
+
+#![allow(unused_imports)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decoy_analysis::classify::classify_sources;
+use decoy_analysis::ecdf::{retention_days, Ecdf};
+use decoy_analysis::intel::{coverage, IntelFeed};
+use decoy_analysis::tables;
+use decoy_analysis::tagging::tag_sources;
+use decoy_analysis::timeseries::hourly_series;
+use decoy_analysis::upset::upset;
+use decoy_core::report::MED_HIGH_FAMILIES;
+use decoy_net::time::EXPERIMENT_START;
+use decoy_store::{Dbms, EventStore, InteractionLevel};
+use std::hint::black_box;
+use std::sync::Arc;
+
+#[allow(unused_variables, unused_imports, clippy::no_effect_underscore_binding)]
+fn bench(c: &mut Criterion) {
+    decoy_bench::print_section("Section 5");
+    let result = decoy_bench::shared_run();
+    let low: Arc<EventStore> = EventStore::from_events(
+        result
+            .store
+            .filter(|e| e.honeypot.level == InteractionLevel::Low),
+    );
+    let med_high: Arc<EventStore> = EventStore::from_events(
+        result
+            .store
+            .filter(|e| e.honeypot.level != InteractionLevel::Low),
+    );
+    let low = &low;
+    let med_high = &med_high;
+    let geo = &result.geo;
+    c.bench_function("sec5_summaries", |b| {
+        b.iter(|| black_box((tables::scanning_summary(low, geo), tables::bruteforce_summary(low))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // experiment analyses run hundreds of ms per iteration; 10 samples keep
+    // the full `cargo bench` sweep in minutes
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! # decoy-bench
+//!
+//! Criterion benchmark targets, one per table/figure of the paper (each
+//! prints the regenerated artifact next to the paper's values, then times
+//! the analysis that produces it) plus protocol/clustering micro-benches
+//! and the ablation benches called out in DESIGN.md.
+//!
+//! All experiment benches share one direct-mode run (fixed seed and scale)
+//! cached in a `OnceLock`, so `cargo bench` regenerates every artifact from
+//! the same dataset — like the paper's pipeline operating on one capture.
+
+use decoy_core::runner::{run, ExperimentConfig, ExperimentResult};
+use decoy_core::Report;
+use std::sync::OnceLock;
+
+/// Scale of the shared benchmark dataset (2 % of paper volume keeps the
+/// full `cargo bench` run in minutes while preserving every table's shape).
+pub const BENCH_SCALE: f64 = 0.02;
+/// Seed of the shared benchmark dataset.
+pub const BENCH_SEED: u64 = 20240322;
+
+static SHARED: OnceLock<ExperimentResult> = OnceLock::new();
+static REPORT: OnceLock<Report> = OnceLock::new();
+
+/// The shared direct-mode experiment result (computed once per process).
+pub fn shared_run() -> &'static ExperimentResult {
+    SHARED.get_or_init(|| {
+        let runtime = tokio::runtime::Builder::new_current_thread()
+            .enable_all()
+            .build()
+            .expect("tokio runtime");
+        runtime
+            .block_on(run(ExperimentConfig::direct(BENCH_SEED, BENCH_SCALE)))
+            .expect("experiment run")
+    })
+}
+
+/// The full report over the shared run.
+pub fn shared_report() -> &'static Report {
+    REPORT.get_or_init(|| Report::generate(shared_run()))
+}
+
+/// Print one report section (the artifact regeneration step of each bench).
+pub fn print_section(id: &str) {
+    let report = shared_report();
+    match report.section(id) {
+        Some(section) => {
+            println!("\n==== {} — {} ====", section.id, section.title);
+            println!("{}", section.body);
+        }
+        None => println!("section {id} missing"),
+    }
+}

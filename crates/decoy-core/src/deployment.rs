@@ -1,0 +1,267 @@
+//! The Table 4 deployment plan.
+//!
+//! | Level | DBMS | Instances (paper) | Configuration |
+//! |---|---|---|---|
+//! | Low | MySQL/PostgreSQL/Redis/MSSQL | 50 each | multi-service VMs |
+//! | Low | MySQL/PostgreSQL/Redis/MSSQL | 5 each | single-service VMs (control) |
+//! | Medium | Redis | 10 + 10 | default + fake data |
+//! | Medium | PostgreSQL | 10 + 10 | default + login disabled |
+//! | Medium | Elasticsearch | 10 | default |
+//! | High | MongoDB | 8 | fake data, eight countries |
+//!
+//! Instance counts scale down with the experiment (the per-source analyses
+//! are instance-count-invariant); per-instance seeds are derived
+//! deterministically so network and direct modes bait identical fake data.
+
+use decoy_agents::actors::TargetSelector;
+use decoy_store::{ConfigVariant, Dbms, HoneypotId, InteractionLevel};
+use std::net::SocketAddr;
+
+/// Where the paper's eight MongoDB honeypots were hosted (§4.2).
+pub const MONGO_COUNTRIES: [&str; 8] = ["AU", "CA", "DE", "IN", "NL", "SG", "GB", "US"];
+
+/// One planned honeypot instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceRef {
+    /// Identity.
+    pub id: HoneypotId,
+    /// Deterministic seed for the instance's bait data.
+    pub seed: u64,
+    /// Bound address once the network mode spawned it.
+    pub addr: Option<SocketAddr>,
+}
+
+/// The full deployment.
+#[derive(Debug, Clone, Default)]
+pub struct DeploymentPlan {
+    /// All instances in declaration order.
+    pub instances: Vec<InstanceRef>,
+}
+
+impl DeploymentPlan {
+    /// The paper's deployment (278 instances).
+    pub fn paper(seed: u64) -> Self {
+        Self::scaled(seed, 1.0)
+    }
+
+    /// A scaled deployment: each group keeps at least one instance (and the
+    /// control groups at least one per DBMS) so every configuration variant
+    /// of §4.2 stays observable.
+    pub fn scaled(seed: u64, scale: f64) -> Self {
+        Self::scaled_with(seed, scale, false)
+    }
+
+    /// Like [`DeploymentPlan::scaled`], optionally adding the §7 extension
+    /// honeypots (medium MySQL, medium CouchDB).
+    pub fn scaled_with(seed: u64, scale: f64, extensions: bool) -> Self {
+        let n = |paper_count: usize| -> u16 {
+            ((paper_count as f64 * scale).round() as u16).max(1)
+        };
+        let mut instances = Vec::new();
+        let mut push = |dbms, level, config, count: u16| {
+            for instance in 0..count {
+                let id = HoneypotId::new(dbms, level, config, instance);
+                instances.push(InstanceRef {
+                    id,
+                    seed: instance_seed(seed, id),
+                    addr: None,
+                });
+            }
+        };
+        use ConfigVariant::*;
+        use InteractionLevel::*;
+        for dbms in [Dbms::MySql, Dbms::Postgres, Dbms::Redis, Dbms::Mssql] {
+            push(dbms, Low, MultiService, n(50));
+            push(dbms, Low, SingleService, n(5));
+        }
+        push(Dbms::Redis, Medium, Default, n(10));
+        push(Dbms::Redis, Medium, FakeData, n(10));
+        push(Dbms::Postgres, Medium, Default, n(10));
+        push(Dbms::Postgres, Medium, LoginDisabled, n(10));
+        push(Dbms::Elastic, Medium, Default, n(10));
+        push(Dbms::MongoDb, High, FakeData, n(8));
+        if extensions {
+            push(Dbms::MySql, Medium, Default, n(10));
+            push(Dbms::CouchDb, Medium, FakeData, n(8));
+        }
+        DeploymentPlan { instances }
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// True when the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Instances matching a target selector.
+    pub fn matching(&self, sel: &TargetSelector) -> Vec<usize> {
+        self.instances
+            .iter()
+            .enumerate()
+            .filter(|(_, inst)| {
+                inst.id.dbms == sel.dbms
+                    && inst.id.level == sel.level
+                    && sel.config.map(|c| inst.id.config == c).unwrap_or(true)
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Deterministically pick the instance a given source contacts for a
+    /// selector (stable across runs and modes: same source, same instance).
+    pub fn pick(&self, sel: &TargetSelector, src: std::net::Ipv4Addr) -> Option<usize> {
+        let candidates = self.matching(sel);
+        if candidates.is_empty() {
+            return None;
+        }
+        let h = u32::from(src).wrapping_mul(0x9e37_79b9) as usize;
+        Some(candidates[h % candidates.len()])
+    }
+}
+
+/// Stable per-instance seed.
+pub fn instance_seed(base: u64, id: HoneypotId) -> u64 {
+    let mut h = base ^ 0x6465_636f_795f_6462; // "decoy_db"
+    for component in [
+        id.dbms as u64,
+        id.level as u64,
+        id.config as u64,
+        id.instance as u64,
+    ] {
+        h = (h ^ component).wrapping_mul(0x100_0000_01b3).rotate_left(17);
+    }
+    h
+}
+
+/// The fake-data Redis `(key, value)` entries for an instance seed — shared
+/// by the honeypot loader and the direct-mode emitter.
+pub fn fake_redis_entries(seed: u64) -> Vec<(String, String)> {
+    let mut generator = decoy_fakedata::FakeDataGenerator::new(seed);
+    // The keyspace is a BTreeMap: duplicate usernames overwrite (last
+    // wins) and KEYS answers in sorted order. Mirroring both here makes
+    // direct-mode harvests byte-identical to network mode.
+    let map: std::collections::BTreeMap<String, String> = generator
+        .logins(decoy_honeypots::deploy::REDIS_FAKE_ENTRIES)
+        .into_iter()
+        .map(|l| (format!("user:{}", l.username), l.password))
+        .collect();
+    map.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_plan_has_278_instances() {
+        let plan = DeploymentPlan::paper(1);
+        assert_eq!(plan.len(), 278);
+        let low = plan
+            .instances
+            .iter()
+            .filter(|i| i.id.level == InteractionLevel::Low)
+            .count();
+        let medium = plan
+            .instances
+            .iter()
+            .filter(|i| i.id.level == InteractionLevel::Medium)
+            .count();
+        let high = plan
+            .instances
+            .iter()
+            .filter(|i| i.id.level == InteractionLevel::High)
+            .count();
+        assert_eq!((low, medium, high), (220, 50, 8));
+    }
+
+    #[test]
+    fn extension_plan_adds_the_section7_honeypots() {
+        let base = DeploymentPlan::scaled(1, 0.1);
+        let extended = DeploymentPlan::scaled_with(1, 0.1, true);
+        assert!(extended.len() > base.len());
+        assert!(extended
+            .instances
+            .iter()
+            .any(|i| i.id.dbms == Dbms::CouchDb));
+        assert!(extended.instances.iter().any(|i| i.id.dbms == Dbms::MySql
+            && i.id.level == InteractionLevel::Medium));
+        assert!(!base.instances.iter().any(|i| i.id.dbms == Dbms::CouchDb));
+    }
+
+    #[test]
+    fn scaled_plan_keeps_every_variant() {
+        let plan = DeploymentPlan::scaled(1, 0.01);
+        use ConfigVariant::*;
+        use InteractionLevel::*;
+        for (dbms, level, config) in [
+            (Dbms::MySql, Low, MultiService),
+            (Dbms::MySql, Low, SingleService),
+            (Dbms::Redis, Medium, Default),
+            (Dbms::Redis, Medium, FakeData),
+            (Dbms::Postgres, Medium, Default),
+            (Dbms::Postgres, Medium, LoginDisabled),
+            (Dbms::Elastic, Medium, Default),
+            (Dbms::MongoDb, High, FakeData),
+        ] {
+            assert!(
+                plan.instances.iter().any(|i| i.id.dbms == dbms
+                    && i.id.level == level
+                    && i.id.config == config),
+                "{dbms:?}/{level:?}/{config:?} missing at small scale"
+            );
+        }
+    }
+
+    #[test]
+    fn selector_matching_and_stable_pick() {
+        let plan = DeploymentPlan::scaled(1, 0.1);
+        let sel = TargetSelector::medium(Dbms::Postgres, Some(ConfigVariant::LoginDisabled));
+        let matches = plan.matching(&sel);
+        assert!(!matches.is_empty());
+        for &i in &matches {
+            assert_eq!(plan.instances[i].id.config, ConfigVariant::LoginDisabled);
+        }
+        let src = std::net::Ipv4Addr::new(60, 1, 2, 3);
+        assert_eq!(plan.pick(&sel, src), plan.pick(&sel, src));
+        // unknown selector
+        let bogus = TargetSelector {
+            dbms: Dbms::MySql,
+            level: InteractionLevel::High,
+            config: None,
+        };
+        assert_eq!(plan.pick(&bogus, src), None);
+    }
+
+    #[test]
+    fn instance_seeds_are_distinct_and_stable() {
+        let plan_a = DeploymentPlan::paper(7);
+        let plan_b = DeploymentPlan::paper(7);
+        assert_eq!(plan_a.instances, plan_b.instances);
+        let seeds: std::collections::HashSet<u64> =
+            plan_a.instances.iter().map(|i| i.seed).collect();
+        assert_eq!(seeds.len(), plan_a.len(), "seed collision");
+        let plan_c = DeploymentPlan::paper(8);
+        assert_ne!(plan_a.instances[0].seed, plan_c.instances[0].seed);
+    }
+
+    #[test]
+    fn fake_entries_are_deterministic() {
+        assert_eq!(fake_redis_entries(5), fake_redis_entries(5));
+        assert_ne!(fake_redis_entries(5), fake_redis_entries(6));
+        // duplicate generated usernames collapse (BTreeMap semantics)
+        let n = fake_redis_entries(5).len();
+        assert!(
+            (190..=decoy_honeypots::deploy::REDIS_FAKE_ENTRIES).contains(&n),
+            "{n}"
+        );
+        // sorted by key, unique keys
+        let entries = fake_redis_entries(5);
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!(fake_redis_entries(5)[0].0.starts_with("user:"));
+        assert!(!fake_redis_entries(5)[0].1.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # decoy-core
+//!
+//! Orchestration for the full Decoy Databases experiment:
+//!
+//! * [`deployment`] — the Table 4 deployment plan (278 honeypots at paper
+//!   scale: 220 low-interaction on multi/single-service VMs, 40 medium, 8
+//!   high across eight countries), scalable, with deterministic instance
+//!   seeds shared by both execution modes.
+//! * [`runner`] — builds the population, expands the 20-day schedule, and
+//!   replays it either over real TCP against live honeypots (`Network`) or
+//!   straight into the event store (`Direct`), advancing a shared simulated
+//!   clock.
+//! * [`report`] — regenerates every table and figure of the paper from the
+//!   collected events, annotated with the paper's published values for
+//!   side-by-side comparison (EXPERIMENTS.md is generated from this).
+
+pub mod deployment;
+pub mod report;
+pub mod runner;
+
+pub use deployment::{DeploymentPlan, InstanceRef};
+pub use report::Report;
+pub use runner::{ExperimentConfig, ExperimentResult, Mode};

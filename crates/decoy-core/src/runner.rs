@@ -1,0 +1,299 @@
+//! The experiment runner: replay the 20-day attacker schedule against the
+//! deployed fleet.
+//!
+//! * `Mode::Network` — spawns every honeypot on loopback, drives each
+//!   planned session through the real TCP drivers of `decoy-agents`
+//!   (bounded concurrency), advancing the shared [`SimClock`] to each
+//!   session's virtual start time so honeypot logs carry virtual
+//!   timestamps.
+//! * `Mode::Direct` — emits the equivalent events without sockets; used for
+//!   full-volume runs. The `modes_equivalent` integration test pins the two
+//!   modes together.
+
+use crate::deployment::{fake_redis_entries, DeploymentPlan};
+use decoy_agents::population::{build_population, PopulationConfig};
+use decoy_agents::schedule::{build_schedule, PlannedSession};
+use decoy_agents::{direct, driver};
+use decoy_geo::GeoDb;
+use decoy_honeypots::deploy::{spawn, HoneypotSpec, RunningHoneypot};
+use decoy_net::time::{Clock, SimClock, Timestamp, EXPERIMENT_START};
+use decoy_store::EventStore;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Execution mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Real TCP against live honeypots.
+    Network,
+    /// Event emission without sockets.
+    Direct,
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// RNG seed for population, schedule, and bait data.
+    pub seed: u64,
+    /// Population/volume scale (1.0 = paper).
+    pub scale: f64,
+    /// Deployment scale (instance counts); usually smaller than the
+    /// population scale is fine since analyses are per-source.
+    pub deployment_scale: f64,
+    /// Execution mode.
+    pub mode: Mode,
+    /// Concurrent sessions in network mode.
+    pub concurrency: usize,
+    /// Deploy + attack the §7 extension honeypots (medium MySQL, CouchDB).
+    pub extensions: bool,
+}
+
+impl ExperimentConfig {
+    /// A network-mode config at `scale`.
+    pub fn network(seed: u64, scale: f64) -> Self {
+        ExperimentConfig {
+            seed,
+            scale,
+            deployment_scale: scale.clamp(0.1, 1.0),
+            mode: Mode::Network,
+            concurrency: 64,
+            extensions: false,
+        }
+    }
+
+    /// A direct-mode config at `scale`.
+    pub fn direct(seed: u64, scale: f64) -> Self {
+        ExperimentConfig {
+            mode: Mode::Direct,
+            ..Self::network(seed, scale)
+        }
+    }
+}
+
+/// Everything a finished run produces.
+pub struct ExperimentResult {
+    /// The standardized event store (input to every analysis).
+    pub store: Arc<EventStore>,
+    /// The enrichment database used.
+    pub geo: Arc<GeoDb>,
+    /// The deployment that served the run.
+    pub plan: DeploymentPlan,
+    /// Planned sessions replayed.
+    pub sessions: usize,
+    /// TCP connections opened (network mode) or emulated (direct mode).
+    pub connections: usize,
+    /// Driver-level errors (network mode).
+    pub errors: usize,
+    /// The config that produced this result.
+    pub config: ExperimentConfig,
+}
+
+/// Run the experiment described by `config`.
+pub async fn run(config: ExperimentConfig) -> std::io::Result<ExperimentResult> {
+    let geo = GeoDb::builtin();
+    let store = EventStore::new();
+    let sim = SimClock::at_experiment_start();
+    let clock = Clock::Sim(sim.clone());
+
+    let mut plan =
+        DeploymentPlan::scaled_with(config.seed, config.deployment_scale, config.extensions);
+    let mut population_config = PopulationConfig::scaled(config.seed, config.scale);
+    if config.extensions {
+        population_config = population_config.with_extensions();
+    }
+    let population = build_population(&population_config, &geo);
+    let schedule = build_schedule(&population, EXPERIMENT_START, config.seed);
+
+    let (connections, errors) = match config.mode {
+        Mode::Network => {
+            // stand the fleet up
+            let mut running: Vec<RunningHoneypot> = Vec::with_capacity(plan.len());
+            for inst in &mut plan.instances {
+                let spec = HoneypotSpec {
+                    id: inst.id,
+                    bind: "127.0.0.1:0".parse().expect("loopback"),
+                    clock: clock.clone(),
+                    seed: inst.seed,
+                };
+                let hp = spawn(store.clone(), spec).await?;
+                inst.addr = Some(hp.addr());
+                running.push(hp);
+            }
+            let totals = replay_network(&plan, &schedule, &sim, config.concurrency).await;
+            for hp in running {
+                hp.shutdown().await;
+            }
+            totals
+        }
+        Mode::Direct => replay_direct(&plan, &schedule, &sim, &store),
+    };
+
+    Ok(ExperimentResult {
+        store,
+        geo,
+        plan,
+        sessions: schedule.len(),
+        connections,
+        errors,
+        config,
+    })
+}
+
+async fn replay_network(
+    plan: &DeploymentPlan,
+    schedule: &[PlannedSession],
+    sim: &Arc<SimClock>,
+    concurrency: usize,
+) -> (usize, usize) {
+    let mut connections = 0usize;
+    let mut errors = 0usize;
+    let mut joinset = tokio::task::JoinSet::new();
+    let mut in_flight = 0usize;
+    for session in schedule {
+        sim.advance_to(session.ts);
+        let Some(idx) = plan.pick(&session.target, session.src) else {
+            continue;
+        };
+        let Some(addr) = plan.instances[idx].addr else {
+            continue;
+        };
+        let session = session.clone();
+        joinset.spawn(async move { driver::run_session(addr, &session).await });
+        in_flight += 1;
+        if in_flight >= concurrency {
+            if let Some(Ok(outcome)) = joinset.join_next().await {
+                connections += outcome.connections;
+                errors += outcome.errors;
+            }
+            in_flight -= 1;
+        }
+    }
+    while let Some(joined) = joinset.join_next().await {
+        if let Ok(outcome) = joined {
+            connections += outcome.connections;
+            errors += outcome.errors;
+        }
+    }
+    (connections, errors)
+}
+
+fn replay_direct(
+    plan: &DeploymentPlan,
+    schedule: &[PlannedSession],
+    sim: &Arc<SimClock>,
+    store: &Arc<EventStore>,
+) -> (usize, usize) {
+    // per-instance session counters and cached fake keys
+    let mut counters: Vec<u64> = vec![0; plan.len()];
+    let mut keys_cache: HashMap<usize, Vec<(String, String)>> = HashMap::new();
+    let mut connections = 0usize;
+    for session in schedule {
+        sim.advance_to(session.ts);
+        let Some(idx) = plan.pick(&session.target, session.src) else {
+            continue;
+        };
+        let inst = &plan.instances[idx];
+        let fake_entries: &[(String, String)] =
+            if inst.id.config == decoy_store::ConfigVariant::FakeData
+                && inst.id.dbms == decoy_store::Dbms::Redis
+            {
+                keys_cache
+                    .entry(idx)
+                    .or_insert_with(|| fake_redis_entries(inst.seed))
+            } else {
+                &[]
+            };
+        let mut sink = direct::DirectSink {
+            store,
+            honeypot: inst.id,
+            session_seq: &mut counters[idx],
+            fake_entries,
+        };
+        direct::emit_session(&mut sink, session);
+        connections += session.script.connections_per_visit();
+    }
+    (connections, 0)
+}
+
+/// Final virtual time after a full replay (diagnostics).
+pub fn window_end() -> Timestamp {
+    decoy_net::time::EXPERIMENT_END
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoy_store::EventKind;
+
+    #[tokio::test]
+    async fn direct_mode_small_run() {
+        let result = run(ExperimentConfig::direct(11, 0.01)).await.unwrap();
+        assert!(result.sessions > 0);
+        assert!(result.connections > 0);
+        assert_eq!(result.errors, 0);
+        assert!(!result.store.is_empty());
+        // events carry virtual timestamps inside the window
+        let all = result.store.all();
+        assert!(all
+            .iter()
+            .all(|e| e.ts >= EXPERIMENT_START && e.ts <= window_end()));
+        // logins exist (brute cohorts) and MSSQL dominates
+        let mssql_logins = all
+            .iter()
+            .filter(|e| {
+                e.honeypot.dbms == decoy_store::Dbms::Mssql
+                    && matches!(e.kind, EventKind::LoginAttempt { .. })
+            })
+            .count();
+        let other_logins = all
+            .iter()
+            .filter(|e| {
+                e.honeypot.dbms != decoy_store::Dbms::Mssql
+                    && matches!(e.kind, EventKind::LoginAttempt { .. })
+            })
+            .count();
+        assert!(
+            mssql_logins > other_logins * 10,
+            "mssql {mssql_logins} vs other {other_logins}"
+        );
+    }
+
+    #[tokio::test]
+    async fn extensions_flag_adds_couch_traffic() {
+        let mut config = ExperimentConfig::direct(31, 0.02);
+        config.extensions = true;
+        let result = run(config).await.unwrap();
+        let couch = result.store.by_dbms(decoy_store::Dbms::CouchDb);
+        assert!(!couch.is_empty(), "no CouchDB events with extensions on");
+        let base = run(ExperimentConfig::direct(31, 0.02)).await.unwrap();
+        assert!(base.store.by_dbms(decoy_store::Dbms::CouchDb).is_empty());
+    }
+
+    #[tokio::test]
+    async fn direct_mode_is_deterministic() {
+        let a = run(ExperimentConfig::direct(3, 0.005)).await.unwrap();
+        let b = run(ExperimentConfig::direct(3, 0.005)).await.unwrap();
+        assert_eq!(a.store.all(), b.store.all());
+        assert_eq!(a.connections, b.connections);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn network_mode_tiny_run() {
+        let mut config = ExperimentConfig::network(17, 0.002);
+        config.deployment_scale = 0.02;
+        let result = run(config).await.unwrap();
+        assert!(result.sessions > 0);
+        assert!(result.connections > 0);
+        // the replay is lossy-free: nearly all sessions succeed
+        let error_rate = result.errors as f64 / result.connections.max(1) as f64;
+        assert!(error_rate < 0.05, "error rate {error_rate}");
+        assert!(!result.store.is_empty());
+        // network mode records proxy-announced (actor) sources, not loopback
+        let loopback_events = result.store.filter(|e| e.src.is_loopback());
+        assert!(
+            loopback_events.is_empty(),
+            "loopback-source events: {:?}",
+            &loopback_events[..loopback_events.len().min(5)]
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Binary longest-prefix-match trie over IPv4 addresses.
+//!
+//! Node-array representation (no recursion, no `Box` chains). Insertion
+//! walks the prefix bits most-significant first; lookup remembers the last
+//! node with a value, which by construction is the longest matching prefix.
+
+/// Sentinel for "no child".
+const NONE: u32 = u32::MAX;
+
+/// A fixed-stride-1 binary trie mapping prefixes to `u32` payloads.
+#[derive(Debug, Default)]
+pub struct PrefixTrie {
+    nodes: Vec<Node>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    children: [u32; 2],
+    value: Option<u32>,
+}
+
+impl Node {
+    fn empty() -> Self {
+        Node {
+            children: [NONE, NONE],
+            value: None,
+        }
+    }
+}
+
+impl PrefixTrie {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            nodes: vec![Node::empty()],
+        }
+    }
+
+    /// Insert `base/len → value`. Later inserts of the same prefix replace
+    /// the earlier value. `len` is clamped to 32.
+    pub fn insert(&mut self, base: u32, len: u8, value: u32) {
+        let len = len.min(32) as u32;
+        let mut node = 0usize;
+        for bit_idx in 0..len {
+            let bit = ((base >> (31 - bit_idx)) & 1) as usize;
+            if self.nodes[node].children[bit] == NONE {
+                self.nodes.push(Node::empty());
+                let new_idx = (self.nodes.len() - 1) as u32;
+                self.nodes[node].children[bit] = new_idx;
+            }
+            node = self.nodes[node].children[bit] as usize;
+        }
+        self.nodes[node].value = Some(value);
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, addr: u32) -> Option<u32> {
+        let mut node = 0usize;
+        let mut best = self.nodes[0].value;
+        for bit_idx in 0..32 {
+            let bit = ((addr >> (31 - bit_idx)) & 1) as usize;
+            let next = self.nodes[node].children[bit];
+            if next == NONE {
+                break;
+            }
+            node = next as usize;
+            if let Some(v) = self.nodes[node].value {
+                best = Some(v);
+            }
+        }
+        best
+    }
+
+    /// Number of allocated trie nodes (diagnostics).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ip(s: &str) -> u32 {
+        s.parse::<Ipv4Addr>().unwrap().into()
+    }
+
+    #[test]
+    fn exact_and_covering_prefixes() {
+        let mut t = PrefixTrie::new();
+        t.insert(ip("10.0.0.0"), 8, 1);
+        t.insert(ip("10.1.0.0"), 16, 2);
+        t.insert(ip("10.1.2.0"), 24, 3);
+        assert_eq!(t.lookup(ip("10.9.9.9")), Some(1));
+        assert_eq!(t.lookup(ip("10.1.9.9")), Some(2));
+        assert_eq!(t.lookup(ip("10.1.2.9")), Some(3));
+        assert_eq!(t.lookup(ip("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn host_routes_and_default() {
+        let mut t = PrefixTrie::new();
+        t.insert(0, 0, 99); // default route
+        t.insert(ip("192.0.2.1"), 32, 7);
+        assert_eq!(t.lookup(ip("192.0.2.1")), Some(7));
+        assert_eq!(t.lookup(ip("192.0.2.2")), Some(99));
+        assert_eq!(t.lookup(ip("8.8.8.8")), Some(99));
+    }
+
+    #[test]
+    fn reinsert_replaces_value() {
+        let mut t = PrefixTrie::new();
+        t.insert(ip("172.16.0.0"), 12, 1);
+        t.insert(ip("172.16.0.0"), 12, 5);
+        assert_eq!(t.lookup(ip("172.20.1.1")), Some(5));
+    }
+
+    #[test]
+    fn disjoint_prefixes_do_not_interfere() {
+        let mut t = PrefixTrie::new();
+        t.insert(ip("20.0.0.0"), 16, 1);
+        t.insert(ip("20.1.0.0"), 16, 2);
+        t.insert(ip("21.0.0.0"), 16, 3);
+        assert_eq!(t.lookup(ip("20.0.255.255")), Some(1));
+        assert_eq!(t.lookup(ip("20.1.0.1")), Some(2));
+        assert_eq!(t.lookup(ip("21.0.0.1")), Some(3));
+        assert_eq!(t.lookup(ip("22.0.0.1")), None);
+        assert!(t.node_count() > 3);
+    }
+
+    /// Reference implementation: linear scan over (base, len, value).
+    fn oracle(prefixes: &[(u32, u8, u32)], addr: u32) -> Option<u32> {
+        prefixes
+            .iter()
+            .filter(|(base, len, _)| {
+                let mask = if *len == 0 {
+                    0
+                } else {
+                    u32::MAX << (32 - *len as u32)
+                };
+                addr & mask == base & mask
+            })
+            .max_by_key(|(_, len, _)| *len)
+            .map(|(_, _, v)| *v)
+    }
+
+    #[test]
+    fn matches_linear_oracle_on_seeded_random_input() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xDEC0);
+        let mut prefixes = Vec::new();
+        let mut trie = PrefixTrie::new();
+        for v in 0..200u32 {
+            let base: u32 = rng.gen();
+            let len: u8 = rng.gen_range(0..=32);
+            let mask = if len == 0 { 0 } else { u32::MAX << (32 - len as u32) };
+            let base = base & mask;
+            // skip duplicate prefixes: the oracle's max_by_key tie-break
+            // would differ from the trie's replace semantics
+            if prefixes.iter().any(|(b, l, _)| *b == base && *l == len) {
+                continue;
+            }
+            trie.insert(base, len, v);
+            prefixes.push((base, len, v));
+        }
+        for _ in 0..2000 {
+            let addr: u32 = rng.gen();
+            assert_eq!(trie.lookup(addr), oracle(&prefixes, addr), "addr {addr:#x}");
+        }
+    }
+}

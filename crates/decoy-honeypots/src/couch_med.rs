@@ -1,0 +1,368 @@
+//! Medium-interaction CouchDB honeypot — a coverage *extension*: the
+//! paper's limitations section (§7) names CouchDB among the "lesser studied"
+//! DBMS platforms whose inclusion "could have provided a more comprehensive
+//! view".
+//!
+//! CouchDB's API is HTTP+JSON, so this emulator rides the same HTTP codec
+//! as Elasticpot but fronts a *real* [`DocDb`] engine (like the
+//! high-interaction MongoDB honeypot): `_all_dbs` enumerates, `_all_docs`
+//! reads, `PUT`/`DELETE` actually mutate — which is exactly what the
+//! well-known CouchDB ransom waves did.
+
+use crate::logging::SessionLogger;
+use crate::low::read_or_fault;
+use decoy_fakedata::FakeDataGenerator;
+use decoy_net::codec::Framed;
+use decoy_net::error::NetResult;
+use decoy_net::proxy;
+use decoy_net::server::{SessionCtx, SessionHandler};
+use decoy_store::docdb::DocDb;
+use decoy_store::{EventStore, HoneypotId};
+use decoy_wire::http::{HttpRequest, HttpResponse, HttpServerCodec};
+use decoy_wire::mongo::bson::{doc, Bson, Document};
+use serde_json::{json, Value};
+use std::sync::Arc;
+use tokio::net::TcpStream;
+
+/// The medium-interaction CouchDB honeypot.
+pub struct CouchHoneypot {
+    store: Arc<EventStore>,
+    id: HoneypotId,
+    db: Arc<DocDb>,
+}
+
+impl CouchHoneypot {
+    /// An instance backed by an existing engine.
+    pub fn with_db(store: Arc<EventStore>, id: HoneypotId, db: Arc<DocDb>) -> Arc<Self> {
+        Arc::new(CouchHoneypot { store, id, db })
+    }
+
+    /// Bait configuration: fake customer documents generated from `seed`.
+    pub fn with_fake_customers(
+        store: Arc<EventStore>,
+        id: HoneypotId,
+        seed: u64,
+        count: usize,
+    ) -> Arc<Self> {
+        let db = Arc::new(DocDb::new());
+        let mut generator = FakeDataGenerator::new(seed);
+        let docs: Vec<Document> = generator
+            .customers(count)
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| {
+                doc! {
+                    "_id" => format!("customer:{i}"),
+                    "name" => c.name,
+                    "address" => c.address,
+                    "phone" => c.phone,
+                    "credit_card" => c.credit_card,
+                    "email" => c.email,
+                }
+            })
+            .collect();
+        db.insert("customers", "docs", docs);
+        Self::with_db(store, id, db)
+    }
+
+    /// The backing engine (forensics and tests).
+    pub fn db(&self) -> &Arc<DocDb> {
+        &self.db
+    }
+
+    fn respond(&self, req: &HttpRequest) -> HttpResponse {
+        let path = req.path().trim_matches('/').to_string();
+        let segments: Vec<&str> = if path.is_empty() {
+            Vec::new()
+        } else {
+            path.split('/').collect()
+        };
+        match (req.method.as_str(), segments.as_slice()) {
+            (_, []) => HttpResponse::json(
+                200,
+                json!({
+                    "couchdb": "Welcome",
+                    "version": "3.3.2",
+                    "git_sha": "11a234070",
+                    "uuid": "f9a5d3a8e1b24a0c8d5e7f0182b3c4d5",
+                    "features": ["access-ready", "partitioned", "pluggable-storage-engines"],
+                    "vendor": {"name": "The Apache Software Foundation"}
+                })
+                .to_string(),
+            ),
+            ("GET", ["_all_dbs"]) => {
+                let dbs: Vec<String> = self.db.list_databases();
+                HttpResponse::json(200, serde_json::to_string(&dbs).expect("list"))
+            }
+            ("GET", ["_utils"]) | ("GET", ["_utils", ..]) => HttpResponse::json(
+                403,
+                json!({"error": "forbidden", "reason": "Fauxton disabled"}).to_string(),
+            ),
+            ("GET", [db]) => {
+                if self.db.list_databases().contains(&db.to_string()) {
+                    let count = self.db.count(db, "docs", &Document::new());
+                    HttpResponse::json(
+                        200,
+                        json!({"db_name": db, "doc_count": count, "doc_del_count": 0})
+                            .to_string(),
+                    )
+                } else {
+                    not_found()
+                }
+            }
+            ("PUT", [db]) => {
+                // create database
+                self.db.insert(db, "docs", vec![]);
+                HttpResponse::json(201, json!({"ok": true}).to_string())
+            }
+            ("DELETE", [db]) => {
+                if self.db.drop_database(db) {
+                    HttpResponse::json(200, json!({"ok": true}).to_string())
+                } else {
+                    not_found()
+                }
+            }
+            ("GET", [db, "_all_docs"]) => {
+                let docs = self.db.find(db, "docs", &Document::new(), 0);
+                let rows: Vec<Value> = docs
+                    .iter()
+                    .map(|d| {
+                        let id = d.get_str("_id").unwrap_or("unknown");
+                        json!({"id": id, "key": id, "value": {"rev": "1-x"}})
+                    })
+                    .collect();
+                HttpResponse::json(
+                    200,
+                    json!({"total_rows": rows.len(), "offset": 0, "rows": rows}).to_string(),
+                )
+            }
+            ("GET", [db, doc_id]) => {
+                let filter = Document::new().with("_id", *doc_id);
+                match self.db.find(db, "docs", &filter, 1).pop() {
+                    Some(found) => HttpResponse::json(200, doc_to_json(&found).to_string()),
+                    None => not_found(),
+                }
+            }
+            ("PUT", [db, doc_id]) => {
+                let mut document = Document::new().with("_id", *doc_id);
+                if let Ok(Value::Object(map)) = serde_json::from_slice::<Value>(&req.body) {
+                    for (k, v) in map {
+                        if let Some(text) = v.as_str() {
+                            document.insert(k, text);
+                        } else if let Some(n) = v.as_i64() {
+                            document.insert(k, n);
+                        }
+                    }
+                }
+                self.db.insert(db, "docs", vec![document]);
+                HttpResponse::json(
+                    201,
+                    json!({"ok": true, "id": doc_id, "rev": "1-x"}).to_string(),
+                )
+            }
+            _ => not_found(),
+        }
+    }
+}
+
+fn not_found() -> HttpResponse {
+    HttpResponse::json(
+        404,
+        json!({"error": "not_found", "reason": "missing"}).to_string(),
+    )
+}
+
+fn doc_to_json(d: &Document) -> Value {
+    let mut map = serde_json::Map::new();
+    for (k, v) in d.iter() {
+        let value = match v {
+            Bson::String(s) => Value::String(s.clone()),
+            Bson::Int32(i) => Value::from(*i),
+            Bson::Int64(i) => Value::from(*i),
+            Bson::Double(f) => Value::from(*f),
+            Bson::Bool(b) => Value::from(*b),
+            _ => Value::Null,
+        };
+        map.insert(k.to_string(), value);
+    }
+    Value::Object(map)
+}
+
+impl SessionHandler for CouchHoneypot {
+    async fn handle(self: Arc<Self>, mut stream: TcpStream, ctx: SessionCtx) {
+        let (proxied, initial) = match proxy::maybe_read_v1(&mut stream).await {
+            Ok(pair) => pair,
+            Err(_) => return,
+        };
+        let log = SessionLogger::new(
+            self.store.clone(),
+            self.id,
+            ctx,
+            proxied.map(|sa| sa.ip()),
+        );
+        log.connect();
+        if let Err(e) = self.session(stream, initial, &log).await {
+            if e.is_peer_fault() {
+                log.malformed(e.to_string());
+            }
+        }
+        log.disconnect();
+    }
+}
+
+impl CouchHoneypot {
+    async fn session(
+        &self,
+        stream: TcpStream,
+        initial: bytes::BytesMut,
+        log: &SessionLogger,
+    ) -> NetResult<()> {
+        let mut framed = Framed::with_initial(stream, HttpServerCodec, initial);
+        loop {
+            let req = read_or_fault!(framed, log);
+            let rendered = if req.body.is_empty() {
+                format!("{} {}", req.method, req.target)
+            } else {
+                format!("{} {} {}", req.method, req.target, req.body_text())
+            };
+            log.command(&rendered);
+            let resp = self.respond(&req);
+            framed.write_frame(&resp).await?;
+            let close = req
+                .header("connection")
+                .map(|v| v.eq_ignore_ascii_case("close"))
+                .unwrap_or(false);
+            if close {
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoy_net::server::{Listener, ListenerOptions, ServerHandle};
+    use decoy_net::time::Clock;
+    use decoy_store::{ConfigVariant, Dbms, EventKind, InteractionLevel};
+    use decoy_wire::http::HttpClientCodec;
+
+    async fn spawn_couch() -> (ServerHandle, Arc<EventStore>, Arc<CouchHoneypot>) {
+        let store = EventStore::new();
+        let id = HoneypotId::new(
+            Dbms::CouchDb,
+            InteractionLevel::Medium,
+            ConfigVariant::FakeData,
+            0,
+        );
+        let hp = CouchHoneypot::with_fake_customers(store.clone(), id, 12, 10);
+        let server = Listener::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            hp.clone(),
+            ListenerOptions {
+                max_sessions: 64,
+                clock: Clock::simulated(),
+            },
+        )
+        .await
+        .unwrap();
+        (server, store, hp)
+    }
+
+    async fn request(
+        f: &mut Framed<TcpStream, HttpClientCodec>,
+        method: &str,
+        target: &str,
+    ) -> HttpResponse {
+        f.write_frame(&HttpRequest::new(method, target)).await.unwrap();
+        f.read_frame().await.unwrap().unwrap()
+    }
+
+    #[tokio::test]
+    async fn welcome_banner_and_all_dbs() {
+        let (server, _store, _hp) = spawn_couch().await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, HttpClientCodec);
+        let banner = request(&mut f, "GET", "/").await;
+        let v: Value = serde_json::from_slice(&banner.body).unwrap();
+        assert_eq!(v["couchdb"], "Welcome");
+        assert_eq!(v["version"], "3.3.2");
+        let dbs = request(&mut f, "GET", "/_all_dbs").await;
+        let v: Value = serde_json::from_slice(&dbs.body).unwrap();
+        assert_eq!(v, json!(["customers"]));
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn reads_real_bait_documents() {
+        let (server, _store, _hp) = spawn_couch().await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, HttpClientCodec);
+        let all = request(&mut f, "GET", "/customers/_all_docs").await;
+        let v: Value = serde_json::from_slice(&all.body).unwrap();
+        assert_eq!(v["total_rows"], 10);
+        let one = request(&mut f, "GET", "/customers/customer:0").await;
+        assert_eq!(one.status, 200);
+        let v: Value = serde_json::from_slice(&one.body).unwrap();
+        assert!(v["credit_card"].as_str().unwrap().starts_with('4'));
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn couch_ransom_kill_chain() {
+        // the real-world CouchDB ransom pattern: enumerate, wipe, leave note
+        let (server, store, hp) = spawn_couch().await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, HttpClientCodec);
+        request(&mut f, "GET", "/_all_dbs").await;
+        request(&mut f, "GET", "/customers/_all_docs").await;
+        let deleted = request(&mut f, "DELETE", "/customers").await;
+        assert_eq!(deleted.status, 200);
+        f.write_frame(
+            &HttpRequest::new("PUT", "/warning/readme").with_body(
+                "application/json",
+                r#"{"note":"send 0.01 BTC to recover your data"}"#,
+            ),
+        )
+        .await
+        .unwrap();
+        let created = f.read_frame().await.unwrap().unwrap();
+        assert_eq!(created.status, 201);
+        server.shutdown().await;
+
+        // engine state reflects the wipe
+        assert_eq!(hp.db().list_databases(), vec!["warning"]);
+        let notes = hp.db().find("warning", "docs", &Document::new(), 0);
+        assert!(notes[0].get_str("note").unwrap().contains("BTC"));
+
+        // the destructive commands are in the log for the pipeline
+        let raws: Vec<String> = store
+            .all()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Command { raw, .. } => Some(raw),
+                _ => None,
+            })
+            .collect();
+        assert!(raws.iter().any(|r| r.starts_with("DELETE /customers")));
+        assert!(raws.iter().any(|r| r.contains("BTC")));
+    }
+
+    #[tokio::test]
+    async fn unknown_paths_404_and_are_logged() {
+        let (server, store, _hp) = spawn_couch().await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, HttpClientCodec);
+        let resp = request(&mut f, "GET", "/_utils/").await;
+        assert_eq!(resp.status, 403);
+        let resp = request(&mut f, "GET", "/nope/_all_docs").await;
+        assert_eq!(resp.status, 200); // empty db: zero rows
+        let v: Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["total_rows"], 0);
+        server.shutdown().await;
+        assert!(store
+            .filter(|e| matches!(e.kind, EventKind::Command { .. }))
+            .len()
+            >= 2);
+    }
+}

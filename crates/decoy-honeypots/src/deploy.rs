@@ -1,0 +1,220 @@
+//! Deployment helpers: turn a [`HoneypotSpec`] into a bound, running
+//! listener. The experiment runner in `decoy-core` uses this to stand up
+//! the full Table 4 fleet; the examples use it for single instances.
+
+use crate::elastic::{ElasticPot, ResponseBook};
+use crate::low::LowHoneypot;
+use crate::mongo_high::MongoHoneypot;
+use crate::pg_med::StickyElephant;
+use crate::redis_med::RedisHoneypot;
+use decoy_net::server::{Listener, ListenerOptions, ServerHandle};
+use decoy_net::time::Clock;
+use decoy_store::{ConfigVariant, Dbms, EventStore, HoneypotId, InteractionLevel};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// What to deploy.
+#[derive(Debug, Clone)]
+pub struct HoneypotSpec {
+    /// Identity (dbms, level, config, instance number).
+    pub id: HoneypotId,
+    /// Address to bind; port 0 lets the OS choose (the experiment harness
+    /// does this and records the mapping).
+    pub bind: SocketAddr,
+    /// Time source for logging.
+    pub clock: Clock,
+    /// Seed for any fake data the config variant requires.
+    pub seed: u64,
+}
+
+impl HoneypotSpec {
+    /// A loopback spec with an OS-assigned port.
+    pub fn loopback(id: HoneypotId, clock: Clock, seed: u64) -> Self {
+        HoneypotSpec {
+            id,
+            bind: "127.0.0.1:0".parse().expect("loopback parses"),
+            clock,
+            seed,
+        }
+    }
+}
+
+/// A deployed instance.
+pub struct RunningHoneypot {
+    /// Identity of the instance.
+    pub id: HoneypotId,
+    /// The bound listener.
+    pub server: ServerHandle,
+}
+
+impl RunningHoneypot {
+    /// The address attackers should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.server.local_addr()
+    }
+
+    /// Stop the instance.
+    pub async fn shutdown(self) {
+        self.server.shutdown().await;
+    }
+}
+
+/// Number of Mockaroo-style entries the paper loaded into fake-data Redis.
+pub const REDIS_FAKE_ENTRIES: usize = 200;
+/// Number of fake customer records loaded into the MongoDB honeypot.
+pub const MONGO_FAKE_CUSTOMERS: usize = 200;
+
+/// Spawn the honeypot described by `spec`, logging into `store`.
+pub async fn spawn(
+    store: Arc<EventStore>,
+    spec: HoneypotSpec,
+) -> std::io::Result<RunningHoneypot> {
+    let options = ListenerOptions {
+        max_sessions: 4096,
+        clock: spec.clock.clone(),
+    };
+    let id = spec.id;
+    let server = match (id.level, id.dbms) {
+        (InteractionLevel::Low, _) => {
+            Listener::bind(spec.bind, LowHoneypot::new(store, id), options).await?
+        }
+        (InteractionLevel::Medium, Dbms::Redis) => {
+            let hp = if id.config == ConfigVariant::FakeData {
+                let mut generator = decoy_fakedata::FakeDataGenerator::new(spec.seed);
+                let entries = generator
+                    .logins(REDIS_FAKE_ENTRIES)
+                    .into_iter()
+                    .map(|l| (format!("user:{}", l.username), l.password));
+                RedisHoneypot::with_fake_data(store, id, entries)
+            } else {
+                RedisHoneypot::new(store, id)
+            };
+            Listener::bind(spec.bind, hp, options).await?
+        }
+        (InteractionLevel::Medium, Dbms::MySql) => {
+            Listener::bind(
+                spec.bind,
+                crate::mysql_med::MySqlHoneypot::new(store, id),
+                options,
+            )
+            .await?
+        }
+        (InteractionLevel::Medium, Dbms::Postgres) => {
+            let allow_login = id.config != ConfigVariant::LoginDisabled;
+            Listener::bind(
+                spec.bind,
+                StickyElephant::new(store, id, allow_login),
+                options,
+            )
+            .await?
+        }
+        (InteractionLevel::Medium, Dbms::CouchDb) => {
+            Listener::bind(
+                spec.bind,
+                crate::couch_med::CouchHoneypot::with_fake_customers(
+                    store,
+                    id,
+                    spec.seed,
+                    MONGO_FAKE_CUSTOMERS,
+                ),
+                options,
+            )
+            .await?
+        }
+        (InteractionLevel::Medium, Dbms::Elastic) => {
+            Listener::bind(
+                spec.bind,
+                ElasticPot::with_book(store, id, ResponseBook::new()),
+                options,
+            )
+            .await?
+        }
+        (InteractionLevel::High, Dbms::MongoDb) => {
+            Listener::bind(
+                spec.bind,
+                MongoHoneypot::with_fake_customers(store, id, spec.seed, MONGO_FAKE_CUSTOMERS),
+                options,
+            )
+            .await?
+        }
+        (level, dbms) => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                format!("no {level:?}-interaction honeypot for {dbms:?} in the deployment"),
+            ))
+        }
+    };
+    Ok(RunningHoneypot { id, server })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoy_net::codec::Framed;
+    use decoy_wire::resp::{RespCodec, RespValue};
+    use tokio::net::TcpStream;
+
+    fn id(dbms: Dbms, level: InteractionLevel, config: ConfigVariant) -> HoneypotId {
+        HoneypotId::new(dbms, level, config, 0)
+    }
+
+    #[tokio::test]
+    async fn spawns_every_supported_spec() {
+        let store = EventStore::new();
+        let specs = [
+            id(Dbms::MySql, InteractionLevel::Low, ConfigVariant::MultiService),
+            id(Dbms::Postgres, InteractionLevel::Low, ConfigVariant::MultiService),
+            id(Dbms::Redis, InteractionLevel::Low, ConfigVariant::SingleService),
+            id(Dbms::Mssql, InteractionLevel::Low, ConfigVariant::MultiService),
+            id(Dbms::MySql, InteractionLevel::Medium, ConfigVariant::Default),
+            id(Dbms::Redis, InteractionLevel::Medium, ConfigVariant::Default),
+            id(Dbms::Redis, InteractionLevel::Medium, ConfigVariant::FakeData),
+            id(Dbms::Postgres, InteractionLevel::Medium, ConfigVariant::Default),
+            id(Dbms::Postgres, InteractionLevel::Medium, ConfigVariant::LoginDisabled),
+            id(Dbms::Elastic, InteractionLevel::Medium, ConfigVariant::Default),
+            id(Dbms::CouchDb, InteractionLevel::Medium, ConfigVariant::FakeData),
+            id(Dbms::MongoDb, InteractionLevel::High, ConfigVariant::FakeData),
+        ];
+        let mut running = Vec::new();
+        for spec_id in specs {
+            let spec = HoneypotSpec::loopback(spec_id, Clock::simulated(), 7);
+            running.push(spawn(store.clone(), spec).await.unwrap());
+        }
+        assert_eq!(running.len(), 12);
+        for r in running {
+            assert!(r.addr().port() != 0);
+            r.shutdown().await;
+        }
+    }
+
+    #[tokio::test]
+    async fn unsupported_combination_errors() {
+        let store = EventStore::new();
+        let spec = HoneypotSpec::loopback(
+            id(Dbms::MySql, InteractionLevel::High, ConfigVariant::Default),
+            Clock::simulated(),
+            0,
+        );
+        assert!(spawn(store, spec).await.is_err());
+    }
+
+    #[tokio::test]
+    async fn fake_data_redis_has_200_entries() {
+        let store = EventStore::new();
+        let spec = HoneypotSpec::loopback(
+            id(Dbms::Redis, InteractionLevel::Medium, ConfigVariant::FakeData),
+            Clock::simulated(),
+            99,
+        );
+        let running = spawn(store, spec).await.unwrap();
+        let stream = TcpStream::connect(running.addr()).await.unwrap();
+        let mut f = Framed::new(stream, RespCodec::client());
+        f.write_frame(&RespValue::command(&["DBSIZE"])).await.unwrap();
+        let RespValue::Integer(n) = f.read_frame().await.unwrap().unwrap() else {
+            panic!("expected DBSIZE integer");
+        };
+        // duplicate generated usernames collapse in the keyspace
+        assert!((190..=REDIS_FAKE_ENTRIES as i64).contains(&n), "{n}");
+        running.shutdown().await;
+    }
+}

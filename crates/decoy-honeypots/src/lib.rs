@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # decoy-honeypots
+//!
+//! The honeypot fleet of the paper, built on `decoy-net` + `decoy-wire` +
+//! `decoy-store`:
+//!
+//! | Module | Paper honeypot | Level | DBMS |
+//! |---|---|---|---|
+//! | [`low`] | Qeeqbox Honeypots | low | MySQL, PostgreSQL, Redis, MSSQL |
+//! | [`redis_med`] | RedisHoneyPot | medium | Redis (default + fake-data configs) |
+//! | [`pg_med`] | Sticky Elephant | medium | PostgreSQL (default + login-disabled) |
+//! | [`elastic`] | Elasticpot | medium | Elasticsearch (JSON-driven responses) |
+//! | [`mongo_high`] | mongodb-honeypot | high | MongoDB over a real document store |
+//! | [`mysql_med`] | *(extension, §7)* | medium | MySQL with scripted SQL responses |
+//! | [`couch_med`] | *(extension, §7)* | medium | CouchDB over HTTP fronting a real document store |
+//!
+//! Every session logs standardized [`decoy_store::Event`]s through
+//! [`logging::SessionLogger`]; the PROXY-protocol shim preserves simulated
+//! source addresses exactly as a production load balancer would. Honeypots
+//! never execute captured payloads (Appendix A): exploit bytes are stored,
+//! recognized, and answered with the protocol's plausible response.
+
+pub mod couch_med;
+pub mod deploy;
+pub mod elastic;
+pub mod logging;
+pub mod low;
+pub mod mongo_high;
+pub mod mysql_med;
+pub mod pg_med;
+pub mod redis_med;
+
+pub use deploy::{spawn, HoneypotSpec, RunningHoneypot};
+pub use logging::SessionLogger;

@@ -1,0 +1,225 @@
+//! Session logging shared by all honeypot families.
+//!
+//! A [`SessionLogger`] binds one accepted connection to the shared
+//! [`EventStore`]: it resolves the effective source address (honoring a
+//! PROXY-protocol announcement when present), stamps events with the
+//! honeypot's id and the session's virtual time, and provides typed helpers
+//! for the event kinds of §4.3.
+
+use decoy_net::server::SessionCtx;
+use decoy_store::{Event, EventKind, EventStore, HoneypotId};
+use decoy_wire::foreign;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+/// Per-session logging handle.
+#[derive(Clone)]
+pub struct SessionLogger {
+    store: Arc<EventStore>,
+    honeypot: HoneypotId,
+    src: IpAddr,
+    session: u64,
+    ctx: SessionCtx,
+}
+
+impl SessionLogger {
+    /// Create a logger for one session. `proxied_src` is the address a
+    /// PROXY header announced, if any; otherwise the TCP peer address is
+    /// the source of record.
+    pub fn new(
+        store: Arc<EventStore>,
+        honeypot: HoneypotId,
+        ctx: SessionCtx,
+        proxied_src: Option<IpAddr>,
+    ) -> Self {
+        SessionLogger {
+            store,
+            honeypot,
+            src: proxied_src.unwrap_or_else(|| ctx.peer.ip()),
+            session: ctx.session_seq,
+            ctx,
+        }
+    }
+
+    /// The effective source address of this session.
+    pub fn src(&self) -> IpAddr {
+        self.src
+    }
+
+    fn push(&self, kind: EventKind) {
+        self.store.log(Event {
+            ts: self.ctx.clock.now(),
+            honeypot: self.honeypot,
+            src: self.src,
+            session: self.session,
+            kind,
+        });
+    }
+
+    /// Log the TCP connect.
+    pub fn connect(&self) {
+        self.push(EventKind::Connect);
+    }
+
+    /// Log the session end.
+    pub fn disconnect(&self) {
+        self.push(EventKind::Disconnect);
+    }
+
+    /// Log an authentication attempt.
+    pub fn login(&self, username: &str, password: &str, success: bool) {
+        self.push(EventKind::LoginAttempt {
+            username: username.to_string(),
+            password: password.to_string(),
+            success,
+        });
+    }
+
+    /// Log a command; `raw` is the rendered command, the clustering action
+    /// is derived by masking volatile parameters.
+    pub fn command(&self, raw: &str) {
+        self.push(EventKind::Command {
+            action: decoy_store::normalize_action(raw),
+            raw: raw.to_string(),
+        });
+    }
+
+    /// Log an opaque payload, running foreign-protocol recognition on it.
+    pub fn payload(&self, bytes: &[u8]) {
+        let recognized = foreign::recognize(bytes).map(|p| p.label().to_string());
+        let preview: String = String::from_utf8_lossy(&bytes[..bytes.len().min(256)])
+            .chars()
+            .map(|c| if c.is_control() { '.' } else { c })
+            .collect();
+        self.push(EventKind::Payload {
+            len: bytes.len(),
+            recognized,
+            preview,
+        });
+    }
+
+    /// Log a protocol violation.
+    pub fn malformed(&self, detail: impl Into<String>) {
+        self.push(EventKind::Malformed {
+            detail: detail.into(),
+        });
+    }
+
+    /// Handle a decode fault: if the undecodable bytes are a recognizable
+    /// foreign-protocol probe (RDP, JDWP, TLS, ...), log them as a payload
+    /// capture; otherwise record the protocol violation. This is how the
+    /// paper's Table 9 "scans for services unrelated to the DBMS" are
+    /// observed on SQL/Redis ports.
+    pub fn fault(&self, buffered: &[u8], err: &decoy_net::NetError) {
+        if !buffered.is_empty() && foreign::recognize(buffered).is_some() {
+            self.payload(buffered);
+            return;
+        }
+        if err.is_peer_fault() {
+            if buffered.is_empty() {
+                self.malformed(err.to_string());
+            } else {
+                self.payload(buffered);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoy_net::server::ShutdownSignal;
+    use decoy_net::time::Clock;
+    use decoy_store::{ConfigVariant, Dbms, InteractionLevel};
+
+    fn test_ctx() -> SessionCtx {
+        SessionCtx {
+            peer: "127.0.0.1:5555".parse().unwrap(),
+            local_port: 6379,
+            clock: Clock::simulated(),
+            shutdown: ShutdownSignal::noop(),
+            session_seq: 3,
+        }
+    }
+
+    fn logger(store: Arc<EventStore>, proxied: Option<IpAddr>) -> SessionLogger {
+        SessionLogger::new(
+            store,
+            HoneypotId::new(
+                Dbms::Redis,
+                InteractionLevel::Medium,
+                ConfigVariant::Default,
+                0,
+            ),
+            test_ctx(),
+            proxied,
+        )
+    }
+
+    #[test]
+    fn proxied_source_wins_over_peer() {
+        let store = EventStore::new();
+        let proxied: IpAddr = "198.51.100.9".parse().unwrap();
+        let log = logger(store.clone(), Some(proxied));
+        assert_eq!(log.src(), proxied);
+        log.connect();
+        assert_eq!(store.by_src(proxied).len(), 1);
+    }
+
+    #[test]
+    fn peer_is_source_without_proxy() {
+        let store = EventStore::new();
+        let log = logger(store.clone(), None);
+        assert_eq!(log.src(), "127.0.0.1".parse::<IpAddr>().unwrap());
+    }
+
+    #[test]
+    fn command_is_normalized_for_clustering() {
+        let store = EventStore::new();
+        let log = logger(store.clone(), None);
+        log.command("SLAVEOF 203.0.113.1 8886");
+        let events = store.all();
+        let EventKind::Command { action, raw } = &events[0].kind else {
+            panic!("expected command");
+        };
+        assert_eq!(action, "SLAVEOF <IP> <N>");
+        assert_eq!(raw, "SLAVEOF 203.0.113.1 8886");
+    }
+
+    #[test]
+    fn payload_recognition_and_preview_sanitization() {
+        let store = EventStore::new();
+        let log = logger(store.clone(), None);
+        log.payload(b"JDWP-Handshake\x00\x01");
+        let events = store.all();
+        let EventKind::Payload {
+            len,
+            recognized,
+            preview,
+        } = &events[0].kind
+        else {
+            panic!("expected payload");
+        };
+        assert_eq!(*len, 16);
+        assert_eq!(recognized.as_deref(), Some("jdwp-scan"));
+        assert!(preview.starts_with("JDWP-Handshake"));
+        assert!(!preview.contains('\x00'));
+    }
+
+    #[test]
+    fn full_session_event_sequence() {
+        let store = EventStore::new();
+        let log = logger(store.clone(), None);
+        log.connect();
+        log.login("default", "", false);
+        log.malformed("bad RESP type byte");
+        log.disconnect();
+        let kinds: Vec<_> = store.all().into_iter().map(|e| e.kind).collect();
+        assert!(matches!(kinds[0], EventKind::Connect));
+        assert!(matches!(kinds[1], EventKind::LoginAttempt { .. }));
+        assert!(matches!(kinds[2], EventKind::Malformed { .. }));
+        assert!(matches!(kinds[3], EventKind::Disconnect));
+        // all share session id 3
+        assert!(store.all().iter().all(|e| e.session == 3));
+    }
+}

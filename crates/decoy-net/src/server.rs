@@ -1,0 +1,285 @@
+//! Supervised TCP listeners.
+//!
+//! A [`Listener`] binds a socket, accepts connections in a dedicated task,
+//! and runs each session through a [`SessionHandler`] in its own task — the
+//! spawning + graceful-shutdown pattern from the Tokio guide. The returned
+//! [`ServerHandle`] shuts the listener down on request (or drop) and waits
+//! for in-flight sessions to finish.
+
+use crate::limiter::ConnectionGate;
+use crate::time::Clock;
+use std::future::Future;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::watch;
+use tokio::task::JoinHandle;
+
+/// Broadcast flag observed by sessions that should abort early on shutdown.
+#[derive(Debug, Clone)]
+pub struct ShutdownSignal {
+    rx: watch::Receiver<bool>,
+}
+
+impl ShutdownSignal {
+    /// A signal that never fires — for tests and standalone session drivers.
+    pub fn noop() -> Self {
+        let (tx, rx) = watch::channel(false);
+        // Leak intentionally: a single watch sender per call site keeps the
+        // receiver alive; noop signals are created once per test/driver.
+        std::mem::forget(tx);
+        ShutdownSignal { rx }
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        *self.rx.borrow()
+    }
+
+    /// Resolves when shutdown is requested (or immediately if it already was).
+    pub async fn wait(&mut self) {
+        if *self.rx.borrow() {
+            return;
+        }
+        // An Err means the sender is gone, which also means shutdown.
+        let _ = self.rx.wait_for(|v| *v).await;
+    }
+}
+
+/// Everything a session handler knows about one accepted connection.
+#[derive(Debug, Clone)]
+pub struct SessionCtx {
+    /// Remote endpoint of the connection.
+    pub peer: SocketAddr,
+    /// The port the honeypot instance is listening on.
+    pub local_port: u16,
+    /// Time source for event logging.
+    pub clock: Clock,
+    /// Cooperative shutdown flag.
+    pub shutdown: ShutdownSignal,
+    /// Monotone per-listener session counter (1-based).
+    pub session_seq: u64,
+}
+
+/// Implemented by every honeypot server: drives one accepted connection.
+pub trait SessionHandler: Send + Sync + 'static {
+    /// Handle a single session to completion. Errors are the handler's to
+    /// log; the supervisor only cares that the task ends.
+    fn handle(
+        self: Arc<Self>,
+        stream: TcpStream,
+        ctx: SessionCtx,
+    ) -> impl Future<Output = ()> + Send;
+}
+
+/// Configuration for a [`Listener`].
+#[derive(Debug, Clone)]
+pub struct ListenerOptions {
+    /// Maximum concurrent sessions; excess connections are dropped at accept.
+    pub max_sessions: usize,
+    /// Time source propagated to sessions.
+    pub clock: Clock,
+}
+
+impl Default for ListenerOptions {
+    fn default() -> Self {
+        ListenerOptions {
+            max_sessions: 4096,
+            clock: Clock::Wall,
+        }
+    }
+}
+
+/// A running TCP listener bound to one honeypot instance.
+pub struct Listener;
+
+impl Listener {
+    /// Bind `addr` and serve sessions with `handler` until shutdown.
+    pub async fn bind<H: SessionHandler>(
+        addr: SocketAddr,
+        handler: Arc<H>,
+        options: ListenerOptions,
+    ) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr).await?;
+        let local_addr = listener.local_addr()?;
+        let (shutdown_tx, shutdown_rx) = watch::channel(false);
+        let gate = ConnectionGate::new(options.max_sessions);
+        let accept_gate = gate.clone();
+
+        let accept_task: JoinHandle<()> = tokio::spawn(async move {
+            let mut session_seq: u64 = 0;
+            let mut shutdown = ShutdownSignal {
+                rx: shutdown_rx.clone(),
+            };
+            loop {
+                let accepted = tokio::select! {
+                    biased;
+                    _ = shutdown.wait() => break,
+                    r = listener.accept() => r,
+                };
+                let (stream, peer) = match accepted {
+                    Ok(pair) => pair,
+                    // Transient accept errors (EMFILE, resets) must not kill
+                    // the listener; yield and retry.
+                    Err(_) => {
+                        tokio::task::yield_now().await;
+                        continue;
+                    }
+                };
+                let Some(permit) = accept_gate.try_acquire() else {
+                    drop(stream);
+                    continue;
+                };
+                session_seq += 1;
+                let ctx = SessionCtx {
+                    peer,
+                    local_port: local_addr.port(),
+                    clock: options.clock.clone(),
+                    shutdown: ShutdownSignal {
+                        rx: shutdown_rx.clone(),
+                    },
+                    session_seq,
+                };
+                let handler = handler.clone();
+                tokio::spawn(async move {
+                    handler.handle(stream, ctx).await;
+                    drop(permit);
+                });
+            }
+        });
+
+        Ok(ServerHandle {
+            local_addr,
+            shutdown_tx,
+            accept_task,
+            gate,
+        })
+    }
+}
+
+/// Handle to a running listener; shuts down on [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shutdown_tx: watch::Sender<bool>,
+    accept_task: JoinHandle<()>,
+    gate: ConnectionGate,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of sessions currently in flight.
+    pub fn active_sessions(&self) -> usize {
+        self.gate.active()
+    }
+
+    /// Request shutdown and wait for the accept loop to exit. In-flight
+    /// sessions observe the shared [`ShutdownSignal`]; callers that need a
+    /// full drain can poll [`ServerHandle::active_sessions`].
+    pub async fn shutdown(self) {
+        let _ = self.shutdown_tx.send(true);
+        let _ = self.accept_task.await;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{Framed, LineCodec};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+    struct Echo {
+        sessions: AtomicUsize,
+    }
+
+    impl SessionHandler for Echo {
+        async fn handle(self: Arc<Self>, stream: TcpStream, _ctx: SessionCtx) {
+            self.sessions.fetch_add(1, Ordering::SeqCst);
+            let mut framed = Framed::new(stream, LineCodec::default());
+            while let Ok(Some(line)) = framed.read_frame().await {
+                if framed.write_frame(&line).await.is_err() {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn loopback() -> SocketAddr {
+        "127.0.0.1:0".parse().unwrap()
+    }
+
+    #[tokio::test]
+    async fn serves_and_echoes_multiple_clients() {
+        let handler = Arc::new(Echo {
+            sessions: AtomicUsize::new(0),
+        });
+        let server = Listener::bind(loopback(), handler.clone(), ListenerOptions::default())
+            .await
+            .unwrap();
+        let addr = server.local_addr();
+
+        for i in 0..4 {
+            let stream = TcpStream::connect(addr).await.unwrap();
+            let mut framed = Framed::new(stream, LineCodec::default());
+            let msg = format!("hello-{i}");
+            framed.write_frame(&msg).await.unwrap();
+            assert_eq!(framed.read_frame().await.unwrap(), Some(msg));
+        }
+        server.shutdown().await;
+        assert_eq!(handler.sessions.load(Ordering::SeqCst), 4);
+    }
+
+    #[tokio::test]
+    async fn shutdown_stops_accepting() {
+        let handler = Arc::new(Echo {
+            sessions: AtomicUsize::new(0),
+        });
+        let server = Listener::bind(loopback(), handler, ListenerOptions::default())
+            .await
+            .unwrap();
+        let addr = server.local_addr();
+        server.shutdown().await;
+        // Either the connect fails outright, or it succeeds (kernel backlog)
+        // and the socket is immediately closed with no reads possible.
+        if let Ok(mut s) = TcpStream::connect(addr).await {
+            let mut buf = [0u8; 1];
+            s.write_all(b"x").await.ok();
+            let n = s.read(&mut buf).await.unwrap_or(0);
+            assert_eq!(n, 0);
+        }
+    }
+
+    #[tokio::test]
+    async fn session_ctx_carries_peer_and_seq() {
+        struct Capture {
+            seqs: parking_lot::Mutex<Vec<u64>>,
+        }
+        impl SessionHandler for Capture {
+            async fn handle(self: Arc<Self>, _stream: TcpStream, ctx: SessionCtx) {
+                assert!(ctx.peer.ip().is_loopback());
+                assert!(!ctx.shutdown.is_shutdown());
+                self.seqs.lock().push(ctx.session_seq);
+            }
+        }
+        let handler = Arc::new(Capture {
+            seqs: parking_lot::Mutex::new(vec![]),
+        });
+        let server = Listener::bind(loopback(), handler.clone(), ListenerOptions::default())
+            .await
+            .unwrap();
+        for _ in 0..3 {
+            let s = TcpStream::connect(server.local_addr()).await.unwrap();
+            drop(s);
+        }
+        // Give the sessions a moment to run.
+        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+        server.shutdown().await;
+        let mut seqs = handler.seqs.lock().clone();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![1, 2, 3]);
+    }
+}

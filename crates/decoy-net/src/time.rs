@@ -1,0 +1,184 @@
+//! Virtual time.
+//!
+//! Every event the honeypots log carries a [`Timestamp`]. In a live
+//! deployment the timestamp comes from the wall clock; in an experiment it
+//! comes from a shared [`SimClock`] the runner advances while replaying the
+//! paper's 20-day observation window at full speed. All analysis code is a
+//! pure function of timestamps, which is what makes the substitution sound.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Milliseconds since the Unix epoch.
+///
+/// A plain newtype rather than `std::time::SystemTime` so that simulated and
+/// wall-clock time share one arithmetic-friendly representation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Timestamp(pub u64);
+
+/// Start of the paper's deployment: 2024-03-22 00:00:00 UTC.
+pub const EXPERIMENT_START: Timestamp = Timestamp(1_711_065_600_000);
+/// End of the paper's deployment: 2024-04-11 00:00:00 UTC (20 days later).
+pub const EXPERIMENT_END: Timestamp = Timestamp(1_711_065_600_000 + 20 * MILLIS_PER_DAY);
+
+/// Milliseconds in one hour.
+pub const MILLIS_PER_HOUR: u64 = 3_600_000;
+/// Milliseconds in one day.
+pub const MILLIS_PER_DAY: u64 = 24 * MILLIS_PER_HOUR;
+
+impl Timestamp {
+    /// Construct from milliseconds since the Unix epoch.
+    pub const fn from_millis(ms: u64) -> Self {
+        Timestamp(ms)
+    }
+
+    /// Milliseconds since the Unix epoch.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a millisecond offset.
+    pub const fn add_millis(self, ms: u64) -> Self {
+        Timestamp(self.0.saturating_add(ms))
+    }
+
+    /// Saturating difference in milliseconds (`self - earlier`).
+    pub const fn millis_since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Whole hours since `origin` (bucket index for hourly time series).
+    pub const fn hours_since(self, origin: Timestamp) -> u64 {
+        self.millis_since(origin) / MILLIS_PER_HOUR
+    }
+
+    /// Whole days since `origin` (bucket index for retention analysis).
+    pub const fn days_since(self, origin: Timestamp) -> u64 {
+        self.millis_since(origin) / MILLIS_PER_DAY
+    }
+}
+
+/// A monotone, manually-advanced clock shared by the experiment runner, the
+/// honeypots, and the agents.
+///
+/// `advance_to` is monotone: attempts to move backwards are ignored, so
+/// concurrent advancement from several drivers is safe.
+#[derive(Debug)]
+pub struct SimClock {
+    now_ms: AtomicU64,
+}
+
+impl SimClock {
+    /// A clock starting at the paper's experiment start.
+    pub fn at_experiment_start() -> Arc<Self> {
+        Self::starting_at(EXPERIMENT_START)
+    }
+
+    /// A clock starting at an arbitrary instant.
+    pub fn starting_at(t: Timestamp) -> Arc<Self> {
+        Arc::new(SimClock {
+            now_ms: AtomicU64::new(t.0),
+        })
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Timestamp {
+        Timestamp(self.now_ms.load(Ordering::Acquire))
+    }
+
+    /// Advance to `t` if `t` is later than the current virtual time.
+    pub fn advance_to(&self, t: Timestamp) {
+        self.now_ms.fetch_max(t.0, Ordering::AcqRel);
+    }
+
+    /// Advance by a relative number of milliseconds.
+    pub fn advance_millis(&self, ms: u64) {
+        self.now_ms.fetch_add(ms, Ordering::AcqRel);
+    }
+}
+
+/// The time source handed to every honeypot and agent.
+#[derive(Debug, Clone)]
+pub enum Clock {
+    /// Real wall-clock time (live deployments).
+    Wall,
+    /// Shared simulated time (experiments).
+    Sim(Arc<SimClock>),
+}
+
+impl Clock {
+    /// A fresh simulated clock positioned at the paper's experiment start.
+    pub fn simulated() -> Self {
+        Clock::Sim(SimClock::at_experiment_start())
+    }
+
+    /// Current time according to this clock.
+    pub fn now(&self) -> Timestamp {
+        match self {
+            Clock::Wall => {
+                let ms = std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_millis() as u64)
+                    .unwrap_or(0);
+                Timestamp(ms)
+            }
+            Clock::Sim(c) => c.now(),
+        }
+    }
+
+    /// The shared simulated clock, if this is a simulated time source.
+    pub fn sim(&self) -> Option<&Arc<SimClock>> {
+        match self {
+            Clock::Sim(c) => Some(c),
+            Clock::Wall => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_arithmetic() {
+        let t = EXPERIMENT_START;
+        assert_eq!(t.add_millis(MILLIS_PER_HOUR).hours_since(t), 1);
+        assert_eq!(t.add_millis(MILLIS_PER_HOUR - 1).hours_since(t), 0);
+        assert_eq!(t.add_millis(3 * MILLIS_PER_DAY + 5).days_since(t), 3);
+        // saturating behaviour: an earlier timestamp yields zero, not a panic
+        assert_eq!(t.millis_since(t.add_millis(10)), 0);
+    }
+
+    #[test]
+    fn experiment_window_is_twenty_days() {
+        assert_eq!(EXPERIMENT_END.days_since(EXPERIMENT_START), 20);
+        assert_eq!(EXPERIMENT_END.hours_since(EXPERIMENT_START), 480);
+    }
+
+    #[test]
+    fn sim_clock_is_monotone() {
+        let c = SimClock::at_experiment_start();
+        let t0 = c.now();
+        c.advance_to(t0.add_millis(500));
+        assert_eq!(c.now(), t0.add_millis(500));
+        // moving backwards is a no-op
+        c.advance_to(t0);
+        assert_eq!(c.now(), t0.add_millis(500));
+        c.advance_millis(10);
+        assert_eq!(c.now(), t0.add_millis(510));
+    }
+
+    #[test]
+    fn clock_enum_dispatch() {
+        let clock = Clock::simulated();
+        assert_eq!(clock.now(), EXPERIMENT_START);
+        clock.sim().unwrap().advance_millis(1);
+        assert_eq!(clock.now(), EXPERIMENT_START.add_millis(1));
+        // the wall clock runs after 2024
+        assert!(Clock::Wall.now() > EXPERIMENT_START);
+        assert!(Clock::Wall.sim().is_none());
+    }
+}

@@ -1,0 +1,277 @@
+//! A miniature MongoDB storage engine.
+//!
+//! The paper's high-interaction honeypot fronts a *real* MongoDB instance so
+//! attackers can actually enumerate, read, and delete data (which the ransom
+//! campaigns of §6.3 did, table by table). This module is our substitute: a
+//! databases → collections → documents store with the operations those
+//! campaigns exercised: `insert`, `find` (equality filters + limit),
+//! `delete`, `drop`, `listDatabases`, `listCollections`, `count`.
+
+use decoy_wire::mongo::bson::{Bson, Document};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// The engine. Interior mutability so honeypot session tasks share it.
+#[derive(Debug, Default)]
+pub struct DocDb {
+    inner: RwLock<BTreeMap<String, DatabaseData>>,
+}
+
+#[derive(Debug, Default, Clone)]
+struct DatabaseData {
+    collections: BTreeMap<String, Vec<Document>>,
+}
+
+/// Outcome of a write operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteResult {
+    /// Number of documents affected.
+    pub n: usize,
+}
+
+impl DocDb {
+    /// An empty engine.
+    pub fn new() -> Self {
+        DocDb::default()
+    }
+
+    /// Insert documents, creating database/collection on demand.
+    pub fn insert(&self, db: &str, coll: &str, docs: Vec<Document>) -> WriteResult {
+        let mut inner = self.inner.write();
+        let collection = inner
+            .entry(db.to_string())
+            .or_default()
+            .collections
+            .entry(coll.to_string())
+            .or_default();
+        let n = docs.len();
+        collection.extend(docs);
+        WriteResult { n }
+    }
+
+    /// Find documents matching `filter` by top-level equality; empty filter
+    /// matches everything. `limit = 0` means no limit (MongoDB semantics).
+    pub fn find(&self, db: &str, coll: &str, filter: &Document, limit: usize) -> Vec<Document> {
+        let inner = self.inner.read();
+        let Some(collection) = inner.get(db).and_then(|d| d.collections.get(coll)) else {
+            return Vec::new();
+        };
+        let take = if limit == 0 { usize::MAX } else { limit };
+        collection
+            .iter()
+            .filter(|doc| matches_filter(doc, filter))
+            .take(take)
+            .cloned()
+            .collect()
+    }
+
+    /// Count documents matching `filter`.
+    pub fn count(&self, db: &str, coll: &str, filter: &Document) -> usize {
+        let inner = self.inner.read();
+        inner
+            .get(db)
+            .and_then(|d| d.collections.get(coll))
+            .map(|c| c.iter().filter(|doc| matches_filter(doc, filter)).count())
+            .unwrap_or(0)
+    }
+
+    /// Delete documents matching `filter`; empty filter deletes all.
+    pub fn delete(&self, db: &str, coll: &str, filter: &Document) -> WriteResult {
+        let mut inner = self.inner.write();
+        let Some(collection) = inner.get_mut(db).and_then(|d| d.collections.get_mut(coll))
+        else {
+            return WriteResult { n: 0 };
+        };
+        let before = collection.len();
+        collection.retain(|doc| !matches_filter(doc, filter));
+        WriteResult {
+            n: before - collection.len(),
+        }
+    }
+
+    /// Drop one collection. Returns whether it existed.
+    pub fn drop_collection(&self, db: &str, coll: &str) -> bool {
+        let mut inner = self.inner.write();
+        inner
+            .get_mut(db)
+            .map(|d| d.collections.remove(coll).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Drop a whole database. Returns whether it existed.
+    pub fn drop_database(&self, db: &str) -> bool {
+        self.inner.write().remove(db).is_some()
+    }
+
+    /// `listDatabases` — names in sorted order (what the scouting queries
+    /// of §6 retrieve).
+    pub fn list_databases(&self) -> Vec<String> {
+        self.inner.read().keys().cloned().collect()
+    }
+
+    /// `listCollections` for one database.
+    pub fn list_collections(&self, db: &str) -> Vec<String> {
+        self.inner
+            .read()
+            .get(db)
+            .map(|d| d.collections.keys().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Approximate size in documents across all databases.
+    pub fn total_documents(&self) -> usize {
+        self.inner
+            .read()
+            .values()
+            .flat_map(|d| d.collections.values())
+            .map(|c| c.len())
+            .sum()
+    }
+}
+
+/// Top-level equality matching: every filter key must exist in `doc` with an
+/// equal value ([`Bson`] equality).
+fn matches_filter(doc: &Document, filter: &Document) -> bool {
+    filter.iter().all(|(k, v)| doc.get(k) == Some(v))
+}
+
+/// Build the `listDatabases` command reply document.
+pub fn list_databases_reply(db: &DocDb) -> Document {
+    let mut databases = Vec::new();
+    for name in db.list_databases() {
+        databases.push(Bson::Document(
+            Document::new()
+                .with("name", name.as_str())
+                .with("sizeOnDisk", 8192i64)
+                .with("empty", false),
+        ));
+    }
+    Document::new()
+        .with("databases", databases)
+        .with("totalSize", 8192i64)
+        .with("ok", 1.0f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoy_wire::mongo::bson::doc;
+
+    fn customer(name: &str, card: &str) -> Document {
+        doc! { "name" => name, "card" => card }
+    }
+
+    #[test]
+    fn insert_find_roundtrip() {
+        let db = DocDb::new();
+        let r = db.insert(
+            "shop",
+            "customers",
+            vec![customer("alice", "4111"), customer("bob", "4222")],
+        );
+        assert_eq!(r.n, 2);
+        let all = db.find("shop", "customers", &Document::new(), 0);
+        assert_eq!(all.len(), 2);
+        let alice = db.find("shop", "customers", &doc! { "name" => "alice" }, 0);
+        assert_eq!(alice.len(), 1);
+        assert_eq!(alice[0].get_str("card"), Some("4111"));
+    }
+
+    #[test]
+    fn find_respects_limit_and_missing_paths() {
+        let db = DocDb::new();
+        for i in 0..10 {
+            db.insert("d", "c", vec![doc! { "i" => i }]);
+        }
+        assert_eq!(db.find("d", "c", &Document::new(), 3).len(), 3);
+        assert_eq!(db.find("d", "c", &Document::new(), 0).len(), 10);
+        assert!(db.find("nope", "c", &Document::new(), 0).is_empty());
+        assert!(db.find("d", "nope", &Document::new(), 0).is_empty());
+    }
+
+    #[test]
+    fn count_and_delete_with_filters() {
+        let db = DocDb::new();
+        db.insert(
+            "d",
+            "c",
+            vec![
+                doc! { "group" => "a", "v" => 1i32 },
+                doc! { "group" => "a", "v" => 2i32 },
+                doc! { "group" => "b", "v" => 3i32 },
+            ],
+        );
+        assert_eq!(db.count("d", "c", &Document::new()), 3);
+        assert_eq!(db.count("d", "c", &doc! { "group" => "a" }), 2);
+        let r = db.delete("d", "c", &doc! { "group" => "a" });
+        assert_eq!(r.n, 2);
+        assert_eq!(db.count("d", "c", &Document::new()), 1);
+        // empty filter deletes all (the ransom wipe)
+        let r = db.delete("d", "c", &Document::new());
+        assert_eq!(r.n, 1);
+        assert_eq!(db.count("d", "c", &Document::new()), 0);
+    }
+
+    #[test]
+    fn ransom_attack_sequence() {
+        // §6.3: read everything table by table, delete it, insert a note.
+        let db = DocDb::new();
+        db.insert("prod", "users", vec![customer("alice", "4111")]);
+        db.insert("prod", "orders", vec![doc! { "order" => 17i32 }]);
+
+        // attacker enumerates
+        assert_eq!(db.list_databases(), vec!["prod"]);
+        assert_eq!(db.list_collections("prod"), vec!["orders", "users"]);
+
+        // exfiltrates
+        let stolen: usize = db
+            .list_collections("prod")
+            .iter()
+            .map(|c| db.find("prod", c, &Document::new(), 0).len())
+            .sum();
+        assert_eq!(stolen, 2);
+
+        // wipes and leaves the note
+        for coll in db.list_collections("prod") {
+            db.drop_collection("prod", &coll);
+        }
+        db.insert(
+            "prod",
+            "README",
+            vec![doc! { "note" => "All your data is backed up. You must pay 0.0058 BTC" }],
+        );
+        assert_eq!(db.list_collections("prod"), vec!["README"]);
+        assert_eq!(db.total_documents(), 1);
+    }
+
+    #[test]
+    fn drop_database_and_collection_report_existence() {
+        let db = DocDb::new();
+        db.insert("d", "c", vec![doc! { "x" => 1i32 }]);
+        assert!(db.drop_collection("d", "c"));
+        assert!(!db.drop_collection("d", "c"));
+        assert!(db.drop_database("d"));
+        assert!(!db.drop_database("d"));
+    }
+
+    #[test]
+    fn list_databases_reply_shape() {
+        let db = DocDb::new();
+        db.insert("admin", "system.version", vec![doc! { "v" => 1i32 }]);
+        let reply = list_databases_reply(&db);
+        assert_eq!(reply.get_f64("ok"), Some(1.0));
+        let dbs = reply.get("databases").unwrap().as_array().unwrap();
+        assert_eq!(dbs.len(), 1);
+        assert_eq!(dbs[0].as_doc().unwrap().get_str("name"), Some("admin"));
+    }
+
+    #[test]
+    fn filter_requires_all_keys() {
+        let d = doc! { "a" => 1i32, "b" => "x" };
+        assert!(matches_filter(&d, &Document::new()));
+        assert!(matches_filter(&d, &doc! { "a" => 1i32 }));
+        assert!(matches_filter(&d, &doc! { "a" => 1i32, "b" => "x" }));
+        assert!(!matches_filter(&d, &doc! { "a" => 2i32 }));
+        assert!(!matches_filter(&d, &doc! { "c" => 1i32 }));
+    }
+}

@@ -1,0 +1,479 @@
+//! The standardized event store (the paper's SQLite pipeline stage).
+//!
+//! Every honeypot session appends [`Event`]s here through a cheaply clonable
+//! handle. The store keeps secondary indexes by source IP and by honeypot
+//! DBMS so the analysis crate can run the paper's aggregations (Tables 5–12,
+//! Figures 2–9) without scanning everything repeatedly.
+
+use decoy_net::time::Timestamp;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+/// Which database a honeypot emulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dbms {
+    /// MySQL (port 3306).
+    MySql,
+    /// PostgreSQL (port 5432).
+    Postgres,
+    /// Redis (port 6379).
+    Redis,
+    /// Microsoft SQL Server (port 1433).
+    Mssql,
+    /// Elasticsearch (port 9200).
+    Elastic,
+    /// MongoDB (port 27017).
+    MongoDb,
+    /// CouchDB (port 5984) — coverage extension beyond Table 4 (the
+    /// paper's limitations section names it as future work).
+    CouchDb,
+}
+
+impl Dbms {
+    /// The standard TCP port of this DBMS (Table 4).
+    pub fn port(&self) -> u16 {
+        match self {
+            Dbms::MySql => 3306,
+            Dbms::Postgres => 5432,
+            Dbms::Redis => 6379,
+            Dbms::Mssql => 1433,
+            Dbms::Elastic => 9200,
+            Dbms::MongoDb => 27017,
+            Dbms::CouchDb => 5984,
+        }
+    }
+
+    /// Display name used in tables (matches the paper's abbreviations).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Dbms::MySql => "MySQL",
+            Dbms::Postgres => "PostgreSQL",
+            Dbms::Redis => "Redis",
+            Dbms::Mssql => "MSSQL",
+            Dbms::Elastic => "Elastic",
+            Dbms::MongoDb => "MongoDB",
+            Dbms::CouchDb => "CouchDB",
+        }
+    }
+
+    /// All DBMS in a stable order.
+    pub fn all() -> [Dbms; 7] {
+        [
+            Dbms::MySql,
+            Dbms::Postgres,
+            Dbms::Redis,
+            Dbms::Mssql,
+            Dbms::Elastic,
+            Dbms::MongoDb,
+            Dbms::CouchDb,
+        ]
+    }
+}
+
+/// Honeypot interaction level (§2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum InteractionLevel {
+    /// Qeeqbox-style: banner + credential capture only.
+    Low,
+    /// Protocol emulation with scripted responses.
+    Medium,
+    /// A real database engine behind the protocol.
+    High,
+}
+
+/// Deployment configuration variant (Table 4 / §4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ConfigVariant {
+    /// Out-of-the-box configuration.
+    Default,
+    /// Populated with Mockaroo-style fake entries (Redis medium, MongoDB).
+    FakeData,
+    /// Logins always rejected (Sticky Elephant restricted variant).
+    LoginDisabled,
+    /// Low-interaction VM hosting all four DBMS on one IP.
+    MultiService,
+    /// Low-interaction control group: one DBMS per IP.
+    SingleService,
+}
+
+/// Identifies one deployed honeypot instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HoneypotId {
+    /// Emulated DBMS.
+    pub dbms: Dbms,
+    /// Interaction level.
+    pub level: InteractionLevel,
+    /// Configuration variant.
+    pub config: ConfigVariant,
+    /// Instance number within its (dbms, level, config) group.
+    pub instance: u16,
+}
+
+impl HoneypotId {
+    /// Construct an id.
+    pub fn new(dbms: Dbms, level: InteractionLevel, config: ConfigVariant, instance: u16) -> Self {
+        HoneypotId {
+            dbms,
+            level,
+            config,
+            instance,
+        }
+    }
+}
+
+/// `(source IP, session sequence)` — the unit the paper groups actions by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SessionKey {
+    /// Source address of the session.
+    pub src: IpAddr,
+    /// Per-honeypot session sequence number.
+    pub session: u64,
+}
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// TCP connection accepted.
+    Connect,
+    /// Connection ended (by either side).
+    Disconnect,
+    /// An authentication attempt with the captured credentials.
+    LoginAttempt {
+        /// Username as typed.
+        username: String,
+        /// Password as observed (cleartext where the protocol allows).
+        password: String,
+        /// Whether the honeypot granted access.
+        success: bool,
+    },
+    /// A command/query executed against the emulated DBMS.
+    Command {
+        /// Normalized action token used for TF clustering (§6.1): the verb
+        /// with volatile parameters (hashes, IPs, ports) masked.
+        action: String,
+        /// The raw rendered command, verbatim.
+        raw: String,
+    },
+    /// An opaque payload that did not parse as the DBMS protocol.
+    Payload {
+        /// Captured byte count.
+        len: usize,
+        /// Recognized foreign protocol label (`rdp-scan`, ...), if any.
+        recognized: Option<String>,
+        /// Lossy text rendering for the logs.
+        preview: String,
+    },
+    /// Input that violated the protocol grammar.
+    Malformed {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl EventKind {
+    /// True for kinds that constitute "meaningful interaction beyond basic
+    /// connection" in the paper's classification (§4.3).
+    pub fn is_interactive(&self) -> bool {
+        !matches!(self, EventKind::Connect | EventKind::Disconnect)
+    }
+}
+
+/// One log record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Event {
+    /// When it happened (virtual time in experiments).
+    pub ts: Timestamp,
+    /// Which honeypot logged it.
+    pub honeypot: HoneypotId,
+    /// Source address.
+    pub src: IpAddr,
+    /// Per-honeypot session sequence number.
+    pub session: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Append-only, indexed event store shared by all honeypots in a deployment.
+///
+/// Writers call [`EventStore::log`]; readers take a consistent snapshot via
+/// the query methods. Locking is a single `RwLock` — honeypot sessions write
+/// in short bursts, analysis reads after the run.
+#[derive(Debug, Default)]
+pub struct EventStore {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    events: Vec<Event>,
+    by_src: HashMap<IpAddr, Vec<usize>>,
+    by_dbms: HashMap<Dbms, Vec<usize>>,
+}
+
+impl EventStore {
+    /// A fresh, empty store behind an `Arc` handle.
+    pub fn new() -> Arc<Self> {
+        Arc::new(EventStore::default())
+    }
+
+    /// Append one event.
+    pub fn log(&self, event: Event) {
+        let mut inner = self.inner.write();
+        let idx = inner.events.len();
+        inner.by_src.entry(event.src).or_default().push(idx);
+        inner
+            .by_dbms
+            .entry(event.honeypot.dbms)
+            .or_default()
+            .push(idx);
+        inner.events.push(event);
+    }
+
+    /// Build a store from a collection of events (used to slice a run's
+    /// events into per-fleet views, e.g. low-interaction only).
+    pub fn from_events(events: impl IntoIterator<Item = Event>) -> Arc<Self> {
+        let store = EventStore::new();
+        store.log_many(events);
+        store
+    }
+
+    /// Append many events at once (used by the direct-mode generator).
+    pub fn log_many(&self, events: impl IntoIterator<Item = Event>) {
+        let mut inner = self.inner.write();
+        for event in events {
+            let idx = inner.events.len();
+            inner.by_src.entry(event.src).or_default().push(idx);
+            inner
+                .by_dbms
+                .entry(event.honeypot.dbms)
+                .or_default()
+                .push(idx);
+            inner.events.push(event);
+        }
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.inner.read().events.len()
+    }
+
+    /// True when no events have been logged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all events in log order.
+    pub fn all(&self) -> Vec<Event> {
+        self.inner.read().events.clone()
+    }
+
+    /// Events from one source IP, in log order.
+    pub fn by_src(&self, src: IpAddr) -> Vec<Event> {
+        let inner = self.inner.read();
+        inner
+            .by_src
+            .get(&src)
+            .map(|idxs| idxs.iter().map(|&i| inner.events[i].clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Events logged by honeypots of one DBMS, in log order.
+    pub fn by_dbms(&self, dbms: Dbms) -> Vec<Event> {
+        let inner = self.inner.read();
+        inner
+            .by_dbms
+            .get(&dbms)
+            .map(|idxs| idxs.iter().map(|&i| inner.events[i].clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Distinct source IPs observed, unordered.
+    pub fn sources(&self) -> Vec<IpAddr> {
+        self.inner.read().by_src.keys().copied().collect()
+    }
+
+    /// Events matching an arbitrary predicate (the "any query" escape hatch).
+    pub fn filter(&self, pred: impl Fn(&Event) -> bool) -> Vec<Event> {
+        self.inner
+            .read()
+            .events
+            .iter()
+            .filter(|e| pred(e))
+            .cloned()
+            .collect()
+    }
+
+    /// Fold over all events without cloning them.
+    pub fn fold<T>(&self, init: T, f: impl FnMut(T, &Event) -> T) -> T {
+        let inner = self.inner.read();
+        inner.events.iter().fold(init, f)
+    }
+
+    /// Export as JSON lines (the dataset format of Appendix B).
+    pub fn to_json_lines(&self) -> String {
+        let inner = self.inner.read();
+        let mut out = String::new();
+        for event in &inner.events {
+            out.push_str(&serde_json::to_string(event).expect("event serializes"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Import JSON lines previously produced by [`EventStore::to_json_lines`].
+    pub fn from_json_lines(text: &str) -> Result<Arc<Self>, serde_json::Error> {
+        let store = EventStore::new();
+        let mut events = Vec::new();
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            events.push(serde_json::from_str::<Event>(line)?);
+        }
+        store.log_many(events);
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoy_net::time::EXPERIMENT_START;
+
+    fn ip(n: u8) -> IpAddr {
+        IpAddr::from([198, 51, 100, n])
+    }
+
+    fn hp(dbms: Dbms) -> HoneypotId {
+        HoneypotId::new(dbms, InteractionLevel::Low, ConfigVariant::MultiService, 0)
+    }
+
+    fn ev(src: IpAddr, dbms: Dbms, kind: EventKind) -> Event {
+        Event {
+            ts: EXPERIMENT_START,
+            honeypot: hp(dbms),
+            src,
+            session: 1,
+            kind,
+        }
+    }
+
+    #[test]
+    fn ports_match_table4() {
+        assert_eq!(Dbms::MySql.port(), 3306);
+        assert_eq!(Dbms::Postgres.port(), 5432);
+        assert_eq!(Dbms::Redis.port(), 6379);
+        assert_eq!(Dbms::Mssql.port(), 1433);
+        assert_eq!(Dbms::Elastic.port(), 9200);
+        assert_eq!(Dbms::MongoDb.port(), 27017);
+        assert_eq!(Dbms::CouchDb.port(), 5984);
+        assert_eq!(Dbms::all().len(), 7);
+    }
+
+    #[test]
+    fn log_and_indexes() {
+        let store = EventStore::new();
+        store.log(ev(ip(1), Dbms::Redis, EventKind::Connect));
+        store.log(ev(ip(2), Dbms::Mssql, EventKind::Connect));
+        store.log(ev(
+            ip(1),
+            Dbms::Redis,
+            EventKind::Command {
+                action: "INFO".into(),
+                raw: "INFO".into(),
+            },
+        ));
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.by_src(ip(1)).len(), 2);
+        assert_eq!(store.by_src(ip(2)).len(), 1);
+        assert_eq!(store.by_src(ip(3)).len(), 0);
+        assert_eq!(store.by_dbms(Dbms::Redis).len(), 2);
+        assert_eq!(store.by_dbms(Dbms::MySql).len(), 0);
+        let mut sources = store.sources();
+        sources.sort();
+        assert_eq!(sources, vec![ip(1), ip(2)]);
+    }
+
+    #[test]
+    fn filter_and_fold() {
+        let store = EventStore::new();
+        for i in 0..10u8 {
+            store.log(ev(
+                ip(i),
+                Dbms::Postgres,
+                EventKind::LoginAttempt {
+                    username: "postgres".into(),
+                    password: format!("pw{i}"),
+                    success: false,
+                },
+            ));
+        }
+        let logins = store.filter(|e| matches!(e.kind, EventKind::LoginAttempt { .. }));
+        assert_eq!(logins.len(), 10);
+        let count = store.fold(0usize, |acc, e| {
+            acc + matches!(e.kind, EventKind::LoginAttempt { .. }) as usize
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn interactivity_classification() {
+        assert!(!EventKind::Connect.is_interactive());
+        assert!(!EventKind::Disconnect.is_interactive());
+        assert!(EventKind::LoginAttempt {
+            username: "sa".into(),
+            password: "123".into(),
+            success: false
+        }
+        .is_interactive());
+        assert!(EventKind::Command {
+            action: "KEYS".into(),
+            raw: "KEYS *".into()
+        }
+        .is_interactive());
+        assert!(EventKind::Payload {
+            len: 14,
+            recognized: Some("jdwp-scan".into()),
+            preview: "JDWP-Handshake".into()
+        }
+        .is_interactive());
+    }
+
+    #[test]
+    fn json_lines_roundtrip() {
+        let store = EventStore::new();
+        store.log(ev(ip(7), Dbms::MongoDb, EventKind::Connect));
+        store.log(ev(
+            ip(7),
+            Dbms::MongoDb,
+            EventKind::Command {
+                action: "listDatabases".into(),
+                raw: "listDatabases".into(),
+            },
+        ));
+        let text = store.to_json_lines();
+        assert_eq!(text.lines().count(), 2);
+        let restored = EventStore::from_json_lines(&text).unwrap();
+        assert_eq!(restored.all(), store.all());
+        // garbage input errors
+        assert!(EventStore::from_json_lines("not json\n").is_err());
+    }
+
+    #[test]
+    fn log_many_matches_sequential_logging() {
+        let a = EventStore::new();
+        let b = EventStore::new();
+        let events: Vec<Event> = (0..5u8)
+            .map(|i| ev(ip(i), Dbms::Elastic, EventKind::Connect))
+            .collect();
+        for e in &events {
+            a.log(e.clone());
+        }
+        b.log_many(events);
+        assert_eq!(a.all(), b.all());
+        assert_eq!(a.sources().len(), b.sources().len());
+    }
+}

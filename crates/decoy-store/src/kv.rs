@@ -1,0 +1,491 @@
+//! A Redis-like keyspace.
+//!
+//! Backs the medium-interaction Redis honeypot: real `SET`/`GET`/`DEL`/
+//! `KEYS`/`TYPE` semantics (RedisHoneyPot answers 14 operations — §4.1), a
+//! `CONFIG` table that the P2PInfect and SSH-backdoor campaigns mutate
+//! (Listing 1 rewrites `dir`/`dbfilename`), and replication state for
+//! `SLAVEOF`. The fake-data variant preloads Mockaroo-style login entries.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// A stored value. Only strings are needed by the observed traffic, but the
+/// type is an enum so `TYPE` answers faithfully if richer values are added.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvValue {
+    /// A Redis string (binary-safe).
+    Str(Vec<u8>),
+    /// A Redis hash.
+    Hash(BTreeMap<String, Vec<u8>>),
+    /// A Redis list.
+    List(Vec<Vec<u8>>),
+}
+
+impl KvValue {
+    /// The `TYPE` command's answer for this value.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            KvValue::Str(_) => "string",
+            KvValue::Hash(_) => "hash",
+            KvValue::List(_) => "list",
+        }
+    }
+}
+
+/// Replication state set by `SLAVEOF`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ReplicationRole {
+    /// Acting as master (`SLAVEOF NO ONE` or initial state).
+    #[default]
+    Master,
+    /// Replicating from `host:port` — the exploitation pivot of the
+    /// rogue-server technique in Listing 1.
+    SlaveOf {
+        /// Master host as given.
+        host: String,
+        /// Master port as given.
+        port: u16,
+    },
+}
+
+/// The keyspace. Interior mutability so one instance can be shared by the
+/// honeypot session tasks.
+#[derive(Debug, Default)]
+pub struct KvStore {
+    inner: RwLock<KvInner>,
+}
+
+#[derive(Debug)]
+struct KvInner {
+    data: BTreeMap<String, KvValue>,
+    config: BTreeMap<String, String>,
+    role: ReplicationRole,
+    loaded_modules: Vec<String>,
+    dirty_since_save: bool,
+}
+
+impl Default for KvInner {
+    fn default() -> Self {
+        let mut config = BTreeMap::new();
+        // The defaults the P2PInfect script reads back and restores.
+        config.insert("dir".to_string(), "/var/lib/redis".to_string());
+        config.insert("dbfilename".to_string(), "dump.rdb".to_string());
+        config.insert("rdbcompression".to_string(), "yes".to_string());
+        config.insert("save".to_string(), "3600 1 300 100 60 10000".to_string());
+        KvInner {
+            data: BTreeMap::new(),
+            config,
+            role: ReplicationRole::Master,
+            loaded_modules: Vec::new(),
+            dirty_since_save: false,
+        }
+    }
+}
+
+/// Simple glob matching supporting `*` and `?` (what `KEYS` needs).
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    fn rec(p: &[u8], t: &[u8]) -> bool {
+        match (p.first(), t.first()) {
+            (None, None) => true,
+            (Some(b'*'), _) => rec(&p[1..], t) || (!t.is_empty() && rec(p, &t[1..])),
+            (Some(b'?'), Some(_)) => rec(&p[1..], &t[1..]),
+            (Some(a), Some(b)) if a == b => rec(&p[1..], &t[1..]),
+            _ => false,
+        }
+    }
+    rec(pattern.as_bytes(), text.as_bytes())
+}
+
+impl KvStore {
+    /// An empty store with default config.
+    pub fn new() -> Self {
+        KvStore::default()
+    }
+
+    /// A store preloaded with `(key, value)` string pairs — the fake-data
+    /// configuration of §4.2 (200 Mockaroo user/password entries).
+    pub fn with_entries(entries: impl IntoIterator<Item = (String, String)>) -> Self {
+        let store = KvStore::new();
+        {
+            let mut inner = store.inner.write();
+            for (k, v) in entries {
+                inner.data.insert(k, KvValue::Str(v.into_bytes()));
+            }
+        }
+        store
+    }
+
+    /// `SET key value`.
+    pub fn set(&self, key: &str, value: Vec<u8>) {
+        let mut inner = self.inner.write();
+        inner.data.insert(key.to_string(), KvValue::Str(value));
+        inner.dirty_since_save = true;
+    }
+
+    /// `GET key`.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        match self.inner.read().data.get(key) {
+            Some(KvValue::Str(v)) => Some(v.clone()),
+            _ => None,
+        }
+    }
+
+    /// `DEL key...` — returns how many existed.
+    pub fn del(&self, keys: &[&str]) -> usize {
+        let mut inner = self.inner.write();
+        let mut removed = 0;
+        for key in keys {
+            if inner.data.remove(*key).is_some() {
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            inner.dirty_since_save = true;
+        }
+        removed
+    }
+
+    /// `EXISTS key`.
+    pub fn exists(&self, key: &str) -> bool {
+        self.inner.read().data.contains_key(key)
+    }
+
+    /// `KEYS pattern`.
+    pub fn keys(&self, pattern: &str) -> Vec<String> {
+        self.inner
+            .read()
+            .data
+            .keys()
+            .filter(|k| glob_match(pattern, k))
+            .cloned()
+            .collect()
+    }
+
+    /// `TYPE key` — `none` when absent.
+    pub fn type_of(&self, key: &str) -> &'static str {
+        self.inner
+            .read()
+            .data
+            .get(key)
+            .map(|v| v.type_name())
+            .unwrap_or("none")
+    }
+
+    /// `DBSIZE`.
+    pub fn len(&self) -> usize {
+        self.inner.read().data.len()
+    }
+
+    /// True when the keyspace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `FLUSHDB` / `FLUSHALL`.
+    pub fn flush(&self) {
+        let mut inner = self.inner.write();
+        inner.data.clear();
+        inner.dirty_since_save = true;
+    }
+
+    /// `CONFIG GET param` (glob patterns supported, like real Redis).
+    pub fn config_get(&self, param: &str) -> Vec<(String, String)> {
+        self.inner
+            .read()
+            .config
+            .iter()
+            .filter(|(k, _)| glob_match(&param.to_ascii_lowercase(), k))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// `CONFIG SET param value`.
+    pub fn config_set(&self, param: &str, value: &str) {
+        self.inner
+            .write()
+            .config
+            .insert(param.to_ascii_lowercase(), value.to_string());
+    }
+
+    /// `SAVE` — the honeypot pretends to persist; clears the dirty flag.
+    pub fn save(&self) {
+        self.inner.write().dirty_since_save = false;
+    }
+
+    /// Whether writes happened since the last `SAVE`.
+    pub fn dirty(&self) -> bool {
+        self.inner.read().dirty_since_save
+    }
+
+    /// `SLAVEOF host port` / `SLAVEOF NO ONE`.
+    pub fn set_role(&self, role: ReplicationRole) {
+        self.inner.write().role = role;
+    }
+
+    /// Current replication role.
+    pub fn role(&self) -> ReplicationRole {
+        self.inner.read().role.clone()
+    }
+
+    /// `HSET key field value` — returns true when the field is new.
+    pub fn hset(&self, key: &str, field: &str, value: Vec<u8>) -> bool {
+        let mut inner = self.inner.write();
+        inner.dirty_since_save = true;
+        let entry = inner
+            .data
+            .entry(key.to_string())
+            .or_insert_with(|| KvValue::Hash(BTreeMap::new()));
+        match entry {
+            KvValue::Hash(map) => map.insert(field.to_string(), value).is_none(),
+            // Redis answers WRONGTYPE; the honeypot layer handles that —
+            // here we overwrite to a fresh hash like a recovered keyspace.
+            other => {
+                let mut map = BTreeMap::new();
+                map.insert(field.to_string(), value);
+                *other = KvValue::Hash(map);
+                true
+            }
+        }
+    }
+
+    /// `HGET key field`.
+    pub fn hget(&self, key: &str, field: &str) -> Option<Vec<u8>> {
+        match self.inner.read().data.get(key) {
+            Some(KvValue::Hash(map)) => map.get(field).cloned(),
+            _ => None,
+        }
+    }
+
+    /// `HGETALL key` — field/value pairs in field order.
+    pub fn hgetall(&self, key: &str) -> Vec<(String, Vec<u8>)> {
+        match self.inner.read().data.get(key) {
+            Some(KvValue::Hash(map)) => {
+                map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// `RPUSH key value...` — returns the new list length.
+    pub fn rpush(&self, key: &str, values: Vec<Vec<u8>>) -> usize {
+        let mut inner = self.inner.write();
+        inner.dirty_since_save = true;
+        let entry = inner
+            .data
+            .entry(key.to_string())
+            .or_insert_with(|| KvValue::List(Vec::new()));
+        match entry {
+            KvValue::List(list) => {
+                list.extend(values);
+                list.len()
+            }
+            other => {
+                let len = values.len();
+                *other = KvValue::List(values);
+                len
+            }
+        }
+    }
+
+    /// `LRANGE key start stop` with Redis index semantics (negative counts
+    /// from the end; `stop` inclusive).
+    pub fn lrange(&self, key: &str, start: i64, stop: i64) -> Vec<Vec<u8>> {
+        let inner = self.inner.read();
+        let Some(KvValue::List(list)) = inner.data.get(key) else {
+            return Vec::new();
+        };
+        let len = list.len() as i64;
+        let idx = |i: i64| -> i64 {
+            if i < 0 {
+                (len + i).max(0)
+            } else {
+                i.min(len)
+            }
+        };
+        let (a, b) = (idx(start), idx(stop).min(len - 1));
+        if len == 0 || a > b {
+            return Vec::new();
+        }
+        list[a as usize..=(b as usize)].to_vec()
+    }
+
+    /// `LLEN key`.
+    pub fn llen(&self, key: &str) -> usize {
+        match self.inner.read().data.get(key) {
+            Some(KvValue::List(list)) => list.len(),
+            _ => 0,
+        }
+    }
+
+    /// `MODULE LOAD path` — records the path; the honeypot never executes
+    /// anything (ethics appendix A).
+    pub fn module_load(&self, path: &str) {
+        self.inner.write().loaded_modules.push(path.to_string());
+    }
+
+    /// `MODULE UNLOAD name` — returns whether a module matched.
+    pub fn module_unload(&self, name: &str) -> bool {
+        let mut inner = self.inner.write();
+        let before = inner.loaded_modules.len();
+        inner.loaded_modules.retain(|m| !m.contains(name));
+        inner.loaded_modules.len() != before
+    }
+
+    /// Paths passed to `MODULE LOAD` so far (forensics).
+    pub fn loaded_modules(&self) -> Vec<String> {
+        self.inner.read().loaded_modules.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_del_exists() {
+        let kv = KvStore::new();
+        assert_eq!(kv.get("x"), None);
+        kv.set("x", b"hello".to_vec());
+        assert_eq!(kv.get("x"), Some(b"hello".to_vec()));
+        assert!(kv.exists("x"));
+        assert_eq!(kv.del(&["x", "y"]), 1);
+        assert!(!kv.exists("x"));
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn keys_glob_patterns() {
+        let kv = KvStore::with_entries(
+            [
+                ("user:1".to_string(), "alice".to_string()),
+                ("user:2".to_string(), "bob".to_string()),
+                ("session:9".to_string(), "tok".to_string()),
+            ],
+        );
+        let mut users = kv.keys("user:*");
+        users.sort();
+        assert_eq!(users, vec!["user:1", "user:2"]);
+        assert_eq!(kv.keys("*").len(), 3);
+        assert_eq!(kv.keys("user:?").len(), 2);
+        assert_eq!(kv.keys("nope*").len(), 0);
+    }
+
+    #[test]
+    fn glob_matcher_edge_cases() {
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "anything"));
+        assert!(glob_match("a*b", "ab"));
+        assert!(glob_match("a*b", "aXXb"));
+        assert!(!glob_match("a*b", "aXXc"));
+        assert!(glob_match("??", "ab"));
+        assert!(!glob_match("??", "a"));
+        assert!(glob_match("", ""));
+        assert!(!glob_match("", "a"));
+    }
+
+    #[test]
+    fn type_command_semantics() {
+        let kv = KvStore::new();
+        kv.set("s", b"v".to_vec());
+        assert_eq!(kv.type_of("s"), "string");
+        assert_eq!(kv.type_of("missing"), "none");
+        assert_eq!(
+            KvValue::Hash(BTreeMap::new()).type_name(),
+            "hash"
+        );
+        assert_eq!(KvValue::List(vec![]).type_name(), "list");
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let kv = KvStore::with_entries([("a".to_string(), "1".to_string())]);
+        assert_eq!(kv.len(), 1);
+        kv.flush();
+        assert!(kv.is_empty());
+    }
+
+    #[test]
+    fn config_defaults_match_p2pinfect_expectations() {
+        // Listing 1 restores dir=/var/lib/redis (well, the script restores
+        // prior values); defaults must exist for CONFIG GET to answer.
+        let kv = KvStore::new();
+        assert_eq!(
+            kv.config_get("dir"),
+            vec![("dir".to_string(), "/var/lib/redis".to_string())]
+        );
+        kv.config_set("dir", "/root/.ssh/");
+        kv.config_set("dbfilename", "authorized_keys");
+        assert_eq!(
+            kv.config_get("dbfilename"),
+            vec![("dbfilename".to_string(), "authorized_keys".to_string())]
+        );
+        // glob form, like CONFIG GET db*
+        assert_eq!(kv.config_get("db*").len(), 1);
+        assert!(kv.config_get("*").len() >= 4);
+    }
+
+    #[test]
+    fn save_and_dirty_tracking() {
+        let kv = KvStore::new();
+        assert!(!kv.dirty());
+        kv.set("x", b"1".to_vec());
+        assert!(kv.dirty());
+        kv.save();
+        assert!(!kv.dirty());
+    }
+
+    #[test]
+    fn slaveof_role_transitions() {
+        let kv = KvStore::new();
+        assert_eq!(kv.role(), ReplicationRole::Master);
+        kv.set_role(ReplicationRole::SlaveOf {
+            host: "203.0.113.9".into(),
+            port: 8886,
+        });
+        assert!(matches!(kv.role(), ReplicationRole::SlaveOf { .. }));
+        kv.set_role(ReplicationRole::Master);
+        assert_eq!(kv.role(), ReplicationRole::Master);
+    }
+
+    #[test]
+    fn hash_operations() {
+        let kv = KvStore::new();
+        assert!(kv.hset("h", "user", b"alice".to_vec()));
+        assert!(!kv.hset("h", "user", b"bob".to_vec())); // overwrite
+        assert!(kv.hset("h", "pass", b"pw".to_vec()));
+        assert_eq!(kv.hget("h", "user"), Some(b"bob".to_vec()));
+        assert_eq!(kv.hget("h", "missing"), None);
+        assert_eq!(kv.hget("missing", "x"), None);
+        let all = kv.hgetall("h");
+        assert_eq!(all.len(), 2);
+        assert_eq!(kv.type_of("h"), "hash");
+        // hgetall on a string key is empty, not a panic
+        kv.set("s", b"v".to_vec());
+        assert!(kv.hgetall("s").is_empty());
+    }
+
+    #[test]
+    fn list_operations_with_redis_index_semantics() {
+        let kv = KvStore::new();
+        assert_eq!(kv.rpush("l", vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]), 3);
+        assert_eq!(kv.rpush("l", vec![b"d".to_vec()]), 4);
+        assert_eq!(kv.llen("l"), 4);
+        assert_eq!(kv.type_of("l"), "list");
+        assert_eq!(kv.lrange("l", 0, -1), vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+        assert_eq!(kv.lrange("l", 1, 2), vec![b"b".to_vec(), b"c".to_vec()]);
+        assert_eq!(kv.lrange("l", -2, -1), vec![b"c".to_vec(), b"d".to_vec()]);
+        assert!(kv.lrange("l", 3, 1).is_empty());
+        assert!(kv.lrange("missing", 0, -1).is_empty());
+        assert_eq!(kv.llen("missing"), 0);
+    }
+
+    #[test]
+    fn module_load_unload_forensics() {
+        let kv = KvStore::new();
+        kv.module_load("/tmp/exp.so");
+        assert_eq!(kv.loaded_modules(), vec!["/tmp/exp.so"]);
+        assert!(!kv.module_unload("system"));
+        assert!(kv.module_unload("exp.so"));
+        assert!(kv.loaded_modules().is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! # decoy-store
+//!
+//! Storage engines for the Decoy Databases reproduction:
+//!
+//! * [`events`] — the standardized, queryable event store every honeypot
+//!   logs into. This is the paper's "convert all logs into SQLite databases"
+//!   pipeline stage (§4.3, Figure 1), rebuilt as an embedded, indexed store.
+//! * [`kv`] — a Redis-like keyspace backing the medium-interaction Redis
+//!   honeypot (strings, config table, SLAVEOF state) and holding the
+//!   Mockaroo-style fake login entries of the paper's "fake data" variant.
+//! * [`docdb`] — a miniature MongoDB engine (databases → collections →
+//!   BSON documents) that gives the high-interaction honeypot a *real*
+//!   database to steal from and ransom, per §6.3.
+
+pub mod docdb;
+pub mod events;
+pub mod mask;
+pub mod kv;
+
+pub use mask::normalize_action;
+pub use events::{
+    ConfigVariant, Dbms, Event, EventKind, EventStore, HoneypotId, InteractionLevel, SessionKey,
+};

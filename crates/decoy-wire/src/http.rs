@@ -1,0 +1,400 @@
+//! Minimal HTTP/1.1, sufficient for an Elasticpot-style Elasticsearch
+//! honeypot and for the HTTP-speaking attackers the paper observed (CraftCMS
+//! CVE-2023-41892 probes, VMware vSphere SOAP recon, Lucifer's `/_search`
+//! script injection).
+//!
+//! Framing: headers terminated by a blank line, body delimited by
+//! `Content-Length` (chunked encoding is intentionally unsupported — none of
+//! the observed traffic uses it; a chunked request is a protocol error that
+//! gets logged raw).
+
+use bytes::{Buf, BytesMut};
+use decoy_net::codec::Codec;
+use decoy_net::error::{NetError, NetResult};
+
+/// An HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Method verb, e.g. `GET`.
+    pub method: String,
+    /// Request target, e.g. `/_cat/indices?v`.
+    pub target: String,
+    /// Protocol version string, e.g. `HTTP/1.1`.
+    pub version: String,
+    /// Header name/value pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body.
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// A request with standard headers.
+    pub fn new(method: &str, target: &str) -> Self {
+        HttpRequest {
+            method: method.into(),
+            target: target.into(),
+            version: "HTTP/1.1".into(),
+            headers: vec![("Host".into(), "localhost".into())],
+            body: Vec::new(),
+        }
+    }
+
+    /// Attach a body and its `Content-Type`/`Content-Length` headers.
+    pub fn with_body(mut self, content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+        let body = body.into();
+        self.headers
+            .push(("Content-Type".into(), content_type.into()));
+        self.headers
+            .push(("Content-Length".into(), body.len().to_string()));
+        self.body = body;
+        self
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Path component of the target (before `?`).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Query string, if any.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// The body as lossy UTF-8 (for logging/classification).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code, e.g. 200.
+    pub status: u16,
+    /// Reason phrase, e.g. `OK`.
+    pub reason: String,
+    /// Header name/value pairs.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// A JSON response with Elasticsearch-style headers.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        let body = body.into();
+        HttpResponse {
+            status,
+            reason: reason_for(status).into(),
+            headers: vec![
+                ("Content-Type".into(), "application/json; charset=UTF-8".into()),
+                ("Content-Length".into(), body.len().to_string()),
+            ],
+            body,
+        }
+    }
+
+    /// Case-insensitive header lookup.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as lossy UTF-8.
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn reason_for(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+const MAX_BODY_BYTES: usize = 8 << 20;
+
+/// `(start_line, headers, header_bytes_consumed)`.
+type ParsedHead = (String, Vec<(String, String)>, usize);
+
+/// Parse the head of an HTTP message, if complete.
+fn parse_head(buf: &[u8]) -> NetResult<Option<ParsedHead>> {
+    let Some(end) = find_double_crlf(buf) else {
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(NetError::protocol("http header section too large"));
+        }
+        return Ok(None);
+    };
+    let head = &buf[..end];
+    let text = std::str::from_utf8(head)
+        .map_err(|_| NetError::protocol("http head is not valid utf-8"))?;
+    let mut lines = text.split("\r\n");
+    let start_line = lines
+        .next()
+        .ok_or_else(|| NetError::protocol("empty http head"))?
+        .to_string();
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| NetError::protocol(format!("malformed header line {line:?}")))?;
+        headers.push((name.trim().to_string(), value.trim().to_string()));
+    }
+    Ok(Some((start_line, headers, end + 4)))
+}
+
+fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn content_length(headers: &[(String, String)]) -> NetResult<usize> {
+    for (k, v) in headers {
+        if k.eq_ignore_ascii_case("content-length") {
+            return v
+                .parse::<usize>()
+                .map_err(|_| NetError::protocol("bad content-length"));
+        }
+        if k.eq_ignore_ascii_case("transfer-encoding")
+            && v.to_ascii_lowercase().contains("chunked")
+        {
+            return Err(NetError::protocol("chunked encoding unsupported"));
+        }
+    }
+    Ok(0)
+}
+
+/// Server-side codec: decodes [`HttpRequest`], encodes [`HttpResponse`].
+#[derive(Debug, Clone, Default)]
+pub struct HttpServerCodec;
+
+impl Codec for HttpServerCodec {
+    type In = HttpRequest;
+    type Out = HttpResponse;
+
+    fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<HttpRequest>> {
+        let Some((start_line, headers, head_len)) = parse_head(buf)? else {
+            return Ok(None);
+        };
+        let body_len = content_length(&headers)?;
+        if body_len > MAX_BODY_BYTES {
+            return Err(NetError::protocol("http body too large"));
+        }
+        if buf.len() < head_len + body_len {
+            return Ok(None);
+        }
+        let mut parts = start_line.split_whitespace();
+        let method = parts
+            .next()
+            .ok_or_else(|| NetError::protocol("missing method"))?
+            .to_string();
+        let target = parts
+            .next()
+            .ok_or_else(|| NetError::protocol("missing request target"))?
+            .to_string();
+        let version = parts.next().unwrap_or("HTTP/1.0").to_string();
+        buf.advance(head_len);
+        let body = buf.split_to(body_len).to_vec();
+        Ok(Some(HttpRequest {
+            method,
+            target,
+            version,
+            headers,
+            body,
+        }))
+    }
+
+    fn encode(&mut self, resp: &HttpResponse, buf: &mut BytesMut) -> NetResult<()> {
+        buf.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n", resp.status, resp.reason).as_bytes(),
+        );
+        for (k, v) in &resp.headers {
+            buf.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        buf.extend_from_slice(b"\r\n");
+        buf.extend_from_slice(&resp.body);
+        Ok(())
+    }
+
+    fn max_frame_len(&self) -> usize {
+        MAX_HEADER_BYTES + MAX_BODY_BYTES
+    }
+}
+
+/// Client-side codec: encodes [`HttpRequest`], decodes [`HttpResponse`].
+#[derive(Debug, Clone, Default)]
+pub struct HttpClientCodec;
+
+impl Codec for HttpClientCodec {
+    type In = HttpResponse;
+    type Out = HttpRequest;
+
+    fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<HttpResponse>> {
+        let Some((start_line, headers, head_len)) = parse_head(buf)? else {
+            return Ok(None);
+        };
+        let body_len = content_length(&headers)?;
+        if buf.len() < head_len + body_len {
+            return Ok(None);
+        }
+        let mut parts = start_line.splitn(3, ' ');
+        let _version = parts.next().unwrap_or_default();
+        let status = parts
+            .next()
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| NetError::protocol("bad status line"))?;
+        let reason = parts.next().unwrap_or_default().to_string();
+        buf.advance(head_len);
+        let body = buf.split_to(body_len).to_vec();
+        Ok(Some(HttpResponse {
+            status,
+            reason,
+            headers,
+            body,
+        }))
+    }
+
+    fn encode(&mut self, req: &HttpRequest, buf: &mut BytesMut) -> NetResult<()> {
+        buf.extend_from_slice(
+            format!("{} {} {}\r\n", req.method, req.target, req.version).as_bytes(),
+        );
+        let mut has_length = false;
+        for (k, v) in &req.headers {
+            if k.eq_ignore_ascii_case("content-length") {
+                has_length = true;
+            }
+            buf.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+        }
+        if !has_length && !req.body.is_empty() {
+            buf.extend_from_slice(format!("Content-Length: {}\r\n", req.body.len()).as_bytes());
+        }
+        buf.extend_from_slice(b"\r\n");
+        buf.extend_from_slice(&req.body);
+        Ok(())
+    }
+
+    fn max_frame_len(&self) -> usize {
+        MAX_HEADER_BYTES + MAX_BODY_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request_bytes(req: &HttpRequest) -> BytesMut {
+        let mut codec = HttpClientCodec;
+        let mut buf = BytesMut::new();
+        codec.encode(req, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn get_request_roundtrip() {
+        let req = HttpRequest::new("GET", "/_cluster/health?pretty");
+        let mut buf = request_bytes(&req);
+        let mut server = HttpServerCodec;
+        let decoded = server.decode(&mut buf).unwrap().unwrap();
+        assert_eq!(decoded.method, "GET");
+        assert_eq!(decoded.path(), "/_cluster/health");
+        assert_eq!(decoded.query(), Some("pretty"));
+        assert_eq!(decoded.header("host"), Some("localhost"));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn post_with_body_roundtrip() {
+        let req = HttpRequest::new("POST", "/_search")
+            .with_body("application/json", r#"{"query":{"match_all":{}}}"#);
+        let mut buf = request_bytes(&req);
+        let mut server = HttpServerCodec;
+        let decoded = server.decode(&mut buf).unwrap().unwrap();
+        assert_eq!(decoded.body_text(), r#"{"query":{"match_all":{}}}"#);
+        assert_eq!(decoded.header("Content-Length"), Some("26"));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let resp = HttpResponse::json(200, r#"{"cluster_name":"elasticsearch"}"#);
+        let mut server = HttpServerCodec;
+        let mut buf = BytesMut::new();
+        server.encode(&resp, &mut buf).unwrap();
+        let mut client = HttpClientCodec;
+        let decoded = client.decode(&mut buf).unwrap().unwrap();
+        assert_eq!(decoded.status, 200);
+        assert_eq!(decoded.reason, "OK");
+        assert_eq!(decoded.body_text(), r#"{"cluster_name":"elasticsearch"}"#);
+    }
+
+    #[test]
+    fn partial_requests_wait() {
+        let req = HttpRequest::new("POST", "/x").with_body("text/plain", "hello body");
+        let full = request_bytes(&req);
+        let mut server = HttpServerCodec;
+        for cut in [3usize, 10, full.len() - 3] {
+            let mut partial = BytesMut::from(&full[..cut]);
+            assert!(server.decode(&mut partial).unwrap().is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_decode_one_at_a_time() {
+        let a = request_bytes(&HttpRequest::new("GET", "/a"));
+        let b = request_bytes(&HttpRequest::new("GET", "/b"));
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&a);
+        buf.extend_from_slice(&b);
+        let mut server = HttpServerCodec;
+        let first = server.decode(&mut buf).unwrap().unwrap();
+        let second = server.decode(&mut buf).unwrap().unwrap();
+        assert_eq!(first.target, "/a");
+        assert_eq!(second.target, "/b");
+    }
+
+    #[test]
+    fn malformed_inputs_error_not_panic() {
+        let mut server = HttpServerCodec;
+        let mut buf = BytesMut::from(&b"GET\r\n\r\n"[..]);
+        assert!(server.decode(&mut buf).is_err()); // missing target
+        let mut buf = BytesMut::from(&b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n"[..]);
+        assert!(server.decode(&mut buf).is_err());
+        let mut buf = BytesMut::from(&b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"[..]);
+        assert!(server.decode(&mut buf).is_err());
+        let mut buf =
+            BytesMut::from(&b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..]);
+        assert!(server.decode(&mut buf).is_err());
+        let mut buf = BytesMut::from(&b"\xff\xfe / HTTP/1.1\r\n\r\n"[..]);
+        assert!(server.decode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn craftcms_probe_shape_parses() {
+        // Listing 14 arrives as a POST form body against the HTTP honeypot.
+        let body = "action=conditions/render&test[userCondition]=craft\\elements\\conditions\\users\\UserCondition";
+        let req = HttpRequest::new("POST", "/index.php")
+            .with_body("application/x-www-form-urlencoded", body);
+        let mut buf = request_bytes(&req);
+        let mut server = HttpServerCodec;
+        let decoded = server.decode(&mut buf).unwrap().unwrap();
+        assert!(decoded.body_text().contains("conditions/render"));
+    }
+}

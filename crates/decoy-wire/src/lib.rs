@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # decoy-wire
+//!
+//! From-scratch wire-protocol implementations for every database the paper's
+//! honeypots emulate, each with **both** the server side (used by
+//! `decoy-honeypots`) and the client side (used by the attacker drivers in
+//! `decoy-agents`), so recorded interactions traverse real protocol code in
+//! both directions.
+//!
+//! | Module | Protocol | Used by |
+//! |---|---|---|
+//! | [`resp`] | Redis RESP2 (+ inline commands) | low + medium Redis honeypots |
+//! | [`pgwire`] | PostgreSQL frontend/backend v3 | low + medium (Sticky-Elephant-style) PostgreSQL |
+//! | [`mysql`] | MySQL client/server protocol (handshake v10) | low MySQL |
+//! | [`tds`] | MS SQL Server TDS (PRELOGIN / LOGIN7) | low MSSQL |
+//! | [`mongo`] | MongoDB `OP_MSG`/`OP_QUERY` over our own [`mongo::bson`] codec | high MongoDB |
+//! | [`http`] | minimal HTTP/1.1 | medium Elasticsearch (Elasticpot-style) |
+//! | [`foreign`] | non-database payloads thrown at database ports (RDP `mstshash`, JDWP handshake, VMware SOAP recon) | classification + agents |
+//!
+//! All codecs implement [`decoy_net::Codec`]: incremental, bounded, and
+//! tolerant of adversarial bytes (they return protocol errors; they never
+//! panic — enforced by property tests).
+
+pub mod foreign;
+pub mod http;
+pub mod mongo;
+pub mod mysql;
+pub mod pgwire;
+pub mod resp;
+pub mod tds;

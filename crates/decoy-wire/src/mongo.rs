@@ -1,0 +1,492 @@
+//! MongoDB wire protocol and a from-scratch BSON codec.
+//!
+//! Supports `OP_MSG` (modern drivers and attack scripts), the legacy
+//! `OP_QUERY`/`OP_REPLY` pair (used by scanners for `isMaster` probes), and
+//! the BSON subset every observed interaction needs. The high-interaction
+//! honeypot serves a real document store through these messages; the ransom
+//! campaigns of §6.3 (Listings 7–8) are full `find` → `drop` → `insert`
+//! round trips over this code.
+
+pub mod bson;
+
+use bson::Document;
+use bytes::{Buf, BufMut, BytesMut};
+use decoy_net::codec::Codec;
+use decoy_net::error::{NetError, NetResult};
+
+/// Opcode: OP_REPLY (server → client, answers OP_QUERY).
+pub const OP_REPLY: i32 = 1;
+/// Opcode: OP_QUERY (legacy client request).
+pub const OP_QUERY: i32 = 2004;
+/// Opcode: OP_MSG (modern bidirectional message).
+pub const OP_MSG: i32 = 2013;
+
+/// A complete MongoDB wire message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MongoMessage {
+    /// Client-chosen identifier, echoed in `response_to` of the reply.
+    pub request_id: i32,
+    /// Identifier of the request this answers (0 for requests).
+    pub response_to: i32,
+    /// The typed body.
+    pub body: MongoBody,
+}
+
+/// Message body variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MongoBody {
+    /// `OP_MSG` with its kind-0 body document and any kind-1 sequences.
+    Msg {
+        /// Flag bits (bit 0 = checksum present, tolerated and ignored).
+        flags: u32,
+        /// The kind-0 section document (the command).
+        doc: Document,
+        /// kind-1 document sequences: `(identifier, documents)`.
+        sequences: Vec<(String, Vec<Document>)>,
+    },
+    /// Legacy `OP_QUERY`.
+    Query {
+        /// Full collection namespace, e.g. `admin.$cmd`.
+        collection: String,
+        /// Documents to skip.
+        skip: i32,
+        /// Maximum documents to return.
+        limit: i32,
+        /// The query document.
+        query: Document,
+    },
+    /// Legacy `OP_REPLY`.
+    Reply {
+        /// Cursor id (0 when exhausted).
+        cursor_id: i64,
+        /// Starting offset of this batch.
+        starting_from: i32,
+        /// Returned documents.
+        documents: Vec<Document>,
+    },
+    /// Unrecognized opcode, payload preserved for logging.
+    Unknown {
+        /// The opcode observed.
+        opcode: i32,
+        /// Raw body bytes.
+        bytes: Vec<u8>,
+    },
+}
+
+impl MongoMessage {
+    /// An `OP_MSG` request carrying a command document.
+    pub fn msg(request_id: i32, doc: Document) -> Self {
+        MongoMessage {
+            request_id,
+            response_to: 0,
+            body: MongoBody::Msg {
+                flags: 0,
+                doc,
+                sequences: Vec::new(),
+            },
+        }
+    }
+
+    /// An `OP_MSG` reply to `request`.
+    pub fn msg_reply(request: &MongoMessage, doc: Document) -> Self {
+        MongoMessage {
+            request_id: request.request_id.wrapping_add(1),
+            response_to: request.request_id,
+            body: MongoBody::Msg {
+                flags: 0,
+                doc,
+                sequences: Vec::new(),
+            },
+        }
+    }
+
+    /// An `OP_REPLY` answering a legacy `OP_QUERY`.
+    pub fn reply(request: &MongoMessage, documents: Vec<Document>) -> Self {
+        MongoMessage {
+            request_id: request.request_id.wrapping_add(1),
+            response_to: request.request_id,
+            body: MongoBody::Reply {
+                cursor_id: 0,
+                starting_from: 0,
+                documents,
+            },
+        }
+    }
+
+    /// The command document, whichever opcode carried it.
+    pub fn command_doc(&self) -> Option<&Document> {
+        match &self.body {
+            MongoBody::Msg { doc, .. } => Some(doc),
+            MongoBody::Query { query, .. } => Some(query),
+            _ => None,
+        }
+    }
+
+    /// The command name: first key of the command document, lowercased
+    /// (MongoDB command names are case-insensitive in practice for the
+    /// handshake commands scanners send).
+    pub fn command_name(&self) -> Option<String> {
+        self.command_doc()
+            .and_then(|d| d.keys().next().map(|k| k.to_lowercase()))
+    }
+}
+
+/// Codec for MongoDB wire messages (both directions).
+#[derive(Debug, Clone, Default)]
+pub struct MongoCodec;
+
+impl Codec for MongoCodec {
+    type In = MongoMessage;
+    type Out = MongoMessage;
+
+    fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<MongoMessage>> {
+        if buf.len() < 16 {
+            return Ok(None);
+        }
+        let len = i32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        if len < 16 || len as usize > self.max_frame_len() {
+            return Err(NetError::protocol(format!("mongo message length {len}")));
+        }
+        let len = len as usize;
+        if buf.len() < len {
+            return Ok(None);
+        }
+        let request_id = i32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        let response_to = i32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+        let opcode = i32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]);
+        buf.advance(16);
+        let body_bytes = buf.split_to(len - 16);
+        let body = parse_body(opcode, &body_bytes)?;
+        Ok(Some(MongoMessage {
+            request_id,
+            response_to,
+            body,
+        }))
+    }
+
+    fn encode(&mut self, frame: &MongoMessage, buf: &mut BytesMut) -> NetResult<()> {
+        let mut body = BytesMut::new();
+        let opcode = encode_body(&frame.body, &mut body)?;
+        buf.put_i32_le(16 + body.len() as i32);
+        buf.put_i32_le(frame.request_id);
+        buf.put_i32_le(frame.response_to);
+        buf.put_i32_le(opcode);
+        buf.extend_from_slice(&body);
+        Ok(())
+    }
+
+    fn max_frame_len(&self) -> usize {
+        48 << 20 // MongoDB's maxMessageSizeBytes
+    }
+}
+
+fn get_cstring(rest: &mut &[u8]) -> NetResult<String> {
+    let pos = rest
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or_else(|| NetError::protocol("unterminated cstring"))?;
+    let s = String::from_utf8_lossy(&rest[..pos]).into_owned();
+    *rest = &rest[pos + 1..];
+    Ok(s)
+}
+
+fn parse_body(opcode: i32, bytes: &[u8]) -> NetResult<MongoBody> {
+    match opcode {
+        OP_MSG => {
+            if bytes.len() < 4 {
+                return Err(NetError::protocol("short OP_MSG"));
+            }
+            let flags = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+            let checksum_present = flags & 0x1 != 0;
+            let mut rest = &bytes[4..];
+            if checksum_present {
+                if rest.len() < 4 {
+                    return Err(NetError::protocol("OP_MSG missing checksum"));
+                }
+                rest = &rest[..rest.len() - 4];
+            }
+            let mut doc = None;
+            let mut sequences = Vec::new();
+            while !rest.is_empty() {
+                let kind = rest[0];
+                rest = &rest[1..];
+                match kind {
+                    0 => {
+                        let (d, used) = bson::decode_document(rest)?;
+                        rest = &rest[used..];
+                        if doc.is_some() {
+                            return Err(NetError::protocol("duplicate kind-0 section"));
+                        }
+                        doc = Some(d);
+                    }
+                    1 => {
+                        if rest.len() < 4 {
+                            return Err(NetError::protocol("short kind-1 section"));
+                        }
+                        let size =
+                            i32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+                        if size < 4 || size > rest.len() {
+                            return Err(NetError::protocol("kind-1 size overruns"));
+                        }
+                        let mut section = &rest[4..size];
+                        rest = &rest[size..];
+                        let identifier = get_cstring(&mut section)?;
+                        let mut docs = Vec::new();
+                        while !section.is_empty() {
+                            let (d, used) = bson::decode_document(section)?;
+                            section = &section[used..];
+                            docs.push(d);
+                        }
+                        sequences.push((identifier, docs));
+                    }
+                    other => {
+                        return Err(NetError::protocol(format!(
+                            "unknown OP_MSG section kind {other}"
+                        )))
+                    }
+                }
+            }
+            let doc =
+                doc.ok_or_else(|| NetError::protocol("OP_MSG without kind-0 section"))?;
+            Ok(MongoBody::Msg {
+                flags,
+                doc,
+                sequences,
+            })
+        }
+        OP_QUERY => {
+            if bytes.len() < 4 {
+                return Err(NetError::protocol("short OP_QUERY"));
+            }
+            let mut rest = &bytes[4..]; // skip flags
+            let collection = get_cstring(&mut rest)?;
+            if rest.len() < 8 {
+                return Err(NetError::protocol("OP_QUERY missing skip/limit"));
+            }
+            let skip = i32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+            let limit = i32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+            rest = &rest[8..];
+            let (query, _used) = bson::decode_document(rest)?;
+            Ok(MongoBody::Query {
+                collection,
+                skip,
+                limit,
+                query,
+            })
+        }
+        OP_REPLY => {
+            if bytes.len() < 20 {
+                return Err(NetError::protocol("short OP_REPLY"));
+            }
+            let cursor_id = i64::from_le_bytes(bytes[4..12].try_into().unwrap());
+            let starting_from = i32::from_le_bytes(bytes[12..16].try_into().unwrap());
+            let n = i32::from_le_bytes(bytes[16..20].try_into().unwrap());
+            let mut rest = &bytes[20..];
+            let mut documents = Vec::new();
+            for _ in 0..n.max(0) {
+                let (d, used) = bson::decode_document(rest)?;
+                rest = &rest[used..];
+                documents.push(d);
+            }
+            Ok(MongoBody::Reply {
+                cursor_id,
+                starting_from,
+                documents,
+            })
+        }
+        other => Ok(MongoBody::Unknown {
+            opcode: other,
+            bytes: bytes.to_vec(),
+        }),
+    }
+}
+
+fn encode_body(body: &MongoBody, out: &mut BytesMut) -> NetResult<i32> {
+    match body {
+        MongoBody::Msg {
+            flags,
+            doc,
+            sequences,
+        } => {
+            out.put_u32_le(flags & !0x1); // never emit checksums
+            out.put_u8(0);
+            bson::encode_document(doc, out);
+            for (identifier, docs) in sequences {
+                out.put_u8(1);
+                let mut section = BytesMut::new();
+                section.extend_from_slice(identifier.as_bytes());
+                section.put_u8(0);
+                for d in docs {
+                    bson::encode_document(d, &mut section);
+                }
+                out.put_i32_le(4 + section.len() as i32);
+                out.extend_from_slice(&section);
+            }
+            Ok(OP_MSG)
+        }
+        MongoBody::Query {
+            collection,
+            skip,
+            limit,
+            query,
+        } => {
+            out.put_i32_le(0); // flags
+            out.extend_from_slice(collection.as_bytes());
+            out.put_u8(0);
+            out.put_i32_le(*skip);
+            out.put_i32_le(*limit);
+            bson::encode_document(query, out);
+            Ok(OP_QUERY)
+        }
+        MongoBody::Reply {
+            cursor_id,
+            starting_from,
+            documents,
+        } => {
+            out.put_i32_le(8); // responseFlags: AwaitCapable
+            out.put_i64_le(*cursor_id);
+            out.put_i32_le(*starting_from);
+            out.put_i32_le(documents.len() as i32);
+            for d in documents {
+                bson::encode_document(d, out);
+            }
+            Ok(OP_REPLY)
+        }
+        MongoBody::Unknown { opcode, bytes } => {
+            out.extend_from_slice(bytes);
+            Ok(*opcode)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::bson::{doc, Bson};
+    use super::*;
+
+    fn roundtrip(msg: MongoMessage) -> MongoMessage {
+        let mut codec = MongoCodec;
+        let mut buf = BytesMut::new();
+        codec.encode(&msg, &mut buf).unwrap();
+        let decoded = codec.decode(&mut buf).unwrap().unwrap();
+        assert!(buf.is_empty());
+        decoded
+    }
+
+    #[test]
+    fn op_msg_roundtrip() {
+        let msg = MongoMessage::msg(
+            7,
+            doc! { "find" => "customers", "$db" => "shop", "limit" => 100i32 },
+        );
+        let decoded = roundtrip(msg.clone());
+        assert_eq!(decoded, msg);
+        assert_eq!(decoded.command_name().as_deref(), Some("find"));
+    }
+
+    #[test]
+    fn op_msg_with_sequences() {
+        let msg = MongoMessage {
+            request_id: 1,
+            response_to: 0,
+            body: MongoBody::Msg {
+                flags: 0,
+                doc: doc! { "insert" => "notes", "$db" => "ransom" },
+                sequences: vec![(
+                    "documents".into(),
+                    vec![
+                        doc! { "note" => "All your data is backed up." },
+                        doc! { "btc" => 0.0058f64 },
+                    ],
+                )],
+            },
+        };
+        assert_eq!(roundtrip(msg.clone()), msg);
+    }
+
+    #[test]
+    fn legacy_ismaster_query_and_reply() {
+        let query = MongoMessage {
+            request_id: 42,
+            response_to: 0,
+            body: MongoBody::Query {
+                collection: "admin.$cmd".into(),
+                skip: 0,
+                limit: -1,
+                query: doc! { "isMaster" => 1i32 },
+            },
+        };
+        let decoded = roundtrip(query.clone());
+        assert_eq!(decoded, query);
+        assert_eq!(decoded.command_name().as_deref(), Some("ismaster"));
+
+        let reply = MongoMessage::reply(
+            &query,
+            vec![doc! { "ismaster" => true, "maxWireVersion" => 17i32, "ok" => 1.0f64 }],
+        );
+        let decoded = roundtrip(reply.clone());
+        assert_eq!(decoded, reply);
+        assert_eq!(decoded.response_to, 42);
+    }
+
+    #[test]
+    fn checksum_flag_is_tolerated() {
+        let msg = MongoMessage::msg(1, doc! { "ping" => 1i32 });
+        let mut codec = MongoCodec;
+        let mut buf = BytesMut::new();
+        codec.encode(&msg, &mut buf).unwrap();
+        // Rewrite as checksum-present: bump length by 4, set flag bit, append crc.
+        let new_len = (buf.len() + 4) as i32;
+        buf[0..4].copy_from_slice(&new_len.to_le_bytes());
+        buf[16] |= 0x1;
+        buf.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        let decoded = codec.decode(&mut buf).unwrap().unwrap();
+        assert_eq!(decoded.command_name().as_deref(), Some("ping"));
+    }
+
+    #[test]
+    fn unknown_opcode_is_preserved() {
+        let msg = MongoMessage {
+            request_id: 5,
+            response_to: 0,
+            body: MongoBody::Unknown {
+                opcode: 2010,
+                bytes: vec![1, 2, 3],
+            },
+        };
+        assert_eq!(roundtrip(msg.clone()), msg);
+    }
+
+    #[test]
+    fn partial_messages_wait_for_more() {
+        let msg = MongoMessage::msg(9, doc! { "listDatabases" => 1i32 });
+        let mut codec = MongoCodec;
+        let mut full = BytesMut::new();
+        codec.encode(&msg, &mut full).unwrap();
+        for cut in 1..full.len() {
+            let mut partial = BytesMut::from(&full[..cut]);
+            assert!(codec.decode(&mut partial).unwrap().is_none(), "cut {cut}");
+            assert_eq!(partial.len(), cut);
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_rejected() {
+        let mut codec = MongoCodec;
+        let mut buf = BytesMut::from(&(-5i32).to_le_bytes()[..]);
+        buf.extend_from_slice(&[0u8; 12]);
+        assert!(codec.decode(&mut buf).is_err());
+        let mut buf = BytesMut::new();
+        buf.put_i32_le(i32::MAX);
+        buf.extend_from_slice(&[0u8; 12]);
+        assert!(codec.decode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn command_name_of_reply_is_none() {
+        let q = MongoMessage::msg(1, doc! { "ping" => 1i32 });
+        let r = MongoMessage::reply(&q, vec![]);
+        assert_eq!(r.command_name(), None);
+        assert_eq!(Bson::from("x"), Bson::String("x".into()));
+    }
+}

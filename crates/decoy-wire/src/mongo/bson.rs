@@ -1,0 +1,536 @@
+//! BSON (Binary JSON) encode/decode, implemented from scratch.
+//!
+//! Covers the element types every observed MongoDB interaction needs:
+//! double, string, embedded document, array, binary, ObjectId, bool, UTC
+//! datetime, null, int32, int64. Unknown element types are a decode error —
+//! the honeypot logs the raw message instead of guessing.
+
+use bytes::{BufMut, BytesMut};
+use decoy_net::error::{NetError, NetResult};
+
+/// A BSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bson {
+    /// 0x01 — 64-bit IEEE 754.
+    Double(f64),
+    /// 0x02 — UTF-8 string.
+    String(String),
+    /// 0x03 — embedded document.
+    Document(Document),
+    /// 0x04 — array.
+    Array(Vec<Bson>),
+    /// 0x05 — binary, subtype 0.
+    Binary(Vec<u8>),
+    /// 0x07 — 12-byte ObjectId.
+    ObjectId([u8; 12]),
+    /// 0x08 — boolean.
+    Bool(bool),
+    /// 0x09 — UTC datetime, millis since epoch.
+    DateTime(i64),
+    /// 0x0A — null.
+    Null,
+    /// 0x10 — 32-bit integer.
+    Int32(i32),
+    /// 0x12 — 64-bit integer.
+    Int64(i64),
+}
+
+impl Bson {
+    /// Interpret as a number, coercing int/double (MongoDB command args are
+    /// frequently `1`, `1.0`, or `1i64` interchangeably).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Bson::Double(d) => Some(*d),
+            Bson::Int32(i) => Some(*i as f64),
+            Bson::Int64(i) => Some(*i as f64),
+            Bson::Bool(b) => Some(*b as i32 as f64),
+            _ => None,
+        }
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Bson::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Document payload, if this is a document.
+    pub fn as_doc(&self) -> Option<&Document> {
+        match self {
+            Bson::Document(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Bson]> {
+        match self {
+            Bson::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+impl From<&str> for Bson {
+    fn from(s: &str) -> Self {
+        Bson::String(s.to_string())
+    }
+}
+impl From<String> for Bson {
+    fn from(s: String) -> Self {
+        Bson::String(s)
+    }
+}
+impl From<i32> for Bson {
+    fn from(i: i32) -> Self {
+        Bson::Int32(i)
+    }
+}
+impl From<i64> for Bson {
+    fn from(i: i64) -> Self {
+        Bson::Int64(i)
+    }
+}
+impl From<f64> for Bson {
+    fn from(d: f64) -> Self {
+        Bson::Double(d)
+    }
+}
+impl From<bool> for Bson {
+    fn from(b: bool) -> Self {
+        Bson::Bool(b)
+    }
+}
+impl From<Document> for Bson {
+    fn from(d: Document) -> Self {
+        Bson::Document(d)
+    }
+}
+impl From<Vec<Bson>> for Bson {
+    fn from(a: Vec<Bson>) -> Self {
+        Bson::Array(a)
+    }
+}
+
+/// An ordered BSON document (insertion order is significant on the wire —
+/// the first key of a command document *is* the command).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Document {
+    entries: Vec<(String, Bson)>,
+}
+
+impl Document {
+    /// An empty document.
+    pub fn new() -> Self {
+        Document::default()
+    }
+
+    /// Append or replace `key`.
+    pub fn insert(&mut self, key: impl Into<String>, value: impl Into<Bson>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.entries.push((key, value));
+        }
+    }
+
+    /// Builder-style insert.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Bson>) -> Self {
+        self.insert(key, value);
+        self
+    }
+
+    /// Value for `key`.
+    pub fn get(&self, key: &str) -> Option<&Bson> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// String value for `key`.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(Bson::as_str)
+    }
+
+    /// Numeric value for `key`.
+    pub fn get_f64(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(Bson::as_f64)
+    }
+
+    /// Document value for `key`.
+    pub fn get_doc(&self, key: &str) -> Option<&Document> {
+        self.get(key).and_then(Bson::as_doc)
+    }
+
+    /// Iterate keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Iterate entries in order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Bson)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Remove `key`, returning its value.
+    pub fn remove(&mut self, key: &str) -> Option<Bson> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(idx).1)
+    }
+}
+
+impl FromIterator<(String, Bson)> for Document {
+    fn from_iter<T: IntoIterator<Item = (String, Bson)>>(iter: T) -> Self {
+        let mut d = Document::new();
+        for (k, v) in iter {
+            d.insert(k, v);
+        }
+        d
+    }
+}
+
+/// Construct a [`Document`] literally: `doc! { "find" => "users", "limit" => 1i32 }`.
+#[macro_export]
+macro_rules! doc {
+    () => { $crate::mongo::bson::Document::new() };
+    ( $( $k:expr => $v:expr ),+ $(,)? ) => {{
+        let mut d = $crate::mongo::bson::Document::new();
+        $( d.insert($k, $v); )+
+        d
+    }};
+}
+pub use crate::doc;
+
+const TYPE_DOUBLE: u8 = 0x01;
+const TYPE_STRING: u8 = 0x02;
+const TYPE_DOC: u8 = 0x03;
+const TYPE_ARRAY: u8 = 0x04;
+const TYPE_BINARY: u8 = 0x05;
+const TYPE_OBJECTID: u8 = 0x07;
+const TYPE_BOOL: u8 = 0x08;
+const TYPE_DATETIME: u8 = 0x09;
+const TYPE_NULL: u8 = 0x0A;
+const TYPE_INT32: u8 = 0x10;
+const TYPE_INT64: u8 = 0x12;
+
+/// Append the BSON encoding of `doc` to `out`.
+pub fn encode_document(doc: &Document, out: &mut BytesMut) {
+    let start = out.len();
+    out.put_i32_le(0); // patched below
+    for (key, value) in doc.iter() {
+        encode_element(key, value, out);
+    }
+    out.put_u8(0);
+    let len = (out.len() - start) as i32;
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+fn encode_element(key: &str, value: &Bson, out: &mut BytesMut) {
+    let put_key = |out: &mut BytesMut, t: u8| {
+        out.put_u8(t);
+        out.extend_from_slice(key.as_bytes());
+        out.put_u8(0);
+    };
+    match value {
+        Bson::Double(d) => {
+            put_key(out, TYPE_DOUBLE);
+            out.put_f64_le(*d);
+        }
+        Bson::String(s) => {
+            put_key(out, TYPE_STRING);
+            out.put_i32_le(s.len() as i32 + 1);
+            out.extend_from_slice(s.as_bytes());
+            out.put_u8(0);
+        }
+        Bson::Document(d) => {
+            put_key(out, TYPE_DOC);
+            encode_document(d, out);
+        }
+        Bson::Array(items) => {
+            put_key(out, TYPE_ARRAY);
+            let as_doc: Document = items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (i.to_string(), v.clone()))
+                .collect();
+            encode_document(&as_doc, out);
+        }
+        Bson::Binary(b) => {
+            put_key(out, TYPE_BINARY);
+            out.put_i32_le(b.len() as i32);
+            out.put_u8(0); // generic subtype
+            out.extend_from_slice(b);
+        }
+        Bson::ObjectId(oid) => {
+            put_key(out, TYPE_OBJECTID);
+            out.extend_from_slice(oid);
+        }
+        Bson::Bool(b) => {
+            put_key(out, TYPE_BOOL);
+            out.put_u8(*b as u8);
+        }
+        Bson::DateTime(ms) => {
+            put_key(out, TYPE_DATETIME);
+            out.put_i64_le(*ms);
+        }
+        Bson::Null => put_key(out, TYPE_NULL),
+        Bson::Int32(i) => {
+            put_key(out, TYPE_INT32);
+            out.put_i32_le(*i);
+        }
+        Bson::Int64(i) => {
+            put_key(out, TYPE_INT64);
+            out.put_i64_le(*i);
+        }
+    }
+}
+
+/// Decode one document from the front of `bytes`; returns `(doc, consumed)`.
+pub fn decode_document(bytes: &[u8]) -> NetResult<(Document, usize)> {
+    decode_document_depth(bytes, 0)
+}
+
+fn decode_document_depth(bytes: &[u8], depth: u32) -> NetResult<(Document, usize)> {
+    if depth > 64 {
+        return Err(NetError::protocol("bson nesting too deep"));
+    }
+    if bytes.len() < 5 {
+        return Err(NetError::protocol("bson document shorter than 5 bytes"));
+    }
+    let len = i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if len < 5 || len as usize > bytes.len() {
+        return Err(NetError::protocol(format!("bson document length {len}")));
+    }
+    let len = len as usize;
+    if bytes[len - 1] != 0 {
+        return Err(NetError::protocol("bson document missing terminator"));
+    }
+    let mut rest = &bytes[4..len - 1];
+    let mut doc = Document::new();
+    while !rest.is_empty() {
+        let etype = rest[0];
+        rest = &rest[1..];
+        let nul = rest
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or_else(|| NetError::protocol("unterminated element name"))?;
+        let key = String::from_utf8_lossy(&rest[..nul]).into_owned();
+        rest = &rest[nul + 1..];
+        let (value, used) = decode_value(etype, rest, depth)?;
+        rest = &rest[used..];
+        doc.entries.push((key, value));
+        if doc.entries.len() > 100_000 {
+            return Err(NetError::protocol("bson document has too many elements"));
+        }
+    }
+    Ok((doc, len))
+}
+
+fn decode_value(etype: u8, bytes: &[u8], depth: u32) -> NetResult<(Bson, usize)> {
+    let need = |n: usize| -> NetResult<()> {
+        if bytes.len() < n {
+            Err(NetError::protocol("bson value truncated"))
+        } else {
+            Ok(())
+        }
+    };
+    match etype {
+        TYPE_DOUBLE => {
+            need(8)?;
+            Ok((
+                Bson::Double(f64::from_le_bytes(bytes[..8].try_into().unwrap())),
+                8,
+            ))
+        }
+        TYPE_STRING => {
+            need(4)?;
+            let slen = i32::from_le_bytes(bytes[..4].try_into().unwrap());
+            if slen < 1 || 4 + slen as usize > bytes.len() {
+                return Err(NetError::protocol("bson string length invalid"));
+            }
+            let slen = slen as usize;
+            if bytes[4 + slen - 1] != 0 {
+                return Err(NetError::protocol("bson string missing NUL"));
+            }
+            let s = String::from_utf8_lossy(&bytes[4..4 + slen - 1]).into_owned();
+            Ok((Bson::String(s), 4 + slen))
+        }
+        TYPE_DOC => {
+            let (d, used) = decode_document_depth(bytes, depth + 1)?;
+            Ok((Bson::Document(d), used))
+        }
+        TYPE_ARRAY => {
+            let (d, used) = decode_document_depth(bytes, depth + 1)?;
+            let items = d.entries.into_iter().map(|(_, v)| v).collect();
+            Ok((Bson::Array(items), used))
+        }
+        TYPE_BINARY => {
+            need(5)?;
+            let blen = i32::from_le_bytes(bytes[..4].try_into().unwrap());
+            if blen < 0 || 5 + blen as usize > bytes.len() {
+                return Err(NetError::protocol("bson binary length invalid"));
+            }
+            Ok((
+                Bson::Binary(bytes[5..5 + blen as usize].to_vec()),
+                5 + blen as usize,
+            ))
+        }
+        TYPE_OBJECTID => {
+            need(12)?;
+            let mut oid = [0u8; 12];
+            oid.copy_from_slice(&bytes[..12]);
+            Ok((Bson::ObjectId(oid), 12))
+        }
+        TYPE_BOOL => {
+            need(1)?;
+            Ok((Bson::Bool(bytes[0] != 0), 1))
+        }
+        TYPE_DATETIME => {
+            need(8)?;
+            Ok((
+                Bson::DateTime(i64::from_le_bytes(bytes[..8].try_into().unwrap())),
+                8,
+            ))
+        }
+        TYPE_NULL => Ok((Bson::Null, 0)),
+        TYPE_INT32 => {
+            need(4)?;
+            Ok((
+                Bson::Int32(i32::from_le_bytes(bytes[..4].try_into().unwrap())),
+                4,
+            ))
+        }
+        TYPE_INT64 => {
+            need(8)?;
+            Ok((
+                Bson::Int64(i64::from_le_bytes(bytes[..8].try_into().unwrap())),
+                8,
+            ))
+        }
+        other => Err(NetError::protocol(format!(
+            "unsupported bson element type 0x{other:02x}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(doc: &Document) -> Document {
+        let mut buf = BytesMut::new();
+        encode_document(doc, &mut buf);
+        let (decoded, used) = decode_document(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        decoded
+    }
+
+    #[test]
+    fn empty_document_is_five_bytes() {
+        let mut buf = BytesMut::new();
+        encode_document(&Document::new(), &mut buf);
+        assert_eq!(&buf[..], &[5, 0, 0, 0, 0]);
+        assert_eq!(roundtrip(&Document::new()), Document::new());
+    }
+
+    #[test]
+    fn all_types_roundtrip() {
+        let d = doc! {
+            "double" => 3.5f64,
+            "string" => "héllo",
+            "doc" => doc! { "inner" => 1i32 },
+            "array" => vec![Bson::Int32(1), Bson::String("two".into()), Bson::Null],
+            "bool_t" => true,
+            "bool_f" => false,
+            "null" => Bson::Null,
+            "i32" => -42i32,
+            "i64" => 1i64 << 40,
+        };
+        let mut d = d;
+        d.insert("bin", Bson::Binary(vec![0, 1, 2, 255]));
+        d.insert("oid", Bson::ObjectId([7; 12]));
+        d.insert("dt", Bson::DateTime(1_711_065_600_000));
+        assert_eq!(roundtrip(&d), d);
+    }
+
+    #[test]
+    fn insertion_order_is_preserved_and_first_key_wins() {
+        let d = doc! { "find" => "users", "$db" => "admin", "limit" => 5i32 };
+        let keys: Vec<_> = roundtrip(&d).keys().map(str::to_string).collect();
+        assert_eq!(keys, vec!["find", "$db", "limit"]);
+    }
+
+    #[test]
+    fn insert_replaces_existing_key() {
+        let mut d = doc! { "a" => 1i32 };
+        d.insert("a", 2i32);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.get_f64("a"), Some(2.0));
+        assert_eq!(d.remove("a"), Some(Bson::Int32(2)));
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn numeric_coercion() {
+        assert_eq!(Bson::Int32(1).as_f64(), Some(1.0));
+        assert_eq!(Bson::Int64(2).as_f64(), Some(2.0));
+        assert_eq!(Bson::Double(0.5).as_f64(), Some(0.5));
+        assert_eq!(Bson::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(Bson::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn hostile_documents_are_rejected_not_panicked() {
+        // declared length longer than the buffer
+        assert!(decode_document(&[50, 0, 0, 0, 0]).is_err());
+        // negative length
+        assert!(decode_document(&(-1i32).to_le_bytes()).is_err());
+        // missing terminator
+        assert!(decode_document(&[5, 0, 0, 0, 9]).is_err());
+        // truncated string value
+        let bad = [
+            13, 0, 0, 0, // doc len
+            0x02, b'a', 0, // string element "a"
+            100, 0, 0, 0, // string length 100 (overruns)
+            0, 0,
+        ];
+        assert!(decode_document(&bad).is_err());
+        // unknown element type
+        let bad = [8, 0, 0, 0, 0x7f, b'a', 0, 0];
+        assert!(decode_document(&bad).is_err());
+    }
+
+    #[test]
+    fn nested_bomb_is_bounded() {
+        // Build a 100-deep nested document; decoder must refuse at depth 64.
+        let mut inner = Document::new();
+        for _ in 0..100 {
+            let mut outer = Document::new();
+            outer.insert("d", inner);
+            inner = outer;
+        }
+        let mut buf = BytesMut::new();
+        encode_document(&inner, &mut buf);
+        assert!(decode_document(&buf).is_err());
+    }
+
+    #[test]
+    fn array_indices_are_rebuilt() {
+        let d = doc! { "a" => vec![Bson::Int32(10), Bson::Int32(20)] };
+        let rt = roundtrip(&d);
+        let arr = rt.get("a").unwrap().as_array().unwrap();
+        assert_eq!(arr, &[Bson::Int32(10), Bson::Int32(20)]);
+    }
+}

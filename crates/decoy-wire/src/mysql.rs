@@ -1,0 +1,485 @@
+//! MySQL client/server protocol (handshake protocol version 10).
+//!
+//! Covers what a Qeeqbox-style low-interaction MySQL honeypot and its
+//! attackers need: the server greeting, the client `HandshakeResponse41`
+//! (credential capture — including cleartext passwords when the client uses
+//! the `mysql_clear_password` plugin, as common brute-force tools do),
+//! `OK`/`ERR` packets, and `COM_QUERY`.
+//!
+//! The transport layer is the classic MySQL packet: 3-byte little-endian
+//! payload length, 1-byte sequence id, payload.
+
+use bytes::{Buf, BufMut, BytesMut};
+use decoy_net::codec::Codec;
+use decoy_net::error::{NetError, NetResult};
+
+/// Capability flag: CLIENT_PROTOCOL_41.
+pub const CLIENT_PROTOCOL_41: u32 = 0x0000_0200;
+/// Capability flag: CLIENT_SECURE_CONNECTION.
+pub const CLIENT_SECURE_CONNECTION: u32 = 0x0000_8000;
+/// Capability flag: CLIENT_PLUGIN_AUTH.
+pub const CLIENT_PLUGIN_AUTH: u32 = 0x0008_0000;
+/// Capability flag: CLIENT_CONNECT_WITH_DB.
+pub const CLIENT_CONNECT_WITH_DB: u32 = 0x0000_0008;
+
+/// One raw MySQL packet (transport framing only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MySqlPacket {
+    /// Sequence id; increments within a command/response exchange.
+    pub seq: u8,
+    /// Packet payload.
+    pub payload: Vec<u8>,
+}
+
+/// Codec for the MySQL packet transport. Payload interpretation is done by
+/// the typed parse/build helpers below, because meaning depends on
+/// connection phase.
+#[derive(Debug, Clone, Default)]
+pub struct MySqlCodec;
+
+impl Codec for MySqlCodec {
+    type In = MySqlPacket;
+    type Out = MySqlPacket;
+
+    fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<MySqlPacket>> {
+        if buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], 0]) as usize;
+        if len > self.max_frame_len() {
+            return Err(NetError::protocol(format!("mysql packet of {len} bytes")));
+        }
+        if buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let seq = buf[3];
+        buf.advance(4);
+        let payload = buf.split_to(len).to_vec();
+        Ok(Some(MySqlPacket { seq, payload }))
+    }
+
+    fn encode(&mut self, frame: &MySqlPacket, buf: &mut BytesMut) -> NetResult<()> {
+        if frame.payload.len() > 0xff_ffff {
+            return Err(NetError::protocol("mysql payload exceeds 16MiB-1"));
+        }
+        let len = frame.payload.len() as u32;
+        buf.put_u8((len & 0xff) as u8);
+        buf.put_u8(((len >> 8) & 0xff) as u8);
+        buf.put_u8(((len >> 16) & 0xff) as u8);
+        buf.put_u8(frame.seq);
+        buf.extend_from_slice(&frame.payload);
+        Ok(())
+    }
+
+    fn max_frame_len(&self) -> usize {
+        0xff_ffff
+    }
+}
+
+/// The server's initial handshake (greeting) packet, protocol version 10.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Greeting {
+    /// Human-readable server version, e.g. `8.0.36`.
+    pub server_version: String,
+    /// Connection/thread id.
+    pub thread_id: u32,
+    /// 20-byte auth plugin challenge ("scramble").
+    pub auth_data: [u8; 20],
+    /// Advertised capability flags.
+    pub capabilities: u32,
+    /// Default authentication plugin name.
+    pub auth_plugin: String,
+}
+
+impl Greeting {
+    /// The greeting our honeypots send (matches a stock MySQL 8 banner).
+    pub fn honeypot_default(thread_id: u32, auth_data: [u8; 20]) -> Self {
+        Greeting {
+            server_version: "8.0.36".into(),
+            thread_id,
+            auth_data,
+            capabilities: CLIENT_PROTOCOL_41
+                | CLIENT_SECURE_CONNECTION
+                | CLIENT_PLUGIN_AUTH
+                | CLIENT_CONNECT_WITH_DB,
+            auth_plugin: "mysql_native_password".into(),
+        }
+    }
+
+    /// Serialize into a packet payload.
+    pub fn build(&self) -> Vec<u8> {
+        let mut p = BytesMut::new();
+        p.put_u8(0x0a); // protocol version
+        p.extend_from_slice(self.server_version.as_bytes());
+        p.put_u8(0);
+        p.put_u32_le(self.thread_id);
+        p.extend_from_slice(&self.auth_data[..8]); // auth-plugin-data-part-1
+        p.put_u8(0); // filler
+        p.put_u16_le((self.capabilities & 0xffff) as u16);
+        p.put_u8(0xff); // character set: utf8mb4
+        p.put_u16_le(0x0002); // status: autocommit
+        p.put_u16_le((self.capabilities >> 16) as u16);
+        p.put_u8(21); // length of auth plugin data
+        p.extend_from_slice(&[0u8; 10]); // reserved
+        p.extend_from_slice(&self.auth_data[8..20]); // part-2 (12 bytes)
+        p.put_u8(0); // part-2 terminator
+        p.extend_from_slice(self.auth_plugin.as_bytes());
+        p.put_u8(0);
+        p.to_vec()
+    }
+
+    /// Parse a greeting payload (client side).
+    pub fn parse(payload: &[u8]) -> NetResult<Greeting> {
+        let mut rest = payload;
+        if rest.first() != Some(&0x0a) {
+            return Err(NetError::protocol("not a protocol-10 greeting"));
+        }
+        rest = &rest[1..];
+        let nul = rest
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or_else(|| NetError::protocol("unterminated server version"))?;
+        let server_version = String::from_utf8_lossy(&rest[..nul]).into_owned();
+        rest = &rest[nul + 1..];
+        if rest.len() < 8 + 4 {
+            return Err(NetError::protocol("short greeting"));
+        }
+        let thread_id = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
+        rest = &rest[4..];
+        let mut auth_data = [0u8; 20];
+        auth_data[..8].copy_from_slice(&rest[..8]);
+        rest = &rest[8..];
+        if rest.len() < 1 + 2 + 1 + 2 + 2 + 1 + 10 {
+            return Err(NetError::protocol("short greeting tail"));
+        }
+        rest = &rest[1..]; // filler
+        let cap_lo = u16::from_le_bytes([rest[0], rest[1]]) as u32;
+        rest = &rest[2..];
+        rest = &rest[1..]; // charset
+        rest = &rest[2..]; // status
+        let cap_hi = u16::from_le_bytes([rest[0], rest[1]]) as u32;
+        rest = &rest[2..];
+        rest = &rest[1..]; // auth data len
+        rest = &rest[10..]; // reserved
+        if rest.len() < 13 {
+            return Err(NetError::protocol("greeting missing auth part 2"));
+        }
+        auth_data[8..20].copy_from_slice(&rest[..12]);
+        rest = &rest[13..]; // 12 bytes + terminator
+        let nul = rest.iter().position(|&b| b == 0).unwrap_or(rest.len());
+        let auth_plugin = String::from_utf8_lossy(&rest[..nul]).into_owned();
+        Ok(Greeting {
+            server_version,
+            thread_id,
+            auth_data,
+            capabilities: cap_lo | (cap_hi << 16),
+            auth_plugin,
+        })
+    }
+}
+
+/// The client's `HandshakeResponse41` — this is where credentials appear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoginRequest {
+    /// Capability flags echoed by the client.
+    pub capabilities: u32,
+    /// Username, as typed by the attacker.
+    pub username: String,
+    /// Raw auth response: cleartext password (clear-password plugin, with a
+    /// trailing NUL) or a 20-byte native-password scramble.
+    pub auth_response: Vec<u8>,
+    /// Optional initial database.
+    pub database: Option<String>,
+    /// Client auth plugin name, when announced.
+    pub auth_plugin: Option<String>,
+}
+
+impl LoginRequest {
+    /// The password as the honeypot logs it: cleartext when recoverable,
+    /// otherwise the hex of the scramble (what Qeeqbox-style honeypots do).
+    pub fn password_observed(&self) -> String {
+        let is_clear = self
+            .auth_plugin
+            .as_deref()
+            .map(|p| p == "mysql_clear_password")
+            .unwrap_or(false);
+        if is_clear {
+            let raw = self
+                .auth_response
+                .strip_suffix(&[0u8])
+                .unwrap_or(&self.auth_response);
+            String::from_utf8_lossy(raw).into_owned()
+        } else if self.auth_response.is_empty() {
+            String::new()
+        } else {
+            self.auth_response
+                .iter()
+                .map(|b| format!("{b:02x}"))
+                .collect()
+        }
+    }
+
+    /// Build a cleartext-plugin login (the form brute-force drivers use).
+    pub fn cleartext(username: &str, password: &str, database: Option<&str>) -> Self {
+        let mut auth = password.as_bytes().to_vec();
+        auth.push(0);
+        LoginRequest {
+            capabilities: CLIENT_PROTOCOL_41
+                | CLIENT_SECURE_CONNECTION
+                | CLIENT_PLUGIN_AUTH
+                | if database.is_some() {
+                    CLIENT_CONNECT_WITH_DB
+                } else {
+                    0
+                },
+            username: username.into(),
+            auth_response: auth,
+            database: database.map(String::from),
+            auth_plugin: Some("mysql_clear_password".into()),
+        }
+    }
+
+    /// Serialize into a packet payload.
+    pub fn build(&self) -> Vec<u8> {
+        let mut p = BytesMut::new();
+        p.put_u32_le(self.capabilities);
+        p.put_u32_le(16 << 20); // max packet size
+        p.put_u8(0xff); // charset
+        p.extend_from_slice(&[0u8; 23]);
+        p.extend_from_slice(self.username.as_bytes());
+        p.put_u8(0);
+        // length-encoded auth response (secure connection form)
+        p.put_u8(self.auth_response.len() as u8);
+        p.extend_from_slice(&self.auth_response);
+        if let Some(db) = &self.database {
+            p.extend_from_slice(db.as_bytes());
+            p.put_u8(0);
+        }
+        if let Some(plugin) = &self.auth_plugin {
+            p.extend_from_slice(plugin.as_bytes());
+            p.put_u8(0);
+        }
+        p.to_vec()
+    }
+
+    /// Parse a `HandshakeResponse41` payload (server side).
+    pub fn parse(payload: &[u8]) -> NetResult<LoginRequest> {
+        if payload.len() < 32 {
+            return Err(NetError::protocol("short handshake response"));
+        }
+        let capabilities =
+            u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
+        if capabilities & CLIENT_PROTOCOL_41 == 0 {
+            return Err(NetError::protocol("pre-4.1 clients unsupported"));
+        }
+        let mut rest = &payload[32..];
+        let nul = rest
+            .iter()
+            .position(|&b| b == 0)
+            .ok_or_else(|| NetError::protocol("unterminated username"))?;
+        let username = String::from_utf8_lossy(&rest[..nul]).into_owned();
+        rest = &rest[nul + 1..];
+        let auth_len = *rest
+            .first()
+            .ok_or_else(|| NetError::protocol("missing auth length"))?
+            as usize;
+        rest = &rest[1..];
+        if rest.len() < auth_len {
+            return Err(NetError::protocol("auth response overruns packet"));
+        }
+        let auth_response = rest[..auth_len].to_vec();
+        rest = &rest[auth_len..];
+        let database = if capabilities & CLIENT_CONNECT_WITH_DB != 0 && !rest.is_empty() {
+            let nul = rest.iter().position(|&b| b == 0).unwrap_or(rest.len());
+            let db = String::from_utf8_lossy(&rest[..nul]).into_owned();
+            rest = &rest[(nul + 1).min(rest.len())..];
+            if db.is_empty() {
+                None
+            } else {
+                Some(db)
+            }
+        } else {
+            None
+        };
+        let auth_plugin = if capabilities & CLIENT_PLUGIN_AUTH != 0 && !rest.is_empty() {
+            let nul = rest.iter().position(|&b| b == 0).unwrap_or(rest.len());
+            Some(String::from_utf8_lossy(&rest[..nul]).into_owned())
+        } else {
+            None
+        };
+        Ok(LoginRequest {
+            capabilities,
+            username,
+            auth_response,
+            database,
+            auth_plugin,
+        })
+    }
+}
+
+/// Build an `ERR` packet payload.
+pub fn build_err(code: u16, sql_state: &str, message: &str) -> Vec<u8> {
+    let mut p = BytesMut::new();
+    p.put_u8(0xff);
+    p.put_u16_le(code);
+    p.put_u8(b'#');
+    p.extend_from_slice(&sql_state.as_bytes()[..5.min(sql_state.len())]);
+    while p.len() < 4 + 5 {
+        p.put_u8(b'0');
+    }
+    p.extend_from_slice(message.as_bytes());
+    p.to_vec()
+}
+
+/// The access-denied error a real server sends for a failed login.
+pub fn access_denied(user: &str, host: &str, using_password: bool) -> Vec<u8> {
+    build_err(
+        1045,
+        "28000",
+        &format!(
+            "Access denied for user '{user}'@'{host}' (using password: {})",
+            if using_password { "YES" } else { "NO" }
+        ),
+    )
+}
+
+/// Build an `OK` packet payload.
+pub fn build_ok() -> Vec<u8> {
+    vec![0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00]
+}
+
+/// Classify a post-auth command payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MySqlCommand {
+    /// `COM_QUERY` with the SQL text.
+    Query(String),
+    /// `COM_QUIT`.
+    Quit,
+    /// `COM_PING`.
+    Ping,
+    /// Anything else, preserved raw.
+    Other(u8, Vec<u8>),
+}
+
+/// Parse a command-phase packet payload.
+pub fn parse_command(payload: &[u8]) -> NetResult<MySqlCommand> {
+    let Some((&op, rest)) = payload.split_first() else {
+        return Err(NetError::protocol("empty command packet"));
+    };
+    Ok(match op {
+        0x03 => MySqlCommand::Query(String::from_utf8_lossy(rest).into_owned()),
+        0x01 => MySqlCommand::Quit,
+        0x0e => MySqlCommand::Ping,
+        other => MySqlCommand::Other(other, rest.to_vec()),
+    })
+}
+
+/// Parse an ERR payload (client side), returning `(code, message)`.
+pub fn parse_err(payload: &[u8]) -> Option<(u16, String)> {
+    if payload.first() != Some(&0xff) || payload.len() < 9 {
+        return None;
+    }
+    let code = u16::from_le_bytes([payload[1], payload[2]]);
+    let msg_start = if payload.get(3) == Some(&b'#') { 9 } else { 3 };
+    Some((
+        code,
+        String::from_utf8_lossy(&payload[msg_start..]).into_owned(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_codec_roundtrip_and_partials() {
+        let mut c = MySqlCodec;
+        let pkt = MySqlPacket {
+            seq: 1,
+            payload: vec![1, 2, 3, 4, 5],
+        };
+        let mut buf = BytesMut::new();
+        c.encode(&pkt, &mut buf).unwrap();
+        for cut in 1..buf.len() {
+            let mut partial = BytesMut::from(&buf[..cut]);
+            assert!(c.decode(&mut partial).unwrap().is_none());
+        }
+        assert_eq!(c.decode(&mut buf).unwrap().unwrap(), pkt);
+    }
+
+    #[test]
+    fn greeting_roundtrip() {
+        let g = Greeting::honeypot_default(7, *b"abcdefghijklmnopqrst");
+        let parsed = Greeting::parse(&g.build()).unwrap();
+        assert_eq!(parsed, g);
+        assert_eq!(parsed.server_version, "8.0.36");
+        assert_eq!(parsed.auth_plugin, "mysql_native_password");
+    }
+
+    #[test]
+    fn login_request_roundtrip_cleartext() {
+        let login = LoginRequest::cleartext("root", "aaaaaa", Some("mysql"));
+        let parsed = LoginRequest::parse(&login.build()).unwrap();
+        assert_eq!(parsed.username, "root");
+        assert_eq!(parsed.password_observed(), "aaaaaa");
+        assert_eq!(parsed.database.as_deref(), Some("mysql"));
+        assert_eq!(
+            parsed.auth_plugin.as_deref(),
+            Some("mysql_clear_password")
+        );
+    }
+
+    #[test]
+    fn native_password_is_logged_as_hex() {
+        let login = LoginRequest {
+            capabilities: CLIENT_PROTOCOL_41 | CLIENT_SECURE_CONNECTION | CLIENT_PLUGIN_AUTH,
+            username: "sa".into(),
+            auth_response: vec![0xde, 0xad],
+            database: None,
+            auth_plugin: Some("mysql_native_password".into()),
+        };
+        let parsed = LoginRequest::parse(&login.build()).unwrap();
+        assert_eq!(parsed.password_observed(), "dead");
+    }
+
+    #[test]
+    fn empty_password_observed_as_empty() {
+        let login = LoginRequest::cleartext("root", "", None);
+        let parsed = LoginRequest::parse(&login.build()).unwrap();
+        assert_eq!(parsed.password_observed(), "");
+    }
+
+    #[test]
+    fn err_packet_build_and_parse() {
+        let payload = access_denied("root", "10.0.0.1", true);
+        let (code, msg) = parse_err(&payload).unwrap();
+        assert_eq!(code, 1045);
+        assert!(msg.contains("Access denied for user 'root'@'10.0.0.1'"));
+        assert!(msg.contains("using password: YES"));
+        assert_eq!(parse_err(&build_ok()), None);
+    }
+
+    #[test]
+    fn command_parsing() {
+        let mut q = vec![0x03];
+        q.extend_from_slice(b"SELECT @@version");
+        assert_eq!(
+            parse_command(&q).unwrap(),
+            MySqlCommand::Query("SELECT @@version".into())
+        );
+        assert_eq!(parse_command(&[0x01]).unwrap(), MySqlCommand::Quit);
+        assert_eq!(parse_command(&[0x0e]).unwrap(), MySqlCommand::Ping);
+        assert!(matches!(
+            parse_command(&[0x1b, 9]).unwrap(),
+            MySqlCommand::Other(0x1b, _)
+        ));
+        assert!(parse_command(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_pre41_clients_and_short_packets() {
+        assert!(LoginRequest::parse(&[0u8; 40]).is_err());
+        assert!(LoginRequest::parse(&[0u8; 4]).is_err());
+        assert!(Greeting::parse(b"\x09garbage").is_err());
+    }
+}

@@ -1,0 +1,774 @@
+//! PostgreSQL frontend/backend protocol, version 3.0.
+//!
+//! Enough of the protocol for a faithful Sticky-Elephant-style honeypot and
+//! for attacking clients: startup (including `SSLRequest` negotiation),
+//! cleartext and MD5 password authentication, the simple query subprotocol,
+//! error responses, and raw pass-through of extended-protocol messages so
+//! unexpected client behaviour is preserved verbatim in the logs.
+
+use bytes::{Buf, BufMut, BytesMut};
+use decoy_net::codec::{peek_u32_be, Codec};
+use decoy_net::error::{NetError, NetResult};
+
+/// Protocol version number for v3.0 startup packets.
+pub const PROTOCOL_V3: u32 = 196_608;
+/// Magic "protocol version" of an SSLRequest.
+pub const SSL_REQUEST_CODE: u32 = 80_877_103;
+/// Magic "protocol version" of a CancelRequest.
+pub const CANCEL_REQUEST_CODE: u32 = 80_877_102;
+
+/// Messages sent by the client (frontend).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrontendMessage {
+    /// TLS negotiation request; honeypots answer `SslRefused`.
+    SslRequest,
+    /// Out-of-band query cancellation.
+    CancelRequest {
+        /// Backend process id to cancel.
+        pid: u32,
+        /// Cancellation secret from `BackendKeyData`.
+        secret: u32,
+    },
+    /// Connection startup with parameters (`user`, `database`, ...).
+    Startup {
+        /// Key/value startup parameters in wire order.
+        params: Vec<(String, String)>,
+    },
+    /// `PasswordMessage` — cleartext password or MD5 digest text.
+    Password(String),
+    /// Simple query (`Q`).
+    Query(String),
+    /// Clean disconnect (`X`).
+    Terminate,
+    /// Any other tagged message (extended protocol etc.), preserved raw.
+    Other {
+        /// Message tag byte.
+        tag: u8,
+        /// Raw body after the length word.
+        body: Vec<u8>,
+    },
+}
+
+/// Messages sent by the server (backend).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendMessage {
+    /// `R` code 0.
+    AuthenticationOk,
+    /// `R` code 3.
+    AuthenticationCleartextPassword,
+    /// `R` code 5 with salt.
+    AuthenticationMd5Password {
+        /// The 4-byte MD5 salt.
+        salt: [u8; 4],
+    },
+    /// `S` run-time parameter report.
+    ParameterStatus {
+        /// Parameter name.
+        name: String,
+        /// Parameter value.
+        value: String,
+    },
+    /// `K` cancellation key.
+    BackendKeyData {
+        /// Backend process id.
+        pid: u32,
+        /// Cancellation secret.
+        secret: u32,
+    },
+    /// `Z` — `status` is `b'I'`, `b'T'` or `b'E'`.
+    ReadyForQuery {
+        /// Transaction status byte.
+        status: u8,
+    },
+    /// `E` with the three mandatory fields.
+    ErrorResponse {
+        /// Severity field (`S`), e.g. `FATAL`.
+        severity: String,
+        /// SQLSTATE code field (`C`), e.g. `28P01`.
+        code: String,
+        /// Human-readable message field (`M`).
+        message: String,
+    },
+    /// `T` — column names only (all typed as `text`), which is all the
+    /// honeypot's scripted answers need.
+    RowDescription {
+        /// Column names in order.
+        columns: Vec<String>,
+    },
+    /// `D` — one row of optional text values.
+    DataRow {
+        /// Column values; `None` is SQL NULL.
+        values: Vec<Option<String>>,
+    },
+    /// `C` command tag, e.g. `SELECT 1`.
+    CommandComplete {
+        /// The completion tag.
+        tag: String,
+    },
+    /// `I` response to an empty query string.
+    EmptyQueryResponse,
+    /// The single raw byte `N` refusing an `SSLRequest`.
+    SslRefused,
+}
+
+impl BackendMessage {
+    /// The standard "password authentication failed" error.
+    pub fn auth_failed(user: &str) -> Self {
+        BackendMessage::ErrorResponse {
+            severity: "FATAL".into(),
+            code: "28P01".into(),
+            message: format!("password authentication failed for user \"{user}\""),
+        }
+    }
+
+    /// A generic syntax error, used by the honeypot for unintelligible SQL.
+    pub fn syntax_error(near: &str) -> Self {
+        BackendMessage::ErrorResponse {
+            severity: "ERROR".into(),
+            code: "42601".into(),
+            message: format!("syntax error at or near \"{near}\""),
+        }
+    }
+}
+
+fn get_cstring(buf: &mut &[u8]) -> NetResult<String> {
+    let pos = buf
+        .iter()
+        .position(|&b| b == 0)
+        .ok_or_else(|| NetError::protocol("unterminated cstring"))?;
+    let s = String::from_utf8_lossy(&buf[..pos]).into_owned();
+    *buf = &buf[pos + 1..];
+    Ok(s)
+}
+
+fn put_cstring(buf: &mut BytesMut, s: &str) {
+    buf.extend_from_slice(s.as_bytes());
+    buf.put_u8(0);
+}
+
+/// Decode a startup-family packet body (after the 4-byte length).
+fn parse_startup_body(body: &[u8]) -> NetResult<FrontendMessage> {
+    if body.len() < 4 {
+        return Err(NetError::protocol("startup packet too short"));
+    }
+    let code = u32::from_be_bytes([body[0], body[1], body[2], body[3]]);
+    let mut rest = &body[4..];
+    match code {
+        SSL_REQUEST_CODE => Ok(FrontendMessage::SslRequest),
+        CANCEL_REQUEST_CODE => {
+            if rest.len() < 8 {
+                return Err(NetError::protocol("short cancel request"));
+            }
+            let pid = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
+            let secret = u32::from_be_bytes([rest[4], rest[5], rest[6], rest[7]]);
+            Ok(FrontendMessage::CancelRequest { pid, secret })
+        }
+        PROTOCOL_V3 => {
+            let mut params = Vec::new();
+            while !rest.is_empty() && rest[0] != 0 {
+                let k = get_cstring(&mut rest)?;
+                let v = get_cstring(&mut rest)?;
+                params.push((k, v));
+            }
+            Ok(FrontendMessage::Startup { params })
+        }
+        other => Err(NetError::protocol(format!(
+            "unsupported startup protocol code {other}"
+        ))),
+    }
+}
+
+/// Server-side codec: decodes [`FrontendMessage`], encodes [`BackendMessage`].
+///
+/// Stateful: the first packet on a connection has no tag byte. An
+/// `SSLRequest` keeps the codec in startup state because the client re-sends
+/// its startup packet after the refusal.
+#[derive(Debug, Clone)]
+pub struct PgServerCodec {
+    startup_done: bool,
+}
+
+impl PgServerCodec {
+    /// A codec positioned before the startup packet.
+    pub fn new() -> Self {
+        PgServerCodec {
+            startup_done: false,
+        }
+    }
+}
+
+impl Default for PgServerCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Codec for PgServerCodec {
+    type In = FrontendMessage;
+    type Out = BackendMessage;
+
+    fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<FrontendMessage>> {
+        if !self.startup_done {
+            let Some(len) = peek_u32_be(buf) else {
+                return Ok(None);
+            };
+            let len = len as usize;
+            if !(8..=10_000).contains(&len) {
+                return Err(NetError::protocol(format!(
+                    "implausible startup packet length {len}"
+                )));
+            }
+            if buf.len() < len {
+                return Ok(None);
+            }
+            buf.advance(4);
+            let body = buf.split_to(len - 4);
+            let msg = parse_startup_body(&body)?;
+            if matches!(msg, FrontendMessage::Startup { .. }) {
+                self.startup_done = true;
+            }
+            return Ok(Some(msg));
+        }
+        if buf.len() < 5 {
+            return Ok(None);
+        }
+        let tag = buf[0];
+        let len = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+        if !(4..=self.max_frame_len()).contains(&len) {
+            return Err(NetError::protocol(format!("bad message length {len}")));
+        }
+        if buf.len() < 1 + len {
+            return Ok(None);
+        }
+        buf.advance(5);
+        let body = buf.split_to(len - 4).to_vec();
+        let msg = match tag {
+            b'p' => {
+                let mut rest = body.as_slice();
+                FrontendMessage::Password(get_cstring(&mut rest)?)
+            }
+            b'Q' => {
+                let mut rest = body.as_slice();
+                FrontendMessage::Query(get_cstring(&mut rest)?)
+            }
+            b'X' => FrontendMessage::Terminate,
+            other => FrontendMessage::Other { tag: other, body },
+        };
+        Ok(Some(msg))
+    }
+
+    fn encode(&mut self, frame: &BackendMessage, buf: &mut BytesMut) -> NetResult<()> {
+        encode_backend(frame, buf);
+        Ok(())
+    }
+
+    fn max_frame_len(&self) -> usize {
+        1 << 20
+    }
+}
+
+/// Client-side codec: decodes [`BackendMessage`], encodes [`FrontendMessage`].
+#[derive(Debug, Clone)]
+pub struct PgClientCodec {
+    sent_startup: bool,
+}
+
+impl PgClientCodec {
+    /// A codec positioned before the startup packet is sent.
+    pub fn new() -> Self {
+        PgClientCodec {
+            sent_startup: false,
+        }
+    }
+}
+
+impl Default for PgClientCodec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Codec for PgClientCodec {
+    type In = BackendMessage;
+    type Out = FrontendMessage;
+
+    fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<BackendMessage>> {
+        if buf.len() < 5 {
+            return Ok(None);
+        }
+        let tag = buf[0];
+        let len = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+        if !(4..=self.max_frame_len()).contains(&len) {
+            return Err(NetError::protocol(format!("bad message length {len}")));
+        }
+        if buf.len() < 1 + len {
+            return Ok(None);
+        }
+        buf.advance(5);
+        let body = buf.split_to(len - 4).to_vec();
+        let msg = parse_backend(tag, &body)?;
+        Ok(Some(msg))
+    }
+
+    fn encode(&mut self, frame: &FrontendMessage, buf: &mut BytesMut) -> NetResult<()> {
+        encode_frontend(frame, buf, &mut self.sent_startup);
+        Ok(())
+    }
+}
+
+fn parse_backend(tag: u8, body: &[u8]) -> NetResult<BackendMessage> {
+    let mut rest = body;
+    Ok(match tag {
+        b'R' => {
+            if rest.len() < 4 {
+                return Err(NetError::protocol("short auth message"));
+            }
+            let code = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
+            match code {
+                0 => BackendMessage::AuthenticationOk,
+                3 => BackendMessage::AuthenticationCleartextPassword,
+                5 => {
+                    if rest.len() < 8 {
+                        return Err(NetError::protocol("md5 auth missing salt"));
+                    }
+                    BackendMessage::AuthenticationMd5Password {
+                        salt: [rest[4], rest[5], rest[6], rest[7]],
+                    }
+                }
+                other => {
+                    return Err(NetError::protocol(format!("unsupported auth code {other}")))
+                }
+            }
+        }
+        b'S' => {
+            let name = get_cstring(&mut rest)?;
+            let value = get_cstring(&mut rest)?;
+            BackendMessage::ParameterStatus { name, value }
+        }
+        b'K' => {
+            if rest.len() < 8 {
+                return Err(NetError::protocol("short key data"));
+            }
+            BackendMessage::BackendKeyData {
+                pid: u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]),
+                secret: u32::from_be_bytes([rest[4], rest[5], rest[6], rest[7]]),
+            }
+        }
+        b'Z' => BackendMessage::ReadyForQuery {
+            status: *rest.first().unwrap_or(&b'I'),
+        },
+        b'E' => {
+            let mut severity = String::new();
+            let mut code = String::new();
+            let mut message = String::new();
+            while let Some(&field) = rest.first() {
+                if field == 0 {
+                    break;
+                }
+                rest = &rest[1..];
+                let value = get_cstring(&mut rest)?;
+                match field {
+                    b'S' => severity = value,
+                    b'C' => code = value,
+                    b'M' => message = value,
+                    _ => {}
+                }
+            }
+            BackendMessage::ErrorResponse {
+                severity,
+                code,
+                message,
+            }
+        }
+        b'T' => {
+            if rest.len() < 2 {
+                return Err(NetError::protocol("short row description"));
+            }
+            let n = u16::from_be_bytes([rest[0], rest[1]]) as usize;
+            rest = &rest[2..];
+            let mut columns = Vec::with_capacity(n);
+            for _ in 0..n {
+                let name = get_cstring(&mut rest)?;
+                if rest.len() < 18 {
+                    return Err(NetError::protocol("short field description"));
+                }
+                rest = &rest[18..];
+                columns.push(name);
+            }
+            BackendMessage::RowDescription { columns }
+        }
+        b'D' => {
+            if rest.len() < 2 {
+                return Err(NetError::protocol("short data row"));
+            }
+            let n = u16::from_be_bytes([rest[0], rest[1]]) as usize;
+            rest = &rest[2..];
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                if rest.len() < 4 {
+                    return Err(NetError::protocol("short data row value"));
+                }
+                let len = i32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
+                rest = &rest[4..];
+                if len < 0 {
+                    values.push(None);
+                } else {
+                    let len = len as usize;
+                    if rest.len() < len {
+                        return Err(NetError::protocol("data row value overruns"));
+                    }
+                    values.push(Some(String::from_utf8_lossy(&rest[..len]).into_owned()));
+                    rest = &rest[len..];
+                }
+            }
+            BackendMessage::DataRow { values }
+        }
+        b'C' => BackendMessage::CommandComplete {
+            tag: get_cstring(&mut rest)?,
+        },
+        b'I' => BackendMessage::EmptyQueryResponse,
+        other => {
+            return Err(NetError::protocol(format!(
+                "unsupported backend tag {:?}",
+                other as char
+            )))
+        }
+    })
+}
+
+fn encode_frontend(msg: &FrontendMessage, buf: &mut BytesMut, sent_startup: &mut bool) {
+    match msg {
+        FrontendMessage::SslRequest => {
+            buf.put_u32(8);
+            buf.put_u32(SSL_REQUEST_CODE);
+        }
+        FrontendMessage::CancelRequest { pid, secret } => {
+            buf.put_u32(16);
+            buf.put_u32(CANCEL_REQUEST_CODE);
+            buf.put_u32(*pid);
+            buf.put_u32(*secret);
+        }
+        FrontendMessage::Startup { params } => {
+            let mut body = BytesMut::new();
+            body.put_u32(PROTOCOL_V3);
+            for (k, v) in params {
+                put_cstring(&mut body, k);
+                put_cstring(&mut body, v);
+            }
+            body.put_u8(0);
+            buf.put_u32(4 + body.len() as u32);
+            buf.extend_from_slice(&body);
+            *sent_startup = true;
+        }
+        FrontendMessage::Password(pw) => {
+            buf.put_u8(b'p');
+            buf.put_u32(4 + pw.len() as u32 + 1);
+            put_cstring(buf, pw);
+        }
+        FrontendMessage::Query(q) => {
+            buf.put_u8(b'Q');
+            buf.put_u32(4 + q.len() as u32 + 1);
+            put_cstring(buf, q);
+        }
+        FrontendMessage::Terminate => {
+            buf.put_u8(b'X');
+            buf.put_u32(4);
+        }
+        FrontendMessage::Other { tag, body } => {
+            buf.put_u8(*tag);
+            buf.put_u32(4 + body.len() as u32);
+            buf.extend_from_slice(body);
+        }
+    }
+}
+
+fn encode_backend(msg: &BackendMessage, buf: &mut BytesMut) {
+    match msg {
+        BackendMessage::SslRefused => {
+            buf.put_u8(b'N');
+        }
+        BackendMessage::AuthenticationOk => {
+            buf.put_u8(b'R');
+            buf.put_u32(8);
+            buf.put_u32(0);
+        }
+        BackendMessage::AuthenticationCleartextPassword => {
+            buf.put_u8(b'R');
+            buf.put_u32(8);
+            buf.put_u32(3);
+        }
+        BackendMessage::AuthenticationMd5Password { salt } => {
+            buf.put_u8(b'R');
+            buf.put_u32(12);
+            buf.put_u32(5);
+            buf.extend_from_slice(salt);
+        }
+        BackendMessage::ParameterStatus { name, value } => {
+            buf.put_u8(b'S');
+            buf.put_u32(4 + name.len() as u32 + 1 + value.len() as u32 + 1);
+            put_cstring(buf, name);
+            put_cstring(buf, value);
+        }
+        BackendMessage::BackendKeyData { pid, secret } => {
+            buf.put_u8(b'K');
+            buf.put_u32(12);
+            buf.put_u32(*pid);
+            buf.put_u32(*secret);
+        }
+        BackendMessage::ReadyForQuery { status } => {
+            buf.put_u8(b'Z');
+            buf.put_u32(5);
+            buf.put_u8(*status);
+        }
+        BackendMessage::ErrorResponse {
+            severity,
+            code,
+            message,
+        } => {
+            let mut body = BytesMut::new();
+            body.put_u8(b'S');
+            put_cstring(&mut body, severity);
+            body.put_u8(b'C');
+            put_cstring(&mut body, code);
+            body.put_u8(b'M');
+            put_cstring(&mut body, message);
+            body.put_u8(0);
+            buf.put_u8(b'E');
+            buf.put_u32(4 + body.len() as u32);
+            buf.extend_from_slice(&body);
+        }
+        BackendMessage::RowDescription { columns } => {
+            let mut body = BytesMut::new();
+            body.put_u16(columns.len() as u16);
+            for col in columns {
+                put_cstring(&mut body, col);
+                body.put_u32(0); // table oid
+                body.put_u16(0); // attribute number
+                body.put_u32(25); // type oid: text
+                body.put_i16(-1); // type size: variable
+                body.put_i32(-1); // type modifier
+                body.put_u16(0); // format: text
+            }
+            buf.put_u8(b'T');
+            buf.put_u32(4 + body.len() as u32);
+            buf.extend_from_slice(&body);
+        }
+        BackendMessage::DataRow { values } => {
+            let mut body = BytesMut::new();
+            body.put_u16(values.len() as u16);
+            for v in values {
+                match v {
+                    None => body.put_i32(-1),
+                    Some(s) => {
+                        body.put_i32(s.len() as i32);
+                        body.extend_from_slice(s.as_bytes());
+                    }
+                }
+            }
+            buf.put_u8(b'D');
+            buf.put_u32(4 + body.len() as u32);
+            buf.extend_from_slice(&body);
+        }
+        BackendMessage::CommandComplete { tag } => {
+            buf.put_u8(b'C');
+            buf.put_u32(4 + tag.len() as u32 + 1);
+            put_cstring(buf, tag);
+        }
+        BackendMessage::EmptyQueryResponse => {
+            buf.put_u8(b'I');
+            buf.put_u32(4);
+        }
+    }
+}
+
+/// Extract the `user` parameter from a startup message, if present.
+pub fn startup_user(msg: &FrontendMessage) -> Option<&str> {
+    if let FrontendMessage::Startup { params } = msg {
+        params
+            .iter()
+            .find(|(k, _)| k == "user")
+            .map(|(_, v)| v.as_str())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn client_encode(msg: FrontendMessage) -> BytesMut {
+        let mut codec = PgClientCodec::new();
+        let mut buf = BytesMut::new();
+        codec.encode(&msg, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn startup_roundtrip_through_server_codec() {
+        let msg = FrontendMessage::Startup {
+            params: vec![
+                ("user".into(), "postgres".into()),
+                ("database".into(), "postgres".into()),
+            ],
+        };
+        let mut bytes = client_encode(msg.clone());
+        let mut server = PgServerCodec::new();
+        let decoded = server.decode(&mut bytes).unwrap().unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(startup_user(&decoded), Some("postgres"));
+    }
+
+    #[test]
+    fn ssl_request_then_startup() {
+        let mut server = PgServerCodec::new();
+        let mut buf = client_encode(FrontendMessage::SslRequest);
+        assert_eq!(
+            server.decode(&mut buf).unwrap().unwrap(),
+            FrontendMessage::SslRequest
+        );
+        // after refusing, the client re-sends a startup on the same codec
+        let mut buf = client_encode(FrontendMessage::Startup {
+            params: vec![("user".into(), "admin".into())],
+        });
+        let msg = server.decode(&mut buf).unwrap().unwrap();
+        assert_eq!(startup_user(&msg), Some("admin"));
+    }
+
+    #[test]
+    fn password_and_query_after_startup() {
+        let mut server = PgServerCodec::new();
+        let mut buf = client_encode(FrontendMessage::Startup {
+            params: vec![("user".into(), "x".into())],
+        });
+        server.decode(&mut buf).unwrap().unwrap();
+        let mut buf = client_encode(FrontendMessage::Password("hunter2".into()));
+        assert_eq!(
+            server.decode(&mut buf).unwrap().unwrap(),
+            FrontendMessage::Password("hunter2".into())
+        );
+        let mut buf = client_encode(FrontendMessage::Query("SELECT version();".into()));
+        assert_eq!(
+            server.decode(&mut buf).unwrap().unwrap(),
+            FrontendMessage::Query("SELECT version();".into())
+        );
+        let mut buf = client_encode(FrontendMessage::Terminate);
+        assert_eq!(
+            server.decode(&mut buf).unwrap().unwrap(),
+            FrontendMessage::Terminate
+        );
+    }
+
+    #[test]
+    fn backend_messages_roundtrip_through_client_codec() {
+        let messages = vec![
+            BackendMessage::AuthenticationCleartextPassword,
+            BackendMessage::AuthenticationMd5Password { salt: [1, 2, 3, 4] },
+            BackendMessage::AuthenticationOk,
+            BackendMessage::ParameterStatus {
+                name: "server_version".into(),
+                value: "14.5".into(),
+            },
+            BackendMessage::BackendKeyData {
+                pid: 4242,
+                secret: 0xdead_beef,
+            },
+            BackendMessage::ReadyForQuery { status: b'I' },
+            BackendMessage::auth_failed("postgres"),
+            BackendMessage::RowDescription {
+                columns: vec!["version".into(), "x".into()],
+            },
+            BackendMessage::DataRow {
+                values: vec![Some("PostgreSQL 14.5".into()), None],
+            },
+            BackendMessage::CommandComplete {
+                tag: "SELECT 1".into(),
+            },
+            BackendMessage::EmptyQueryResponse,
+        ];
+        let mut server = PgServerCodec::new();
+        let mut client = PgClientCodec::new();
+        for msg in messages {
+            let mut buf = BytesMut::new();
+            server.encode(&msg, &mut buf).unwrap();
+            let decoded = client.decode(&mut buf).unwrap().unwrap();
+            assert_eq!(decoded, msg);
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn partial_messages_request_more_bytes() {
+        let full = client_encode(FrontendMessage::Startup {
+            params: vec![("user".into(), "postgres".into())],
+        });
+        for cut in 1..full.len() {
+            let mut server = PgServerCodec::new();
+            let mut buf = BytesMut::from(&full[..cut]);
+            assert!(server.decode(&mut buf).unwrap().is_none());
+            assert_eq!(buf.len(), cut);
+        }
+    }
+
+    #[test]
+    fn hostile_startup_length_is_rejected() {
+        let mut server = PgServerCodec::new();
+        let mut buf = BytesMut::from(&[0xffu8, 0xff, 0xff, 0xff, 0, 0, 0, 0][..]);
+        assert!(server.decode(&mut buf).is_err());
+        let mut server = PgServerCodec::new();
+        let mut buf = BytesMut::from(&[0u8, 0, 0, 4][..]); // length < 8
+        assert!(server.decode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn unknown_tagged_messages_are_preserved_raw() {
+        let mut server = PgServerCodec::new();
+        let mut buf = client_encode(FrontendMessage::Startup { params: vec![] });
+        server.decode(&mut buf).unwrap();
+        let mut buf = client_encode(FrontendMessage::Other {
+            tag: b'P',
+            body: b"\0SELECT 1\0\0\0".to_vec(),
+        });
+        let msg = server.decode(&mut buf).unwrap().unwrap();
+        assert_eq!(
+            msg,
+            FrontendMessage::Other {
+                tag: b'P',
+                body: b"\0SELECT 1\0\0\0".to_vec()
+            }
+        );
+    }
+
+    #[test]
+    fn cancel_request_parses() {
+        let mut server = PgServerCodec::new();
+        let mut buf = client_encode(FrontendMessage::CancelRequest {
+            pid: 7,
+            secret: 99,
+        });
+        assert_eq!(
+            server.decode(&mut buf).unwrap().unwrap(),
+            FrontendMessage::CancelRequest { pid: 7, secret: 99 }
+        );
+    }
+
+    #[test]
+    fn listing13_privilege_manipulation_queries_roundtrip() {
+        // The privilege-manipulation commands from Appendix E, Listing 13.
+        for q in [
+            "ALTER USER pgg_superadmins WITH PASSWORD 'x'",
+            "ALTER USER postgres WITH NOSUPERUSER",
+        ] {
+            let mut server = PgServerCodec::new();
+            let mut buf = client_encode(FrontendMessage::Startup {
+                params: vec![("user".into(), "postgres".into())],
+            });
+            server.decode(&mut buf).unwrap();
+            let mut buf = client_encode(FrontendMessage::Query(q.into()));
+            assert_eq!(
+                server.decode(&mut buf).unwrap().unwrap(),
+                FrontendMessage::Query(q.into())
+            );
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Redis RESP2 protocol (REdis Serialization Protocol).
+//!
+//! Implements the full RESP2 value grammar plus the *inline command* form
+//! (bare text lines), which real Redis accepts and which several scanners in
+//! the paper's dataset use (e.g. the JDWP probe of Listing 11 arrives as an
+//! inline "command"). One [`RespCodec`] serves both directions: servers
+//! decode client commands and encode replies; clients do the reverse.
+
+use bytes::{Buf, BytesMut};
+use decoy_net::codec::Codec;
+use decoy_net::error::{NetError, NetResult};
+
+/// A RESP2 value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RespValue {
+    /// `+OK\r\n`
+    Simple(String),
+    /// `-ERR message\r\n`
+    Error(String),
+    /// `:42\r\n`
+    Integer(i64),
+    /// `$5\r\nhello\r\n`
+    Bulk(Vec<u8>),
+    /// `$-1\r\n`
+    NullBulk,
+    /// `*2\r\n...`
+    Array(Vec<RespValue>),
+    /// `*-1\r\n`
+    NullArray,
+    /// An inline command line (server-side decode only). Kept verbatim so
+    /// honeypots can log exactly what was thrown at the port.
+    Inline(String),
+}
+
+impl RespValue {
+    /// Shorthand for a bulk string from text.
+    pub fn bulk(s: impl AsRef<[u8]>) -> Self {
+        RespValue::Bulk(s.as_ref().to_vec())
+    }
+
+    /// Shorthand for a command array of bulk strings.
+    pub fn command(parts: &[&str]) -> Self {
+        RespValue::Array(parts.iter().map(RespValue::bulk).collect())
+    }
+
+    /// The bulk payload as UTF-8 text, if this is a bulk value.
+    pub fn as_text(&self) -> Option<String> {
+        match self {
+            RespValue::Bulk(b) => Some(String::from_utf8_lossy(b).into_owned()),
+            RespValue::Simple(s) | RespValue::Inline(s) => Some(s.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed client command: uppercased name plus raw arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RedisCommand {
+    /// Command name, normalized to uppercase (`SET`, `CONFIG`, ...).
+    pub name: String,
+    /// Arguments, verbatim.
+    pub args: Vec<Vec<u8>>,
+}
+
+impl RedisCommand {
+    /// Argument `i` as lossy UTF-8 text.
+    pub fn arg_text(&self, i: usize) -> Option<String> {
+        self.args
+            .get(i)
+            .map(|a| String::from_utf8_lossy(a).into_owned())
+    }
+
+    /// Render the command the way the paper's logs render it
+    /// (space-joined, lossy UTF-8).
+    pub fn render(&self) -> String {
+        let mut out = self.name.clone();
+        for a in &self.args {
+            out.push(' ');
+            out.push_str(&String::from_utf8_lossy(a));
+        }
+        out
+    }
+}
+
+/// Convert a decoded value into a command, accepting both array and inline
+/// forms. Returns `None` for values that cannot be a command (e.g. integers).
+pub fn as_command(value: &RespValue) -> Option<RedisCommand> {
+    match value {
+        RespValue::Array(items) => {
+            let mut parts = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    RespValue::Bulk(b) => parts.push(b.clone()),
+                    RespValue::Simple(s) | RespValue::Inline(s) => {
+                        parts.push(s.clone().into_bytes())
+                    }
+                    _ => return None,
+                }
+            }
+            let first = parts.first()?;
+            Some(RedisCommand {
+                name: String::from_utf8_lossy(first).to_uppercase(),
+                args: parts[1..].to_vec(),
+            })
+        }
+        RespValue::Inline(line) => {
+            let mut parts = line.split_whitespace();
+            let name = parts.next()?.to_uppercase();
+            Some(RedisCommand {
+                name,
+                args: parts.map(|p| p.as_bytes().to_vec()).collect(),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// RESP2 codec. `server_mode` enables inline-command decoding for lines that
+/// do not start with a RESP type byte.
+#[derive(Debug, Clone)]
+pub struct RespCodec {
+    server_mode: bool,
+    max_frame: usize,
+}
+
+impl RespCodec {
+    /// Codec for the server side of a connection (accepts inline commands).
+    pub fn server() -> Self {
+        RespCodec {
+            server_mode: true,
+            max_frame: 4 << 20,
+        }
+    }
+
+    /// Codec for the client side of a connection.
+    pub fn client() -> Self {
+        RespCodec {
+            server_mode: false,
+            max_frame: 4 << 20,
+        }
+    }
+}
+
+/// Find `\r\n` starting at `from`; return the index of `\r`.
+fn find_crlf(buf: &[u8], from: usize) -> Option<usize> {
+    if buf.len() < from + 2 {
+        return None;
+    }
+    buf[from..buf.len() - 1]
+        .iter()
+        .zip(&buf[from + 1..])
+        .position(|(&a, &b)| a == b'\r' && b == b'\n')
+        .map(|p| p + from)
+}
+
+/// Parse the decimal integer in `bytes` (RESP length/integer line).
+fn parse_int(bytes: &[u8]) -> NetResult<i64> {
+    let s = std::str::from_utf8(bytes)
+        .map_err(|_| NetError::protocol("non-utf8 integer in RESP"))?;
+    s.trim()
+        .parse::<i64>()
+        .map_err(|_| NetError::protocol(format!("bad RESP integer: {s:?}")))
+}
+
+/// Recursive incremental parse. Returns `(value, consumed)` or `None` if
+/// incomplete. `depth` bounds nesting against hostile input.
+fn parse_value(buf: &[u8], depth: u32) -> NetResult<Option<(RespValue, usize)>> {
+    if depth > 32 {
+        return Err(NetError::protocol("RESP nesting too deep"));
+    }
+    let Some(&type_byte) = buf.first() else {
+        return Ok(None);
+    };
+    match type_byte {
+        b'+' | b'-' | b':' => {
+            let Some(end) = find_crlf(buf, 1) else {
+                return Ok(None);
+            };
+            let body = &buf[1..end];
+            let consumed = end + 2;
+            let v = match type_byte {
+                b'+' => RespValue::Simple(String::from_utf8_lossy(body).into_owned()),
+                b'-' => RespValue::Error(String::from_utf8_lossy(body).into_owned()),
+                _ => RespValue::Integer(parse_int(body)?),
+            };
+            Ok(Some((v, consumed)))
+        }
+        b'$' => {
+            let Some(end) = find_crlf(buf, 1) else {
+                return Ok(None);
+            };
+            let len = parse_int(&buf[1..end])?;
+            let header = end + 2;
+            if len < 0 {
+                return Ok(Some((RespValue::NullBulk, header)));
+            }
+            let len = len as usize;
+            if len > 512 << 20 {
+                return Err(NetError::protocol("bulk string too large"));
+            }
+            if buf.len() < header + len + 2 {
+                return Ok(None);
+            }
+            if &buf[header + len..header + len + 2] != b"\r\n" {
+                return Err(NetError::protocol("bulk string missing CRLF terminator"));
+            }
+            Ok(Some((
+                RespValue::Bulk(buf[header..header + len].to_vec()),
+                header + len + 2,
+            )))
+        }
+        b'*' => {
+            let Some(end) = find_crlf(buf, 1) else {
+                return Ok(None);
+            };
+            let n = parse_int(&buf[1..end])?;
+            let mut consumed = end + 2;
+            if n < 0 {
+                return Ok(Some((RespValue::NullArray, consumed)));
+            }
+            if n > 1 << 20 {
+                return Err(NetError::protocol("RESP array too long"));
+            }
+            let mut items = Vec::with_capacity((n as usize).min(64));
+            for _ in 0..n {
+                match parse_value(&buf[consumed..], depth + 1)? {
+                    Some((item, used)) => {
+                        items.push(item);
+                        consumed += used;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            Ok(Some((RespValue::Array(items), consumed)))
+        }
+        _ => Err(NetError::protocol("not a RESP type byte")),
+    }
+}
+
+impl Codec for RespCodec {
+    type In = RespValue;
+    type Out = RespValue;
+
+    fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<RespValue>> {
+        if buf.is_empty() {
+            return Ok(None);
+        }
+        // Inline commands: anything not starting with a RESP type byte.
+        let first = buf[0];
+        let is_resp = matches!(first, b'+' | b'-' | b':' | b'$' | b'*');
+        if self.server_mode && !is_resp {
+            let Some(pos) = buf.iter().position(|&b| b == b'\n') else {
+                return Ok(None);
+            };
+            let mut line = buf.split_to(pos + 1);
+            line.truncate(pos);
+            if line.last() == Some(&b'\r') {
+                line.truncate(line.len() - 1);
+            }
+            return Ok(Some(RespValue::Inline(
+                String::from_utf8_lossy(&line).into_owned(),
+            )));
+        }
+        match parse_value(buf, 0)? {
+            Some((value, consumed)) => {
+                buf.advance(consumed);
+                Ok(Some(value))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn encode(&mut self, frame: &RespValue, buf: &mut BytesMut) -> NetResult<()> {
+        encode_value(frame, buf);
+        Ok(())
+    }
+
+    fn max_frame_len(&self) -> usize {
+        self.max_frame
+    }
+}
+
+fn encode_value(v: &RespValue, buf: &mut BytesMut) {
+    match v {
+        RespValue::Simple(s) => {
+            buf.extend_from_slice(b"+");
+            buf.extend_from_slice(s.as_bytes());
+            buf.extend_from_slice(b"\r\n");
+        }
+        RespValue::Error(s) => {
+            buf.extend_from_slice(b"-");
+            buf.extend_from_slice(s.as_bytes());
+            buf.extend_from_slice(b"\r\n");
+        }
+        RespValue::Integer(i) => {
+            buf.extend_from_slice(format!(":{i}\r\n").as_bytes());
+        }
+        RespValue::Bulk(b) => {
+            buf.extend_from_slice(format!("${}\r\n", b.len()).as_bytes());
+            buf.extend_from_slice(b);
+            buf.extend_from_slice(b"\r\n");
+        }
+        RespValue::NullBulk => buf.extend_from_slice(b"$-1\r\n"),
+        RespValue::Array(items) => {
+            buf.extend_from_slice(format!("*{}\r\n", items.len()).as_bytes());
+            for item in items {
+                encode_value(item, buf);
+            }
+        }
+        RespValue::NullArray => buf.extend_from_slice(b"*-1\r\n"),
+        // Inline values re-encode as the raw line (client replay of captures).
+        RespValue::Inline(s) => {
+            buf.extend_from_slice(s.as_bytes());
+            buf.extend_from_slice(b"\r\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_one(codec: &mut RespCodec, bytes: &[u8]) -> NetResult<Option<RespValue>> {
+        let mut buf = BytesMut::from(bytes);
+        codec.decode(&mut buf)
+    }
+
+    #[test]
+    fn decodes_scalar_types() {
+        let mut c = RespCodec::client();
+        assert_eq!(
+            decode_one(&mut c, b"+OK\r\n").unwrap(),
+            Some(RespValue::Simple("OK".into()))
+        );
+        assert_eq!(
+            decode_one(&mut c, b"-ERR nope\r\n").unwrap(),
+            Some(RespValue::Error("ERR nope".into()))
+        );
+        assert_eq!(
+            decode_one(&mut c, b":-7\r\n").unwrap(),
+            Some(RespValue::Integer(-7))
+        );
+        assert_eq!(
+            decode_one(&mut c, b"$3\r\nfoo\r\n").unwrap(),
+            Some(RespValue::bulk("foo"))
+        );
+        assert_eq!(
+            decode_one(&mut c, b"$-1\r\n").unwrap(),
+            Some(RespValue::NullBulk)
+        );
+        assert_eq!(
+            decode_one(&mut c, b"*-1\r\n").unwrap(),
+            Some(RespValue::NullArray)
+        );
+    }
+
+    #[test]
+    fn decodes_nested_arrays_incrementally() {
+        let mut c = RespCodec::server();
+        let full = b"*2\r\n$3\r\nGET\r\n$1\r\nx\r\n";
+        // every prefix is incomplete, the full buffer decodes
+        for cut in 1..full.len() {
+            let mut buf = BytesMut::from(&full[..cut]);
+            assert_eq!(c.decode(&mut buf).unwrap(), None, "cut at {cut}");
+            assert_eq!(buf.len(), cut, "no bytes consumed on partial");
+        }
+        let mut buf = BytesMut::from(&full[..]);
+        let v = c.decode(&mut buf).unwrap().unwrap();
+        assert_eq!(v, RespValue::command(&["GET", "x"]));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn inline_commands_in_server_mode_only() {
+        let mut server = RespCodec::server();
+        let v = decode_one(&mut server, b"PING\r\n").unwrap().unwrap();
+        assert_eq!(v, RespValue::Inline("PING".into()));
+
+        let mut client = RespCodec::client();
+        assert!(decode_one(&mut client, b"PING\r\n").is_err());
+    }
+
+    #[test]
+    fn jdwp_handshake_decodes_as_inline_garbage() {
+        // Listing 11: JDWP handshake thrown at a Redis port.
+        let mut server = RespCodec::server();
+        let v = decode_one(&mut server, b"JDWP-Handshake\r\n").unwrap().unwrap();
+        assert_eq!(v, RespValue::Inline("JDWP-Handshake".into()));
+        assert_eq!(
+            as_command(&v).unwrap().name,
+            "JDWP-HANDSHAKE".to_string()
+        );
+    }
+
+    #[test]
+    fn command_extraction_and_render() {
+        let v = RespValue::command(&["set", "x", "hello world"]);
+        let cmd = as_command(&v).unwrap();
+        assert_eq!(cmd.name, "SET");
+        assert_eq!(cmd.arg_text(0).unwrap(), "x");
+        assert_eq!(cmd.render(), "SET x hello world");
+        assert_eq!(as_command(&RespValue::Integer(1)), None);
+    }
+
+    #[test]
+    fn roundtrip_all_variants() {
+        let values = vec![
+            RespValue::Simple("PONG".into()),
+            RespValue::Error("WRONGTYPE".into()),
+            RespValue::Integer(1234567890),
+            RespValue::bulk(b"\x00\x01binary\xff"),
+            RespValue::NullBulk,
+            RespValue::NullArray,
+            RespValue::Array(vec![
+                RespValue::bulk("a"),
+                RespValue::Array(vec![RespValue::Integer(1), RespValue::NullBulk]),
+            ]),
+        ];
+        let mut c = RespCodec::client();
+        for v in values {
+            let mut buf = BytesMut::new();
+            c.encode(&v, &mut buf).unwrap();
+            let decoded = c.decode(&mut buf).unwrap().unwrap();
+            assert_eq!(decoded, v);
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn rejects_hostile_lengths() {
+        let mut c = RespCodec::client();
+        assert!(decode_one(&mut c, b"$99999999999999999999\r\n").is_err());
+        assert!(decode_one(&mut c, b"*2000000\r\n").is_err());
+        assert!(decode_one(&mut c, b":abc\r\n").is_err());
+    }
+
+    #[test]
+    fn rejects_deep_nesting() {
+        let mut bytes = Vec::new();
+        for _ in 0..64 {
+            bytes.extend_from_slice(b"*1\r\n");
+        }
+        bytes.extend_from_slice(b":1\r\n");
+        let mut c = RespCodec::client();
+        assert!(decode_one(&mut c, &bytes).is_err());
+    }
+
+    #[test]
+    fn bulk_must_end_with_crlf() {
+        let mut c = RespCodec::client();
+        assert!(decode_one(&mut c, b"$3\r\nfooXX").is_err());
+    }
+}

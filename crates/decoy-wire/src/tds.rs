@@ -1,0 +1,489 @@
+//! TDS — the Microsoft SQL Server Tabular Data Stream protocol.
+//!
+//! Implements the parts a low-interaction MSSQL honeypot and brute-force
+//! clients exercise: the packet transport, `PRELOGIN` negotiation, the
+//! `LOGIN7` record (including the password obfuscation: swap nibbles, XOR
+//! `0xA5` — which is why MSSQL honeypots can log cleartext credentials, and
+//! why Table 12 of the paper exists), and the token-stream error response
+//! (`Login failed for user ...`, error 18456).
+
+use bytes::{Buf, BufMut, BytesMut};
+use decoy_net::codec::Codec;
+use decoy_net::error::{NetError, NetResult};
+
+/// Packet type: PRELOGIN.
+pub const PKT_PRELOGIN: u8 = 0x12;
+/// Packet type: LOGIN7.
+pub const PKT_LOGIN7: u8 = 0x10;
+/// Packet type: SQL batch.
+pub const PKT_SQL_BATCH: u8 = 0x01;
+/// Packet type: tabular result (server → client).
+pub const PKT_RESPONSE: u8 = 0x04;
+
+/// One TDS packet. `status = 0x01` marks end-of-message; this codec treats
+/// each packet as one frame (fine for login-sized exchanges).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TdsPacket {
+    /// Packet type byte.
+    pub ptype: u8,
+    /// Status bits (0x01 = EOM).
+    pub status: u8,
+    /// Payload after the 8-byte header.
+    pub payload: Vec<u8>,
+}
+
+impl TdsPacket {
+    /// A single end-of-message packet.
+    pub fn eom(ptype: u8, payload: Vec<u8>) -> Self {
+        TdsPacket {
+            ptype,
+            status: 0x01,
+            payload,
+        }
+    }
+}
+
+/// TDS packet transport codec.
+#[derive(Debug, Clone, Default)]
+pub struct TdsCodec;
+
+impl Codec for TdsCodec {
+    type In = TdsPacket;
+    type Out = TdsPacket;
+
+    fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<TdsPacket>> {
+        if buf.len() < 8 {
+            return Ok(None);
+        }
+        let len = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+        if len < 8 {
+            return Err(NetError::protocol(format!("tds length {len} below header")));
+        }
+        if len > self.max_frame_len() {
+            return Err(NetError::protocol("tds packet too large"));
+        }
+        if buf.len() < len {
+            return Ok(None);
+        }
+        let ptype = buf[0];
+        let status = buf[1];
+        buf.advance(8);
+        let payload = buf.split_to(len - 8).to_vec();
+        Ok(Some(TdsPacket {
+            ptype,
+            status,
+            payload,
+        }))
+    }
+
+    fn encode(&mut self, frame: &TdsPacket, buf: &mut BytesMut) -> NetResult<()> {
+        let total = 8 + frame.payload.len();
+        if total > u16::MAX as usize {
+            return Err(NetError::protocol("tds payload too large for one packet"));
+        }
+        buf.put_u8(frame.ptype);
+        buf.put_u8(frame.status);
+        buf.put_u16(total as u16);
+        buf.put_u16(0); // spid
+        buf.put_u8(1); // packet id
+        buf.put_u8(0); // window
+        buf.extend_from_slice(&frame.payload);
+        Ok(())
+    }
+
+    fn max_frame_len(&self) -> usize {
+        u16::MAX as usize
+    }
+}
+
+// --- UCS-2 helpers ---------------------------------------------------------
+
+/// Encode text as UCS-2 LE (BMP only, which covers observed credentials).
+pub fn ucs2_encode(s: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(s.len() * 2);
+    for u in s.encode_utf16() {
+        out.extend_from_slice(&u.to_le_bytes());
+    }
+    out
+}
+
+/// Decode UCS-2 LE text (lossy).
+pub fn ucs2_decode(bytes: &[u8]) -> String {
+    let units: Vec<u16> = bytes
+        .chunks_exact(2)
+        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+        .collect();
+    String::from_utf16_lossy(&units)
+}
+
+/// The LOGIN7 password obfuscation: per byte, swap nibbles then XOR `0xA5`.
+/// Involution-free but trivially reversible via [`password_demangle`].
+pub fn password_mangle(ucs2: &[u8]) -> Vec<u8> {
+    ucs2.iter()
+        .map(|&b| b.rotate_left(4) ^ 0xA5)
+        .collect()
+}
+
+/// Invert [`password_mangle`].
+pub fn password_demangle(mangled: &[u8]) -> Vec<u8> {
+    mangled
+        .iter()
+        .map(|&b| (b ^ 0xA5).rotate_left(4))
+        .collect()
+}
+
+// --- PRELOGIN --------------------------------------------------------------
+
+/// A PRELOGIN option: `(token, data)`.
+pub type PreloginOption = (u8, Vec<u8>);
+
+/// Parse a PRELOGIN payload into its option list.
+pub fn parse_prelogin(payload: &[u8]) -> NetResult<Vec<PreloginOption>> {
+    let mut options = Vec::new();
+    let mut idx = 0usize;
+    loop {
+        let Some(&token) = payload.get(idx) else {
+            return Err(NetError::protocol("prelogin missing terminator"));
+        };
+        if token == 0xff {
+            break;
+        }
+        if payload.len() < idx + 5 {
+            return Err(NetError::protocol("truncated prelogin option header"));
+        }
+        let offset = u16::from_be_bytes([payload[idx + 1], payload[idx + 2]]) as usize;
+        let length = u16::from_be_bytes([payload[idx + 3], payload[idx + 4]]) as usize;
+        if offset + length > payload.len() {
+            return Err(NetError::protocol("prelogin option overruns payload"));
+        }
+        options.push((token, payload[offset..offset + length].to_vec()));
+        idx += 5;
+        if options.len() > 16 {
+            return Err(NetError::protocol("too many prelogin options"));
+        }
+    }
+    Ok(options)
+}
+
+/// Build a PRELOGIN payload from options.
+pub fn build_prelogin(options: &[PreloginOption]) -> Vec<u8> {
+    let header_len = options.len() * 5 + 1;
+    let mut data = Vec::new();
+    let mut header = Vec::with_capacity(header_len);
+    let mut offset = header_len;
+    for (token, bytes) in options {
+        header.push(*token);
+        header.extend_from_slice(&(offset as u16).to_be_bytes());
+        header.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+        data.extend_from_slice(bytes);
+        offset += bytes.len();
+    }
+    header.push(0xff);
+    header.extend_from_slice(&data);
+    header
+}
+
+/// The PRELOGIN response our honeypot sends: SQL Server 2019 version token
+/// and "encryption not supported" (keeps brute-forcers in cleartext).
+pub fn honeypot_prelogin_response() -> Vec<u8> {
+    build_prelogin(&[
+        (0x00, vec![15, 0, 0x08, 0x0b, 0, 0]), // VERSION 15.0.2091
+        (0x01, vec![2]),                       // ENCRYPT_NOT_SUP
+        (0x02, vec![0]),                       // INSTOPT
+        (0x03, vec![0, 0, 0, 0]),              // THREADID
+        (0x04, vec![0]),                       // MARS off
+    ])
+}
+
+// --- LOGIN7 ----------------------------------------------------------------
+
+/// The parsed LOGIN7 record — the honeypot's credential capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Login7 {
+    /// Client host name.
+    pub hostname: String,
+    /// Login username (`sa` in most observed attacks).
+    pub username: String,
+    /// Deobfuscated cleartext password.
+    pub password: String,
+    /// Client application name.
+    pub appname: String,
+    /// Target server name as the client believes it.
+    pub servername: String,
+    /// Requested database.
+    pub database: String,
+}
+
+const LOGIN7_FIXED: usize = 94;
+
+impl Login7 {
+    /// Serialize into a LOGIN7 payload.
+    pub fn build(&self) -> Vec<u8> {
+        let fields = [
+            ucs2_encode(&self.hostname),
+            ucs2_encode(&self.username),
+            password_mangle(&ucs2_encode(&self.password)),
+            ucs2_encode(&self.appname),
+            ucs2_encode(&self.servername),
+            Vec::new(), // unused / extension
+            ucs2_encode("ODBC"),
+            Vec::new(), // language
+            ucs2_encode(&self.database),
+        ];
+        let mut var = Vec::new();
+        let mut pairs = Vec::new();
+        let mut offset = LOGIN7_FIXED;
+        for f in &fields {
+            pairs.push((offset as u16, (f.len() / 2) as u16));
+            var.extend_from_slice(f);
+            offset += f.len();
+        }
+        let total = LOGIN7_FIXED + var.len();
+        let mut p = BytesMut::with_capacity(total);
+        p.put_u32_le(total as u32);
+        p.put_u32_le(0x7400_0004); // TDS 7.4
+        p.put_u32_le(4096); // packet size
+        p.put_u32_le(7); // client prog version
+        p.put_u32_le(1000); // client pid
+        p.put_u32_le(0); // connection id
+        p.put_u8(0xe0); // option flags 1
+        p.put_u8(0x03); // option flags 2
+        p.put_u8(0); // type flags
+        p.put_u8(0); // option flags 3
+        p.put_i32_le(0); // timezone
+        p.put_u32_le(0x0409); // LCID en-US
+        for (off, len) in &pairs {
+            p.put_u16_le(*off);
+            p.put_u16_le(*len);
+        }
+        p.extend_from_slice(&[0, 1, 2, 3, 4, 5]); // client MAC
+        p.put_u16_le(0); // SSPI offset
+        p.put_u16_le(0); // SSPI length
+        p.put_u16_le(0); // AtchDBFile
+        p.put_u16_le(0);
+        p.put_u16_le(0); // ChangePassword
+        p.put_u16_le(0);
+        p.put_u32_le(0); // cbSSPILong
+        debug_assert_eq!(p.len(), LOGIN7_FIXED);
+        p.extend_from_slice(&var);
+        p.to_vec()
+    }
+
+    /// Parse a LOGIN7 payload, deobfuscating the password.
+    pub fn parse(payload: &[u8]) -> NetResult<Login7> {
+        if payload.len() < LOGIN7_FIXED {
+            return Err(NetError::protocol("login7 shorter than fixed part"));
+        }
+        let declared = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+        if declared > payload.len() {
+            return Err(NetError::protocol("login7 declared length overruns packet"));
+        }
+        let read_field = |pair_index: usize, mangled: bool| -> NetResult<String> {
+            let base = 36 + pair_index * 4;
+            let off =
+                u16::from_le_bytes([payload[base], payload[base + 1]]) as usize;
+            let chars =
+                u16::from_le_bytes([payload[base + 2], payload[base + 3]]) as usize;
+            let bytes_len = chars * 2;
+            if chars == 0 {
+                return Ok(String::new());
+            }
+            if off + bytes_len > payload.len() {
+                return Err(NetError::protocol("login7 field overruns packet"));
+            }
+            let raw = &payload[off..off + bytes_len];
+            if mangled {
+                Ok(ucs2_decode(&password_demangle(raw)))
+            } else {
+                Ok(ucs2_decode(raw))
+            }
+        };
+        Ok(Login7 {
+            hostname: read_field(0, false)?,
+            username: read_field(1, false)?,
+            password: read_field(2, true)?,
+            appname: read_field(3, false)?,
+            servername: read_field(4, false)?,
+            database: read_field(8, false)?,
+        })
+    }
+}
+
+// --- Server token stream ---------------------------------------------------
+
+/// Token: ERROR.
+pub const TOKEN_ERROR: u8 = 0xAA;
+/// Token: LOGINACK.
+pub const TOKEN_LOGINACK: u8 = 0xAD;
+/// Token: DONE.
+pub const TOKEN_DONE: u8 = 0xFD;
+
+/// Build the token-stream payload for a failed login (error 18456).
+pub fn build_login_failed(username: &str) -> Vec<u8> {
+    let msg = format!("Login failed for user '{username}'.");
+    let msg_ucs2 = ucs2_encode(&msg);
+    let server = ucs2_encode("HONEYDB");
+    let mut body = BytesMut::new();
+    body.put_i32_le(18456); // error number
+    body.put_u8(1); // state
+    body.put_u8(14); // class/severity
+    body.put_u16_le(msg.encode_utf16().count() as u16);
+    body.extend_from_slice(&msg_ucs2);
+    body.put_u8((server.len() / 2) as u8);
+    body.extend_from_slice(&server);
+    body.put_u8(0); // proc name length
+    body.put_u32_le(1); // line number
+    let mut p = BytesMut::new();
+    p.put_u8(TOKEN_ERROR);
+    p.put_u16_le(body.len() as u16);
+    p.extend_from_slice(&body);
+    // DONE token: error, no count
+    p.put_u8(TOKEN_DONE);
+    p.put_u16_le(0x0002); // status: DONE_ERROR
+    p.put_u16_le(0);
+    p.put_u64_le(0);
+    p.to_vec()
+}
+
+/// Extract the error message from a token-stream response (client side).
+pub fn parse_error_token(payload: &[u8]) -> Option<(i32, String)> {
+    if payload.first() != Some(&TOKEN_ERROR) || payload.len() < 3 {
+        return None;
+    }
+    let len = u16::from_le_bytes([payload[1], payload[2]]) as usize;
+    let body = payload.get(3..3 + len)?;
+    if body.len() < 8 {
+        return None;
+    }
+    let number = i32::from_le_bytes([body[0], body[1], body[2], body[3]]);
+    let msg_chars = u16::from_le_bytes([body[6], body[7]]) as usize;
+    let msg = body.get(8..8 + msg_chars * 2)?;
+    Some((number, ucs2_decode(msg)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_codec_roundtrip_and_partials() {
+        let mut c = TdsCodec;
+        let pkt = TdsPacket::eom(PKT_PRELOGIN, vec![0xff]);
+        let mut buf = BytesMut::new();
+        c.encode(&pkt, &mut buf).unwrap();
+        assert_eq!(buf.len(), 9);
+        for cut in 1..buf.len() {
+            let mut partial = BytesMut::from(&buf[..cut]);
+            assert!(c.decode(&mut partial).unwrap().is_none());
+        }
+        assert_eq!(c.decode(&mut buf).unwrap().unwrap(), pkt);
+    }
+
+    #[test]
+    fn packet_codec_rejects_undersized_length() {
+        let mut c = TdsCodec;
+        let mut buf = BytesMut::from(&[0x12u8, 0x01, 0x00, 0x04, 0, 0, 1, 0][..]);
+        assert!(c.decode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn password_mangle_is_reversible() {
+        for pw in ["", "123", "P@ssw0rd", "пароль", "密码"] {
+            let ucs2 = ucs2_encode(pw);
+            let mangled = password_mangle(&ucs2);
+            if !pw.is_empty() {
+                assert_ne!(mangled, ucs2, "mangling must change bytes for {pw:?}");
+            }
+            assert_eq!(password_demangle(&mangled), ucs2);
+            assert_eq!(ucs2_decode(&password_demangle(&mangled)), pw);
+        }
+    }
+
+    #[test]
+    fn known_mangle_vector() {
+        // 'a' = 0x61 0x00 in UCS-2 LE; swap(0x61)=0x16, ^0xA5 = 0xB3;
+        // swap(0x00)=0x00, ^0xA5 = 0xA5.
+        assert_eq!(password_mangle(&ucs2_encode("a")), vec![0xb3, 0xa5]);
+    }
+
+    #[test]
+    fn prelogin_roundtrip() {
+        let options = vec![
+            (0x00u8, vec![15, 0, 0, 0, 0, 0]),
+            (0x01u8, vec![0]),
+            (0x04u8, vec![1]),
+        ];
+        let payload = build_prelogin(&options);
+        assert_eq!(parse_prelogin(&payload).unwrap(), options);
+        // the canned honeypot response parses too
+        let resp = honeypot_prelogin_response();
+        let parsed = parse_prelogin(&resp).unwrap();
+        assert_eq!(parsed[0].0, 0x00);
+        assert_eq!(parsed[1], (0x01, vec![2]));
+    }
+
+    #[test]
+    fn prelogin_rejects_overruns() {
+        // option pointing past the payload
+        let bad = vec![0x00, 0x00, 0xff, 0x00, 0x10, 0xff];
+        assert!(parse_prelogin(&bad).is_err());
+        assert!(parse_prelogin(&[0x00]).is_err());
+    }
+
+    #[test]
+    fn login7_roundtrip_captures_credentials() {
+        let login = Login7 {
+            hostname: "DESKTOP-ATTACK".into(),
+            username: "sa".into(),
+            password: "P@ssw0rd".into(),
+            appname: "sqlcmd".into(),
+            servername: "203.0.113.5".into(),
+            database: "master".into(),
+        };
+        let parsed = Login7::parse(&login.build()).unwrap();
+        assert_eq!(parsed, login);
+    }
+
+    #[test]
+    fn login7_empty_password() {
+        // Table 12 row: user "hbv7" with empty password.
+        let login = Login7 {
+            hostname: "h".into(),
+            username: "hbv7".into(),
+            password: String::new(),
+            appname: String::new(),
+            servername: String::new(),
+            database: String::new(),
+        };
+        let parsed = Login7::parse(&login.build()).unwrap();
+        assert_eq!(parsed.username, "hbv7");
+        assert_eq!(parsed.password, "");
+    }
+
+    #[test]
+    fn login7_rejects_overruns() {
+        let login = Login7 {
+            hostname: "h".into(),
+            username: "sa".into(),
+            password: "123".into(),
+            appname: String::new(),
+            servername: String::new(),
+            database: String::new(),
+        };
+        let mut bytes = login.build();
+        // Corrupt the username offset to point past the end.
+        bytes[40] = 0xff;
+        bytes[41] = 0xff;
+        assert!(Login7::parse(&bytes).is_err());
+        assert!(Login7::parse(&bytes[..50]).is_err());
+    }
+
+    #[test]
+    fn login_failed_token_roundtrip() {
+        let payload = build_login_failed("sa");
+        let (number, msg) = parse_error_token(&payload).unwrap();
+        assert_eq!(number, 18456);
+        assert_eq!(msg, "Login failed for user 'sa'.");
+        assert_eq!(parse_error_token(b"\x00junk"), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! Forensics walk-through: run the MongoDB ransom kill chain (§6.3,
+//! Listings 7–8) against a high-interaction honeypot with bait customer
+//! data, then reconstruct the attack from the standardized logs — the
+//! paper's classify → cluster → tag pipeline on a single campaign.
+//!
+//! Run: `cargo run --example attack_forensics`
+
+use decoy_databases::agents::actors::TargetSelector;
+use decoy_databases::agents::driver::run_session;
+use decoy_databases::agents::schedule::PlannedSession;
+use decoy_databases::agents::scripts::SessionScript;
+use decoy_databases::analysis::classify::classify_sources;
+use decoy_databases::analysis::cluster::cluster_sources;
+use decoy_databases::analysis::tagging::tag_sources;
+use decoy_databases::honeypots::mongo_high::MongoHoneypot;
+use decoy_databases::net::server::{Listener, ListenerOptions};
+use decoy_databases::net::time::{Clock, EXPERIMENT_START, MILLIS_PER_DAY};
+use decoy_databases::store::docdb::DocDb;
+use decoy_databases::store::{
+    ConfigVariant, Dbms, EventKind, EventStore, HoneypotId, InteractionLevel,
+};
+use decoy_databases::wire::mongo::bson::Document;
+use std::sync::Arc;
+
+#[tokio::main]
+async fn main() -> std::io::Result<()> {
+    let store = EventStore::new();
+    let id = HoneypotId::new(
+        Dbms::MongoDb,
+        InteractionLevel::High,
+        ConfigVariant::FakeData,
+        0,
+    );
+    // keep a handle on the engine so we can inspect the damage afterwards
+    let honeypot = MongoHoneypot::with_fake_customers(store.clone(), id, 99, 50);
+    let engine: Arc<DocDb> = honeypot.db().clone();
+    let clock = Clock::simulated();
+    let server = Listener::bind(
+        "127.0.0.1:0".parse().expect("loopback"),
+        honeypot,
+        ListenerOptions {
+            max_sessions: 64,
+            clock: clock.clone(),
+        },
+    )
+    .await?;
+    println!(
+        "bait: {} customer records in {:?}",
+        engine.total_documents(),
+        engine.list_databases()
+    );
+
+    // Two ransom groups return over several (virtual) days, like the
+    // paper's automated scripts that replace each other's notes.
+    for (day, group, src) in [
+        (0u64, 0u8, "60.21.0.66"),
+        (2, 1, "60.3.0.99"),
+        (5, 0, "60.21.0.66"),
+    ] {
+        clock
+            .sim()
+            .expect("simulated clock")
+            .advance_to(EXPERIMENT_START.add_millis(day * MILLIS_PER_DAY));
+        let session = PlannedSession {
+            ts: EXPERIMENT_START.add_millis(day * MILLIS_PER_DAY),
+            actor_idx: 0,
+            src: src.parse().expect("ipv4"),
+            target: TargetSelector::high_mongo(),
+            script: SessionScript::MongoRansom { group },
+        };
+        let outcome = run_session(server.local_addr(), &session).await;
+        println!("day {day}: ransom group {group} from {src} ({} errors)", outcome.errors);
+    }
+    tokio::time::sleep(std::time::Duration::from_millis(200)).await;
+    server.shutdown().await;
+
+    // Damage report from the real engine.
+    println!("\npost-attack database state:");
+    for db in engine.list_databases() {
+        for coll in engine.list_collections(&db) {
+            let docs = engine.find(&db, &coll, &Document::new(), 1);
+            println!("  {db}.{coll}: {} docs", engine.count(&db, &coll, &Document::new()));
+            if let Some(note) = docs.first().and_then(|d| d.get_str("content")) {
+                println!("    note: {}", &note[..note.len().min(90)]);
+            }
+        }
+    }
+
+    // The pipeline's view.
+    println!("\npipeline reconstruction:");
+    let profiles = classify_sources(&store, Some(Dbms::MongoDb));
+    let tags = tag_sources(&store, Some(Dbms::MongoDb));
+    let clusters = cluster_sources(&store, Some(Dbms::MongoDb), 0.05);
+    println!(
+        "  {} sources, {} clusters",
+        profiles.len(),
+        clusters.num_clusters
+    );
+    for (src, profile) in &profiles {
+        let tag_labels: Vec<&str> = tags
+            .get(src)
+            .map(|t| t.iter().map(|t| t.label()).collect())
+            .unwrap_or_default();
+        println!(
+            "  {src}: {} | cluster {} | tags [{}]",
+            profile.primary().label(),
+            clusters.assignments[src],
+            tag_labels.join(", ")
+        );
+    }
+    let commands = store.filter(|e| matches!(e.kind, EventKind::Command { .. }));
+    println!("  {} commands captured across the campaign", commands.len());
+
+    // Appendix-E-style listing of the repeat offender's sessions
+    println!("
+reconstructed listing for 60.21.0.66:");
+    print!(
+        "{}",
+        decoy_databases::analysis::forensics::render_listing(
+            &store,
+            "60.21.0.66".parse().expect("ip"),
+            Some(Dbms::MongoDb),
+        )
+    );
+    Ok(())
+}

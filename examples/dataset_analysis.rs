@@ -1,0 +1,93 @@
+//! Analyze a previously captured dataset — the consumer side of the paper's
+//! public-dataset release (Appendix B).
+//!
+//! Run: `cargo run --release --example dataset_analysis [dataset.jsonl]`
+//!
+//! Without an argument, a small demonstration dataset is generated first
+//! (the same JSON-lines format `live_fleet` exports). The example then runs
+//! the full pipeline over it: enrichment, classification, clustering,
+//! campaign tagging, and a cluster inventory for manual review.
+
+use decoy_databases::analysis::classify::{classify_sources, ClassCounts};
+use decoy_databases::analysis::cluster::cluster_sources;
+use decoy_databases::analysis::tagging::tag_sources;
+use decoy_databases::core::runner::{run, ExperimentConfig};
+use decoy_databases::geo::GeoDb;
+use decoy_databases::store::{Dbms, EventStore};
+use std::collections::BTreeMap;
+
+#[tokio::main]
+async fn main() -> std::io::Result<()> {
+    let path = std::env::args().nth(1);
+    let text = match &path {
+        Some(p) => {
+            eprintln!("loading dataset from {p}");
+            std::fs::read_to_string(p)?
+        }
+        None => {
+            eprintln!("no dataset given; generating a demonstration capture (scale 0.01)");
+            let result = run(ExperimentConfig::direct(7, 0.01)).await?;
+            result.store.to_json_lines()
+        }
+    };
+    let store = EventStore::from_json_lines(&text)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    let geo = GeoDb::builtin();
+    println!(
+        "dataset: {} events from {} sources",
+        store.len(),
+        store.sources().len()
+    );
+
+    // enrichment coverage
+    let mapped = store
+        .sources()
+        .iter()
+        .filter(|ip| geo.lookup(**ip).is_some())
+        .count();
+    println!(
+        "enrichment: {mapped}/{} sources resolve to an AS/country",
+        store.sources().len()
+    );
+
+    // classification + campaign tags per family
+    println!("\nper-family classification (scanning/scouting/exploiting):");
+    for dbms in Dbms::all() {
+        let profiles = classify_sources(&store, Some(dbms));
+        if profiles.is_empty() {
+            continue;
+        }
+        let counts = ClassCounts::from_profiles(profiles.values());
+        println!(
+            "  {:<11} {:>5} sources: {:>5} / {:>5} / {:>5}",
+            dbms.label(),
+            counts.total(),
+            counts.scanning,
+            counts.scouting,
+            counts.exploiting
+        );
+    }
+
+    let mut tag_totals: BTreeMap<&str, usize> = BTreeMap::new();
+    for tags in tag_sources(&store, None).values() {
+        for tag in tags {
+            *tag_totals.entry(tag.label()).or_insert(0) += 1;
+        }
+    }
+    println!("\ncampaign tags:");
+    for (tag, n) in &tag_totals {
+        println!("  {tag:<24} {n}");
+    }
+
+    // cluster inventory for one family, for manual review (§6.1)
+    let redis = cluster_sources(&store, Some(Dbms::Redis), 0.05);
+    if !redis.assignments.is_empty() {
+        println!(
+            "\nRedis cluster inventory ({} clusters over {} sources):",
+            redis.num_clusters,
+            redis.assignments.len()
+        );
+        print!("{}", redis.render_summary(8, 4));
+    }
+    Ok(())
+}

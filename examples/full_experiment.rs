@@ -1,0 +1,67 @@
+//! Replay the paper's full 20-day deployment (scaled) and regenerate every
+//! table and figure of the evaluation.
+//!
+//! Run: `cargo run --release --example full_experiment [scale] [seed] [network]`
+//!
+//! * `scale` — population/volume scale, default 0.05 (1.0 = paper volumes,
+//!   i.e. ~18 M login attempts).
+//! * `seed`  — experiment seed, default 20240322.
+//! * pass `network` as the third argument to replay over real TCP against
+//!   live honeypots instead of direct event emission.
+//! * pass `extensions` as a further argument to also deploy and attack the
+//!   §7 extension honeypots (medium MySQL, CouchDB).
+//! * pass `csv` to also write plot-ready figure data to `./figures/`.
+
+use decoy_databases::core::runner::{run, ExperimentConfig, Mode};
+use decoy_databases::core::Report;
+
+#[tokio::main(flavor = "multi_thread")]
+async fn main() -> std::io::Result<()> {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.05);
+    let seed: u64 = args
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20240322);
+    let rest: Vec<String> = args.collect();
+    let network = rest.iter().any(|a| a == "network");
+    let extensions = rest.iter().any(|a| a == "extensions");
+
+    let mut config = if network {
+        ExperimentConfig::network(seed, scale)
+    } else {
+        ExperimentConfig::direct(seed, scale)
+    };
+    config.extensions = extensions;
+    eprintln!(
+        "running {:?}-mode experiment: seed={seed} scale={scale} (paper window: 2024-03-22 → 2024-04-11)",
+        config.mode
+    );
+    let started = std::time::Instant::now();
+    let result = run(config.clone()).await?;
+    eprintln!(
+        "replayed {} sessions / {} connections in {:.1}s ({} events logged{})",
+        result.sessions,
+        result.connections,
+        started.elapsed().as_secs_f64(),
+        result.store.len(),
+        if config.mode == Mode::Network {
+            format!(", {} driver errors", result.errors)
+        } else {
+            String::new()
+        }
+    );
+
+    let report = Report::generate(&result);
+    println!("{}", report.render_text());
+
+    if rest.iter().any(|a| a == "csv") {
+        let dir = std::path::Path::new("figures");
+        let files = decoy_databases::core::report::export_csv(&result, dir)?;
+        eprintln!("wrote {} CSV figure files to {}", files.len(), dir.display());
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! # Decoy Databases
+//!
+//! A production-quality Rust reproduction of *"Decoy Databases: Analyzing
+//! Attacks on Public Facing Databases"* (IMC 2025): a fleet of database
+//! honeypots (low/medium/high interaction, six DBMS wire protocols
+//! implemented from scratch), an attacker-population simulator standing in
+//! for the live Internet, and the full analysis pipeline — behavioral
+//! classification, TF + Ward clustering, campaign tagging, and every table
+//! and figure of the paper's evaluation.
+//!
+//! ## Crate map
+//!
+//! | Facade module | Crate | Contents |
+//! |---|---|---|
+//! | [`net`] | `decoy-net` | framing, PROXY protocol, listeners, virtual time |
+//! | [`wire`] | `decoy-wire` | MySQL, PostgreSQL, TDS, RESP, MongoDB+BSON, HTTP codecs |
+//! | [`store`] | `decoy-store` | event store, Redis-like keyspace, mini document DB |
+//! | [`fakedata`] | `decoy-fakedata` | Mockaroo-style bait data |
+//! | [`geo`] | `decoy-geo` | GeoIP/ASN enrichment (prefix trie + AS registry) |
+//! | [`honeypots`] | `decoy-honeypots` | the five honeypot families of Table 3 |
+//! | [`agents`] | `decoy-agents` | attacker cohorts, campaign scripts, drivers |
+//! | [`analysis`] | `decoy-analysis` | classification, clustering, tables, figures |
+//! | [`core`] | `decoy-core` | Table 4 deployment, experiment runner, report |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use decoy_databases::core::runner::{run, ExperimentConfig};
+//! use decoy_databases::core::Report;
+//!
+//! # async fn demo() -> std::io::Result<()> {
+//! // Replay a scaled 20-day deployment and regenerate the paper's tables.
+//! let result = run(ExperimentConfig::direct(42, 0.05)).await?;
+//! println!("{}", Report::generate(&result).render_text());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for runnable entry points and DESIGN.md / EXPERIMENTS.md
+//! for the experiment inventory.
+
+pub use decoy_agents as agents;
+pub use decoy_analysis as analysis;
+pub use decoy_core as core;
+pub use decoy_fakedata as fakedata;
+pub use decoy_geo as geo;
+pub use decoy_honeypots as honeypots;
+pub use decoy_net as net;
+pub use decoy_store as store;
+pub use decoy_wire as wire;

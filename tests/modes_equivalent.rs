@@ -1,0 +1,101 @@
+//! Network ≡ Direct equivalence: the substitution argument of DESIGN.md.
+//!
+//! The same `(seed, scale)` replayed over real TCP and via direct emission
+//! must agree on every aggregate the paper's tables are built from:
+//! per-family source sets, login attempt counts and credentials,
+//! classification counts, and campaign tags.
+
+use decoy_databases::analysis::classify::{classify_sources, ClassCounts};
+use decoy_databases::analysis::tagging::tag_sources;
+use decoy_databases::core::runner::{run, ExperimentConfig};
+use decoy_databases::store::{Dbms, EventKind, EventStore};
+use std::collections::BTreeMap;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+const SEED: u64 = 904;
+const SCALE: f64 = 0.004;
+
+fn login_counts(store: &Arc<EventStore>) -> BTreeMap<(IpAddr, Dbms), usize> {
+    let mut out = BTreeMap::new();
+    for e in store.all() {
+        if matches!(e.kind, EventKind::LoginAttempt { .. }) {
+            *out.entry((e.src, e.honeypot.dbms)).or_insert(0) += 1;
+        }
+    }
+    out
+}
+
+fn credentials(store: &Arc<EventStore>) -> BTreeMap<IpAddr, Vec<(String, String)>> {
+    let mut out: BTreeMap<IpAddr, Vec<(String, String)>> = BTreeMap::new();
+    for e in store.all() {
+        if let EventKind::LoginAttempt {
+            username, password, ..
+        } = e.kind
+        {
+            out.entry(e.src).or_default().push((username, password));
+        }
+    }
+    for creds in out.values_mut() {
+        creds.sort();
+    }
+    out
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn modes_equivalent() {
+    let mut network_config = ExperimentConfig::network(SEED, SCALE);
+    network_config.deployment_scale = 0.05;
+    let mut direct_config = ExperimentConfig::direct(SEED, SCALE);
+    direct_config.deployment_scale = 0.05;
+
+    let network = run(network_config).await.expect("network run");
+    let direct = run(direct_config).await.expect("direct run");
+    assert_eq!(network.sessions, direct.sessions, "same schedule");
+    assert_eq!(
+        network.connections, direct.connections,
+        "same connection count"
+    );
+
+    // identical source populations per family
+    for dbms in Dbms::all() {
+        let mut net_sources: Vec<IpAddr> = network
+            .store
+            .by_dbms(dbms)
+            .iter()
+            .map(|e| e.src)
+            .collect();
+        net_sources.sort();
+        net_sources.dedup();
+        let mut dir_sources: Vec<IpAddr> =
+            direct.store.by_dbms(dbms).iter().map(|e| e.src).collect();
+        dir_sources.sort();
+        dir_sources.dedup();
+        assert_eq!(
+            net_sources,
+            dir_sources,
+            "source set mismatch for {}",
+            dbms.label()
+        );
+    }
+
+    // identical login volumes and captured credentials
+    assert_eq!(login_counts(&network.store), login_counts(&direct.store));
+    assert_eq!(credentials(&network.store), credentials(&direct.store));
+
+    // identical behavior classification
+    for dbms in Dbms::all() {
+        let net = ClassCounts::from_profiles(
+            classify_sources(&network.store, Some(dbms)).values(),
+        );
+        let dir = ClassCounts::from_profiles(
+            classify_sources(&direct.store, Some(dbms)).values(),
+        );
+        assert_eq!(net, dir, "classification mismatch for {}", dbms.label());
+    }
+
+    // identical campaign tagging
+    let net_tags = tag_sources(&network.store, None);
+    let dir_tags = tag_sources(&direct.store, None);
+    assert_eq!(net_tags, dir_tags, "campaign tags diverge between modes");
+}

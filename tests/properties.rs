@@ -1,0 +1,351 @@
+//! Property-based tests (proptest) over the substrate invariants:
+//! * decoders never panic on arbitrary bytes (honeypots face hostile input
+//!   by definition) and either consume progress or report an error;
+//! * encode→decode round-trips for every protocol;
+//! * TDS password mangling is a bijection;
+//! * masking is idempotent;
+//! * the prefix trie agrees with a linear-scan oracle;
+//! * TF vectors have unit-bounded coordinates; ECDF is monotone.
+
+use bytes::BytesMut;
+use decoy_databases::net::codec::Codec;
+use decoy_databases::store::kv::glob_match;
+use decoy_databases::store::normalize_action;
+use decoy_databases::wire::mongo::bson::{self, Bson, Document};
+use decoy_databases::wire::{http, mysql, pgwire, resp, tds};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// decoders survive arbitrary bytes
+// ---------------------------------------------------------------------
+macro_rules! no_panic_decoder {
+    ($name:ident, $codec:expr) => {
+        proptest! {
+            #[test]
+            fn $name(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+                let mut codec = $codec;
+                let mut buf = BytesMut::from(&bytes[..]);
+                // drive the decoder until it stops making progress
+                for _ in 0..600 {
+                    let before = buf.len();
+                    match codec.decode(&mut buf) {
+                        Ok(Some(_)) => {
+                            // progress or empty buffer
+                            prop_assert!(buf.len() < before || before == 0);
+                        }
+                        Ok(None) => break,
+                        Err(_) => break,
+                    }
+                    if buf.is_empty() {
+                        break;
+                    }
+                }
+            }
+        }
+    };
+}
+
+no_panic_decoder!(resp_decoder_never_panics, resp::RespCodec::server());
+no_panic_decoder!(mysql_decoder_never_panics, mysql::MySqlCodec);
+no_panic_decoder!(tds_decoder_never_panics, tds::TdsCodec);
+no_panic_decoder!(pg_server_decoder_never_panics, pgwire::PgServerCodec::new());
+no_panic_decoder!(pg_client_decoder_never_panics, pgwire::PgClientCodec::new());
+no_panic_decoder!(http_decoder_never_panics, http::HttpServerCodec);
+no_panic_decoder!(
+    mongo_decoder_never_panics,
+    decoy_databases::wire::mongo::MongoCodec
+);
+
+proptest! {
+    #[test]
+    fn bson_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = bson::decode_document(&bytes);
+    }
+
+    #[test]
+    fn login7_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = tds::Login7::parse(&bytes);
+        let _ = tds::parse_prelogin(&bytes);
+        let _ = tds::parse_error_token(&bytes);
+        let _ = mysql::LoginRequest::parse(&bytes);
+        let _ = mysql::Greeting::parse(&bytes);
+        let _ = mysql::parse_err(&bytes);
+        let _ = decoy_databases::wire::foreign::recognize(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------------
+// round-trips
+// ---------------------------------------------------------------------
+
+fn arb_resp_value() -> impl Strategy<Value = resp::RespValue> {
+    let leaf = prop_oneof![
+        "[ -~]{0,24}".prop_map(resp::RespValue::Simple),
+        "[ -~]{0,24}".prop_map(resp::RespValue::Error),
+        any::<i64>().prop_map(resp::RespValue::Integer),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(resp::RespValue::Bulk),
+        Just(resp::RespValue::NullBulk),
+        Just(resp::RespValue::NullArray),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(resp::RespValue::Array)
+    })
+}
+
+proptest! {
+    #[test]
+    fn resp_roundtrip(value in arb_resp_value()) {
+        let mut codec = resp::RespCodec::client();
+        let mut buf = BytesMut::new();
+        codec.encode(&value, &mut buf).unwrap();
+        let decoded = codec.decode(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(decoded, value);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn tds_password_mangle_bijection(password in "\\PC{0,24}") {
+        let ucs2 = tds::ucs2_encode(&password);
+        let mangled = tds::password_mangle(&ucs2);
+        prop_assert_eq!(tds::password_demangle(&mangled), ucs2);
+    }
+
+    #[test]
+    fn login7_roundtrip(
+        user in "[a-zA-Z0-9_]{1,16}",
+        password in "[ -~]{0,20}",
+        host in "[a-zA-Z0-9-]{1,12}",
+    ) {
+        let login = tds::Login7 {
+            hostname: host,
+            username: user,
+            password,
+            appname: "app".into(),
+            servername: "srv".into(),
+            database: "db".into(),
+        };
+        prop_assert_eq!(tds::Login7::parse(&login.build()).unwrap(), login);
+    }
+
+    #[test]
+    fn mysql_login_roundtrip(
+        user in "[a-zA-Z0-9_]{1,16}",
+        password in "[ -~]{0,20}",
+    ) {
+        let login = mysql::LoginRequest::cleartext(&user, &password, None);
+        let parsed = mysql::LoginRequest::parse(&login.build()).unwrap();
+        prop_assert_eq!(parsed.password_observed(), password);
+        prop_assert_eq!(parsed.username, user);
+    }
+
+    #[test]
+    fn pg_query_roundtrip(query in "[ -~]{0,64}") {
+        let mut client = pgwire::PgClientCodec::new();
+        let mut server = pgwire::PgServerCodec::new();
+        let mut buf = BytesMut::new();
+        client.encode(
+            &pgwire::FrontendMessage::Startup { params: vec![("user".into(), "u".into())] },
+            &mut buf,
+        ).unwrap();
+        server.decode(&mut buf).unwrap().unwrap();
+        client.encode(&pgwire::FrontendMessage::Query(query.clone()), &mut buf).unwrap();
+        let decoded = server.decode(&mut buf).unwrap().unwrap();
+        prop_assert_eq!(decoded, pgwire::FrontendMessage::Query(query));
+    }
+}
+
+fn arb_bson() -> impl Strategy<Value = Bson> {
+    let leaf = prop_oneof![
+        any::<f64>().prop_filter("finite", |d| d.is_finite()).prop_map(Bson::Double),
+        "[ -~]{0,16}".prop_map(Bson::String),
+        any::<bool>().prop_map(Bson::Bool),
+        any::<i32>().prop_map(Bson::Int32),
+        any::<i64>().prop_map(Bson::Int64),
+        Just(Bson::Null),
+        proptest::collection::vec(any::<u8>(), 0..16).prop_map(Bson::Binary),
+        any::<[u8; 12]>().prop_map(Bson::ObjectId),
+        any::<i64>().prop_map(Bson::DateTime),
+    ];
+    leaf.prop_recursive(3, 16, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Bson::Array),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(|pairs| {
+                Bson::Document(pairs.into_iter().collect::<Document>())
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn bson_roundtrip(pairs in proptest::collection::vec(("[a-z]{1,8}", arb_bson()), 0..6)) {
+        let doc: Document = pairs.into_iter().collect();
+        let mut buf = BytesMut::new();
+        bson::encode_document(&doc, &mut buf);
+        let (decoded, used) = bson::decode_document(&buf).unwrap();
+        prop_assert_eq!(used, buf.len());
+        prop_assert_eq!(decoded, doc);
+    }
+}
+
+// ---------------------------------------------------------------------
+// masking, globbing, trie, analysis invariants
+// ---------------------------------------------------------------------
+proptest! {
+    #[test]
+    fn masking_is_idempotent(input in "[ -~]{0,80}") {
+        let once = normalize_action(&input);
+        let twice = normalize_action(&once);
+        prop_assert_eq!(&once, &twice, "masking must be a projection");
+    }
+
+    #[test]
+    fn glob_star_matches_everything(text in "[a-z0-9:]{0,24}") {
+        prop_assert!(glob_match("*", &text));
+        prop_assert!(glob_match(&text, &text), "exact match");
+    }
+
+    #[test]
+    fn trie_matches_oracle(
+        prefixes in proptest::collection::vec((any::<u32>(), 0u8..=32), 1..48),
+        probes in proptest::collection::vec(any::<u32>(), 1..64),
+    ) {
+        use decoy_databases::geo::trie::PrefixTrie;
+        let mut trie = PrefixTrie::new();
+        let mut table: Vec<(u32, u8, u32)> = Vec::new();
+        for (i, (base, len)) in prefixes.iter().enumerate() {
+            let mask = if *len == 0 { 0 } else { u32::MAX << (32 - *len as u32) };
+            let base = base & mask;
+            if table.iter().any(|(b, l, _)| *b == base && *l == *len) {
+                continue;
+            }
+            trie.insert(base, *len, i as u32);
+            table.push((base, *len, i as u32));
+        }
+        for addr in probes {
+            let expected = table
+                .iter()
+                .filter(|(base, len, _)| {
+                    let mask = if *len == 0 { 0 } else { u32::MAX << (32 - *len as u32) };
+                    addr & mask == *base
+                })
+                .max_by_key(|(_, len, _)| *len)
+                .map(|(_, _, v)| *v);
+            prop_assert_eq!(trie.lookup(addr), expected);
+        }
+    }
+
+    #[test]
+    fn tf_vectors_are_distributions(terms in proptest::collection::vec("[A-Z]{1,6}", 0..32)) {
+        use decoy_databases::analysis::tf::{TfVector, Vocabulary};
+        let mut vocab = Vocabulary::new();
+        let v = TfVector::from_terms(&terms, &mut vocab);
+        let sum: f64 = v.values.iter().sum();
+        if terms.is_empty() {
+            prop_assert_eq!(sum, 0.0);
+        } else {
+            prop_assert!((sum - 1.0).abs() < 1e-9, "tf sums to 1, got {}", sum);
+        }
+        prop_assert!(v.values.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn ecdf_is_monotone(samples in proptest::collection::vec(-1e6f64..1e6, 0..64)) {
+        use decoy_databases::analysis::Ecdf;
+        let e = Ecdf::new(samples);
+        let mut prev = 0.0;
+        for x in [-1e7, -10.0, 0.0, 10.0, 1e7] {
+            let y = e.eval(x);
+            prop_assert!(y >= prev);
+            prop_assert!((0.0..=1.0).contains(&y));
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn luhn_check_digit_validates(digits in proptest::collection::vec(0u8..10, 1..20)) {
+        use decoy_databases::fakedata::{luhn_check_digit, luhn_valid};
+        let check = luhn_check_digit(&digits);
+        let full: String = digits
+            .iter()
+            .chain(std::iter::once(&check))
+            .map(|d| (b'0' + d) as char)
+            .collect();
+        prop_assert!(luhn_valid(&full));
+    }
+
+    #[test]
+    fn docdb_delete_matches_find(
+        docs in proptest::collection::vec(
+            ("[ab]", 0i32..4), // small value space forces filter collisions
+            0..24,
+        ),
+        filter_key in "[ab]",
+        filter_val in 0i32..4,
+    ) {
+        use decoy_databases::store::docdb::DocDb;
+        use decoy_databases::wire::mongo::bson::Document;
+        let db = DocDb::new();
+        let documents: Vec<Document> = docs
+            .iter()
+            .map(|(k, v)| Document::new().with(k.as_str(), *v))
+            .collect();
+        db.insert("d", "c", documents);
+        let filter = Document::new().with(filter_key.as_str(), filter_val);
+        let matching = db.find("d", "c", &filter, 0).len();
+        prop_assert_eq!(db.count("d", "c", &filter), matching);
+        let removed = db.delete("d", "c", &filter).n;
+        prop_assert_eq!(removed, matching);
+        prop_assert!(db.find("d", "c", &filter, 0).is_empty());
+        // untouched documents survive
+        prop_assert_eq!(db.count("d", "c", &Document::new()), docs.len() - matching);
+    }
+
+    #[test]
+    fn kv_lrange_agrees_with_slice_oracle(
+        values in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..4), 0..12),
+        start in -15i64..15,
+        stop in -15i64..15,
+    ) {
+        use decoy_databases::store::kv::KvStore;
+        let kv = KvStore::new();
+        if !values.is_empty() {
+            kv.rpush("l", values.clone());
+        }
+        let got = kv.lrange("l", start, stop);
+        // oracle: Redis semantics on a plain Vec
+        let len = values.len() as i64;
+        let norm = |i: i64| if i < 0 { (len + i).max(0) } else { i.min(len) };
+        let (a, b) = (norm(start), norm(stop).min(len - 1));
+        let expected: Vec<Vec<u8>> = if len == 0 || a > b {
+            Vec::new()
+        } else {
+            values[a as usize..=(b as usize)].to_vec()
+        };
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn ward_heights_are_monotone(
+        points in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 3), 2..24),
+    ) {
+        use decoy_databases::analysis::cluster::ward_cluster;
+        use decoy_databases::analysis::tf::TfVector;
+        let vectors: Vec<TfVector> = points
+            .into_iter()
+            .map(|values| TfVector { values, total_terms: 1 })
+            .collect();
+        let weights = vec![1.0; vectors.len()];
+        let d = ward_cluster(&vectors, &weights);
+        prop_assert_eq!(d.merges.len(), d.n - 1);
+        for w in d.merges.windows(2) {
+            prop_assert!(w[0].height <= w[1].height + 1e-9);
+        }
+        // cutting into k clusters yields exactly k labels
+        for k in 1..=d.n.min(4) {
+            let labels = d.cut_into(k);
+            let distinct: std::collections::HashSet<_> = labels.iter().collect();
+            prop_assert_eq!(distinct.len(), k);
+        }
+    }
+}

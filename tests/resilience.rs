@@ -1,0 +1,169 @@
+//! Failure injection: honeypots face adversarial and broken clients by
+//! definition. These tests throw pathological traffic at every family and
+//! assert the listener keeps serving, nothing panics, and the hostile input
+//! is *logged* rather than dropped on the floor.
+
+use decoy_databases::core::deployment::instance_seed;
+use decoy_databases::honeypots::deploy::{spawn, HoneypotSpec, RunningHoneypot};
+use decoy_databases::net::codec::Framed;
+use decoy_databases::net::time::Clock;
+use decoy_databases::store::{
+    ConfigVariant, Dbms, EventKind, EventStore, HoneypotId, InteractionLevel,
+};
+use decoy_databases::wire::resp::{RespCodec, RespValue};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use tokio::io::AsyncWriteExt;
+use tokio::net::TcpStream;
+
+async fn spawn_family(
+    dbms: Dbms,
+    level: InteractionLevel,
+    config: ConfigVariant,
+) -> (RunningHoneypot, Arc<EventStore>) {
+    let store = EventStore::new();
+    let id = HoneypotId::new(dbms, level, config, 0);
+    let hp = spawn(
+        store.clone(),
+        HoneypotSpec::loopback(id, Clock::simulated(), instance_seed(3, id)),
+    )
+    .await
+    .expect("spawn");
+    (hp, store)
+}
+
+/// Every family survives random garbage and keeps serving real clients.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn garbage_flood_does_not_wedge_any_family() {
+    let families = [
+        (Dbms::MySql, InteractionLevel::Low, ConfigVariant::MultiService),
+        (Dbms::Postgres, InteractionLevel::Low, ConfigVariant::MultiService),
+        (Dbms::Redis, InteractionLevel::Low, ConfigVariant::MultiService),
+        (Dbms::Mssql, InteractionLevel::Low, ConfigVariant::MultiService),
+        (Dbms::Redis, InteractionLevel::Medium, ConfigVariant::Default),
+        (Dbms::Postgres, InteractionLevel::Medium, ConfigVariant::Default),
+        (Dbms::Elastic, InteractionLevel::Medium, ConfigVariant::Default),
+        (Dbms::MongoDb, InteractionLevel::High, ConfigVariant::FakeData),
+    ];
+    let mut rng = StdRng::seed_from_u64(0xBAD);
+    for (dbms, level, config) in families {
+        let (hp, store) = spawn_family(dbms, level, config).await;
+        // three floods of random bytes
+        for _ in 0..3 {
+            let mut garbage = vec![0u8; 4096];
+            rng.fill(&mut garbage[..]);
+            if let Ok(mut stream) = TcpStream::connect(hp.addr()).await {
+                let _ = stream.write_all(&garbage).await;
+                let _ = stream.flush().await;
+                drop(stream);
+            }
+        }
+        tokio::time::sleep(std::time::Duration::from_millis(200)).await;
+        // the listener still answers a legitimate probe afterwards
+        let probe = TcpStream::connect(hp.addr()).await;
+        assert!(probe.is_ok(), "{dbms:?} listener wedged after garbage");
+        drop(probe);
+        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+        hp.shutdown().await;
+        // the garbage sessions were logged (connects + fault captures)
+        let connects = store
+            .filter(|e| e.kind == EventKind::Connect)
+            .len();
+        assert!(connects >= 3, "{dbms:?}: {connects} connects logged");
+        let faults = store.filter(|e| {
+            matches!(e.kind, EventKind::Malformed { .. } | EventKind::Payload { .. })
+        });
+        assert!(!faults.is_empty(), "{dbms:?}: hostile input left no trace");
+    }
+}
+
+/// Oversized frames are rejected without killing the listener.
+#[tokio::test]
+async fn oversized_frame_is_bounded() {
+    let (hp, store) =
+        spawn_family(Dbms::Redis, InteractionLevel::Medium, ConfigVariant::Default).await;
+    let mut stream = TcpStream::connect(hp.addr()).await.unwrap();
+    // declare a 100MB bulk string (over the 4MiB frame cap) and start
+    // streaming zeros; the codec must abort rather than buffer it all
+    stream
+        .write_all(b"*2\r\n$3\r\nSET\r\n$104857600\r\n")
+        .await
+        .unwrap();
+    let chunk = vec![0u8; 64 * 1024];
+    for _ in 0..200 {
+        if stream.write_all(&chunk).await.is_err() {
+            break; // server already hung up — exactly what we want
+        }
+    }
+    drop(stream);
+    tokio::time::sleep(std::time::Duration::from_millis(300)).await;
+    // listener alive
+    let stream = TcpStream::connect(hp.addr()).await.unwrap();
+    let mut f = Framed::new(stream, RespCodec::client());
+    f.write_frame(&RespValue::command(&["PING"])).await.unwrap();
+    assert_eq!(
+        f.read_frame().await.unwrap().unwrap(),
+        RespValue::Simple("PONG".into())
+    );
+    hp.shutdown().await;
+    assert!(!store.is_empty());
+}
+
+/// A storm of concurrent connect/disconnect clients is fully accounted for.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn concurrent_connect_storm_is_fully_logged() {
+    let (hp, store) =
+        spawn_family(Dbms::Mssql, InteractionLevel::Low, ConfigVariant::MultiService).await;
+    let addr = hp.addr();
+    let mut join = tokio::task::JoinSet::new();
+    const STORM: usize = 150;
+    for _ in 0..STORM {
+        join.spawn(async move {
+            if let Ok(mut s) = TcpStream::connect(addr).await {
+                let _ = s.flush().await;
+            }
+        });
+    }
+    while join.join_next().await.is_some() {}
+    // A client's connect() returns on SYN-ACK, which can be before the
+    // listener has accept()ed it from the backlog — wait on the *log*, not
+    // on the socket API, before shutting down.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
+    loop {
+        let connects = store.filter(|e| e.kind == EventKind::Connect).len();
+        if connects >= STORM || std::time::Instant::now() > deadline {
+            break;
+        }
+        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
+    }
+    hp.shutdown().await;
+    let connects = store.filter(|e| e.kind == EventKind::Connect).len();
+    assert!(
+        connects >= STORM * 9 / 10,
+        "only {connects}/{STORM} storm connections logged"
+    );
+}
+
+/// Half-written protocol exchanges (client dies mid-handshake) leave clean
+/// connect/disconnect pairs.
+#[tokio::test]
+async fn half_open_handshakes_close_cleanly() {
+    let (hp, store) =
+        spawn_family(Dbms::Postgres, InteractionLevel::Medium, ConfigVariant::Default).await;
+    // partial startup packet: length says 50 bytes, we send 8 and die
+    let mut stream = TcpStream::connect(hp.addr()).await.unwrap();
+    stream.write_all(&[0, 0, 0, 50, 0, 3, 0, 0]).await.unwrap();
+    stream.flush().await.unwrap();
+    drop(stream);
+    tokio::time::sleep(std::time::Duration::from_millis(300)).await;
+    hp.shutdown().await;
+    let events = store.all();
+    let connects = events.iter().filter(|e| e.kind == EventKind::Connect).count();
+    let disconnects = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Disconnect)
+        .count();
+    assert_eq!(connects, 1);
+    assert_eq!(disconnects, 1, "session did not close: {events:?}");
+}
