@@ -154,8 +154,7 @@ impl Actor {
                     return SessionScript::ConnectOnly;
                 }
                 let per_visit = per_visit_budget(*attempts_total, total_visits, visit_seq);
-                let mut creds =
-                    CredentialList::mssql(self.id.wrapping_add(visit_seq as u64));
+                let mut creds = CredentialList::mssql(self.id.wrapping_add(visit_seq as u64));
                 SessionScript::MssqlBrute {
                     creds: creds.take(per_visit as usize),
                 }
@@ -165,8 +164,7 @@ impl Actor {
                     return SessionScript::ConnectOnly;
                 }
                 let per_visit = per_visit_budget(*attempts_total, total_visits, visit_seq);
-                let mut creds =
-                    CredentialList::mysql(self.id.wrapping_add(visit_seq as u64));
+                let mut creds = CredentialList::mysql(self.id.wrapping_add(visit_seq as u64));
                 SessionScript::MysqlBrute {
                     creds: creds.take(per_visit as usize),
                 }
@@ -319,8 +317,7 @@ mod tests {
         let a = actor(ActorScript::PgMedBrute { burst: 40 });
         let mut rng = StdRng::seed_from_u64(0);
         let open = TargetSelector::medium(Dbms::Postgres, Some(ConfigVariant::Default));
-        let closed =
-            TargetSelector::medium(Dbms::Postgres, Some(ConfigVariant::LoginDisabled));
+        let closed = TargetSelector::medium(Dbms::Postgres, Some(ConfigVariant::LoginDisabled));
         let open_script = a.script_for_visit(&open, 0, 1, &mut rng);
         assert_eq!(open_script.connections_per_visit(), 1);
         let closed_script = a.script_for_visit(&closed, 0, 1, &mut rng);

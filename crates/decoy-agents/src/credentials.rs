@@ -78,9 +78,7 @@ impl CredentialList {
     pub fn draw(&mut self) -> (String, String) {
         if self.rng.gen_bool(self.head_bias) {
             // head draws are rank-biased: rank r with weight ~ 1/(r+1)
-            let weights: Vec<f64> = (0..self.head.len())
-                .map(|r| 1.0 / (r + 1) as f64)
-                .collect();
+            let weights: Vec<f64> = (0..self.head.len()).map(|r| 1.0 / (r + 1) as f64).collect();
             let total: f64 = weights.iter().sum();
             let mut pick = self.rng.gen_range(0.0..total);
             for (idx, w) in weights.iter().enumerate() {

@@ -72,8 +72,7 @@ impl DirectSink<'_> {
     }
 
     fn payload(&self, ts: Timestamp, src: IpAddr, session: u64, bytes: &[u8]) {
-        let recognized =
-            decoy_wire::foreign::recognize(bytes).map(|f| f.label().to_string());
+        let recognized = decoy_wire::foreign::recognize(bytes).map(|f| f.label().to_string());
         let preview: String = String::from_utf8_lossy(&bytes[..bytes.len().min(256)])
             .chars()
             .map(|c| if c.is_control() { '.' } else { c })
@@ -93,10 +92,7 @@ impl DirectSink<'_> {
 
 /// Render a Redis command as the medium honeypot logs it (name uppercased).
 fn render_redis(parts: &[String]) -> String {
-    let mut out = parts
-        .first()
-        .map(|n| n.to_uppercase())
-        .unwrap_or_default();
+    let mut out = parts.first().map(|n| n.to_uppercase()).unwrap_or_default();
     for arg in &parts[1..] {
         out.push(' ');
         out.push_str(arg);
@@ -115,8 +111,7 @@ pub fn emit_session(sink: &mut DirectSink<'_>, session: &PlannedSession) {
         && hp.config != ConfigVariant::LoginDisabled;
 
     // one connection with a body of events
-    let one = |sink: &mut DirectSink<'_>,
-                   body: &dyn Fn(&DirectSink<'_>, u64)| {
+    let one = |sink: &mut DirectSink<'_>, body: &dyn Fn(&DirectSink<'_>, u64)| {
         let s = sink.next_session();
         sink.log(ts, src, s, EventKind::Connect);
         body(sink, s);
@@ -177,12 +172,7 @@ pub fn emit_session(sink: &mut DirectSink<'_>, session: &PlannedSession) {
             k.command(ts, src, s, "GET /_nodes");
             if *deep {
                 k.command(ts, src, s, "GET /_cat/indices?v");
-                k.command(
-                    ts,
-                    src,
-                    s,
-                    r#"POST /_search {"query":{"match_all":{}}}"#,
-                );
+                k.command(ts, src, s, r#"POST /_search {"query":{"match_all":{}}}"#);
             }
         }),
         SessionScript::MongoScout { deep } => one(sink, &|k, s| {
@@ -381,8 +371,7 @@ mod tests {
         assert_eq!(connects, 3);
         assert_eq!(logins, 3);
         // distinct session ids per connection
-        let sessions: std::collections::HashSet<u64> =
-            events.iter().map(|e| e.session).collect();
+        let sessions: std::collections::HashSet<u64> = events.iter().map(|e| e.session).collect();
         assert_eq!(sessions.len(), 3);
     }
 
@@ -411,7 +400,9 @@ mod tests {
         );
         // no post-login query against the restricted config
         assert_eq!(
-            closed.filter(|e| matches!(e.kind, EventKind::Command { .. })).len(),
+            closed
+                .filter(|e| matches!(e.kind, EventKind::Command { .. }))
+                .len(),
             0
         );
     }
@@ -426,9 +417,9 @@ mod tests {
             SessionScript::RedisScout { type_walk: true },
             &keys,
         );
-        let types = store.filter(|e| {
-            matches!(&e.kind, EventKind::Command { raw, .. } if raw.starts_with("TYPE "))
-        });
+        let types = store.filter(
+            |e| matches!(&e.kind, EventKind::Command { raw, .. } if raw.starts_with("TYPE ")),
+        );
         assert_eq!(types.len(), 5);
         // no walk on the default config
         let store = run(

@@ -75,9 +75,7 @@ async fn dispatch(addr: SocketAddr, session: &PlannedSession) -> SessionOutcome 
         SessionScript::P2pInfect => {
             redis_campaign(addr, src, scripts::p2pinfect_commands(&params)).await
         }
-        SessionScript::AbcBot => {
-            redis_campaign(addr, src, scripts::abcbot_commands(&params)).await
-        }
+        SessionScript::AbcBot => redis_campaign(addr, src, scripts::abcbot_commands(&params)).await,
         SessionScript::RedisCve20220543 => {
             redis_campaign(addr, src, scripts::redis_cve_commands()).await
         }
@@ -300,11 +298,7 @@ async fn pg_login_once(
     }
 }
 
-async fn pg_brute(
-    addr: SocketAddr,
-    src: SocketAddr,
-    creds: &[(String, String)],
-) -> SessionOutcome {
+async fn pg_brute(addr: SocketAddr, src: SocketAddr, creds: &[(String, String)]) -> SessionOutcome {
     let mut outcome = SessionOutcome::default();
     let started = std::time::Instant::now();
     for (user, password) in creds {
@@ -431,8 +425,7 @@ async fn harvest_and_reuse(addr: SocketAddr, src: SocketAddr) -> SessionOutcome 
         if let resp::RespValue::Array(items) = keys {
             for item in items.into_iter().take(8) {
                 let Some(key) = item.as_text() else { continue };
-                let value =
-                    redis_exchange(&mut framed, &["GET".to_string(), key.clone()]).await?;
+                let value = redis_exchange(&mut framed, &["GET".to_string(), key.clone()]).await?;
                 if let resp::RespValue::Bulk(bytes) = value {
                     harvested.push(String::from_utf8_lossy(&bytes).into_owned());
                 }
@@ -663,8 +656,7 @@ async fn lucifer(addr: SocketAddr, src: SocketAddr, params: &CampaignParams) -> 
         ));
     }
     for body in bodies {
-        let req = http::HttpRequest::new("POST", "/_search")
-            .with_body("application/json", body);
+        let req = http::HttpRequest::new("POST", "/_search").with_body("application/json", body);
         if http_request(&mut framed, req).await.is_err() {
             return err_outcome(1);
         }
@@ -853,9 +845,7 @@ mod tests {
     use crate::schedule::PlannedSession;
     use decoy_honeypots::deploy::{spawn, HoneypotSpec};
     use decoy_net::time::{Clock, EXPERIMENT_START};
-    use decoy_store::{
-        ConfigVariant, Dbms, EventKind, EventStore, HoneypotId, InteractionLevel,
-    };
+    use decoy_store::{ConfigVariant, Dbms, EventKind, EventStore, HoneypotId, InteractionLevel};
     use std::net::Ipv4Addr;
     use std::sync::Arc;
 
@@ -900,7 +890,13 @@ mod tests {
         ];
         let (store, outcome) =
             run_against(low(Dbms::Mssql), SessionScript::MssqlBrute { creds }).await;
-        assert_eq!(outcome, SessionOutcome { connections: 2, errors: 0 });
+        assert_eq!(
+            outcome,
+            SessionOutcome {
+                connections: 2,
+                errors: 0
+            }
+        );
         let logins = store.filter(|e| matches!(e.kind, EventKind::LoginAttempt { .. }));
         assert_eq!(logins.len(), 2);
         assert!(logins
@@ -1043,9 +1039,9 @@ mod tests {
         )
         .await;
         assert_eq!(outcome.errors, 0);
-        let types = store.filter(|e| {
-            matches!(&e.kind, EventKind::Command { raw, .. } if raw.starts_with("TYPE "))
-        });
+        let types = store.filter(
+            |e| matches!(&e.kind, EventKind::Command { raw, .. } if raw.starts_with("TYPE ")),
+        );
         assert_eq!(types.len(), decoy_honeypots::deploy::REDIS_FAKE_ENTRIES);
     }
 
@@ -1057,7 +1053,12 @@ mod tests {
         )
         .await;
         assert_eq!(outcome.errors, 0);
-        assert!(store.filter(|e| matches!(e.kind, EventKind::Command { .. })).len() >= 5);
+        assert!(
+            store
+                .filter(|e| matches!(e.kind, EventKind::Command { .. }))
+                .len()
+                >= 5
+        );
 
         let (store, outcome) = run_against(
             med(Dbms::Elastic, ConfigVariant::Default),
@@ -1106,9 +1107,9 @@ mod tests {
         // the bait entries of this instance seed
         let bait = decoy_honeypots::deploy::REDIS_FAKE_ENTRIES;
         assert!(bait > 0);
-        let gets = store.filter(|e| {
-            matches!(&e.kind, EventKind::Command { raw, .. } if raw.starts_with("GET user:"))
-        });
+        let gets = store.filter(
+            |e| matches!(&e.kind, EventKind::Command { raw, .. } if raw.starts_with("GET user:")),
+        );
         assert_eq!(gets.len(), 8);
         let logins: Vec<String> = store
             .all()
@@ -1176,7 +1177,9 @@ mod tests {
         );
         assert_eq!(
             store
-                .filter(|e| matches!(&e.kind, EventKind::Command { raw, .. } if raw == "SHOW DATABASES"))
+                .filter(
+                    |e| matches!(&e.kind, EventKind::Command { raw, .. } if raw == "SHOW DATABASES")
+                )
                 .len(),
             1
         );
@@ -1184,8 +1187,7 @@ mod tests {
 
     #[tokio::test]
     async fn connect_only_logs_connect_disconnect() {
-        let (store, outcome) =
-            run_against(low(Dbms::Redis), SessionScript::ConnectOnly).await;
+        let (store, outcome) = run_against(low(Dbms::Redis), SessionScript::ConnectOnly).await;
         assert_eq!(outcome.errors, 0);
         let kinds: Vec<_> = store.all().into_iter().map(|e| e.kind).collect();
         assert!(kinds.contains(&EventKind::Connect));

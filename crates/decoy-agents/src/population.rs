@@ -384,13 +384,48 @@ fn cohorts(scale: f64) -> Vec<Cohort> {
             ]),
             361_419,
         ),
-        ("ee-mssql-brute", 2, SourcePool::single(3249, Some("EE")), 160_642),
-        ("kr-mssql-brute", 5, SourcePool::single(4766, Some("KR")), 76_005),
-        ("ua-mssql-brute", 1, SourcePool::single(15895, Some("UA")), 96_999),
-        ("ir-mssql-brute", 1, SourcePool::single(58224, Some("IR")), 74_856),
-        ("ge-mssql-brute", 1, SourcePool::single(16010, Some("GE")), 62_850),
-        ("gr-mssql-brute", 1, SourcePool::single(6799, Some("GR")), 13_040),
-        ("in-mssql-brute", 6, SourcePool::single(9829, Some("IN")), 12_472),
+        (
+            "ee-mssql-brute",
+            2,
+            SourcePool::single(3249, Some("EE")),
+            160_642,
+        ),
+        (
+            "kr-mssql-brute",
+            5,
+            SourcePool::single(4766, Some("KR")),
+            76_005,
+        ),
+        (
+            "ua-mssql-brute",
+            1,
+            SourcePool::single(15895, Some("UA")),
+            96_999,
+        ),
+        (
+            "ir-mssql-brute",
+            1,
+            SourcePool::single(58224, Some("IR")),
+            74_856,
+        ),
+        (
+            "ge-mssql-brute",
+            1,
+            SourcePool::single(16010, Some("GE")),
+            62_850,
+        ),
+        (
+            "gr-mssql-brute",
+            1,
+            SourcePool::single(6799, Some("GR")),
+            13_040,
+        ),
+        (
+            "in-mssql-brute",
+            6,
+            SourcePool::single(9829, Some("IN")),
+            12_472,
+        ),
         (
             "us-mssql-brute",
             80,
@@ -425,7 +460,11 @@ fn cohorts(scale: f64) -> Vec<Cohort> {
         // pinned cohorts keep their exact actor count, so the per-actor
         // budget carries the scale; scaled cohorts shrink in actors instead
         // (scaling the budget too would scale the total twice)
-        let attempts_total = if pinned { vol(per_actor, scale) } else { per_actor };
+        let attempts_total = if pinned {
+            vol(per_actor, scale)
+        } else {
+            per_actor
+        };
         list.push(Cohort {
             name,
             count,
@@ -450,7 +489,11 @@ fn cohorts(scale: f64) -> Vec<Cohort> {
     ] {
         let per_actor = (total as f64 / count as f64).round() as u64;
         let pinned = count <= 2;
-        let attempts_total = if pinned { vol(per_actor, scale) } else { per_actor };
+        let attempts_total = if pinned {
+            vol(per_actor, scale)
+        } else {
+            per_actor
+        };
         list.push(Cohort {
             name,
             count,
@@ -504,10 +547,34 @@ fn cohorts(scale: f64) -> Vec<Cohort> {
     // ---------------------------------------------------------------
     // Scanners per family: (count, institutional count).
     for (name, dbms, level, total, institutional) in [
-        ("pg-med-scanners", Dbms::Postgres, InteractionLevel::Medium, 1140usize, 909usize),
-        ("elastic-med-scanners", Dbms::Elastic, InteractionLevel::Medium, 608, 456),
-        ("mongo-high-scanners", Dbms::MongoDb, InteractionLevel::High, 706, 415),
-        ("redis-med-scanners", Dbms::Redis, InteractionLevel::Medium, 676, 379),
+        (
+            "pg-med-scanners",
+            Dbms::Postgres,
+            InteractionLevel::Medium,
+            1140usize,
+            909usize,
+        ),
+        (
+            "elastic-med-scanners",
+            Dbms::Elastic,
+            InteractionLevel::Medium,
+            608,
+            456,
+        ),
+        (
+            "mongo-high-scanners",
+            Dbms::MongoDb,
+            InteractionLevel::High,
+            706,
+            415,
+        ),
+        (
+            "redis-med-scanners",
+            Dbms::Redis,
+            InteractionLevel::Medium,
+            676,
+            379,
+        ),
     ] {
         list.push(Cohort {
             name,
@@ -972,8 +1039,7 @@ mod tests {
         let geo = GeoDb::builtin();
         let plain = build_population(&PopulationConfig::scaled(9, 0.05), &geo);
         assert!(!plain.iter().any(|a| a.cohort.starts_with("couch")));
-        let extended =
-            build_population(&PopulationConfig::scaled(9, 0.05).with_extensions(), &geo);
+        let extended = build_population(&PopulationConfig::scaled(9, 0.05).with_extensions(), &geo);
         assert!(extended.iter().any(|a| a.cohort == "couch-scanners"));
         assert!(extended.iter().any(|a| a.cohort == "couch-ransom"));
         assert!(extended.iter().any(|a| a.cohort == "mysql-med-visitors"));
@@ -1007,7 +1073,10 @@ mod tests {
                 panic!("heavies brute MSSQL");
             };
             // 4.157M × 0.01
-            assert!((41000..=42100).contains(&attempts_total), "{attempts_total}");
+            assert!(
+                (41000..=42100).contains(&attempts_total),
+                "{attempts_total}"
+            );
         }
     }
 
@@ -1068,11 +1137,7 @@ mod tests {
         let mut total = 0usize;
         for a in &pop {
             // low-interaction cohorts only
-            if !a
-                .targets
-                .iter()
-                .any(|t| t.level == InteractionLevel::Low)
-            {
+            if !a.targets.iter().any(|t| t.level == InteractionLevel::Low) {
                 continue;
             }
             total += 1;

@@ -51,11 +51,7 @@ pub fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> u32 {
 
 /// Build the plan for the whole population over a window starting at
 /// `origin`.
-pub fn build_schedule(
-    actors: &[Actor],
-    origin: Timestamp,
-    seed: u64,
-) -> Vec<PlannedSession> {
+pub fn build_schedule(actors: &[Actor], origin: Timestamp, seed: u64) -> Vec<PlannedSession> {
     let mut plan = Vec::new();
     for (actor_idx, actor) in actors.iter().enumerate() {
         let mut rng = StdRng::seed_from_u64(seed ^ actor.id.wrapping_mul(0x9e37_79b9));
@@ -81,8 +77,7 @@ pub fn build_schedule(
                 for _ in 0..visits {
                     let offset_ms = rng.gen_range(0..MILLIS_PER_DAY);
                     let ts = origin.add_millis(day * MILLIS_PER_DAY + offset_ms);
-                    let script =
-                        actor.script_for_visit(target, visit_seq, grand_total, &mut rng);
+                    let script = actor.script_for_visit(target, visit_seq, grand_total, &mut rng);
                     plan.push(PlannedSession {
                         ts,
                         actor_idx,
@@ -102,9 +97,7 @@ pub fn build_schedule(
 /// Total TCP connections the plan implies (brute bursts count each
 /// credential attempt).
 pub fn total_connections(plan: &[PlannedSession]) -> usize {
-    plan.iter()
-        .map(|s| s.script.connections_per_visit())
-        .sum()
+    plan.iter().map(|s| s.script.connections_per_visit()).sum()
 }
 
 #[cfg(test)]
@@ -141,7 +134,9 @@ mod tests {
 
     #[test]
     fn schedule_is_sorted_and_deterministic() {
-        let actors: Vec<Actor> = (1..=20).map(|i| scan_actor(i, (i % 10) as u32, 3)).collect();
+        let actors: Vec<Actor> = (1..=20)
+            .map(|i| scan_actor(i, (i % 10) as u32, 3))
+            .collect();
         let a = build_schedule(&actors, EXPERIMENT_START, 7);
         let b = build_schedule(&actors, EXPERIMENT_START, 7);
         assert_eq!(a, b);
@@ -152,14 +147,15 @@ mod tests {
 
     #[test]
     fn every_actor_appears_at_least_once() {
-        let actors: Vec<Actor> = (1..=50).map(|i| {
-            let mut a = scan_actor(i, 0, 1);
-            a.visits_per_day = 0.05; // almost always zero draws
-            a
-        }).collect();
+        let actors: Vec<Actor> = (1..=50)
+            .map(|i| {
+                let mut a = scan_actor(i, 0, 1);
+                a.visits_per_day = 0.05; // almost always zero draws
+                a
+            })
+            .collect();
         let plan = build_schedule(&actors, EXPERIMENT_START, 3);
-        let seen: std::collections::HashSet<usize> =
-            plan.iter().map(|s| s.actor_idx).collect();
+        let seen: std::collections::HashSet<usize> = plan.iter().map(|s| s.actor_idx).collect();
         assert_eq!(seen.len(), 50);
     }
 

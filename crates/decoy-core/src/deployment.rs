@@ -54,9 +54,8 @@ impl DeploymentPlan {
     /// Like [`DeploymentPlan::scaled`], optionally adding the §7 extension
     /// honeypots (medium MySQL, medium CouchDB).
     pub fn scaled_with(seed: u64, scale: f64, extensions: bool) -> Self {
-        let n = |paper_count: usize| -> u16 {
-            ((paper_count as f64 * scale).round() as u16).max(1)
-        };
+        let n =
+            |paper_count: usize| -> u16 { ((paper_count as f64 * scale).round() as u16).max(1) };
         let mut instances = Vec::new();
         let mut push = |dbms, level, config, count: u16| {
             for instance in 0..count {
@@ -132,7 +131,9 @@ pub fn instance_seed(base: u64, id: HoneypotId) -> u64 {
         id.config as u64,
         id.instance as u64,
     ] {
-        h = (h ^ component).wrapping_mul(0x100_0000_01b3).rotate_left(17);
+        h = (h ^ component)
+            .wrapping_mul(0x100_0000_01b3)
+            .rotate_left(17);
     }
     h
 }
@@ -187,8 +188,10 @@ mod tests {
             .instances
             .iter()
             .any(|i| i.id.dbms == Dbms::CouchDb));
-        assert!(extended.instances.iter().any(|i| i.id.dbms == Dbms::MySql
-            && i.id.level == InteractionLevel::Medium));
+        assert!(extended
+            .instances
+            .iter()
+            .any(|i| i.id.dbms == Dbms::MySql && i.id.level == InteractionLevel::Medium));
         assert!(!base.instances.iter().any(|i| i.id.dbms == Dbms::CouchDb));
     }
 
@@ -208,9 +211,9 @@ mod tests {
             (Dbms::MongoDb, High, FakeData),
         ] {
             assert!(
-                plan.instances.iter().any(|i| i.id.dbms == dbms
-                    && i.id.level == level
-                    && i.id.config == config),
+                plan.instances
+                    .iter()
+                    .any(|i| i.id.dbms == dbms && i.id.level == level && i.id.config == config),
                 "{dbms:?}/{level:?}/{config:?} missing at small scale"
             );
         }

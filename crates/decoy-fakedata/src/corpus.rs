@@ -3,43 +3,158 @@
 
 /// Common given names.
 pub const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
-    "Sarah", "Charles", "Karen", "Christopher", "Lisa", "Daniel", "Nancy", "Matthew", "Betty",
-    "Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
-    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Carol", "Kevin", "Amanda",
-    "Brian", "Dorothy", "George", "Melissa", "Timothy", "Deborah",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Christopher",
+    "Lisa",
+    "Daniel",
+    "Nancy",
+    "Matthew",
+    "Betty",
+    "Anthony",
+    "Margaret",
+    "Mark",
+    "Sandra",
+    "Donald",
+    "Ashley",
+    "Steven",
+    "Kimberly",
+    "Paul",
+    "Emily",
+    "Andrew",
+    "Donna",
+    "Joshua",
+    "Michelle",
+    "Kenneth",
+    "Carol",
+    "Kevin",
+    "Amanda",
+    "Brian",
+    "Dorothy",
+    "George",
+    "Melissa",
+    "Timothy",
+    "Deborah",
 ];
 
 /// Common surnames.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
-    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
+    "Green",
+    "Adams",
+    "Nelson",
+    "Baker",
+    "Hall",
+    "Rivera",
+    "Campbell",
+    "Mitchell",
+    "Carter",
+    "Roberts",
 ];
 
 /// Street suffixes for address generation.
 pub const STREET_SUFFIXES: &[&str] = &[
-    "Street", "Avenue", "Boulevard", "Drive", "Court", "Place", "Lane", "Road", "Way",
-    "Terrace", "Circle", "Parkway",
+    "Street",
+    "Avenue",
+    "Boulevard",
+    "Drive",
+    "Court",
+    "Place",
+    "Lane",
+    "Road",
+    "Way",
+    "Terrace",
+    "Circle",
+    "Parkway",
 ];
 
 /// Cities for address generation.
 pub const CITIES: &[&str] = &[
-    "Springfield", "Riverside", "Franklin", "Greenville", "Bristol", "Clinton", "Fairview",
-    "Salem", "Madison", "Georgetown", "Arlington", "Ashland", "Dover", "Oxford", "Jackson",
-    "Burlington", "Manchester", "Milton", "Newport", "Auburn",
+    "Springfield",
+    "Riverside",
+    "Franklin",
+    "Greenville",
+    "Bristol",
+    "Clinton",
+    "Fairview",
+    "Salem",
+    "Madison",
+    "Georgetown",
+    "Arlington",
+    "Ashland",
+    "Dover",
+    "Oxford",
+    "Jackson",
+    "Burlington",
+    "Manchester",
+    "Milton",
+    "Newport",
+    "Auburn",
 ];
 
 /// Password base words (overlaps deliberately with common real-world
 /// password roots — bait should look like real credentials).
 pub const PASSWORD_WORDS: &[&str] = &[
     "password", "dragon", "sunshine", "monkey", "shadow", "master", "qwerty", "football",
-    "welcome", "princess", "flower", "summer", "winter", "orange", "purple", "silver",
-    "golden", "happy", "secret", "letmein",
+    "welcome", "princess", "flower", "summer", "winter", "orange", "purple", "silver", "golden",
+    "happy", "secret", "letmein",
 ];
 
 #[cfg(test)]
@@ -48,7 +163,13 @@ mod tests {
 
     #[test]
     fn corpora_are_nonempty_and_unique() {
-        for corpus in [FIRST_NAMES, LAST_NAMES, STREET_SUFFIXES, CITIES, PASSWORD_WORDS] {
+        for corpus in [
+            FIRST_NAMES,
+            LAST_NAMES,
+            STREET_SUFFIXES,
+            CITIES,
+            PASSWORD_WORDS,
+        ] {
             assert!(!corpus.is_empty());
             let set: std::collections::HashSet<_> = corpus.iter().collect();
             assert_eq!(set.len(), corpus.len(), "duplicate entries in corpus");

@@ -119,8 +119,7 @@ impl FakeDataGenerator {
     /// An e-mail derived from a username.
     pub fn email(&mut self) -> String {
         let user = self.username();
-        let domain = ["example.com", "example.org", "mail.example.net"]
-            [self.rng.gen_range(0..3)];
+        let domain = ["example.com", "example.org", "mail.example.net"][self.rng.gen_range(0..3)];
         format!("{user}@{domain}")
     }
 
@@ -258,8 +257,7 @@ mod tests {
     #[test]
     fn usernames_vary_within_a_run() {
         let mut g = FakeDataGenerator::new(5);
-        let names: std::collections::HashSet<String> =
-            (0..50).map(|_| g.username()).collect();
+        let names: std::collections::HashSet<String> = (0..50).map(|_| g.username()).collect();
         assert!(names.len() > 30, "expected variety, got {}", names.len());
     }
 }

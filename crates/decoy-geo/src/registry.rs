@@ -20,69 +20,285 @@ type Entry = (u32, &'static str, AsType, bool, &'static [&'static str]);
 /// place actors from each AS.
 const ENTRIES: &[Entry] = &[
     // --- Table 6 top-10 (paper-named) --------------------------------
-    (6939, "HURRICANE", AsType::IpService, false, &["US", "US", "US"]),
-    (396982, "GOOGLE-CLOUD-PLATFORM", AsType::Hosting, false, &["US", "US", "US", "DE", "SG"]),
-    (14061, "DIGITALOCEAN-ASN", AsType::Hosting, false, &["US", "US", "NL", "SG", "GB", "DE", "IN"]),
-    (211298, "Constantine Cybersecurity Ltd.", AsType::Security, true, &["GB", "GB"]),
-    (14618, "AMAZON-AES", AsType::Hosting, false, &["US", "US", "US"]),
-    (135377, "UCLOUD INFORMATION TECHNOLOGY HK Ltd.", AsType::Hosting, false, &["HK", "CN"]),
-    (4134, "Chinanet", AsType::Telecom, false, &["CN", "CN", "CN", "CN"]),
-    (4837, "CHINA UNICOM China169 Backbone", AsType::Telecom, false, &["CN", "CN", "CN"]),
-    (398324, "CENSYS-ARIN-01", AsType::Security, true, &["US", "US"]),
-    (63949, "Akamai Connected Cloud", AsType::Hosting, false, &["US", "US", "GB", "DE", "SG"]),
+    (
+        6939,
+        "HURRICANE",
+        AsType::IpService,
+        false,
+        &["US", "US", "US"],
+    ),
+    (
+        396982,
+        "GOOGLE-CLOUD-PLATFORM",
+        AsType::Hosting,
+        false,
+        &["US", "US", "US", "DE", "SG"],
+    ),
+    (
+        14061,
+        "DIGITALOCEAN-ASN",
+        AsType::Hosting,
+        false,
+        &["US", "US", "NL", "SG", "GB", "DE", "IN"],
+    ),
+    (
+        211298,
+        "Constantine Cybersecurity Ltd.",
+        AsType::Security,
+        true,
+        &["GB", "GB"],
+    ),
+    (
+        14618,
+        "AMAZON-AES",
+        AsType::Hosting,
+        false,
+        &["US", "US", "US"],
+    ),
+    (
+        135377,
+        "UCLOUD INFORMATION TECHNOLOGY HK Ltd.",
+        AsType::Hosting,
+        false,
+        &["HK", "CN"],
+    ),
+    (
+        4134,
+        "Chinanet",
+        AsType::Telecom,
+        false,
+        &["CN", "CN", "CN", "CN"],
+    ),
+    (
+        4837,
+        "CHINA UNICOM China169 Backbone",
+        AsType::Telecom,
+        false,
+        &["CN", "CN", "CN"],
+    ),
+    (
+        398324,
+        "CENSYS-ARIN-01",
+        AsType::Security,
+        true,
+        &["US", "US"],
+    ),
+    (
+        63949,
+        "Akamai Connected Cloud",
+        AsType::Hosting,
+        false,
+        &["US", "US", "GB", "DE", "SG"],
+    ),
     // --- the Russian brute-force hoster of §5 -------------------------
-    (208091, "XHOST-INTERNET-SOLUTIONS", AsType::Hosting, false, &["RU", "RU"]),
+    (
+        208091,
+        "XHOST-INTERNET-SOLUTIONS",
+        AsType::Hosting,
+        false,
+        &["RU", "RU"],
+    ),
     // --- institutional scanners beyond Censys -------------------------
     (398722, "SHODAN-NET", AsType::Security, true, &["US"]),
-    (63113, "SHADOWSERVER-FOUNDATION", AsType::Security, true, &["US"]),
+    (
+        63113,
+        "SHADOWSERVER-FOUNDATION",
+        AsType::Security,
+        true,
+        &["US"],
+    ),
     (202623, "RAPID7-SCAN", AsType::Security, true, &["US"]),
     (213412, "ONYPHE-SAS", AsType::Security, true, &["FR"]),
     (134698, "KNOWNSEC-ZOOMEYE", AsType::Security, true, &["CN"]),
     (211680, "BINARYEDGE-SCAN", AsType::Security, true, &["CH"]),
     // --- hosting providers ---------------------------------------------
-    (16276, "OVH SAS", AsType::Hosting, false, &["FR", "FR", "CA"]),
-    (24940, "Hetzner Online GmbH", AsType::Hosting, false, &["DE", "DE", "FI"]),
-    (45102, "Alibaba (US) Technology", AsType::Hosting, false, &["CN", "SG", "US"]),
-    (132203, "Tencent Building", AsType::Hosting, false, &["CN", "SG"]),
-    (9009, "M247 Europe", AsType::Hosting, false, &["RO", "FR", "GB", "US"]),
+    (
+        16276,
+        "OVH SAS",
+        AsType::Hosting,
+        false,
+        &["FR", "FR", "CA"],
+    ),
+    (
+        24940,
+        "Hetzner Online GmbH",
+        AsType::Hosting,
+        false,
+        &["DE", "DE", "FI"],
+    ),
+    (
+        45102,
+        "Alibaba (US) Technology",
+        AsType::Hosting,
+        false,
+        &["CN", "SG", "US"],
+    ),
+    (
+        132203,
+        "Tencent Building",
+        AsType::Hosting,
+        false,
+        &["CN", "SG"],
+    ),
+    (
+        9009,
+        "M247 Europe",
+        AsType::Hosting,
+        false,
+        &["RO", "FR", "GB", "US"],
+    ),
     (34224, "Neterra Ltd.", AsType::Hosting, false, &["BG", "BG"]),
     (44901, "Belcloud LTD", AsType::Hosting, false, &["BG"]),
     (201229, "HOSTKEY-RU", AsType::Hosting, false, &["RU", "NL"]),
     (55286, "SERVER-MANIA", AsType::Hosting, false, &["US", "CA"]),
-    (136907, "HUAWEI CLOUDS", AsType::Hosting, false, &["HK", "SG", "ID"]),
+    (
+        136907,
+        "HUAWEI CLOUDS",
+        AsType::Hosting,
+        false,
+        &["HK", "SG", "ID"],
+    ),
     // --- telecoms / ISPs ------------------------------------------------
     (7922, "COMCAST-7922", AsType::Telecom, false, &["US", "US"]),
-    (3320, "Deutsche Telekom AG", AsType::Telecom, false, &["DE", "DE"]),
+    (
+        3320,
+        "Deutsche Telekom AG",
+        AsType::Telecom,
+        false,
+        &["DE", "DE"],
+    ),
     (3215, "Orange S.A.", AsType::Telecom, false, &["FR", "FR"]),
-    (2856, "British Telecommunications", AsType::Telecom, false, &["GB", "GB"]),
+    (
+        2856,
+        "British Telecommunications",
+        AsType::Telecom,
+        false,
+        &["GB", "GB"],
+    ),
     (1136, "KPN B.V.", AsType::Telecom, false, &["NL"]),
-    (12389, "PJSC Rostelecom", AsType::Telecom, false, &["RU", "RU"]),
+    (
+        12389,
+        "PJSC Rostelecom",
+        AsType::Telecom,
+        false,
+        &["RU", "RU"],
+    ),
     (4766, "Korea Telecom", AsType::Telecom, false, &["KR", "KR"]),
     (3249, "Telia Eesti AS", AsType::Telecom, false, &["EE"]),
     (15895, "Kyivstar PJSC", AsType::Telecom, false, &["UA"]),
-    (58224, "Iran Telecommunication Company", AsType::Telecom, false, &["IR"]),
+    (
+        58224,
+        "Iran Telecommunication Company",
+        AsType::Telecom,
+        false,
+        &["IR"],
+    ),
     (16010, "MagtiCom Ltd.", AsType::Telecom, false, &["GE"]),
     (6799, "OTE S.A.", AsType::Telecom, false, &["GR"]),
-    (9829, "National Internet Backbone (BSNL)", AsType::Telecom, false, &["IN", "IN"]),
-    (7713, "PT Telekomunikasi Indonesia", AsType::Telecom, false, &["ID", "ID"]),
-    (7473, "Singapore Telecommunications", AsType::Telecom, false, &["SG"]),
-    (4812, "China Telecom (Group) Shanghai", AsType::Telecom, false, &["CN"]),
-    (8866, "Vivacom Bulgaria EAD", AsType::Telecom, false, &["BG"]),
+    (
+        9829,
+        "National Internet Backbone (BSNL)",
+        AsType::Telecom,
+        false,
+        &["IN", "IN"],
+    ),
+    (
+        7713,
+        "PT Telekomunikasi Indonesia",
+        AsType::Telecom,
+        false,
+        &["ID", "ID"],
+    ),
+    (
+        7473,
+        "Singapore Telecommunications",
+        AsType::Telecom,
+        false,
+        &["SG"],
+    ),
+    (
+        4812,
+        "China Telecom (Group) Shanghai",
+        AsType::Telecom,
+        false,
+        &["CN"],
+    ),
+    (
+        8866,
+        "Vivacom Bulgaria EAD",
+        AsType::Telecom,
+        false,
+        &["BG"],
+    ),
     (5089, "Virgin Media Limited", AsType::Isp, false, &["GB"]),
     // --- ICT / IP services / VPN / business / universities --------------
-    (13335, "CLOUDFLARENET", AsType::IctService, false, &["US", "US"]),
+    (
+        13335,
+        "CLOUDFLARENET",
+        AsType::IctService,
+        false,
+        &["US", "US"],
+    ),
     (15169, "GOOGLE", AsType::IctService, false, &["US"]),
-    (202425, "IP Volume inc", AsType::IpService, false, &["NL", "SC"]),
-    (212238, "Datacamp Limited", AsType::Vpn, false, &["GB", "US"]),
-    (198465, "BV Acme Logistics", AsType::Business, false, &["NL"]),
-    (1128, "Delft University of Technology", AsType::University, false, &["NL"]),
-    (88, "Princeton University", AsType::University, false, &["US"]),
-    (2501, "The University of Tokyo", AsType::University, false, &["JP"]),
+    (
+        202425,
+        "IP Volume inc",
+        AsType::IpService,
+        false,
+        &["NL", "SC"],
+    ),
+    (
+        212238,
+        "Datacamp Limited",
+        AsType::Vpn,
+        false,
+        &["GB", "US"],
+    ),
+    (
+        198465,
+        "BV Acme Logistics",
+        AsType::Business,
+        false,
+        &["NL"],
+    ),
+    (
+        1128,
+        "Delft University of Technology",
+        AsType::University,
+        false,
+        &["NL"],
+    ),
+    (
+        88,
+        "Princeton University",
+        AsType::University,
+        false,
+        &["US"],
+    ),
+    (
+        2501,
+        "The University of Tokyo",
+        AsType::University,
+        false,
+        &["JP"],
+    ),
     // --- unclassifiable (Table 7's Unknown bucket) -----------------------
     (39134, "UNMANAGED-LTD", AsType::Unknown, false, &["RU"]),
     (44812, "IP-SERVICE-OOO", AsType::Unknown, false, &["RU"]),
-    (134121, "RAINBOW-NETWORK-LIMITED", AsType::Unknown, false, &["CN", "CN"]),
-    (266842, "INTERNEXA-BACKBONE", AsType::Unknown, false, &["BR"]),
+    (
+        134121,
+        "RAINBOW-NETWORK-LIMITED",
+        AsType::Unknown,
+        false,
+        &["CN", "CN"],
+    ),
+    (
+        266842,
+        "INTERNEXA-BACKBONE",
+        AsType::Unknown,
+        false,
+        &["BR"],
+    ),
 ];
 
 /// First octet of the synthetic allocation space. Chosen so nothing

@@ -155,7 +155,11 @@ mod tests {
         for v in 0..200u32 {
             let base: u32 = rng.gen();
             let len: u8 = rng.gen_range(0..=32);
-            let mask = if len == 0 { 0 } else { u32::MAX << (32 - len as u32) };
+            let mask = if len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - len as u32)
+            };
             let base = base & mask;
             // skip duplicate prefixes: the oracle's max_by_key tie-break
             // would differ from the trie's replace semantics

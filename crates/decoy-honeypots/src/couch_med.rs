@@ -103,8 +103,7 @@ impl CouchHoneypot {
                     let count = self.db.count(db, "docs", &Document::new());
                     HttpResponse::json(
                         200,
-                        json!({"db_name": db, "doc_count": count, "doc_del_count": 0})
-                            .to_string(),
+                        json!({"db_name": db, "doc_count": count, "doc_del_count": 0}).to_string(),
                     )
                 } else {
                     not_found()
@@ -194,12 +193,7 @@ impl SessionHandler for CouchHoneypot {
             Ok(pair) => pair,
             Err(_) => return,
         };
-        let log = SessionLogger::new(
-            self.store.clone(),
-            self.id,
-            ctx,
-            proxied.map(|sa| sa.ip()),
-        );
+        let log = SessionLogger::new(self.store.clone(), self.id, ctx, proxied.map(|sa| sa.ip()));
         log.connect();
         if let Err(e) = self.session(stream, initial, &log).await {
             if e.is_peer_fault() {
@@ -274,7 +268,9 @@ mod tests {
         method: &str,
         target: &str,
     ) -> HttpResponse {
-        f.write_frame(&HttpRequest::new(method, target)).await.unwrap();
+        f.write_frame(&HttpRequest::new(method, target))
+            .await
+            .unwrap();
         f.read_frame().await.unwrap().unwrap()
     }
 
@@ -318,12 +314,10 @@ mod tests {
         request(&mut f, "GET", "/customers/_all_docs").await;
         let deleted = request(&mut f, "DELETE", "/customers").await;
         assert_eq!(deleted.status, 200);
-        f.write_frame(
-            &HttpRequest::new("PUT", "/warning/readme").with_body(
-                "application/json",
-                r#"{"note":"send 0.01 BTC to recover your data"}"#,
-            ),
-        )
+        f.write_frame(&HttpRequest::new("PUT", "/warning/readme").with_body(
+            "application/json",
+            r#"{"note":"send 0.01 BTC to recover your data"}"#,
+        ))
         .await
         .unwrap();
         let created = f.read_frame().await.unwrap().unwrap();
@@ -360,9 +354,11 @@ mod tests {
         let v: Value = serde_json::from_slice(&resp.body).unwrap();
         assert_eq!(v["total_rows"], 0);
         server.shutdown().await;
-        assert!(store
-            .filter(|e| matches!(e.kind, EventKind::Command { .. }))
-            .len()
-            >= 2);
+        assert!(
+            store
+                .filter(|e| matches!(e.kind, EventKind::Command { .. }))
+                .len()
+                >= 2
+        );
     }
 }

@@ -65,10 +65,7 @@ pub const REDIS_FAKE_ENTRIES: usize = 200;
 pub const MONGO_FAKE_CUSTOMERS: usize = 200;
 
 /// Spawn the honeypot described by `spec`, logging into `store`.
-pub async fn spawn(
-    store: Arc<EventStore>,
-    spec: HoneypotSpec,
-) -> std::io::Result<RunningHoneypot> {
+pub async fn spawn(store: Arc<EventStore>, spec: HoneypotSpec) -> std::io::Result<RunningHoneypot> {
     let options = ListenerOptions {
         max_sessions: 4096,
         clock: spec.clock.clone(),
@@ -162,18 +159,66 @@ mod tests {
     async fn spawns_every_supported_spec() {
         let store = EventStore::new();
         let specs = [
-            id(Dbms::MySql, InteractionLevel::Low, ConfigVariant::MultiService),
-            id(Dbms::Postgres, InteractionLevel::Low, ConfigVariant::MultiService),
-            id(Dbms::Redis, InteractionLevel::Low, ConfigVariant::SingleService),
-            id(Dbms::Mssql, InteractionLevel::Low, ConfigVariant::MultiService),
-            id(Dbms::MySql, InteractionLevel::Medium, ConfigVariant::Default),
-            id(Dbms::Redis, InteractionLevel::Medium, ConfigVariant::Default),
-            id(Dbms::Redis, InteractionLevel::Medium, ConfigVariant::FakeData),
-            id(Dbms::Postgres, InteractionLevel::Medium, ConfigVariant::Default),
-            id(Dbms::Postgres, InteractionLevel::Medium, ConfigVariant::LoginDisabled),
-            id(Dbms::Elastic, InteractionLevel::Medium, ConfigVariant::Default),
-            id(Dbms::CouchDb, InteractionLevel::Medium, ConfigVariant::FakeData),
-            id(Dbms::MongoDb, InteractionLevel::High, ConfigVariant::FakeData),
+            id(
+                Dbms::MySql,
+                InteractionLevel::Low,
+                ConfigVariant::MultiService,
+            ),
+            id(
+                Dbms::Postgres,
+                InteractionLevel::Low,
+                ConfigVariant::MultiService,
+            ),
+            id(
+                Dbms::Redis,
+                InteractionLevel::Low,
+                ConfigVariant::SingleService,
+            ),
+            id(
+                Dbms::Mssql,
+                InteractionLevel::Low,
+                ConfigVariant::MultiService,
+            ),
+            id(
+                Dbms::MySql,
+                InteractionLevel::Medium,
+                ConfigVariant::Default,
+            ),
+            id(
+                Dbms::Redis,
+                InteractionLevel::Medium,
+                ConfigVariant::Default,
+            ),
+            id(
+                Dbms::Redis,
+                InteractionLevel::Medium,
+                ConfigVariant::FakeData,
+            ),
+            id(
+                Dbms::Postgres,
+                InteractionLevel::Medium,
+                ConfigVariant::Default,
+            ),
+            id(
+                Dbms::Postgres,
+                InteractionLevel::Medium,
+                ConfigVariant::LoginDisabled,
+            ),
+            id(
+                Dbms::Elastic,
+                InteractionLevel::Medium,
+                ConfigVariant::Default,
+            ),
+            id(
+                Dbms::CouchDb,
+                InteractionLevel::Medium,
+                ConfigVariant::FakeData,
+            ),
+            id(
+                Dbms::MongoDb,
+                InteractionLevel::High,
+                ConfigVariant::FakeData,
+            ),
         ];
         let mut running = Vec::new();
         for spec_id in specs {
@@ -202,14 +247,20 @@ mod tests {
     async fn fake_data_redis_has_200_entries() {
         let store = EventStore::new();
         let spec = HoneypotSpec::loopback(
-            id(Dbms::Redis, InteractionLevel::Medium, ConfigVariant::FakeData),
+            id(
+                Dbms::Redis,
+                InteractionLevel::Medium,
+                ConfigVariant::FakeData,
+            ),
             Clock::simulated(),
             99,
         );
         let running = spawn(store, spec).await.unwrap();
         let stream = TcpStream::connect(running.addr()).await.unwrap();
         let mut f = Framed::new(stream, RespCodec::client());
-        f.write_frame(&RespValue::command(&["DBSIZE"])).await.unwrap();
+        f.write_frame(&RespValue::command(&["DBSIZE"]))
+            .await
+            .unwrap();
         let RespValue::Integer(n) = f.read_frame().await.unwrap().unwrap() else {
             panic!("expected DBSIZE integer");
         };

@@ -60,13 +60,7 @@ impl ResponseBook {
     }
 
     /// Add a rule (first match wins, before defaults).
-    pub fn with_rule(
-        mut self,
-        method: &str,
-        path: &str,
-        status: u16,
-        body: Value,
-    ) -> Self {
+    pub fn with_rule(mut self, method: &str, path: &str, status: u16, body: Value) -> Self {
         self.rules.push(ResponseRule {
             method: method.to_string(),
             path: path.to_string(),
@@ -219,7 +213,8 @@ impl ElasticPot {
         // Lucifer (Listing 5) smuggles Java in `script_fields` via the URL's
         // source parameter; either way the body/query reaches us as text.
         let combined = format!("{} {}", req.target, body);
-        let scripted = combined.contains("script_fields") || combined.contains("Runtime.getRuntime");
+        let scripted =
+            combined.contains("script_fields") || combined.contains("Runtime.getRuntime");
         let hits = if scripted {
             // a vulnerable 1.x/5.x cluster would attempt the script; ours
             // answers a plausible empty evaluation
@@ -251,12 +246,7 @@ impl SessionHandler for ElasticPot {
             Ok(pair) => pair,
             Err(_) => return,
         };
-        let log = SessionLogger::new(
-            self.store.clone(),
-            self.id,
-            ctx,
-            proxied.map(|sa| sa.ip()),
-        );
+        let log = SessionLogger::new(self.store.clone(), self.id, ctx, proxied.map(|sa| sa.ip()));
         log.connect();
         if let Err(e) = self.session(stream, initial, &log).await {
             if e.is_peer_fault() {
@@ -332,10 +322,7 @@ mod tests {
         (server, store)
     }
 
-    async fn request(
-        f: &mut Framed<TcpStream, HttpClientCodec>,
-        req: HttpRequest,
-    ) -> HttpResponse {
+    async fn request(f: &mut Framed<TcpStream, HttpClientCodec>, req: HttpRequest) -> HttpResponse {
         f.write_frame(&req).await.unwrap();
         f.read_frame().await.unwrap().unwrap()
     }
@@ -365,12 +352,8 @@ mod tests {
 
     #[tokio::test]
     async fn custom_rules_override_defaults() {
-        let book = ResponseBook::new().with_rule(
-            "GET",
-            "/_cat/indices",
-            200,
-            json!({"custom": true}),
-        );
+        let book =
+            ResponseBook::new().with_rule("GET", "/_cat/indices", 200, json!({"custom": true}));
         let (server, _store) = spawn(book).await;
         let stream = TcpStream::connect(server.local_addr()).await.unwrap();
         let mut f = Framed::new(stream, HttpClientCodec);
@@ -409,9 +392,9 @@ mod tests {
         let v: Value = serde_json::from_slice(&resp.body).unwrap();
         assert_eq!(v["timed_out"], false);
         server.shutdown().await;
-        let cmds = store.filter(|e| {
-            matches!(&e.kind, EventKind::Command { raw, .. } if raw.contains("script_fields"))
-        });
+        let cmds = store.filter(
+            |e| matches!(&e.kind, EventKind::Command { raw, .. } if raw.contains("script_fields")),
+        );
         assert_eq!(cmds.len(), 1);
         // masked action hides the loader address
         let EventKind::Command { action, .. } = &cmds[0].kind else {

@@ -64,12 +64,7 @@ impl SessionHandler for LowHoneypot {
             Ok(pair) => pair,
             Err(_) => return,
         };
-        let log = SessionLogger::new(
-            self.store.clone(),
-            self.id,
-            ctx,
-            proxied.map(|sa| sa.ip()),
-        );
+        let log = SessionLogger::new(self.store.clone(), self.id, ctx, proxied.map(|sa| sa.ip()));
         log.connect();
         let outcome = match self.id.dbms {
             Dbms::MySql => mysql_session(stream, initial, &log).await,
@@ -361,7 +356,10 @@ mod tests {
         assert_eq!(code, 1045);
         assert!(msg.contains("Access denied"));
         server.shutdown().await;
-        assert_eq!(logins(&store), vec![("root".to_string(), "aaaaaa".to_string())]);
+        assert_eq!(
+            logins(&store),
+            vec![("root".to_string(), "aaaaaa".to_string())]
+        );
     }
 
     #[tokio::test]
@@ -479,7 +477,10 @@ mod tests {
         );
         server.shutdown().await;
         let srcs = store.sources();
-        assert_eq!(srcs, vec!["198.51.100.42".parse::<std::net::IpAddr>().unwrap()]);
+        assert_eq!(
+            srcs,
+            vec!["198.51.100.42".parse::<std::net::IpAddr>().unwrap()]
+        );
     }
 
     #[tokio::test]

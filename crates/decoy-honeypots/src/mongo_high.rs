@@ -133,9 +133,7 @@ impl MongoHoneypot {
                     .db
                     .list_collections(&db_name)
                     .into_iter()
-                    .map(|c| {
-                        Bson::Document(doc! { "name" => c, "type" => "collection" })
-                    })
+                    .map(|c| Bson::Document(doc! { "name" => c, "type" => "collection" }))
                     .collect();
                 doc! {
                     "cursor" => doc! {
@@ -166,11 +164,7 @@ impl MongoHoneypot {
                 let docs: Vec<Document> = cmd
                     .get("documents")
                     .and_then(Bson::as_array)
-                    .map(|arr| {
-                        arr.iter()
-                            .filter_map(|b| b.as_doc().cloned())
-                            .collect()
-                    })
+                    .map(|arr| arr.iter().filter_map(|b| b.as_doc().cloned()).collect())
                     .unwrap_or_default();
                 let r = self.db.insert(&db_name, &coll, docs);
                 doc! { "n" => r.n as i32, "ok" => 1.0f64 }
@@ -214,11 +208,7 @@ impl MongoHoneypot {
             }
             "saslstart" | "authenticate" => {
                 // authentication is disabled; record the attempt
-                log.login(
-                    cmd.get_str("user").unwrap_or("unknown"),
-                    "<sasl>",
-                    false,
-                );
+                log.login(cmd.get_str("user").unwrap_or("unknown"), "<sasl>", false);
                 error_reply(18, "Authentication failed.")
             }
             other => {
@@ -250,12 +240,7 @@ impl SessionHandler for MongoHoneypot {
             Ok(pair) => pair,
             Err(_) => return,
         };
-        let log = SessionLogger::new(
-            self.store.clone(),
-            self.id,
-            ctx,
-            proxied.map(|sa| sa.ip()),
-        );
+        let log = SessionLogger::new(self.store.clone(), self.id, ctx, proxied.map(|sa| sa.ip()));
         log.connect();
         if let Err(e) = self.session(stream, initial, &log).await {
             if e.is_peer_fault() {
@@ -345,12 +330,10 @@ mod tests {
         (server, store, hp)
     }
 
-    async fn send(
-        f: &mut Framed<TcpStream, MongoCodec>,
-        req_id: i32,
-        cmd: Document,
-    ) -> Document {
-        f.write_frame(&MongoMessage::msg(req_id, cmd)).await.unwrap();
+    async fn send(f: &mut Framed<TcpStream, MongoCodec>, req_id: i32, cmd: Document) -> Document {
+        f.write_frame(&MongoMessage::msg(req_id, cmd))
+            .await
+            .unwrap();
         let reply = f.read_frame().await.unwrap().unwrap();
         assert_eq!(reply.response_to, req_id);
         let MongoBody::Msg { doc, .. } = reply.body else {
@@ -413,7 +396,12 @@ mod tests {
         let mut f = Framed::new(stream, MongoCodec);
 
         // 1. reconnaissance
-        let dbs = send(&mut f, 1, doc! { "listDatabases" => 1i32, "$db" => "admin" }).await;
+        let dbs = send(
+            &mut f,
+            1,
+            doc! { "listDatabases" => 1i32, "$db" => "admin" },
+        )
+        .await;
         let names: Vec<String> = dbs
             .get("databases")
             .and_then(Bson::as_array)
@@ -443,7 +431,12 @@ mod tests {
         assert!(stolen[0].get_str("credit_card").is_some());
 
         // 3. destruction
-        let dropped = send(&mut f, 4, doc! { "drop" => "records", "$db" => "customers" }).await;
+        let dropped = send(
+            &mut f,
+            4,
+            doc! { "drop" => "records", "$db" => "customers" },
+        )
+        .await;
         assert_eq!(dropped.get_f64("ok"), Some(1.0));
 
         // 4. ransom note (Listing 7 shape)
@@ -564,7 +557,12 @@ mod tests {
         let (server, store, _hp) = spawn().await;
         let stream = TcpStream::connect(server.local_addr()).await.unwrap();
         let mut f = Framed::new(stream, MongoCodec);
-        let bogus = send(&mut f, 1, doc! { "shutdownServer" => 1i32, "$db" => "admin" }).await;
+        let bogus = send(
+            &mut f,
+            1,
+            doc! { "shutdownServer" => 1i32, "$db" => "admin" },
+        )
+        .await;
         assert_eq!(bogus.get_f64("ok"), Some(0.0));
         let auth = send(
             &mut f,
@@ -574,8 +572,7 @@ mod tests {
         .await;
         assert_eq!(auth.get_f64("ok"), Some(0.0));
         server.shutdown().await;
-        let login_attempts =
-            store.filter(|e| matches!(e.kind, EventKind::LoginAttempt { .. }));
+        let login_attempts = store.filter(|e| matches!(e.kind, EventKind::LoginAttempt { .. }));
         assert_eq!(login_attempts.len(), 1);
     }
 }

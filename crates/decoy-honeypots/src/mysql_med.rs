@@ -39,18 +39,12 @@ impl MySqlHoneypot {
 impl SessionHandler for MySqlHoneypot {
     async fn handle(self: Arc<Self>, mut stream: TcpStream, ctx: SessionCtx) {
         // MySQL is server-speaks-first; the PROXY sniff needs a deadline.
-        let sniff =
-            proxy::maybe_read_v1_deadline(&mut stream, Duration::from_millis(1500)).await;
+        let sniff = proxy::maybe_read_v1_deadline(&mut stream, Duration::from_millis(1500)).await;
         let (proxied, initial) = match sniff {
             Ok(pair) => pair,
             Err(_) => return,
         };
-        let log = SessionLogger::new(
-            self.store.clone(),
-            self.id,
-            ctx,
-            proxied.map(|sa| sa.ip()),
-        );
+        let log = SessionLogger::new(self.store.clone(), self.id, ctx, proxied.map(|sa| sa.ip()));
         log.connect();
         if let Err(e) = self.session(stream, initial, &log).await {
             if e.is_peer_fault() {
@@ -292,9 +286,9 @@ mod tests {
         let logins =
             store.filter(|e| matches!(e.kind, EventKind::LoginAttempt { success: true, .. }));
         assert_eq!(logins.len(), 1);
-        let cmds = store.filter(|e| {
-            matches!(&e.kind, EventKind::Command { raw, .. } if raw == "SELECT @@version")
-        });
+        let cmds = store.filter(
+            |e| matches!(&e.kind, EventKind::Command { raw, .. } if raw == "SELECT @@version"),
+        );
         assert_eq!(cmds.len(), 1);
     }
 
@@ -323,9 +317,9 @@ mod tests {
         let reply = framed.read_frame().await.unwrap().unwrap();
         assert_eq!(reply.payload[0], 0x00, "DDL acknowledged");
         server.shutdown().await;
-        let cmds = store.filter(|e| {
-            matches!(&e.kind, EventKind::Command { raw, .. } if raw.contains("INTO OUTFILE"))
-        });
+        let cmds = store.filter(
+            |e| matches!(&e.kind, EventKind::Command { raw, .. } if raw.contains("INTO OUTFILE")),
+        );
         assert_eq!(cmds.len(), 1, "injection attempt captured");
     }
 

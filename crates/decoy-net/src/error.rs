@@ -104,8 +104,7 @@ mod tests {
 
     #[test]
     fn io_eof_maps_to_unexpected_eof() {
-        let e: NetError =
-            std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof").into();
+        let e: NetError = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof").into();
         assert!(matches!(e, NetError::UnexpectedEof));
         assert!(e.is_peer_fault());
     }

@@ -182,10 +182,9 @@ mod tests {
     #[tokio::test]
     async fn deadline_variant_times_out_to_no_header() {
         let (_a, mut b) = duplex(64);
-        let (src, rest) =
-            maybe_read_v1_deadline(&mut b, std::time::Duration::from_millis(50))
-                .await
-                .unwrap();
+        let (src, rest) = maybe_read_v1_deadline(&mut b, std::time::Duration::from_millis(50))
+            .await
+            .unwrap();
         assert_eq!(src, None);
         assert!(rest.is_empty());
     }
@@ -195,10 +194,9 @@ mod tests {
         let (mut a, mut b) = duplex(256);
         let header = encode_v1(sa("203.0.113.9:55555"), sa("127.0.0.1:3306"));
         a.write_all(header.as_bytes()).await.unwrap();
-        let (src, _rest) =
-            maybe_read_v1_deadline(&mut b, std::time::Duration::from_secs(5))
-                .await
-                .unwrap();
+        let (src, _rest) = maybe_read_v1_deadline(&mut b, std::time::Duration::from_secs(5))
+            .await
+            .unwrap();
         assert_eq!(src, Some(sa("203.0.113.9:55555")));
     }
 

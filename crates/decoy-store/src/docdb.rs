@@ -78,8 +78,7 @@ impl DocDb {
     /// Delete documents matching `filter`; empty filter deletes all.
     pub fn delete(&self, db: &str, coll: &str, filter: &Document) -> WriteResult {
         let mut inner = self.inner.write();
-        let Some(collection) = inner.get_mut(db).and_then(|d| d.collections.get_mut(coll))
-        else {
+        let Some(collection) = inner.get_mut(db).and_then(|d| d.collections.get_mut(coll)) else {
             return WriteResult { n: 0 };
         };
         let before = collection.len();

@@ -259,9 +259,7 @@ impl KvStore {
     /// `HGETALL key` — field/value pairs in field order.
     pub fn hgetall(&self, key: &str) -> Vec<(String, Vec<u8>)> {
         match self.inner.read().data.get(key) {
-            Some(KvValue::Hash(map)) => {
-                map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
-            }
+            Some(KvValue::Hash(map)) => map.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
             _ => Vec::new(),
         }
     }
@@ -355,13 +353,11 @@ mod tests {
 
     #[test]
     fn keys_glob_patterns() {
-        let kv = KvStore::with_entries(
-            [
-                ("user:1".to_string(), "alice".to_string()),
-                ("user:2".to_string(), "bob".to_string()),
-                ("session:9".to_string(), "tok".to_string()),
-            ],
-        );
+        let kv = KvStore::with_entries([
+            ("user:1".to_string(), "alice".to_string()),
+            ("user:2".to_string(), "bob".to_string()),
+            ("session:9".to_string(), "tok".to_string()),
+        ]);
         let mut users = kv.keys("user:*");
         users.sort();
         assert_eq!(users, vec!["user:1", "user:2"]);
@@ -389,10 +385,7 @@ mod tests {
         kv.set("s", b"v".to_vec());
         assert_eq!(kv.type_of("s"), "string");
         assert_eq!(kv.type_of("missing"), "none");
-        assert_eq!(
-            KvValue::Hash(BTreeMap::new()).type_name(),
-            "hash"
-        );
+        assert_eq!(KvValue::Hash(BTreeMap::new()).type_name(), "hash");
         assert_eq!(KvValue::List(vec![]).type_name(), "list");
     }
 
@@ -467,11 +460,17 @@ mod tests {
     #[test]
     fn list_operations_with_redis_index_semantics() {
         let kv = KvStore::new();
-        assert_eq!(kv.rpush("l", vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]), 3);
+        assert_eq!(
+            kv.rpush("l", vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]),
+            3
+        );
         assert_eq!(kv.rpush("l", vec![b"d".to_vec()]), 4);
         assert_eq!(kv.llen("l"), 4);
         assert_eq!(kv.type_of("l"), "list");
-        assert_eq!(kv.lrange("l", 0, -1), vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]);
+        assert_eq!(
+            kv.lrange("l", 0, -1),
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec(), b"d".to_vec()]
+        );
         assert_eq!(kv.lrange("l", 1, 2), vec![b"b".to_vec(), b"c".to_vec()]);
         assert_eq!(kv.lrange("l", -2, -1), vec![b"c".to_vec(), b"d".to_vec()]);
         assert!(kv.lrange("l", 3, 1).is_empty());

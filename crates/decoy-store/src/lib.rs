@@ -16,10 +16,10 @@
 
 pub mod docdb;
 pub mod events;
-pub mod mask;
 pub mod kv;
+pub mod mask;
 
-pub use mask::normalize_action;
 pub use events::{
     ConfigVariant, Dbms, Event, EventKind, EventStore, HoneypotId, InteractionLevel, SessionKey,
 };
+pub use mask::normalize_action;

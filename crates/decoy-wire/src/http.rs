@@ -95,7 +95,10 @@ impl HttpResponse {
             status,
             reason: reason_for(status).into(),
             headers: vec![
-                ("Content-Type".into(), "application/json; charset=UTF-8".into()),
+                (
+                    "Content-Type".into(),
+                    "application/json; charset=UTF-8".into(),
+                ),
                 ("Content-Length".into(), body.len().to_string()),
             ],
             body,
@@ -174,8 +177,7 @@ fn content_length(headers: &[(String, String)]) -> NetResult<usize> {
                 .parse::<usize>()
                 .map_err(|_| NetError::protocol("bad content-length"));
         }
-        if k.eq_ignore_ascii_case("transfer-encoding")
-            && v.to_ascii_lowercase().contains("chunked")
+        if k.eq_ignore_ascii_case("transfer-encoding") && v.to_ascii_lowercase().contains("chunked")
         {
             return Err(NetError::protocol("chunked encoding unsupported"));
         }
@@ -224,9 +226,7 @@ impl Codec for HttpServerCodec {
     }
 
     fn encode(&mut self, resp: &HttpResponse, buf: &mut BytesMut) -> NetResult<()> {
-        buf.extend_from_slice(
-            format!("HTTP/1.1 {} {}\r\n", resp.status, resp.reason).as_bytes(),
-        );
+        buf.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", resp.status, resp.reason).as_bytes());
         for (k, v) in &resp.headers {
             buf.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
         }
@@ -379,8 +379,7 @@ mod tests {
         assert!(server.decode(&mut buf).is_err());
         let mut buf = BytesMut::from(&b"GET / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"[..]);
         assert!(server.decode(&mut buf).is_err());
-        let mut buf =
-            BytesMut::from(&b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..]);
+        let mut buf = BytesMut::from(&b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"[..]);
         assert!(server.decode(&mut buf).is_err());
         let mut buf = BytesMut::from(&b"\xff\xfe / HTTP/1.1\r\n\r\n"[..]);
         assert!(server.decode(&mut buf).is_err());

@@ -246,8 +246,7 @@ fn parse_body(opcode: i32, bytes: &[u8]) -> NetResult<MongoBody> {
                     }
                 }
             }
-            let doc =
-                doc.ok_or_else(|| NetError::protocol("OP_MSG without kind-0 section"))?;
+            let doc = doc.ok_or_else(|| NetError::protocol("OP_MSG without kind-0 section"))?;
             Ok(MongoBody::Msg {
                 flags,
                 doc,

@@ -267,8 +267,7 @@ impl LoginRequest {
         if payload.len() < 32 {
             return Err(NetError::protocol("short handshake response"));
         }
-        let capabilities =
-            u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
+        let capabilities = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
         if capabilities & CLIENT_PROTOCOL_41 == 0 {
             return Err(NetError::protocol("pre-4.1 clients unsupported"));
         }
@@ -423,10 +422,7 @@ mod tests {
         assert_eq!(parsed.username, "root");
         assert_eq!(parsed.password_observed(), "aaaaaa");
         assert_eq!(parsed.database.as_deref(), Some("mysql"));
-        assert_eq!(
-            parsed.auth_plugin.as_deref(),
-            Some("mysql_clear_password")
-        );
+        assert_eq!(parsed.auth_plugin.as_deref(), Some("mysql_clear_password"));
     }
 
     #[test]

@@ -335,9 +335,7 @@ fn parse_backend(tag: u8, body: &[u8]) -> NetResult<BackendMessage> {
                         salt: [rest[4], rest[5], rest[6], rest[7]],
                     }
                 }
-                other => {
-                    return Err(NetError::protocol(format!("unsupported auth code {other}")))
-                }
+                other => return Err(NetError::protocol(format!("unsupported auth code {other}"))),
             }
         }
         b'S' => {
@@ -742,10 +740,7 @@ mod tests {
     #[test]
     fn cancel_request_parses() {
         let mut server = PgServerCodec::new();
-        let mut buf = client_encode(FrontendMessage::CancelRequest {
-            pid: 7,
-            secret: 99,
-        });
+        let mut buf = client_encode(FrontendMessage::CancelRequest { pid: 7, secret: 99 });
         assert_eq!(
             server.decode(&mut buf).unwrap().unwrap(),
             FrontendMessage::CancelRequest { pid: 7, secret: 99 }

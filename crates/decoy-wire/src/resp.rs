@@ -155,8 +155,8 @@ fn find_crlf(buf: &[u8], from: usize) -> Option<usize> {
 
 /// Parse the decimal integer in `bytes` (RESP length/integer line).
 fn parse_int(bytes: &[u8]) -> NetResult<i64> {
-    let s = std::str::from_utf8(bytes)
-        .map_err(|_| NetError::protocol("non-utf8 integer in RESP"))?;
+    let s =
+        std::str::from_utf8(bytes).map_err(|_| NetError::protocol("non-utf8 integer in RESP"))?;
     s.trim()
         .parse::<i64>()
         .map_err(|_| NetError::protocol(format!("bad RESP integer: {s:?}")))
@@ -384,12 +384,11 @@ mod tests {
     fn jdwp_handshake_decodes_as_inline_garbage() {
         // Listing 11: JDWP handshake thrown at a Redis port.
         let mut server = RespCodec::server();
-        let v = decode_one(&mut server, b"JDWP-Handshake\r\n").unwrap().unwrap();
+        let v = decode_one(&mut server, b"JDWP-Handshake\r\n")
+            .unwrap()
+            .unwrap();
         assert_eq!(v, RespValue::Inline("JDWP-Handshake".into()));
-        assert_eq!(
-            as_command(&v).unwrap().name,
-            "JDWP-HANDSHAKE".to_string()
-        );
+        assert_eq!(as_command(&v).unwrap().name, "JDWP-HANDSHAKE".to_string());
     }
 
     #[test]

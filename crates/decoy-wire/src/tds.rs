@@ -119,17 +119,12 @@ pub fn ucs2_decode(bytes: &[u8]) -> String {
 /// The LOGIN7 password obfuscation: per byte, swap nibbles then XOR `0xA5`.
 /// Involution-free but trivially reversible via [`password_demangle`].
 pub fn password_mangle(ucs2: &[u8]) -> Vec<u8> {
-    ucs2.iter()
-        .map(|&b| b.rotate_left(4) ^ 0xA5)
-        .collect()
+    ucs2.iter().map(|&b| b.rotate_left(4) ^ 0xA5).collect()
 }
 
 /// Invert [`password_mangle`].
 pub fn password_demangle(mangled: &[u8]) -> Vec<u8> {
-    mangled
-        .iter()
-        .map(|&b| (b ^ 0xA5).rotate_left(4))
-        .collect()
+    mangled.iter().map(|&b| (b ^ 0xA5).rotate_left(4)).collect()
 }
 
 // --- PRELOGIN --------------------------------------------------------------
@@ -274,16 +269,15 @@ impl Login7 {
         if payload.len() < LOGIN7_FIXED {
             return Err(NetError::protocol("login7 shorter than fixed part"));
         }
-        let declared = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+        let declared =
+            u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
         if declared > payload.len() {
             return Err(NetError::protocol("login7 declared length overruns packet"));
         }
         let read_field = |pair_index: usize, mangled: bool| -> NetResult<String> {
             let base = 36 + pair_index * 4;
-            let off =
-                u16::from_le_bytes([payload[base], payload[base + 1]]) as usize;
-            let chars =
-                u16::from_le_bytes([payload[base + 2], payload[base + 3]]) as usize;
+            let off = u16::from_le_bytes([payload[base], payload[base + 1]]) as usize;
+            let chars = u16::from_le_bytes([payload[base + 2], payload[base + 3]]) as usize;
             let bytes_len = chars * 2;
             if chars == 0 {
                 return Ok(String::new());

@@ -69,7 +69,10 @@ async fn main() -> std::io::Result<()> {
             script: SessionScript::MongoRansom { group },
         };
         let outcome = run_session(server.local_addr(), &session).await;
-        println!("day {day}: ransom group {group} from {src} ({} errors)", outcome.errors);
+        println!(
+            "day {day}: ransom group {group} from {src} ({} errors)",
+            outcome.errors
+        );
     }
     tokio::time::sleep(std::time::Duration::from_millis(200)).await;
     server.shutdown().await;
@@ -79,7 +82,10 @@ async fn main() -> std::io::Result<()> {
     for db in engine.list_databases() {
         for coll in engine.list_collections(&db) {
             let docs = engine.find(&db, &coll, &Document::new(), 1);
-            println!("  {db}.{coll}: {} docs", engine.count(&db, &coll, &Document::new()));
+            println!(
+                "  {db}.{coll}: {} docs",
+                engine.count(&db, &coll, &Document::new())
+            );
             if let Some(note) = docs.first().and_then(|d| d.get_str("content")) {
                 println!("    note: {}", &note[..note.len().min(90)]);
             }
@@ -112,8 +118,10 @@ async fn main() -> std::io::Result<()> {
     println!("  {} commands captured across the campaign", commands.len());
 
     // Appendix-E-style listing of the repeat offender's sessions
-    println!("
-reconstructed listing for 60.21.0.66:");
+    println!(
+        "
+reconstructed listing for 60.21.0.66:"
+    );
     print!(
         "{}",
         decoy_databases::analysis::forensics::render_listing(

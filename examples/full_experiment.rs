@@ -18,14 +18,8 @@ use decoy_databases::core::Report;
 #[tokio::main(flavor = "multi_thread")]
 async fn main() -> std::io::Result<()> {
     let mut args = std::env::args().skip(1);
-    let scale: f64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.05);
-    let seed: u64 = args
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20240322);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(20240322);
     let rest: Vec<String> = args.collect();
     let network = rest.iter().any(|a| a == "network");
     let extensions = rest.iter().any(|a| a == "extensions");
@@ -61,7 +55,11 @@ async fn main() -> std::io::Result<()> {
     if rest.iter().any(|a| a == "csv") {
         let dir = std::path::Path::new("figures");
         let files = decoy_databases::core::report::export_csv(&result, dir)?;
-        eprintln!("wrote {} CSV figure files to {}", files.len(), dir.display());
+        eprintln!(
+            "wrote {} CSV figure files to {}",
+            files.len(),
+            dir.display()
+        );
     }
     Ok(())
 }

@@ -12,9 +12,7 @@
 
 use decoy_databases::honeypots::deploy::{spawn, HoneypotSpec};
 use decoy_databases::net::time::Clock;
-use decoy_databases::store::{
-    ConfigVariant, Dbms, EventStore, HoneypotId, InteractionLevel,
-};
+use decoy_databases::store::{ConfigVariant, Dbms, EventStore, HoneypotId, InteractionLevel};
 use std::net::SocketAddr;
 
 #[tokio::main]
@@ -26,19 +24,51 @@ async fn main() -> std::io::Result<()> {
     let store = EventStore::new();
     let clock = Clock::Wall; // live deployment: real time
     let fleet = [
-        (Dbms::MySql, InteractionLevel::Low, ConfigVariant::MultiService),
-        (Dbms::Postgres, InteractionLevel::Low, ConfigVariant::MultiService),
-        (Dbms::Mssql, InteractionLevel::Low, ConfigVariant::MultiService),
-        (Dbms::Redis, InteractionLevel::Medium, ConfigVariant::FakeData),
-        (Dbms::Elastic, InteractionLevel::Medium, ConfigVariant::Default),
-        (Dbms::MongoDb, InteractionLevel::High, ConfigVariant::FakeData),
+        (
+            Dbms::MySql,
+            InteractionLevel::Low,
+            ConfigVariant::MultiService,
+        ),
+        (
+            Dbms::Postgres,
+            InteractionLevel::Low,
+            ConfigVariant::MultiService,
+        ),
+        (
+            Dbms::Mssql,
+            InteractionLevel::Low,
+            ConfigVariant::MultiService,
+        ),
+        (
+            Dbms::Redis,
+            InteractionLevel::Medium,
+            ConfigVariant::FakeData,
+        ),
+        (
+            Dbms::Elastic,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+        ),
+        (
+            Dbms::MongoDb,
+            InteractionLevel::High,
+            ConfigVariant::FakeData,
+        ),
         // coverage extension beyond the paper's Table 4 (§7 future work)
-        (Dbms::CouchDb, InteractionLevel::Medium, ConfigVariant::FakeData),
+        (
+            Dbms::CouchDb,
+            InteractionLevel::Medium,
+            ConfigVariant::FakeData,
+        ),
     ];
 
     let mut running = Vec::new();
     for (dbms, level, config) in fleet {
-        let port = if standard_ports { dbms.port() } else { 20_000 + dbms.port() % 10_000 };
+        let port = if standard_ports {
+            dbms.port()
+        } else {
+            20_000 + dbms.port() % 10_000
+        };
         let bind: SocketAddr = format!("{bind_ip}:{port}")
             .parse()
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, format!("{e}")))?;
@@ -51,7 +81,12 @@ async fn main() -> std::io::Result<()> {
         };
         match spawn(store.clone(), spec).await {
             Ok(hp) => {
-                println!("{:<11} {:?}-interaction listening on {}", dbms.label(), level, hp.addr());
+                println!(
+                    "{:<11} {:?}-interaction listening on {}",
+                    dbms.label(),
+                    level,
+                    hp.addr()
+                );
                 running.push(hp);
             }
             Err(e) => eprintln!("{:<11} failed to bind {bind}: {e}", dbms.label()),

@@ -12,9 +12,7 @@ use decoy_databases::analysis::tagging::{tag_sources, AttackCategory, CampaignTa
 use decoy_databases::core::deployment::instance_seed;
 use decoy_databases::honeypots::deploy::{spawn, HoneypotSpec};
 use decoy_databases::net::time::{Clock, EXPERIMENT_START};
-use decoy_databases::store::{
-    ConfigVariant, Dbms, EventStore, HoneypotId, InteractionLevel,
-};
+use decoy_databases::store::{ConfigVariant, Dbms, EventStore, HoneypotId, InteractionLevel};
 use std::net::{IpAddr, Ipv4Addr};
 use std::sync::Arc;
 
@@ -191,13 +189,8 @@ async fn listing10_rdp_scan_is_scouting_not_exploiting() {
         (Dbms::Redis, InteractionLevel::Medium),
         (Dbms::Postgres, InteractionLevel::Medium),
     ] {
-        let (store, src) = attack(
-            dbms,
-            level,
-            ConfigVariant::Default,
-            SessionScript::RdpProbe,
-        )
-        .await;
+        let (store, src) =
+            attack(dbms, level, ConfigVariant::Default, SessionScript::RdpProbe).await;
         assert_verdict(
             &store,
             src,

@@ -85,7 +85,10 @@ async fn scanning_population_shape() {
     let us_share = *top_n as f64 / scan.unique_ips as f64;
     assert!((0.35..0.75).contains(&us_share), "US share {us_share:.2}");
     let inst_share = scan.institutional_ips as f64 / scan.unique_ips as f64;
-    assert!((0.25..0.60).contains(&inst_share), "institutional {inst_share:.2}");
+    assert!(
+        (0.25..0.60).contains(&inst_share),
+        "institutional {inst_share:.2}"
+    );
     let retention = retention_days(&low, None, EXPERIMENT_START);
     let single = single_day_fraction(&retention);
     assert!((0.30..0.60).contains(&single), "single-day {single:.2}");
@@ -97,7 +100,11 @@ async fn hourly_series_is_steady_with_new_client_decay() {
     let low = low_view(shared().await);
     let series = hourly_series(&low, None, EXPERIMENT_START, 480);
     assert!(series.mean_clients_per_hour() > 0.5);
-    let cumulative: Vec<usize> = series.buckets.iter().map(|b| b.cumulative_clients).collect();
+    let cumulative: Vec<usize> = series
+        .buckets
+        .iter()
+        .map(|b| b.cumulative_clients)
+        .collect();
     assert!(cumulative.windows(2).all(|w| w[0] <= w[1]));
     let first_half_new: usize = series.buckets[..240].iter().map(|b| b.new_clients).sum();
     let second_half_new: usize = series.buckets[240..].iter().map(|b| b.new_clients).sum();
@@ -122,8 +129,7 @@ async fn table8_family_ordering_and_classes() {
     assert!(u.exclusive_total() > u.multi_total());
 
     for dbms in MED_HIGH_FAMILIES {
-        let counts =
-            ClassCounts::from_profiles(classify_sources(&med_high, Some(dbms)).values());
+        let counts = ClassCounts::from_profiles(classify_sources(&med_high, Some(dbms)).values());
         assert!(counts.scanning > 0, "{dbms:?} scanning");
         assert!(counts.scouting > 0, "{dbms:?} scouting");
         assert!(
@@ -134,9 +140,8 @@ async fn table8_family_ordering_and_classes() {
     // exploiting ordering: PG > MongoDB > Redis > Elastic (222/62/38/2).
     // Pinned tiny campaigns (Lucifer = 2 IPs at any scale) make the low end
     // tie-prone at small scales, so the tail comparisons are >=.
-    let exploit = |d| {
-        ClassCounts::from_profiles(classify_sources(&med_high, Some(d)).values()).exploiting
-    };
+    let exploit =
+        |d| ClassCounts::from_profiles(classify_sources(&med_high, Some(d)).values()).exploiting;
     assert!(exploit(Dbms::Postgres) > exploit(Dbms::MongoDb));
     assert!(exploit(Dbms::MongoDb) >= exploit(Dbms::Elastic));
     assert!(exploit(Dbms::Redis) >= exploit(Dbms::Elastic));
@@ -201,5 +206,9 @@ async fn exploiters_concentrate_in_hosting_ases() {
     let hosting = exploiting(AsType::Hosting);
     assert!(hosting > 0);
     assert!(hosting >= exploiting(AsType::Telecom));
-    assert_eq!(exploiting(AsType::Security), 0, "security ASes never exploit");
+    assert_eq!(
+        exploiting(AsType::Security),
+        0,
+        "security ASes never exploit"
+    );
 }

@@ -59,12 +59,8 @@ async fn modes_equivalent() {
 
     // identical source populations per family
     for dbms in Dbms::all() {
-        let mut net_sources: Vec<IpAddr> = network
-            .store
-            .by_dbms(dbms)
-            .iter()
-            .map(|e| e.src)
-            .collect();
+        let mut net_sources: Vec<IpAddr> =
+            network.store.by_dbms(dbms).iter().map(|e| e.src).collect();
         net_sources.sort();
         net_sources.dedup();
         let mut dir_sources: Vec<IpAddr> =
@@ -85,12 +81,8 @@ async fn modes_equivalent() {
 
     // identical behavior classification
     for dbms in Dbms::all() {
-        let net = ClassCounts::from_profiles(
-            classify_sources(&network.store, Some(dbms)).values(),
-        );
-        let dir = ClassCounts::from_profiles(
-            classify_sources(&direct.store, Some(dbms)).values(),
-        );
+        let net = ClassCounts::from_profiles(classify_sources(&network.store, Some(dbms)).values());
+        let dir = ClassCounts::from_profiles(classify_sources(&direct.store, Some(dbms)).values());
         assert_eq!(net, dir, "classification mismatch for {}", dbms.label());
     }
 

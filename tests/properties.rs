@@ -156,7 +156,9 @@ proptest! {
 
 fn arb_bson() -> impl Strategy<Value = Bson> {
     let leaf = prop_oneof![
-        any::<f64>().prop_filter("finite", |d| d.is_finite()).prop_map(Bson::Double),
+        any::<f64>()
+            .prop_filter("finite", |d| d.is_finite())
+            .prop_map(Bson::Double),
         "[ -~]{0,16}".prop_map(Bson::String),
         any::<bool>().prop_map(Bson::Bool),
         any::<i32>().prop_map(Bson::Int32),
@@ -169,9 +171,8 @@ fn arb_bson() -> impl Strategy<Value = Bson> {
     leaf.prop_recursive(3, 16, 4, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..4).prop_map(Bson::Array),
-            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4).prop_map(|pairs| {
-                Bson::Document(pairs.into_iter().collect::<Document>())
-            }),
+            proptest::collection::vec(("[a-z]{1,6}", inner), 0..4)
+                .prop_map(|pairs| { Bson::Document(pairs.into_iter().collect::<Document>()) }),
         ]
     })
 }

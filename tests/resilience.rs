@@ -37,14 +37,46 @@ async fn spawn_family(
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn garbage_flood_does_not_wedge_any_family() {
     let families = [
-        (Dbms::MySql, InteractionLevel::Low, ConfigVariant::MultiService),
-        (Dbms::Postgres, InteractionLevel::Low, ConfigVariant::MultiService),
-        (Dbms::Redis, InteractionLevel::Low, ConfigVariant::MultiService),
-        (Dbms::Mssql, InteractionLevel::Low, ConfigVariant::MultiService),
-        (Dbms::Redis, InteractionLevel::Medium, ConfigVariant::Default),
-        (Dbms::Postgres, InteractionLevel::Medium, ConfigVariant::Default),
-        (Dbms::Elastic, InteractionLevel::Medium, ConfigVariant::Default),
-        (Dbms::MongoDb, InteractionLevel::High, ConfigVariant::FakeData),
+        (
+            Dbms::MySql,
+            InteractionLevel::Low,
+            ConfigVariant::MultiService,
+        ),
+        (
+            Dbms::Postgres,
+            InteractionLevel::Low,
+            ConfigVariant::MultiService,
+        ),
+        (
+            Dbms::Redis,
+            InteractionLevel::Low,
+            ConfigVariant::MultiService,
+        ),
+        (
+            Dbms::Mssql,
+            InteractionLevel::Low,
+            ConfigVariant::MultiService,
+        ),
+        (
+            Dbms::Redis,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+        ),
+        (
+            Dbms::Postgres,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+        ),
+        (
+            Dbms::Elastic,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+        ),
+        (
+            Dbms::MongoDb,
+            InteractionLevel::High,
+            ConfigVariant::FakeData,
+        ),
     ];
     let mut rng = StdRng::seed_from_u64(0xBAD);
     for (dbms, level, config) in families {
@@ -67,12 +99,13 @@ async fn garbage_flood_does_not_wedge_any_family() {
         tokio::time::sleep(std::time::Duration::from_millis(100)).await;
         hp.shutdown().await;
         // the garbage sessions were logged (connects + fault captures)
-        let connects = store
-            .filter(|e| e.kind == EventKind::Connect)
-            .len();
+        let connects = store.filter(|e| e.kind == EventKind::Connect).len();
         assert!(connects >= 3, "{dbms:?}: {connects} connects logged");
         let faults = store.filter(|e| {
-            matches!(e.kind, EventKind::Malformed { .. } | EventKind::Payload { .. })
+            matches!(
+                e.kind,
+                EventKind::Malformed { .. } | EventKind::Payload { .. }
+            )
         });
         assert!(!faults.is_empty(), "{dbms:?}: hostile input left no trace");
     }
@@ -81,8 +114,12 @@ async fn garbage_flood_does_not_wedge_any_family() {
 /// Oversized frames are rejected without killing the listener.
 #[tokio::test]
 async fn oversized_frame_is_bounded() {
-    let (hp, store) =
-        spawn_family(Dbms::Redis, InteractionLevel::Medium, ConfigVariant::Default).await;
+    let (hp, store) = spawn_family(
+        Dbms::Redis,
+        InteractionLevel::Medium,
+        ConfigVariant::Default,
+    )
+    .await;
     let mut stream = TcpStream::connect(hp.addr()).await.unwrap();
     // declare a 100MB bulk string (over the 4MiB frame cap) and start
     // streaming zeros; the codec must abort rather than buffer it all
@@ -113,8 +150,12 @@ async fn oversized_frame_is_bounded() {
 /// A storm of concurrent connect/disconnect clients is fully accounted for.
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn concurrent_connect_storm_is_fully_logged() {
-    let (hp, store) =
-        spawn_family(Dbms::Mssql, InteractionLevel::Low, ConfigVariant::MultiService).await;
+    let (hp, store) = spawn_family(
+        Dbms::Mssql,
+        InteractionLevel::Low,
+        ConfigVariant::MultiService,
+    )
+    .await;
     let addr = hp.addr();
     let mut join = tokio::task::JoinSet::new();
     const STORM: usize = 150;
@@ -149,8 +190,12 @@ async fn concurrent_connect_storm_is_fully_logged() {
 /// connect/disconnect pairs.
 #[tokio::test]
 async fn half_open_handshakes_close_cleanly() {
-    let (hp, store) =
-        spawn_family(Dbms::Postgres, InteractionLevel::Medium, ConfigVariant::Default).await;
+    let (hp, store) = spawn_family(
+        Dbms::Postgres,
+        InteractionLevel::Medium,
+        ConfigVariant::Default,
+    )
+    .await;
     // partial startup packet: length says 50 bytes, we send 8 and die
     let mut stream = TcpStream::connect(hp.addr()).await.unwrap();
     stream.write_all(&[0, 0, 0, 50, 0, 3, 0, 0]).await.unwrap();
@@ -159,7 +204,10 @@ async fn half_open_handshakes_close_cleanly() {
     tokio::time::sleep(std::time::Duration::from_millis(300)).await;
     hp.shutdown().await;
     let events = store.all();
-    let connects = events.iter().filter(|e| e.kind == EventKind::Connect).count();
+    let connects = events
+        .iter()
+        .filter(|e| e.kind == EventKind::Connect)
+        .count();
     let disconnects = events
         .iter()
         .filter(|e| e.kind == EventKind::Disconnect)
