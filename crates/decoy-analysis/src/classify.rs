@@ -5,6 +5,7 @@
 //! scout and scan. [`BehaviorProfile`] keeps the set structure; tables that
 //! need a single label use [`BehaviorProfile::primary`].
 
+use crate::frame::{FrameKind, FrameView};
 use decoy_store::{Dbms, Event, EventKind, EventStore};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -187,6 +188,44 @@ pub fn classify_sources(
     out
 }
 
+/// Classify one interned event kind — same rules as [`classify_event`].
+pub fn classify_frame_kind(kind: &FrameKind) -> BehaviorProfile {
+    let mut profile = BehaviorProfile {
+        scanning: true,
+        ..Default::default()
+    };
+    match kind {
+        FrameKind::Connect | FrameKind::Disconnect | FrameKind::Malformed { .. } => {}
+        FrameKind::LoginAttempt { .. } => profile.scouting = true,
+        FrameKind::Payload { recognized, .. } => {
+            if recognized.is_some() {
+                profile.scouting = true;
+            }
+        }
+        FrameKind::Command { action, .. } => match classify_action(action) {
+            Behavior::Exploiting => {
+                profile.scouting = true;
+                profile.exploiting = true;
+            }
+            Behavior::Scouting => profile.scouting = true,
+            Behavior::Scanning => {}
+        },
+    }
+    profile
+}
+
+/// Frame counterpart of [`classify_sources`]: classify every source seen in
+/// `view`, without touching the store.
+pub fn classify_view(view: FrameView<'_>, dbms: Option<Dbms>) -> BTreeMap<IpAddr, BehaviorProfile> {
+    let mut out: BTreeMap<IpAddr, BehaviorProfile> = BTreeMap::new();
+    for event in view.events_of(dbms) {
+        out.entry(event.src)
+            .or_default()
+            .merge(classify_frame_kind(&event.kind));
+    }
+    out
+}
+
 /// Counts per class with the paper's nested-set semantics removed: each
 /// source counted once, under its primary class (the Table 8 presentation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -201,9 +240,7 @@ pub struct ClassCounts {
 
 impl ClassCounts {
     /// Tally primary classes.
-    pub fn from_profiles<'a>(
-        profiles: impl IntoIterator<Item = &'a BehaviorProfile>,
-    ) -> Self {
+    pub fn from_profiles<'a>(profiles: impl IntoIterator<Item = &'a BehaviorProfile>) -> Self {
         let mut counts = ClassCounts::default();
         for p in profiles {
             match p.primary() {
@@ -255,12 +292,18 @@ mod tests {
     #[test]
     fn action_classification_rules() {
         assert_eq!(classify_action("SLAVEOF <IP> <N>"), Behavior::Exploiting);
-        assert_eq!(classify_action("CONFIG SET dir /root/.ssh/"), Behavior::Exploiting);
+        assert_eq!(
+            classify_action("CONFIG SET dir /root/.ssh/"),
+            Behavior::Exploiting
+        );
         assert_eq!(
             classify_action("COPY <HASH> FROM PROGRAM 'echo <CODE>| base64 -d | bash'"),
             Behavior::Exploiting
         );
-        assert_eq!(classify_action("ALTER USER postgres WITH NOSUPERUSER"), Behavior::Exploiting);
+        assert_eq!(
+            classify_action("ALTER USER postgres WITH NOSUPERUSER"),
+            Behavior::Exploiting
+        );
         assert_eq!(classify_action("KEYS *"), Behavior::Scouting);
         assert_eq!(classify_action("INFO server"), Behavior::Scouting);
         assert_eq!(classify_action("listDatabases"), Behavior::Scouting);
@@ -353,5 +396,35 @@ mod tests {
         let mongo = classify_sources(&store, Some(Dbms::MongoDb));
         assert_eq!(redis.len(), 1);
         assert!(mongo.is_empty());
+    }
+
+    #[test]
+    fn frame_classification_matches_store_path() {
+        use crate::frame::{AnalysisFrame, Partition};
+        let store = EventStore::new();
+        store.log(ev(1, EventKind::Connect));
+        store.log(cmd(1, "INFO server"));
+        store.log(cmd(2, "SLAVEOF <IP> <N>"));
+        store.log(ev(
+            3,
+            EventKind::LoginAttempt {
+                username: "sa".into(),
+                password: "123".into(),
+                success: false,
+            },
+        ));
+        store.log(ev(
+            4,
+            EventKind::Payload {
+                len: 14,
+                recognized: Some("jdwp-scan".into()),
+                preview: "JDWP-Handshake".into(),
+            },
+        ));
+        let frame = AnalysisFrame::build(&store, &decoy_geo::GeoDb::builtin());
+        let view = frame.view(Partition::All);
+        for dbms in [None, Some(Dbms::Redis), Some(Dbms::MongoDb)] {
+            assert_eq!(classify_view(view, dbms), classify_sources(&store, dbms));
+        }
     }
 }

@@ -21,9 +21,11 @@
 //!   in §6.1.
 
 use crate::classify::BehaviorProfile;
-use crate::tf::{action_sequences, TfVector, Vocabulary};
+use crate::frame::FrameView;
+use crate::tf::{action_sequences, action_sequences_view, TfVector, Vocabulary};
 use decoy_store::{Dbms, EventStore};
 use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
 use std::net::IpAddr;
 
 /// One merge step: clusters `a` and `b` (ids in scipy convention: leaves are
@@ -163,8 +165,7 @@ pub fn ward_cluster(vectors: &[TfVector], weights: &[f64]) -> Dendrogram {
             let dik = dist[i * n + k];
             let djk = dist[j * n + k];
             let dij = dist[i * n + j];
-            let updated =
-                ((si + sk) * dik + (sj + sk) * djk - sk * dij) / (si + sj + sk);
+            let updated = ((si + sk) * dik + (sj + sk) * djk - sk * dij) / (si + sj + sk);
             dist[i * n + k] = updated;
             dist[k * n + i] = updated;
         }
@@ -196,15 +197,20 @@ pub struct ClusterResult {
     pub vocabulary: Vocabulary,
 }
 
-/// Cluster all sources seen on `dbms` honeypots: dedup identical sequences,
-/// Ward-cluster the unique weighted vectors, cut at `threshold`.
-pub fn cluster_sources(store: &EventStore, dbms: Option<Dbms>, threshold: f64) -> ClusterResult {
-    let docs = action_sequences(store, dbms);
+/// Cluster a prepared document set: dedup identical sequences, Ward-cluster
+/// the unique weighted vectors, cut at `threshold`. Generic over the term
+/// representation so `String` documents (legacy store path) and interned
+/// `Arc<str>` documents (frame path) produce identical results — `Arc<str>`
+/// hashes and compares by content.
+pub fn cluster_documents<T>(docs: &BTreeMap<IpAddr, Vec<T>>, threshold: f64) -> ClusterResult
+where
+    T: AsRef<str> + Clone + Eq + Hash,
+{
     // dedupe identical documents
-    let mut unique: Vec<Vec<String>> = Vec::new();
-    let mut by_doc: HashMap<Vec<String>, usize> = HashMap::new();
+    let mut unique: Vec<Vec<T>> = Vec::new();
+    let mut by_doc: HashMap<Vec<T>, usize> = HashMap::new();
     let mut members: Vec<Vec<IpAddr>> = Vec::new();
-    for (src, doc) in &docs {
+    for (src, doc) in docs {
         let idx = *by_doc.entry(doc.clone()).or_insert_with(|| {
             unique.push(doc.clone());
             members.push(Vec::new());
@@ -224,9 +230,12 @@ pub fn cluster_sources(store: &EventStore, dbms: Option<Dbms>, threshold: f64) -
     let mut assignments = BTreeMap::new();
     let mut representatives: BTreeMap<usize, Vec<String>> = BTreeMap::new();
     for (uniq_idx, label) in labels.iter().enumerate() {
-        representatives
-            .entry(*label)
-            .or_insert_with(|| unique[uniq_idx].clone());
+        representatives.entry(*label).or_insert_with(|| {
+            unique[uniq_idx]
+                .iter()
+                .map(|t| t.as_ref().to_string())
+                .collect()
+        });
         for src in &members[uniq_idx] {
             assignments.insert(*src, *label);
         }
@@ -239,6 +248,17 @@ pub fn cluster_sources(store: &EventStore, dbms: Option<Dbms>, threshold: f64) -
         dendrogram,
         vocabulary: vocab,
     }
+}
+
+/// Cluster all sources seen on `dbms` honeypots by scanning the store.
+pub fn cluster_sources(store: &EventStore, dbms: Option<Dbms>, threshold: f64) -> ClusterResult {
+    cluster_documents(&action_sequences(store, dbms), threshold)
+}
+
+/// Frame counterpart of [`cluster_sources`]: same dedup/Ward/cut pipeline
+/// over the frame's interned documents.
+pub fn cluster_view(view: FrameView<'_>, dbms: Option<Dbms>, threshold: f64) -> ClusterResult {
+    cluster_documents(&action_sequences_view(view, dbms), threshold)
 }
 
 impl ClusterResult {
@@ -255,11 +275,7 @@ impl ClusterResult {
             .map(|(id, members)| ClusterSummaryRow {
                 id,
                 members,
-                representative: self
-                    .representatives
-                    .get(&id)
-                    .cloned()
-                    .unwrap_or_default(),
+                representative: self.representatives.get(&id).cloned().unwrap_or_default(),
             })
             .collect();
         rows.sort_by(|a, b| b.members.cmp(&a.members).then_with(|| a.id.cmp(&b.id)));
@@ -366,12 +382,7 @@ mod tests {
     #[test]
     fn two_obvious_groups() {
         // two tight pairs far apart
-        let vectors = vecs(&[
-            &[0.0, 0.0],
-            &[0.05, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 0.95],
-        ]);
+        let vectors = vecs(&[&[0.0, 0.0], &[0.05, 0.0], &[1.0, 1.0], &[1.0, 0.95]]);
         let d = ward_cluster(&vectors, &[1.0; 4]);
         assert_eq!(d.merges.len(), 3);
         // heights are monotone
@@ -382,7 +393,13 @@ mod tests {
         assert_eq!(labels[0], labels[1]);
         assert_eq!(labels[2], labels[3]);
         assert_ne!(labels[0], labels[2]);
-        assert_eq!(d.cut_into(1).iter().collect::<std::collections::HashSet<_>>().len(), 1);
+        assert_eq!(
+            d.cut_into(1)
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            1
+        );
         assert_eq!(d.cut_into(4), vec![0, 1, 2, 3]);
     }
 
@@ -401,14 +418,8 @@ mod tests {
     #[test]
     fn weighted_points_behave_like_duplicates() {
         // one point with weight 3 == three identical unweighted points
-        let heavy = ward_cluster(
-            &vecs(&[&[0.0], &[1.0]]),
-            &[3.0, 1.0],
-        );
-        let flat = ward_cluster(
-            &vecs(&[&[0.0], &[0.0], &[0.0], &[1.0]]),
-            &[1.0; 4],
-        );
+        let heavy = ward_cluster(&vecs(&[&[0.0], &[1.0]]), &[3.0, 1.0]);
+        let flat = ward_cluster(&vecs(&[&[0.0], &[0.0], &[0.0], &[1.0]]), &[1.0; 4]);
         // final merge height must coincide (identical points merge at 0)
         let h_heavy = heavy.merges.last().unwrap().height;
         let h_flat = flat.merges.last().unwrap().height;
@@ -472,7 +483,20 @@ mod tests {
         assert_ne!(label0, label1);
         // representatives carry the scripts
         let reps: Vec<_> = result.representatives.values().collect();
-        assert!(reps.iter().any(|r| r.contains(&"SLAVEOF <IP> <N>".to_string())));
+        assert!(reps
+            .iter()
+            .any(|r| r.contains(&"SLAVEOF <IP> <N>".to_string())));
+
+        // the frame path reproduces the exact same clustering
+        let frame = crate::frame::AnalysisFrame::build(&store, &decoy_geo::GeoDb::builtin());
+        let via_frame = cluster_view(
+            frame.view(crate::frame::Partition::All),
+            Some(Dbms::Redis),
+            0.05,
+        );
+        assert_eq!(via_frame.assignments, result.assignments);
+        assert_eq!(via_frame.num_clusters, result.num_clusters);
+        assert_eq!(via_frame.representatives, result.representatives);
     }
 
     #[test]

@@ -95,6 +95,22 @@ pub fn retention_days(
     days.into_iter().map(|(ip, d)| (ip, d.len())).collect()
 }
 
+/// Frame counterpart of [`retention_days`]: the same metric computed from a
+/// [`FrameView`](crate::frame::FrameView) without cloning events.
+pub fn retention_days_view(
+    view: crate::frame::FrameView<'_>,
+    dbms: Option<Dbms>,
+    origin: Timestamp,
+) -> BTreeMap<IpAddr, usize> {
+    let mut days: BTreeMap<IpAddr, BTreeSet<u64>> = BTreeMap::new();
+    for event in view.events_of(dbms) {
+        days.entry(event.src)
+            .or_default()
+            .insert(event.ts.days_since(origin));
+    }
+    days.into_iter().map(|(ip, d)| (ip, d.len())).collect()
+}
+
 /// Fraction of sources active on exactly one day (the paper's "43% of all
 /// clients hitting our infrastructure only on a single day").
 pub fn single_day_fraction(retention: &BTreeMap<IpAddr, usize>) -> f64 {
@@ -176,5 +192,17 @@ mod tests {
         assert_eq!(single_day_fraction(&r), 0.5);
         // empty case
         assert_eq!(single_day_fraction(&BTreeMap::new()), 0.0);
+
+        // the frame path computes the same retention map
+        let frame = crate::frame::AnalysisFrame::build(&store, &decoy_geo::GeoDb::builtin());
+        let view = frame.view(crate::frame::Partition::All);
+        assert_eq!(
+            retention_days_view(view, Some(Dbms::Mssql), EXPERIMENT_START),
+            r
+        );
+        assert_eq!(
+            retention_days_view(view, None, EXPERIMENT_START),
+            retention_days(&store, None, EXPERIMENT_START)
+        );
     }
 }

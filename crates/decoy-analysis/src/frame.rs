@@ -1,0 +1,572 @@
+//! The materialized analysis frame — built exactly once per [`EventStore`].
+//!
+//! The paper's pipeline is one normalization/enrichment pass feeding many
+//! downstream consumers (§4, Figure 1). [`AnalysisFrame`] is that pass made
+//! explicit: a single zero-clone scan of the store that
+//!
+//! * groups events into sessions keyed by `(HoneypotId, SessionKey)`,
+//! * partitions the fleet into the low-interaction and medium/high slices
+//!   every table and figure works over,
+//! * enriches each distinct source IP exactly once through a caching
+//!   [`GeoEnricher`], and
+//! * interns every action/credential string into a shared `Arc<str>` pool so
+//!   the ~18 report sections share references instead of cloning payloads.
+//!
+//! Downstream modules consume [`FrameView`]s (cheap `Copy` handles onto one
+//! partition) and must produce byte-identical tables to the legacy
+//! store-scanning paths for the same `(seed, scale)`.
+
+use decoy_geo::{GeoDb, GeoEnricher, IpMeta};
+use decoy_net::time::Timestamp;
+use decoy_store::{Dbms, EventKind, EventStore, HoneypotId, InteractionLevel, SessionKey};
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+use std::sync::Arc;
+
+/// A deduplicating `Arc<str>` pool: equal strings share one allocation.
+#[derive(Debug, Default)]
+pub struct Interner {
+    pool: HashSet<Arc<str>>,
+}
+
+impl Interner {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// The shared `Arc<str>` for `s`, allocating only on first sight.
+    pub fn intern(&mut self, s: &str) -> Arc<str> {
+        if let Some(existing) = self.pool.get(s) {
+            return Arc::clone(existing);
+        }
+        let arc: Arc<str> = Arc::from(s);
+        self.pool.insert(Arc::clone(&arc));
+        arc
+    }
+
+    /// Number of distinct strings interned.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+}
+
+/// [`EventKind`] with every owned `String` replaced by an interned
+/// `Arc<str>` shared across the frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameKind {
+    /// TCP connection accepted.
+    Connect,
+    /// Connection ended (by either side).
+    Disconnect,
+    /// An authentication attempt with the captured credentials.
+    LoginAttempt {
+        /// Username as typed.
+        username: Arc<str>,
+        /// Password as observed.
+        password: Arc<str>,
+        /// Whether the honeypot granted access.
+        success: bool,
+    },
+    /// A command/query executed against the emulated DBMS.
+    Command {
+        /// Normalized action token (§6.1 masking applied).
+        action: Arc<str>,
+        /// The raw rendered command, verbatim.
+        raw: Arc<str>,
+    },
+    /// An opaque payload that did not parse as the DBMS protocol.
+    Payload {
+        /// Captured byte count.
+        len: usize,
+        /// Recognized foreign protocol label, if any.
+        recognized: Option<Arc<str>>,
+        /// Lossy text rendering for the logs.
+        preview: Arc<str>,
+    },
+    /// Input that violated the protocol grammar.
+    Malformed {
+        /// Human-readable description.
+        detail: Arc<str>,
+    },
+}
+
+impl FrameKind {
+    /// Intern one store event kind.
+    fn from_kind(kind: &EventKind, interner: &mut Interner) -> FrameKind {
+        match kind {
+            EventKind::Connect => FrameKind::Connect,
+            EventKind::Disconnect => FrameKind::Disconnect,
+            EventKind::LoginAttempt {
+                username,
+                password,
+                success,
+            } => FrameKind::LoginAttempt {
+                username: interner.intern(username),
+                password: interner.intern(password),
+                success: *success,
+            },
+            EventKind::Command { action, raw } => FrameKind::Command {
+                action: interner.intern(action),
+                raw: interner.intern(raw),
+            },
+            EventKind::Payload {
+                len,
+                recognized,
+                preview,
+            } => FrameKind::Payload {
+                len: *len,
+                recognized: recognized.as_deref().map(|r| interner.intern(r)),
+                preview: interner.intern(preview),
+            },
+            EventKind::Malformed { detail } => FrameKind::Malformed {
+                detail: interner.intern(detail),
+            },
+        }
+    }
+
+    /// True for kinds that constitute meaningful interaction (§4.3) —
+    /// mirrors [`EventKind::is_interactive`].
+    pub fn is_interactive(&self) -> bool {
+        !matches!(self, FrameKind::Connect | FrameKind::Disconnect)
+    }
+}
+
+/// One interned log record (mirrors [`decoy_store::Event`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameEvent {
+    /// When it happened.
+    pub ts: Timestamp,
+    /// Which honeypot logged it.
+    pub honeypot: HoneypotId,
+    /// Source address.
+    pub src: IpAddr,
+    /// Per-honeypot session sequence number.
+    pub session: u64,
+    /// What happened, with interned strings.
+    pub kind: FrameKind,
+}
+
+/// The fleet slices the paper's tables are computed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Partition {
+    /// Every event.
+    All,
+    /// Low-interaction fleet only (§5's scanning/brute-force analysis).
+    Low,
+    /// Medium- and high-interaction fleet (§6's behavioral analysis).
+    MedHigh,
+}
+
+/// The one-pass materialized view of an [`EventStore`].
+#[derive(Debug)]
+pub struct AnalysisFrame {
+    events: Vec<FrameEvent>,
+    low: Vec<usize>,
+    med_high: Vec<usize>,
+    sessions: HashMap<(HoneypotId, SessionKey), Vec<usize>>,
+    meta: HashMap<IpAddr, Option<Arc<IpMeta>>>,
+    interned_strings: usize,
+}
+
+impl AnalysisFrame {
+    /// Build the frame with a fresh [`GeoEnricher`] over `geo`.
+    pub fn build(store: &EventStore, geo: &Arc<GeoDb>) -> Self {
+        AnalysisFrame::build_with(store, &GeoEnricher::new(Arc::clone(geo)))
+    }
+
+    /// Build the frame, enriching through an existing (possibly pre-warmed)
+    /// cache. This is the single full event scan of the report path.
+    pub fn build_with(store: &EventStore, enricher: &GeoEnricher) -> Self {
+        let mut interner = Interner::new();
+        let mut frame = store.read(|events| {
+            let mut frame = AnalysisFrame {
+                events: Vec::with_capacity(events.len()),
+                low: Vec::new(),
+                med_high: Vec::new(),
+                sessions: HashMap::new(),
+                meta: HashMap::new(),
+                interned_strings: 0,
+            };
+            for (idx, event) in events.iter().enumerate() {
+                match event.honeypot.level {
+                    InteractionLevel::Low => frame.low.push(idx),
+                    InteractionLevel::Medium | InteractionLevel::High => frame.med_high.push(idx),
+                }
+                frame
+                    .sessions
+                    .entry((
+                        event.honeypot,
+                        SessionKey {
+                            src: event.src,
+                            session: event.session,
+                        },
+                    ))
+                    .or_default()
+                    .push(idx);
+                frame
+                    .meta
+                    .entry(event.src)
+                    .or_insert_with(|| enricher.lookup(event.src));
+                frame.events.push(FrameEvent {
+                    ts: event.ts,
+                    honeypot: event.honeypot,
+                    src: event.src,
+                    session: event.session,
+                    kind: FrameKind::from_kind(&event.kind, &mut interner),
+                });
+            }
+            frame
+        });
+        frame.interned_strings = interner.len();
+        frame
+    }
+
+    /// All events in log order.
+    pub fn events(&self) -> &[FrameEvent] {
+        &self.events
+    }
+
+    /// Total number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when the frame holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A cheap `Copy` handle onto one fleet slice.
+    pub fn view(&self, partition: Partition) -> FrameView<'_> {
+        FrameView {
+            frame: self,
+            partition,
+        }
+    }
+
+    /// Number of distinct `(honeypot, session)` groups.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// All session keys, unordered.
+    pub fn session_keys(&self) -> impl Iterator<Item = &(HoneypotId, SessionKey)> {
+        self.sessions.keys()
+    }
+
+    /// Events of one session, in log order.
+    pub fn session_events(&self, honeypot: HoneypotId, key: SessionKey) -> Vec<&FrameEvent> {
+        self.sessions
+            .get(&(honeypot, key))
+            .map(|idxs| idxs.iter().map(|&i| &self.events[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// The memoized enrichment of `ip` (computed once at build time).
+    pub fn meta(&self, ip: IpAddr) -> Option<&Arc<IpMeta>> {
+        self.meta.get(&ip).and_then(|m| m.as_ref())
+    }
+
+    /// Country code of `ip`, `"??"` when unmapped (table convention).
+    pub fn country(&self, ip: IpAddr) -> &str {
+        self.meta(ip).map(|m| m.country.as_str()).unwrap_or("??")
+    }
+
+    /// Number of distinct source IPs observed (enrichment cache size).
+    pub fn distinct_sources(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Number of distinct strings in the `Arc<str>` pool.
+    pub fn interned_strings(&self) -> usize {
+        self.interned_strings
+    }
+}
+
+/// Iterator over one partition's events in log order.
+#[derive(Debug, Clone)]
+pub enum FrameIter<'a> {
+    /// The full event slice.
+    Slice(std::slice::Iter<'a, FrameEvent>),
+    /// An index vector into the event slice.
+    Index {
+        /// The backing events.
+        events: &'a [FrameEvent],
+        /// Ascending indices of the partition.
+        idxs: std::slice::Iter<'a, usize>,
+    },
+}
+
+impl<'a> Iterator for FrameIter<'a> {
+    type Item = &'a FrameEvent;
+
+    fn next(&mut self) -> Option<&'a FrameEvent> {
+        match self {
+            FrameIter::Slice(it) => it.next(),
+            FrameIter::Index { events, idxs } => idxs.next().map(|&i| &events[i]),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            FrameIter::Slice(it) => it.size_hint(),
+            FrameIter::Index { idxs, .. } => idxs.size_hint(),
+        }
+    }
+}
+
+impl ExactSizeIterator for FrameIter<'_> {}
+
+/// A borrowed handle onto one partition of an [`AnalysisFrame`].
+#[derive(Debug, Clone, Copy)]
+pub struct FrameView<'a> {
+    frame: &'a AnalysisFrame,
+    partition: Partition,
+}
+
+impl<'a> FrameView<'a> {
+    /// The underlying frame.
+    pub fn frame(self) -> &'a AnalysisFrame {
+        self.frame
+    }
+
+    /// Which slice this view covers.
+    pub fn partition(self) -> Partition {
+        self.partition
+    }
+
+    /// This partition's events in log order.
+    pub fn events(self) -> FrameIter<'a> {
+        match self.partition {
+            Partition::All => FrameIter::Slice(self.frame.events.iter()),
+            Partition::Low => FrameIter::Index {
+                events: &self.frame.events,
+                idxs: self.frame.low.iter(),
+            },
+            Partition::MedHigh => FrameIter::Index {
+                events: &self.frame.events,
+                idxs: self.frame.med_high.iter(),
+            },
+        }
+    }
+
+    /// This partition's events, optionally restricted to one DBMS family —
+    /// the frame counterpart of `by_dbms(d)` / `all()` dispatch.
+    pub fn events_of(self, dbms: Option<Dbms>) -> impl Iterator<Item = &'a FrameEvent> {
+        self.events()
+            .filter(move |e| dbms.map(|d| e.honeypot.dbms == d).unwrap_or(true))
+    }
+
+    /// Number of events in this partition.
+    pub fn len(self) -> usize {
+        match self.partition {
+            Partition::All => self.frame.events.len(),
+            Partition::Low => self.frame.low.len(),
+            Partition::MedHigh => self.frame.med_high.len(),
+        }
+    }
+
+    /// True when the partition holds no events.
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// The memoized enrichment of `ip`.
+    pub fn meta(self, ip: IpAddr) -> Option<&'a Arc<IpMeta>> {
+        self.frame.meta(ip)
+    }
+
+    /// Country code of `ip`, `"??"` when unmapped.
+    pub fn country(self, ip: IpAddr) -> &'a str {
+        self.frame.country(ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoy_net::time::EXPERIMENT_START;
+    use decoy_store::{ConfigVariant, Event};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hp(dbms: Dbms, level: InteractionLevel) -> HoneypotId {
+        HoneypotId::new(dbms, level, ConfigVariant::Default, 0)
+    }
+
+    fn cmd(action: &str) -> EventKind {
+        EventKind::Command {
+            action: action.into(),
+            raw: action.into(),
+        }
+    }
+
+    fn fixture() -> (Arc<EventStore>, Arc<GeoDb>, IpAddr, IpAddr) {
+        let geo = GeoDb::builtin();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mapped = IpAddr::V4(geo.sample_ip(4134, Some("CN"), &mut rng).unwrap());
+        let unmapped: IpAddr = "203.0.113.50".parse().unwrap();
+        let store = EventStore::new();
+        let log = |honeypot, src: IpAddr, session: u64, kind| {
+            store.log(Event {
+                ts: EXPERIMENT_START,
+                honeypot,
+                src,
+                session,
+                kind,
+            })
+        };
+        log(
+            hp(Dbms::Mssql, InteractionLevel::Low),
+            mapped,
+            1,
+            EventKind::Connect,
+        );
+        log(
+            hp(Dbms::Mssql, InteractionLevel::Low),
+            mapped,
+            1,
+            EventKind::LoginAttempt {
+                username: "sa".into(),
+                password: "123".into(),
+                success: false,
+            },
+        );
+        log(
+            hp(Dbms::Redis, InteractionLevel::Medium),
+            mapped,
+            2,
+            cmd("INFO server"),
+        );
+        log(
+            hp(Dbms::Redis, InteractionLevel::Medium),
+            unmapped,
+            1,
+            cmd("INFO server"),
+        );
+        log(
+            hp(Dbms::Postgres, InteractionLevel::High),
+            unmapped,
+            1,
+            EventKind::Disconnect,
+        );
+        (store, geo, mapped, unmapped)
+    }
+
+    #[test]
+    fn interner_shares_allocations() {
+        let mut interner = Interner::new();
+        let a = interner.intern("INFO server");
+        let b = interner.intern("INFO server");
+        let c = interner.intern("KEYS *");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(interner.len(), 2);
+        assert!(!interner.is_empty());
+    }
+
+    #[test]
+    fn build_partitions_and_sessions() {
+        let (store, geo, mapped, unmapped) = fixture();
+        let frame = AnalysisFrame::build(&store, &geo);
+        assert_eq!(frame.len(), 5);
+        assert!(!frame.is_empty());
+        assert_eq!(frame.view(Partition::Low).len(), 2);
+        assert_eq!(frame.view(Partition::MedHigh).len(), 3);
+        assert_eq!(
+            frame.view(Partition::Low).len() + frame.view(Partition::MedHigh).len(),
+            frame.view(Partition::All).len()
+        );
+        // sessions: (mssql, mapped, 1), (redis-med, mapped, 2),
+        // (redis-med, unmapped, 1), (pg-high, unmapped, 1)
+        assert_eq!(frame.session_count(), 4);
+        assert_eq!(frame.session_count(), store.session_count());
+        let events = frame.session_events(
+            hp(Dbms::Mssql, InteractionLevel::Low),
+            SessionKey {
+                src: mapped,
+                session: 1,
+            },
+        );
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0].kind, FrameKind::Connect));
+        assert!(matches!(events[1].kind, FrameKind::LoginAttempt { .. }));
+        assert!(frame
+            .session_events(
+                hp(Dbms::Mssql, InteractionLevel::Low),
+                SessionKey {
+                    src: unmapped,
+                    session: 9,
+                },
+            )
+            .is_empty());
+        assert_eq!(frame.session_keys().count(), 4);
+    }
+
+    #[test]
+    fn enrichment_is_memoized_and_matches_geo() {
+        let (store, geo, mapped, unmapped) = fixture();
+        let frame = AnalysisFrame::build(&store, &geo);
+        assert_eq!(frame.distinct_sources(), 2);
+        let meta = frame.meta(mapped).expect("mapped source enriched");
+        assert_eq!(meta.asn, 4134);
+        assert_eq!(frame.country(mapped), geo.lookup(mapped).unwrap().country);
+        assert!(frame.meta(unmapped).is_none());
+        assert_eq!(frame.country(unmapped), "??");
+        // unknown IP: not in frame at all
+        assert!(frame.meta("198.51.100.99".parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn identical_strings_are_interned_once() {
+        let (store, geo, mapped, unmapped) = fixture();
+        let frame = AnalysisFrame::build(&store, &geo);
+        // "INFO server" appears twice (from two different sources) but is
+        // one allocation.
+        let actions: Vec<&Arc<str>> = frame
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                FrameKind::Command { action, .. } => Some(action),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(actions.len(), 2);
+        assert!(Arc::ptr_eq(actions[0], actions[1]));
+        // pool: "sa", "123", "INFO server" (action == raw collapses too)
+        assert_eq!(frame.interned_strings(), 3);
+        let _ = (mapped, unmapped);
+    }
+
+    #[test]
+    fn views_filter_by_dbms_in_log_order() {
+        let (store, geo, mapped, _) = fixture();
+        let frame = AnalysisFrame::build(&store, &geo);
+        let mh = frame.view(Partition::MedHigh);
+        assert_eq!(mh.partition(), Partition::MedHigh);
+        let redis: Vec<&FrameEvent> = mh.events_of(Some(Dbms::Redis)).collect();
+        assert_eq!(redis.len(), 2);
+        assert_eq!(redis[0].src, mapped);
+        assert!(mh.events_of(Some(Dbms::Mssql)).next().is_none());
+        let all: Vec<&FrameEvent> = mh.events_of(None).collect();
+        assert_eq!(all.len(), 3);
+        // iterator agreement with the store's by_dbms path
+        let legacy = store.by_dbms(Dbms::Redis);
+        assert_eq!(redis.len(), legacy.len());
+        for (f, e) in redis.iter().zip(&legacy) {
+            assert_eq!(f.src, e.src);
+            assert_eq!(f.ts, e.ts);
+        }
+        assert!(!mh.is_empty());
+        assert_eq!(mh.events().len(), 3);
+        assert_eq!(mh.frame().len(), 5);
+        assert_eq!(mh.meta(mapped).unwrap().asn, 4134);
+        assert_eq!(mh.country(mapped), "CN");
+    }
+}

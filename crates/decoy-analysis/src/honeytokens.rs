@@ -44,25 +44,22 @@ impl HoneytokenReport {
 
 /// Scan the log for reuse of the planted `(key, password)` bait entries.
 pub fn detect_reuse(store: &EventStore, bait: &[(String, String)]) -> HoneytokenReport {
-    let passwords: BTreeMap<&str, &str> = bait
-        .iter()
-        .map(|(k, v)| (v.as_str(), k.as_str()))
-        .collect();
+    let passwords: BTreeMap<&str, &str> =
+        bait.iter().map(|(k, v)| (v.as_str(), k.as_str())).collect();
     let keys: BTreeSet<&str> = bait.iter().map(|(k, _)| k.as_str()).collect();
     let mut report = HoneytokenReport {
         bait_planted: bait.len(),
         ..Default::default()
     };
     store.fold((), |(), event| match &event.kind {
-        EventKind::LoginAttempt { password, .. }
-            if passwords.contains_key(password.as_str()) => {
-                report.reuse_attempts += 1;
-                let entry = report.knowing_sources.entry(event.src).or_default();
-                if !entry.reused_passwords.contains(password) {
-                    entry.reused_passwords.push(password.clone());
-                }
-                entry.reuse_sites.insert(event.honeypot.dbms);
+        EventKind::LoginAttempt { password, .. } if passwords.contains_key(password.as_str()) => {
+            report.reuse_attempts += 1;
+            let entry = report.knowing_sources.entry(event.src).or_default();
+            if !entry.reused_passwords.contains(password) {
+                entry.reused_passwords.push(password.clone());
             }
+            entry.reuse_sites.insert(event.honeypot.dbms);
+        }
         EventKind::Command { raw, .. } => {
             if let Some(key) = raw.strip_prefix("GET ") {
                 if keys.contains(key.trim()) {
@@ -82,6 +79,57 @@ pub fn detect_reuse(store: &EventStore, bait: &[(String, String)]) -> Honeytoken
     });
     // Drop sources that only read bait but never reused it — reading the
     // planted data is expected scouting; *knowledge* means reuse.
+    report
+        .knowing_sources
+        .retain(|_, k| !k.reused_passwords.is_empty());
+    report
+}
+
+/// Frame counterpart of [`detect_reuse`]: the same scan over a
+/// [`FrameView`](crate::frame::FrameView)'s interned events.
+pub fn detect_reuse_view(
+    view: crate::frame::FrameView<'_>,
+    bait: &[(String, String)],
+) -> HoneytokenReport {
+    use crate::frame::FrameKind;
+    let passwords: BTreeMap<&str, &str> =
+        bait.iter().map(|(k, v)| (v.as_str(), k.as_str())).collect();
+    let keys: BTreeSet<&str> = bait.iter().map(|(k, _)| k.as_str()).collect();
+    let mut report = HoneytokenReport {
+        bait_planted: bait.len(),
+        ..Default::default()
+    };
+    for event in view.events() {
+        match &event.kind {
+            FrameKind::LoginAttempt { password, .. }
+                if passwords.contains_key(password.as_ref()) =>
+            {
+                report.reuse_attempts += 1;
+                let entry = report.knowing_sources.entry(event.src).or_default();
+                if !entry
+                    .reused_passwords
+                    .iter()
+                    .any(|p| p == password.as_ref())
+                {
+                    entry.reused_passwords.push(password.as_ref().to_string());
+                }
+                entry.reuse_sites.insert(event.honeypot.dbms);
+            }
+            FrameKind::Command { raw, .. } => {
+                if let Some(key) = raw.strip_prefix("GET ") {
+                    if keys.contains(key.trim()) {
+                        report
+                            .knowing_sources
+                            .entry(event.src)
+                            .or_default()
+                            .harvested_keys
+                            .push(key.trim().to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
     report
         .knowing_sources
         .retain(|_, k| !k.reused_passwords.is_empty());
@@ -114,15 +162,25 @@ mod tests {
     #[test]
     fn harvest_then_reuse_is_detected() {
         let store = EventStore::new();
-        log(&store, 1, Dbms::Redis, EventKind::Command {
-            action: "GET user:alice1".into(),
-            raw: "GET user:alice1".into(),
-        });
-        log(&store, 1, Dbms::Redis, EventKind::LoginAttempt {
-            username: "default".into(),
-            password: "sunshine42".into(),
-            success: false,
-        });
+        log(
+            &store,
+            1,
+            Dbms::Redis,
+            EventKind::Command {
+                action: "GET user:alice1".into(),
+                raw: "GET user:alice1".into(),
+            },
+        );
+        log(
+            &store,
+            1,
+            Dbms::Redis,
+            EventKind::LoginAttempt {
+                username: "default".into(),
+                password: "sunshine42".into(),
+                success: false,
+            },
+        );
         let report = detect_reuse(&store, &bait());
         assert!(report.tripped());
         assert_eq!(report.reuse_attempts, 1);
@@ -130,17 +188,29 @@ mod tests {
         assert_eq!(k.reused_passwords, vec!["sunshine42"]);
         assert_eq!(k.harvested_keys, vec!["user:alice1"]);
         assert!(k.reuse_sites.contains(&Dbms::Redis));
+
+        // the frame path produces the same report
+        let frame = crate::frame::AnalysisFrame::build(&store, &decoy_geo::GeoDb::builtin());
+        let fr = detect_reuse_view(frame.view(crate::frame::Partition::All), &bait());
+        assert_eq!(fr.bait_planted, report.bait_planted);
+        assert_eq!(fr.reuse_attempts, report.reuse_attempts);
+        assert_eq!(fr.knowing_sources, report.knowing_sources);
     }
 
     #[test]
     fn reuse_on_another_family_is_a_tripwire() {
         // the Wegerer & Tjoa scenario: bait credentials reappear elsewhere
         let store = EventStore::new();
-        log(&store, 2, Dbms::Postgres, EventKind::LoginAttempt {
-            username: "postgres".into(),
-            password: "dragon99!".into(),
-            success: false,
-        });
+        log(
+            &store,
+            2,
+            Dbms::Postgres,
+            EventKind::LoginAttempt {
+                username: "postgres".into(),
+                password: "dragon99!".into(),
+                success: false,
+            },
+        );
         let report = detect_reuse(&store, &bait());
         assert!(report.tripped());
         assert!(report.knowing_sources[&IpAddr::from([60, 44, 0, 2])]
@@ -151,10 +221,15 @@ mod tests {
     #[test]
     fn reading_without_reuse_is_not_knowledge() {
         let store = EventStore::new();
-        log(&store, 3, Dbms::Redis, EventKind::Command {
-            action: "GET user:alice1".into(),
-            raw: "GET user:alice1".into(),
-        });
+        log(
+            &store,
+            3,
+            Dbms::Redis,
+            EventKind::Command {
+                action: "GET user:alice1".into(),
+                raw: "GET user:alice1".into(),
+            },
+        );
         let report = detect_reuse(&store, &bait());
         assert!(!report.tripped());
         assert_eq!(report.reuse_attempts, 0);
@@ -163,11 +238,16 @@ mod tests {
     #[test]
     fn unrelated_credentials_do_not_trip() {
         let store = EventStore::new();
-        log(&store, 4, Dbms::Mssql, EventKind::LoginAttempt {
-            username: "sa".into(),
-            password: "123".into(),
-            success: false,
-        });
+        log(
+            &store,
+            4,
+            Dbms::Mssql,
+            EventKind::LoginAttempt {
+                username: "sa".into(),
+                password: "123".into(),
+                success: false,
+            },
+        );
         let report = detect_reuse(&store, &bait());
         assert!(!report.tripped());
         assert_eq!(report.bait_planted, 2);

@@ -5,6 +5,11 @@
 //! The paper's analysis pipeline (§4.3, §5, §6) over the standardized event
 //! store:
 //!
+//! * [`frame`] — the materialized [`AnalysisFrame`](frame::AnalysisFrame):
+//!   one zero-clone pass over the store that groups sessions, partitions the
+//!   fleet, enriches each source IP once, and interns strings; every module
+//!   below also accepts a [`FrameView`](frame::FrameView) so the whole
+//!   report shares that single pass.
 //! * [`classify`] — the scanning / scouting / exploiting behavior rules.
 //! * [`tf`] — per-source action sequences and Term Frequency vectors (§6.1).
 //! * [`cluster`] — agglomerative hierarchical clustering with Ward linkage
@@ -27,6 +32,7 @@ pub mod classify;
 pub mod cluster;
 pub mod ecdf;
 pub mod forensics;
+pub mod frame;
 pub mod honeytokens;
 pub mod intel;
 pub mod tables;
@@ -35,7 +41,8 @@ pub mod tf;
 pub mod timeseries;
 pub mod upset;
 
-pub use classify::{classify_sources, Behavior, BehaviorProfile};
-pub use cluster::{cluster_sources, Dendrogram};
+pub use classify::{classify_sources, classify_view, Behavior, BehaviorProfile};
+pub use cluster::{cluster_sources, cluster_view, Dendrogram};
 pub use ecdf::Ecdf;
-pub use tf::{action_sequences, TfVector, Vocabulary};
+pub use frame::{AnalysisFrame, FrameEvent, FrameKind, FrameView, Partition};
+pub use tf::{action_sequences, action_sequences_view, TfVector, Vocabulary};

@@ -9,11 +9,13 @@
 //! * [`top_credentials`] — Table 12 (top usernames/passwords).
 //! * [`bruteforce_summary`] / [`scanning_summary`] — the §5 headline stats.
 
-use crate::classify::{classify_sources, Behavior};
+use crate::classify::{classify_sources, classify_view, Behavior};
+use crate::frame::{FrameKind, FrameView};
 use decoy_geo::{AsType, GeoDb};
 use decoy_store::{Dbms, EventKind, EventStore};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// One row of Table 5.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,7 +43,10 @@ pub fn logins_by_country(store: &EventStore, geo: &GeoDb) -> Vec<CountryLoginRow
             .lookup(event.src)
             .map(|m| m.country)
             .unwrap_or_else(|| "??".to_string());
-        all_ips.entry(country.clone()).or_default().insert(event.src);
+        all_ips
+            .entry(country.clone())
+            .or_default()
+            .insert(event.src);
         if matches!(event.kind, EventKind::LoginAttempt { .. }) {
             *logins.entry(country.clone()).or_insert(0) += 1;
             *per_dbms
@@ -62,7 +67,11 @@ pub fn logins_by_country(store: &EventStore, geo: &GeoDb) -> Vec<CountryLoginRow
             per_dbms: per_dbms.get(country).cloned().unwrap_or_default(),
         })
         .collect();
-    rows.sort_by(|a, b| b.logins.cmp(&a.logins).then_with(|| a.country.cmp(&b.country)));
+    rows.sort_by(|a, b| {
+        b.logins
+            .cmp(&a.logins)
+            .then_with(|| a.country.cmp(&b.country))
+    });
     rows
 }
 
@@ -106,10 +115,7 @@ pub fn asn_table(store: &EventStore, geo: &GeoDb) -> Vec<AsnRow> {
         .iter()
         .map(|(&asn, set)| AsnRow {
             asn,
-            name: geo
-                .record(asn)
-                .map(|r| r.name.clone())
-                .unwrap_or_default(),
+            name: geo.record(asn).map(|r| r.name.clone()).unwrap_or_default(),
             ips: set.len(),
             share: set.len() as f64 / total_ips.max(1) as f64,
             logins: logins.get(&asn).copied().unwrap_or(0),
@@ -219,7 +225,7 @@ pub fn astype_behavior(
 }
 
 /// Table 12 shape: top-k usernames and passwords for one DBMS.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CredentialStats {
     /// (username, attempts), descending.
     pub top_usernames: Vec<(String, u64)>,
@@ -349,7 +355,7 @@ pub fn control_group_summary(store: &EventStore) -> ControlGroupSummary {
 }
 
 /// The §5 scanning-population summary.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScanningSummary {
     /// Distinct sources observed.
     pub unique_ips: usize,
@@ -368,6 +374,282 @@ pub fn scanning_summary(store: &EventStore, geo: &GeoDb) -> ScanningSummary {
         let meta = geo.lookup(*src);
         let country = meta
             .as_ref()
+            .map(|m| m.country.clone())
+            .unwrap_or_else(|| "??".to_string());
+        *per_country.entry(country).or_insert(0) += 1;
+        if meta.map(|m| m.institutional).unwrap_or(false) {
+            institutional += 1;
+        }
+    }
+    let mut country_counts: Vec<(String, usize)> = per_country.into_iter().collect();
+    country_counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    ScanningSummary {
+        unique_ips: sources.len(),
+        institutional_ips: institutional,
+        country_counts,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame-based variants: identical aggregations over a FrameView, using the
+// frame's memoized per-IP enrichment instead of per-event GeoDb lookups.
+// Each must produce byte-identical rows to its store-scanning counterpart.
+// ---------------------------------------------------------------------------
+
+/// Frame counterpart of [`logins_by_country`].
+pub fn logins_by_country_view(view: FrameView<'_>) -> Vec<CountryLoginRow> {
+    let mut logins: HashMap<String, u64> = HashMap::new();
+    let mut per_dbms: HashMap<String, BTreeMap<Dbms, u64>> = HashMap::new();
+    let mut login_ips: HashMap<String, BTreeSet<IpAddr>> = HashMap::new();
+    let mut all_ips: HashMap<String, BTreeSet<IpAddr>> = HashMap::new();
+    for event in view.events() {
+        let country = view.country(event.src).to_string();
+        all_ips
+            .entry(country.clone())
+            .or_default()
+            .insert(event.src);
+        if matches!(event.kind, FrameKind::LoginAttempt { .. }) {
+            *logins.entry(country.clone()).or_insert(0) += 1;
+            *per_dbms
+                .entry(country.clone())
+                .or_default()
+                .entry(event.honeypot.dbms)
+                .or_insert(0) += 1;
+            login_ips.entry(country).or_default().insert(event.src);
+        }
+    }
+    let mut rows: Vec<CountryLoginRow> = all_ips
+        .keys()
+        .map(|country| CountryLoginRow {
+            country: country.clone(),
+            logins: logins.get(country).copied().unwrap_or(0),
+            ips_with_logins: login_ips.get(country).map(BTreeSet::len).unwrap_or(0),
+            ips_total: all_ips[country].len(),
+            per_dbms: per_dbms.get(country).cloned().unwrap_or_default(),
+        })
+        .collect();
+    rows.sort_by(|a, b| {
+        b.logins
+            .cmp(&a.logins)
+            .then_with(|| a.country.cmp(&b.country))
+    });
+    rows
+}
+
+/// Frame counterpart of [`asn_table`]. The AS name comes from the memoized
+/// enrichment (same registry record the legacy path re-resolves per row).
+pub fn asn_table_view(view: FrameView<'_>) -> Vec<AsnRow> {
+    let mut ips: HashMap<u32, BTreeSet<IpAddr>> = HashMap::new();
+    let mut names: HashMap<u32, String> = HashMap::new();
+    let mut logins: HashMap<u32, u64> = HashMap::new();
+    let mut per_dbms: HashMap<u32, BTreeMap<Dbms, u64>> = HashMap::new();
+    for event in view.events() {
+        let meta = view.meta(event.src);
+        let asn = meta.map(|m| m.asn).unwrap_or(0);
+        if let Some(meta) = meta {
+            names.entry(asn).or_insert_with(|| meta.as_name.clone());
+        }
+        ips.entry(asn).or_default().insert(event.src);
+        if matches!(event.kind, FrameKind::LoginAttempt { .. }) {
+            *logins.entry(asn).or_insert(0) += 1;
+            *per_dbms
+                .entry(asn)
+                .or_default()
+                .entry(event.honeypot.dbms)
+                .or_insert(0) += 1;
+        }
+    }
+    let total_ips: usize = ips.values().map(BTreeSet::len).sum();
+    let mut rows: Vec<AsnRow> = ips
+        .iter()
+        .map(|(&asn, set)| AsnRow {
+            asn,
+            name: names.get(&asn).cloned().unwrap_or_default(),
+            ips: set.len(),
+            share: set.len() as f64 / total_ips.max(1) as f64,
+            logins: logins.get(&asn).copied().unwrap_or(0),
+            per_dbms: per_dbms.get(&asn).cloned().unwrap_or_default(),
+        })
+        .collect();
+    rows.sort_by(|a, b| b.ips.cmp(&a.ips).then_with(|| a.asn.cmp(&b.asn)));
+    rows
+}
+
+/// Frame counterpart of [`astype_login_ips`].
+pub fn astype_login_ips_view(view: FrameView<'_>) -> BTreeMap<AsType, usize> {
+    let mut per_type: BTreeMap<AsType, BTreeSet<IpAddr>> = BTreeMap::new();
+    for event in view.events() {
+        if matches!(event.kind, FrameKind::LoginAttempt { .. }) {
+            let as_type = view
+                .meta(event.src)
+                .map(|m| m.as_type)
+                .unwrap_or(AsType::Unknown);
+            per_type.entry(as_type).or_default().insert(event.src);
+        }
+    }
+    per_type.into_iter().map(|(t, s)| (t, s.len())).collect()
+}
+
+/// Frame counterpart of [`exploit_countries`].
+pub fn exploit_countries_view(view: FrameView<'_>, families: &[Dbms]) -> Vec<ExploitCountryRow> {
+    let mut per_country: BTreeMap<String, BTreeSet<IpAddr>> = BTreeMap::new();
+    let mut per_pair: BTreeMap<(String, Dbms), BTreeSet<IpAddr>> = BTreeMap::new();
+    for &dbms in families {
+        for (src, profile) in classify_view(view, Some(dbms)) {
+            if !profile.exploiting {
+                continue;
+            }
+            let country = view.country(src).to_string();
+            per_country.entry(country.clone()).or_default().insert(src);
+            per_pair.entry((country, dbms)).or_default().insert(src);
+        }
+    }
+    let mut rows: Vec<ExploitCountryRow> = per_country
+        .iter()
+        .map(|(country, set)| ExploitCountryRow {
+            country: country.clone(),
+            ips: set.len(),
+            per_dbms: families
+                .iter()
+                .map(|&d| {
+                    (
+                        d,
+                        per_pair
+                            .get(&(country.clone(), d))
+                            .map(BTreeSet::len)
+                            .unwrap_or(0),
+                    )
+                })
+                .collect(),
+        })
+        .collect();
+    rows.sort_by(|a, b| b.ips.cmp(&a.ips).then_with(|| a.country.cmp(&b.country)));
+    rows
+}
+
+/// Frame counterpart of [`astype_behavior`].
+pub fn astype_behavior_view(
+    view: FrameView<'_>,
+    families: &[Dbms],
+) -> BTreeMap<AsType, BTreeMap<Behavior, usize>> {
+    let mut merged: BTreeMap<IpAddr, crate::classify::BehaviorProfile> = BTreeMap::new();
+    for &dbms in families {
+        for (src, profile) in classify_view(view, Some(dbms)) {
+            merged.entry(src).or_default().merge(profile);
+        }
+    }
+    let mut out: BTreeMap<AsType, BTreeMap<Behavior, usize>> = BTreeMap::new();
+    for (src, profile) in merged {
+        let as_type = view.meta(src).map(|m| m.as_type).unwrap_or(AsType::Unknown);
+        *out.entry(as_type)
+            .or_default()
+            .entry(profile.primary())
+            .or_insert(0) += 1;
+    }
+    out
+}
+
+/// Frame counterpart of [`top_credentials`]: counts over the frame's shared
+/// `Arc<str>` credentials, converting to owned strings only for the final
+/// top-k rows.
+pub fn top_credentials_view(view: FrameView<'_>, dbms: Dbms, k: usize) -> CredentialStats {
+    let mut users: HashMap<Arc<str>, u64> = HashMap::new();
+    let mut passwords: HashMap<Arc<str>, u64> = HashMap::new();
+    let mut combos: BTreeSet<(Arc<str>, Arc<str>)> = BTreeSet::new();
+    for event in view.events_of(Some(dbms)) {
+        if let FrameKind::LoginAttempt {
+            username, password, ..
+        } = &event.kind
+        {
+            *users.entry(Arc::clone(username)).or_insert(0) += 1;
+            *passwords.entry(Arc::clone(password)).or_insert(0) += 1;
+            combos.insert((Arc::clone(username), Arc::clone(password)));
+        }
+    }
+    let top = |map: HashMap<Arc<str>, u64>| {
+        let mut v: Vec<(Arc<str>, u64)> = map.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v.truncate(k);
+        v.into_iter()
+            .map(|(s, n)| (s.as_ref().to_string(), n))
+            .collect()
+    };
+    let unique_usernames = users.len();
+    let unique_passwords = passwords.len();
+    CredentialStats {
+        top_usernames: top(users),
+        top_passwords: top(passwords),
+        unique_combinations: combos.len(),
+        unique_usernames,
+        unique_passwords,
+    }
+}
+
+/// Frame counterpart of [`bruteforce_summary`].
+pub fn bruteforce_summary_view(view: FrameView<'_>) -> BruteforceSummary {
+    let mut summary = BruteforceSummary::default();
+    let mut clients: BTreeSet<IpAddr> = BTreeSet::new();
+    for event in view.events() {
+        if matches!(event.kind, FrameKind::LoginAttempt { .. }) {
+            summary.total_logins += 1;
+            *summary.per_dbms.entry(event.honeypot.dbms).or_insert(0) += 1;
+            clients.insert(event.src);
+        }
+    }
+    summary.clients = clients.len();
+    summary.avg_attempts_per_client = if clients.is_empty() {
+        0.0
+    } else {
+        summary.total_logins as f64 / clients.len() as f64
+    };
+    summary
+}
+
+/// Frame counterpart of [`control_group_summary`].
+pub fn control_group_summary_view(view: FrameView<'_>) -> ControlGroupSummary {
+    use decoy_store::ConfigVariant;
+    let mut single: BTreeSet<IpAddr> = BTreeSet::new();
+    let mut multi: BTreeSet<IpAddr> = BTreeSet::new();
+    let mut brute_single: BTreeSet<IpAddr> = BTreeSet::new();
+    let mut brute_multi: BTreeSet<IpAddr> = BTreeSet::new();
+    for event in view.events() {
+        let is_login = matches!(event.kind, FrameKind::LoginAttempt { .. });
+        match event.honeypot.config {
+            ConfigVariant::SingleService => {
+                single.insert(event.src);
+                if is_login {
+                    brute_single.insert(event.src);
+                }
+            }
+            ConfigVariant::MultiService => {
+                multi.insert(event.src);
+                if is_login {
+                    brute_multi.insert(event.src);
+                }
+            }
+            _ => {}
+        }
+    }
+    ControlGroupSummary {
+        overlap: single.intersection(&multi).count(),
+        brute_single_only: brute_single.difference(&brute_multi).count(),
+        brute_multi_only: brute_multi.difference(&brute_single).count(),
+        single_ips: single.len(),
+        multi_ips: multi.len(),
+    }
+}
+
+/// Frame counterpart of [`scanning_summary`].
+pub fn scanning_summary_view(view: FrameView<'_>) -> ScanningSummary {
+    let mut sources: BTreeSet<IpAddr> = BTreeSet::new();
+    for event in view.events() {
+        sources.insert(event.src);
+    }
+    let mut per_country: HashMap<String, usize> = HashMap::new();
+    let mut institutional = 0usize;
+    for src in &sources {
+        let meta = view.meta(*src);
+        let country = meta
             .map(|m| m.country.clone())
             .unwrap_or_else(|| "??".to_string());
         *per_country.entry(country).or_insert(0) += 1;
@@ -408,7 +690,8 @@ mod tests {
         let censys_ip = IpAddr::V4(geo.sample_ip(398324, None, &mut rng).unwrap());
         let ru_ip = IpAddr::V4(geo.sample_ip(208091, Some("RU"), &mut rng).unwrap());
         let store = EventStore::new();
-        let hp = |dbms| HoneypotId::new(dbms, InteractionLevel::Low, ConfigVariant::MultiService, 0);
+        let hp =
+            |dbms| HoneypotId::new(dbms, InteractionLevel::Low, ConfigVariant::MultiService, 0);
         let log = |src: IpAddr, dbms, kind| {
             store.log(Event {
                 ts: EXPERIMENT_START,
@@ -542,9 +825,7 @@ mod tests {
         let geo = GeoDb::builtin();
         let _ = &geo;
         let store = EventStore::new();
-        let hp = |config| {
-            HoneypotId::new(Dbms::Mssql, InteractionLevel::Low, config, 0)
-        };
+        let hp = |config| HoneypotId::new(Dbms::Mssql, InteractionLevel::Low, config, 0);
         let log = |src: IpAddr, config, kind| {
             store.log(Event {
                 ts: EXPERIMENT_START,
@@ -603,5 +884,63 @@ mod tests {
 
         let t11 = astype_behavior(&f.store, &f.geo, &families);
         assert_eq!(t11[&AsType::Telecom][&Behavior::Exploiting], 1);
+    }
+
+    #[test]
+    fn frame_tables_match_legacy() {
+        use crate::frame::{AnalysisFrame, Partition};
+        let f = fixture();
+        // include a med/high exploiter so the classification tables are
+        // non-trivial
+        let hp = HoneypotId::new(
+            Dbms::Redis,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+            0,
+        );
+        f.store.log(Event {
+            ts: EXPERIMENT_START,
+            honeypot: hp,
+            src: f.chinanet_ip,
+            session: 2,
+            kind: EventKind::Command {
+                action: "SLAVEOF <IP> <N>".into(),
+                raw: "SLAVEOF 1.2.3.4 8886".into(),
+            },
+        });
+        let families = [Dbms::Elastic, Dbms::MongoDb, Dbms::Postgres, Dbms::Redis];
+        let frame = AnalysisFrame::build(&f.store, &f.geo);
+        let view = frame.view(Partition::All);
+
+        assert_eq!(
+            logins_by_country_view(view),
+            logins_by_country(&f.store, &f.geo)
+        );
+        assert_eq!(asn_table_view(view), asn_table(&f.store, &f.geo));
+        assert_eq!(
+            astype_login_ips_view(view),
+            astype_login_ips(&f.store, &f.geo)
+        );
+        assert_eq!(
+            exploit_countries_view(view, &families),
+            exploit_countries(&f.store, &f.geo, &families)
+        );
+        assert_eq!(
+            astype_behavior_view(view, &families),
+            astype_behavior(&f.store, &f.geo, &families)
+        );
+        assert_eq!(
+            top_credentials_view(view, Dbms::Mssql, 10),
+            top_credentials(&f.store, Dbms::Mssql, 10)
+        );
+        assert_eq!(bruteforce_summary_view(view), bruteforce_summary(&f.store));
+        assert_eq!(
+            control_group_summary_view(view),
+            control_group_summary(&f.store)
+        );
+        assert_eq!(
+            scanning_summary_view(view),
+            scanning_summary(&f.store, &f.geo)
+        );
     }
 }

@@ -6,10 +6,12 @@
 //! associated with the attacks." This module encodes those recognitions as
 //! rules over the raw command stream of each source.
 
+use crate::frame::{FrameKind, FrameView};
 use decoy_store::{Dbms, EventKind, EventStore};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// The campaigns of Table 9 (plus brute-force, which the paper tags too).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -105,12 +107,14 @@ impl AttackCategory {
 }
 
 /// Everything observed from one source on one DBMS, prepared for tagging.
+/// Strings are shared `Arc<str>` references: the frame path hands out its
+/// interned pool directly, the store path allocates once per event.
 #[derive(Debug, Clone, Default)]
 pub struct SourceActivity {
     /// Raw commands in order.
-    pub raws: Vec<String>,
+    pub raws: Vec<Arc<str>>,
     /// Recognized foreign-payload labels.
-    pub foreign: Vec<String>,
+    pub foreign: Vec<Arc<str>>,
     /// Number of login attempts.
     pub login_attempts: usize,
     /// Distinct (username, password) pairs attempted.
@@ -121,7 +125,13 @@ pub struct SourceActivity {
 /// bot that also brute-forced its way in).
 pub fn tag_activity(activity: &SourceActivity) -> Vec<CampaignTag> {
     let mut tags = Vec::new();
-    let joined = activity.raws.join("\n").to_lowercase();
+    let joined = activity
+        .raws
+        .iter()
+        .map(|r| r.as_ref())
+        .collect::<Vec<&str>>()
+        .join("\n")
+        .to_lowercase();
 
     if joined.contains("exp.so") || joined.contains("system.exec") {
         tags.push(CampaignTag::P2pInfect);
@@ -135,18 +145,16 @@ pub fn tag_activity(activity: &SourceActivity) -> Vec<CampaignTag> {
     if joined.contains("from program") {
         tags.push(CampaignTag::Kinsing);
     }
-    if joined.contains("sss6") || joined.contains("sv6") || joined.contains("runtime.getruntime")
-    {
+    if joined.contains("sss6") || joined.contains("sv6") || joined.contains("runtime.getruntime") {
         tags.push(CampaignTag::Lucifer);
     }
     // ransom kill chain: enumerate + destroy + leave a note. The note can
     // arrive as a Mongo `insert` or (CouchDB extension) an HTTP `PUT` whose
     // body carries the payment demand.
-    let dropped = joined.contains("drop ")
-        || joined.contains("dropdatabase")
-        || joined.contains("delete /");
-    let inserted = joined.contains("insert ")
-        || (joined.contains("put /") && joined.contains("btc"));
+    let dropped =
+        joined.contains("drop ") || joined.contains("dropdatabase") || joined.contains("delete /");
+    let inserted =
+        joined.contains("insert ") || (joined.contains("put /") && joined.contains("btc"));
     if dropped && inserted {
         tags.push(CampaignTag::MongoRansom);
     }
@@ -158,7 +166,7 @@ pub fn tag_activity(activity: &SourceActivity) -> Vec<CampaignTag> {
         tags.push(CampaignTag::BruteForce);
     }
     for label in &activity.foreign {
-        let tag = match label.as_str() {
+        let tag = match label.as_ref() {
             "rdp-scan" => Some(CampaignTag::RdpScan),
             "jdwp-scan" => Some(CampaignTag::JdwpScan),
             "vmware-recon" => Some(CampaignTag::VmwareRecon),
@@ -191,12 +199,11 @@ pub fn collect_activity(
         None => store.all(),
     };
     let mut out: BTreeMap<IpAddr, SourceActivity> = BTreeMap::new();
-    let mut creds: BTreeMap<IpAddr, std::collections::BTreeSet<(String, String)>> =
-        BTreeMap::new();
+    let mut creds: BTreeMap<IpAddr, std::collections::BTreeSet<(String, String)>> = BTreeMap::new();
     for event in &events {
         let entry = out.entry(event.src).or_default();
         match &event.kind {
-            EventKind::Command { raw, .. } => entry.raws.push(raw.clone()),
+            EventKind::Command { raw, .. } => entry.raws.push(Arc::from(raw.as_str())),
             EventKind::LoginAttempt {
                 username, password, ..
             } => {
@@ -209,22 +216,70 @@ pub fn collect_activity(
             EventKind::Payload {
                 recognized: Some(label),
                 ..
-            } => entry.foreign.push(label.clone()),
+            } => entry.foreign.push(Arc::from(label.as_str())),
             _ => {}
         }
     }
     for (src, set) in creds {
-        out.get_mut(&src).expect("entry exists").distinct_credentials = set.len();
+        out.get_mut(&src)
+            .expect("entry exists")
+            .distinct_credentials = set.len();
+    }
+    out
+}
+
+/// Frame counterpart of [`collect_activity`]: shares the frame's interned
+/// strings instead of cloning raw commands.
+pub fn collect_activity_view(
+    view: FrameView<'_>,
+    dbms: Option<Dbms>,
+) -> BTreeMap<IpAddr, SourceActivity> {
+    let mut out: BTreeMap<IpAddr, SourceActivity> = BTreeMap::new();
+    let mut creds: BTreeMap<IpAddr, std::collections::BTreeSet<(Arc<str>, Arc<str>)>> =
+        BTreeMap::new();
+    for event in view.events_of(dbms) {
+        let entry = out.entry(event.src).or_default();
+        match &event.kind {
+            FrameKind::Command { raw, .. } => entry.raws.push(Arc::clone(raw)),
+            FrameKind::LoginAttempt {
+                username, password, ..
+            } => {
+                entry.login_attempts += 1;
+                creds
+                    .entry(event.src)
+                    .or_default()
+                    .insert((Arc::clone(username), Arc::clone(password)));
+            }
+            FrameKind::Payload {
+                recognized: Some(label),
+                ..
+            } => entry.foreign.push(Arc::clone(label)),
+            _ => {}
+        }
+    }
+    for (src, set) in creds {
+        out.get_mut(&src)
+            .expect("entry exists")
+            .distinct_credentials = set.len();
     }
     out
 }
 
 /// Tag every source on `dbms`.
-pub fn tag_sources(
-    store: &EventStore,
+pub fn tag_sources(store: &EventStore, dbms: Option<Dbms>) -> BTreeMap<IpAddr, Vec<CampaignTag>> {
+    collect_activity(store, dbms)
+        .into_iter()
+        .map(|(src, activity)| (src, tag_activity(&activity)))
+        .filter(|(_, tags)| !tags.is_empty())
+        .collect()
+}
+
+/// Frame counterpart of [`tag_sources`].
+pub fn tag_sources_view(
+    view: FrameView<'_>,
     dbms: Option<Dbms>,
 ) -> BTreeMap<IpAddr, Vec<CampaignTag>> {
-    collect_activity(store, dbms)
+    collect_activity_view(view, dbms)
         .into_iter()
         .map(|(src, activity)| (src, tag_activity(&activity)))
         .filter(|(_, tags)| !tags.is_empty())
@@ -237,7 +292,7 @@ mod tests {
 
     fn activity(raws: &[&str]) -> SourceActivity {
         SourceActivity {
-            raws: raws.iter().map(|s| s.to_string()).collect(),
+            raws: raws.iter().map(|s| Arc::from(*s)).collect(),
             ..Default::default()
         }
     }
@@ -397,5 +452,13 @@ mod tests {
         assert_eq!(acts[&src].distinct_credentials, 2);
         let tags = tag_sources(&store, Some(Dbms::Mssql));
         assert_eq!(tags[&src], vec![CampaignTag::BruteForce]);
+
+        // the frame path collects and tags identically
+        let frame = crate::frame::AnalysisFrame::build(&store, &decoy_geo::GeoDb::builtin());
+        let view = frame.view(crate::frame::Partition::All);
+        let view_acts = collect_activity_view(view, Some(Dbms::Mssql));
+        assert_eq!(view_acts[&src].login_attempts, 3);
+        assert_eq!(view_acts[&src].distinct_credentials, 2);
+        assert_eq!(tag_sources_view(view, Some(Dbms::Mssql)), tags);
     }
 }

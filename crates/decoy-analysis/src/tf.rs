@@ -6,9 +6,11 @@
 //! defines it. Vectors are dense over a shared [`Vocabulary`] so Euclidean
 //! distances (the clustering metric) are straightforward.
 
+use crate::frame::{FrameKind, FrameView};
 use decoy_store::{Dbms, EventKind, EventStore};
 use std::collections::BTreeMap;
 use std::net::IpAddr;
+use std::sync::Arc;
 
 /// Bidirectional term ↔ index mapping shared by a set of documents.
 #[derive(Debug, Default, Clone)]
@@ -67,10 +69,13 @@ pub struct TfVector {
 
 impl TfVector {
     /// Build from a document (sequence of terms), interning new terms.
-    pub fn from_terms(terms: &[String], vocab: &mut Vocabulary) -> Self {
+    /// Generic over the term representation so `String` documents (legacy
+    /// path) and interned `Arc<str>` documents (frame path) vectorize
+    /// identically.
+    pub fn from_terms<T: AsRef<str>>(terms: &[T], vocab: &mut Vocabulary) -> Self {
         let mut counts: Vec<f64> = vec![0.0; vocab.len()];
         for term in terms {
-            let idx = vocab.intern(term);
+            let idx = vocab.intern(term.as_ref());
             if idx >= counts.len() {
                 counts.resize(idx + 1, 0.0);
             }
@@ -112,10 +117,7 @@ impl TfVector {
 /// `MALFORMED` for grammar violations. Connects/disconnects carry no
 /// behavioral signal and are excluded (they would swamp the TF mass of
 /// scanners' documents).
-pub fn action_sequences(
-    store: &EventStore,
-    dbms: Option<Dbms>,
-) -> BTreeMap<IpAddr, Vec<String>> {
+pub fn action_sequences(store: &EventStore, dbms: Option<Dbms>) -> BTreeMap<IpAddr, Vec<String>> {
     let events = match dbms {
         Some(d) => store.by_dbms(d),
         None => store.all(),
@@ -126,12 +128,43 @@ pub fn action_sequences(
             EventKind::Connect | EventKind::Disconnect => None,
             EventKind::LoginAttempt { .. } => Some("LOGIN".to_string()),
             EventKind::Command { action, .. } => Some(action.clone()),
-            EventKind::Payload { recognized, .. } => Some(
-                recognized
-                    .clone()
-                    .unwrap_or_else(|| "PAYLOAD".to_string()),
-            ),
+            EventKind::Payload { recognized, .. } => {
+                Some(recognized.clone().unwrap_or_else(|| "PAYLOAD".to_string()))
+            }
             EventKind::Malformed { .. } => Some("MALFORMED".to_string()),
+        };
+        // Every connecting source gets a (possibly empty) document so that
+        // scanners appear in the clustering input too.
+        let doc = docs.entry(event.src).or_default();
+        if let Some(term) = term {
+            doc.push(term);
+        }
+    }
+    docs
+}
+
+/// Frame counterpart of [`action_sequences`]: the same documents, but the
+/// terms are the frame's shared `Arc<str>` allocations — no string cloning.
+pub fn action_sequences_view(
+    view: FrameView<'_>,
+    dbms: Option<Dbms>,
+) -> BTreeMap<IpAddr, Vec<Arc<str>>> {
+    let login: Arc<str> = Arc::from("LOGIN");
+    let payload: Arc<str> = Arc::from("PAYLOAD");
+    let malformed: Arc<str> = Arc::from("MALFORMED");
+    let mut docs: BTreeMap<IpAddr, Vec<Arc<str>>> = BTreeMap::new();
+    for event in view.events_of(dbms) {
+        let term = match &event.kind {
+            FrameKind::Connect | FrameKind::Disconnect => None,
+            FrameKind::LoginAttempt { .. } => Some(Arc::clone(&login)),
+            FrameKind::Command { action, .. } => Some(Arc::clone(action)),
+            FrameKind::Payload { recognized, .. } => Some(
+                recognized
+                    .as_ref()
+                    .map(Arc::clone)
+                    .unwrap_or_else(|| Arc::clone(&payload)),
+            ),
+            FrameKind::Malformed { .. } => Some(Arc::clone(&malformed)),
         };
         // Every connecting source gets a (possibly empty) document so that
         // scanners appear in the clustering input too.
@@ -145,8 +178,8 @@ pub fn action_sequences(
 
 /// Vectorize a set of documents under one shared vocabulary; returns
 /// `(sources, vectors, vocabulary)` with parallel ordering.
-pub fn vectorize(
-    docs: &BTreeMap<IpAddr, Vec<String>>,
+pub fn vectorize<T: AsRef<str>>(
+    docs: &BTreeMap<IpAddr, Vec<T>>,
 ) -> (Vec<IpAddr>, Vec<TfVector>, Vocabulary) {
     let mut vocab = Vocabulary::new();
     let mut sources = Vec::with_capacity(docs.len());
@@ -263,5 +296,20 @@ mod tests {
         assert_eq!(sources, vec![src]);
         assert_eq!(vectors.len(), 1);
         assert_eq!(vocab.len(), 2);
+
+        // the frame path yields the same documents and vectors
+        let frame = crate::frame::AnalysisFrame::build(&store, &decoy_geo::GeoDb::builtin());
+        let view_docs =
+            action_sequences_view(frame.view(crate::frame::Partition::All), Some(Dbms::Redis));
+        assert_eq!(view_docs.len(), docs.len());
+        for (ip, doc) in &docs {
+            let view_doc: Vec<&str> = view_docs[ip].iter().map(|t| t.as_ref()).collect();
+            let legacy_doc: Vec<&str> = doc.iter().map(String::as_str).collect();
+            assert_eq!(view_doc, legacy_doc);
+        }
+        let (view_sources, view_vectors, view_vocab) = vectorize(&view_docs);
+        assert_eq!(view_sources, sources);
+        assert_eq!(view_vectors, vectors);
+        assert_eq!(view_vocab.len(), vocab.len());
     }
 }

@@ -46,8 +46,7 @@ impl HourlySeries {
         if self.buckets.is_empty() {
             return 0.0;
         }
-        self.buckets.iter().map(|b| b.new_clients).sum::<usize>() as f64
-            / self.buckets.len() as f64
+        self.buckets.iter().map(|b| b.new_clients).sum::<usize>() as f64 / self.buckets.len() as f64
     }
 
     /// Total distinct clients over the window.
@@ -73,6 +72,42 @@ pub fn hourly_series(
     };
     let mut per_hour: Vec<HashSet<IpAddr>> = vec![HashSet::new(); hours];
     for event in &events {
+        if event.ts < origin {
+            continue;
+        }
+        let h = event.ts.hours_since(origin) as usize;
+        if h < hours {
+            per_hour[h].insert(event.src);
+        }
+    }
+    let mut seen: HashSet<IpAddr> = HashSet::new();
+    let mut buckets = Vec::with_capacity(hours);
+    for hour_set in per_hour {
+        let mut new_clients = 0;
+        for ip in &hour_set {
+            if seen.insert(*ip) {
+                new_clients += 1;
+            }
+        }
+        buckets.push(HourBucket {
+            unique_clients: hour_set.len(),
+            new_clients,
+            cumulative_clients: seen.len(),
+        });
+    }
+    HourlySeries { origin, buckets }
+}
+
+/// Frame counterpart of [`hourly_series`]: the same two curves computed from
+/// a [`FrameView`](crate::frame::FrameView) without cloning events.
+pub fn hourly_series_view(
+    view: crate::frame::FrameView<'_>,
+    dbms: Option<Dbms>,
+    origin: Timestamp,
+    hours: usize,
+) -> HourlySeries {
+    let mut per_hour: Vec<HashSet<IpAddr>> = vec![HashSet::new(); hours];
+    for event in view.events_of(dbms) {
         if event.ts < origin {
             continue;
         }
@@ -130,13 +165,48 @@ mod tests {
         log_at(&store, 3, 1);
         log_at(&store, 1, 3);
         let s = hourly_series(&store, Some(Dbms::MySql), EXPERIMENT_START, 4);
-        assert_eq!(s.buckets[0], HourBucket { unique_clients: 2, new_clients: 2, cumulative_clients: 2 });
-        assert_eq!(s.buckets[1], HourBucket { unique_clients: 2, new_clients: 1, cumulative_clients: 3 });
-        assert_eq!(s.buckets[2], HourBucket { unique_clients: 0, new_clients: 0, cumulative_clients: 3 });
-        assert_eq!(s.buckets[3], HourBucket { unique_clients: 1, new_clients: 0, cumulative_clients: 3 });
+        assert_eq!(
+            s.buckets[0],
+            HourBucket {
+                unique_clients: 2,
+                new_clients: 2,
+                cumulative_clients: 2
+            }
+        );
+        assert_eq!(
+            s.buckets[1],
+            HourBucket {
+                unique_clients: 2,
+                new_clients: 1,
+                cumulative_clients: 3
+            }
+        );
+        assert_eq!(
+            s.buckets[2],
+            HourBucket {
+                unique_clients: 0,
+                new_clients: 0,
+                cumulative_clients: 3
+            }
+        );
+        assert_eq!(
+            s.buckets[3],
+            HourBucket {
+                unique_clients: 1,
+                new_clients: 0,
+                cumulative_clients: 3
+            }
+        );
         assert_eq!(s.total_unique_clients(), 3);
         assert!((s.mean_clients_per_hour() - 5.0 / 4.0).abs() < 1e-12);
         assert!((s.mean_new_clients_per_hour() - 3.0 / 4.0).abs() < 1e-12);
+
+        // the frame path produces identical buckets
+        let frame = crate::frame::AnalysisFrame::build(&store, &decoy_geo::GeoDb::builtin());
+        let view = frame.view(crate::frame::Partition::All);
+        let sv = hourly_series_view(view, Some(Dbms::MySql), EXPERIMENT_START, 4);
+        assert_eq!(sv.buckets, s.buckets);
+        assert_eq!(sv.origin, s.origin);
     }
 
     #[test]

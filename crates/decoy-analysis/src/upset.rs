@@ -73,6 +73,27 @@ pub fn upset(store: &EventStore, families: &[Dbms]) -> UpSet {
     result
 }
 
+/// Frame counterpart of [`upset`]: one pass over the view's events instead
+/// of one cloning index scan per family.
+pub fn upset_view(view: crate::frame::FrameView<'_>, families: &[Dbms]) -> UpSet {
+    let mut membership: BTreeMap<IpAddr, BTreeSet<Dbms>> = BTreeMap::new();
+    for event in view.events() {
+        let dbms = event.honeypot.dbms;
+        if families.contains(&dbms) {
+            membership.entry(event.src).or_default().insert(dbms);
+        }
+    }
+    let mut result = UpSet::default();
+    for sets in membership.values() {
+        let combo: Vec<Dbms> = sets.iter().copied().collect();
+        *result.intersections.entry(combo).or_insert(0) += 1;
+        for &dbms in sets {
+            *result.set_sizes.entry(dbms).or_insert(0) += 1;
+        }
+    }
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +136,12 @@ mod tests {
         // sorted() is size-descending
         let sorted = u.sorted();
         assert!(sorted.windows(2).all(|w| w[0].1 >= w[1].1));
+
+        // the frame path yields identical intersections and set sizes
+        let frame = crate::frame::AnalysisFrame::build(&store, &decoy_geo::GeoDb::builtin());
+        let uv = upset_view(frame.view(crate::frame::Partition::All), &FAMILIES);
+        assert_eq!(uv.intersections, u.intersections);
+        assert_eq!(uv.set_sizes, u.set_sizes);
     }
 
     #[test]

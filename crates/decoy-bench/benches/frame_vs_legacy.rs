@@ -1,0 +1,70 @@
+//! Benchmarks the one-pass `AnalysisFrame` report path against the legacy
+//! per-section store-scanning path. Both produce byte-identical reports
+//! (pinned by `frame_report_matches_legacy_byte_for_byte` in decoy-core);
+//! this bench quantifies what the single scan + interning + parallel
+//! sections buy.
+//! Run: `cargo bench -p decoy-bench --bench frame_vs_legacy`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use decoy_analysis::frame::{AnalysisFrame, Partition};
+use decoy_analysis::upset::{upset, upset_view};
+use decoy_core::report::MED_HIGH_FAMILIES;
+use decoy_core::Report;
+use decoy_store::{EventStore, InteractionLevel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let result = decoy_bench::shared_run();
+
+    // sanity: the two paths agree before we time them
+    let frame_text = Report::generate(result).render_text();
+    let legacy_text = Report::generate_legacy(result).render_text();
+    assert_eq!(frame_text, legacy_text, "frame and legacy reports diverged");
+
+    // the one-pass materialization on its own
+    c.bench_function("frame_build", |b| {
+        b.iter(|| black_box(AnalysisFrame::build(&result.store, &result.geo)))
+    });
+
+    // full report: frame path (one scan, parallel sections)
+    c.bench_function("report_frame", |b| {
+        b.iter(|| black_box(Report::generate(result)))
+    });
+
+    // full report: legacy path (per-section scans and clones)
+    c.bench_function("report_legacy", |b| {
+        b.iter(|| black_box(Report::generate_legacy(result)))
+    });
+
+    // one representative section head-to-head: legacy includes the
+    // sub-store clone its path pays on every report, the frame side
+    // amortizes that into frame_build above.
+    let frame = AnalysisFrame::build(&result.store, &result.geo);
+    c.bench_function("fig4_legacy_substore", |b| {
+        b.iter(|| {
+            let med_high = EventStore::from_events(
+                result
+                    .store
+                    .filter(|e| e.honeypot.level != InteractionLevel::Low),
+            );
+            black_box(upset(&med_high, &MED_HIGH_FAMILIES))
+        })
+    });
+    c.bench_function("fig4_frame_view", |b| {
+        b.iter(|| {
+            black_box(upset_view(
+                frame.view(Partition::MedHigh),
+                &MED_HIGH_FAMILIES,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // full-report iterations run hundreds of ms; 10 samples keep the sweep
+    // in minutes
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -5,20 +5,35 @@
 //! `Report::render_text()`. Scale-dependent quantities (counts, volumes)
 //! are compared as ratios/rankings; scale-invariant ones (percentages,
 //! orderings, who-wins) directly.
+//!
+//! Two generation paths exist. [`Report::generate`] materializes one
+//! [`AnalysisFrame`] from the store — a single full event scan with
+//! memoized geo enrichment and interned strings — and renders every
+//! section from that shared view, in parallel. [`Report::generate_legacy`]
+//! is the original per-section store-scanning pipeline, kept as the
+//! byte-identical reference the golden test compares against. Both paths
+//! share the same formatting functions, so any divergence is a data bug,
+//! not a formatting one.
 
 use crate::runner::ExperimentResult;
-use decoy_analysis::classify::{classify_sources, Behavior, ClassCounts};
-use decoy_analysis::cluster::{cluster_sources, refine_by_behavior};
-use decoy_analysis::ecdf::{retention_days, single_day_fraction, Ecdf};
+use decoy_analysis::classify::{
+    classify_sources, classify_view, Behavior, BehaviorProfile, ClassCounts,
+};
+use decoy_analysis::cluster::{cluster_sources, cluster_view, refine_by_behavior};
+use decoy_analysis::ecdf::{retention_days, retention_days_view, single_day_fraction, Ecdf};
+use decoy_analysis::frame::{AnalysisFrame, FrameKind, FrameView, Partition};
+use decoy_analysis::honeytokens::{detect_reuse, detect_reuse_view, HoneytokenReport};
 use decoy_analysis::intel::{coverage, IntelFeed};
 use decoy_analysis::tables;
-use decoy_analysis::tagging::{tag_sources, CampaignTag};
-use decoy_analysis::timeseries::hourly_series;
-use decoy_analysis::upset::upset;
+use decoy_analysis::tagging::{tag_sources, tag_sources_view, CampaignTag};
+use decoy_analysis::timeseries::{hourly_series, hourly_series_view, HourlySeries};
+use decoy_analysis::upset::{upset, upset_view, UpSet};
+use decoy_geo::GeoEnricher;
 use decoy_net::time::EXPERIMENT_START;
 use decoy_store::{ConfigVariant, Dbms, EventKind, EventStore, InteractionLevel};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
+use std::net::IpAddr;
 use std::sync::Arc;
 
 /// The medium/high honeypot families of §6.
@@ -49,21 +64,89 @@ pub struct Report {
 
 impl Report {
     /// Build every artifact from a finished run.
+    ///
+    /// Materializes one [`AnalysisFrame`] (the only full event scan), then
+    /// renders every section concurrently from that shared view. Sections
+    /// land in paper order regardless of completion order.
     pub fn generate(result: &ExperimentResult) -> Report {
+        let enricher = GeoEnricher::new(Arc::clone(&result.geo));
+        let frame = AnalysisFrame::build_with(&result.store, &enricher);
+        let frame = &frame;
+        let scale = result.config.scale;
+        let sections: Vec<Section> = std::thread::scope(|s| {
+            let low = frame.view(Partition::Low);
+            let mh = frame.view(Partition::MedHigh);
+            let all = frame.view(Partition::All);
+            let mut handles = Vec::new();
+            handles.push(s.spawn(move || sec5_summary_frame(low, scale)));
+            handles.push(
+                s.spawn(move || fig2_frame(low, None, "Figure 2", "all low-interaction honeypots")),
+            );
+            for (dbms, fig) in [
+                (Dbms::Mssql, "Figure 6"),
+                (Dbms::MySql, "Figure 7"),
+                (Dbms::Postgres, "Figure 8"),
+                (Dbms::Redis, "Figure 9"),
+            ] {
+                handles.push(s.spawn(move || fig2_frame(low, Some(dbms), fig, dbms.label())));
+            }
+            handles.push(s.spawn(move || fig3_frame(low)));
+            handles.push(s.spawn(move || fmt_table5(tables::logins_by_country_view(low))));
+            handles.push(s.spawn(move || fmt_table6(tables::asn_table_view(low))));
+            handles.push(s.spawn(move || fmt_table7(tables::astype_login_ips_view(low))));
+            handles.push(
+                s.spawn(move || fmt_table12(tables::top_credentials_view(low, Dbms::Mssql, 10))),
+            );
+            handles.push(s.spawn(move || fmt_fig4(upset_view(mh, &MED_HIGH_FAMILIES))));
+            handles.push(s.spawn(move || fmt_table8(table8_data_frame(mh))));
+            handles.push(s.spawn(move || fmt_table9(table9_data_frame(mh))));
+            handles.push(s.spawn(move || {
+                fmt_table10(tables::exploit_countries_view(mh, &MED_HIGH_FAMILIES))
+            }));
+            handles.push(
+                s.spawn(move || fmt_table11(tables::astype_behavior_view(mh, &MED_HIGH_FAMILIES))),
+            );
+            handles.push(s.spawn(move || {
+                fmt_fig5(
+                    &classify_view(mh, None),
+                    &retention_days_view(mh, None, EXPERIMENT_START),
+                )
+            }));
+            handles
+                .push(s.spawn(move || fmt_sec5_control(tables::control_group_summary_view(low))));
+            handles.push(s.spawn(move || fmt_sec6_config(sec6_config_data_frame(all))));
+            handles.push(s.spawn(move || {
+                fmt_sec6_fake_data(&detect_reuse_view(all, &fake_data_bait(result)))
+            }));
+            handles.push(s.spawn(move || sec6_intel_frame(low, mh)));
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("report section thread panicked"))
+                .collect()
+        });
+        Report { sections }
+    }
+
+    /// The pre-frame generation path: every section re-scans the store
+    /// through cloning indexes and per-event geo lookups. Kept as the
+    /// reference implementation; must render byte-identically to
+    /// [`Report::generate`].
+    pub fn generate_legacy(result: &ExperimentResult) -> Report {
         let store = &result.store;
         let geo = &result.geo;
-        let low = EventStore::from_events(
-            store
-                .filter(|e| e.honeypot.level == InteractionLevel::Low),
-        );
-        let med_high = EventStore::from_events(
-            store
-                .filter(|e| e.honeypot.level != InteractionLevel::Low),
-        );
+        let low =
+            EventStore::from_events(store.filter(|e| e.honeypot.level == InteractionLevel::Low));
+        let med_high =
+            EventStore::from_events(store.filter(|e| e.honeypot.level != InteractionLevel::Low));
 
         let mut sections = Vec::new();
         sections.push(sec5_summary(&low, geo, result.config.scale));
-        sections.push(fig2(&low, None, "Figure 2", "all low-interaction honeypots"));
+        sections.push(fig2(
+            &low,
+            None,
+            "Figure 2",
+            "all low-interaction honeypots",
+        ));
         for (dbms, fig) in [
             (Dbms::Mssql, "Figure 6"),
             (Dbms::MySql, "Figure 7"),
@@ -73,19 +156,33 @@ impl Report {
             sections.push(fig2(&low, Some(dbms), fig, dbms.label()));
         }
         sections.push(fig3(&low));
-        sections.push(table5(&low, geo));
-        sections.push(table6(&low, geo));
-        sections.push(table7(&low, geo));
-        sections.push(table12(&low));
-        sections.push(fig4(&med_high));
-        sections.push(table8(&med_high));
-        sections.push(table9(&med_high));
-        sections.push(table10(&med_high, geo));
-        sections.push(table11(&med_high, geo));
-        sections.push(fig5(&med_high));
-        sections.push(sec5_control_group(&low));
-        sections.push(sec6_config_effects(store));
-        sections.push(sec6_fake_data_knowledge(result));
+        sections.push(fmt_table5(tables::logins_by_country(&low, geo)));
+        sections.push(fmt_table6(tables::asn_table(&low, geo)));
+        sections.push(fmt_table7(tables::astype_login_ips(&low, geo)));
+        sections.push(fmt_table12(tables::top_credentials(&low, Dbms::Mssql, 10)));
+        sections.push(fmt_fig4(upset(&med_high, &MED_HIGH_FAMILIES)));
+        sections.push(fmt_table8(table8_data(&med_high)));
+        sections.push(fmt_table9(table9_data(&med_high)));
+        sections.push(fmt_table10(tables::exploit_countries(
+            &med_high,
+            geo,
+            &MED_HIGH_FAMILIES,
+        )));
+        sections.push(fmt_table11(tables::astype_behavior(
+            &med_high,
+            geo,
+            &MED_HIGH_FAMILIES,
+        )));
+        sections.push(fmt_fig5(
+            &classify_sources(&med_high, None),
+            &retention_days(&med_high, None, EXPERIMENT_START),
+        ));
+        sections.push(fmt_sec5_control(tables::control_group_summary(&low)));
+        sections.push(fmt_sec6_config(sec6_config_data(store)));
+        sections.push(fmt_sec6_fake_data(&detect_reuse(
+            &result.store,
+            &fake_data_bait(result),
+        )));
         sections.push(sec6_intel(&low, &med_high));
         Report { sections }
     }
@@ -107,9 +204,15 @@ impl Report {
     }
 }
 
-fn sec5_summary(low: &Arc<EventStore>, geo: &decoy_geo::GeoDb, scale: f64) -> Section {
-    let scan = tables::scanning_summary(low, geo);
-    let brute = tables::bruteforce_summary(low);
+// ---------------------------------------------------------------------------
+// Section 5 summary
+// ---------------------------------------------------------------------------
+
+fn fmt_sec5_summary(
+    scan: &tables::ScanningSummary,
+    brute: &tables::BruteforceSummary,
+    scale: f64,
+) -> Section {
     let mssql = brute.per_dbms.get(&Dbms::Mssql).copied().unwrap_or(0);
     let mut body = String::new();
     let _ = writeln!(body, "scale factor: {scale}");
@@ -139,11 +242,7 @@ fn sec5_summary(low: &Arc<EventStore>, geo: &decoy_geo::GeoDb, scale: f64) -> Se
         mssql,
         100.0 * mssql as f64 / brute.total_logins.max(1) as f64
     );
-    let _ = writeln!(
-        body,
-        "brute-force clients: {} (paper: 599)",
-        brute.clients
-    );
+    let _ = writeln!(body, "brute-force clients: {} (paper: 599)", brute.clients);
     // the paper's "average number of brute-force attempts per client"
     // divides by the full client population (18,162,811 / 3,380 ≈ 5,373)
     let _ = writeln!(
@@ -159,8 +258,27 @@ fn sec5_summary(low: &Arc<EventStore>, geo: &decoy_geo::GeoDb, scale: f64) -> Se
     }
 }
 
-fn fig2(low: &Arc<EventStore>, dbms: Option<Dbms>, id: &str, what: &str) -> Section {
-    let series = hourly_series(low, dbms, EXPERIMENT_START, 480);
+fn sec5_summary(low: &Arc<EventStore>, geo: &decoy_geo::GeoDb, scale: f64) -> Section {
+    fmt_sec5_summary(
+        &tables::scanning_summary(low, geo),
+        &tables::bruteforce_summary(low),
+        scale,
+    )
+}
+
+fn sec5_summary_frame(low: FrameView<'_>, scale: f64) -> Section {
+    fmt_sec5_summary(
+        &tables::scanning_summary_view(low),
+        &tables::bruteforce_summary_view(low),
+        scale,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Figures 2, 6–9
+// ---------------------------------------------------------------------------
+
+fn fmt_fig2(series: &HourlySeries, id: &str, what: &str) -> Section {
     let mut body = String::new();
     let _ = writeln!(
         body,
@@ -185,10 +303,31 @@ fn fig2(low: &Arc<EventStore>, dbms: Option<Dbms>, id: &str, what: &str) -> Sect
     }
 }
 
-fn fig3(low: &Arc<EventStore>) -> Section {
+fn fig2(low: &Arc<EventStore>, dbms: Option<Dbms>, id: &str, what: &str) -> Section {
+    fmt_fig2(&hourly_series(low, dbms, EXPERIMENT_START, 480), id, what)
+}
+
+fn fig2_frame(low: FrameView<'_>, dbms: Option<Dbms>, id: &str, what: &str) -> Section {
+    fmt_fig2(
+        &hourly_series_view(low, dbms, EXPERIMENT_START, 480),
+        id,
+        what,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3
+// ---------------------------------------------------------------------------
+
+/// Retention per DBMS in Figure 3's panel order, plus the combined map.
+const FIG3_DBMS: [Dbms; 4] = [Dbms::MySql, Dbms::Postgres, Dbms::Redis, Dbms::Mssql];
+
+fn fmt_fig3(
+    per_dbms: &[(Dbms, BTreeMap<IpAddr, usize>)],
+    all: &BTreeMap<IpAddr, usize>,
+) -> Section {
     let mut body = String::new();
-    for dbms in [Dbms::MySql, Dbms::Postgres, Dbms::Redis, Dbms::Mssql] {
-        let retention = retention_days(low, Some(dbms), EXPERIMENT_START);
+    for (dbms, retention) in per_dbms {
         let ecdf = Ecdf::new(retention.values().map(|&d| d as f64).collect());
         let _ = writeln!(
             body,
@@ -200,11 +339,10 @@ fn fig3(low: &Arc<EventStore>) -> Section {
             ecdf.eval(10.0)
         );
     }
-    let all = retention_days(low, None, EXPERIMENT_START);
     let _ = writeln!(
         body,
         "single-day fraction (all low): {:.2} (paper: 0.43)",
-        single_day_fraction(&all)
+        single_day_fraction(all)
     );
     Section {
         id: "Figure 3".into(),
@@ -213,8 +351,27 @@ fn fig3(low: &Arc<EventStore>) -> Section {
     }
 }
 
-fn table5(low: &Arc<EventStore>, geo: &decoy_geo::GeoDb) -> Section {
-    let rows = tables::logins_by_country(low, geo);
+fn fig3(low: &Arc<EventStore>) -> Section {
+    let per: Vec<(Dbms, BTreeMap<IpAddr, usize>)> = FIG3_DBMS
+        .iter()
+        .map(|&d| (d, retention_days(low, Some(d), EXPERIMENT_START)))
+        .collect();
+    fmt_fig3(&per, &retention_days(low, None, EXPERIMENT_START))
+}
+
+fn fig3_frame(low: FrameView<'_>) -> Section {
+    let per: Vec<(Dbms, BTreeMap<IpAddr, usize>)> = FIG3_DBMS
+        .iter()
+        .map(|&d| (d, retention_days_view(low, Some(d), EXPERIMENT_START)))
+        .collect();
+    fmt_fig3(&per, &retention_days_view(low, None, EXPERIMENT_START))
+}
+
+// ---------------------------------------------------------------------------
+// Tables 5–7, 12
+// ---------------------------------------------------------------------------
+
+fn fmt_table5(rows: Vec<tables::CountryLoginRow>) -> Section {
     let mut body = format!(
         "{:<8} {:>12} {:>11} {:>9} {:>9} {:>12}\n",
         "Country", "#Logins", "#IP/Total", "#MySQL", "#PSQL", "#MSSQL"
@@ -240,8 +397,7 @@ fn table5(low: &Arc<EventStore>, geo: &decoy_geo::GeoDb) -> Section {
     }
 }
 
-fn table6(low: &Arc<EventStore>, geo: &decoy_geo::GeoDb) -> Section {
-    let rows = tables::asn_table(low, geo);
+fn fmt_table6(rows: Vec<tables::AsnRow>) -> Section {
     let mut body = format!(
         "{:<45} {:>6} {:>8} {:>10} {:>8} {:>10}\n",
         "AS", "#IPs", "share%", "#Logins", "MySQL", "MSSQL"
@@ -258,7 +414,9 @@ fn table6(low: &Arc<EventStore>, geo: &decoy_geo::GeoDb) -> Section {
             row.per_dbms.get(&Dbms::Mssql).copied().unwrap_or(0),
         );
     }
-    body.push_str("paper top-3 by IPs: HURRICANE 19.25%, GOOGLE-CLOUD 16.77%, DIGITALOCEAN 11.74%\n");
+    body.push_str(
+        "paper top-3 by IPs: HURRICANE 19.25%, GOOGLE-CLOUD 16.77%, DIGITALOCEAN 11.74%\n",
+    );
     Section {
         id: "Table 6".into(),
         title: "top ASes by IP count with login distribution".into(),
@@ -266,8 +424,7 @@ fn table6(low: &Arc<EventStore>, geo: &decoy_geo::GeoDb) -> Section {
     }
 }
 
-fn table7(low: &Arc<EventStore>, geo: &decoy_geo::GeoDb) -> Section {
-    let counts = tables::astype_login_ips(low, geo);
+fn fmt_table7(counts: BTreeMap<decoy_geo::AsType, usize>) -> Section {
     let mut body = format!("{:<12} {:>8}\n", "Category", "IPs");
     let mut rows: Vec<_> = counts.iter().collect();
     rows.sort_by(|a, b| b.1.cmp(a.1));
@@ -282,9 +439,11 @@ fn table7(low: &Arc<EventStore>, geo: &decoy_geo::GeoDb) -> Section {
     }
 }
 
-fn table12(low: &Arc<EventStore>) -> Section {
-    let stats = tables::top_credentials(low, Dbms::Mssql, 10);
-    let mut body = format!("{:<16} {:>9}   {:<16} {:>9}\n", "Username", "count", "Password", "count");
+fn fmt_table12(stats: tables::CredentialStats) -> Section {
+    let mut body = format!(
+        "{:<16} {:>9}   {:<16} {:>9}\n",
+        "Username", "count", "Password", "count"
+    );
     for i in 0..10 {
         let u = stats
             .top_usernames
@@ -297,7 +456,11 @@ fn table12(low: &Arc<EventStore>) -> Section {
             .map(|(p, n)| (p.as_str(), *n))
             .unwrap_or(("-", 0));
         let password_display = if p.0.is_empty() { "\"\"" } else { p.0 };
-        let _ = writeln!(body, "{:<16} {:>9}   {:<16} {:>9}", u.0, u.1, password_display, p.1);
+        let _ = writeln!(
+            body,
+            "{:<16} {:>9}   {:<16} {:>9}",
+            u.0, u.1, password_display, p.1
+        );
     }
     let _ = writeln!(
         body,
@@ -312,8 +475,11 @@ fn table12(low: &Arc<EventStore>) -> Section {
     }
 }
 
-fn fig4(med_high: &Arc<EventStore>) -> Section {
-    let u = upset(med_high, &MED_HIGH_FAMILIES);
+// ---------------------------------------------------------------------------
+// Figure 4
+// ---------------------------------------------------------------------------
+
+fn fmt_fig4(u: UpSet) -> Section {
     let mut body = format!(
         "sources: {} total, {} exclusive to one family, {} on several\n",
         u.total(),
@@ -336,7 +502,37 @@ fn fig4(med_high: &Arc<EventStore>) -> Section {
     }
 }
 
-fn table8(med_high: &Arc<EventStore>) -> Section {
+// ---------------------------------------------------------------------------
+// Table 8
+// ---------------------------------------------------------------------------
+
+fn table8_data(med_high: &Arc<EventStore>) -> Vec<(Dbms, ClassCounts, usize)> {
+    MED_HIGH_FAMILIES
+        .iter()
+        .map(|&dbms| {
+            let profiles = classify_sources(med_high, Some(dbms));
+            let counts = ClassCounts::from_profiles(profiles.values());
+            let mut clusters = cluster_sources(med_high, Some(dbms), CLUSTER_CUT);
+            refine_by_behavior(&mut clusters, &profiles);
+            (dbms, counts, clusters.num_clusters)
+        })
+        .collect()
+}
+
+fn table8_data_frame(mh: FrameView<'_>) -> Vec<(Dbms, ClassCounts, usize)> {
+    MED_HIGH_FAMILIES
+        .iter()
+        .map(|&dbms| {
+            let profiles = classify_view(mh, Some(dbms));
+            let counts = ClassCounts::from_profiles(profiles.values());
+            let mut clusters = cluster_view(mh, Some(dbms), CLUSTER_CUT);
+            refine_by_behavior(&mut clusters, &profiles);
+            (dbms, counts, clusters.num_clusters)
+        })
+        .collect()
+}
+
+fn fmt_table8(data: Vec<(Dbms, ClassCounts, usize)>) -> Section {
     let mut body = format!(
         "{:<11} {:>6} {:>10} {:>10} {:>11} {:>7}\n",
         "DBMS", "#IP", "Scanning", "Scouting", "Exploiting", "#Cls."
@@ -349,11 +545,7 @@ fn table8(med_high: &Arc<EventStore>) -> Section {
     ]
     .into_iter()
     .collect();
-    for dbms in MED_HIGH_FAMILIES {
-        let profiles = classify_sources(med_high, Some(dbms));
-        let counts = ClassCounts::from_profiles(profiles.values());
-        let mut clusters = cluster_sources(med_high, Some(dbms), CLUSTER_CUT);
-        refine_by_behavior(&mut clusters, &profiles);
+    for (dbms, counts, num_clusters) in data {
         let p = paper[&dbms];
         let _ = writeln!(
             body,
@@ -363,7 +555,7 @@ fn table8(med_high: &Arc<EventStore>) -> Section {
             counts.scanning,
             counts.scouting,
             counts.exploiting,
-            clusters.num_clusters,
+            num_clusters,
             p.0,
             p.1,
             p.2,
@@ -378,8 +570,56 @@ fn table8(med_high: &Arc<EventStore>) -> Section {
     }
 }
 
-fn table9(med_high: &Arc<EventStore>) -> Section {
-    let mut body = format!("{:<28} {:<11} {:>6} {:>6}\n", "Attack", "Honeypot", "#IP", "#Cls");
+// ---------------------------------------------------------------------------
+// Table 9
+// ---------------------------------------------------------------------------
+
+type Table9Data = Vec<(Dbms, BTreeMap<CampaignTag, (usize, BTreeSet<usize>)>)>;
+
+fn table9_rollup(
+    tags: BTreeMap<IpAddr, Vec<CampaignTag>>,
+    assignments: &BTreeMap<IpAddr, usize>,
+) -> BTreeMap<CampaignTag, (usize, BTreeSet<usize>)> {
+    let mut per_tag: BTreeMap<CampaignTag, (usize, BTreeSet<usize>)> = BTreeMap::new();
+    for (src, src_tags) in &tags {
+        for tag in src_tags {
+            let entry = per_tag.entry(*tag).or_default();
+            entry.0 += 1;
+            if let Some(label) = assignments.get(src) {
+                entry.1.insert(*label);
+            }
+        }
+    }
+    per_tag
+}
+
+fn table9_data(med_high: &Arc<EventStore>) -> Table9Data {
+    MED_HIGH_FAMILIES
+        .iter()
+        .map(|&dbms| {
+            let tags = tag_sources(med_high, Some(dbms));
+            let clusters = cluster_sources(med_high, Some(dbms), CLUSTER_CUT);
+            (dbms, table9_rollup(tags, &clusters.assignments))
+        })
+        .collect()
+}
+
+fn table9_data_frame(mh: FrameView<'_>) -> Table9Data {
+    MED_HIGH_FAMILIES
+        .iter()
+        .map(|&dbms| {
+            let tags = tag_sources_view(mh, Some(dbms));
+            let clusters = cluster_view(mh, Some(dbms), CLUSTER_CUT);
+            (dbms, table9_rollup(tags, &clusters.assignments))
+        })
+        .collect()
+}
+
+fn fmt_table9(data: Table9Data) -> Section {
+    let mut body = format!(
+        "{:<28} {:<11} {:>6} {:>6}\n",
+        "Attack", "Honeypot", "#IP", "#Cls"
+    );
     // paper (tag, dbms) → #IPs
     let paper: BTreeMap<(CampaignTag, Dbms), usize> = [
         ((CampaignTag::RdpScan, Dbms::Redis), 14),
@@ -399,20 +639,7 @@ fn table9(med_high: &Arc<EventStore>) -> Section {
     ]
     .into_iter()
     .collect();
-    for dbms in MED_HIGH_FAMILIES {
-        let tags = tag_sources(med_high, Some(dbms));
-        let clusters = cluster_sources(med_high, Some(dbms), CLUSTER_CUT);
-        let mut per_tag: BTreeMap<CampaignTag, (usize, std::collections::BTreeSet<usize>)> =
-            BTreeMap::new();
-        for (src, src_tags) in &tags {
-            for tag in src_tags {
-                let entry = per_tag.entry(*tag).or_default();
-                entry.0 += 1;
-                if let Some(label) = clusters.assignments.get(src) {
-                    entry.1.insert(*label);
-                }
-            }
-        }
+    for (dbms, per_tag) in data {
         for (tag, (ips, cluster_set)) in per_tag {
             let paper_note = paper
                 .get(&(tag, dbms))
@@ -436,8 +663,11 @@ fn table9(med_high: &Arc<EventStore>) -> Section {
     }
 }
 
-fn table10(med_high: &Arc<EventStore>, geo: &decoy_geo::GeoDb) -> Section {
-    let rows = tables::exploit_countries(med_high, geo, &MED_HIGH_FAMILIES);
+// ---------------------------------------------------------------------------
+// Tables 10, 11
+// ---------------------------------------------------------------------------
+
+fn fmt_table10(rows: Vec<tables::ExploitCountryRow>) -> Section {
     let mut body = format!(
         "{:<9} {:>5} {:>8} {:>8} {:>6} {:>6}\n",
         "Country", "#IP", "Elastic", "MongoDB", "PSQL", "Redis"
@@ -454,9 +684,7 @@ fn table10(med_high: &Arc<EventStore>, geo: &decoy_geo::GeoDb) -> Section {
             row.per_dbms.get(&Dbms::Redis).copied().unwrap_or(0),
         );
     }
-    body.push_str(
-        "paper top-3: US 52 (39 PSQL), CN 45 (22 PSQL, 21 Redis), BG 32 (29 MongoDB)\n",
-    );
+    body.push_str("paper top-3: US 52 (39 PSQL), CN 45 (22 PSQL, 21 Redis), BG 32 (29 MongoDB)\n");
     Section {
         id: "Table 10".into(),
         title: "exploiting IPs by country and family".into(),
@@ -464,8 +692,7 @@ fn table10(med_high: &Arc<EventStore>, geo: &decoy_geo::GeoDb) -> Section {
     }
 }
 
-fn table11(med_high: &Arc<EventStore>, geo: &decoy_geo::GeoDb) -> Section {
-    let t = tables::astype_behavior(med_high, geo, &MED_HIGH_FAMILIES);
+fn fmt_table11(t: BTreeMap<decoy_geo::AsType, BTreeMap<Behavior, usize>>) -> Section {
     let mut body = format!(
         "{:<12} {:>9} {:>9} {:>11}\n",
         "AS Type", "Scanning", "Scouting", "Exploiting"
@@ -493,11 +720,16 @@ fn table11(med_high: &Arc<EventStore>, geo: &decoy_geo::GeoDb) -> Section {
     }
 }
 
-fn fig5(med_high: &Arc<EventStore>) -> Section {
-    let profiles = classify_sources(med_high, None);
-    let retention = retention_days(med_high, None, EXPERIMENT_START);
+// ---------------------------------------------------------------------------
+// Figure 5
+// ---------------------------------------------------------------------------
+
+fn fmt_fig5(
+    profiles: &BTreeMap<IpAddr, BehaviorProfile>,
+    retention: &BTreeMap<IpAddr, usize>,
+) -> Section {
     let mut per_class: BTreeMap<Behavior, Vec<f64>> = BTreeMap::new();
-    for (src, profile) in &profiles {
+    for (src, profile) in profiles {
         if let Some(days) = retention.get(src) {
             per_class
                 .entry(profile.primary())
@@ -536,8 +768,11 @@ fn fig5(med_high: &Arc<EventStore>) -> Section {
     }
 }
 
-fn sec5_control_group(low: &Arc<EventStore>) -> Section {
-    let s = tables::control_group_summary(low);
+// ---------------------------------------------------------------------------
+// Section 5 control group
+// ---------------------------------------------------------------------------
+
+fn fmt_sec5_control(s: tables::ControlGroupSummary) -> Section {
     let mut body = String::new();
     let _ = writeln!(
         body,
@@ -560,18 +795,24 @@ fn sec5_control_group(low: &Arc<EventStore>) -> Section {
     }
 }
 
-fn sec6_config_effects(store: &Arc<EventStore>) -> Section {
+// ---------------------------------------------------------------------------
+// Section 6 config effects
+// ---------------------------------------------------------------------------
+
+fn sec6_config_data(store: &Arc<EventStore>) -> (u64, u64, usize) {
     let mut open = 0u64;
     let mut restricted = 0u64;
     let mut type_walks = 0usize;
     store.fold((), |(), e| {
-        if e.honeypot.dbms == Dbms::Postgres && e.honeypot.level == InteractionLevel::Medium
-            && matches!(e.kind, EventKind::LoginAttempt { .. }) {
-                match e.honeypot.config {
-                    ConfigVariant::LoginDisabled => restricted += 1,
-                    _ => open += 1,
-                }
+        if e.honeypot.dbms == Dbms::Postgres
+            && e.honeypot.level == InteractionLevel::Medium
+            && matches!(e.kind, EventKind::LoginAttempt { .. })
+        {
+            match e.honeypot.config {
+                ConfigVariant::LoginDisabled => restricted += 1,
+                _ => open += 1,
             }
+        }
         if e.honeypot.dbms == Dbms::Redis
             && e.honeypot.config == ConfigVariant::FakeData
             && matches!(&e.kind, EventKind::Command { raw, .. } if raw.starts_with("TYPE "))
@@ -579,6 +820,34 @@ fn sec6_config_effects(store: &Arc<EventStore>) -> Section {
             type_walks += 1;
         }
     });
+    (open, restricted, type_walks)
+}
+
+fn sec6_config_data_frame(all: FrameView<'_>) -> (u64, u64, usize) {
+    let mut open = 0u64;
+    let mut restricted = 0u64;
+    let mut type_walks = 0usize;
+    for e in all.events() {
+        if e.honeypot.dbms == Dbms::Postgres
+            && e.honeypot.level == InteractionLevel::Medium
+            && matches!(e.kind, FrameKind::LoginAttempt { .. })
+        {
+            match e.honeypot.config {
+                ConfigVariant::LoginDisabled => restricted += 1,
+                _ => open += 1,
+            }
+        }
+        if e.honeypot.dbms == Dbms::Redis
+            && e.honeypot.config == ConfigVariant::FakeData
+            && matches!(&e.kind, FrameKind::Command { raw, .. } if raw.starts_with("TYPE "))
+        {
+            type_walks += 1;
+        }
+    }
+    (open, restricted, type_walks)
+}
+
+fn fmt_sec6_config((open, restricted, type_walks): (u64, u64, usize)) -> Section {
     let ratio = restricted as f64 / open.max(1) as f64;
     let mut body = String::new();
     let _ = writeln!(
@@ -596,15 +865,22 @@ fn sec6_config_effects(store: &Arc<EventStore>) -> Section {
     }
 }
 
-fn sec6_fake_data_knowledge(result: &ExperimentResult) -> Section {
-    // collect the bait planted across all fake-data Redis instances
+// ---------------------------------------------------------------------------
+// Section 6 fake-data knowledge
+// ---------------------------------------------------------------------------
+
+/// Collect the bait planted across all fake-data Redis instances.
+fn fake_data_bait(result: &ExperimentResult) -> Vec<(String, String)> {
     let mut bait: Vec<(String, String)> = Vec::new();
     for inst in &result.plan.instances {
         if inst.id.dbms == Dbms::Redis && inst.id.config == ConfigVariant::FakeData {
             bait.extend(crate::deployment::fake_redis_entries(inst.seed));
         }
     }
-    let report = decoy_analysis::honeytokens::detect_reuse(&result.store, &bait);
+    bait
+}
+
+fn fmt_sec6_fake_data(report: &HoneytokenReport) -> Section {
     let mut body = String::new();
     let _ = writeln!(
         body,
@@ -634,31 +910,27 @@ fn sec6_fake_data_knowledge(result: &ExperimentResult) -> Section {
     }
 }
 
-fn sec6_intel(low: &Arc<EventStore>, med_high: &Arc<EventStore>) -> Section {
+// ---------------------------------------------------------------------------
+// Section 6 intel
+// ---------------------------------------------------------------------------
+
+fn fmt_sec6_intel(
+    noisy: &BTreeSet<IpAddr>,
+    exploiters: BTreeMap<IpAddr, BehaviorProfile>,
+) -> Section {
     let feeds = IntelFeed::paper_feeds();
-    // noisy set: sources that brute-forced the low fleet
-    let noisy: std::collections::BTreeSet<std::net::IpAddr> = low
-        .filter(|e| matches!(e.kind, EventKind::LoginAttempt { .. }))
-        .into_iter()
-        .map(|e| e.src)
-        .collect();
-    let brute_pop: BTreeMap<std::net::IpAddr, decoy_analysis::classify::BehaviorProfile> =
-        noisy
-            .iter()
-            .map(|&ip| {
-                (
-                    ip,
-                    decoy_analysis::classify::BehaviorProfile {
-                        scanning: true,
-                        scouting: true,
-                        exploiting: false,
-                    },
-                )
-            })
-            .collect();
-    let exploiters: BTreeMap<_, _> = classify_sources(med_high, None)
-        .into_iter()
-        .filter(|(_, p)| p.exploiting)
+    let brute_pop: BTreeMap<IpAddr, BehaviorProfile> = noisy
+        .iter()
+        .map(|&ip| {
+            (
+                ip,
+                BehaviorProfile {
+                    scanning: true,
+                    scouting: true,
+                    exploiting: false,
+                },
+            )
+        })
         .collect();
     let brute_cov = coverage(&feeds, &brute_pop, |_| true);
     let exploit_cov = coverage(&feeds, &exploiters, |ip| noisy.contains(&ip));
@@ -685,9 +957,42 @@ fn sec6_intel(low: &Arc<EventStore>, med_high: &Arc<EventStore>) -> Section {
     }
 }
 
+fn sec6_intel(low: &Arc<EventStore>, med_high: &Arc<EventStore>) -> Section {
+    // noisy set: sources that brute-forced the low fleet
+    let noisy: BTreeSet<IpAddr> = low
+        .filter(|e| matches!(e.kind, EventKind::LoginAttempt { .. }))
+        .into_iter()
+        .map(|e| e.src)
+        .collect();
+    let exploiters: BTreeMap<_, _> = classify_sources(med_high, None)
+        .into_iter()
+        .filter(|(_, p)| p.exploiting)
+        .collect();
+    fmt_sec6_intel(&noisy, exploiters)
+}
+
+fn sec6_intel_frame(low: FrameView<'_>, mh: FrameView<'_>) -> Section {
+    let noisy: BTreeSet<IpAddr> = low
+        .events()
+        .filter(|e| matches!(e.kind, FrameKind::LoginAttempt { .. }))
+        .map(|e| e.src)
+        .collect();
+    let exploiters: BTreeMap<_, _> = classify_view(mh, None)
+        .into_iter()
+        .filter(|(_, p)| p.exploiting)
+        .collect();
+    fmt_sec6_intel(&noisy, exploiters)
+}
+
+// ---------------------------------------------------------------------------
+// CSV export
+// ---------------------------------------------------------------------------
+
 /// Export plot-ready CSV artifacts for the paper's figures into `dir`:
 /// hourly series (Figure 2 and 6–9), retention samples (Figures 3 and 5),
 /// and the UpSet intersections (Figure 4). Returns the files written.
+/// Like [`Report::generate`], this builds one [`AnalysisFrame`] and derives
+/// every artifact from it.
 pub fn export_csv(
     result: &ExperimentResult,
     dir: &std::path::Path,
@@ -695,16 +1000,9 @@ pub fn export_csv(
     use std::io::Write as _;
     std::fs::create_dir_all(dir)?;
     let mut written = Vec::new();
-    let low = EventStore::from_events(
-        result
-            .store
-            .filter(|e| e.honeypot.level == InteractionLevel::Low),
-    );
-    let med_high = EventStore::from_events(
-        result
-            .store
-            .filter(|e| e.honeypot.level != InteractionLevel::Low),
-    );
+    let frame = AnalysisFrame::build(&result.store, &result.geo);
+    let low = frame.view(Partition::Low);
+    let med_high = frame.view(Partition::MedHigh);
 
     // Figures 2, 6–9: hourly series
     for (name, dbms) in [
@@ -714,7 +1012,7 @@ pub fn export_csv(
         ("fig8_hourly_postgres", Some(Dbms::Postgres)),
         ("fig9_hourly_redis", Some(Dbms::Redis)),
     ] {
-        let series = hourly_series(&low, dbms, EXPERIMENT_START, 480);
+        let series = hourly_series_view(low, dbms, EXPERIMENT_START, 480);
         let path = dir.join(format!("{name}.csv"));
         let mut f = std::fs::File::create(&path)?;
         writeln!(f, "hour,unique_clients,new_clients,cumulative_clients")?;
@@ -733,8 +1031,8 @@ pub fn export_csv(
         let path = dir.join("fig3_retention_low.csv");
         let mut f = std::fs::File::create(&path)?;
         writeln!(f, "dbms,days_active")?;
-        for dbms in [Dbms::MySql, Dbms::Postgres, Dbms::Redis, Dbms::Mssql] {
-            for days in retention_days(&low, Some(dbms), EXPERIMENT_START).values() {
+        for dbms in FIG3_DBMS {
+            for days in retention_days_view(low, Some(dbms), EXPERIMENT_START).values() {
                 writeln!(f, "{},{days}", dbms.label())?;
             }
         }
@@ -746,8 +1044,8 @@ pub fn export_csv(
         let path = dir.join("fig5_retention_behavior.csv");
         let mut f = std::fs::File::create(&path)?;
         writeln!(f, "class,days_active")?;
-        let profiles = classify_sources(&med_high, None);
-        let retention = retention_days(&med_high, None, EXPERIMENT_START);
+        let profiles = classify_view(med_high, None);
+        let retention = retention_days_view(med_high, None, EXPERIMENT_START);
         for (src, profile) in &profiles {
             if let Some(days) = retention.get(src) {
                 writeln!(f, "{},{days}", profile.primary().label())?;
@@ -761,7 +1059,7 @@ pub fn export_csv(
         let path = dir.join("fig4_upset.csv");
         let mut f = std::fs::File::create(&path)?;
         writeln!(f, "combination,sources")?;
-        for (combo, n) in upset(&med_high, &MED_HIGH_FAMILIES).sorted() {
+        for (combo, n) in upset_view(med_high, &MED_HIGH_FAMILIES).sorted() {
             let label: Vec<&str> = combo.iter().map(|d| d.label()).collect();
             writeln!(f, "{},{n}", label.join("+"))?;
         }
@@ -798,17 +1096,39 @@ mod tests {
         let result = run(ExperimentConfig::direct(21, 0.02)).await.unwrap();
         let report = Report::generate(&result);
         for id in [
-            "Section 5", "Figure 2", "Figure 3", "Table 5", "Table 6", "Table 7",
-            "Table 12", "Figure 4", "Table 8", "Table 9", "Table 10", "Table 11",
-            "Figure 5", "Section 5 control", "Section 6 config", "Section 6 intel",
+            "Section 5",
+            "Figure 2",
+            "Figure 3",
+            "Table 5",
+            "Table 6",
+            "Table 7",
+            "Table 12",
+            "Figure 4",
+            "Table 8",
+            "Table 9",
+            "Table 10",
+            "Table 11",
+            "Figure 5",
+            "Section 5 control",
+            "Section 6 config",
+            "Section 6 intel",
             "Section 6 fake data",
-            "Figure 6", "Figure 9",
+            "Figure 6",
+            "Figure 9",
         ] {
             assert!(report.section(id).is_some(), "missing {id}");
         }
         let text = report.render_text();
         assert!(text.contains("==== Table 5"));
         assert!(text.len() > 2000, "{}", text.len());
+    }
+
+    #[tokio::test]
+    async fn frame_report_matches_legacy_byte_for_byte() {
+        let result = run(ExperimentConfig::direct(21, 0.02)).await.unwrap();
+        let frame_text = Report::generate(&result).render_text();
+        let legacy_text = Report::generate_legacy(&result).render_text();
+        assert_eq!(frame_text, legacy_text);
     }
 
     #[tokio::test]
@@ -819,7 +1139,10 @@ mod tests {
         // Table 5: Russia must top the login table (the 4 heavy hitters).
         let t5 = &report.section("Table 5").unwrap().body;
         let first_row = t5.lines().nth(1).unwrap();
-        assert!(first_row.starts_with("RU"), "Table 5 first row: {first_row}");
+        assert!(
+            first_row.starts_with("RU"),
+            "Table 5 first row: {first_row}"
+        );
 
         // Table 12: `sa` leads usernames.
         let t12 = &report.section("Table 12").unwrap().body;

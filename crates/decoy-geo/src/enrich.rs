@@ -1,0 +1,113 @@
+//! Memoizing enrichment cache.
+//!
+//! [`GeoDb::lookup`] allocates a fresh [`IpMeta`] (two `String`s) on every
+//! call, and the analysis tables historically looked up the same source IP
+//! once *per event*. [`GeoEnricher`] computes each IP's enrichment exactly
+//! once and hands out shared `Arc<IpMeta>` references afterwards — the
+//! paper's "enrich once, consume everywhere" shape (§4.3, Figure 1 step ③).
+//!
+//! Negative results are cached too: unmapped space stays unmapped, and the
+//! trie walk is skipped on every repeat sighting.
+
+use crate::{GeoDb, IpMeta};
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::{Arc, RwLock};
+
+/// A caching wrapper around [`GeoDb`] keyed by IP address.
+///
+/// Thread-safe: readers share the cache through an `RwLock`, so concurrent
+/// report sections can enrich through one instance.
+#[derive(Debug)]
+pub struct GeoEnricher {
+    db: Arc<GeoDb>,
+    cache: RwLock<HashMap<IpAddr, Option<Arc<IpMeta>>>>,
+}
+
+impl GeoEnricher {
+    /// Wrap a database in a fresh, empty cache.
+    pub fn new(db: Arc<GeoDb>) -> Self {
+        GeoEnricher {
+            db,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The wrapped database.
+    pub fn db(&self) -> &Arc<GeoDb> {
+        &self.db
+    }
+
+    /// Enrich `ip`, consulting the trie at most once per distinct address.
+    pub fn lookup(&self, ip: IpAddr) -> Option<Arc<IpMeta>> {
+        if let Some(cached) = self.cache.read().expect("geo cache poisoned").get(&ip) {
+            return cached.clone();
+        }
+        let meta = self.db.lookup(ip).map(Arc::new);
+        self.cache
+            .write()
+            .expect("geo cache poisoned")
+            .entry(ip)
+            // on a race, keep the first insertion (both computed the same value)
+            .or_insert(meta)
+            .clone()
+    }
+
+    /// Country code of `ip`, `"??"` when unmapped (table convention).
+    pub fn country(&self, ip: IpAddr) -> String {
+        self.lookup(ip)
+            .map(|m| m.country.clone())
+            .unwrap_or_else(|| "??".to_string())
+    }
+
+    /// Whether `ip` belongs to an institutional scanner.
+    pub fn is_institutional(&self, ip: IpAddr) -> bool {
+        self.lookup(ip).map(|m| m.institutional).unwrap_or(false)
+    }
+
+    /// Number of distinct addresses enriched so far (cache size).
+    pub fn cached(&self) -> usize {
+        self.cache.read().expect("geo cache poisoned").len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn memoizes_hits_and_misses() {
+        let db = GeoDb::builtin();
+        let enricher = GeoEnricher::new(db.clone());
+        let mut rng = StdRng::seed_from_u64(7);
+        let hit: IpAddr = db.sample_ip(14061, None, &mut rng).unwrap().into();
+        let miss: IpAddr = "203.0.113.77".parse().unwrap();
+
+        let first = enricher.lookup(hit).expect("mapped");
+        let second = enricher.lookup(hit).expect("mapped");
+        // repeat lookups share the same allocation
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(first.asn, 14061);
+
+        assert!(enricher.lookup(miss).is_none());
+        assert!(enricher.lookup(miss).is_none());
+        assert_eq!(enricher.cached(), 2, "negative result cached too");
+    }
+
+    #[test]
+    fn agrees_with_uncached_lookup() {
+        let db = GeoDb::builtin();
+        let enricher = GeoEnricher::new(db.clone());
+        let mut rng = StdRng::seed_from_u64(8);
+        for asn in db.asns().collect::<Vec<_>>() {
+            let ip: IpAddr = db.sample_ip(asn, None, &mut rng).unwrap().into();
+            let direct = db.lookup(ip).expect("mapped");
+            let cached = enricher.lookup(ip).expect("mapped");
+            assert_eq!(*cached, direct);
+            assert_eq!(enricher.country(ip), direct.country);
+            assert_eq!(enricher.is_institutional(ip), direct.institutional);
+        }
+    }
+}

@@ -7,6 +7,8 @@
 //! and institutional-scanner list (§4.3, Figure 1 step ③).
 //!
 //! * [`trie`] — a binary longest-prefix-match trie over IPv4.
+//! * [`enrich`] — a memoizing per-IP cache ([`GeoEnricher`]) so the analysis
+//!   frame enriches each source exactly once.
 //! * [`registry`] — a built-in allocation table whose autonomous systems are
 //!   modeled on the ASes the paper names (AS6939 Hurricane, AS396982 Google
 //!   Cloud, AS14061 DigitalOcean, AS4134 Chinanet, AS208091, AS398324
@@ -19,8 +21,11 @@
 //! built with — mirroring how the paper's enrichment recovers the structure
 //! of real traffic.
 
+pub mod enrich;
 pub mod registry;
 pub mod trie;
+
+pub use enrich::GeoEnricher;
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};

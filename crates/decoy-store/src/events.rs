@@ -125,7 +125,7 @@ impl HoneypotId {
 }
 
 /// `(source IP, session sequence)` — the unit the paper groups actions by.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct SessionKey {
     /// Source address of the session.
     pub src: IpAddr,
@@ -211,6 +211,31 @@ struct Inner {
     events: Vec<Event>,
     by_src: HashMap<IpAddr, Vec<usize>>,
     by_dbms: HashMap<Dbms, Vec<usize>>,
+    by_session: HashMap<(HoneypotId, SessionKey), Vec<usize>>,
+}
+
+impl Inner {
+    /// Append one event under the held write lock, maintaining every
+    /// secondary index. The single place indexes are updated.
+    fn append_locked(&mut self, event: Event) {
+        let idx = self.events.len();
+        self.by_src.entry(event.src).or_default().push(idx);
+        self.by_dbms
+            .entry(event.honeypot.dbms)
+            .or_default()
+            .push(idx);
+        self.by_session
+            .entry((
+                event.honeypot,
+                SessionKey {
+                    src: event.src,
+                    session: event.session,
+                },
+            ))
+            .or_default()
+            .push(idx);
+        self.events.push(event);
+    }
 }
 
 impl EventStore {
@@ -221,15 +246,7 @@ impl EventStore {
 
     /// Append one event.
     pub fn log(&self, event: Event) {
-        let mut inner = self.inner.write();
-        let idx = inner.events.len();
-        inner.by_src.entry(event.src).or_default().push(idx);
-        inner
-            .by_dbms
-            .entry(event.honeypot.dbms)
-            .or_default()
-            .push(idx);
-        inner.events.push(event);
+        self.inner.write().append_locked(event);
     }
 
     /// Build a store from a collection of events (used to slice a run's
@@ -244,14 +261,7 @@ impl EventStore {
     pub fn log_many(&self, events: impl IntoIterator<Item = Event>) {
         let mut inner = self.inner.write();
         for event in events {
-            let idx = inner.events.len();
-            inner.by_src.entry(event.src).or_default().push(idx);
-            inner
-                .by_dbms
-                .entry(event.honeypot.dbms)
-                .or_default()
-                .push(idx);
-            inner.events.push(event);
+            inner.append_locked(event);
         }
     }
 
@@ -310,6 +320,55 @@ impl EventStore {
     pub fn fold<T>(&self, init: T, f: impl FnMut(T, &Event) -> T) -> T {
         let inner = self.inner.read();
         inner.events.iter().fold(init, f)
+    }
+
+    /// Zero-clone read access: run `f` against the full event slice under
+    /// the read lock. This is the visitor counterpart of [`EventStore::all`]
+    /// for hot paths that must not pay the full-vector clone.
+    ///
+    /// `f` must not call back into this store (the lock is held).
+    pub fn read<T>(&self, f: impl FnOnce(&[Event]) -> T) -> T {
+        let inner = self.inner.read();
+        f(&inner.events)
+    }
+
+    /// Visit every event in log order without cloning.
+    pub fn for_each(&self, mut f: impl FnMut(&Event)) {
+        let inner = self.inner.read();
+        for event in &inner.events {
+            f(event);
+        }
+    }
+
+    /// True when both stores hold identical event sequences — iterator
+    /// equality without cloning either side.
+    pub fn events_eq(&self, other: &EventStore) -> bool {
+        if std::ptr::eq(self, other) {
+            return true;
+        }
+        let a = self.inner.read();
+        let b = other.inner.read();
+        a.events == b.events
+    }
+
+    /// Number of distinct `(honeypot, session)` groups observed.
+    pub fn session_count(&self) -> usize {
+        self.inner.read().by_session.len()
+    }
+
+    /// All `(honeypot, session key)` pairs observed, unordered.
+    pub fn session_keys(&self) -> Vec<(HoneypotId, SessionKey)> {
+        self.inner.read().by_session.keys().copied().collect()
+    }
+
+    /// Events of one session, in log order.
+    pub fn by_session(&self, honeypot: HoneypotId, key: SessionKey) -> Vec<Event> {
+        let inner = self.inner.read();
+        inner
+            .by_session
+            .get(&(honeypot, key))
+            .map(|idxs| idxs.iter().map(|&i| inner.events[i].clone()).collect())
+            .unwrap_or_default()
     }
 
     /// Export as JSON lines (the dataset format of Appendix B).
@@ -474,6 +533,75 @@ mod tests {
         }
         b.log_many(events);
         assert_eq!(a.all(), b.all());
+        assert!(a.events_eq(&b));
         assert_eq!(a.sources().len(), b.sources().len());
+        assert_eq!(a.session_count(), b.session_count());
+    }
+
+    #[test]
+    fn read_sees_events_without_cloning() {
+        let store = EventStore::new();
+        store.log(ev(ip(1), Dbms::Redis, EventKind::Connect));
+        store.log(ev(ip(2), Dbms::Redis, EventKind::Disconnect));
+        let (n, first_src) = store.read(|events| (events.len(), events[0].src));
+        assert_eq!(n, 2);
+        assert_eq!(first_src, ip(1));
+        let mut visited = 0;
+        store.for_each(|_| visited += 1);
+        assert_eq!(visited, 2);
+    }
+
+    #[test]
+    fn events_eq_detects_divergence() {
+        let a = EventStore::new();
+        let b = EventStore::new();
+        a.log(ev(ip(1), Dbms::Redis, EventKind::Connect));
+        b.log(ev(ip(1), Dbms::Redis, EventKind::Connect));
+        assert!(a.events_eq(&b));
+        assert!(a.events_eq(&a)); // self-comparison must not deadlock
+        b.log(ev(ip(2), Dbms::Redis, EventKind::Connect));
+        assert!(!a.events_eq(&b));
+    }
+
+    #[test]
+    fn by_session_groups_in_log_order() {
+        let store = EventStore::new();
+        let mk = |src: IpAddr, session: u64, kind: EventKind| Event {
+            ts: EXPERIMENT_START,
+            honeypot: hp(Dbms::Redis),
+            src,
+            session,
+            kind,
+        };
+        store.log(mk(ip(1), 1, EventKind::Connect));
+        store.log(mk(ip(2), 1, EventKind::Connect));
+        store.log(mk(
+            ip(1),
+            1,
+            EventKind::Command {
+                action: "INFO".into(),
+                raw: "INFO".into(),
+            },
+        ));
+        store.log(mk(ip(1), 2, EventKind::Connect));
+
+        assert_eq!(store.session_count(), 3);
+        let key = SessionKey {
+            src: ip(1),
+            session: 1,
+        };
+        let events = store.by_session(hp(Dbms::Redis), key);
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Connect);
+        assert!(matches!(events[1].kind, EventKind::Command { .. }));
+        // unknown session is empty
+        let missing = SessionKey {
+            src: ip(9),
+            session: 1,
+        };
+        assert!(store.by_session(hp(Dbms::Redis), missing).is_empty());
+        let mut keys = store.session_keys();
+        keys.sort();
+        assert_eq!(keys.len(), 3);
     }
 }

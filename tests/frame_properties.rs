@@ -1,0 +1,190 @@
+//! Property-based tests for the one-pass `AnalysisFrame` and the store's
+//! `by_session` secondary index: for arbitrary event sequences, every
+//! frame-derived aggregate must equal a naive linear fold over the raw
+//! events, and the indexes must agree with linear-scan oracles.
+
+use decoy_databases::analysis::frame::{AnalysisFrame, FrameKind, Partition};
+use decoy_databases::geo::GeoDb;
+use decoy_databases::net::time::EXPERIMENT_START;
+use decoy_databases::store::{
+    ConfigVariant, Dbms, Event, EventKind, EventStore, HoneypotId, InteractionLevel,
+};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::net::IpAddr;
+
+fn arb_dbms() -> impl Strategy<Value = Dbms> {
+    prop_oneof![
+        Just(Dbms::Mssql),
+        Just(Dbms::MySql),
+        Just(Dbms::Postgres),
+        Just(Dbms::Redis),
+        Just(Dbms::MongoDb),
+        Just(Dbms::Elastic),
+    ]
+}
+
+fn arb_level() -> impl Strategy<Value = InteractionLevel> {
+    prop_oneof![
+        Just(InteractionLevel::Low),
+        Just(InteractionLevel::Medium),
+        Just(InteractionLevel::High),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = ConfigVariant> {
+    prop_oneof![
+        Just(ConfigVariant::Default),
+        Just(ConfigVariant::FakeData),
+        Just(ConfigVariant::LoginDisabled),
+        Just(ConfigVariant::MultiService),
+        Just(ConfigVariant::SingleService),
+    ]
+}
+
+fn arb_kind() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        Just(EventKind::Connect),
+        Just(EventKind::Disconnect),
+        ("[a-z]{1,6}", "[a-z0-9]{0,8}", any::<bool>()).prop_map(|(username, password, success)| {
+            EventKind::LoginAttempt {
+                username,
+                password,
+                success,
+            }
+        }),
+        ("[A-Z]{2,8}", "[ -~]{0,12}").prop_map(|(action, raw)| EventKind::Command { action, raw }),
+        (
+            0usize..512,
+            proptest::option::of("[a-z-]{2,8}"),
+            "[ -~]{0,8}"
+        )
+            .prop_map(|(len, recognized, preview)| EventKind::Payload {
+                len,
+                recognized,
+                preview,
+            }),
+        "[ -~]{0,12}".prop_map(|detail| EventKind::Malformed { detail }),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        0u64..1_000_000,
+        arb_dbms(),
+        arb_level(),
+        arb_config(),
+        0u16..3,
+        any::<[u8; 4]>(),
+        0u64..4,
+        arb_kind(),
+    )
+        .prop_map(
+            |(ms, dbms, level, config, instance, ip, session, kind)| Event {
+                ts: EXPERIMENT_START.add_millis(ms),
+                honeypot: HoneypotId::new(dbms, level, config, instance),
+                src: IpAddr::from(ip),
+                session,
+                kind,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Frame aggregates (per-IP event counts, per-DBMS login counts,
+    /// session counts, partition sizes) equal a naive fold over the raw
+    /// event sequence.
+    #[test]
+    fn frame_aggregates_match_naive_fold(
+        events in proptest::collection::vec(arb_event(), 0..60),
+    ) {
+        let store = EventStore::new();
+        store.log_many(events.clone());
+        let geo = GeoDb::builtin();
+        let frame = AnalysisFrame::build(&store, &geo);
+
+        // naive linear fold over the raw events
+        let mut naive_per_ip: HashMap<IpAddr, usize> = HashMap::new();
+        let mut naive_logins: HashMap<Dbms, usize> = HashMap::new();
+        let mut naive_sessions: HashSet<(HoneypotId, IpAddr, u64)> = HashSet::new();
+        let mut naive_low = 0usize;
+        for e in &events {
+            *naive_per_ip.entry(e.src).or_default() += 1;
+            if matches!(e.kind, EventKind::LoginAttempt { .. }) {
+                *naive_logins.entry(e.honeypot.dbms).or_default() += 1;
+            }
+            naive_sessions.insert((e.honeypot, e.src, e.session));
+            if e.honeypot.level == InteractionLevel::Low {
+                naive_low += 1;
+            }
+        }
+
+        // the same aggregates off the frame
+        let mut frame_per_ip: HashMap<IpAddr, usize> = HashMap::new();
+        let mut frame_logins: HashMap<Dbms, usize> = HashMap::new();
+        for e in frame.events() {
+            *frame_per_ip.entry(e.src).or_default() += 1;
+            if matches!(e.kind, FrameKind::LoginAttempt { .. }) {
+                *frame_logins.entry(e.honeypot.dbms).or_default() += 1;
+            }
+        }
+        prop_assert_eq!(frame.len(), events.len());
+        prop_assert_eq!(frame_per_ip, naive_per_ip);
+        prop_assert_eq!(frame_logins, naive_logins);
+        prop_assert_eq!(frame.session_count(), naive_sessions.len());
+        prop_assert_eq!(store.session_count(), naive_sessions.len());
+        // the partitions tile the frame exactly
+        prop_assert_eq!(frame.view(Partition::Low).len(), naive_low);
+        prop_assert_eq!(
+            frame.view(Partition::Low).len() + frame.view(Partition::MedHigh).len(),
+            frame.view(Partition::All).len()
+        );
+        // every distinct source got enriched exactly once
+        prop_assert_eq!(frame.distinct_sources(), frame_per_ip_len(&events));
+    }
+
+    /// The store's `by_session` index and the frame's session grouping both
+    /// agree with a linear filter over the raw sequence, preserving log
+    /// order within each session.
+    #[test]
+    fn by_session_index_matches_linear_filter(
+        events in proptest::collection::vec(arb_event(), 0..60),
+    ) {
+        let store = EventStore::new();
+        // exercise the single-event `log` path (log_many is covered above)
+        for e in events.clone() {
+            store.log(e);
+        }
+        for (hp, key) in store.session_keys() {
+            let indexed = store.by_session(hp, key);
+            let expected: Vec<Event> = events
+                .iter()
+                .filter(|e| e.honeypot == hp && e.src == key.src && e.session == key.session)
+                .cloned()
+                .collect();
+            prop_assert!(!indexed.is_empty(), "index lists an empty session");
+            prop_assert_eq!(indexed, expected);
+        }
+
+        let geo = GeoDb::builtin();
+        let frame = AnalysisFrame::build(&store, &geo);
+        prop_assert_eq!(frame.session_count(), store.session_count());
+        for (hp, key) in store.session_keys() {
+            let frame_events = frame.session_events(hp, key);
+            let store_events = store.by_session(hp, key);
+            prop_assert_eq!(frame_events.len(), store_events.len());
+            for (f, s) in frame_events.iter().zip(&store_events) {
+                prop_assert_eq!(f.ts, s.ts);
+                prop_assert_eq!(f.honeypot, s.honeypot);
+                prop_assert_eq!(f.src, s.src);
+                prop_assert_eq!(f.session, s.session);
+            }
+        }
+    }
+}
+
+fn frame_per_ip_len(events: &[Event]) -> usize {
+    events.iter().map(|e| e.src).collect::<HashSet<_>>().len()
+}
