@@ -9,7 +9,8 @@
 
 use crate::schedule::PlannedSession;
 use crate::scripts::{self, CampaignParams, SessionScript};
-use decoy_net::codec::{Codec, Framed};
+use decoy_net::codec::Codec;
+use decoy_net::framed::Framed;
 use decoy_net::proxy;
 use decoy_wire::mongo::bson::{doc, Bson, Document};
 use decoy_wire::mongo::{MongoBody, MongoCodec, MongoMessage};

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # decoy-bench
 //!
 //! Criterion benchmark targets, one per table/figure of the paper (each

@@ -12,8 +12,8 @@
 use crate::logging::SessionLogger;
 use crate::low::read_or_fault;
 use decoy_fakedata::FakeDataGenerator;
-use decoy_net::codec::Framed;
 use decoy_net::error::NetResult;
+use decoy_net::framed::Framed;
 use decoy_net::proxy;
 use decoy_net::server::{SessionCtx, SessionHandler};
 use decoy_store::docdb::DocDb;
@@ -92,7 +92,8 @@ impl CouchHoneypot {
             ),
             ("GET", ["_all_dbs"]) => {
                 let dbs: Vec<String> = self.db.list_databases();
-                HttpResponse::json(200, serde_json::to_string(&dbs).expect("list"))
+                let body = serde_json::to_string(&dbs).unwrap_or_else(|_| "[]".to_string());
+                HttpResponse::json(200, body)
             }
             ("GET", ["_utils"]) | ("GET", ["_utils", ..]) => HttpResponse::json(
                 403,

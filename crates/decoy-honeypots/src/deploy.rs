@@ -30,9 +30,10 @@ pub struct HoneypotSpec {
 impl HoneypotSpec {
     /// A loopback spec with an OS-assigned port.
     pub fn loopback(id: HoneypotId, clock: Clock, seed: u64) -> Self {
+        use std::net::{Ipv4Addr, SocketAddr};
         HoneypotSpec {
             id,
-            bind: "127.0.0.1:0".parse().expect("loopback parses"),
+            bind: SocketAddr::from((Ipv4Addr::LOCALHOST, 0)),
             clock,
             seed,
         }
@@ -147,7 +148,7 @@ pub async fn spawn(store: Arc<EventStore>, spec: HoneypotSpec) -> std::io::Resul
 #[cfg(test)]
 mod tests {
     use super::*;
-    use decoy_net::codec::Framed;
+    use decoy_net::framed::Framed;
     use decoy_wire::resp::{RespCodec, RespValue};
     use tokio::net::TcpStream;
 

@@ -12,8 +12,8 @@
 
 use crate::logging::SessionLogger;
 use crate::low::read_or_fault;
-use decoy_net::codec::Framed;
 use decoy_net::error::NetResult;
+use decoy_net::framed::Framed;
 use decoy_net::proxy;
 use decoy_net::server::{SessionCtx, SessionHandler};
 use decoy_store::{EventStore, HoneypotId};
@@ -87,7 +87,11 @@ impl ResponseBook {
                     .and_then(Value::as_str)
                     .unwrap_or("/")
                     .to_string(),
-                status: entry.get("status").and_then(Value::as_u64).unwrap_or(200) as u16,
+                status: entry
+                    .get("status")
+                    .and_then(Value::as_u64)
+                    .and_then(|s| u16::try_from(s).ok())
+                    .unwrap_or(200),
                 body: entry.get("body").cloned().unwrap_or(Value::Null),
             });
         }

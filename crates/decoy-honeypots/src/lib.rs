@@ -1,4 +1,18 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Honeypot read paths handle attacker-controlled bytes end to end. Like
+// decoy-wire, they must be total: Ok or Err, never a panic. `decoy-xtask
+// lint` enforces the same wall with file:line diagnostics; see DESIGN.md
+// "Threat model of the byte path".
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::indexing_slicing,
+        clippy::panic
+    )
+)]
 
 //! # decoy-honeypots
 //!

@@ -87,10 +87,11 @@ impl SessionLogger {
     /// Log an opaque payload, running foreign-protocol recognition on it.
     pub fn payload(&self, bytes: &[u8]) {
         let recognized = foreign::recognize(bytes).map(|p| p.label().to_string());
-        let preview: String = String::from_utf8_lossy(&bytes[..bytes.len().min(256)])
-            .chars()
-            .map(|c| if c.is_control() { '.' } else { c })
-            .collect();
+        let preview: String =
+            String::from_utf8_lossy(bytes.get(..bytes.len().min(256)).unwrap_or(bytes))
+                .chars()
+                .map(|c| if c.is_control() { '.' } else { c })
+                .collect();
         self.push(EventKind::Payload {
             len: bytes.len(),
             recognized,

@@ -7,8 +7,9 @@
 //! everything is logged.
 
 use crate::logging::SessionLogger;
-use decoy_net::codec::Framed;
+use decoy_net::cursor::sat_u8;
 use decoy_net::error::NetResult;
+use decoy_net::framed::Framed;
 use decoy_net::proxy;
 use decoy_net::server::{SessionCtx, SessionHandler};
 use decoy_store::{Dbms, EventStore, HoneypotId};
@@ -96,7 +97,8 @@ async fn mysql_session(
     // would fingerprint the honeypot.
     let mut auth_data = [0u8; 20];
     for (i, b) in auth_data.iter_mut().enumerate() {
-        *b = 0x21 + ((log.src().to_canonical().is_ipv4() as u8 + i as u8 * 7) % 60);
+        let mix = (usize::from(log.src().to_canonical().is_ipv4()) + i * 7) % 60;
+        *b = 0x21 + sat_u8(mix);
     }
     let greeting = mysql::Greeting::honeypot_default(rand_thread_id(log), auth_data);
     framed

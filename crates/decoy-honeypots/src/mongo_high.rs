@@ -9,8 +9,9 @@
 use crate::logging::SessionLogger;
 use crate::low::read_or_fault;
 use decoy_fakedata::FakeDataGenerator;
-use decoy_net::codec::Framed;
+use decoy_net::cursor::sat_i32;
 use decoy_net::error::NetResult;
+use decoy_net::framed::Framed;
 use decoy_net::proxy;
 use decoy_net::server::{SessionCtx, SessionHandler};
 use decoy_store::docdb::DocDb;
@@ -148,7 +149,9 @@ impl MongoHoneypot {
                 let coll = cmd.get_str(&name).unwrap_or("unknown").to_string();
                 log.command(&format!("find {db_name}.{coll}"));
                 let filter = cmd.get_doc("filter").cloned().unwrap_or_default();
-                let limit = cmd.get_f64("limit").unwrap_or(0.0).max(0.0) as usize;
+                // clamped to [0, 1e6] so the f64 → u64 conversion is exact
+                let limit = cmd.get_f64("limit").unwrap_or(0.0).clamp(0.0, 1e6) as u64;
+                let limit = usize::try_from(limit).unwrap_or(1_000_000);
                 let docs = self.db.find(&db_name, &coll, &filter, limit);
                 cursor_reply(&db_name, &coll, docs)
             }
@@ -167,7 +170,7 @@ impl MongoHoneypot {
                     .map(|arr| arr.iter().filter_map(|b| b.as_doc().cloned()).collect())
                     .unwrap_or_default();
                 let r = self.db.insert(&db_name, &coll, docs);
-                doc! { "n" => r.n as i32, "ok" => 1.0f64 }
+                doc! { "n" => sat_i32(r.n), "ok" => 1.0f64 }
             }
             "delete" => {
                 let coll = cmd.get_str(&name).unwrap_or("unknown").to_string();
@@ -183,7 +186,7 @@ impl MongoHoneypot {
                 } else {
                     removed += self.db.delete(&db_name, &coll, &Document::new()).n;
                 }
-                doc! { "n" => removed as i32, "ok" => 1.0f64 }
+                doc! { "n" => sat_i32(removed), "ok" => 1.0f64 }
             }
             "drop" => {
                 let coll = cmd.get_str(&name).unwrap_or("unknown").to_string();

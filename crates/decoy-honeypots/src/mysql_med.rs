@@ -13,8 +13,9 @@
 use crate::logging::SessionLogger;
 use crate::low::read_or_fault;
 use bytes::{BufMut, BytesMut};
-use decoy_net::codec::Framed;
+use decoy_net::cursor::sat_u8;
 use decoy_net::error::NetResult;
+use decoy_net::framed::Framed;
 use decoy_net::proxy;
 use decoy_net::server::{SessionCtx, SessionHandler};
 use decoy_store::{EventStore, HoneypotId};
@@ -65,7 +66,7 @@ impl MySqlHoneypot {
         let mut framed = Framed::with_initial(stream, MySqlCodec, initial);
         let mut auth_data = [0u8; 20];
         for (i, b) in auth_data.iter_mut().enumerate() {
-            *b = 0x23 + ((i as u8 * 11) % 60);
+            *b = 0x23 + sat_u8((i * 11) % 60);
         }
         framed
             .write_frame(&MySqlPacket {
@@ -142,7 +143,7 @@ fn single_value_result(column: &str, value: &str) -> Vec<MySqlPacket> {
     // column definition (catalog "def", empty schema/table, name, type var_string)
     let mut def = BytesMut::new();
     for s in ["def", "", "", "", column, ""] {
-        def.put_u8(s.len() as u8);
+        def.put_u8(sat_u8(s.len()));
         def.extend_from_slice(s.as_bytes());
     }
     def.put_u8(0x0c); // fixed fields length
@@ -163,7 +164,7 @@ fn single_value_result(column: &str, value: &str) -> Vec<MySqlPacket> {
     });
     // row
     let mut row = BytesMut::new();
-    row.put_u8(value.len() as u8);
+    row.put_u8(sat_u8(value.len()));
     row.extend_from_slice(value.as_bytes());
     out.push(MySqlPacket {
         seq: 4,

@@ -9,8 +9,8 @@
 
 use crate::logging::SessionLogger;
 use crate::low::read_or_fault;
-use decoy_net::codec::Framed;
 use decoy_net::error::NetResult;
+use decoy_net::framed::Framed;
 use decoy_net::proxy;
 use decoy_net::server::{SessionCtx, SessionHandler};
 use decoy_store::{EventStore, HoneypotId};

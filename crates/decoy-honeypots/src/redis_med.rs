@@ -12,8 +12,8 @@
 
 use crate::logging::SessionLogger;
 use crate::low::read_or_fault;
-use decoy_net::codec::Framed;
 use decoy_net::error::NetResult;
+use decoy_net::framed::Framed;
 use decoy_net::proxy;
 use decoy_net::server::{SessionCtx, SessionHandler};
 use decoy_store::kv::{KvStore, ReplicationRole};
@@ -170,7 +170,8 @@ impl RedisHoneypot {
                 if cmd.args.len() < 2 {
                     return wrong_args("rpush");
                 }
-                RespValue::Integer(self.kv.rpush(&key, cmd.args[1..].to_vec()) as i64)
+                let tail = cmd.args.get(1..).unwrap_or_default().to_vec();
+                RespValue::Integer(self.kv.rpush(&key, tail) as i64)
             }
             "LRANGE" => {
                 let (Some(key), Some(start), Some(stop)) =

@@ -1,14 +1,18 @@
-//! Incremental frame codecs and the async framed stream.
+//! Incremental frame codecs: the synchronous half of the framing layer.
 //!
 //! Every wire protocol in `decoy-wire` implements [`Codec`]: decoding consumes
 //! bytes from a [`BytesMut`] and either produces a complete frame, asks for
 //! more bytes (`Ok(None)`), or reports a protocol violation. This is the
 //! framing discipline from the Tokio tutorial, kept separate from I/O so
-//! codecs are unit-testable without sockets.
+//! codecs are unit-testable (and fuzzable) without sockets or a runtime.
+//! The async side lives in [`crate::framed`].
+//!
+//! Codecs here parse attacker-controlled bytes, so this module is covered by
+//! the `decoy-xtask lint` panic-freedom wall: no `unwrap`/`expect`/`panic!`,
+//! no slice indexing, no `as` truncation.
 
 use crate::error::{NetError, NetResult};
 use bytes::BytesMut;
-use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
 
 /// An incremental encoder/decoder for one protocol's frames.
 pub trait Codec {
@@ -24,13 +28,15 @@ pub trait Codec {
     /// * `Ok(None)` — `buf` holds an incomplete frame; read more bytes.
     /// * `Err(_)` — the bytes can never form a valid frame.
     ///
-    /// Implementations must not consume bytes when returning `Ok(None)`.
+    /// Implementations must not consume bytes when returning `Ok(None)`,
+    /// and must be *total*: any byte sequence yields `Ok` or `Err`, never
+    /// a panic.
     fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<Self::In>>;
 
     /// Append the encoding of `frame` to `buf`.
     fn encode(&mut self, frame: &Self::Out, buf: &mut BytesMut) -> NetResult<()>;
 
-    /// Upper bound on a single frame, enforced by [`Framed`].
+    /// Upper bound on a single frame, enforced by [`crate::framed::Framed`].
     fn max_frame_len(&self) -> usize {
         1 << 20
     }
@@ -39,108 +45,13 @@ pub trait Codec {
 /// Read an exact big-endian `u32` length prefix if available, without
 /// consuming it. Helper shared by several codecs.
 pub fn peek_u32_be(buf: &BytesMut) -> Option<u32> {
-    if buf.len() < 4 {
-        return None;
-    }
-    Some(u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]))
+    buf.first_chunk::<4>().map(|b| u32::from_be_bytes(*b))
 }
 
 /// Read an exact little-endian `u32` length prefix if available, without
 /// consuming it.
 pub fn peek_u32_le(buf: &BytesMut) -> Option<u32> {
-    if buf.len() < 4 {
-        return None;
-    }
-    Some(u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]))
-}
-
-/// A frame-oriented wrapper around a byte stream.
-///
-/// Owns the read buffer; `read_frame` loops `decode` / `read_buf` until a
-/// frame is complete, the peer disconnects, or the frame limit is exceeded.
-pub struct Framed<S, C> {
-    stream: S,
-    codec: C,
-    read_buf: BytesMut,
-    write_buf: BytesMut,
-}
-
-impl<S, C> Framed<S, C>
-where
-    S: AsyncRead + AsyncWrite + Unpin,
-    C: Codec,
-{
-    /// Wrap `stream` with `codec`.
-    pub fn new(stream: S, codec: C) -> Self {
-        Self::with_initial(stream, codec, BytesMut::with_capacity(4096))
-    }
-
-    /// Wrap `stream` with `codec`, seeding the read buffer with bytes that
-    /// were already consumed from the stream (e.g. while peeking for a
-    /// PROXY protocol header).
-    pub fn with_initial(stream: S, codec: C, initial: BytesMut) -> Self {
-        Framed {
-            stream,
-            codec,
-            read_buf: initial,
-            write_buf: BytesMut::with_capacity(4096),
-        }
-    }
-
-    /// Access the codec (some protocols carry handshake state in it).
-    pub fn codec_mut(&mut self) -> &mut C {
-        &mut self.codec
-    }
-
-    /// Bytes currently buffered but not yet decoded.
-    pub fn buffered(&self) -> &[u8] {
-        &self.read_buf
-    }
-
-    /// Read one frame, or `None` on clean EOF at a frame boundary.
-    pub async fn read_frame(&mut self) -> NetResult<Option<C::In>> {
-        loop {
-            if let Some(frame) = self.codec.decode(&mut self.read_buf)? {
-                return Ok(Some(frame));
-            }
-            if self.read_buf.len() > self.codec.max_frame_len() {
-                return Err(NetError::FrameTooLarge {
-                    limit: self.codec.max_frame_len(),
-                    got: self.read_buf.len(),
-                });
-            }
-            let n = self.stream.read_buf(&mut self.read_buf).await?;
-            if n == 0 {
-                return if self.read_buf.is_empty() {
-                    Ok(None)
-                } else {
-                    Err(NetError::UnexpectedEof)
-                };
-            }
-        }
-    }
-
-    /// Encode and flush one frame.
-    pub async fn write_frame(&mut self, frame: &C::Out) -> NetResult<()> {
-        self.write_buf.clear();
-        self.codec.encode(frame, &mut self.write_buf)?;
-        self.stream.write_all(&self.write_buf).await?;
-        self.stream.flush().await?;
-        Ok(())
-    }
-
-    /// Write raw bytes (used for canned banners that bypass the codec).
-    pub async fn write_raw(&mut self, bytes: &[u8]) -> NetResult<()> {
-        self.stream.write_all(bytes).await?;
-        self.stream.flush().await?;
-        Ok(())
-    }
-
-    /// Consume the wrapper, returning the underlying stream and any
-    /// unconsumed buffered bytes.
-    pub fn into_parts(self) -> (S, BytesMut) {
-        (self.stream, self.read_buf)
-    }
+    buf.first_chunk::<4>().map(|b| u32::from_le_bytes(*b))
 }
 
 /// A trivial line-based codec (`\n`-terminated, CR stripped). Used by tests
@@ -168,7 +79,7 @@ impl Codec for LineCodec {
         let mut line = buf.split_to(pos + 1);
         line.truncate(pos); // drop '\n'
         if line.last() == Some(&b'\r') {
-            line.truncate(line.len() - 1);
+            line.truncate(line.len().saturating_sub(1));
         }
         match String::from_utf8(line.to_vec()) {
             Ok(s) => Ok(Some(s)),
@@ -243,7 +154,6 @@ pub fn encode_all<C: Codec>(codec: &mut C, frames: &[C::Out]) -> NetResult<Vec<u
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tokio::io::duplex;
 
     #[test]
     fn line_codec_roundtrip_and_partials() {
@@ -278,43 +188,5 @@ mod tests {
         assert_eq!(peek_u32_be(&buf), Some(0x0000_0102));
         assert_eq!(peek_u32_le(&buf), Some(0x0201_0000));
         assert_eq!(peek_u32_be(&BytesMut::from(&[1u8, 2][..])), None);
-    }
-
-    #[tokio::test]
-    async fn framed_roundtrip_over_duplex() {
-        let (a, b) = duplex(256);
-        let mut fa = Framed::new(a, LineCodec::default());
-        let mut fb = Framed::new(b, LineCodec::default());
-        fa.write_frame(&"ping".to_string()).await.unwrap();
-        assert_eq!(fb.read_frame().await.unwrap(), Some("ping".to_string()));
-        fb.write_frame(&"pong".to_string()).await.unwrap();
-        assert_eq!(fa.read_frame().await.unwrap(), Some("pong".to_string()));
-        drop(fb);
-        assert_eq!(fa.read_frame().await.unwrap(), None); // clean EOF
-    }
-
-    #[tokio::test]
-    async fn framed_eof_mid_frame_is_error() {
-        let (a, b) = duplex(256);
-        let mut fa = Framed::new(a, LineCodec::default());
-        let mut fb = Framed::new(b, RawCodec);
-        fb.write_frame(&b"incomplete".to_vec()).await.unwrap();
-        drop(fb);
-        assert!(matches!(
-            fa.read_frame().await,
-            Err(NetError::UnexpectedEof)
-        ));
-    }
-
-    #[tokio::test]
-    async fn framed_enforces_frame_limit() {
-        let (a, b) = duplex(4096);
-        let mut fa = Framed::new(a, LineCodec::with_max_len(8));
-        let mut fb = Framed::new(b, RawCodec);
-        fb.write_frame(&vec![b'x'; 64]).await.unwrap();
-        assert!(matches!(
-            fa.read_frame().await,
-            Err(NetError::FrameTooLarge { .. })
-        ));
     }
 }

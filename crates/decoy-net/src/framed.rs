@@ -1,0 +1,144 @@
+//! The async frame stream: a [`Codec`] bound to an `AsyncRead + AsyncWrite`.
+//!
+//! Split from [`crate::codec`] so the codec layer itself stays synchronous
+//! and I/O-free — decoders over attacker bytes can be compiled, tested, and
+//! fuzzed without a runtime.
+
+use crate::codec::Codec;
+use crate::error::{NetError, NetResult};
+use bytes::BytesMut;
+use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+
+/// A frame-oriented wrapper around a byte stream.
+///
+/// Owns the read buffer; `read_frame` loops `decode` / `read_buf` until a
+/// frame is complete, the peer disconnects, or the frame limit is exceeded.
+pub struct Framed<S, C> {
+    stream: S,
+    codec: C,
+    read_buf: BytesMut,
+    write_buf: BytesMut,
+}
+
+impl<S, C> Framed<S, C>
+where
+    S: AsyncRead + AsyncWrite + Unpin,
+    C: Codec,
+{
+    /// Wrap `stream` with `codec`.
+    pub fn new(stream: S, codec: C) -> Self {
+        Self::with_initial(stream, codec, BytesMut::with_capacity(4096))
+    }
+
+    /// Wrap `stream` with `codec`, seeding the read buffer with bytes that
+    /// were already consumed from the stream (e.g. while peeking for a
+    /// PROXY protocol header).
+    pub fn with_initial(stream: S, codec: C, initial: BytesMut) -> Self {
+        Framed {
+            stream,
+            codec,
+            read_buf: initial,
+            write_buf: BytesMut::with_capacity(4096),
+        }
+    }
+
+    /// Access the codec (some protocols carry handshake state in it).
+    pub fn codec_mut(&mut self) -> &mut C {
+        &mut self.codec
+    }
+
+    /// Bytes currently buffered but not yet decoded.
+    pub fn buffered(&self) -> &[u8] {
+        &self.read_buf
+    }
+
+    /// Read one frame, or `None` on clean EOF at a frame boundary.
+    pub async fn read_frame(&mut self) -> NetResult<Option<C::In>> {
+        loop {
+            if let Some(frame) = self.codec.decode(&mut self.read_buf)? {
+                return Ok(Some(frame));
+            }
+            if self.read_buf.len() > self.codec.max_frame_len() {
+                return Err(NetError::FrameTooLarge {
+                    limit: self.codec.max_frame_len(),
+                    got: self.read_buf.len(),
+                });
+            }
+            let n = self.stream.read_buf(&mut self.read_buf).await?;
+            if n == 0 {
+                return if self.read_buf.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(NetError::UnexpectedEof)
+                };
+            }
+        }
+    }
+
+    /// Encode and flush one frame.
+    pub async fn write_frame(&mut self, frame: &C::Out) -> NetResult<()> {
+        self.write_buf.clear();
+        self.codec.encode(frame, &mut self.write_buf)?;
+        self.stream.write_all(&self.write_buf).await?;
+        self.stream.flush().await?;
+        Ok(())
+    }
+
+    /// Write raw bytes (used for canned banners that bypass the codec).
+    pub async fn write_raw(&mut self, bytes: &[u8]) -> NetResult<()> {
+        self.stream.write_all(bytes).await?;
+        self.stream.flush().await?;
+        Ok(())
+    }
+
+    /// Consume the wrapper, returning the underlying stream and any
+    /// unconsumed buffered bytes.
+    pub fn into_parts(self) -> (S, BytesMut) {
+        (self.stream, self.read_buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{LineCodec, RawCodec};
+    use tokio::io::duplex;
+
+    #[tokio::test]
+    async fn framed_roundtrip_over_duplex() {
+        let (a, b) = duplex(256);
+        let mut fa = Framed::new(a, LineCodec::default());
+        let mut fb = Framed::new(b, LineCodec::default());
+        fa.write_frame(&"ping".to_string()).await.unwrap();
+        assert_eq!(fb.read_frame().await.unwrap(), Some("ping".to_string()));
+        fb.write_frame(&"pong".to_string()).await.unwrap();
+        assert_eq!(fa.read_frame().await.unwrap(), Some("pong".to_string()));
+        drop(fb);
+        assert_eq!(fa.read_frame().await.unwrap(), None); // clean EOF
+    }
+
+    #[tokio::test]
+    async fn framed_eof_mid_frame_is_error() {
+        let (a, b) = duplex(256);
+        let mut fa = Framed::new(a, LineCodec::default());
+        let mut fb = Framed::new(b, RawCodec);
+        fb.write_frame(&b"incomplete".to_vec()).await.unwrap();
+        drop(fb);
+        assert!(matches!(
+            fa.read_frame().await,
+            Err(NetError::UnexpectedEof)
+        ));
+    }
+
+    #[tokio::test]
+    async fn framed_enforces_frame_limit() {
+        let (a, b) = duplex(4096);
+        let mut fa = Framed::new(a, LineCodec::with_max_len(8));
+        let mut fb = Framed::new(b, RawCodec);
+        fb.write_frame(&vec![b'x'; 64]).await.unwrap();
+        assert!(matches!(
+            fa.read_frame().await,
+            Err(NetError::FrameTooLarge { .. })
+        ));
+    }
+}

@@ -1,4 +1,16 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Attacker bytes flow through this crate; the byte path must be total.
+// `decoy-xtask lint` enforces the same wall with file:line diagnostics.
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::indexing_slicing,
+        clippy::panic
+    )
+)]
 
 //! # decoy-net
 //!
@@ -11,8 +23,11 @@
 //!   [`time::Timestamp`] type all logged events carry. Experiments replay the
 //!   paper's 20-day window (2024-03-22 → 2024-04-11) on a [`time::SimClock`].
 //! * [`codec`] — the incremental [`codec::Codec`] trait (decode from / encode
-//!   into a [`bytes::BytesMut`]) plus [`codec::Framed`], an async frame
-//!   stream over any `AsyncRead + AsyncWrite`.
+//!   into a [`bytes::BytesMut`]) and [`framed`] — [`framed::Framed`], an
+//!   async frame stream over any `AsyncRead + AsyncWrite`.
+//! * [`cursor`] — [`cursor::ByteCursor`], the fallible, offset-tracking
+//!   reader every `decoy-wire` decoder uses so adversarial bytes can never
+//!   panic the capture layer (errors surface as [`error::WireError`]).
 //! * [`limiter`] — per-source token-bucket rate limiting and connection caps,
 //!   protecting honeypots from accidental self-DoS during replay.
 //! * [`server`] — a supervised TCP listener: accept loop, per-session tasks,
@@ -23,14 +38,18 @@
 //! interaction flow through the same production code path.
 
 pub mod codec;
+pub mod cursor;
 pub mod error;
+pub mod framed;
 pub mod limiter;
 pub mod proxy;
 pub mod server;
 pub mod time;
 
-pub use codec::{Codec, Framed};
-pub use error::NetError;
+pub use codec::Codec;
+pub use cursor::ByteCursor;
+pub use error::{NetError, WireError, WireErrorKind, WireProtocol};
+pub use framed::Framed;
 pub use limiter::{ConnectionGate, RateLimiter};
 pub use server::{Listener, ServerHandle, SessionCtx, SessionHandler, ShutdownSignal};
 pub use time::{Clock, SimClock, Timestamp};

@@ -34,7 +34,12 @@ impl RateLimiter {
     /// A limiter allowing `rate_per_sec` sustained and `burst` instantaneous
     /// admissions per source IP.
     pub fn new(rate_per_sec: f64, burst: u32) -> Self {
+        // Constructor misconfiguration is operator error at deploy time, not
+        // attacker input; failing fast here can never be reached by peer
+        // bytes. Locks below are parking_lot and cannot poison.
+        // decoy-lint: allow(panic) -- deploy-time config invariant, not on the byte path
         assert!(rate_per_sec > 0.0, "rate must be positive");
+        // decoy-lint: allow(panic) -- deploy-time config invariant, not on the byte path
         assert!(burst >= 1, "burst must admit at least one");
         RateLimiter {
             rate_per_sec,
@@ -102,7 +107,8 @@ pub struct ConnectionPermit {
 impl ConnectionGate {
     /// A gate admitting at most `limit` concurrent sessions.
     pub fn new(limit: usize) -> Self {
-        assert!(limit >= 1);
+        // decoy-lint: allow(panic) -- deploy-time config invariant, not on the byte path
+        assert!(limit >= 1, "gate must admit at least one session");
         ConnectionGate {
             inner: Arc::new(GateInner {
                 active: AtomicUsize::new(0),

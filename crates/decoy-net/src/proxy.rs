@@ -67,7 +67,7 @@ pub fn parse_v1(line: &str) -> NetResult<SocketAddr> {
 ///
 /// Returns the announced source (if a header was present) and whatever bytes
 /// beyond the header were already read — the caller must seed its codec
-/// buffer with them ([`crate::codec::Framed::with_initial`]).
+/// buffer with them ([`crate::framed::Framed::with_initial`]).
 pub async fn maybe_read_v1<S: AsyncRead + Unpin>(
     stream: &mut S,
 ) -> NetResult<(Option<SocketAddr>, BytesMut)> {
@@ -76,13 +76,13 @@ pub async fn maybe_read_v1<S: AsyncRead + Unpin>(
         // Decide as early as possible whether this is a PROXY line at all.
         let prefix = b"PROXY ";
         let check = buf.len().min(prefix.len());
-        if buf[..check] != prefix[..check] {
+        if buf.get(..check) != prefix.get(..check) {
             return Ok((None, buf));
         }
         if let Some(pos) = buf.windows(2).position(|w| w == b"\r\n") {
-            let line = String::from_utf8_lossy(&buf[..pos]).into_owned();
+            let line = String::from_utf8_lossy(buf.get(..pos).unwrap_or_default()).into_owned();
             let src = parse_v1(&line)?;
-            let rest = BytesMut::from(&buf[pos + 2..]);
+            let rest = BytesMut::from(buf.get(pos + 2..).unwrap_or_default());
             return Ok((Some(src), rest));
         }
         if buf.len() > MAX_HEADER {

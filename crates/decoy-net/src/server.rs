@@ -188,7 +188,8 @@ impl ServerHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::codec::{Framed, LineCodec};
+    use crate::codec::LineCodec;
+    use crate::framed::Framed;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use tokio::io::{AsyncReadExt, AsyncWriteExt};
 

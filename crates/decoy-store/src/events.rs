@@ -286,7 +286,11 @@ impl EventStore {
         inner
             .by_src
             .get(&src)
-            .map(|idxs| idxs.iter().map(|&i| inner.events[i].clone()).collect())
+            .map(|idxs| {
+                idxs.iter()
+                    .filter_map(|&i| inner.events.get(i).cloned())
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -296,7 +300,11 @@ impl EventStore {
         inner
             .by_dbms
             .get(&dbms)
-            .map(|idxs| idxs.iter().map(|&i| inner.events[i].clone()).collect())
+            .map(|idxs| {
+                idxs.iter()
+                    .filter_map(|&i| inner.events.get(i).cloned())
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -367,7 +375,11 @@ impl EventStore {
         inner
             .by_session
             .get(&(honeypot, key))
-            .map(|idxs| idxs.iter().map(|&i| inner.events[i].clone()).collect())
+            .map(|idxs| {
+                idxs.iter()
+                    .filter_map(|&i| inner.events.get(i).cloned())
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -376,6 +388,7 @@ impl EventStore {
         let inner = self.inner.read();
         let mut out = String::new();
         for event in &inner.events {
+            // decoy-lint: allow(expect) -- Event derives Serialize from plain fields, infallible
             out.push_str(&serde_json::to_string(event).expect("event serializes"));
             out.push('\n');
         }

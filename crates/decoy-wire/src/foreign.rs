@@ -7,6 +7,8 @@
 //! side — when a Redis or PostgreSQL honeypot logs an undecodable blob, the
 //! recognizers tell the classifier what the actor was actually scanning for.
 
+use decoy_net::cursor::{sat_u16, sat_u8};
+
 /// What a foreign payload turned out to be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ForeignProtocol {
@@ -45,9 +47,9 @@ pub fn rdp_connection_request(username: &str) -> Vec<u8> {
     // TPKT header
     out.push(0x03);
     out.push(0x00);
-    out.extend_from_slice(&(total as u16).to_be_bytes());
+    out.extend_from_slice(&sat_u16(total).to_be_bytes());
     // X.224 connection request
-    out.push(x224_len as u8); // length indicator
+    out.push(sat_u8(x224_len)); // length indicator
     out.push(0xe0); // CR CDT
     out.extend_from_slice(&[0x00, 0x00, 0x00, 0x00, 0x00]); // dst/src ref, class
     out.extend_from_slice(cookie.as_bytes());
@@ -122,7 +124,7 @@ pub fn recognize(payload: &[u8]) -> Option<ForeignProtocol> {
     if contains(payload, b"conditions/render") && contains(payload, b"UserCondition") {
         return Some(ForeignProtocol::CraftCms);
     }
-    if payload.len() >= 3 && payload[0] == 0x16 && payload[1] == 0x03 {
+    if matches!(payload.first_chunk::<3>(), Some([0x16, 0x03, _])) {
         return Some(ForeignProtocol::TlsClientHello);
     }
     None

@@ -10,7 +10,12 @@
 
 use bytes::{Buf, BytesMut};
 use decoy_net::codec::Codec;
-use decoy_net::error::{NetError, NetResult};
+use decoy_net::error::{NetError, NetResult, WireError, WireErrorKind, WireProtocol};
+
+/// Shorthand for an HTTP wire error at `offset`.
+fn herr(offset: usize, kind: WireErrorKind) -> NetError {
+    WireError::new(WireProtocol::Http, offset, kind).into()
+}
 
 /// An HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -141,26 +146,44 @@ type ParsedHead = (String, Vec<(String, String)>, usize);
 fn parse_head(buf: &[u8]) -> NetResult<Option<ParsedHead>> {
     let Some(end) = find_double_crlf(buf) else {
         if buf.len() > MAX_HEADER_BYTES {
-            return Err(NetError::protocol("http header section too large"));
+            return Err(herr(
+                MAX_HEADER_BYTES,
+                WireErrorKind::LengthOutOfRange {
+                    declared: buf.len() as u64,
+                    max: MAX_HEADER_BYTES as u64,
+                },
+            ));
         }
         return Ok(None);
     };
-    let head = &buf[..end];
-    let text = std::str::from_utf8(head)
-        .map_err(|_| NetError::protocol("http head is not valid utf-8"))?;
+    let head = buf.get(..end).unwrap_or_default();
+    let text =
+        std::str::from_utf8(head).map_err(|e| herr(e.valid_up_to(), WireErrorKind::InvalidUtf8))?;
     let mut lines = text.split("\r\n");
     let start_line = lines
         .next()
-        .ok_or_else(|| NetError::protocol("empty http head"))?
+        .ok_or_else(|| {
+            herr(
+                0,
+                WireErrorKind::Malformed {
+                    detail: "empty http head",
+                },
+            )
+        })?
         .to_string();
     let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
             continue;
         }
-        let (name, value) = line
-            .split_once(':')
-            .ok_or_else(|| NetError::protocol(format!("malformed header line {line:?}")))?;
+        let (name, value) = line.split_once(':').ok_or_else(|| {
+            herr(
+                0,
+                WireErrorKind::Malformed {
+                    detail: "header line without colon",
+                },
+            )
+        })?;
         headers.push((name.trim().to_string(), value.trim().to_string()));
     }
     Ok(Some((start_line, headers, end + 4)))
@@ -170,16 +193,41 @@ fn find_double_crlf(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
+/// Extract and bound the body length. Applies the [`MAX_BODY_BYTES`] cap for
+/// both codecs, so neither direction can be committed to buffering an
+/// attacker-declared body size.
 fn content_length(headers: &[(String, String)]) -> NetResult<usize> {
     for (k, v) in headers {
         if k.eq_ignore_ascii_case("content-length") {
-            return v
-                .parse::<usize>()
-                .map_err(|_| NetError::protocol("bad content-length"));
+            let declared = v.parse::<u64>().map_err(|_| {
+                herr(
+                    0,
+                    WireErrorKind::Malformed {
+                        detail: "bad content-length",
+                    },
+                )
+            })?;
+            return usize::try_from(declared)
+                .ok()
+                .filter(|&n| n <= MAX_BODY_BYTES.min(crate::MAX_FRAME))
+                .ok_or_else(|| {
+                    herr(
+                        0,
+                        WireErrorKind::LengthOutOfRange {
+                            declared,
+                            max: MAX_BODY_BYTES as u64,
+                        },
+                    )
+                });
         }
         if k.eq_ignore_ascii_case("transfer-encoding") && v.to_ascii_lowercase().contains("chunked")
         {
-            return Err(NetError::protocol("chunked encoding unsupported"));
+            return Err(herr(
+                0,
+                WireErrorKind::Malformed {
+                    detail: "chunked encoding unsupported",
+                },
+            ));
         }
     }
     Ok(0)
@@ -198,20 +246,40 @@ impl Codec for HttpServerCodec {
             return Ok(None);
         };
         let body_len = content_length(&headers)?;
-        if body_len > MAX_BODY_BYTES {
-            return Err(NetError::protocol("http body too large"));
-        }
-        if buf.len() < head_len + body_len {
+        let total = head_len.checked_add(body_len).ok_or_else(|| {
+            herr(
+                0,
+                WireErrorKind::LengthOutOfRange {
+                    declared: body_len as u64,
+                    max: MAX_BODY_BYTES as u64,
+                },
+            )
+        })?;
+        if buf.len() < total {
             return Ok(None);
         }
         let mut parts = start_line.split_whitespace();
         let method = parts
             .next()
-            .ok_or_else(|| NetError::protocol("missing method"))?
+            .ok_or_else(|| {
+                herr(
+                    0,
+                    WireErrorKind::Malformed {
+                        detail: "missing method",
+                    },
+                )
+            })?
             .to_string();
         let target = parts
             .next()
-            .ok_or_else(|| NetError::protocol("missing request target"))?
+            .ok_or_else(|| {
+                herr(
+                    0,
+                    WireErrorKind::Malformed {
+                        detail: "missing request target",
+                    },
+                )
+            })?
             .to_string();
         let version = parts.next().unwrap_or("HTTP/1.0").to_string();
         buf.advance(head_len);
@@ -253,7 +321,16 @@ impl Codec for HttpClientCodec {
             return Ok(None);
         };
         let body_len = content_length(&headers)?;
-        if buf.len() < head_len + body_len {
+        let total = head_len.checked_add(body_len).ok_or_else(|| {
+            herr(
+                0,
+                WireErrorKind::LengthOutOfRange {
+                    declared: body_len as u64,
+                    max: MAX_BODY_BYTES as u64,
+                },
+            )
+        })?;
+        if buf.len() < total {
             return Ok(None);
         }
         let mut parts = start_line.splitn(3, ' ');
@@ -261,7 +338,14 @@ impl Codec for HttpClientCodec {
         let status = parts
             .next()
             .and_then(|s| s.parse::<u16>().ok())
-            .ok_or_else(|| NetError::protocol("bad status line"))?;
+            .ok_or_else(|| {
+                herr(
+                    0,
+                    WireErrorKind::Malformed {
+                        detail: "bad status line",
+                    },
+                )
+            })?;
         let reason = parts.next().unwrap_or_default().to_string();
         buf.advance(head_len);
         let body = buf.split_to(body_len).to_vec();
@@ -383,6 +467,26 @@ mod tests {
         assert!(server.decode(&mut buf).is_err());
         let mut buf = BytesMut::from(&b"\xff\xfe / HTTP/1.1\r\n\r\n"[..]);
         assert!(server.decode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn declared_body_is_capped_in_both_directions() {
+        // A hostile Content-Length must be refused before any buffering
+        // commitment — on the client codec too (it used to be uncapped).
+        let mut server = HttpServerCodec;
+        let mut buf =
+            BytesMut::from(&b"POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n"[..]);
+        assert!(server.decode(&mut buf).is_err());
+        let mut client = HttpClientCodec;
+        let mut buf = BytesMut::from(&b"HTTP/1.1 200 OK\r\nContent-Length: 999999999\r\n\r\n"[..]);
+        let err = client.decode(&mut buf).unwrap_err();
+        match err {
+            NetError::Wire(w) => {
+                assert_eq!(w.protocol, WireProtocol::Http);
+                assert!(matches!(w.kind, WireErrorKind::LengthOutOfRange { .. }));
+            }
+            other => panic!("expected wire error, got {other:?}"),
+        }
     }
 
     #[test]

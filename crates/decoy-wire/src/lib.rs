@@ -1,4 +1,18 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
+// Every byte entering this crate is attacker-controlled. Parsing must be
+// total: Ok or Err, never a panic. `decoy-xtask lint` enforces the same
+// wall (plus slice-indexing and `as`-truncation bans) with file:line
+// diagnostics; see DESIGN.md "Threat model of the byte path".
+#![cfg_attr(
+    not(test),
+    deny(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::indexing_slicing,
+        clippy::panic
+    )
+)]
 
 //! # decoy-wire
 //!
@@ -19,8 +33,10 @@
 //! | [`foreign`] | non-database payloads thrown at database ports (RDP `mstshash`, JDWP handshake, VMware SOAP recon) | classification + agents |
 //!
 //! All codecs implement [`decoy_net::Codec`]: incremental, bounded, and
-//! tolerant of adversarial bytes (they return protocol errors; they never
-//! panic — enforced by property tests).
+//! tolerant of adversarial bytes. Decoding is *total* — every input yields
+//! `Ok` or a structured [`decoy_net::WireError`]; panics are forbidden by
+//! the `decoy-xtask lint` wall and exercised by the mutation harness in
+//! `tests/wire_total.rs`.
 
 pub mod foreign;
 pub mod http;
@@ -29,3 +45,9 @@ pub mod mysql;
 pub mod pgwire;
 pub mod resp;
 pub mod tds;
+
+/// Hard ceiling on any single frame accepted from a peer, shared by every
+/// codec in this crate. Individual protocols may enforce tighter limits
+/// (and most do), but no attacker-supplied length field may commit us to
+/// buffering more than this, no matter what the frame header claims.
+pub const MAX_FRAME: usize = 48 << 20;

@@ -12,7 +12,8 @@ pub mod bson;
 use bson::Document;
 use bytes::{Buf, BufMut, BytesMut};
 use decoy_net::codec::Codec;
-use decoy_net::error::{NetError, NetResult};
+use decoy_net::cursor::{sat_i32, ByteCursor};
+use decoy_net::error::{NetError, NetResult, WireError, WireErrorKind, WireProtocol};
 
 /// Opcode: OP_REPLY (server → client, answers OP_QUERY).
 pub const OP_REPLY: i32 = 1;
@@ -20,6 +21,11 @@ pub const OP_REPLY: i32 = 1;
 pub const OP_QUERY: i32 = 2004;
 /// Opcode: OP_MSG (modern bidirectional message).
 pub const OP_MSG: i32 = 2013;
+
+/// Shorthand for a Mongo wire error at `offset`.
+fn merr(offset: usize, kind: WireErrorKind) -> NetError {
+    WireError::new(WireProtocol::Mongo, offset, kind).into()
+}
 
 /// A complete MongoDB wire message.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,20 +146,29 @@ impl Codec for MongoCodec {
     type Out = MongoMessage;
 
     fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<MongoMessage>> {
-        if buf.len() < 16 {
+        let Some(header) = buf.first_chunk::<16>() else {
             return Ok(None);
-        }
-        let len = i32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
-        if len < 16 || len as usize > self.max_frame_len() {
-            return Err(NetError::protocol(format!("mongo message length {len}")));
-        }
-        let len = len as usize;
+        };
+        let mut cur = ByteCursor::new(header, WireProtocol::Mongo);
+        let declared = cur.i32_le()?;
+        let request_id = cur.i32_le()?;
+        let response_to = cur.i32_le()?;
+        let opcode = cur.i32_le()?;
+        let len = usize::try_from(declared)
+            .ok()
+            .filter(|&n| (16..=self.max_frame_len()).contains(&n))
+            .ok_or_else(|| {
+                merr(
+                    0,
+                    WireErrorKind::LengthOutOfRange {
+                        declared: u64::try_from(declared).unwrap_or(0),
+                        max: self.max_frame_len() as u64,
+                    },
+                )
+            })?;
         if buf.len() < len {
             return Ok(None);
         }
-        let request_id = i32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
-        let response_to = i32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
-        let opcode = i32::from_le_bytes([buf[12], buf[13], buf[14], buf[15]]);
         buf.advance(16);
         let body_bytes = buf.split_to(len - 16);
         let body = parse_body(opcode, &body_bytes)?;
@@ -167,7 +182,7 @@ impl Codec for MongoCodec {
     fn encode(&mut self, frame: &MongoMessage, buf: &mut BytesMut) -> NetResult<()> {
         let mut body = BytesMut::new();
         let opcode = encode_body(&frame.body, &mut body)?;
-        buf.put_i32_le(16 + body.len() as i32);
+        buf.put_i32_le(sat_i32(body.len().saturating_add(16)));
         buf.put_i32_le(frame.request_id);
         buf.put_i32_le(frame.response_to);
         buf.put_i32_le(opcode);
@@ -176,96 +191,142 @@ impl Codec for MongoCodec {
     }
 
     fn max_frame_len(&self) -> usize {
-        48 << 20 // MongoDB's maxMessageSizeBytes
+        crate::MAX_FRAME // MongoDB's maxMessageSizeBytes (48 MiB)
     }
 }
 
-fn get_cstring(rest: &mut &[u8]) -> NetResult<String> {
-    let pos = rest
-        .iter()
-        .position(|&b| b == 0)
-        .ok_or_else(|| NetError::protocol("unterminated cstring"))?;
-    let s = String::from_utf8_lossy(&rest[..pos]).into_owned();
-    *rest = &rest[pos + 1..];
-    Ok(s)
+/// Parse an `OP_MSG` body. `bytes` starts right after the 16-byte message
+/// header, so absolute offsets in errors are `16 + relative`.
+fn parse_op_msg(bytes: &[u8]) -> NetResult<MongoBody> {
+    let Some(&flag_bytes) = bytes.first_chunk::<4>() else {
+        return Err(merr(
+            16,
+            WireErrorKind::Truncated {
+                needed: 4,
+                available: bytes.len(),
+            },
+        ));
+    };
+    let flags = u32::from_le_bytes(flag_bytes);
+    let mut rest = bytes.get(4..).unwrap_or_default();
+    let mut at = 20usize; // absolute offset of `rest` within the message
+    if flags & 0x1 != 0 {
+        // Checksum present: trim the trailing CRC32C, which we tolerate
+        // without verifying.
+        let Some(keep) = rest.len().checked_sub(4) else {
+            return Err(merr(
+                at,
+                WireErrorKind::Truncated {
+                    needed: 4,
+                    available: rest.len(),
+                },
+            ));
+        };
+        rest = rest.get(..keep).unwrap_or_default();
+    }
+    let mut doc = None;
+    let mut sequences = Vec::new();
+    while let Some((&kind, tail)) = rest.split_first() {
+        at += 1;
+        match kind {
+            0 => {
+                let (d, used) = bson::decode_document_at(tail, at)?;
+                rest = tail.get(used..).unwrap_or_default();
+                at += used;
+                if doc.is_some() {
+                    return Err(merr(
+                        at,
+                        WireErrorKind::Malformed {
+                            detail: "duplicate kind-0 section",
+                        },
+                    ));
+                }
+                doc = Some(d);
+            }
+            1 => {
+                let Some(&size_bytes) = tail.first_chunk::<4>() else {
+                    return Err(merr(
+                        at,
+                        WireErrorKind::Truncated {
+                            needed: 4,
+                            available: tail.len(),
+                        },
+                    ));
+                };
+                let declared = i32::from_le_bytes(size_bytes);
+                let size = usize::try_from(declared)
+                    .ok()
+                    .filter(|&n| n >= 4 && n <= tail.len())
+                    .ok_or_else(|| {
+                        merr(
+                            at,
+                            WireErrorKind::LengthOutOfRange {
+                                declared: u64::try_from(declared).unwrap_or(0),
+                                max: tail.len() as u64,
+                            },
+                        )
+                    })?;
+                let mut section = tail.get(4..size).unwrap_or_default();
+                let mut section_at = at + 4;
+                rest = tail.get(size..).unwrap_or_default();
+                let nul = section.iter().position(|&b| b == 0).ok_or_else(|| {
+                    merr(
+                        section_at,
+                        WireErrorKind::Unterminated {
+                            what: "sequence identifier",
+                        },
+                    )
+                })?;
+                let identifier =
+                    String::from_utf8_lossy(section.get(..nul).unwrap_or_default()).into_owned();
+                section = section.get(nul + 1..).unwrap_or_default();
+                section_at += nul + 1;
+                let mut docs = Vec::new();
+                while !section.is_empty() {
+                    let (d, used) = bson::decode_document_at(section, section_at)?;
+                    section = section.get(used..).unwrap_or_default();
+                    section_at += used;
+                    docs.push(d);
+                }
+                at += size;
+                sequences.push((identifier, docs));
+            }
+            _ => {
+                return Err(merr(
+                    at - 1,
+                    WireErrorKind::BadMagic {
+                        what: "OP_MSG section kind",
+                    },
+                ))
+            }
+        }
+    }
+    let doc = doc.ok_or_else(|| {
+        merr(
+            16,
+            WireErrorKind::Malformed {
+                detail: "OP_MSG without kind-0 section",
+            },
+        )
+    })?;
+    Ok(MongoBody::Msg {
+        flags,
+        doc,
+        sequences,
+    })
 }
 
 fn parse_body(opcode: i32, bytes: &[u8]) -> NetResult<MongoBody> {
     match opcode {
-        OP_MSG => {
-            if bytes.len() < 4 {
-                return Err(NetError::protocol("short OP_MSG"));
-            }
-            let flags = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
-            let checksum_present = flags & 0x1 != 0;
-            let mut rest = &bytes[4..];
-            if checksum_present {
-                if rest.len() < 4 {
-                    return Err(NetError::protocol("OP_MSG missing checksum"));
-                }
-                rest = &rest[..rest.len() - 4];
-            }
-            let mut doc = None;
-            let mut sequences = Vec::new();
-            while !rest.is_empty() {
-                let kind = rest[0];
-                rest = &rest[1..];
-                match kind {
-                    0 => {
-                        let (d, used) = bson::decode_document(rest)?;
-                        rest = &rest[used..];
-                        if doc.is_some() {
-                            return Err(NetError::protocol("duplicate kind-0 section"));
-                        }
-                        doc = Some(d);
-                    }
-                    1 => {
-                        if rest.len() < 4 {
-                            return Err(NetError::protocol("short kind-1 section"));
-                        }
-                        let size =
-                            i32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
-                        if size < 4 || size > rest.len() {
-                            return Err(NetError::protocol("kind-1 size overruns"));
-                        }
-                        let mut section = &rest[4..size];
-                        rest = &rest[size..];
-                        let identifier = get_cstring(&mut section)?;
-                        let mut docs = Vec::new();
-                        while !section.is_empty() {
-                            let (d, used) = bson::decode_document(section)?;
-                            section = &section[used..];
-                            docs.push(d);
-                        }
-                        sequences.push((identifier, docs));
-                    }
-                    other => {
-                        return Err(NetError::protocol(format!(
-                            "unknown OP_MSG section kind {other}"
-                        )))
-                    }
-                }
-            }
-            let doc = doc.ok_or_else(|| NetError::protocol("OP_MSG without kind-0 section"))?;
-            Ok(MongoBody::Msg {
-                flags,
-                doc,
-                sequences,
-            })
-        }
+        OP_MSG => parse_op_msg(bytes),
         OP_QUERY => {
-            if bytes.len() < 4 {
-                return Err(NetError::protocol("short OP_QUERY"));
-            }
-            let mut rest = &bytes[4..]; // skip flags
-            let collection = get_cstring(&mut rest)?;
-            if rest.len() < 8 {
-                return Err(NetError::protocol("OP_QUERY missing skip/limit"));
-            }
-            let skip = i32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
-            let limit = i32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
-            rest = &rest[8..];
-            let (query, _used) = bson::decode_document(rest)?;
+            let mut cur = ByteCursor::with_base(bytes, WireProtocol::Mongo, 16);
+            cur.skip(4)?; // flags
+            let collection = cur.cstring_lossy()?;
+            let skip = cur.i32_le()?;
+            let limit = cur.i32_le()?;
+            let at = cur.offset();
+            let (query, _used) = bson::decode_document_at(cur.rest(), at)?;
             Ok(MongoBody::Query {
                 collection,
                 skip,
@@ -274,17 +335,18 @@ fn parse_body(opcode: i32, bytes: &[u8]) -> NetResult<MongoBody> {
             })
         }
         OP_REPLY => {
-            if bytes.len() < 20 {
-                return Err(NetError::protocol("short OP_REPLY"));
-            }
-            let cursor_id = i64::from_le_bytes(bytes[4..12].try_into().unwrap());
-            let starting_from = i32::from_le_bytes(bytes[12..16].try_into().unwrap());
-            let n = i32::from_le_bytes(bytes[16..20].try_into().unwrap());
-            let mut rest = &bytes[20..];
+            let mut cur = ByteCursor::with_base(bytes, WireProtocol::Mongo, 16);
+            cur.skip(4)?; // responseFlags
+            let cursor_id = cur.i64_le()?;
+            let starting_from = cur.i32_le()?;
+            let n = cur.i32_le()?;
+            let mut doc_at = cur.offset();
+            let mut rest = cur.rest();
             let mut documents = Vec::new();
             for _ in 0..n.max(0) {
-                let (d, used) = bson::decode_document(rest)?;
-                rest = &rest[used..];
+                let (d, used) = bson::decode_document_at(rest, doc_at)?;
+                rest = rest.get(used..).unwrap_or_default();
+                doc_at += used;
                 documents.push(d);
             }
             Ok(MongoBody::Reply {
@@ -318,7 +380,7 @@ fn encode_body(body: &MongoBody, out: &mut BytesMut) -> NetResult<i32> {
                 for d in docs {
                     bson::encode_document(d, &mut section);
                 }
-                out.put_i32_le(4 + section.len() as i32);
+                out.put_i32_le(sat_i32(section.len().saturating_add(4)));
                 out.extend_from_slice(&section);
             }
             Ok(OP_MSG)
@@ -345,7 +407,7 @@ fn encode_body(body: &MongoBody, out: &mut BytesMut) -> NetResult<i32> {
             out.put_i32_le(8); // responseFlags: AwaitCapable
             out.put_i64_le(*cursor_id);
             out.put_i32_le(*starting_from);
-            out.put_i32_le(documents.len() as i32);
+            out.put_i32_le(sat_i32(documents.len()));
             for d in documents {
                 bson::encode_document(d, out);
             }
@@ -474,7 +536,15 @@ mod tests {
         let mut codec = MongoCodec;
         let mut buf = BytesMut::from(&(-5i32).to_le_bytes()[..]);
         buf.extend_from_slice(&[0u8; 12]);
-        assert!(codec.decode(&mut buf).is_err());
+        let err = codec.decode(&mut buf).unwrap_err();
+        match err {
+            NetError::Wire(w) => {
+                assert_eq!(w.protocol, WireProtocol::Mongo);
+                assert_eq!(w.offset, 0);
+                assert!(matches!(w.kind, WireErrorKind::LengthOutOfRange { .. }));
+            }
+            other => panic!("expected wire error, got {other:?}"),
+        }
         let mut buf = BytesMut::new();
         buf.put_i32_le(i32::MAX);
         buf.extend_from_slice(&[0u8; 12]);

@@ -4,9 +4,19 @@
 //! double, string, embedded document, array, binary, ObjectId, bool, UTC
 //! datetime, null, int32, int64. Unknown element types are a decode error —
 //! the honeypot logs the raw message instead of guessing.
+//!
+//! Decoding is total: every attacker-declared length is checked before any
+//! read, and violations surface as [`decoy_net::WireError`] values with the
+//! byte offset of the damage ([`WireProtocol::Bson`]).
 
 use bytes::{BufMut, BytesMut};
-use decoy_net::error::{NetError, NetResult};
+use decoy_net::cursor::sat_i32;
+use decoy_net::error::{NetError, NetResult, WireError, WireErrorKind, WireProtocol};
+
+/// Maximum nesting depth of embedded documents/arrays.
+const MAX_DEPTH: u32 = 64;
+/// Maximum elements in one document.
+const MAX_ELEMENTS: usize = 100_000;
 
 /// A BSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,9 +51,9 @@ impl Bson {
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Bson::Double(d) => Some(*d),
-            Bson::Int32(i) => Some(*i as f64),
+            Bson::Int32(i) => Some(f64::from(*i)),
             Bson::Int64(i) => Some(*i as f64),
-            Bson::Bool(b) => Some(*b as i32 as f64),
+            Bson::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
             _ => None,
         }
     }
@@ -225,6 +235,11 @@ const TYPE_NULL: u8 = 0x0A;
 const TYPE_INT32: u8 = 0x10;
 const TYPE_INT64: u8 = 0x12;
 
+/// Shorthand for a BSON wire error at `offset`.
+fn berr(offset: usize, kind: WireErrorKind) -> NetError {
+    WireError::new(WireProtocol::Bson, offset, kind).into()
+}
+
 /// Append the BSON encoding of `doc` to `out`.
 pub fn encode_document(doc: &Document, out: &mut BytesMut) {
     let start = out.len();
@@ -233,8 +248,10 @@ pub fn encode_document(doc: &Document, out: &mut BytesMut) {
         encode_element(key, value, out);
     }
     out.put_u8(0);
-    let len = (out.len() - start) as i32;
-    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+    let len = sat_i32(out.len().saturating_sub(start));
+    if let Some(slot) = out.get_mut(start..start + 4) {
+        slot.copy_from_slice(&len.to_le_bytes());
+    }
 }
 
 fn encode_element(key: &str, value: &Bson, out: &mut BytesMut) {
@@ -250,7 +267,7 @@ fn encode_element(key: &str, value: &Bson, out: &mut BytesMut) {
         }
         Bson::String(s) => {
             put_key(out, TYPE_STRING);
-            out.put_i32_le(s.len() as i32 + 1);
+            out.put_i32_le(sat_i32(s.len().saturating_add(1)));
             out.extend_from_slice(s.as_bytes());
             out.put_u8(0);
         }
@@ -269,7 +286,7 @@ fn encode_element(key: &str, value: &Bson, out: &mut BytesMut) {
         }
         Bson::Binary(b) => {
             put_key(out, TYPE_BINARY);
-            out.put_i32_le(b.len() as i32);
+            out.put_i32_le(sat_i32(b.len()));
             out.put_u8(0); // generic subtype
             out.extend_from_slice(b);
         }
@@ -279,7 +296,7 @@ fn encode_element(key: &str, value: &Bson, out: &mut BytesMut) {
         }
         Bson::Bool(b) => {
             put_key(out, TYPE_BOOL);
-            out.put_u8(*b as u8);
+            out.put_u8(u8::from(*b));
         }
         Bson::DateTime(ms) => {
             put_key(out, TYPE_DATETIME);
@@ -299,129 +316,180 @@ fn encode_element(key: &str, value: &Bson, out: &mut BytesMut) {
 
 /// Decode one document from the front of `bytes`; returns `(doc, consumed)`.
 pub fn decode_document(bytes: &[u8]) -> NetResult<(Document, usize)> {
-    decode_document_depth(bytes, 0)
+    decode_document_depth(bytes, 0, 0)
 }
 
-fn decode_document_depth(bytes: &[u8], depth: u32) -> NetResult<(Document, usize)> {
-    if depth > 64 {
-        return Err(NetError::protocol("bson nesting too deep"));
+/// Like [`decode_document`], but error offsets are reported relative to
+/// `base` — used when `bytes` is a slice of a larger wire message.
+pub fn decode_document_at(bytes: &[u8], base: usize) -> NetResult<(Document, usize)> {
+    decode_document_depth(bytes, base, 0)
+}
+
+fn decode_document_depth(bytes: &[u8], base: usize, depth: u32) -> NetResult<(Document, usize)> {
+    if depth > MAX_DEPTH {
+        return Err(berr(
+            base,
+            WireErrorKind::NestingTooDeep { limit: MAX_DEPTH },
+        ));
     }
-    if bytes.len() < 5 {
-        return Err(NetError::protocol("bson document shorter than 5 bytes"));
+    let Some(&len_bytes) = bytes.first_chunk::<4>() else {
+        return Err(berr(
+            base,
+            WireErrorKind::Truncated {
+                needed: 5,
+                available: bytes.len(),
+            },
+        ));
+    };
+    let declared = i32::from_le_bytes(len_bytes);
+    let len = usize::try_from(declared)
+        .ok()
+        .filter(|&n| n >= 5 && n <= bytes.len())
+        .ok_or_else(|| {
+            berr(
+                base,
+                WireErrorKind::LengthOutOfRange {
+                    declared: u64::try_from(declared).unwrap_or(0),
+                    max: bytes.len() as u64,
+                },
+            )
+        })?;
+    if bytes.get(len - 1) != Some(&0) {
+        return Err(berr(
+            base + len - 1,
+            WireErrorKind::Malformed {
+                detail: "bson document missing terminator",
+            },
+        ));
     }
-    let len = i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
-    if len < 5 || len as usize > bytes.len() {
-        return Err(NetError::protocol(format!("bson document length {len}")));
-    }
-    let len = len as usize;
-    if bytes[len - 1] != 0 {
-        return Err(NetError::protocol("bson document missing terminator"));
-    }
-    let mut rest = &bytes[4..len - 1];
+    let mut rest = bytes.get(4..len - 1).unwrap_or_default();
+    let mut at = base + 4;
     let mut doc = Document::new();
-    while !rest.is_empty() {
-        let etype = rest[0];
-        rest = &rest[1..];
-        let nul = rest
-            .iter()
-            .position(|&b| b == 0)
-            .ok_or_else(|| NetError::protocol("unterminated element name"))?;
-        let key = String::from_utf8_lossy(&rest[..nul]).into_owned();
-        rest = &rest[nul + 1..];
-        let (value, used) = decode_value(etype, rest, depth)?;
-        rest = &rest[used..];
+    while let Some((&etype, tail)) = rest.split_first() {
+        at += 1;
+        let nul = tail.iter().position(|&b| b == 0).ok_or_else(|| {
+            berr(
+                at,
+                WireErrorKind::Unterminated {
+                    what: "element name",
+                },
+            )
+        })?;
+        let key = String::from_utf8_lossy(tail.get(..nul).unwrap_or_default()).into_owned();
+        let value_bytes = tail.get(nul + 1..).unwrap_or_default();
+        at += nul + 1;
+        let (value, used) = decode_value(etype, value_bytes, at, depth)?;
+        rest = value_bytes.get(used..).unwrap_or_default();
+        at += used;
         doc.entries.push((key, value));
-        if doc.entries.len() > 100_000 {
-            return Err(NetError::protocol("bson document has too many elements"));
+        if doc.entries.len() > MAX_ELEMENTS {
+            return Err(berr(
+                at,
+                WireErrorKind::TooManyElements {
+                    limit: MAX_ELEMENTS as u64,
+                },
+            ));
         }
     }
     Ok((doc, len))
 }
 
-fn decode_value(etype: u8, bytes: &[u8], depth: u32) -> NetResult<(Bson, usize)> {
-    let need = |n: usize| -> NetResult<()> {
-        if bytes.len() < n {
-            Err(NetError::protocol("bson value truncated"))
-        } else {
-            Ok(())
-        }
+fn decode_value(etype: u8, bytes: &[u8], base: usize, depth: u32) -> NetResult<(Bson, usize)> {
+    let truncated = |n: usize| {
+        berr(
+            base,
+            WireErrorKind::Truncated {
+                needed: n,
+                available: bytes.len(),
+            },
+        )
     };
     match etype {
         TYPE_DOUBLE => {
-            need(8)?;
-            Ok((
-                Bson::Double(f64::from_le_bytes(bytes[..8].try_into().unwrap())),
-                8,
-            ))
+            let &b = bytes.first_chunk::<8>().ok_or_else(|| truncated(8))?;
+            Ok((Bson::Double(f64::from_le_bytes(b)), 8))
         }
         TYPE_STRING => {
-            need(4)?;
-            let slen = i32::from_le_bytes(bytes[..4].try_into().unwrap());
-            if slen < 1 || 4 + slen as usize > bytes.len() {
-                return Err(NetError::protocol("bson string length invalid"));
+            let &b = bytes.first_chunk::<4>().ok_or_else(|| truncated(4))?;
+            let declared = i32::from_le_bytes(b);
+            let slen = usize::try_from(declared)
+                .ok()
+                .filter(|&n| n >= 1 && n <= bytes.len().saturating_sub(4))
+                .ok_or_else(|| {
+                    berr(
+                        base,
+                        WireErrorKind::LengthOutOfRange {
+                            declared: u64::try_from(declared).unwrap_or(0),
+                            max: bytes.len() as u64,
+                        },
+                    )
+                })?;
+            if bytes.get(4 + slen - 1) != Some(&0) {
+                return Err(berr(
+                    base + 4 + slen - 1,
+                    WireErrorKind::Malformed {
+                        detail: "bson string missing NUL",
+                    },
+                ));
             }
-            let slen = slen as usize;
-            if bytes[4 + slen - 1] != 0 {
-                return Err(NetError::protocol("bson string missing NUL"));
-            }
-            let s = String::from_utf8_lossy(&bytes[4..4 + slen - 1]).into_owned();
+            let s = String::from_utf8_lossy(bytes.get(4..4 + slen - 1).unwrap_or_default())
+                .into_owned();
             Ok((Bson::String(s), 4 + slen))
         }
         TYPE_DOC => {
-            let (d, used) = decode_document_depth(bytes, depth + 1)?;
+            let (d, used) = decode_document_depth(bytes, base, depth + 1)?;
             Ok((Bson::Document(d), used))
         }
         TYPE_ARRAY => {
-            let (d, used) = decode_document_depth(bytes, depth + 1)?;
+            let (d, used) = decode_document_depth(bytes, base, depth + 1)?;
             let items = d.entries.into_iter().map(|(_, v)| v).collect();
             Ok((Bson::Array(items), used))
         }
         TYPE_BINARY => {
-            need(5)?;
-            let blen = i32::from_le_bytes(bytes[..4].try_into().unwrap());
-            if blen < 0 || 5 + blen as usize > bytes.len() {
-                return Err(NetError::protocol("bson binary length invalid"));
-            }
-            Ok((
-                Bson::Binary(bytes[5..5 + blen as usize].to_vec()),
-                5 + blen as usize,
-            ))
+            let &b = bytes.first_chunk::<4>().ok_or_else(|| truncated(5))?;
+            let declared = i32::from_le_bytes(b);
+            let blen = usize::try_from(declared)
+                .ok()
+                .filter(|&n| n <= bytes.len().saturating_sub(5))
+                .ok_or_else(|| {
+                    berr(
+                        base,
+                        WireErrorKind::LengthOutOfRange {
+                            declared: u64::try_from(declared).unwrap_or(0),
+                            max: bytes.len() as u64,
+                        },
+                    )
+                })?;
+            let data = bytes.get(5..5 + blen).unwrap_or_default();
+            Ok((Bson::Binary(data.to_vec()), 5 + blen))
         }
         TYPE_OBJECTID => {
-            need(12)?;
-            let mut oid = [0u8; 12];
-            oid.copy_from_slice(&bytes[..12]);
+            let &oid = bytes.first_chunk::<12>().ok_or_else(|| truncated(12))?;
             Ok((Bson::ObjectId(oid), 12))
         }
         TYPE_BOOL => {
-            need(1)?;
-            Ok((Bson::Bool(bytes[0] != 0), 1))
+            let &b = bytes.first().ok_or_else(|| truncated(1))?;
+            Ok((Bson::Bool(b != 0), 1))
         }
         TYPE_DATETIME => {
-            need(8)?;
-            Ok((
-                Bson::DateTime(i64::from_le_bytes(bytes[..8].try_into().unwrap())),
-                8,
-            ))
+            let &b = bytes.first_chunk::<8>().ok_or_else(|| truncated(8))?;
+            Ok((Bson::DateTime(i64::from_le_bytes(b)), 8))
         }
         TYPE_NULL => Ok((Bson::Null, 0)),
         TYPE_INT32 => {
-            need(4)?;
-            Ok((
-                Bson::Int32(i32::from_le_bytes(bytes[..4].try_into().unwrap())),
-                4,
-            ))
+            let &b = bytes.first_chunk::<4>().ok_or_else(|| truncated(4))?;
+            Ok((Bson::Int32(i32::from_le_bytes(b)), 4))
         }
         TYPE_INT64 => {
-            need(8)?;
-            Ok((
-                Bson::Int64(i64::from_le_bytes(bytes[..8].try_into().unwrap())),
-                8,
-            ))
+            let &b = bytes.first_chunk::<8>().ok_or_else(|| truncated(8))?;
+            Ok((Bson::Int64(i64::from_le_bytes(b)), 8))
         }
-        other => Err(NetError::protocol(format!(
-            "unsupported bson element type 0x{other:02x}"
-        ))),
+        _ => Err(berr(
+            base,
+            WireErrorKind::BadMagic {
+                what: "bson element type",
+            },
+        )),
     }
 }
 
@@ -510,6 +578,19 @@ mod tests {
         // unknown element type
         let bad = [8, 0, 0, 0, 0x7f, b'a', 0, 0];
         assert!(decode_document(&bad).is_err());
+    }
+
+    #[test]
+    fn errors_carry_bson_protocol_and_offset() {
+        let err = decode_document_at(&[50, 0, 0, 0, 0], 21).unwrap_err();
+        match err {
+            NetError::Wire(w) => {
+                assert_eq!(w.protocol, WireProtocol::Bson);
+                assert_eq!(w.offset, 21);
+                assert!(matches!(w.kind, WireErrorKind::LengthOutOfRange { .. }));
+            }
+            other => panic!("expected wire error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -7,11 +7,13 @@
 //! `OK`/`ERR` packets, and `COM_QUERY`.
 //!
 //! The transport layer is the classic MySQL packet: 3-byte little-endian
-//! payload length, 1-byte sequence id, payload.
+//! payload length, 1-byte sequence id, payload. All parsing is total via
+//! [`ByteCursor`]; malformed payloads surface as [`decoy_net::WireError`].
 
 use bytes::{Buf, BufMut, BytesMut};
 use decoy_net::codec::Codec;
-use decoy_net::error::{NetError, NetResult};
+use decoy_net::cursor::{sat_u32, sat_u8, usize_from, ByteCursor};
+use decoy_net::error::{NetResult, WireError, WireErrorKind, WireProtocol};
 
 /// Capability flag: CLIENT_PROTOCOL_41.
 pub const CLIENT_PROTOCOL_41: u32 = 0x0000_0200;
@@ -42,17 +44,24 @@ impl Codec for MySqlCodec {
     type Out = MySqlPacket;
 
     fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<MySqlPacket>> {
-        if buf.len() < 4 {
+        let Some([b0, b1, b2, seq]) = buf.first_chunk::<4>().copied() else {
             return Ok(None);
-        }
-        let len = u32::from_le_bytes([buf[0], buf[1], buf[2], 0]) as usize;
+        };
+        let len = usize_from(u32::from_le_bytes([b0, b1, b2, 0]));
         if len > self.max_frame_len() {
-            return Err(NetError::protocol(format!("mysql packet of {len} bytes")));
+            return Err(WireError::new(
+                WireProtocol::MySql,
+                0,
+                WireErrorKind::LengthOutOfRange {
+                    declared: u64::try_from(len).unwrap_or(u64::MAX),
+                    max: u64::try_from(self.max_frame_len()).unwrap_or(u64::MAX),
+                },
+            )
+            .into());
         }
         if buf.len() < 4 + len {
             return Ok(None);
         }
-        let seq = buf[3];
         buf.advance(4);
         let payload = buf.split_to(len).to_vec();
         Ok(Some(MySqlPacket { seq, payload }))
@@ -60,12 +69,20 @@ impl Codec for MySqlCodec {
 
     fn encode(&mut self, frame: &MySqlPacket, buf: &mut BytesMut) -> NetResult<()> {
         if frame.payload.len() > 0xff_ffff {
-            return Err(NetError::protocol("mysql payload exceeds 16MiB-1"));
+            return Err(WireError::new(
+                WireProtocol::MySql,
+                0,
+                WireErrorKind::LengthOutOfRange {
+                    declared: u64::try_from(frame.payload.len()).unwrap_or(u64::MAX),
+                    max: 0xff_ffff,
+                },
+            )
+            .into());
         }
-        let len = frame.payload.len() as u32;
-        buf.put_u8((len & 0xff) as u8);
-        buf.put_u8(((len >> 8) & 0xff) as u8);
-        buf.put_u8(((len >> 16) & 0xff) as u8);
+        let [b0, b1, b2, _] = sat_u32(frame.payload.len()).to_le_bytes();
+        buf.put_u8(b0);
+        buf.put_u8(b1);
+        buf.put_u8(b2);
         buf.put_u8(frame.seq);
         buf.extend_from_slice(&frame.payload);
         Ok(())
@@ -74,6 +91,15 @@ impl Codec for MySqlCodec {
     fn max_frame_len(&self) -> usize {
         0xff_ffff
     }
+}
+
+/// Read a possibly-unterminated trailing string: everything up to the first
+/// NUL (or the end), returning the text and the bytes after the NUL.
+fn split_optional_cstring(rest: &[u8]) -> (String, &[u8]) {
+    let nul = rest.iter().position(|&b| b == 0).unwrap_or(rest.len());
+    let s = String::from_utf8_lossy(rest.get(..nul).unwrap_or_default()).into_owned();
+    let tail = rest.get(nul + 1..).unwrap_or_default();
+    (s, tail)
 }
 
 /// The server's initial handshake (greeting) packet, protocol version 10.
@@ -108,20 +134,24 @@ impl Greeting {
 
     /// Serialize into a packet payload.
     pub fn build(&self) -> Vec<u8> {
+        let (part1, part2) = self.auth_data.split_at(8);
+        let [cap0, cap1, cap2, cap3] = self.capabilities.to_le_bytes();
         let mut p = BytesMut::new();
         p.put_u8(0x0a); // protocol version
         p.extend_from_slice(self.server_version.as_bytes());
         p.put_u8(0);
         p.put_u32_le(self.thread_id);
-        p.extend_from_slice(&self.auth_data[..8]); // auth-plugin-data-part-1
+        p.extend_from_slice(part1); // auth-plugin-data-part-1
         p.put_u8(0); // filler
-        p.put_u16_le((self.capabilities & 0xffff) as u16);
+        p.put_u8(cap0); // capabilities, low half
+        p.put_u8(cap1);
         p.put_u8(0xff); // character set: utf8mb4
         p.put_u16_le(0x0002); // status: autocommit
-        p.put_u16_le((self.capabilities >> 16) as u16);
+        p.put_u8(cap2); // capabilities, high half
+        p.put_u8(cap3);
         p.put_u8(21); // length of auth plugin data
         p.extend_from_slice(&[0u8; 10]); // reserved
-        p.extend_from_slice(&self.auth_data[8..20]); // part-2 (12 bytes)
+        p.extend_from_slice(part2); // part-2 (12 bytes)
         p.put_u8(0); // part-2 terminator
         p.extend_from_slice(self.auth_plugin.as_bytes());
         p.put_u8(0);
@@ -130,44 +160,35 @@ impl Greeting {
 
     /// Parse a greeting payload (client side).
     pub fn parse(payload: &[u8]) -> NetResult<Greeting> {
-        let mut rest = payload;
-        if rest.first() != Some(&0x0a) {
-            return Err(NetError::protocol("not a protocol-10 greeting"));
+        let mut cur = ByteCursor::new(payload, WireProtocol::MySql);
+        if cur.u8()? != 0x0a {
+            return Err(WireError::new(
+                WireProtocol::MySql,
+                0,
+                WireErrorKind::BadMagic {
+                    what: "greeting protocol version",
+                },
+            )
+            .into());
         }
-        rest = &rest[1..];
-        let nul = rest
-            .iter()
-            .position(|&b| b == 0)
-            .ok_or_else(|| NetError::protocol("unterminated server version"))?;
-        let server_version = String::from_utf8_lossy(&rest[..nul]).into_owned();
-        rest = &rest[nul + 1..];
-        if rest.len() < 8 + 4 {
-            return Err(NetError::protocol("short greeting"));
-        }
-        let thread_id = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]);
-        rest = &rest[4..];
+        let server_version = cur.cstring_lossy()?;
+        let thread_id = cur.u32_le()?;
         let mut auth_data = [0u8; 20];
-        auth_data[..8].copy_from_slice(&rest[..8]);
-        rest = &rest[8..];
-        if rest.len() < 1 + 2 + 1 + 2 + 2 + 1 + 10 {
-            return Err(NetError::protocol("short greeting tail"));
+        for (dst, src) in auth_data.iter_mut().zip(cur.take(8)?) {
+            *dst = *src;
         }
-        rest = &rest[1..]; // filler
-        let cap_lo = u16::from_le_bytes([rest[0], rest[1]]) as u32;
-        rest = &rest[2..];
-        rest = &rest[1..]; // charset
-        rest = &rest[2..]; // status
-        let cap_hi = u16::from_le_bytes([rest[0], rest[1]]) as u32;
-        rest = &rest[2..];
-        rest = &rest[1..]; // auth data len
-        rest = &rest[10..]; // reserved
-        if rest.len() < 13 {
-            return Err(NetError::protocol("greeting missing auth part 2"));
+        cur.skip(1)?; // filler
+        let cap_lo = u32::from(cur.u16_le()?);
+        cur.skip(1)?; // charset
+        cur.skip(2)?; // status
+        let cap_hi = u32::from(cur.u16_le()?);
+        cur.skip(1)?; // auth data length
+        cur.skip(10)?; // reserved
+        for (dst, src) in auth_data.iter_mut().skip(8).zip(cur.take(12)?) {
+            *dst = *src;
         }
-        auth_data[8..20].copy_from_slice(&rest[..12]);
-        rest = &rest[13..]; // 12 bytes + terminator
-        let nul = rest.iter().position(|&b| b == 0).unwrap_or(rest.len());
-        let auth_plugin = String::from_utf8_lossy(&rest[..nul]).into_owned();
+        cur.skip(1)?; // part-2 terminator
+        let (auth_plugin, _) = split_optional_cstring(cur.rest());
         Ok(Greeting {
             server_version,
             thread_id,
@@ -249,7 +270,7 @@ impl LoginRequest {
         p.extend_from_slice(self.username.as_bytes());
         p.put_u8(0);
         // length-encoded auth response (secure connection form)
-        p.put_u8(self.auth_response.len() as u8);
+        p.put_u8(sat_u8(self.auth_response.len()));
         p.extend_from_slice(&self.auth_response);
         if let Some(db) = &self.database {
             p.extend_from_slice(db.as_bytes());
@@ -264,34 +285,28 @@ impl LoginRequest {
 
     /// Parse a `HandshakeResponse41` payload (server side).
     pub fn parse(payload: &[u8]) -> NetResult<LoginRequest> {
-        if payload.len() < 32 {
-            return Err(NetError::protocol("short handshake response"));
-        }
-        let capabilities = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]);
+        let mut cur = ByteCursor::new(payload, WireProtocol::MySql);
+        let capabilities = cur.u32_le()?;
         if capabilities & CLIENT_PROTOCOL_41 == 0 {
-            return Err(NetError::protocol("pre-4.1 clients unsupported"));
+            return Err(WireError::new(
+                WireProtocol::MySql,
+                0,
+                WireErrorKind::Malformed {
+                    detail: "pre-4.1 clients unsupported",
+                },
+            )
+            .into());
         }
-        let mut rest = &payload[32..];
-        let nul = rest
-            .iter()
-            .position(|&b| b == 0)
-            .ok_or_else(|| NetError::protocol("unterminated username"))?;
-        let username = String::from_utf8_lossy(&rest[..nul]).into_owned();
-        rest = &rest[nul + 1..];
-        let auth_len = *rest
-            .first()
-            .ok_or_else(|| NetError::protocol("missing auth length"))?
-            as usize;
-        rest = &rest[1..];
-        if rest.len() < auth_len {
-            return Err(NetError::protocol("auth response overruns packet"));
-        }
-        let auth_response = rest[..auth_len].to_vec();
-        rest = &rest[auth_len..];
+        cur.skip(4)?; // max packet size
+        cur.skip(1)?; // charset
+        cur.skip(23)?; // reserved filler
+        let username = cur.cstring_lossy()?;
+        let auth_len = usize::from(cur.u8()?);
+        let auth_response = cur.take(auth_len)?.to_vec();
+        let mut rest = cur.rest();
         let database = if capabilities & CLIENT_CONNECT_WITH_DB != 0 && !rest.is_empty() {
-            let nul = rest.iter().position(|&b| b == 0).unwrap_or(rest.len());
-            let db = String::from_utf8_lossy(&rest[..nul]).into_owned();
-            rest = &rest[(nul + 1).min(rest.len())..];
+            let (db, tail) = split_optional_cstring(rest);
+            rest = tail;
             if db.is_empty() {
                 None
             } else {
@@ -301,8 +316,8 @@ impl LoginRequest {
             None
         };
         let auth_plugin = if capabilities & CLIENT_PLUGIN_AUTH != 0 && !rest.is_empty() {
-            let nul = rest.iter().position(|&b| b == 0).unwrap_or(rest.len());
-            Some(String::from_utf8_lossy(&rest[..nul]).into_owned())
+            let (plugin, _) = split_optional_cstring(rest);
+            Some(plugin)
         } else {
             None
         };
@@ -322,7 +337,8 @@ pub fn build_err(code: u16, sql_state: &str, message: &str) -> Vec<u8> {
     p.put_u8(0xff);
     p.put_u16_le(code);
     p.put_u8(b'#');
-    p.extend_from_slice(&sql_state.as_bytes()[..5.min(sql_state.len())]);
+    let state = sql_state.as_bytes();
+    p.extend_from_slice(state.get(..5.min(state.len())).unwrap_or_default());
     while p.len() < 4 + 5 {
         p.put_u8(b'0');
     }
@@ -363,7 +379,14 @@ pub enum MySqlCommand {
 /// Parse a command-phase packet payload.
 pub fn parse_command(payload: &[u8]) -> NetResult<MySqlCommand> {
     let Some((&op, rest)) = payload.split_first() else {
-        return Err(NetError::protocol("empty command packet"));
+        return Err(WireError::new(
+            WireProtocol::MySql,
+            0,
+            WireErrorKind::Malformed {
+                detail: "empty command packet",
+            },
+        )
+        .into());
     };
     Ok(match op {
         0x03 => MySqlCommand::Query(String::from_utf8_lossy(rest).into_owned()),
@@ -375,15 +398,18 @@ pub fn parse_command(payload: &[u8]) -> NetResult<MySqlCommand> {
 
 /// Parse an ERR payload (client side), returning `(code, message)`.
 pub fn parse_err(payload: &[u8]) -> Option<(u16, String)> {
-    if payload.first() != Some(&0xff) || payload.len() < 9 {
+    if payload.len() < 9 {
         return None;
     }
-    let code = u16::from_le_bytes([payload[1], payload[2]]);
-    let msg_start = if payload.get(3) == Some(&b'#') { 9 } else { 3 };
-    Some((
-        code,
-        String::from_utf8_lossy(&payload[msg_start..]).into_owned(),
-    ))
+    let mut cur = ByteCursor::new(payload, WireProtocol::MySql);
+    if cur.u8().ok()? != 0xff {
+        return None;
+    }
+    let code = cur.u16_le().ok()?;
+    if cur.peek_u8() == Some(b'#') {
+        cur.skip(6).ok()?; // '#' + 5-char SQL state
+    }
+    Some((code, String::from_utf8_lossy(cur.rest()).into_owned()))
 }
 
 #[cfg(test)]
@@ -477,5 +503,21 @@ mod tests {
         assert!(LoginRequest::parse(&[0u8; 40]).is_err());
         assert!(LoginRequest::parse(&[0u8; 4]).is_err());
         assert!(Greeting::parse(b"\x09garbage").is_err());
+    }
+
+    #[test]
+    fn truncated_login_reports_mysql_offsets() {
+        // capabilities announce 4.1, then the packet ends mid-filler
+        let mut payload = vec![];
+        payload.extend_from_slice(&CLIENT_PROTOCOL_41.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 6]);
+        let err = LoginRequest::parse(&payload).unwrap_err();
+        match err {
+            decoy_net::NetError::Wire(w) => {
+                assert_eq!(w.protocol, WireProtocol::MySql);
+                assert!(matches!(w.kind, WireErrorKind::Truncated { .. }));
+            }
+            other => panic!("expected wire error, got {other:?}"),
+        }
     }
 }

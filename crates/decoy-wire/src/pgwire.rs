@@ -5,10 +5,14 @@
 //! cleartext and MD5 password authentication, the simple query subprotocol,
 //! error responses, and raw pass-through of extended-protocol messages so
 //! unexpected client behaviour is preserved verbatim in the logs.
+//!
+//! Decoding is total: every read goes through [`ByteCursor`], so malformed
+//! frames surface as [`decoy_net::WireError`] values, never panics.
 
 use bytes::{Buf, BufMut, BytesMut};
 use decoy_net::codec::{peek_u32_be, Codec};
-use decoy_net::error::{NetError, NetResult};
+use decoy_net::cursor::{sat_i32, sat_u16, sat_u32, usize_from, ByteCursor};
+use decoy_net::error::{NetResult, WireError, WireErrorKind, WireProtocol};
 
 /// Protocol version number for v3.0 startup packets.
 pub const PROTOCOL_V3: u32 = 196_608;
@@ -131,51 +135,65 @@ impl BackendMessage {
     }
 }
 
-fn get_cstring(buf: &mut &[u8]) -> NetResult<String> {
-    let pos = buf
-        .iter()
-        .position(|&b| b == 0)
-        .ok_or_else(|| NetError::protocol("unterminated cstring"))?;
-    let s = String::from_utf8_lossy(&buf[..pos]).into_owned();
-    *buf = &buf[pos + 1..];
-    Ok(s)
-}
-
 fn put_cstring(buf: &mut BytesMut, s: &str) {
     buf.extend_from_slice(s.as_bytes());
     buf.put_u8(0);
 }
 
-/// Decode a startup-family packet body (after the 4-byte length).
+/// Decode a startup-family packet body (after the 4-byte length; offsets in
+/// errors are relative to the packet start).
 fn parse_startup_body(body: &[u8]) -> NetResult<FrontendMessage> {
-    if body.len() < 4 {
-        return Err(NetError::protocol("startup packet too short"));
-    }
-    let code = u32::from_be_bytes([body[0], body[1], body[2], body[3]]);
-    let mut rest = &body[4..];
+    let mut cur = ByteCursor::with_base(body, WireProtocol::Pgwire, 4);
+    let code = cur.u32_be()?;
     match code {
         SSL_REQUEST_CODE => Ok(FrontendMessage::SslRequest),
         CANCEL_REQUEST_CODE => {
-            if rest.len() < 8 {
-                return Err(NetError::protocol("short cancel request"));
-            }
-            let pid = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
-            let secret = u32::from_be_bytes([rest[4], rest[5], rest[6], rest[7]]);
+            let pid = cur.u32_be()?;
+            let secret = cur.u32_be()?;
             Ok(FrontendMessage::CancelRequest { pid, secret })
         }
         PROTOCOL_V3 => {
             let mut params = Vec::new();
-            while !rest.is_empty() && rest[0] != 0 {
-                let k = get_cstring(&mut rest)?;
-                let v = get_cstring(&mut rest)?;
+            while !matches!(cur.peek_u8(), None | Some(0)) {
+                let k = cur.cstring_lossy()?;
+                let v = cur.cstring_lossy()?;
                 params.push((k, v));
             }
             Ok(FrontendMessage::Startup { params })
         }
-        other => Err(NetError::protocol(format!(
-            "unsupported startup protocol code {other}"
-        ))),
+        _ => Err(cur
+            .err(WireErrorKind::BadMagic {
+                what: "startup protocol code",
+            })
+            .into()),
     }
+}
+
+/// Peek a tagged message header: tag byte + big-endian length word.
+fn peek_tagged_header(buf: &BytesMut) -> Option<(u8, u32)> {
+    let tag = *buf.first()?;
+    let len = buf
+        .get(1..5)
+        .and_then(|s| s.first_chunk::<4>())
+        .map(|b| u32::from_be_bytes(*b))?;
+    Some((tag, len))
+}
+
+/// Validate a tagged-message length word against the codec's frame limit.
+fn check_tagged_len(len32: u32, max: usize) -> NetResult<usize> {
+    let len = usize_from(len32);
+    if !(4..=max).contains(&len) {
+        return Err(WireError::new(
+            WireProtocol::Pgwire,
+            1,
+            WireErrorKind::LengthOutOfRange {
+                declared: u64::from(len32),
+                max: u64::try_from(max).unwrap_or(u64::MAX),
+            },
+        )
+        .into());
+    }
+    Ok(len)
 }
 
 /// Server-side codec: decodes [`FrontendMessage`], encodes [`BackendMessage`].
@@ -209,14 +227,20 @@ impl Codec for PgServerCodec {
 
     fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<FrontendMessage>> {
         if !self.startup_done {
-            let Some(len) = peek_u32_be(buf) else {
+            let Some(len32) = peek_u32_be(buf) else {
                 return Ok(None);
             };
-            let len = len as usize;
+            let len = usize_from(len32);
             if !(8..=10_000).contains(&len) {
-                return Err(NetError::protocol(format!(
-                    "implausible startup packet length {len}"
-                )));
+                return Err(WireError::new(
+                    WireProtocol::Pgwire,
+                    0,
+                    WireErrorKind::LengthOutOfRange {
+                        declared: u64::from(len32),
+                        max: 10_000,
+                    },
+                )
+                .into());
             }
             if buf.len() < len {
                 return Ok(None);
@@ -229,14 +253,10 @@ impl Codec for PgServerCodec {
             }
             return Ok(Some(msg));
         }
-        if buf.len() < 5 {
+        let Some((tag, len32)) = peek_tagged_header(buf) else {
             return Ok(None);
-        }
-        let tag = buf[0];
-        let len = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
-        if !(4..=self.max_frame_len()).contains(&len) {
-            return Err(NetError::protocol(format!("bad message length {len}")));
-        }
+        };
+        let len = check_tagged_len(len32, self.max_frame_len())?;
         if buf.len() < 1 + len {
             return Ok(None);
         }
@@ -244,12 +264,12 @@ impl Codec for PgServerCodec {
         let body = buf.split_to(len - 4).to_vec();
         let msg = match tag {
             b'p' => {
-                let mut rest = body.as_slice();
-                FrontendMessage::Password(get_cstring(&mut rest)?)
+                let mut cur = ByteCursor::with_base(&body, WireProtocol::Pgwire, 5);
+                FrontendMessage::Password(cur.cstring_lossy()?)
             }
             b'Q' => {
-                let mut rest = body.as_slice();
-                FrontendMessage::Query(get_cstring(&mut rest)?)
+                let mut cur = ByteCursor::with_base(&body, WireProtocol::Pgwire, 5);
+                FrontendMessage::Query(cur.cstring_lossy()?)
             }
             b'X' => FrontendMessage::Terminate,
             other => FrontendMessage::Other { tag: other, body },
@@ -263,7 +283,7 @@ impl Codec for PgServerCodec {
     }
 
     fn max_frame_len(&self) -> usize {
-        1 << 20
+        (1 << 20).min(crate::MAX_FRAME)
     }
 }
 
@@ -293,14 +313,10 @@ impl Codec for PgClientCodec {
     type Out = FrontendMessage;
 
     fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<BackendMessage>> {
-        if buf.len() < 5 {
+        let Some((tag, len32)) = peek_tagged_header(buf) else {
             return Ok(None);
-        }
-        let tag = buf[0];
-        let len = u32::from_be_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
-        if !(4..=self.max_frame_len()).contains(&len) {
-            return Err(NetError::protocol(format!("bad message length {len}")));
-        }
+        };
+        let len = check_tagged_len(len32, self.max_frame_len())?;
         if buf.len() < 1 + len {
             return Ok(None);
         }
@@ -317,54 +333,47 @@ impl Codec for PgClientCodec {
 }
 
 fn parse_backend(tag: u8, body: &[u8]) -> NetResult<BackendMessage> {
-    let mut rest = body;
+    // Offsets in errors are relative to the tagged message start (tag byte
+    // at 0, body begins at 5).
+    let mut cur = ByteCursor::with_base(body, WireProtocol::Pgwire, 5);
     Ok(match tag {
-        b'R' => {
-            if rest.len() < 4 {
-                return Err(NetError::protocol("short auth message"));
-            }
-            let code = u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
-            match code {
-                0 => BackendMessage::AuthenticationOk,
-                3 => BackendMessage::AuthenticationCleartextPassword,
-                5 => {
-                    if rest.len() < 8 {
-                        return Err(NetError::protocol("md5 auth missing salt"));
-                    }
-                    BackendMessage::AuthenticationMd5Password {
-                        salt: [rest[4], rest[5], rest[6], rest[7]],
-                    }
+        b'R' => match cur.u32_be()? {
+            0 => BackendMessage::AuthenticationOk,
+            3 => BackendMessage::AuthenticationCleartextPassword,
+            5 => {
+                let mut salt = [0u8; 4];
+                for b in &mut salt {
+                    *b = cur.u8()?;
                 }
-                other => return Err(NetError::protocol(format!("unsupported auth code {other}"))),
+                BackendMessage::AuthenticationMd5Password { salt }
             }
-        }
+            _ => {
+                return Err(cur
+                    .err(WireErrorKind::BadMagic {
+                        what: "authentication code",
+                    })
+                    .into())
+            }
+        },
         b'S' => {
-            let name = get_cstring(&mut rest)?;
-            let value = get_cstring(&mut rest)?;
+            let name = cur.cstring_lossy()?;
+            let value = cur.cstring_lossy()?;
             BackendMessage::ParameterStatus { name, value }
         }
-        b'K' => {
-            if rest.len() < 8 {
-                return Err(NetError::protocol("short key data"));
-            }
-            BackendMessage::BackendKeyData {
-                pid: u32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]),
-                secret: u32::from_be_bytes([rest[4], rest[5], rest[6], rest[7]]),
-            }
-        }
+        b'K' => BackendMessage::BackendKeyData {
+            pid: cur.u32_be()?,
+            secret: cur.u32_be()?,
+        },
         b'Z' => BackendMessage::ReadyForQuery {
-            status: *rest.first().unwrap_or(&b'I'),
+            status: cur.peek_u8().unwrap_or(b'I'),
         },
         b'E' => {
             let mut severity = String::new();
             let mut code = String::new();
             let mut message = String::new();
-            while let Some(&field) = rest.first() {
-                if field == 0 {
-                    break;
-                }
-                rest = &rest[1..];
-                let value = get_cstring(&mut rest)?;
+            while !matches!(cur.peek_u8(), None | Some(0)) {
+                let field = cur.u8()?;
+                let value = cur.cstring_lossy()?;
                 match field {
                     b'S' => severity = value,
                     b'C' => code = value,
@@ -379,57 +388,44 @@ fn parse_backend(tag: u8, body: &[u8]) -> NetResult<BackendMessage> {
             }
         }
         b'T' => {
-            if rest.len() < 2 {
-                return Err(NetError::protocol("short row description"));
-            }
-            let n = u16::from_be_bytes([rest[0], rest[1]]) as usize;
-            rest = &rest[2..];
-            let mut columns = Vec::with_capacity(n);
+            let n = usize::from(cur.u16_be()?);
+            let mut columns = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
-                let name = get_cstring(&mut rest)?;
-                if rest.len() < 18 {
-                    return Err(NetError::protocol("short field description"));
-                }
-                rest = &rest[18..];
+                let name = cur.cstring_lossy()?;
+                // table oid, attnum, type oid, size, modifier, format
+                cur.skip(18)?;
                 columns.push(name);
             }
             BackendMessage::RowDescription { columns }
         }
         b'D' => {
-            if rest.len() < 2 {
-                return Err(NetError::protocol("short data row"));
-            }
-            let n = u16::from_be_bytes([rest[0], rest[1]]) as usize;
-            rest = &rest[2..];
-            let mut values = Vec::with_capacity(n);
+            let n = usize::from(cur.u16_be()?);
+            let mut values = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
-                if rest.len() < 4 {
-                    return Err(NetError::protocol("short data row value"));
-                }
-                let len = i32::from_be_bytes([rest[0], rest[1], rest[2], rest[3]]);
-                rest = &rest[4..];
+                let len = cur.i32_be()?;
                 if len < 0 {
                     values.push(None);
                 } else {
-                    let len = len as usize;
-                    if rest.len() < len {
-                        return Err(NetError::protocol("data row value overruns"));
-                    }
-                    values.push(Some(String::from_utf8_lossy(&rest[..len]).into_owned()));
-                    rest = &rest[len..];
+                    let len = cur.checked_len(i64::from(len), crate::MAX_FRAME)?;
+                    let raw = cur.take(len)?;
+                    values.push(Some(String::from_utf8_lossy(raw).into_owned()));
                 }
             }
             BackendMessage::DataRow { values }
         }
         b'C' => BackendMessage::CommandComplete {
-            tag: get_cstring(&mut rest)?,
+            tag: cur.cstring_lossy()?,
         },
         b'I' => BackendMessage::EmptyQueryResponse,
-        other => {
-            return Err(NetError::protocol(format!(
-                "unsupported backend tag {:?}",
-                other as char
-            )))
+        _ => {
+            return Err(WireError::new(
+                WireProtocol::Pgwire,
+                0,
+                WireErrorKind::BadMagic {
+                    what: "backend message tag",
+                },
+            )
+            .into())
         }
     })
 }
@@ -454,18 +450,18 @@ fn encode_frontend(msg: &FrontendMessage, buf: &mut BytesMut, sent_startup: &mut
                 put_cstring(&mut body, v);
             }
             body.put_u8(0);
-            buf.put_u32(4 + body.len() as u32);
+            buf.put_u32(sat_u32(4 + body.len()));
             buf.extend_from_slice(&body);
             *sent_startup = true;
         }
         FrontendMessage::Password(pw) => {
             buf.put_u8(b'p');
-            buf.put_u32(4 + pw.len() as u32 + 1);
+            buf.put_u32(sat_u32(4 + pw.len() + 1));
             put_cstring(buf, pw);
         }
         FrontendMessage::Query(q) => {
             buf.put_u8(b'Q');
-            buf.put_u32(4 + q.len() as u32 + 1);
+            buf.put_u32(sat_u32(4 + q.len() + 1));
             put_cstring(buf, q);
         }
         FrontendMessage::Terminate => {
@@ -474,7 +470,7 @@ fn encode_frontend(msg: &FrontendMessage, buf: &mut BytesMut, sent_startup: &mut
         }
         FrontendMessage::Other { tag, body } => {
             buf.put_u8(*tag);
-            buf.put_u32(4 + body.len() as u32);
+            buf.put_u32(sat_u32(4 + body.len()));
             buf.extend_from_slice(body);
         }
     }
@@ -503,7 +499,7 @@ fn encode_backend(msg: &BackendMessage, buf: &mut BytesMut) {
         }
         BackendMessage::ParameterStatus { name, value } => {
             buf.put_u8(b'S');
-            buf.put_u32(4 + name.len() as u32 + 1 + value.len() as u32 + 1);
+            buf.put_u32(sat_u32(4 + name.len() + 1 + value.len() + 1));
             put_cstring(buf, name);
             put_cstring(buf, value);
         }
@@ -532,12 +528,12 @@ fn encode_backend(msg: &BackendMessage, buf: &mut BytesMut) {
             put_cstring(&mut body, message);
             body.put_u8(0);
             buf.put_u8(b'E');
-            buf.put_u32(4 + body.len() as u32);
+            buf.put_u32(sat_u32(4 + body.len()));
             buf.extend_from_slice(&body);
         }
         BackendMessage::RowDescription { columns } => {
             let mut body = BytesMut::new();
-            body.put_u16(columns.len() as u16);
+            body.put_u16(sat_u16(columns.len()));
             for col in columns {
                 put_cstring(&mut body, col);
                 body.put_u32(0); // table oid
@@ -548,28 +544,28 @@ fn encode_backend(msg: &BackendMessage, buf: &mut BytesMut) {
                 body.put_u16(0); // format: text
             }
             buf.put_u8(b'T');
-            buf.put_u32(4 + body.len() as u32);
+            buf.put_u32(sat_u32(4 + body.len()));
             buf.extend_from_slice(&body);
         }
         BackendMessage::DataRow { values } => {
             let mut body = BytesMut::new();
-            body.put_u16(values.len() as u16);
+            body.put_u16(sat_u16(values.len()));
             for v in values {
                 match v {
                     None => body.put_i32(-1),
                     Some(s) => {
-                        body.put_i32(s.len() as i32);
+                        body.put_i32(sat_i32(s.len()));
                         body.extend_from_slice(s.as_bytes());
                     }
                 }
             }
             buf.put_u8(b'D');
-            buf.put_u32(4 + body.len() as u32);
+            buf.put_u32(sat_u32(4 + body.len()));
             buf.extend_from_slice(&body);
         }
         BackendMessage::CommandComplete { tag } => {
             buf.put_u8(b'C');
-            buf.put_u32(4 + tag.len() as u32 + 1);
+            buf.put_u32(sat_u32(4 + tag.len() + 1));
             put_cstring(buf, tag);
         }
         BackendMessage::EmptyQueryResponse => {
@@ -716,6 +712,21 @@ mod tests {
         let mut server = PgServerCodec::new();
         let mut buf = BytesMut::from(&[0u8, 0, 0, 4][..]); // length < 8
         assert!(server.decode(&mut buf).is_err());
+    }
+
+    #[test]
+    fn wire_errors_carry_protocol_and_offset() {
+        let mut server = PgServerCodec::new();
+        let mut buf = BytesMut::from(&[0xffu8, 0xff, 0xff, 0xff, 0, 0, 0, 0][..]);
+        let err = server.decode(&mut buf).unwrap_err();
+        match err {
+            decoy_net::NetError::Wire(w) => {
+                assert_eq!(w.protocol, WireProtocol::Pgwire);
+                assert_eq!(w.offset, 0);
+                assert!(matches!(w.kind, WireErrorKind::LengthOutOfRange { .. }));
+            }
+            other => panic!("expected wire error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -5,10 +5,20 @@
 //! the paper's dataset use (e.g. the JDWP probe of Listing 11 arrives as an
 //! inline "command"). One [`RespCodec`] serves both directions: servers
 //! decode client commands and encode replies; clients do the reverse.
+//!
+//! Parsing is total and index-free: every length an attacker declares is
+//! range-checked against the codec's frame limit before any allocation, and
+//! violations surface as [`decoy_net::WireError`] values carrying the byte
+//! offset of the damage.
 
 use bytes::{Buf, BytesMut};
 use decoy_net::codec::Codec;
-use decoy_net::error::{NetError, NetResult};
+use decoy_net::error::{NetError, NetResult, WireError, WireErrorKind, WireProtocol};
+
+/// Nesting bound for arrays-of-arrays from hostile clients.
+const MAX_DEPTH: u32 = 32;
+/// Maximum declared element count for one array.
+const MAX_ARRAY: i64 = 1 << 20;
 
 /// A RESP2 value.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -97,10 +107,10 @@ pub fn as_command(value: &RespValue) -> Option<RedisCommand> {
                     _ => return None,
                 }
             }
-            let first = parts.first()?;
+            let (first, args) = parts.split_first()?;
             Some(RedisCommand {
                 name: String::from_utf8_lossy(first).to_uppercase(),
-                args: parts[1..].to_vec(),
+                args: args.to_vec(),
             })
         }
         RespValue::Inline(line) => {
@@ -128,7 +138,7 @@ impl RespCodec {
     pub fn server() -> Self {
         RespCodec {
             server_mode: true,
-            max_frame: 4 << 20,
+            max_frame: (4 << 20).min(crate::MAX_FRAME),
         }
     }
 
@@ -136,37 +146,51 @@ impl RespCodec {
     pub fn client() -> Self {
         RespCodec {
             server_mode: false,
-            max_frame: 4 << 20,
+            max_frame: (4 << 20).min(crate::MAX_FRAME),
         }
     }
 }
 
+/// Shorthand for a RESP wire error at `offset`.
+fn rerr(offset: usize, kind: WireErrorKind) -> NetError {
+    WireError::new(WireProtocol::Resp, offset, kind).into()
+}
+
 /// Find `\r\n` starting at `from`; return the index of `\r`.
 fn find_crlf(buf: &[u8], from: usize) -> Option<usize> {
-    if buf.len() < from + 2 {
-        return None;
-    }
-    buf[from..buf.len() - 1]
-        .iter()
-        .zip(&buf[from + 1..])
-        .position(|(&a, &b)| a == b'\r' && b == b'\n')
-        .map(|p| p + from)
+    let tail = buf.get(from..)?;
+    tail.windows(2).position(|w| w == b"\r\n").map(|p| p + from)
 }
 
-/// Parse the decimal integer in `bytes` (RESP length/integer line).
-fn parse_int(bytes: &[u8]) -> NetResult<i64> {
-    let s =
-        std::str::from_utf8(bytes).map_err(|_| NetError::protocol("non-utf8 integer in RESP"))?;
-    s.trim()
-        .parse::<i64>()
-        .map_err(|_| NetError::protocol(format!("bad RESP integer: {s:?}")))
+/// Parse the decimal integer in `bytes` (RESP length/integer line), located
+/// at `offset` in the frame for error reporting.
+fn parse_int(bytes: &[u8], offset: usize) -> NetResult<i64> {
+    let s = std::str::from_utf8(bytes).map_err(|_| rerr(offset, WireErrorKind::InvalidUtf8))?;
+    s.trim().parse::<i64>().map_err(|_| {
+        rerr(
+            offset,
+            WireErrorKind::Malformed {
+                detail: "bad RESP integer",
+            },
+        )
+    })
 }
 
-/// Recursive incremental parse. Returns `(value, consumed)` or `None` if
-/// incomplete. `depth` bounds nesting against hostile input.
-fn parse_value(buf: &[u8], depth: u32) -> NetResult<Option<(RespValue, usize)>> {
-    if depth > 32 {
-        return Err(NetError::protocol("RESP nesting too deep"));
+/// Recursive incremental parse over `buf`, which starts at absolute frame
+/// offset `base`. Returns `(value, consumed)` or `None` if incomplete.
+/// `depth` bounds nesting against hostile input; `max_bulk` bounds any
+/// declared bulk length.
+fn parse_value(
+    buf: &[u8],
+    base: usize,
+    depth: u32,
+    max_bulk: usize,
+) -> NetResult<Option<(RespValue, usize)>> {
+    if depth > MAX_DEPTH {
+        return Err(rerr(
+            base,
+            WireErrorKind::NestingTooDeep { limit: MAX_DEPTH },
+        ));
     }
     let Some(&type_byte) = buf.first() else {
         return Ok(None);
@@ -176,12 +200,12 @@ fn parse_value(buf: &[u8], depth: u32) -> NetResult<Option<(RespValue, usize)>> 
             let Some(end) = find_crlf(buf, 1) else {
                 return Ok(None);
             };
-            let body = &buf[1..end];
+            let body = buf.get(1..end).unwrap_or_default();
             let consumed = end + 2;
             let v = match type_byte {
                 b'+' => RespValue::Simple(String::from_utf8_lossy(body).into_owned()),
                 b'-' => RespValue::Error(String::from_utf8_lossy(body).into_owned()),
-                _ => RespValue::Integer(parse_int(body)?),
+                _ => RespValue::Integer(parse_int(body, base + 1)?),
             };
             Ok(Some((v, consumed)))
         }
@@ -189,41 +213,62 @@ fn parse_value(buf: &[u8], depth: u32) -> NetResult<Option<(RespValue, usize)>> 
             let Some(end) = find_crlf(buf, 1) else {
                 return Ok(None);
             };
-            let len = parse_int(&buf[1..end])?;
+            let declared = parse_int(buf.get(1..end).unwrap_or_default(), base + 1)?;
             let header = end + 2;
-            if len < 0 {
+            if declared < 0 {
                 return Ok(Some((RespValue::NullBulk, header)));
             }
-            let len = len as usize;
-            if len > 512 << 20 {
-                return Err(NetError::protocol("bulk string too large"));
-            }
-            if buf.len() < header + len + 2 {
+            let len = usize::try_from(declared)
+                .ok()
+                .filter(|&n| n <= max_bulk)
+                .ok_or_else(|| {
+                    rerr(
+                        base + 1,
+                        WireErrorKind::LengthOutOfRange {
+                            declared: u64::try_from(declared).unwrap_or(u64::MAX),
+                            max: u64::try_from(max_bulk).unwrap_or(u64::MAX),
+                        },
+                    )
+                })?;
+            let total = header + len + 2;
+            if buf.len() < total {
                 return Ok(None);
             }
-            if &buf[header + len..header + len + 2] != b"\r\n" {
-                return Err(NetError::protocol("bulk string missing CRLF terminator"));
+            if buf.get(header + len..total) != Some(&b"\r\n"[..]) {
+                return Err(rerr(
+                    base + header + len,
+                    WireErrorKind::Malformed {
+                        detail: "bulk string missing CRLF terminator",
+                    },
+                ));
             }
             Ok(Some((
-                RespValue::Bulk(buf[header..header + len].to_vec()),
-                header + len + 2,
+                RespValue::Bulk(buf.get(header..header + len).unwrap_or_default().to_vec()),
+                total,
             )))
         }
         b'*' => {
             let Some(end) = find_crlf(buf, 1) else {
                 return Ok(None);
             };
-            let n = parse_int(&buf[1..end])?;
+            let declared = parse_int(buf.get(1..end).unwrap_or_default(), base + 1)?;
             let mut consumed = end + 2;
-            if n < 0 {
+            if declared < 0 {
                 return Ok(Some((RespValue::NullArray, consumed)));
             }
-            if n > 1 << 20 {
-                return Err(NetError::protocol("RESP array too long"));
+            if declared > MAX_ARRAY {
+                return Err(rerr(
+                    base + 1,
+                    WireErrorKind::TooManyElements {
+                        limit: u64::try_from(MAX_ARRAY).unwrap_or(u64::MAX),
+                    },
+                ));
             }
-            let mut items = Vec::with_capacity((n as usize).min(64));
+            let n = usize::try_from(declared).unwrap_or(0);
+            let mut items = Vec::with_capacity(n.min(64));
             for _ in 0..n {
-                match parse_value(&buf[consumed..], depth + 1)? {
+                let tail = buf.get(consumed..).unwrap_or_default();
+                match parse_value(tail, base + consumed, depth + 1, max_bulk)? {
                     Some((item, used)) => {
                         items.push(item);
                         consumed += used;
@@ -233,7 +278,12 @@ fn parse_value(buf: &[u8], depth: u32) -> NetResult<Option<(RespValue, usize)>> 
             }
             Ok(Some((RespValue::Array(items), consumed)))
         }
-        _ => Err(NetError::protocol("not a RESP type byte")),
+        _ => Err(rerr(
+            base,
+            WireErrorKind::BadMagic {
+                what: "RESP type byte",
+            },
+        )),
     }
 }
 
@@ -242,11 +292,10 @@ impl Codec for RespCodec {
     type Out = RespValue;
 
     fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<RespValue>> {
-        if buf.is_empty() {
+        let Some(&first) = buf.first() else {
             return Ok(None);
-        }
+        };
         // Inline commands: anything not starting with a RESP type byte.
-        let first = buf[0];
         let is_resp = matches!(first, b'+' | b'-' | b':' | b'$' | b'*');
         if self.server_mode && !is_resp {
             let Some(pos) = buf.iter().position(|&b| b == b'\n') else {
@@ -255,13 +304,13 @@ impl Codec for RespCodec {
             let mut line = buf.split_to(pos + 1);
             line.truncate(pos);
             if line.last() == Some(&b'\r') {
-                line.truncate(line.len() - 1);
+                line.truncate(line.len().saturating_sub(1));
             }
             return Ok(Some(RespValue::Inline(
                 String::from_utf8_lossy(&line).into_owned(),
             )));
         }
-        match parse_value(buf, 0)? {
+        match parse_value(buf, 0, 0, self.max_frame)? {
             Some((value, consumed)) => {
                 buf.advance(consumed);
                 Ok(Some(value))
@@ -431,6 +480,21 @@ mod tests {
         assert!(decode_one(&mut c, b"$99999999999999999999\r\n").is_err());
         assert!(decode_one(&mut c, b"*2000000\r\n").is_err());
         assert!(decode_one(&mut c, b":abc\r\n").is_err());
+    }
+
+    #[test]
+    fn bulk_longer_than_frame_limit_is_rejected_up_front() {
+        // Declared 5 MiB bulk exceeds the 4 MiB frame limit: the codec must
+        // refuse immediately instead of buffering toward a doomed frame.
+        let mut c = RespCodec::client();
+        let err = decode_one(&mut c, b"$5242880\r\n").unwrap_err();
+        match err {
+            NetError::Wire(w) => {
+                assert_eq!(w.protocol, WireProtocol::Resp);
+                assert!(matches!(w.kind, WireErrorKind::LengthOutOfRange { .. }));
+            }
+            other => panic!("expected wire error, got {other:?}"),
+        }
     }
 
     #[test]

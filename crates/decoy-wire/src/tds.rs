@@ -6,10 +6,15 @@
 //! `0xA5` — which is why MSSQL honeypots can log cleartext credentials, and
 //! why Table 12 of the paper exists), and the token-stream error response
 //! (`Login failed for user ...`, error 18456).
+//!
+//! All parse paths are total: attacker-declared offsets and lengths are
+//! bounds-checked with `.get()` before any read, and violations become
+//! structured [`decoy_net::WireError`] values.
 
 use bytes::{Buf, BufMut, BytesMut};
 use decoy_net::codec::Codec;
-use decoy_net::error::{NetError, NetResult};
+use decoy_net::cursor::{sat_u16, sat_u32, sat_u8, usize_from};
+use decoy_net::error::{NetError, NetResult, WireError, WireErrorKind, WireProtocol};
 
 /// Packet type: PRELOGIN.
 pub const PKT_PRELOGIN: u8 = 0x12;
@@ -19,6 +24,11 @@ pub const PKT_LOGIN7: u8 = 0x10;
 pub const PKT_SQL_BATCH: u8 = 0x01;
 /// Packet type: tabular result (server → client).
 pub const PKT_RESPONSE: u8 = 0x04;
+
+/// Shorthand for a TDS wire error at `offset`.
+fn terr(offset: usize, kind: WireErrorKind) -> NetError {
+    WireError::new(WireProtocol::Tds, offset, kind).into()
+}
 
 /// One TDS packet. `status = 0x01` marks end-of-message; this codec treats
 /// each packet as one frame (fine for login-sized exchanges).
@@ -52,21 +62,30 @@ impl Codec for TdsCodec {
     type Out = TdsPacket;
 
     fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<TdsPacket>> {
-        if buf.len() < 8 {
+        let Some(&[ptype, status, l0, l1, _, _, _, _]) = buf.first_chunk::<8>() else {
             return Ok(None);
-        }
-        let len = u16::from_be_bytes([buf[2], buf[3]]) as usize;
+        };
+        let len = usize::from(u16::from_be_bytes([l0, l1]));
         if len < 8 {
-            return Err(NetError::protocol(format!("tds length {len} below header")));
+            return Err(terr(
+                2,
+                WireErrorKind::Malformed {
+                    detail: "tds length below header size",
+                },
+            ));
         }
-        if len > self.max_frame_len() {
-            return Err(NetError::protocol("tds packet too large"));
+        if len > self.max_frame_len().min(crate::MAX_FRAME) {
+            return Err(terr(
+                2,
+                WireErrorKind::LengthOutOfRange {
+                    declared: len as u64,
+                    max: self.max_frame_len() as u64,
+                },
+            ));
         }
         if buf.len() < len {
             return Ok(None);
         }
-        let ptype = buf[0];
-        let status = buf[1];
         buf.advance(8);
         let payload = buf.split_to(len - 8).to_vec();
         Ok(Some(TdsPacket {
@@ -77,13 +96,13 @@ impl Codec for TdsCodec {
     }
 
     fn encode(&mut self, frame: &TdsPacket, buf: &mut BytesMut) -> NetResult<()> {
-        let total = 8 + frame.payload.len();
-        if total > u16::MAX as usize {
+        let total = 8usize.saturating_add(frame.payload.len());
+        if total > usize::from(u16::MAX) {
             return Err(NetError::protocol("tds payload too large for one packet"));
         }
         buf.put_u8(frame.ptype);
         buf.put_u8(frame.status);
-        buf.put_u16(total as u16);
+        buf.put_u16(sat_u16(total));
         buf.put_u16(0); // spid
         buf.put_u8(1); // packet id
         buf.put_u8(0); // window
@@ -92,7 +111,7 @@ impl Codec for TdsCodec {
     }
 
     fn max_frame_len(&self) -> usize {
-        u16::MAX as usize
+        usize::from(u16::MAX)
     }
 }
 
@@ -111,7 +130,7 @@ pub fn ucs2_encode(s: &str) -> Vec<u8> {
 pub fn ucs2_decode(bytes: &[u8]) -> String {
     let units: Vec<u16> = bytes
         .chunks_exact(2)
-        .map(|c| u16::from_le_bytes([c[0], c[1]]))
+        .map(|c| c.first_chunk::<2>().map_or(0, |a| u16::from_le_bytes(*a)))
         .collect();
     String::from_utf16_lossy(&units)
 }
@@ -138,23 +157,43 @@ pub fn parse_prelogin(payload: &[u8]) -> NetResult<Vec<PreloginOption>> {
     let mut idx = 0usize;
     loop {
         let Some(&token) = payload.get(idx) else {
-            return Err(NetError::protocol("prelogin missing terminator"));
+            return Err(terr(
+                idx,
+                WireErrorKind::Unterminated {
+                    what: "prelogin option list",
+                },
+            ));
         };
         if token == 0xff {
             break;
         }
-        if payload.len() < idx + 5 {
-            return Err(NetError::protocol("truncated prelogin option header"));
-        }
-        let offset = u16::from_be_bytes([payload[idx + 1], payload[idx + 2]]) as usize;
-        let length = u16::from_be_bytes([payload[idx + 3], payload[idx + 4]]) as usize;
-        if offset + length > payload.len() {
-            return Err(NetError::protocol("prelogin option overruns payload"));
-        }
-        options.push((token, payload[offset..offset + length].to_vec()));
+        let Some(&[_, o0, o1, n0, n1]) = payload.get(idx..).and_then(|t| t.first_chunk::<5>())
+        else {
+            return Err(terr(
+                idx,
+                WireErrorKind::Truncated {
+                    needed: 5,
+                    available: payload.len().saturating_sub(idx),
+                },
+            ));
+        };
+        let offset = usize::from(u16::from_be_bytes([o0, o1]));
+        let length = usize::from(u16::from_be_bytes([n0, n1]));
+        let Some(data) = offset
+            .checked_add(length)
+            .and_then(|end| payload.get(offset..end))
+        else {
+            return Err(terr(
+                idx + 1,
+                WireErrorKind::Malformed {
+                    detail: "prelogin option overruns payload",
+                },
+            ));
+        };
+        options.push((token, data.to_vec()));
         idx += 5;
         if options.len() > 16 {
-            return Err(NetError::protocol("too many prelogin options"));
+            return Err(terr(idx, WireErrorKind::TooManyElements { limit: 16 }));
         }
     }
     Ok(options)
@@ -168,8 +207,8 @@ pub fn build_prelogin(options: &[PreloginOption]) -> Vec<u8> {
     let mut offset = header_len;
     for (token, bytes) in options {
         header.push(*token);
-        header.extend_from_slice(&(offset as u16).to_be_bytes());
-        header.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+        header.extend_from_slice(&sat_u16(offset).to_be_bytes());
+        header.extend_from_slice(&sat_u16(bytes.len()).to_be_bytes());
         data.extend_from_slice(bytes);
         offset += bytes.len();
     }
@@ -229,13 +268,13 @@ impl Login7 {
         let mut pairs = Vec::new();
         let mut offset = LOGIN7_FIXED;
         for f in &fields {
-            pairs.push((offset as u16, (f.len() / 2) as u16));
+            pairs.push((sat_u16(offset), sat_u16(f.len() / 2)));
             var.extend_from_slice(f);
             offset += f.len();
         }
         let total = LOGIN7_FIXED + var.len();
         let mut p = BytesMut::with_capacity(total);
-        p.put_u32_le(total as u32);
+        p.put_u32_le(sat_u32(total));
         p.put_u32_le(0x7400_0004); // TDS 7.4
         p.put_u32_le(4096); // packet size
         p.put_u32_le(7); // client prog version
@@ -267,25 +306,55 @@ impl Login7 {
     /// Parse a LOGIN7 payload, deobfuscating the password.
     pub fn parse(payload: &[u8]) -> NetResult<Login7> {
         if payload.len() < LOGIN7_FIXED {
-            return Err(NetError::protocol("login7 shorter than fixed part"));
+            return Err(terr(
+                0,
+                WireErrorKind::Truncated {
+                    needed: LOGIN7_FIXED,
+                    available: payload.len(),
+                },
+            ));
         }
-        let declared =
-            u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+        let declared = payload
+            .first_chunk::<4>()
+            .map_or(0usize, |a| usize_from(u32::from_le_bytes(*a)));
         if declared > payload.len() {
-            return Err(NetError::protocol("login7 declared length overruns packet"));
+            return Err(terr(
+                0,
+                WireErrorKind::LengthOutOfRange {
+                    declared: declared as u64,
+                    max: payload.len() as u64,
+                },
+            ));
         }
         let read_field = |pair_index: usize, mangled: bool| -> NetResult<String> {
             let base = 36 + pair_index * 4;
-            let off = u16::from_le_bytes([payload[base], payload[base + 1]]) as usize;
-            let chars = u16::from_le_bytes([payload[base + 2], payload[base + 3]]) as usize;
-            let bytes_len = chars * 2;
+            let Some(&[o0, o1, c0, c1]) = payload.get(base..).and_then(|t| t.first_chunk::<4>())
+            else {
+                return Err(terr(
+                    base,
+                    WireErrorKind::Truncated {
+                        needed: 4,
+                        available: payload.len().saturating_sub(base),
+                    },
+                ));
+            };
+            let off = usize::from(u16::from_le_bytes([o0, o1]));
+            let chars = usize::from(u16::from_le_bytes([c0, c1]));
             if chars == 0 {
                 return Ok(String::new());
             }
-            if off + bytes_len > payload.len() {
-                return Err(NetError::protocol("login7 field overruns packet"));
-            }
-            let raw = &payload[off..off + bytes_len];
+            let bytes_len = chars * 2;
+            let Some(raw) = off
+                .checked_add(bytes_len)
+                .and_then(|end| payload.get(off..end))
+            else {
+                return Err(terr(
+                    base,
+                    WireErrorKind::Malformed {
+                        detail: "login7 field overruns packet",
+                    },
+                ));
+            };
             if mangled {
                 Ok(ucs2_decode(&password_demangle(raw)))
             } else {
@@ -321,15 +390,15 @@ pub fn build_login_failed(username: &str) -> Vec<u8> {
     body.put_i32_le(18456); // error number
     body.put_u8(1); // state
     body.put_u8(14); // class/severity
-    body.put_u16_le(msg.encode_utf16().count() as u16);
+    body.put_u16_le(sat_u16(msg.encode_utf16().count()));
     body.extend_from_slice(&msg_ucs2);
-    body.put_u8((server.len() / 2) as u8);
+    body.put_u8(sat_u8(server.len() / 2));
     body.extend_from_slice(&server);
     body.put_u8(0); // proc name length
     body.put_u32_le(1); // line number
     let mut p = BytesMut::new();
     p.put_u8(TOKEN_ERROR);
-    p.put_u16_le(body.len() as u16);
+    p.put_u16_le(sat_u16(body.len()));
     p.extend_from_slice(&body);
     // DONE token: error, no count
     p.put_u8(TOKEN_DONE);
@@ -341,16 +410,15 @@ pub fn build_login_failed(username: &str) -> Vec<u8> {
 
 /// Extract the error message from a token-stream response (client side).
 pub fn parse_error_token(payload: &[u8]) -> Option<(i32, String)> {
-    if payload.first() != Some(&TOKEN_ERROR) || payload.len() < 3 {
+    let &[token, l0, l1] = payload.first_chunk::<3>()?;
+    if token != TOKEN_ERROR {
         return None;
     }
-    let len = u16::from_le_bytes([payload[1], payload[2]]) as usize;
+    let len = usize::from(u16::from_le_bytes([l0, l1]));
     let body = payload.get(3..3 + len)?;
-    if body.len() < 8 {
-        return None;
-    }
-    let number = i32::from_le_bytes([body[0], body[1], body[2], body[3]]);
-    let msg_chars = u16::from_le_bytes([body[6], body[7]]) as usize;
+    let number = i32::from_le_bytes(*body.first_chunk::<4>()?);
+    let &[m0, m1] = body.get(6..).and_then(|t| t.first_chunk::<2>())?;
+    let msg_chars = usize::from(u16::from_le_bytes([m0, m1]));
     let msg = body.get(8..8 + msg_chars * 2)?;
     Some((number, ucs2_decode(msg)))
 }
@@ -377,7 +445,14 @@ mod tests {
     fn packet_codec_rejects_undersized_length() {
         let mut c = TdsCodec;
         let mut buf = BytesMut::from(&[0x12u8, 0x01, 0x00, 0x04, 0, 0, 1, 0][..]);
-        assert!(c.decode(&mut buf).is_err());
+        let err = c.decode(&mut buf).unwrap_err();
+        match err {
+            NetError::Wire(w) => {
+                assert_eq!(w.protocol, WireProtocol::Tds);
+                assert_eq!(w.offset, 2);
+            }
+            other => panic!("expected wire error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 
 use decoy_databases::core::deployment::instance_seed;
 use decoy_databases::honeypots::deploy::{spawn, HoneypotSpec, RunningHoneypot};
-use decoy_databases::net::codec::Framed;
+use decoy_databases::net::framed::Framed;
 use decoy_databases::net::time::Clock;
 use decoy_databases::store::{
     ConfigVariant, Dbms, EventKind, EventStore, HoneypotId, InteractionLevel,

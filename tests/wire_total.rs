@@ -1,0 +1,249 @@
+//! Totality harness for the attacker-facing byte path.
+//!
+//! Every `decoy-wire` decoder must return `Ok` or `Err` — never panic — on
+//! arbitrary bytes. This is the fuzz half of the panic-freedom audit
+//! (`decoy-xtask lint` is the static half): a deterministic, seeded mutator
+//! from `decoy-fuzz` produces 10 000 hostile variants per protocol from two
+//! seed pools, the malformed-frame corpus in `tests/corpus/<protocol>/`
+//! (truncated header, zero length, maximal declared length, wrong magic,
+//! mid-frame EOF) and golden frames produced by each codec's own encoder.
+//!
+//! Failures are reproducible: the mutator seed is fixed per protocol, so a
+//! failing iteration number plus this file pins the exact input. CI smoke
+//! runs set `DECOY_FUZZ_ITERS` to a reduced count.
+
+use bytes::BytesMut;
+use decoy_fuzz::{iterations, load_corpus, Mutator};
+use decoy_net::codec::Codec;
+use decoy_wire::http::{HttpClientCodec, HttpRequest, HttpResponse, HttpServerCodec};
+use decoy_wire::mongo::bson::Document;
+use decoy_wire::mongo::{MongoCodec, MongoMessage};
+use decoy_wire::mysql::{MySqlCodec, MySqlPacket};
+use decoy_wire::pgwire::{BackendMessage, FrontendMessage, PgClientCodec, PgServerCodec};
+use decoy_wire::resp::{RespCodec, RespValue};
+use decoy_wire::tds::{TdsCodec, TdsPacket};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+
+/// Load the malformed-frame corpus for `proto`, asserting the five
+/// canonical shapes are present.
+fn corpus(proto: &str) -> Vec<Vec<u8>> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(proto);
+    let seeds = load_corpus(&dir).unwrap_or_else(|e| panic!("corpus {proto}: {e}"));
+    assert!(
+        seeds.len() >= 5,
+        "{proto}: corpus must cover truncated_header, zero_length, max_length, \
+         wrong_magic and midframe_eof"
+    );
+    seeds
+}
+
+/// Encode golden frames through a codec's own encoder; these seed the
+/// mutator with byte sequences that are *almost* valid.
+fn encoded<C: Codec>(codec: &mut C, frames: &[C::Out]) -> Vec<Vec<u8>> {
+    frames
+        .iter()
+        .map(|f| {
+            let mut buf = BytesMut::new();
+            codec.encode(f, &mut buf).expect("golden frame encodes");
+            buf.to_vec()
+        })
+        .collect()
+}
+
+/// Feed `iterations(10_000)` mutated inputs to fresh codecs built by `mk`,
+/// draining each input until the codec stops producing frames. Any panic
+/// fails the test with the iteration number and the exact input bytes.
+fn assert_decoder_total<C, F>(proto: &str, seed: u64, seeds: &[Vec<u8>], mk: F)
+where
+    C: Codec,
+    F: Fn() -> C,
+{
+    let iters = iterations(10_000);
+    let mut mutator = Mutator::new(seed);
+    for i in 0..iters {
+        let input = mutator.mutate(seeds);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut codec = mk();
+            let mut buf = BytesMut::from(&input[..]);
+            // bounded drain: stop on Err, on Ok(None), or after 64 frames
+            for _ in 0..64 {
+                match codec.decode(&mut buf) {
+                    Ok(Some(_)) if !buf.is_empty() => continue,
+                    _ => break,
+                }
+            }
+        }));
+        assert!(
+            outcome.is_ok(),
+            "{proto}: decoder panicked on iteration {i} (seed {seed:#x}); input: {}",
+            input.iter().map(|b| format!("{b:02x}")).collect::<String>()
+        );
+    }
+}
+
+#[test]
+fn pgwire_decoders_are_total() {
+    let golden = encoded(
+        &mut PgClientCodec::new(),
+        &[
+            FrontendMessage::SslRequest,
+            FrontendMessage::Startup {
+                params: vec![
+                    ("user".into(), "sa".into()),
+                    ("database".into(), "postgres".into()),
+                ],
+            },
+            FrontendMessage::Password("123456".into()),
+            FrontendMessage::Query("SELECT version();".into()),
+            FrontendMessage::Terminate,
+        ],
+    );
+    let mut seeds = corpus("pgwire");
+    seeds.extend(golden);
+    assert_decoder_total("pgwire/server", 0xD0C0_0001, &seeds, PgServerCodec::new);
+    // the client side parses honeypot replies; same wall applies
+    let backend = encoded(
+        &mut PgServerCodec::new(),
+        &[
+            BackendMessage::AuthenticationOk,
+            BackendMessage::AuthenticationCleartextPassword,
+        ],
+    );
+    let mut seeds = corpus("pgwire");
+    seeds.extend(backend);
+    assert_decoder_total("pgwire/client", 0xD0C0_0002, &seeds, PgClientCodec::new);
+}
+
+#[test]
+fn mysql_decoder_is_total() {
+    let golden = encoded(
+        &mut MySqlCodec,
+        &[
+            MySqlPacket {
+                seq: 0,
+                payload: vec![0x0a, b'8', b'.', b'0', 0x00],
+            },
+            MySqlPacket {
+                seq: 1,
+                payload: b"\x03SELECT @@version".to_vec(),
+            },
+        ],
+    );
+    let mut seeds = corpus("mysql");
+    seeds.extend(golden);
+    assert_decoder_total("mysql", 0xD0C0_0003, &seeds, || MySqlCodec);
+}
+
+#[test]
+fn resp_decoders_are_total() {
+    let golden = encoded(
+        &mut RespCodec::server(),
+        &[
+            RespValue::Simple("OK".into()),
+            RespValue::Integer(42),
+            RespValue::Bulk(b"hello".to_vec()),
+            RespValue::NullBulk,
+            RespValue::Array(vec![
+                RespValue::Bulk(b"CONFIG".to_vec()),
+                RespValue::Bulk(b"GET".to_vec()),
+                RespValue::Bulk(b"dir".to_vec()),
+            ]),
+        ],
+    );
+    let mut seeds = corpus("resp");
+    seeds.extend(golden);
+    assert_decoder_total("resp/server", 0xD0C0_0004, &seeds, RespCodec::server);
+    assert_decoder_total("resp/client", 0xD0C0_0005, &seeds, RespCodec::client);
+}
+
+#[test]
+fn tds_decoder_is_total() {
+    let golden = encoded(
+        &mut TdsCodec,
+        &[
+            TdsPacket::eom(0x12, vec![0x00, 0x00, 0x1a, 0x00, 0x06, 0xff]),
+            TdsPacket::eom(0x01, b"S\0E\0L\0E\0C\0T\0 \0@\0@\0".to_vec()),
+        ],
+    );
+    let mut seeds = corpus("tds");
+    seeds.extend(golden);
+    assert_decoder_total("tds", 0xD0C0_0006, &seeds, || TdsCodec);
+}
+
+#[test]
+fn mongo_decoder_is_total() {
+    let mut hello = Document::new();
+    hello.insert("hello", 1.0f64);
+    hello.insert("$db", "admin");
+    let mut find = Document::new();
+    find.insert("find", "customers");
+    find.insert("$db", "app");
+    let golden = encoded(
+        &mut MongoCodec,
+        &[MongoMessage::msg(1, hello), MongoMessage::msg(2, find)],
+    );
+    let mut seeds = corpus("mongo");
+    seeds.extend(golden);
+    assert_decoder_total("mongo", 0xD0C0_0007, &seeds, || MongoCodec);
+}
+
+#[test]
+fn http_decoders_are_total() {
+    let golden = encoded(
+        &mut HttpClientCodec,
+        &[
+            HttpRequest::new("GET", "/"),
+            HttpRequest::new("POST", "/_search").with_body(
+                "application/json",
+                br#"{"query":{"match_all":{}}}"#.to_vec(),
+            ),
+        ],
+    );
+    let mut seeds = corpus("http");
+    seeds.extend(golden);
+    assert_decoder_total("http/server", 0xD0C0_0008, &seeds, || HttpServerCodec);
+    let responses = encoded(
+        &mut HttpServerCodec,
+        &[HttpResponse::json(200, r#"{"ok":true}"#)],
+    );
+    let mut seeds = corpus("http");
+    seeds.extend(responses);
+    assert_decoder_total("http/client", 0xD0C0_0009, &seeds, || HttpClientCodec);
+}
+
+/// The corpus itself must already be handled without mutation: every file
+/// decodes to `Ok` or `Err` directly.
+#[test]
+fn raw_corpus_never_panics() {
+    for proto in ["pgwire", "mysql", "resp", "tds", "mongo", "http"] {
+        for input in corpus(proto) {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut buf = BytesMut::from(&input[..]);
+                match proto {
+                    "pgwire" => {
+                        let _ = PgServerCodec::new().decode(&mut buf);
+                    }
+                    "mysql" => {
+                        let _ = MySqlCodec.decode(&mut buf);
+                    }
+                    "resp" => {
+                        let _ = RespCodec::server().decode(&mut buf);
+                    }
+                    "tds" => {
+                        let _ = TdsCodec.decode(&mut buf);
+                    }
+                    "mongo" => {
+                        let _ = MongoCodec.decode(&mut buf);
+                    }
+                    _ => {
+                        let _ = HttpServerCodec.decode(&mut buf);
+                    }
+                }
+            }));
+            assert!(outcome.is_ok(), "{proto}: corpus file decode panicked");
+        }
+    }
+}
