@@ -147,7 +147,10 @@ pub fn classify_event(event: &Event) -> BehaviorProfile {
         ..Default::default()
     };
     match &event.kind {
-        EventKind::Connect | EventKind::Disconnect | EventKind::Malformed { .. } => {}
+        EventKind::Connect
+        | EventKind::Disconnect
+        | EventKind::Malformed { .. }
+        | EventKind::Health { .. } => {}
         EventKind::LoginAttempt { .. } => profile.scouting = true,
         EventKind::Payload { recognized, .. } => {
             // Foreign-service probes (RDP, JDWP, VMware SOAP, Craft CMS) are
@@ -181,6 +184,9 @@ pub fn classify_sources(
         None => store.all(),
     };
     for event in &events {
+        if matches!(event.kind, EventKind::Health { .. }) {
+            continue;
+        }
         out.entry(event.src)
             .or_default()
             .merge(classify_event(event));
@@ -195,7 +201,10 @@ pub fn classify_frame_kind(kind: &FrameKind) -> BehaviorProfile {
         ..Default::default()
     };
     match kind {
-        FrameKind::Connect | FrameKind::Disconnect | FrameKind::Malformed { .. } => {}
+        FrameKind::Connect
+        | FrameKind::Disconnect
+        | FrameKind::Malformed { .. }
+        | FrameKind::Health { .. } => {}
         FrameKind::LoginAttempt { .. } => profile.scouting = true,
         FrameKind::Payload { recognized, .. } => {
             if recognized.is_some() {

@@ -1,0 +1,190 @@
+//! Fleet-uptime accounting from supervisor health telemetry.
+//!
+//! The supervisor logs every [`HealthState`] transition into the
+//! [`EventStore`] as [`EventKind::Health`] events (zero source, session 0).
+//! This module folds them into one row per supervised listener — how often
+//! it degraded, how many times it was restarted, and where it ended up —
+//! the data behind the report's "Fleet health" section. Fault-free runs log
+//! no health events and produce an empty table, which keeps the report
+//! byte-identical to pre-supervisor output.
+
+use decoy_net::supervisor::HealthState;
+use decoy_store::{EventKind, EventStore, HoneypotId};
+use std::collections::BTreeMap;
+
+/// Uptime summary for one supervised listener.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListenerUptime {
+    /// The honeypot instance the listener serves.
+    pub honeypot: HoneypotId,
+    /// Health transitions observed (excluding the initial bind).
+    pub transitions: usize,
+    /// Times the listener entered `Degraded` (accept loop died).
+    pub degraded: usize,
+    /// Times the circuit breaker opened (`Down`).
+    pub down: usize,
+    /// Highest restart count reported.
+    pub restarts: u32,
+    /// State of the last transition logged.
+    pub final_state: HealthState,
+    /// Cause attached to the last transition.
+    pub final_detail: String,
+}
+
+/// Fold every [`EventKind::Health`] event into per-listener uptime rows,
+/// ordered by [`HoneypotId`]. Empty when the run logged no health telemetry.
+pub fn fleet_uptime(store: &EventStore) -> Vec<ListenerUptime> {
+    let mut rows: BTreeMap<HoneypotId, ListenerUptime> = BTreeMap::new();
+    store.fold((), |(), event| {
+        if let EventKind::Health {
+            state,
+            restarts,
+            detail,
+        } = &event.kind
+        {
+            let row = rows
+                .entry(event.honeypot)
+                .or_insert_with(|| ListenerUptime {
+                    honeypot: event.honeypot,
+                    transitions: 0,
+                    degraded: 0,
+                    down: 0,
+                    restarts: 0,
+                    final_state: *state,
+                    final_detail: detail.clone(),
+                });
+            row.transitions += 1;
+            match state {
+                HealthState::Healthy => {}
+                HealthState::Degraded => row.degraded += 1,
+                HealthState::Down => row.down += 1,
+            }
+            row.restarts = row.restarts.max(*restarts);
+            row.final_state = *state;
+            row.final_detail = detail.clone();
+        }
+    });
+    rows.into_values().collect()
+}
+
+/// Totals across the whole fleet table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetTotals {
+    /// Listeners that logged at least one transition.
+    pub listeners: usize,
+    /// Sum of restarts across listeners.
+    pub restarts: u64,
+    /// Listeners whose last logged state is `Down`.
+    pub down: usize,
+}
+
+/// Sum a set of uptime rows.
+pub fn fleet_totals(rows: &[ListenerUptime]) -> FleetTotals {
+    let mut totals = FleetTotals {
+        listeners: rows.len(),
+        ..FleetTotals::default()
+    };
+    for row in rows {
+        totals.restarts += u64::from(row.restarts);
+        if row.final_state == HealthState::Down {
+            totals.down += 1;
+        }
+    }
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decoy_net::time::Timestamp;
+    use decoy_store::{ConfigVariant, Dbms, Event, InteractionLevel};
+    use std::net::{IpAddr, Ipv4Addr};
+
+    fn health(id: HoneypotId, state: HealthState, restarts: u32, detail: &str) -> Event {
+        Event {
+            ts: Timestamp::from_millis(0),
+            honeypot: id,
+            src: IpAddr::V4(Ipv4Addr::UNSPECIFIED),
+            session: 0,
+            kind: EventKind::Health {
+                state,
+                restarts,
+                detail: detail.to_string(),
+            },
+        }
+    }
+
+    #[test]
+    fn folds_transitions_into_per_listener_rows() {
+        let store = EventStore::new();
+        let a = HoneypotId::new(
+            Dbms::Redis,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+            0,
+        );
+        let b = HoneypotId::new(
+            Dbms::MySql,
+            InteractionLevel::Low,
+            ConfigVariant::Default,
+            1,
+        );
+        store.log(health(
+            a,
+            HealthState::Degraded,
+            1,
+            "accept loop died; restarting",
+        ));
+        store.log(health(
+            a,
+            HealthState::Degraded,
+            1,
+            "restarted (restart #1)",
+        ));
+        store.log(health(a, HealthState::Healthy, 1, "stable since restart"));
+        store.log(health(
+            b,
+            HealthState::Degraded,
+            3,
+            "accept loop died; restarting",
+        ));
+        store.log(health(b, HealthState::Down, 3, "crash loop"));
+
+        let rows = fleet_uptime(&store);
+        assert_eq!(rows.len(), 2);
+        // BTreeMap order: MySql sorts before Redis in the Dbms enum.
+        assert_eq!(rows[0].honeypot, b);
+        assert_eq!(rows[0].down, 1);
+        assert_eq!(rows[0].final_state, HealthState::Down);
+        assert_eq!(rows[1].honeypot, a);
+        assert_eq!(rows[1].transitions, 3);
+        assert_eq!(rows[1].degraded, 2);
+        assert_eq!(rows[1].restarts, 1);
+        assert_eq!(rows[1].final_state, HealthState::Healthy);
+
+        let totals = fleet_totals(&rows);
+        assert_eq!(totals.listeners, 2);
+        assert_eq!(totals.restarts, 4);
+        assert_eq!(totals.down, 1);
+    }
+
+    #[test]
+    fn fault_free_store_yields_an_empty_table() {
+        let store = EventStore::new();
+        let id = HoneypotId::new(
+            Dbms::Redis,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+            0,
+        );
+        store.log(Event {
+            ts: Timestamp::from_millis(0),
+            honeypot: id,
+            src: "10.0.0.1".parse().expect("ipv4"),
+            session: 1,
+            kind: EventKind::Connect,
+        });
+        assert!(fleet_uptime(&store).is_empty());
+        assert_eq!(fleet_totals(&[]).listeners, 0);
+    }
+}

@@ -48,6 +48,8 @@ pub fn sessions_of(store: &EventStore, src: IpAddr, dbms: Option<Dbms>) -> Vec<S
                 None => format!("[payload] {preview}"),
             }),
             EventKind::Malformed { detail } => Some(format!("[malformed] {detail}")),
+            // Operational telemetry never belongs in an attacker listing.
+            EventKind::Health { .. } => continue,
         };
         match sessions.last_mut() {
             Some(last) if (last.dbms, last.session) == key => {

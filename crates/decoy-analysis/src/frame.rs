@@ -94,6 +94,15 @@ pub enum FrameKind {
         /// Human-readable description.
         detail: Arc<str>,
     },
+    /// Fleet-health transition (operational telemetry, not attacker traffic).
+    Health {
+        /// Supervisor state label ("healthy" / "degraded" / "down").
+        state: Arc<str>,
+        /// Lifetime restart count for the listener.
+        restarts: u32,
+        /// Human-readable transition reason.
+        detail: Arc<str>,
+    },
 }
 
 impl FrameKind {
@@ -127,13 +136,25 @@ impl FrameKind {
             EventKind::Malformed { detail } => FrameKind::Malformed {
                 detail: interner.intern(detail),
             },
+            EventKind::Health {
+                state,
+                restarts,
+                detail,
+            } => FrameKind::Health {
+                state: interner.intern(state.label()),
+                restarts: *restarts,
+                detail: interner.intern(detail),
+            },
         }
     }
 
     /// True for kinds that constitute meaningful interaction (§4.3) —
     /// mirrors [`EventKind::is_interactive`].
     pub fn is_interactive(&self) -> bool {
-        !matches!(self, FrameKind::Connect | FrameKind::Disconnect)
+        !matches!(
+            self,
+            FrameKind::Connect | FrameKind::Disconnect | FrameKind::Health { .. }
+        )
     }
 }
 
@@ -193,7 +214,15 @@ impl AnalysisFrame {
                 meta: HashMap::new(),
                 interned_strings: 0,
             };
-            for (idx, event) in events.iter().enumerate() {
+            for event in events.iter() {
+                // Operational telemetry (supervisor health transitions) is
+                // not attacker traffic: it carries a zero source/session and
+                // would pollute source, geo, and session aggregations. The
+                // fleet-uptime table reads the store directly instead.
+                if matches!(event.kind, EventKind::Health { .. }) {
+                    continue;
+                }
+                let idx = frame.events.len();
                 match event.honeypot.level {
                     InteractionLevel::Low => frame.low.push(idx),
                     InteractionLevel::Medium | InteractionLevel::High => frame.med_high.push(idx),

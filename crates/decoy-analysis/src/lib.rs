@@ -28,10 +28,13 @@
 //!   objective and the honeytoken tripwire of the related work).
 //! * [`forensics`] — per-source session reconstruction in the paper's
 //!   Appendix E listing style.
+//! * [`fleet`] — fleet-uptime rows folded from the supervisor's
+//!   [`EventKind::Health`](decoy_store::EventKind) telemetry.
 
 pub mod classify;
 pub mod cluster;
 pub mod ecdf;
+pub mod fleet;
 pub mod forensics;
 pub mod frame;
 pub mod honeytokens;
@@ -45,5 +48,6 @@ pub mod upset;
 pub use classify::{classify_sources, classify_view, Behavior, BehaviorProfile};
 pub use cluster::{cluster_sources, cluster_view, Dendrogram};
 pub use ecdf::Ecdf;
+pub use fleet::{fleet_totals, fleet_uptime, FleetTotals, ListenerUptime};
 pub use frame::{AnalysisFrame, FrameEvent, FrameKind, FrameView, Partition};
 pub use tf::{action_sequences, action_sequences_view, TfVector, Vocabulary};

@@ -201,6 +201,9 @@ pub fn collect_activity(
     let mut out: BTreeMap<IpAddr, SourceActivity> = BTreeMap::new();
     let mut creds: BTreeMap<IpAddr, std::collections::BTreeSet<(String, String)>> = BTreeMap::new();
     for event in &events {
+        if matches!(event.kind, EventKind::Health { .. }) {
+            continue;
+        }
         let entry = out.entry(event.src).or_default();
         match &event.kind {
             EventKind::Command { raw, .. } => entry.raws.push(Arc::from(raw.as_str())),

@@ -132,6 +132,9 @@ pub fn action_sequences(store: &EventStore, dbms: Option<Dbms>) -> BTreeMap<IpAd
                 Some(recognized.clone().unwrap_or_else(|| "PAYLOAD".to_string()))
             }
             EventKind::Malformed { .. } => Some("MALFORMED".to_string()),
+            // Supervisor telemetry carries a zero source; skip it before the
+            // entry below would mint a phantom document for 0.0.0.0.
+            EventKind::Health { .. } => continue,
         };
         // Every connecting source gets a (possibly empty) document so that
         // scanners appear in the clustering input too.
@@ -155,7 +158,7 @@ pub fn action_sequences_view(
     let mut docs: BTreeMap<IpAddr, Vec<Arc<str>>> = BTreeMap::new();
     for event in view.events_of(dbms) {
         let term = match &event.kind {
-            FrameKind::Connect | FrameKind::Disconnect => None,
+            FrameKind::Connect | FrameKind::Disconnect | FrameKind::Health { .. } => None,
             FrameKind::LoginAttempt { .. } => Some(Arc::clone(&login)),
             FrameKind::Command { action, .. } => Some(Arc::clone(action)),
             FrameKind::Payload { recognized, .. } => Some(

@@ -21,6 +21,7 @@ use decoy_analysis::classify::{
 };
 use decoy_analysis::cluster::{cluster_sources, cluster_view, refine_by_behavior};
 use decoy_analysis::ecdf::{retention_days, retention_days_view, single_day_fraction, Ecdf};
+use decoy_analysis::fleet::{fleet_totals, fleet_uptime};
 use decoy_analysis::frame::{AnalysisFrame, FrameKind, FrameView, Partition};
 use decoy_analysis::honeytokens::{detect_reuse, detect_reuse_view, HoneytokenReport};
 use decoy_analysis::intel::{coverage, IntelFeed};
@@ -119,6 +120,7 @@ impl Report {
                 fmt_sec6_fake_data(&detect_reuse_view(all, &fake_data_bait(result)))
             }));
             handles.push(s.spawn(move || sec6_intel_frame(low, mh)));
+            handles.push(s.spawn(move || sec_fleet(result)));
             handles
                 .into_iter()
                 .map(|h| h.join().expect("report section thread panicked"))
@@ -184,6 +186,7 @@ impl Report {
             &fake_data_bait(result),
         )));
         sections.push(sec6_intel(&low, &med_high));
+        sections.push(sec_fleet(result));
         Report { sections }
     }
 
@@ -985,6 +988,63 @@ fn sec6_intel_frame(low: FrameView<'_>, mh: FrameView<'_>) -> Section {
 }
 
 // ---------------------------------------------------------------------------
+// Fleet health
+// ---------------------------------------------------------------------------
+
+/// The supervised-fleet uptime table. Shared verbatim by both generation
+/// paths: health telemetry is tiny and lives outside the attacker-traffic
+/// frame, so both read the store directly and render identically.
+fn sec_fleet(result: &ExperimentResult) -> Section {
+    let rows = fleet_uptime(&result.store);
+    let totals = fleet_totals(&rows);
+    let mut body = String::new();
+    match &result.fleet {
+        Some(fleet) => {
+            let _ = writeln!(body, "final snapshot: {}", fleet.summary());
+        }
+        None => body.push_str("direct mode: no supervised listeners\n"),
+    }
+    if rows.is_empty() {
+        body.push_str("no health transitions logged (fault-free run)\n");
+    } else {
+        let _ = writeln!(
+            body,
+            "{:<34} {:>11} {:>8} {:>4} {:>8}  final state",
+            "Honeypot", "transitions", "degraded", "down", "restarts"
+        );
+        for row in &rows {
+            let id = row.honeypot;
+            let _ = writeln!(
+                body,
+                "{:<34} {:>11} {:>8} {:>4} {:>8}  {}",
+                format!(
+                    "{}/{:?}/{:?}#{}",
+                    id.dbms.label(),
+                    id.level,
+                    id.config,
+                    id.instance
+                ),
+                row.transitions,
+                row.degraded,
+                row.down,
+                row.restarts,
+                row.final_state.label()
+            );
+        }
+        let _ = writeln!(
+            body,
+            "total: {} listeners touched, {} restarts, {} ended down",
+            totals.listeners, totals.restarts, totals.down
+        );
+    }
+    Section {
+        id: "Fleet health".into(),
+        title: "supervised listener uptime".into(),
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // CSV export
 // ---------------------------------------------------------------------------
 
@@ -1115,6 +1175,7 @@ mod tests {
             "Section 6 fake data",
             "Figure 6",
             "Figure 9",
+            "Fleet health",
         ] {
             assert!(report.section(id).is_some(), "missing {id}");
         }

@@ -15,9 +15,12 @@ use decoy_agents::population::{build_population, PopulationConfig};
 use decoy_agents::schedule::{build_schedule, PlannedSession};
 use decoy_agents::{direct, driver};
 use decoy_geo::GeoDb;
-use decoy_honeypots::deploy::{spawn, HoneypotSpec, RunningHoneypot};
+use decoy_honeypots::deploy::{spawn_supervised, HoneypotSpec, SupervisedHoneypot};
+use decoy_net::chaos::FaultPlan;
+use decoy_net::server::ListenerOptions;
+use decoy_net::supervisor::{FleetHealth, Supervisor, SupervisorOptions};
 use decoy_net::time::{Clock, SimClock, Timestamp, EXPERIMENT_START};
-use decoy_store::EventStore;
+use decoy_store::{EventKind, EventStore};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -46,6 +49,8 @@ pub struct ExperimentConfig {
     pub concurrency: usize,
     /// Deploy + attack the §7 extension honeypots (medium MySQL, CouchDB).
     pub extensions: bool,
+    /// Seeded fault-injection plan (network mode only); `None` runs clean.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ExperimentConfig {
@@ -58,6 +63,7 @@ impl ExperimentConfig {
             mode: Mode::Network,
             concurrency: 64,
             extensions: false,
+            faults: None,
         }
     }
 
@@ -84,6 +90,8 @@ pub struct ExperimentResult {
     pub connections: usize,
     /// Driver-level errors (network mode).
     pub errors: usize,
+    /// Final fleet-health snapshot (network mode; `None` in direct mode).
+    pub fleet: Option<FleetHealth>,
     /// The config that produced this result.
     pub config: ExperimentConfig,
 }
@@ -104,10 +112,22 @@ pub async fn run(config: ExperimentConfig) -> std::io::Result<ExperimentResult> 
     let population = build_population(&population_config, &geo);
     let schedule = build_schedule(&population, EXPERIMENT_START, config.seed);
 
-    let (connections, errors) = match config.mode {
+    let (connections, errors, fleet) = match config.mode {
         Mode::Network => {
-            // stand the fleet up
-            let mut running: Vec<RunningHoneypot> = Vec::with_capacity(plan.len());
+            // Chaos plans may drop event-store appends too; health events
+            // are exempt so the uptime table never loses a transition.
+            if let Some(plan) = config.faults.clone() {
+                let appends = std::sync::atomic::AtomicU64::new(0);
+                store.set_fault_hook(move |e| {
+                    !matches!(e.kind, EventKind::Health { .. })
+                        && plan.drops_append(
+                            appends.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                        )
+                });
+            }
+            // stand the fleet up under supervision
+            let supervisor = Supervisor::new(SupervisorOptions::fast_replay(), clock.clone());
+            let mut running: Vec<SupervisedHoneypot> = Vec::with_capacity(plan.len());
             for inst in &mut plan.instances {
                 let spec = HoneypotSpec {
                     id: inst.id,
@@ -115,17 +135,30 @@ pub async fn run(config: ExperimentConfig) -> std::io::Result<ExperimentResult> 
                     clock: clock.clone(),
                     seed: inst.seed,
                 };
-                let hp = spawn(store.clone(), spec).await?;
+                let options = ListenerOptions {
+                    clock: clock.clone(),
+                    faults: config.faults.clone(),
+                    fault_key: inst.seed,
+                    ..ListenerOptions::default()
+                };
+                let hp = spawn_supervised(store.clone(), spec, &supervisor, options).await?;
                 inst.addr = Some(hp.addr());
                 running.push(hp);
             }
             let totals = replay_network(&plan, &schedule, &sim, config.concurrency).await;
-            for hp in running {
-                hp.shutdown().await;
-            }
-            totals
+            // Snapshot only after shutdown: a listener crash can still be
+            // in flight when the last driver returns, and the snapshot must
+            // agree with the Health events already logged.
+            supervisor.shutdown().await;
+            let fleet = supervisor.fleet_health();
+            store.clear_fault_hook();
+            drop(running);
+            (totals.0, totals.1, Some(fleet))
         }
-        Mode::Direct => replay_direct(&plan, &schedule, &sim, &store),
+        Mode::Direct => {
+            let (connections, errors) = replay_direct(&plan, &schedule, &sim, &store);
+            (connections, errors, None)
+        }
     };
 
     Ok(ExperimentResult {
@@ -135,6 +168,7 @@ pub async fn run(config: ExperimentConfig) -> std::io::Result<ExperimentResult> 
         sessions: schedule.len(),
         connections,
         errors,
+        fleet,
         config,
     })
 }
@@ -161,17 +195,26 @@ async fn replay_network(
         joinset.spawn(async move { driver::run_session(addr, &session).await });
         in_flight += 1;
         if in_flight >= concurrency {
-            if let Some(Ok(outcome)) = joinset.join_next().await {
-                connections += outcome.connections;
-                errors += outcome.errors;
+            match joinset.join_next().await {
+                Some(Ok(outcome)) => {
+                    connections += outcome.connections;
+                    errors += outcome.errors;
+                }
+                // A panicked or aborted driver task loses its counts; it
+                // must still surface as a driver error, not vanish.
+                Some(Err(_)) => errors += 1,
+                None => {}
             }
             in_flight -= 1;
         }
     }
     while let Some(joined) = joinset.join_next().await {
-        if let Ok(outcome) = joined {
-            connections += outcome.connections;
-            errors += outcome.errors;
+        match joined {
+            Ok(outcome) => {
+                connections += outcome.connections;
+                errors += outcome.errors;
+            }
+            Err(_) => errors += 1,
         }
     }
     (connections, errors)

@@ -15,14 +15,13 @@ use decoy_fakedata::FakeDataGenerator;
 use decoy_net::error::NetResult;
 use decoy_net::framed::Framed;
 use decoy_net::proxy;
-use decoy_net::server::{SessionCtx, SessionHandler};
+use decoy_net::server::{SessionCtx, SessionHandler, SessionStream};
 use decoy_store::docdb::DocDb;
 use decoy_store::{EventStore, HoneypotId};
 use decoy_wire::http::{HttpRequest, HttpResponse, HttpServerCodec};
 use decoy_wire::mongo::bson::{doc, Bson, Document};
 use serde_json::{json, Value};
 use std::sync::Arc;
-use tokio::net::TcpStream;
 
 /// The medium-interaction CouchDB honeypot.
 pub struct CouchHoneypot {
@@ -189,7 +188,7 @@ fn doc_to_json(d: &Document) -> Value {
 }
 
 impl SessionHandler for CouchHoneypot {
-    async fn handle(self: Arc<Self>, mut stream: TcpStream, ctx: SessionCtx) {
+    async fn handle(self: Arc<Self>, mut stream: SessionStream, ctx: SessionCtx) {
         let (proxied, initial) = match proxy::maybe_read_v1(&mut stream).await {
             Ok(pair) => pair,
             Err(_) => return,
@@ -208,7 +207,7 @@ impl SessionHandler for CouchHoneypot {
 impl CouchHoneypot {
     async fn session(
         &self,
-        stream: TcpStream,
+        stream: SessionStream,
         initial: bytes::BytesMut,
         log: &SessionLogger,
     ) -> NetResult<()> {
@@ -241,6 +240,7 @@ mod tests {
     use decoy_net::time::Clock;
     use decoy_store::{ConfigVariant, Dbms, EventKind, InteractionLevel};
     use decoy_wire::http::HttpClientCodec;
+    use tokio::net::TcpStream;
 
     async fn spawn_couch() -> (ServerHandle, Arc<EventStore>, Arc<CouchHoneypot>) {
         let store = EventStore::new();
@@ -257,6 +257,7 @@ mod tests {
             ListenerOptions {
                 max_sessions: 64,
                 clock: Clock::simulated(),
+                ..ListenerOptions::default()
             },
         )
         .await

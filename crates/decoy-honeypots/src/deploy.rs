@@ -8,10 +8,16 @@ use crate::mongo_high::MongoHoneypot;
 use crate::pg_med::StickyElephant;
 use crate::redis_med::RedisHoneypot;
 use decoy_net::server::{Listener, ListenerOptions, ServerHandle};
+use decoy_net::supervisor::{
+    HealthState, ListenerFactory, SupervisedListener, Supervisor, Transition, TransitionObserver,
+};
 use decoy_net::time::Clock;
-use decoy_store::{ConfigVariant, Dbms, EventStore, HoneypotId, InteractionLevel};
-use std::net::SocketAddr;
+use decoy_store::{
+    ConfigVariant, Dbms, Event, EventKind, EventStore, HoneypotId, InteractionLevel,
+};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// What to deploy.
 #[derive(Debug, Clone)]
@@ -54,9 +60,11 @@ impl RunningHoneypot {
         self.server.local_addr()
     }
 
-    /// Stop the instance.
+    /// Stop the instance, allowing in-flight sessions a bounded drain.
     pub async fn shutdown(self) {
-        self.server.shutdown().await;
+        self.server
+            .shutdown_with_deadline(Duration::from_secs(5))
+            .await;
     }
 }
 
@@ -65,16 +73,42 @@ pub const REDIS_FAKE_ENTRIES: usize = 200;
 /// Number of fake customer records loaded into the MongoDB honeypot.
 pub const MONGO_FAKE_CUSTOMERS: usize = 200;
 
-/// Spawn the honeypot described by `spec`, logging into `store`.
+/// Spawn the honeypot described by `spec`, logging into `store`, with
+/// default listener options.
 pub async fn spawn(store: Arc<EventStore>, spec: HoneypotSpec) -> std::io::Result<RunningHoneypot> {
     let options = ListenerOptions {
-        max_sessions: 4096,
         clock: spec.clock.clone(),
+        ..ListenerOptions::default()
     };
+    spawn_with_options(store, spec, options).await
+}
+
+/// Spawn the honeypot described by `spec` with explicit listener options
+/// (session limits, fault injection). The resilience tests use this to run
+/// families under tight deadlines and chaos plans.
+pub async fn spawn_with_options(
+    store: Arc<EventStore>,
+    spec: HoneypotSpec,
+    options: ListenerOptions,
+) -> std::io::Result<RunningHoneypot> {
+    let id = spec.id;
+    let server = bind_listener(store, &spec, options, spec.bind).await?;
+    Ok(RunningHoneypot { id, server })
+}
+
+/// Bind the listener for `spec` at `addr`. This is the single place the
+/// (level, dbms) match lives; the supervisor calls it again on every
+/// restart, re-seeding fake data identically from `spec.seed`.
+async fn bind_listener(
+    store: Arc<EventStore>,
+    spec: &HoneypotSpec,
+    options: ListenerOptions,
+    addr: SocketAddr,
+) -> std::io::Result<ServerHandle> {
     let id = spec.id;
     let server = match (id.level, id.dbms) {
         (InteractionLevel::Low, _) => {
-            Listener::bind(spec.bind, LowHoneypot::new(store, id), options).await?
+            Listener::bind(addr, LowHoneypot::new(store, id), options).await?
         }
         (InteractionLevel::Medium, Dbms::Redis) => {
             let hp = if id.config == ConfigVariant::FakeData {
@@ -87,11 +121,11 @@ pub async fn spawn(store: Arc<EventStore>, spec: HoneypotSpec) -> std::io::Resul
             } else {
                 RedisHoneypot::new(store, id)
             };
-            Listener::bind(spec.bind, hp, options).await?
+            Listener::bind(addr, hp, options).await?
         }
         (InteractionLevel::Medium, Dbms::MySql) => {
             Listener::bind(
-                spec.bind,
+                addr,
                 crate::mysql_med::MySqlHoneypot::new(store, id),
                 options,
             )
@@ -99,16 +133,11 @@ pub async fn spawn(store: Arc<EventStore>, spec: HoneypotSpec) -> std::io::Resul
         }
         (InteractionLevel::Medium, Dbms::Postgres) => {
             let allow_login = id.config != ConfigVariant::LoginDisabled;
-            Listener::bind(
-                spec.bind,
-                StickyElephant::new(store, id, allow_login),
-                options,
-            )
-            .await?
+            Listener::bind(addr, StickyElephant::new(store, id, allow_login), options).await?
         }
         (InteractionLevel::Medium, Dbms::CouchDb) => {
             Listener::bind(
-                spec.bind,
+                addr,
                 crate::couch_med::CouchHoneypot::with_fake_customers(
                     store,
                     id,
@@ -121,7 +150,7 @@ pub async fn spawn(store: Arc<EventStore>, spec: HoneypotSpec) -> std::io::Resul
         }
         (InteractionLevel::Medium, Dbms::Elastic) => {
             Listener::bind(
-                spec.bind,
+                addr,
                 ElasticPot::with_book(store, id, ResponseBook::new()),
                 options,
             )
@@ -129,7 +158,7 @@ pub async fn spawn(store: Arc<EventStore>, spec: HoneypotSpec) -> std::io::Resul
         }
         (InteractionLevel::High, Dbms::MongoDb) => {
             Listener::bind(
-                spec.bind,
+                addr,
                 MongoHoneypot::with_fake_customers(store, id, spec.seed, MONGO_FAKE_CUSTOMERS),
                 options,
             )
@@ -142,7 +171,80 @@ pub async fn spawn(store: Arc<EventStore>, spec: HoneypotSpec) -> std::io::Resul
             ))
         }
     };
-    Ok(RunningHoneypot { id, server })
+    Ok(server)
+}
+
+/// A honeypot kept alive by a [`Supervisor`]: the listener is rebound at
+/// the same address after crashes, and health transitions are logged into
+/// the deployment's event store.
+pub struct SupervisedHoneypot {
+    /// Identity of the instance.
+    pub id: HoneypotId,
+    /// Handle to the supervised listener.
+    pub listener: SupervisedListener,
+}
+
+impl SupervisedHoneypot {
+    /// The address attackers should dial (stable across restarts).
+    pub fn addr(&self) -> SocketAddr {
+        self.listener.addr()
+    }
+}
+
+/// Source address health events are logged under (not attacker traffic).
+const HEALTH_SRC: IpAddr = IpAddr::V4(Ipv4Addr::UNSPECIFIED);
+
+/// Spawn `spec` under `supervisor`: the listener restarts on death with the
+/// supervisor's backoff policy, and every post-bind health transition is
+/// appended to `store` as an [`EventKind::Health`] event so the report can
+/// build the fleet-uptime table. The initial healthy-on-bind transition is
+/// not logged, keeping fault-free network runs byte-identical to direct
+/// mode.
+pub async fn spawn_supervised(
+    store: Arc<EventStore>,
+    spec: HoneypotSpec,
+    supervisor: &Supervisor,
+    options: ListenerOptions,
+) -> std::io::Result<SupervisedHoneypot> {
+    let id = spec.id;
+    let name = format!(
+        "{}/{:?}/{:?}#{}",
+        id.dbms.label(),
+        id.level,
+        id.config,
+        id.instance
+    );
+    let fault_seed = spec.seed;
+    let bind = spec.bind;
+    let factory_store = store.clone();
+    let factory: ListenerFactory = Box::new(move |addr| {
+        let store = factory_store.clone();
+        let spec = spec.clone();
+        let options = options.clone();
+        Box::pin(async move { bind_listener(store, &spec, options, addr).await })
+    });
+    let observer_store = store.clone();
+    let observer: TransitionObserver = Arc::new(move |t: &Transition| {
+        // Skip the initial healthy-on-bind transition; log every real one.
+        if t.state == HealthState::Healthy && t.restarts == 0 {
+            return;
+        }
+        observer_store.log(Event {
+            ts: t.at,
+            honeypot: id,
+            src: HEALTH_SRC,
+            session: 0,
+            kind: EventKind::Health {
+                state: t.state,
+                restarts: t.restarts,
+                detail: t.detail.clone(),
+            },
+        });
+    });
+    let listener = supervisor
+        .supervise(name, bind, fault_seed, factory, Some(observer))
+        .await?;
+    Ok(SupervisedHoneypot { id, listener })
 }
 
 #[cfg(test)]

@@ -15,12 +15,11 @@ use crate::low::read_or_fault;
 use decoy_net::error::NetResult;
 use decoy_net::framed::Framed;
 use decoy_net::proxy;
-use decoy_net::server::{SessionCtx, SessionHandler};
+use decoy_net::server::{SessionCtx, SessionHandler, SessionStream};
 use decoy_store::{EventStore, HoneypotId};
 use decoy_wire::http::{HttpRequest, HttpResponse, HttpServerCodec};
 use serde_json::{json, Value};
 use std::sync::Arc;
-use tokio::net::TcpStream;
 
 /// A customization rule: method (or `*`), path match, response.
 #[derive(Debug, Clone)]
@@ -245,7 +244,7 @@ impl ElasticPot {
 }
 
 impl SessionHandler for ElasticPot {
-    async fn handle(self: Arc<Self>, mut stream: TcpStream, ctx: SessionCtx) {
+    async fn handle(self: Arc<Self>, mut stream: SessionStream, ctx: SessionCtx) {
         let (proxied, initial) = match proxy::maybe_read_v1(&mut stream).await {
             Ok(pair) => pair,
             Err(_) => return,
@@ -264,7 +263,7 @@ impl SessionHandler for ElasticPot {
 impl ElasticPot {
     async fn session(
         &self,
-        stream: TcpStream,
+        stream: SessionStream,
         initial: bytes::BytesMut,
         log: &SessionLogger,
     ) -> NetResult<()> {
@@ -303,6 +302,7 @@ mod tests {
     use decoy_net::time::Clock;
     use decoy_store::{ConfigVariant, Dbms, EventKind, InteractionLevel};
     use decoy_wire::http::HttpClientCodec;
+    use tokio::net::TcpStream;
 
     async fn spawn(book: ResponseBook) -> (ServerHandle, Arc<EventStore>) {
         let store = EventStore::new();
@@ -319,6 +319,7 @@ mod tests {
             ListenerOptions {
                 max_sessions: 64,
                 clock: Clock::simulated(),
+                ..ListenerOptions::default()
             },
         )
         .await

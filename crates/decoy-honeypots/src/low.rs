@@ -11,29 +11,28 @@ use decoy_net::cursor::sat_u8;
 use decoy_net::error::NetResult;
 use decoy_net::framed::Framed;
 use decoy_net::proxy;
-use decoy_net::server::{SessionCtx, SessionHandler};
+use decoy_net::server::{SessionCtx, SessionHandler, SessionStream};
 use decoy_store::{Dbms, EventStore, HoneypotId};
 use decoy_wire::{mysql, pgwire, resp, tds};
 use std::sync::Arc;
 use std::time::Duration;
-use tokio::net::TcpStream;
-
-/// Per-read idle timeout; a stalled scanner does not pin a session forever.
-pub(crate) const IDLE: Duration = Duration::from_secs(30);
 
 /// Read a frame; on clean EOF return from the session, on decode faults log
 /// through [`SessionLogger::fault`] (foreign-payload recognition) and end
 /// the session.
+///
+/// Idle timeouts, the session wall-clock deadline, and the byte budget are
+/// enforced underneath by [`SessionStream`] — a stalled peer surfaces here
+/// as EOF, so no per-family timeout wrapper is needed.
 macro_rules! read_or_fault {
     ($framed:expr, $log:expr) => {
-        match tokio::time::timeout(crate::low::IDLE, $framed.read_frame()).await {
-            Ok(Ok(Some(frame))) => frame,
-            Ok(Ok(None)) => return Ok(()),
-            Ok(Err(e)) => {
+        match $framed.read_frame().await {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return Ok(()),
+            Err(e) => {
                 $log.fault($framed.buffered(), &e);
                 return Ok(());
             }
-            Err(_) => return Ok(()),
         }
     };
 }
@@ -53,7 +52,7 @@ impl LowHoneypot {
 }
 
 impl SessionHandler for LowHoneypot {
-    async fn handle(self: Arc<Self>, mut stream: TcpStream, ctx: SessionCtx) {
+    async fn handle(self: Arc<Self>, mut stream: SessionStream, ctx: SessionCtx) {
         // MySQL is server-speaks-first: a header-less client is waiting for
         // our greeting, so the PROXY sniff must have a deadline there.
         let sniff = if self.id.dbms == Dbms::MySql {
@@ -88,7 +87,7 @@ impl SessionHandler for LowHoneypot {
 }
 
 async fn mysql_session(
-    stream: TcpStream,
+    stream: SessionStream,
     initial: bytes::BytesMut,
     log: &SessionLogger,
 ) -> NetResult<()> {
@@ -129,7 +128,7 @@ async fn mysql_session(
 }
 
 async fn pg_session(
-    stream: TcpStream,
+    stream: SessionStream,
     initial: bytes::BytesMut,
     log: &SessionLogger,
 ) -> NetResult<()> {
@@ -183,7 +182,7 @@ async fn pg_session(
 }
 
 async fn redis_session(
-    stream: TcpStream,
+    stream: SessionStream,
     initial: bytes::BytesMut,
     log: &SessionLogger,
 ) -> NetResult<()> {
@@ -250,7 +249,7 @@ async fn redis_session(
 }
 
 async fn mssql_session(
-    stream: TcpStream,
+    stream: SessionStream,
     initial: bytes::BytesMut,
     log: &SessionLogger,
 ) -> NetResult<()> {
@@ -306,6 +305,7 @@ mod tests {
     use decoy_net::time::Clock;
     use decoy_net::Codec;
     use decoy_store::{ConfigVariant, EventKind, InteractionLevel};
+    use tokio::net::TcpStream;
 
     async fn spawn_low(dbms: Dbms) -> (decoy_net::server::ServerHandle, Arc<EventStore>) {
         let store = EventStore::new();
@@ -317,6 +317,7 @@ mod tests {
             ListenerOptions {
                 max_sessions: 64,
                 clock: Clock::simulated(),
+                ..ListenerOptions::default()
             },
         )
         .await

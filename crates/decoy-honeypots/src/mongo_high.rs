@@ -13,13 +13,12 @@ use decoy_net::cursor::sat_i32;
 use decoy_net::error::NetResult;
 use decoy_net::framed::Framed;
 use decoy_net::proxy;
-use decoy_net::server::{SessionCtx, SessionHandler};
+use decoy_net::server::{SessionCtx, SessionHandler, SessionStream};
 use decoy_store::docdb::DocDb;
 use decoy_store::{EventStore, HoneypotId};
 use decoy_wire::mongo::bson::{doc, Bson, Document};
 use decoy_wire::mongo::{MongoBody, MongoCodec, MongoMessage};
 use std::sync::Arc;
-use tokio::net::TcpStream;
 
 /// The high-interaction MongoDB honeypot.
 pub struct MongoHoneypot {
@@ -238,7 +237,7 @@ fn error_reply(code: i32, msg: &str) -> Document {
 }
 
 impl SessionHandler for MongoHoneypot {
-    async fn handle(self: Arc<Self>, mut stream: TcpStream, ctx: SessionCtx) {
+    async fn handle(self: Arc<Self>, mut stream: SessionStream, ctx: SessionCtx) {
         let (proxied, initial) = match proxy::maybe_read_v1(&mut stream).await {
             Ok(pair) => pair,
             Err(_) => return,
@@ -257,7 +256,7 @@ impl SessionHandler for MongoHoneypot {
 impl MongoHoneypot {
     async fn session(
         &self,
-        stream: TcpStream,
+        stream: SessionStream,
         initial: bytes::BytesMut,
         log: &SessionLogger,
     ) -> NetResult<()> {
@@ -310,6 +309,7 @@ mod tests {
     use decoy_net::server::{Listener, ListenerOptions, ServerHandle};
     use decoy_net::time::Clock;
     use decoy_store::{ConfigVariant, Dbms, EventKind, InteractionLevel};
+    use tokio::net::TcpStream;
 
     async fn spawn() -> (ServerHandle, Arc<EventStore>, Arc<MongoHoneypot>) {
         let store = EventStore::new();
@@ -326,6 +326,7 @@ mod tests {
             ListenerOptions {
                 max_sessions: 64,
                 clock: Clock::simulated(),
+                ..ListenerOptions::default()
             },
         )
         .await

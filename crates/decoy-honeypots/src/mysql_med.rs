@@ -17,12 +17,11 @@ use decoy_net::cursor::sat_u8;
 use decoy_net::error::NetResult;
 use decoy_net::framed::Framed;
 use decoy_net::proxy;
-use decoy_net::server::{SessionCtx, SessionHandler};
+use decoy_net::server::{SessionCtx, SessionHandler, SessionStream};
 use decoy_store::{EventStore, HoneypotId};
 use decoy_wire::mysql::{self, MySqlCodec, MySqlPacket};
 use std::sync::Arc;
 use std::time::Duration;
-use tokio::net::TcpStream;
 
 /// The medium-interaction MySQL honeypot.
 pub struct MySqlHoneypot {
@@ -38,7 +37,7 @@ impl MySqlHoneypot {
 }
 
 impl SessionHandler for MySqlHoneypot {
-    async fn handle(self: Arc<Self>, mut stream: TcpStream, ctx: SessionCtx) {
+    async fn handle(self: Arc<Self>, mut stream: SessionStream, ctx: SessionCtx) {
         // MySQL is server-speaks-first; the PROXY sniff needs a deadline.
         let sniff = proxy::maybe_read_v1_deadline(&mut stream, Duration::from_millis(1500)).await;
         let (proxied, initial) = match sniff {
@@ -59,7 +58,7 @@ impl SessionHandler for MySqlHoneypot {
 impl MySqlHoneypot {
     async fn session(
         &self,
-        stream: TcpStream,
+        stream: SessionStream,
         initial: bytes::BytesMut,
         log: &SessionLogger,
     ) -> NetResult<()> {
@@ -226,6 +225,7 @@ mod tests {
     use decoy_net::server::{Listener, ListenerOptions, ServerHandle};
     use decoy_net::time::Clock;
     use decoy_store::{ConfigVariant, Dbms, EventKind, InteractionLevel};
+    use tokio::net::TcpStream;
 
     async fn spawn_med() -> (ServerHandle, Arc<EventStore>) {
         let store = EventStore::new();
@@ -242,6 +242,7 @@ mod tests {
             ListenerOptions {
                 max_sessions: 64,
                 clock: Clock::simulated(),
+                ..ListenerOptions::default()
             },
         )
         .await

@@ -12,11 +12,10 @@ use crate::low::read_or_fault;
 use decoy_net::error::NetResult;
 use decoy_net::framed::Framed;
 use decoy_net::proxy;
-use decoy_net::server::{SessionCtx, SessionHandler};
+use decoy_net::server::{SessionCtx, SessionHandler, SessionStream};
 use decoy_store::{EventStore, HoneypotId};
 use decoy_wire::pgwire::{BackendMessage, FrontendMessage, PgServerCodec};
 use std::sync::Arc;
-use tokio::net::TcpStream;
 
 /// The medium-interaction PostgreSQL honeypot.
 pub struct StickyElephant {
@@ -38,7 +37,7 @@ impl StickyElephant {
 }
 
 impl SessionHandler for StickyElephant {
-    async fn handle(self: Arc<Self>, mut stream: TcpStream, ctx: SessionCtx) {
+    async fn handle(self: Arc<Self>, mut stream: SessionStream, ctx: SessionCtx) {
         let (proxied, initial) = match proxy::maybe_read_v1(&mut stream).await {
             Ok(pair) => pair,
             Err(_) => return,
@@ -57,7 +56,7 @@ impl SessionHandler for StickyElephant {
 impl StickyElephant {
     async fn session(
         &self,
-        stream: TcpStream,
+        stream: SessionStream,
         initial: bytes::BytesMut,
         log: &SessionLogger,
     ) -> NetResult<()> {
@@ -259,6 +258,7 @@ mod tests {
     use decoy_net::time::Clock;
     use decoy_store::{ConfigVariant, Dbms, EventKind, InteractionLevel};
     use decoy_wire::pgwire::PgClientCodec;
+    use tokio::net::TcpStream;
 
     async fn spawn(allow_login: bool) -> (ServerHandle, Arc<EventStore>) {
         let store = EventStore::new();
@@ -279,6 +279,7 @@ mod tests {
             ListenerOptions {
                 max_sessions: 64,
                 clock: Clock::simulated(),
+                ..ListenerOptions::default()
             },
         )
         .await

@@ -15,12 +15,11 @@ use crate::low::read_or_fault;
 use decoy_net::error::NetResult;
 use decoy_net::framed::Framed;
 use decoy_net::proxy;
-use decoy_net::server::{SessionCtx, SessionHandler};
+use decoy_net::server::{SessionCtx, SessionHandler, SessionStream};
 use decoy_store::kv::{KvStore, ReplicationRole};
 use decoy_store::{EventStore, HoneypotId};
 use decoy_wire::resp::{as_command, RedisCommand, RespCodec, RespValue};
 use std::sync::Arc;
-use tokio::net::TcpStream;
 
 /// The medium-interaction Redis honeypot.
 pub struct RedisHoneypot {
@@ -278,7 +277,7 @@ impl RedisHoneypot {
 }
 
 impl SessionHandler for RedisHoneypot {
-    async fn handle(self: Arc<Self>, mut stream: TcpStream, ctx: SessionCtx) {
+    async fn handle(self: Arc<Self>, mut stream: SessionStream, ctx: SessionCtx) {
         let (proxied, initial) = match proxy::maybe_read_v1(&mut stream).await {
             Ok(pair) => pair,
             Err(_) => return,
@@ -297,7 +296,7 @@ impl SessionHandler for RedisHoneypot {
 impl RedisHoneypot {
     async fn session(
         &self,
-        stream: TcpStream,
+        stream: SessionStream,
         initial: bytes::BytesMut,
         log: &SessionLogger,
     ) -> NetResult<()> {
@@ -362,6 +361,7 @@ mod tests {
     use decoy_net::server::{Listener, ListenerOptions, ServerHandle};
     use decoy_net::time::Clock;
     use decoy_store::{ConfigVariant, Dbms, EventKind, InteractionLevel};
+    use tokio::net::TcpStream;
 
     async fn spawn(fake_data: bool) -> (ServerHandle, Arc<EventStore>, Arc<RedisHoneypot>) {
         let store = EventStore::new();
@@ -390,6 +390,7 @@ mod tests {
             ListenerOptions {
                 max_sessions: 64,
                 clock: Clock::simulated(),
+                ..ListenerOptions::default()
             },
         )
         .await

@@ -1,0 +1,384 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! A seeded [`FaultPlan`] decides — as a pure function of stable identifiers
+//! (the listener's fault key and the per-listener session sequence) — which
+//! faults strike which sessions. Because no shared counters or wall-clock
+//! reads participate, the same seed always yields the same fault schedule no
+//! matter how tasks interleave: the chaos replay in `tests/chaos.rs` is
+//! reproducible.
+//!
+//! Three layers consume the plan:
+//!
+//! * the accept loop in [`crate::server::Listener`] calls
+//!   [`FaultPlan::at_accept`] and either refuses the connection or crashes
+//!   the whole accept task (exercising the supervisor's restart path);
+//! * every delivered session gets its [`SessionFaults`] applied by a
+//!   [`ChaosStream`] wrapped under the session's
+//!   [`crate::server::SessionStream`]: a stall before the first read,
+//!   1-byte partial reads/writes, and a mid-stream connection reset;
+//! * `decoy-store` installs [`FaultPlan::drops_append`] as an event-store
+//!   fault hook so log-pipeline loss is injectable too.
+
+use std::future::Future;
+use std::io;
+use std::pin::Pin;
+use std::task::{ready, Context, Poll};
+use std::time::Duration;
+use tokio::io::{AsyncRead, AsyncWrite, ReadBuf};
+use tokio::time::Sleep;
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic per-mille roll in `0..1000` derived from
+/// `(seed, key, seq, salt)`. Pure: same inputs, same roll.
+pub(crate) fn per_mille(seed: u64, key: u64, seq: u64, salt: u64) -> u64 {
+    mix(mix(mix(seed ^ salt) ^ key) ^ seq) % 1000
+}
+
+// Distinct salts keep the individual fault decisions independent.
+const SALT_REFUSE: u64 = 0xA1;
+const SALT_CRASH: u64 = 0xA2;
+const SALT_RESET: u64 = 0xA3;
+const SALT_STALL: u64 = 0xA4;
+const SALT_PARTIAL: u64 = 0xA5;
+const SALT_STORE: u64 = 0xA6;
+
+/// What the accept loop should do with one accepted connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcceptFault {
+    /// Hand the connection to the session handler (possibly with
+    /// [`SessionFaults`]).
+    Deliver,
+    /// Drop the connection at accept, as an overloaded or flaky host would.
+    Refuse,
+    /// Kill the whole accept task: the supervisor must notice and restart.
+    CrashListener,
+}
+
+/// Faults applied to one delivered session's byte stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionFaults {
+    /// Degrade the transport to 1-byte reads and writes.
+    pub partial_io: bool,
+    /// Stall this long before the first read completes.
+    pub stall: Option<Duration>,
+    /// Inject a connection reset after this many transferred bytes.
+    pub reset_after: Option<u64>,
+}
+
+impl SessionFaults {
+    /// True when no fault is active and the stream can run unwrapped.
+    pub fn is_noop(&self) -> bool {
+        *self == SessionFaults::default()
+    }
+}
+
+/// A seeded, pure-function fault schedule.
+///
+/// Rates are expressed per mille (`0..=1000`) of sessions/appends affected.
+/// All decision methods are pure functions of their arguments plus the
+/// seed, so a plan can be cloned freely across listeners and tasks without
+/// perturbing the schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed every decision derives from.
+    pub seed: u64,
+    /// ‰ of accepted connections refused at accept.
+    pub refuse_per_mille: u64,
+    /// ‰ of accepts that crash the accept task.
+    pub crash_per_mille: u64,
+    /// ‰ of delivered sessions that reset mid-stream.
+    pub reset_per_mille: u64,
+    /// ‰ of delivered sessions stalled before their first read.
+    pub stall_per_mille: u64,
+    /// ‰ of delivered sessions degraded to 1-byte I/O.
+    pub partial_per_mille: u64,
+    /// ‰ of event-store appends dropped.
+    pub store_drop_per_mille: u64,
+    /// How long a stalled session waits.
+    pub stall_for: Duration,
+    /// Bytes a resetting session transfers before the injected reset.
+    pub reset_after_bytes: u64,
+}
+
+impl FaultPlan {
+    /// A plan with every rate at zero (no faults) under `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            refuse_per_mille: 0,
+            crash_per_mille: 0,
+            reset_per_mille: 0,
+            stall_per_mille: 0,
+            partial_per_mille: 0,
+            store_drop_per_mille: 0,
+            stall_for: Duration::from_millis(50),
+            reset_after_bytes: 64,
+        }
+    }
+
+    /// A mild all-fault mix suitable for smoke replays: every fault class is
+    /// exercised while keeping expected session loss well under 10%.
+    pub fn mild(seed: u64) -> Self {
+        FaultPlan {
+            refuse_per_mille: 8,
+            crash_per_mille: 20,
+            reset_per_mille: 15,
+            stall_per_mille: 25,
+            partial_per_mille: 40,
+            store_drop_per_mille: 5,
+            ..FaultPlan::new(seed)
+        }
+    }
+
+    /// Accept-time decision for session `seq` on the listener with fault
+    /// key `key`. Crash is checked before refuse so a crash-heavy plan is
+    /// not masked by its refuse rate.
+    pub fn at_accept(&self, key: u64, seq: u64) -> AcceptFault {
+        if per_mille(self.seed, key, seq, SALT_CRASH) < self.crash_per_mille {
+            AcceptFault::CrashListener
+        } else if per_mille(self.seed, key, seq, SALT_REFUSE) < self.refuse_per_mille {
+            AcceptFault::Refuse
+        } else {
+            AcceptFault::Deliver
+        }
+    }
+
+    /// Stream faults for delivered session `seq` on listener `key`.
+    pub fn for_session(&self, key: u64, seq: u64) -> SessionFaults {
+        SessionFaults {
+            partial_io: per_mille(self.seed, key, seq, SALT_PARTIAL) < self.partial_per_mille,
+            stall: (per_mille(self.seed, key, seq, SALT_STALL) < self.stall_per_mille)
+                .then_some(self.stall_for),
+            reset_after: (per_mille(self.seed, key, seq, SALT_RESET) < self.reset_per_mille)
+                .then_some(self.reset_after_bytes),
+        }
+    }
+
+    /// Whether the `n`-th event-store append should be dropped.
+    pub fn drops_append(&self, n: u64) -> bool {
+        per_mille(self.seed, 0, n, SALT_STORE) < self.store_drop_per_mille
+    }
+}
+
+/// An `AsyncRead + AsyncWrite` wrapper applying one session's
+/// [`SessionFaults`] to the underlying transport.
+#[derive(Debug)]
+pub struct ChaosStream<S> {
+    inner: S,
+    faults: SessionFaults,
+    /// Armed lazily on the first read when a stall fault is active.
+    stall: Option<Pin<Box<Sleep>>>,
+    stalled: bool,
+    /// Bytes transferred in either direction, for the reset fault.
+    transferred: u64,
+}
+
+impl<S> ChaosStream<S> {
+    /// Wrap `inner` with `faults`.
+    pub fn new(inner: S, faults: SessionFaults) -> Self {
+        ChaosStream {
+            inner,
+            faults,
+            stall: None,
+            stalled: false,
+            transferred: 0,
+        }
+    }
+
+    fn reset_tripped(&self) -> bool {
+        self.faults
+            .reset_after
+            .is_some_and(|limit| self.transferred >= limit)
+    }
+
+    fn injected_reset() -> io::Error {
+        io::Error::new(io::ErrorKind::ConnectionReset, "chaos: injected reset")
+    }
+}
+
+impl<S: AsyncRead + Unpin> AsyncRead for ChaosStream<S> {
+    fn poll_read(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &mut ReadBuf<'_>,
+    ) -> Poll<io::Result<()>> {
+        let this = self.get_mut();
+        if !this.stalled {
+            if let Some(wait) = this.faults.stall {
+                let sleep = this
+                    .stall
+                    .get_or_insert_with(|| Box::pin(tokio::time::sleep(wait)));
+                ready!(sleep.as_mut().poll(cx));
+                this.stalled = true;
+                this.stall = None;
+            } else {
+                this.stalled = true;
+            }
+        }
+        if this.reset_tripped() {
+            return Poll::Ready(Err(Self::injected_reset()));
+        }
+        if this.faults.partial_io {
+            // One byte at a time through a bounce buffer; the copy is
+            // irrelevant at chaos-test volumes.
+            let mut byte = [0u8; 1];
+            let mut one = ReadBuf::new(&mut byte);
+            ready!(Pin::new(&mut this.inner).poll_read(cx, &mut one))?;
+            buf.put_slice(one.filled());
+            this.transferred = this.transferred.saturating_add(one.filled().len() as u64);
+            Poll::Ready(Ok(()))
+        } else {
+            let before = buf.filled().len();
+            let res = Pin::new(&mut this.inner).poll_read(cx, buf);
+            if let Poll::Ready(Ok(())) = res {
+                let n = buf.filled().len().saturating_sub(before);
+                this.transferred = this.transferred.saturating_add(n as u64);
+            }
+            res
+        }
+    }
+}
+
+impl<S: AsyncWrite + Unpin> AsyncWrite for ChaosStream<S> {
+    fn poll_write(
+        self: Pin<&mut Self>,
+        cx: &mut Context<'_>,
+        buf: &[u8],
+    ) -> Poll<io::Result<usize>> {
+        let this = self.get_mut();
+        if this.reset_tripped() {
+            return Poll::Ready(Err(Self::injected_reset()));
+        }
+        let cut = if this.faults.partial_io {
+            buf.get(..1.min(buf.len())).unwrap_or(buf)
+        } else {
+            buf
+        };
+        let n = ready!(Pin::new(&mut this.inner).poll_write(cx, cut))?;
+        this.transferred = this.transferred.saturating_add(n as u64);
+        Poll::Ready(Ok(n))
+    }
+
+    fn poll_flush(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut self.get_mut().inner).poll_flush(cx)
+    }
+
+    fn poll_shutdown(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<io::Result<()>> {
+        Pin::new(&mut self.get_mut().inner).poll_shutdown(cx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tokio::io::{AsyncReadExt, AsyncWriteExt};
+
+    #[test]
+    fn decisions_are_pure_and_seed_dependent() {
+        let a = FaultPlan::mild(42);
+        let b = FaultPlan::mild(42);
+        let c = FaultPlan::mild(43);
+        let mut diverged = false;
+        for key in [1u64, 7, 99] {
+            for seq in 0..500u64 {
+                assert_eq!(a.at_accept(key, seq), b.at_accept(key, seq));
+                assert_eq!(a.for_session(key, seq), b.for_session(key, seq));
+                assert_eq!(a.drops_append(seq), b.drops_append(seq));
+                if a.at_accept(key, seq) != c.at_accept(key, seq)
+                    || a.for_session(key, seq) != c.for_session(key, seq)
+                {
+                    diverged = true;
+                }
+            }
+        }
+        assert!(diverged, "different seeds produced identical schedules");
+    }
+
+    #[test]
+    fn rates_are_roughly_honored() {
+        let plan = FaultPlan {
+            crash_per_mille: 100,
+            refuse_per_mille: 100,
+            store_drop_per_mille: 100,
+            ..FaultPlan::new(7)
+        };
+        let n = 20_000u64;
+        let crashes = (0..n)
+            .filter(|&s| plan.at_accept(3, s) == AcceptFault::CrashListener)
+            .count();
+        let drops = (0..n).filter(|&s| plan.drops_append(s)).count();
+        // 10% ± 2% over 20k draws
+        for observed in [crashes, drops] {
+            assert!((1600..=2400).contains(&observed), "observed {observed}");
+        }
+    }
+
+    #[test]
+    fn zero_rate_plan_is_silent() {
+        let plan = FaultPlan::new(1);
+        for seq in 0..2000 {
+            assert_eq!(plan.at_accept(9, seq), AcceptFault::Deliver);
+            assert!(plan.for_session(9, seq).is_noop());
+            assert!(!plan.drops_append(seq));
+        }
+    }
+
+    #[tokio::test]
+    async fn partial_io_degrades_to_single_bytes() {
+        let (client, server) = tokio::io::duplex(1024);
+        let faults = SessionFaults {
+            partial_io: true,
+            ..SessionFaults::default()
+        };
+        let mut chaotic = ChaosStream::new(server, faults);
+        let mut client = client;
+        client.write_all(b"hello").await.unwrap();
+        let mut buf = [0u8; 16];
+        let n = chaotic.read(&mut buf).await.unwrap();
+        assert_eq!(n, 1, "partial read must deliver one byte");
+        let written = chaotic.write(b"world").await.unwrap();
+        assert_eq!(written, 1, "partial write must accept one byte");
+    }
+
+    #[tokio::test]
+    async fn reset_fault_trips_after_budget() {
+        let (client, server) = tokio::io::duplex(1024);
+        let faults = SessionFaults {
+            reset_after: Some(4),
+            ..SessionFaults::default()
+        };
+        let mut chaotic = ChaosStream::new(server, faults);
+        let mut client = client;
+        client.write_all(b"abcdefgh").await.unwrap();
+        let mut buf = [0u8; 8];
+        chaotic.read_exact(&mut buf[..4]).await.unwrap();
+        let err = chaotic.read(&mut buf).await.unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn stall_delays_first_read_only() {
+        let (client, server) = tokio::io::duplex(1024);
+        let faults = SessionFaults {
+            stall: Some(Duration::from_millis(500)),
+            ..SessionFaults::default()
+        };
+        let mut chaotic = ChaosStream::new(server, faults);
+        let mut client = client;
+        client.write_all(b"xy").await.unwrap();
+        let start = tokio::time::Instant::now();
+        let mut buf = [0u8; 1];
+        chaotic.read_exact(&mut buf).await.unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(500));
+        let again = tokio::time::Instant::now();
+        chaotic.read_exact(&mut buf).await.unwrap();
+        assert!(again.elapsed() < Duration::from_millis(500));
+    }
+}

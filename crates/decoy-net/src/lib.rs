@@ -31,12 +31,18 @@
 //! * [`limiter`] — per-source token-bucket rate limiting and connection caps,
 //!   protecting honeypots from accidental self-DoS during replay.
 //! * [`server`] — a supervised TCP listener: accept loop, per-session tasks,
-//!   idle timeouts, and graceful shutdown, following the Tokio guide idioms.
+//!   uniform session limits (deadline, idle timeout, byte budget), and
+//!   graceful shutdown, following the Tokio guide idioms.
+//! * [`supervisor`] — restart-on-death with jittered exponential backoff, a
+//!   crash-loop circuit breaker, and fleet health snapshots.
+//! * [`chaos`] — a seeded, deterministic fault-injection plan and stream
+//!   wrapper used by the resilience test suite.
 //!
 //! The honeypots in `decoy-honeypots` and the attacker drivers in
 //! `decoy-agents` share these primitives so that both sides of every recorded
 //! interaction flow through the same production code path.
 
+pub mod chaos;
 pub mod codec;
 pub mod cursor;
 pub mod error;
@@ -44,12 +50,21 @@ pub mod framed;
 pub mod limiter;
 pub mod proxy;
 pub mod server;
+pub mod supervisor;
 pub mod time;
 
+pub use chaos::{ChaosStream, FaultPlan, SessionFaults};
 pub use codec::Codec;
 pub use cursor::ByteCursor;
 pub use error::{NetError, WireError, WireErrorKind, WireProtocol};
 pub use framed::Framed;
 pub use limiter::{ConnectionGate, RateLimiter};
-pub use server::{Listener, ServerHandle, SessionCtx, SessionHandler, ShutdownSignal};
+pub use server::{
+    Listener, ListenerExit, ListenerOptions, ServerHandle, SessionCtx, SessionHandler,
+    SessionLimits, SessionStream, ShutdownSignal,
+};
+pub use supervisor::{
+    BackoffPolicy, BreakerPolicy, FleetHealth, HealthState, ListenerHealth, Supervisor,
+    SupervisorOptions, Transition, TransitionObserver,
+};
 pub use time::{Clock, SimClock, Timestamp};

@@ -5,11 +5,14 @@
 //! DBMS so the analysis crate can run the paper's aggregations (Tables 5–12,
 //! Figures 2–9) without scanning everything repeatedly.
 
+use decoy_net::supervisor::HealthState;
 use decoy_net::time::Timestamp;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
 use std::net::IpAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Which database a honeypot emulates.
@@ -171,13 +174,26 @@ pub enum EventKind {
         /// Human-readable description.
         detail: String,
     },
+    /// A fleet-supervision health transition (operational telemetry, not
+    /// attacker traffic; logged with a zero source and session).
+    Health {
+        /// State the supervised listener entered.
+        state: HealthState,
+        /// Total restarts of that listener so far.
+        restarts: u32,
+        /// Human-readable cause.
+        detail: String,
+    },
 }
 
 impl EventKind {
     /// True for kinds that constitute "meaningful interaction beyond basic
     /// connection" in the paper's classification (§4.3).
     pub fn is_interactive(&self) -> bool {
-        !matches!(self, EventKind::Connect | EventKind::Disconnect)
+        !matches!(
+            self,
+            EventKind::Connect | EventKind::Disconnect | EventKind::Health { .. }
+        )
     }
 }
 
@@ -204,6 +220,19 @@ pub struct Event {
 #[derive(Debug, Default)]
 pub struct EventStore {
     inner: RwLock<Inner>,
+    /// Fault-injection hook consulted before every append (chaos testing).
+    fault_hook: RwLock<Option<FaultHook>>,
+    /// Appends dropped by the fault hook.
+    dropped: AtomicU64,
+}
+
+/// Wrapper so the hook can live inside a `Debug` store.
+struct FaultHook(Arc<dyn Fn(&Event) -> bool + Send + Sync>);
+
+impl fmt::Debug for FaultHook {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("FaultHook")
+    }
 }
 
 #[derive(Debug, Default)]
@@ -244,9 +273,43 @@ impl EventStore {
         Arc::new(EventStore::default())
     }
 
-    /// Append one event.
+    /// Append one event. When a fault hook is installed and claims the
+    /// event, the append is dropped and counted instead — the writer never
+    /// learns, exactly like a lost log line in a real pipeline.
     pub fn log(&self, event: Event) {
+        if self.hook_drops(&event) {
+            return;
+        }
         self.inner.write().append_locked(event);
+    }
+
+    /// Install a fault hook consulted before every append; events for which
+    /// it returns `true` are silently dropped (see
+    /// [`EventStore::dropped_appends`]). Chaos tests use this to prove the
+    /// pipeline tolerates log loss.
+    pub fn set_fault_hook(&self, hook: impl Fn(&Event) -> bool + Send + Sync + 'static) {
+        *self.fault_hook.write() = Some(FaultHook(Arc::new(hook)));
+    }
+
+    /// Remove the fault hook.
+    pub fn clear_fault_hook(&self) {
+        *self.fault_hook.write() = None;
+    }
+
+    /// Number of appends dropped by the fault hook.
+    pub fn dropped_appends(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    fn hook_drops(&self, event: &Event) -> bool {
+        let hook = self.fault_hook.read();
+        match hook.as_ref() {
+            Some(h) if (h.0)(event) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
     }
 
     /// Build a store from a collection of events (used to slice a run's
@@ -257,10 +320,19 @@ impl EventStore {
         store
     }
 
-    /// Append many events at once (used by the direct-mode generator).
+    /// Append many events at once (used by the direct-mode generator). The
+    /// fault hook applies per event, as in [`EventStore::log`], but the
+    /// write lock is taken once for the whole batch.
     pub fn log_many(&self, events: impl IntoIterator<Item = Event>) {
+        let hook = self.fault_hook.read();
         let mut inner = self.inner.write();
         for event in events {
+            if let Some(h) = hook.as_ref() {
+                if (h.0)(&event) {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                    continue;
+                }
+            }
             inner.append_locked(event);
         }
     }
@@ -512,6 +584,44 @@ mod tests {
             preview: "JDWP-Handshake".into()
         }
         .is_interactive());
+    }
+
+    #[test]
+    fn health_events_are_operational_not_interactive() {
+        let kind = EventKind::Health {
+            state: HealthState::Degraded,
+            restarts: 2,
+            detail: "accept loop died; restarting".into(),
+        };
+        assert!(!kind.is_interactive());
+        // and they serialize like any other event
+        let store = EventStore::new();
+        store.log(ev(ip(1), Dbms::Redis, kind));
+        let text = store.to_json_lines();
+        let restored = EventStore::from_json_lines(&text).unwrap();
+        assert!(restored
+            .all()
+            .first()
+            .is_some_and(|e| matches!(e.kind, EventKind::Health { restarts: 2, .. })));
+    }
+
+    #[test]
+    fn fault_hook_drops_and_counts_appends() {
+        let store = EventStore::new();
+        let n = std::sync::atomic::AtomicU64::new(0);
+        store
+            .set_fault_hook(move |_| n.fetch_add(1, std::sync::atomic::Ordering::Relaxed) % 3 == 0);
+        for i in 0..9u8 {
+            store.log(ev(ip(i), Dbms::Redis, EventKind::Connect));
+        }
+        assert_eq!(store.len(), 6, "every third append must be dropped");
+        assert_eq!(store.dropped_appends(), 3);
+        // batch path honors the hook too
+        store.log_many((0..3u8).map(|i| ev(ip(i), Dbms::MySql, EventKind::Connect)));
+        assert_eq!(store.dropped_appends(), 4);
+        store.clear_fault_hook();
+        store.log(ev(ip(9), Dbms::Redis, EventKind::Connect));
+        assert_eq!(store.dropped_appends(), 4);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::process::ExitCode;
 const ENFORCED_PREFIXES: [&str; 2] = ["crates/decoy-wire/src/", "crates/decoy-honeypots/src/"];
 
 /// Individually enforced files outside the blanket prefixes.
-const ENFORCED_FILES: [&str; 8] = [
+const ENFORCED_FILES: [&str; 10] = [
     "crates/decoy-net/src/codec.rs",
     "crates/decoy-net/src/cursor.rs",
     "crates/decoy-net/src/framed.rs",
@@ -33,6 +33,8 @@ const ENFORCED_FILES: [&str; 8] = [
     "crates/decoy-net/src/server.rs",
     "crates/decoy-net/src/proxy.rs",
     "crates/decoy-net/src/limiter.rs",
+    "crates/decoy-net/src/supervisor.rs",
+    "crates/decoy-net/src/chaos.rs",
     "crates/decoy-store/src/events.rs",
 ];
 
@@ -238,6 +240,8 @@ mod tests {
         assert!(is_enforced("crates/decoy-wire/src/mongo/bson.rs"));
         assert!(is_enforced("crates/decoy-honeypots/src/low.rs"));
         assert!(is_enforced("crates/decoy-net/src/codec.rs"));
+        assert!(is_enforced("crates/decoy-net/src/supervisor.rs"));
+        assert!(is_enforced("crates/decoy-net/src/chaos.rs"));
         assert!(is_enforced("crates/decoy-store/src/events.rs"));
         // analysis/reporting code is out of scope
         assert!(!is_enforced("crates/decoy-analysis/src/lib.rs"));

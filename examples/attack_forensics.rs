@@ -41,6 +41,7 @@ async fn main() -> std::io::Result<()> {
         ListenerOptions {
             max_sessions: 64,
             clock: clock.clone(),
+            ..ListenerOptions::default()
         },
     )
     .await?;

@@ -1,0 +1,30 @@
+//! Shared helpers for the integration-test suite.
+
+#![allow(dead_code)] // each test binary uses a subset
+
+use decoy_databases::store::EventStore;
+use std::time::{Duration, Instant};
+
+/// Poll `pred` over the store until it holds or `deadline` elapses.
+///
+/// Events land asynchronously: a client's `connect()` returns on SYN-ACK,
+/// which can be before the listener has even `accept()`ed the socket, and
+/// session handlers log on their own tasks. Tests must therefore wait on
+/// the *log*, never on socket calls or bare sleeps. Returns whether the
+/// predicate became true.
+pub async fn wait_for_events(
+    store: &EventStore,
+    pred: impl Fn(&EventStore) -> bool,
+    deadline: Duration,
+) -> bool {
+    let end = Instant::now() + deadline;
+    loop {
+        if pred(store) {
+            return true;
+        }
+        if Instant::now() >= end {
+            return false;
+        }
+        tokio::time::sleep(Duration::from_millis(20)).await;
+    }
+}

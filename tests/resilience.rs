@@ -2,10 +2,20 @@
 //! definition. These tests throw pathological traffic at every family and
 //! assert the listener keeps serving, nothing panics, and the hostile input
 //! is *logged* rather than dropped on the floor.
+//!
+//! Synchronization discipline: every "did the server see it?" check waits
+//! on the event log via [`common::wait_for_events`] — never on bare sleeps,
+//! which made this suite timing-sensitive on loaded CI machines.
 
+mod common;
+
+use common::wait_for_events;
 use decoy_databases::core::deployment::instance_seed;
-use decoy_databases::honeypots::deploy::{spawn, HoneypotSpec, RunningHoneypot};
+use decoy_databases::honeypots::deploy::{
+    spawn, spawn_with_options, HoneypotSpec, RunningHoneypot,
+};
 use decoy_databases::net::framed::Framed;
+use decoy_databases::net::server::{ListenerOptions, SessionLimits};
 use decoy_databases::net::time::Clock;
 use decoy_databases::store::{
     ConfigVariant, Dbms, EventKind, EventStore, HoneypotId, InteractionLevel,
@@ -14,8 +24,12 @@ use decoy_databases::wire::resp::{RespCodec, RespValue};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
+use std::time::Duration;
 use tokio::io::AsyncWriteExt;
 use tokio::net::TcpStream;
+
+/// Log-wait budget: generous because CI machines stall, harmless when fast.
+const LOG_WAIT: Duration = Duration::from_secs(20);
 
 async fn spawn_family(
     dbms: Dbms,
@@ -31,6 +45,10 @@ async fn spawn_family(
     .await
     .expect("spawn");
     (hp, store)
+}
+
+fn count_kind(store: &EventStore, pred: impl Fn(&EventKind) -> bool) -> usize {
+    store.fold(0usize, |n, e| if pred(&e.kind) { n + 1 } else { n })
 }
 
 /// Every family survives random garbage and keeps serving real clients.
@@ -91,23 +109,34 @@ async fn garbage_flood_does_not_wedge_any_family() {
                 drop(stream);
             }
         }
-        tokio::time::sleep(std::time::Duration::from_millis(200)).await;
+        // wait for the floods to land in the log: connects plus a hostile
+        // trace (fault capture), not just the TCP handshake
+        let logged = wait_for_events(
+            &store,
+            |s| {
+                count_kind(s, |k| *k == EventKind::Connect) >= 3
+                    && count_kind(s, |k| {
+                        matches!(k, EventKind::Malformed { .. } | EventKind::Payload { .. })
+                    }) >= 1
+            },
+            LOG_WAIT,
+        )
+        .await;
+        assert!(logged, "{dbms:?}: hostile input left no trace");
         // the listener still answers a legitimate probe afterwards
         let probe = TcpStream::connect(hp.addr()).await;
         assert!(probe.is_ok(), "{dbms:?} listener wedged after garbage");
         drop(probe);
-        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
-        hp.shutdown().await;
-        // the garbage sessions were logged (connects + fault captures)
-        let connects = store.filter(|e| e.kind == EventKind::Connect).len();
-        assert!(connects >= 3, "{dbms:?}: {connects} connects logged");
-        let faults = store.filter(|e| {
-            matches!(
-                e.kind,
-                EventKind::Malformed { .. } | EventKind::Payload { .. }
+        assert!(
+            wait_for_events(
+                &store,
+                |s| count_kind(s, |k| *k == EventKind::Connect) >= 4,
+                LOG_WAIT,
             )
-        });
-        assert!(!faults.is_empty(), "{dbms:?}: hostile input left no trace");
+            .await,
+            "{dbms:?}: probe connect never logged"
+        );
+        hp.shutdown().await;
     }
 }
 
@@ -134,7 +163,16 @@ async fn oversized_frame_is_bounded() {
         }
     }
     drop(stream);
-    tokio::time::sleep(std::time::Duration::from_millis(300)).await;
+    // the aborted session must close out in the log before we re-probe
+    assert!(
+        wait_for_events(
+            &store,
+            |s| count_kind(s, |k| *k == EventKind::Disconnect) >= 1,
+            LOG_WAIT,
+        )
+        .await,
+        "oversized session never closed in the log"
+    );
     // listener alive
     let stream = TcpStream::connect(hp.addr()).await.unwrap();
     let mut f = Framed::new(stream, RespCodec::client());
@@ -170,16 +208,14 @@ async fn concurrent_connect_storm_is_fully_logged() {
     // A client's connect() returns on SYN-ACK, which can be before the
     // listener has accept()ed it from the backlog — wait on the *log*, not
     // on the socket API, before shutting down.
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(20);
-    loop {
-        let connects = store.filter(|e| e.kind == EventKind::Connect).len();
-        if connects >= STORM || std::time::Instant::now() > deadline {
-            break;
-        }
-        tokio::time::sleep(std::time::Duration::from_millis(100)).await;
-    }
+    wait_for_events(
+        &store,
+        |s| count_kind(s, |k| *k == EventKind::Connect) >= STORM,
+        LOG_WAIT,
+    )
+    .await;
     hp.shutdown().await;
-    let connects = store.filter(|e| e.kind == EventKind::Connect).len();
+    let connects = count_kind(&store, |k| *k == EventKind::Connect);
     assert!(
         connects >= STORM * 9 / 10,
         "only {connects}/{STORM} storm connections logged"
@@ -201,17 +237,108 @@ async fn half_open_handshakes_close_cleanly() {
     stream.write_all(&[0, 0, 0, 50, 0, 3, 0, 0]).await.unwrap();
     stream.flush().await.unwrap();
     drop(stream);
-    tokio::time::sleep(std::time::Duration::from_millis(300)).await;
+    assert!(
+        wait_for_events(
+            &store,
+            |s| count_kind(s, |k| *k == EventKind::Disconnect) >= 1,
+            LOG_WAIT,
+        )
+        .await,
+        "half-open session never closed"
+    );
     hp.shutdown().await;
-    let events = store.all();
-    let connects = events
-        .iter()
-        .filter(|e| e.kind == EventKind::Connect)
-        .count();
-    let disconnects = events
-        .iter()
-        .filter(|e| e.kind == EventKind::Disconnect)
-        .count();
+    let connects = count_kind(&store, |k| *k == EventKind::Connect);
+    let disconnects = count_kind(&store, |k| *k == EventKind::Disconnect);
     assert_eq!(connects, 1);
-    assert_eq!(disconnects, 1, "session did not close: {events:?}");
+    assert_eq!(disconnects, 1, "session did not close: {:?}", store.all());
+}
+
+/// Slowloris regression: a client dripping one byte at a time — fast enough
+/// to defeat any idle timeout — must be evicted by the listener-level
+/// session deadline on every medium/high family. Before session limits
+/// moved into [`SessionLimits`], a drip could hold a session open forever.
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn slow_drip_clients_are_evicted_by_the_session_deadline() {
+    let families = [
+        (
+            Dbms::Redis,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+        ),
+        (
+            Dbms::Postgres,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+        ),
+        (
+            Dbms::Elastic,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+        ),
+        (
+            Dbms::MySql,
+            InteractionLevel::Medium,
+            ConfigVariant::Default,
+        ),
+        (
+            Dbms::CouchDb,
+            InteractionLevel::Medium,
+            ConfigVariant::FakeData,
+        ),
+        (
+            Dbms::MongoDb,
+            InteractionLevel::High,
+            ConfigVariant::FakeData,
+        ),
+    ];
+    for (dbms, level, config) in families {
+        let store = EventStore::new();
+        let id = HoneypotId::new(dbms, level, config, 0);
+        let options = ListenerOptions {
+            clock: Clock::simulated(),
+            limits: SessionLimits {
+                // the deadline must win: idle window far above drip cadence
+                deadline: Some(Duration::from_millis(700)),
+                idle: Some(Duration::from_secs(30)),
+                byte_budget: None,
+            },
+            ..ListenerOptions::default()
+        };
+        let hp = spawn_with_options(
+            store.clone(),
+            HoneypotSpec::loopback(id, Clock::simulated(), instance_seed(5, id)),
+            options,
+        )
+        .await
+        .expect("spawn");
+        let mut stream = TcpStream::connect(hp.addr()).await.expect("connect");
+        let start = std::time::Instant::now();
+        let mut evicted = false;
+        // drip for up to 8s; the 700ms deadline must cut us long before that
+        for _ in 0..320 {
+            if stream.write_all(&[0x2a]).await.is_err() || stream.flush().await.is_err() {
+                evicted = true;
+                break;
+            }
+            tokio::time::sleep(Duration::from_millis(25)).await;
+        }
+        assert!(evicted, "{dbms:?}: slow drip was never evicted");
+        assert!(
+            start.elapsed() < Duration::from_secs(6),
+            "{dbms:?}: eviction took {:?}",
+            start.elapsed()
+        );
+        // the evicted session still leaves a clean connect/disconnect pair
+        assert!(
+            wait_for_events(
+                &store,
+                |s| count_kind(s, |k| *k == EventKind::Disconnect) >= 1,
+                LOG_WAIT,
+            )
+            .await,
+            "{dbms:?}: evicted session never logged Disconnect"
+        );
+        drop(stream);
+        hp.shutdown().await;
+    }
 }
