@@ -13,8 +13,11 @@
 //! * Ward is run on squared Euclidean distances with the Lance–Williams
 //!   recurrence; weighted initial dissimilarities use the exact Ward form
 //!   `2·wᵢwⱼ/(wᵢ+wⱼ)·‖xᵢ−xⱼ‖²`.
-//! * Each step merges the globally closest pair (Ward is reducible, so
-//!   merge heights are monotone and the dendrogram can be cut directly).
+//! * Merging is the O(n²) nearest-neighbor chain algorithm over a condensed
+//!   (upper-triangle) dissimilarity matrix — see [`crate::ward`] for the
+//!   algorithm and the canonicalization that keeps `cut_at`/`cut_into`
+//!   partitions identical to the retained greedy oracle
+//!   [`ward_cluster_naive`].
 //! * The paper's manual review pass is reproduced by
 //!   [`refine_by_behavior`]: clusters mixing exploiting sources with
 //!   non-exploiting ones are split, mirroring the reassignments described
@@ -23,164 +26,11 @@
 use crate::classify::BehaviorProfile;
 use crate::frame::FrameView;
 use crate::tf::{action_sequences, action_sequences_view, TfVector, Vocabulary};
+pub use crate::ward::{ward_cluster, ward_cluster_naive, Dendrogram, Merge};
 use decoy_store::{Dbms, EventStore};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 use std::net::IpAddr;
-
-/// One merge step: clusters `a` and `b` (ids in scipy convention: leaves are
-/// `0..n`, the cluster created by step `s` is `n + s`) joined at `height`.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Merge {
-    /// First merged cluster id.
-    pub a: usize,
-    /// Second merged cluster id.
-    pub b: usize,
-    /// Ward criterion value (variance increase) at this merge.
-    pub height: f64,
-    /// Total weight of the resulting cluster.
-    pub size: f64,
-}
-
-/// The full merge history over `n` leaves.
-#[derive(Debug, Clone, Default)]
-pub struct Dendrogram {
-    /// Number of leaves.
-    pub n: usize,
-    /// Merges in the order performed (heights are non-decreasing).
-    pub merges: Vec<Merge>,
-}
-
-impl Dendrogram {
-    /// Cut so that merges with `height <= threshold` are applied. Returns a
-    /// label in `0..k` for each leaf.
-    pub fn cut_at(&self, threshold: f64) -> Vec<usize> {
-        let apply = self
-            .merges
-            .iter()
-            .take_while(|m| m.height <= threshold)
-            .count();
-        self.cut_after(apply)
-    }
-
-    /// Cut into exactly `k` clusters (or as close as the hierarchy allows).
-    pub fn cut_into(&self, k: usize) -> Vec<usize> {
-        let k = k.clamp(1, self.n.max(1));
-        let apply = self.n.saturating_sub(k).min(self.merges.len());
-        self.cut_after(apply)
-    }
-
-    /// Apply the first `steps` merges and label the components.
-    fn cut_after(&self, steps: usize) -> Vec<usize> {
-        let mut parent: Vec<usize> = (0..self.n + steps).collect();
-        fn find(parent: &mut [usize], mut x: usize) -> usize {
-            while parent[x] != x {
-                parent[x] = parent[parent[x]];
-                x = parent[x];
-            }
-            x
-        }
-        for (step, merge) in self.merges.iter().take(steps).enumerate() {
-            let new_id = self.n + step;
-            let ra = find(&mut parent, merge.a);
-            let rb = find(&mut parent, merge.b);
-            parent[ra] = new_id;
-            parent[rb] = new_id;
-        }
-        // compact component labels
-        let mut labels = vec![0usize; self.n];
-        let mut next = 0usize;
-        let mut seen: HashMap<usize, usize> = HashMap::new();
-        for (leaf, label_slot) in labels.iter_mut().enumerate() {
-            let root = find(&mut parent, leaf);
-            let label = *seen.entry(root).or_insert_with(|| {
-                let l = next;
-                next += 1;
-                l
-            });
-            *label_slot = label;
-        }
-        labels
-    }
-
-    /// Number of clusters after cutting at `threshold`.
-    pub fn clusters_at(&self, threshold: f64) -> usize {
-        let applied = self
-            .merges
-            .iter()
-            .take_while(|m| m.height <= threshold)
-            .count();
-        self.n - applied
-    }
-}
-
-/// Ward clustering over weighted points. `weights[i]` is the multiplicity
-/// of point `i` (deduplicated sources).
-pub fn ward_cluster(vectors: &[TfVector], weights: &[f64]) -> Dendrogram {
-    let n = vectors.len();
-    assert_eq!(n, weights.len());
-    if n == 0 {
-        return Dendrogram::default();
-    }
-    // condensed squared-distance matrix with Ward's weighted initial form
-    let mut dist = vec![0.0f64; n * n];
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let d2 = vectors[i].distance_sq(&vectors[j]);
-            let w = 2.0 * weights[i] * weights[j] / (weights[i] + weights[j]);
-            dist[i * n + j] = w * d2;
-            dist[j * n + i] = w * d2;
-        }
-    }
-    let mut active: Vec<bool> = vec![true; n];
-    let mut size: Vec<f64> = weights.to_vec();
-    let mut cluster_id: Vec<usize> = (0..n).collect();
-    let mut merges = Vec::with_capacity(n.saturating_sub(1));
-
-    for step in 0..n.saturating_sub(1) {
-        // globally closest active pair
-        let mut best = (usize::MAX, usize::MAX, f64::INFINITY);
-        for i in 0..n {
-            if !active[i] {
-                continue;
-            }
-            for j in (i + 1)..n {
-                if !active[j] {
-                    continue;
-                }
-                let d = dist[i * n + j];
-                if d < best.2 {
-                    best = (i, j, d);
-                }
-            }
-        }
-        let (i, j, height) = best;
-        // Lance–Williams update for Ward: merge j into i's slot.
-        let (si, sj) = (size[i], size[j]);
-        for k in 0..n {
-            if !active[k] || k == i || k == j {
-                continue;
-            }
-            let sk = size[k];
-            let dik = dist[i * n + k];
-            let djk = dist[j * n + k];
-            let dij = dist[i * n + j];
-            let updated = ((si + sk) * dik + (sj + sk) * djk - sk * dij) / (si + sj + sk);
-            dist[i * n + k] = updated;
-            dist[k * n + i] = updated;
-        }
-        active[j] = false;
-        size[i] = si + sj;
-        merges.push(Merge {
-            a: cluster_id[i],
-            b: cluster_id[j],
-            height,
-            size: si + sj,
-        });
-        cluster_id[i] = n + step;
-    }
-    Dendrogram { n, merges }
-}
 
 /// High-level clustering result for one honeypot family.
 #[derive(Debug, Clone)]
@@ -206,13 +56,15 @@ pub fn cluster_documents<T>(docs: &BTreeMap<IpAddr, Vec<T>>, threshold: f64) -> 
 where
     T: AsRef<str> + Clone + Eq + Hash,
 {
-    // dedupe identical documents
-    let mut unique: Vec<Vec<T>> = Vec::new();
-    let mut by_doc: HashMap<Vec<T>, usize> = HashMap::new();
+    // dedupe identical documents: both the map key and the `unique` entry
+    // borrow the document in `docs` — no term clones until representatives
+    // are rendered below
+    let mut unique: Vec<&[T]> = Vec::new();
+    let mut by_doc: HashMap<&[T], usize> = HashMap::new();
     let mut members: Vec<Vec<IpAddr>> = Vec::new();
     for (src, doc) in docs {
-        let idx = *by_doc.entry(doc.clone()).or_insert_with(|| {
-            unique.push(doc.clone());
+        let idx = *by_doc.entry(doc.as_slice()).or_insert_with(|| {
+            unique.push(doc.as_slice());
             members.push(Vec::new());
             unique.len() - 1
         });
@@ -372,10 +224,7 @@ mod tests {
     fn vecs(points: &[&[f64]]) -> Vec<TfVector> {
         points
             .iter()
-            .map(|p| TfVector {
-                values: p.to_vec(),
-                total_terms: 1,
-            })
+            .map(|p| TfVector::from_dense(p.to_vec(), 1))
             .collect()
     }
 

@@ -12,9 +12,11 @@
 //!   below also accepts a [`FrameView`](frame::FrameView) so the whole
 //!   report shares that single pass.
 //! * [`classify`] — the scanning / scouting / exploiting behavior rules.
-//! * [`tf`] — per-source action sequences and Term Frequency vectors (§6.1).
-//! * [`cluster`] — agglomerative hierarchical clustering with Ward linkage
-//!   (Lance–Williams recurrence, nearest-neighbor-chain algorithm).
+//! * [`tf`] — per-source action sequences and Term Frequency vectors (§6.1);
+//!   the sparse vector/vocabulary types live in [`tfvec`].
+//! * [`cluster`] — agglomerative hierarchical clustering with Ward linkage;
+//!   the O(n²) nearest-neighbor-chain engine (Lance–Williams recurrence,
+//!   condensed matrix, canonical merge order) lives in [`ward`].
 //! * [`tagging`] — campaign tags (P2PInfect, ABCbot, Kinsing, Lucifer,
 //!   ransom, CVE probes, ...) assigned from recognizable action patterns.
 //! * [`ecdf`] — empirical CDFs (client retention, Figures 3 and 5).
@@ -42,8 +44,10 @@ pub mod intel;
 pub mod tables;
 pub mod tagging;
 pub mod tf;
+pub mod tfvec;
 pub mod timeseries;
 pub mod upset;
+pub mod ward;
 
 pub use classify::{classify_sources, classify_view, Behavior, BehaviorProfile};
 pub use cluster::{cluster_sources, cluster_view, Dendrogram};

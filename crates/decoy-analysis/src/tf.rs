@@ -3,113 +3,17 @@
 //! Each source IP's observed action sequence is a "document"; each
 //! normalized action is a "term". `tf(t, d)` is the relative frequency of
 //! term `t` in document `d` (duplicates included), exactly as the paper
-//! defines it. Vectors are dense over a shared [`Vocabulary`] so Euclidean
-//! distances (the clustering metric) are straightforward.
+//! defines it. Vectors are sparse over a shared [`Vocabulary`] — see
+//! [`crate::tfvec`] for the representation; this module re-exports the
+//! types and holds the store/frame document extraction.
+
+pub use crate::tfvec::{TfVector, Vocabulary};
 
 use crate::frame::{FrameKind, FrameView};
 use decoy_store::{Dbms, EventKind, EventStore};
 use std::collections::BTreeMap;
 use std::net::IpAddr;
 use std::sync::Arc;
-
-/// Bidirectional term ↔ index mapping shared by a set of documents.
-#[derive(Debug, Default, Clone)]
-pub struct Vocabulary {
-    terms: Vec<String>,
-    index: BTreeMap<String, usize>,
-}
-
-impl Vocabulary {
-    /// Empty vocabulary.
-    pub fn new() -> Self {
-        Vocabulary::default()
-    }
-
-    /// Index of `term`, inserting it if new.
-    pub fn intern(&mut self, term: &str) -> usize {
-        if let Some(&i) = self.index.get(term) {
-            return i;
-        }
-        let i = self.terms.len();
-        self.terms.push(term.to_string());
-        self.index.insert(term.to_string(), i);
-        i
-    }
-
-    /// Index of `term` if known.
-    pub fn get(&self, term: &str) -> Option<usize> {
-        self.index.get(term).copied()
-    }
-
-    /// The term at `index`.
-    pub fn term(&self, index: usize) -> Option<&str> {
-        self.terms.get(index).map(String::as_str)
-    }
-
-    /// Number of distinct terms.
-    pub fn len(&self) -> usize {
-        self.terms.len()
-    }
-
-    /// True when no terms have been interned.
-    pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
-    }
-}
-
-/// A dense TF vector over a [`Vocabulary`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct TfVector {
-    /// Relative frequencies; `values.len() == vocabulary.len()` at build
-    /// time (older vectors are implicitly zero-extended by [`TfVector::distance_sq`]).
-    pub values: Vec<f64>,
-    /// Total number of terms in the underlying document.
-    pub total_terms: usize,
-}
-
-impl TfVector {
-    /// Build from a document (sequence of terms), interning new terms.
-    /// Generic over the term representation so `String` documents (legacy
-    /// path) and interned `Arc<str>` documents (frame path) vectorize
-    /// identically.
-    pub fn from_terms<T: AsRef<str>>(terms: &[T], vocab: &mut Vocabulary) -> Self {
-        let mut counts: Vec<f64> = vec![0.0; vocab.len()];
-        for term in terms {
-            let idx = vocab.intern(term.as_ref());
-            if idx >= counts.len() {
-                counts.resize(idx + 1, 0.0);
-            }
-            counts[idx] += 1.0;
-        }
-        let total = terms.len().max(1) as f64;
-        for v in &mut counts {
-            *v /= total;
-        }
-        TfVector {
-            values: counts,
-            total_terms: terms.len(),
-        }
-    }
-
-    /// Squared Euclidean distance, treating missing trailing dimensions as
-    /// zero (vectors built before the vocabulary grew).
-    pub fn distance_sq(&self, other: &TfVector) -> f64 {
-        let n = self.values.len().max(other.values.len());
-        let mut sum = 0.0;
-        for i in 0..n {
-            let a = self.values.get(i).copied().unwrap_or(0.0);
-            let b = other.values.get(i).copied().unwrap_or(0.0);
-            let d = a - b;
-            sum += d * d;
-        }
-        sum
-    }
-
-    /// Euclidean distance.
-    pub fn distance(&self, other: &TfVector) -> f64 {
-        self.distance_sq(other).sqrt()
-    }
-}
 
 /// Extract the per-source action sequences ("documents") for one DBMS, in
 /// event order. Terms are: normalized command actions, `LOGIN` for
@@ -202,63 +106,8 @@ mod tests {
         v.iter().map(|s| s.to_string()).collect()
     }
 
-    #[test]
-    fn tf_matches_paper_definition() {
-        let mut vocab = Vocabulary::new();
-        // document: [SET, SET, GET] → tf(SET)=2/3, tf(GET)=1/3
-        let v = TfVector::from_terms(&terms(&["SET", "SET", "GET"]), &mut vocab);
-        assert_eq!(v.total_terms, 3);
-        assert!((v.values[vocab.get("SET").unwrap()] - 2.0 / 3.0).abs() < 1e-12);
-        assert!((v.values[vocab.get("GET").unwrap()] - 1.0 / 3.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn empty_document_is_zero_vector() {
-        let mut vocab = Vocabulary::new();
-        vocab.intern("SET");
-        let v = TfVector::from_terms(&[], &mut vocab);
-        assert_eq!(v.total_terms, 0);
-        assert!(v.values.iter().all(|&x| x == 0.0));
-    }
-
-    #[test]
-    fn distances_tolerate_vocabulary_growth() {
-        let mut vocab = Vocabulary::new();
-        let a = TfVector::from_terms(&terms(&["SET"]), &mut vocab);
-        let b = TfVector::from_terms(&terms(&["GET"]), &mut vocab);
-        // a was built before GET existed: len 1 vs len 2
-        assert_eq!(a.values.len(), 1);
-        assert_eq!(b.values.len(), 2);
-        assert!((a.distance_sq(&b) - 2.0).abs() < 1e-12);
-        assert!((a.distance(&b) - 2.0_f64.sqrt()).abs() < 1e-12);
-        // identical documents are at distance zero regardless of when built
-        let a2 = TfVector::from_terms(&terms(&["SET"]), &mut vocab);
-        assert_eq!(a.distance_sq(&a2), 0.0);
-    }
-
-    #[test]
-    fn hash_variant_sequences_vectorize_identically() {
-        // The motivating example of §6.1: DELETE /tmp/hash1 vs hash2 —
-        // after masking both are the same term, so TF vectors coincide.
-        let mut vocab = Vocabulary::new();
-        let doc1 = terms(&["DELETE /tmp/<HASH>", "LOGIN"]);
-        let doc2 = terms(&["DELETE /tmp/<HASH>", "LOGIN"]);
-        let v1 = TfVector::from_terms(&doc1, &mut vocab);
-        let v2 = TfVector::from_terms(&doc2, &mut vocab);
-        assert_eq!(v1.distance_sq(&v2), 0.0);
-    }
-
-    #[test]
-    fn vocabulary_intern_is_idempotent() {
-        let mut vocab = Vocabulary::new();
-        let a = vocab.intern("INFO");
-        let b = vocab.intern("INFO");
-        assert_eq!(a, b);
-        assert_eq!(vocab.len(), 1);
-        assert_eq!(vocab.term(0), Some("INFO"));
-        assert_eq!(vocab.term(1), None);
-        assert!(!vocab.is_empty());
-    }
+    // Representation-level TfVector/Vocabulary tests live in `crate::tfvec`;
+    // this module keeps the store/frame extraction tests.
 
     #[test]
     fn sequences_from_store() {

@@ -1,0 +1,378 @@
+//! Term-frequency vector and vocabulary types (§6.1), dependency-free.
+//!
+//! This module is deliberately std-only (no store/frame imports) so the
+//! clustering core can be compiled and tested standalone — the same
+//! shadow-build trick `decoy-xtask` and `decoy-fuzz` use in offline
+//! containers. The public surface is re-exported through [`crate::tf`].
+//!
+//! Real attacker documents touch a handful of the vocabulary's terms, so
+//! [`TfVector`] stores sorted `(term_index, tf)` pairs and computes squared
+//! Euclidean distances with a two-pointer merge walk — O(nnz) instead of
+//! O(|vocab|). A dense representation is kept for callers that build
+//! vectors from raw coordinate arrays (tests, benches, ablations); mixed
+//! comparisons and the implicit zero-extension semantics of the old dense
+//! type are preserved exactly.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Bidirectional term ↔ index mapping shared by a set of documents.
+///
+/// Each distinct term is allocated once as an `Arc<str>` shared by the
+/// `index` map and the `terms` table; indices are assigned in first-seen
+/// order, so interning the same document stream always yields the same
+/// deterministic indices.
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    terms: Vec<Arc<str>>,
+    index: HashMap<Arc<str>, usize>,
+}
+
+impl Vocabulary {
+    /// Empty vocabulary.
+    pub fn new() -> Self {
+        Vocabulary::default()
+    }
+
+    /// Index of `term`, inserting it if new.
+    pub fn intern(&mut self, term: &str) -> usize {
+        if let Some(&i) = self.index.get(term) {
+            return i;
+        }
+        let shared: Arc<str> = Arc::from(term);
+        let i = self.terms.len();
+        self.terms.push(Arc::clone(&shared));
+        self.index.insert(shared, i);
+        i
+    }
+
+    /// Index of `term` if known.
+    pub fn get(&self, term: &str) -> Option<usize> {
+        self.index.get(term).copied()
+    }
+
+    /// The term at `index`.
+    pub fn term(&self, index: usize) -> Option<&str> {
+        self.terms.get(index).map(|t| &**t)
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+/// A TF vector over a [`Vocabulary`].
+///
+/// Missing dimensions are implicitly zero: a vector built before the
+/// vocabulary grew compares correctly against one built after (the old
+/// dense type's zero-extension contract).
+#[derive(Debug, Clone)]
+pub struct TfVector {
+    repr: Repr,
+    /// Total number of terms in the underlying document.
+    pub total_terms: usize,
+}
+
+#[derive(Debug, Clone)]
+enum Repr {
+    /// Coordinates indexed by position; trailing dimensions implicit zero.
+    Dense(Vec<f64>),
+    /// Nonzero coordinates as `(term_index, tf)`, strictly sorted by index.
+    Sparse(Vec<(usize, f64)>),
+}
+
+impl TfVector {
+    /// Build from a document (sequence of terms), interning new terms.
+    /// Generic over the term representation so `String` documents (legacy
+    /// path) and interned `Arc<str>` documents (frame path) vectorize
+    /// identically. The result is sparse: one entry per distinct term.
+    pub fn from_terms<T: AsRef<str>>(terms: &[T], vocab: &mut Vocabulary) -> Self {
+        let mut counts: BTreeMap<usize, f64> = BTreeMap::new();
+        for term in terms {
+            *counts.entry(vocab.intern(term.as_ref())).or_insert(0.0) += 1.0;
+        }
+        let total = terms.len().max(1) as f64;
+        let entries = counts.into_iter().map(|(i, c)| (i, c / total)).collect();
+        TfVector {
+            repr: Repr::Sparse(entries),
+            total_terms: terms.len(),
+        }
+    }
+
+    /// Build from raw dense coordinates (tests, benches, ablations).
+    pub fn from_dense(values: Vec<f64>, total_terms: usize) -> Self {
+        TfVector {
+            repr: Repr::Dense(values),
+            total_terms,
+        }
+    }
+
+    /// The coordinate at `index` (zero when absent).
+    pub fn value(&self, index: usize) -> f64 {
+        match &self.repr {
+            Repr::Dense(values) => values.get(index).copied().unwrap_or(0.0),
+            Repr::Sparse(entries) => entries
+                .binary_search_by_key(&index, |&(i, _)| i)
+                .map(|pos| entries[pos].1)
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// Number of stored nonzero coordinates.
+    pub fn nnz(&self) -> usize {
+        match &self.repr {
+            Repr::Dense(values) => values.iter().filter(|&&v| v != 0.0).count(),
+            Repr::Sparse(entries) => entries.len(),
+        }
+    }
+
+    /// Nonzero coordinates as `(index, value)`, in ascending index order.
+    pub fn nonzero(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let (sparse, dense) = match &self.repr {
+            Repr::Sparse(entries) => (Some(entries.iter().copied()), None),
+            Repr::Dense(values) => (None, Some(values.iter().copied())),
+        };
+        sparse.into_iter().flatten().chain(
+            dense
+                .into_iter()
+                .flatten()
+                .enumerate()
+                .filter(|&(_, v)| v != 0.0),
+        )
+    }
+
+    /// Squared Euclidean distance, treating missing dimensions as zero.
+    ///
+    /// Sparse × sparse (the clustering hot path) is a two-pointer merge
+    /// walk over the nonzero entries — O(nnz(a) + nnz(b)).
+    pub fn distance_sq(&self, other: &TfVector) -> f64 {
+        match (&self.repr, &other.repr) {
+            (Repr::Sparse(a), Repr::Sparse(b)) => sparse_sparse(a, b),
+            (Repr::Dense(a), Repr::Dense(b)) => dense_dense(a, b),
+            (Repr::Sparse(a), Repr::Dense(b)) | (Repr::Dense(b), Repr::Sparse(a)) => {
+                sparse_dense(a, b)
+            }
+        }
+    }
+
+    /// Euclidean distance.
+    pub fn distance(&self, other: &TfVector) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+}
+
+/// Semantic equality: same document length and the same nonzero
+/// coordinates, regardless of representation or trailing explicit zeros.
+impl PartialEq for TfVector {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_terms == other.total_terms && self.nonzero().eq(other.nonzero())
+    }
+}
+
+/// Two-pointer merge walk over sorted nonzero entries.
+fn sparse_sparse(a: &[(usize, f64)], b: &[(usize, f64)]) -> f64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut sum = 0.0;
+    while i < a.len() && j < b.len() {
+        let (ia, va) = a[i];
+        let (ib, vb) = b[j];
+        match ia.cmp(&ib) {
+            std::cmp::Ordering::Less => {
+                sum += va * va;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                sum += vb * vb;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let d = va - vb;
+                sum += d * d;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    sum += a[i..].iter().map(|&(_, v)| v * v).sum::<f64>();
+    sum += b[j..].iter().map(|&(_, v)| v * v).sum::<f64>();
+    sum
+}
+
+/// Dense fallback: zip over the common prefix plus an explicit tail sum
+/// (the zero-extension semantics without per-element bounds branching).
+fn dense_dense(a: &[f64], b: &[f64]) -> f64 {
+    let common = a.len().min(b.len());
+    let head: f64 = a[..common]
+        .iter()
+        .zip(&b[..common])
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum();
+    let tail: f64 = if a.len() > common {
+        &a[common..]
+    } else {
+        &b[common..]
+    }
+    .iter()
+    .map(|v| v * v)
+    .sum();
+    head + tail
+}
+
+/// Mixed comparison: walk the dense coordinates once with a cursor into
+/// the sorted sparse entries, then account for sparse entries past the
+/// dense length.
+fn sparse_dense(sparse: &[(usize, f64)], dense: &[f64]) -> f64 {
+    let mut cursor = 0usize;
+    let mut sum = 0.0;
+    for (i, &dv) in dense.iter().enumerate() {
+        let sv = match sparse.get(cursor) {
+            Some(&(idx, v)) if idx == i => {
+                cursor += 1;
+                v
+            }
+            _ => 0.0,
+        };
+        let d = dv - sv;
+        sum += d * d;
+    }
+    sum += sparse[cursor..].iter().map(|&(_, v)| v * v).sum::<f64>();
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn tf_matches_paper_definition() {
+        let mut vocab = Vocabulary::new();
+        // document: [SET, SET, GET] → tf(SET)=2/3, tf(GET)=1/3
+        let v = TfVector::from_terms(&terms(&["SET", "SET", "GET"]), &mut vocab);
+        assert_eq!(v.total_terms, 3);
+        assert!((v.value(vocab.get("SET").unwrap()) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((v.value(vocab.get("GET").unwrap()) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn empty_document_is_zero_vector() {
+        let mut vocab = Vocabulary::new();
+        vocab.intern("SET");
+        let v = TfVector::from_terms::<String>(&[], &mut vocab);
+        assert_eq!(v.total_terms, 0);
+        assert_eq!(v.nnz(), 0);
+        assert_eq!(v.value(0), 0.0);
+    }
+
+    #[test]
+    fn distances_tolerate_vocabulary_growth() {
+        let mut vocab = Vocabulary::new();
+        let a = TfVector::from_terms(&terms(&["SET"]), &mut vocab);
+        let b = TfVector::from_terms(&terms(&["GET"]), &mut vocab);
+        // a was built before GET existed; zero extension still applies
+        assert!((a.distance_sq(&b) - 2.0).abs() < 1e-12);
+        assert!((a.distance(&b) - 2.0_f64.sqrt()).abs() < 1e-12);
+        // identical documents are at distance zero regardless of when built
+        let a2 = TfVector::from_terms(&terms(&["SET"]), &mut vocab);
+        assert_eq!(a.distance_sq(&a2), 0.0);
+        assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn hash_variant_sequences_vectorize_identically() {
+        // The motivating example of §6.1: DELETE /tmp/hash1 vs hash2 —
+        // after masking both are the same term, so TF vectors coincide.
+        let mut vocab = Vocabulary::new();
+        let doc1 = terms(&["DELETE /tmp/<HASH>", "LOGIN"]);
+        let doc2 = terms(&["DELETE /tmp/<HASH>", "LOGIN"]);
+        let v1 = TfVector::from_terms(&doc1, &mut vocab);
+        let v2 = TfVector::from_terms(&doc2, &mut vocab);
+        assert_eq!(v1.distance_sq(&v2), 0.0);
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn vocabulary_intern_is_idempotent() {
+        let mut vocab = Vocabulary::new();
+        let a = vocab.intern("INFO");
+        let b = vocab.intern("INFO");
+        assert_eq!(a, b);
+        assert_eq!(vocab.len(), 1);
+        assert_eq!(vocab.term(0), Some("INFO"));
+        assert_eq!(vocab.term(1), None);
+        assert!(!vocab.is_empty());
+    }
+
+    #[test]
+    fn vocabulary_indices_are_deterministic() {
+        let stream = ["GET", "SET", "DEL", "SET", "INFO", "GET"];
+        let mut a = Vocabulary::new();
+        let mut b = Vocabulary::new();
+        for t in stream {
+            a.intern(t);
+        }
+        for t in stream {
+            b.intern(t);
+        }
+        for t in stream {
+            assert_eq!(a.get(t), b.get(t));
+        }
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.get("GET"), Some(0));
+        assert_eq!(a.get("SET"), Some(1));
+        assert_eq!(a.get("DEL"), Some(2));
+        assert_eq!(a.get("INFO"), Some(3));
+    }
+
+    #[test]
+    fn dense_and_sparse_distances_agree() {
+        // dense [0.5, 0, 0.25, 0, 0.25] vs sparse-built equivalent
+        let dense = TfVector::from_dense(vec![0.5, 0.0, 0.25, 0.0, 0.25], 4);
+        let mut vocab = Vocabulary::new();
+        // interning order A B C D E gives indices 0..5; doc hits 0, 2, 4
+        for t in ["A", "B", "C", "D", "E"] {
+            vocab.intern(t);
+        }
+        let sparse = TfVector::from_terms(&terms(&["A", "A", "C", "E"]), &mut vocab);
+        assert_eq!(dense, sparse);
+        assert_eq!(dense.distance_sq(&sparse), 0.0);
+
+        let other_dense = TfVector::from_dense(vec![0.0, 1.0], 1);
+        let other_sparse = TfVector::from_terms(&terms(&["B"]), &mut vocab);
+        // all four representation pairings give the same distance
+        let expect = 0.25 + 1.0 + 0.0625 + 0.0625;
+        for x in [&dense, &sparse] {
+            for y in [&other_dense, &other_sparse] {
+                assert!((x.distance_sq(y) - expect).abs() < 1e-12);
+                assert!((y.distance_sq(x) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dense_tail_handles_both_sides() {
+        let short = TfVector::from_dense(vec![1.0], 1);
+        let long = TfVector::from_dense(vec![0.0, 0.0, 2.0], 1);
+        assert!((short.distance_sq(&long) - 5.0).abs() < 1e-12);
+        assert!((long.distance_sq(&short) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zeros_and_representation() {
+        let a = TfVector::from_dense(vec![0.5, 0.0], 2);
+        let b = TfVector::from_dense(vec![0.5], 2);
+        assert_eq!(a, b);
+        let c = TfVector::from_dense(vec![0.5], 3);
+        assert_ne!(a, c); // different document length
+    }
+}

@@ -1,0 +1,55 @@
+//! Ward clustering scaling sweep: the O(n²) nearest-neighbor-chain
+//! `ward_cluster` vs the retained O(n³) global-scan `ward_cluster_naive`
+//! across unique-document counts. Documents are synthetic sparse action
+//! sequences over a small masked-term alphabet — the regime §6.1's dedup
+//! leaves behind — seeded from the shared `BENCH_SEED`.
+//!
+//! Results are recorded in `BENCH_cluster.json` at the repo root.
+//!
+//! Run: `cargo bench -p decoy-bench --bench cluster_scale`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use decoy_analysis::cluster::{ward_cluster, ward_cluster_naive};
+use decoy_analysis::tf::{TfVector, Vocabulary};
+use decoy_bench::BENCH_SEED;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Synthetic unique weighted documents: `n` sparse TF vectors drawn from a
+/// masked-term alphabet sized like a real per-DBMS vocabulary, with
+/// dedup-style multiplicity weights.
+fn synthetic_documents(n: usize) -> (Vec<TfVector>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let alphabet = 48usize;
+    let mut vocab = Vocabulary::new();
+    let vectors = (0..n)
+        .map(|_| {
+            let len = 1 + rng.gen_range(0..12);
+            let doc: Vec<String> = (0..len)
+                .map(|_| format!("ACTION_{}", rng.gen_range(0..alphabet)))
+                .collect();
+            TfVector::from_terms(&doc, &mut vocab)
+        })
+        .collect();
+    let weights = (0..n).map(|_| 1.0 + rng.gen_range(0..40) as f64).collect();
+    (vectors, weights)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_scale");
+    group.sample_size(10);
+    for n in [100usize, 500, 2000] {
+        let (vectors, weights) = synthetic_documents(n);
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
+            b.iter(|| black_box(ward_cluster(&vectors, &weights)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| black_box(ward_cluster_naive(&vectors, &weights)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -28,10 +28,7 @@ fn synthetic(n: usize, k: usize, dims: usize) -> Vec<TfVector> {
             let mut values = vec![0.0; dims];
             values[group % dims] = 0.8 + rng.gen::<f64>() * 0.05;
             values[(group + 1) % dims] = 0.2 - rng.gen::<f64>() * 0.05;
-            TfVector {
-                values,
-                total_terms: 10,
-            }
+            TfVector::from_dense(values, 10)
         })
         .collect()
 }

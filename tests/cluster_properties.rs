@@ -1,0 +1,183 @@
+//! Property-based oracle for the nearest-neighbor-chain Ward rewrite: on
+//! arbitrary weighted sparse inputs — including tied distances and
+//! duplicate points — `ward_cluster` (chain) must describe the same tree
+//! as `ward_cluster_naive` (the retained greedy global-scan
+//! implementation), with identical merge-height multisets and identical
+//! `cut_at`/`cut_into` partitions.
+//!
+//! The two algorithms record independent merges in different chronological
+//! orders, so their Lance–Williams updates round differently in the last
+//! bits. Heights are therefore compared within a 1e-9 relative tolerance,
+//! and partition comparisons skip thresholds that land *inside* a noisy
+//! near-tie run (where sub-tolerance rounding legitimately decides the
+//! canonical order). Exact ties — bitwise-equal heights, the duplicate
+//! point case — are compared in full: canonicalization resolves them
+//! deterministically in both implementations.
+
+use decoy_databases::analysis::cluster::{ward_cluster, ward_cluster_naive, Dendrogram};
+use decoy_databases::analysis::tf::{TfVector, Vocabulary};
+use proptest::prelude::*;
+
+/// Relative height tolerance for cross-implementation comparison.
+fn tol(h: f64) -> f64 {
+    1e-9 * (1.0 + h.abs())
+}
+
+/// Every cluster a dendrogram ever forms, as its sorted leaf set plus the
+/// merge height and weight, sorted by leaf set. Order-free: equal outputs
+/// mean the two merge histories describe the exact same tree.
+fn leaf_sets(d: &Dendrogram) -> Vec<(Vec<usize>, f64, f64)> {
+    let mut sets: Vec<Vec<usize>> = (0..d.n).map(|i| vec![i]).collect();
+    let mut out = Vec::new();
+    for m in &d.merges {
+        let mut leaves = sets[m.a].clone();
+        leaves.extend_from_slice(&sets[m.b]);
+        leaves.sort_unstable();
+        out.push((leaves.clone(), m.height, m.size));
+        sets.push(leaves);
+    }
+    out.sort_by(|x, y| x.0.cmp(&y.0));
+    out
+}
+
+/// The shared oracle assertion (mirrors `assert_equivalent` in the unit
+/// tests of `decoy_analysis::ward`).
+fn assert_chain_matches_naive(vectors: &[TfVector], weights: &[f64]) -> Result<(), TestCaseError> {
+    let chain = ward_cluster(vectors, weights);
+    let naive = ward_cluster_naive(vectors, weights);
+    prop_assert_eq!(chain.n, naive.n);
+    prop_assert_eq!(chain.merges.len(), naive.merges.len());
+
+    // same tree: every cluster ever formed has the same leaf set
+    let (cs, ns) = (leaf_sets(&chain), leaf_sets(&naive));
+    for (c, v) in cs.iter().zip(&ns) {
+        prop_assert_eq!(&c.0, &v.0, "leaf sets diverge");
+        prop_assert!(
+            (c.1 - v.1).abs() <= tol(c.1),
+            "cluster height {} vs {}",
+            c.1,
+            v.1
+        );
+        prop_assert!((c.2 - v.2).abs() <= 1e-9, "cluster weight");
+    }
+    // identical merge-height multisets (sorted heights pairwise close)
+    let mut ch: Vec<f64> = chain.merges.iter().map(|m| m.height).collect();
+    let mut nh: Vec<f64> = naive.merges.iter().map(|m| m.height).collect();
+    ch.sort_by(f64::total_cmp);
+    nh.sort_by(f64::total_cmp);
+    for (c, v) in ch.iter().zip(&nh) {
+        prop_assert!((c - v).abs() <= tol(*c), "height multiset: {} vs {}", c, v);
+    }
+    // canonical heights are non-decreasing
+    for w in chain.merges.windows(2) {
+        prop_assert!(w[0].height <= w[1].height + 1e-12);
+    }
+
+    // identical partitions at thresholds between near-tie height classes
+    let mut cuts: Vec<f64> = vec![-1.0];
+    for w in chain.merges.windows(2) {
+        if w[1].height - w[0].height > tol(w[1].height) {
+            cuts.push((w[0].height + w[1].height) / 2.0);
+        }
+    }
+    if let Some(last) = chain.merges.last() {
+        cuts.push(last.height + 1.0);
+    }
+    for t in cuts {
+        prop_assert_eq!(chain.cut_at(t), naive.cut_at(t), "cut_at({})", t);
+    }
+    // identical partitions for every k whose boundary is decidable:
+    // outside any tie run, or inside an *exact* (bitwise) tie run
+    for k in 1..=chain.n {
+        let boundary = chain.n - k; // first merge NOT applied
+        let decidable = boundary == 0
+            || boundary >= chain.merges.len()
+            || chain.merges[boundary].height - chain.merges[boundary - 1].height
+                > tol(chain.merges[boundary].height)
+            || (chain.merges[boundary].height == naive.merges[boundary].height
+                && chain.merges[boundary - 1].height == naive.merges[boundary - 1].height);
+        if decidable {
+            prop_assert_eq!(chain.cut_into(k), naive.cut_into(k), "cut_into({})", k);
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Random short documents over a tiny term alphabet — the regime of the
+    /// real pipeline after masking, where duplicate documents and tied
+    /// distances arise constantly.
+    #[test]
+    fn chain_equals_naive_on_sparse_documents(
+        docs in proptest::collection::vec(
+            proptest::collection::vec(0u8..5, 1..5), // terms per document
+            2..24,
+        ),
+        weights in proptest::collection::vec(1u8..4, 24),
+    ) {
+        let mut vocab = Vocabulary::new();
+        let vectors: Vec<TfVector> = docs
+            .iter()
+            .map(|doc| {
+                let terms: Vec<String> = doc.iter().map(|t| format!("T{t}")).collect();
+                TfVector::from_terms(&terms, &mut vocab)
+            })
+            .collect();
+        let weights: Vec<f64> = weights[..vectors.len()].iter().map(|&w| w as f64).collect();
+        assert_chain_matches_naive(&vectors, &weights)?;
+    }
+
+    /// Coarse-grid coordinates force exact ties in the *initial*
+    /// dissimilarity matrix, not just at duplicate height zero.
+    #[test]
+    fn chain_equals_naive_on_grid_points(
+        points in proptest::collection::vec(
+            proptest::collection::vec(0u8..4, 1..4), // quantized coordinates
+            2..20,
+        ),
+        weights in proptest::collection::vec(1u8..3, 20),
+    ) {
+        let vectors: Vec<TfVector> = points
+            .iter()
+            .map(|p| {
+                TfVector::from_dense(p.iter().map(|&q| q as f64 * 0.25).collect(), 1)
+            })
+            .collect();
+        let weights: Vec<f64> = weights[..vectors.len()].iter().map(|&w| w as f64).collect();
+        assert_chain_matches_naive(&vectors, &weights)?;
+    }
+
+    /// Continuous random coordinates: no exact ties, so the full
+    /// partition comparison applies at almost every threshold.
+    #[test]
+    fn chain_equals_naive_on_continuous_points(
+        points in proptest::collection::vec(
+            proptest::collection::vec(0.0f64..1.0, 2),
+            2..20,
+        ),
+        weights in proptest::collection::vec(1.0f64..4.0, 20),
+    ) {
+        let vectors: Vec<TfVector> = points
+            .iter()
+            .map(|p| TfVector::from_dense(p.clone(), 1))
+            .collect();
+        let weights: Vec<f64> = weights[..vectors.len()].to_vec();
+        assert_chain_matches_naive(&vectors, &weights)?;
+    }
+
+    /// Duplicate-heavy inputs: every point is drawn from at most three
+    /// distinct locations, so zero-height exact-tie merges dominate.
+    #[test]
+    fn chain_equals_naive_on_duplicated_points(
+        picks in proptest::collection::vec(0u8..3, 2..24),
+        weights in proptest::collection::vec(1u8..5, 24),
+    ) {
+        let sites = [[0.0, 0.0], [1.0, 0.5], [0.25, 2.0]];
+        let vectors: Vec<TfVector> = picks
+            .iter()
+            .map(|&s| TfVector::from_dense(sites[s as usize].to_vec(), 1))
+            .collect();
+        let weights: Vec<f64> = weights[..vectors.len()].iter().map(|&w| w as f64).collect();
+        assert_chain_matches_naive(&vectors, &weights)?;
+    }
+}

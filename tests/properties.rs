@@ -241,13 +241,13 @@ proptest! {
         use decoy_databases::analysis::tf::{TfVector, Vocabulary};
         let mut vocab = Vocabulary::new();
         let v = TfVector::from_terms(&terms, &mut vocab);
-        let sum: f64 = v.values.iter().sum();
+        let sum: f64 = v.nonzero().map(|(_, x)| x).sum();
         if terms.is_empty() {
             prop_assert_eq!(sum, 0.0);
         } else {
             prop_assert!((sum - 1.0).abs() < 1e-9, "tf sums to 1, got {}", sum);
         }
-        prop_assert!(v.values.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        prop_assert!(v.nonzero().all(|(_, x)| (0.0..=1.0).contains(&x)));
     }
 
     #[test]
@@ -334,7 +334,7 @@ proptest! {
         use decoy_databases::analysis::tf::TfVector;
         let vectors: Vec<TfVector> = points
             .into_iter()
-            .map(|values| TfVector { values, total_terms: 1 })
+            .map(|values| TfVector::from_dense(values, 1))
             .collect();
         let weights = vec![1.0; vectors.len()];
         let d = ward_cluster(&vectors, &weights);
