@@ -1,0 +1,131 @@
+//! Durable journal ingest and replay throughput vs the JSON-lines dataset
+//! path, across event counts spanning three orders of magnitude. Four
+//! measurements per size:
+//!
+//! * `journal_write` — append through a [`JournalWriter`] (group commit,
+//!   fsync disabled so the numbers measure the encoding + buffered-write
+//!   path, not the disk)
+//! * `journal_replay` — decode the same segments back with
+//!   [`recover_events`]
+//! * `json_export` — `EventStore::to_json_lines`, the pre-journal
+//!   persistence baseline
+//! * `json_import` — `EventStore::from_json_lines` on that output
+//!
+//! Results are recorded in `BENCH_journal.json` at the repo root.
+//!
+//! Run: `cargo bench -p decoy-bench --bench journal_ingest`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decoy_bench::BENCH_SEED;
+use decoy_store::journal::encode::encode_segment;
+use decoy_store::journal::JournalConfig;
+use decoy_store::{
+    recover_events, ConfigVariant, Dbms, Event, EventKind, EventStore, HoneypotId,
+    InteractionLevel, JournalWriter,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::net::{IpAddr, Ipv4Addr};
+
+/// Synthetic capture shaped like the real log mix: mostly connects and
+/// commands, a sprinkling of logins, payloads, and malformed input.
+fn synthetic_events(n: usize) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let dbms = [Dbms::Redis, Dbms::MySql, Dbms::Postgres, Dbms::MongoDb];
+    (0..n)
+        .map(|i| {
+            let kind = match rng.gen_range(0..10) {
+                0..=2 => EventKind::Connect,
+                3..=4 => EventKind::Disconnect,
+                5..=7 => EventKind::Command {
+                    action: format!("ACTION_{}", rng.gen_range(0..48)),
+                    raw: format!("command body {i} with arguments"),
+                },
+                8 => EventKind::LoginAttempt {
+                    username: "root".into(),
+                    password: format!("pw{}", rng.gen_range(0..1000)),
+                    success: false,
+                },
+                _ => EventKind::Payload {
+                    len: rng.gen_range(16..512),
+                    recognized: None,
+                    preview: "\\x03\\x00\\x00\\x13".into(),
+                },
+            };
+            Event {
+                ts: decoy_net::time::EXPERIMENT_START.add_millis(i as u64),
+                honeypot: HoneypotId::new(
+                    dbms[i % dbms.len()],
+                    InteractionLevel::Medium,
+                    ConfigVariant::Default,
+                    0,
+                ),
+                src: IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>())),
+                session: (i / 8) as u64,
+                kind,
+            }
+        })
+        .collect()
+}
+
+/// Fresh temp dir per write iteration so rotation starts from segment 0.
+fn temp_dir(tag: &str, n: usize) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "decoy-bench-journal-{}-{tag}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journal_ingest");
+    group.sample_size(10);
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let events = synthetic_events(n);
+        group.throughput(Throughput::Elements(n as u64));
+
+        group.bench_with_input(BenchmarkId::new("journal_write", n), &n, |b, _| {
+            b.iter(|| {
+                let dir = temp_dir("write", n);
+                let cfg = JournalConfig {
+                    fsync: false,
+                    ..JournalConfig::spool(&dir)
+                };
+                let writer = JournalWriter::open(cfg).expect("open journal");
+                for e in &events {
+                    writer.append(e);
+                }
+                let stats = writer.close().expect("close journal");
+                let _ = std::fs::remove_dir_all(&dir);
+                black_box(stats)
+            })
+        });
+
+        // one in-memory segmentation of the same stream, decoded repeatedly
+        let segments: Vec<Vec<u8>> = events
+            .chunks(65_536)
+            .enumerate()
+            .map(|(i, chunk)| encode_segment((i * 65_536) as u64, chunk))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("journal_replay", n), &n, |b, _| {
+            b.iter(|| black_box(recover_events(segments.clone())))
+        });
+
+        let store = EventStore::new();
+        store.log_many(events.iter().cloned());
+        group.bench_with_input(BenchmarkId::new("json_export", n), &n, |b, _| {
+            b.iter(|| black_box(store.to_json_lines()))
+        });
+
+        let text = store.to_json_lines();
+        group.bench_with_input(BenchmarkId::new("json_import", n), &n, |b, _| {
+            b.iter(|| black_box(EventStore::from_json_lines(&text).expect("import")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -129,6 +129,22 @@ impl Report {
         Report { sections }
     }
 
+    /// Build every artifact from a spooled journal directory instead of a
+    /// live run: the store is recovered through the journal's total replay
+    /// path (torn tails truncated, corruption surfaced in the returned
+    /// [`decoy_store::RecoveryStats`], never a panic) and the rest of the
+    /// result is reconstructed deterministically from `config`. On a
+    /// fault-free journal of a run with the same config, the rendered
+    /// report is byte-identical to the one the original process would have
+    /// produced.
+    pub fn from_journal(
+        config: crate::runner::ExperimentConfig,
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<(Report, decoy_store::RecoveryStats)> {
+        let (result, stats) = ExperimentResult::recover(config, dir)?;
+        Ok((Report::generate(&result), stats))
+    }
+
     /// The pre-frame generation path: every section re-scans the store
     /// through cloning indexes and per-event geo lookups. Kept as the
     /// reference implementation; must render byte-identically to

@@ -20,8 +20,10 @@ use decoy_net::chaos::FaultPlan;
 use decoy_net::server::ListenerOptions;
 use decoy_net::supervisor::{FleetHealth, Supervisor, SupervisorOptions};
 use decoy_net::time::{Clock, SimClock, Timestamp, EXPERIMENT_START};
-use decoy_store::{EventKind, EventStore};
+use decoy_store::journal::{JournalConfig, JournalWriter};
+use decoy_store::{EventKind, EventStore, RecoveryStats};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Execution mode.
@@ -51,6 +53,10 @@ pub struct ExperimentConfig {
     pub extensions: bool,
     /// Seeded fault-injection plan (network mode only); `None` runs clean.
     pub faults: Option<FaultPlan>,
+    /// Spool mode: when set, every event is also appended to a durable
+    /// segmented journal in this directory (see `decoy_store::journal`), so
+    /// a crashed run can be recovered with [`ExperimentResult::recover`].
+    pub persist: Option<PathBuf>,
 }
 
 impl ExperimentConfig {
@@ -64,6 +70,7 @@ impl ExperimentConfig {
             concurrency: 64,
             extensions: false,
             faults: None,
+            persist: None,
         }
     }
 
@@ -73,6 +80,12 @@ impl ExperimentConfig {
             mode: Mode::Direct,
             ..Self::network(seed, scale)
         }
+    }
+
+    /// Enable spool mode: journal every event into `dir`.
+    pub fn persist_to(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persist = Some(dir.into());
+        self
     }
 }
 
@@ -96,12 +109,52 @@ pub struct ExperimentResult {
     pub config: ExperimentConfig,
 }
 
+impl ExperimentResult {
+    /// Rebuild a result from a spooled journal directory, without re-running
+    /// the experiment: the store is replayed through the journal's total
+    /// recovery path (indexes rebuilt through the normal append path, order
+    /// preserved), and the geo database and deployment plan — both pure
+    /// functions of `config` — are reconstructed deterministically. Session
+    /// and connection counters are not journaled and come back as zero;
+    /// every analysis and report section depends only on the store, so a
+    /// report generated from a fault-free recovered result is byte-identical
+    /// to one from the original run.
+    pub fn recover(
+        config: ExperimentConfig,
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<(ExperimentResult, RecoveryStats)> {
+        let (store, stats) = decoy_store::recover_store(dir)?;
+        let plan =
+            DeploymentPlan::scaled_with(config.seed, config.deployment_scale, config.extensions);
+        Ok((
+            ExperimentResult {
+                store,
+                geo: GeoDb::builtin(),
+                plan,
+                sessions: 0,
+                connections: 0,
+                errors: 0,
+                fleet: None,
+                config,
+            },
+            stats,
+        ))
+    }
+}
+
 /// Run the experiment described by `config`.
 pub async fn run(config: ExperimentConfig) -> std::io::Result<ExperimentResult> {
     let geo = GeoDb::builtin();
     let store = EventStore::new();
     let sim = SimClock::at_experiment_start();
     let clock = Clock::Sim(sim.clone());
+
+    if let Some(dir) = &config.persist {
+        // Spool: mirror every surviving append into the durable journal,
+        // batched on the experiment's virtual clock.
+        let journal = JournalWriter::open(JournalConfig::spool(dir).with_clock(clock.clone()))?;
+        store.with_journal(journal);
+    }
 
     let mut plan =
         DeploymentPlan::scaled_with(config.seed, config.deployment_scale, config.extensions);
@@ -160,6 +213,11 @@ pub async fn run(config: ExperimentConfig) -> std::io::Result<ExperimentResult> 
             (connections, errors, None)
         }
     };
+
+    // Durability barrier: when run() returns, a spooled journal holds every
+    // event on disk, so even a caller that exits without dropping the store
+    // (a crash, in the dataset_analysis example) loses nothing.
+    store.journal_sync()?;
 
     Ok(ExperimentResult {
         store,
@@ -314,6 +372,24 @@ mod tests {
         assert!(!couch.is_empty(), "no CouchDB events with extensions on");
         let base = run(ExperimentConfig::direct(31, 0.02)).await.unwrap();
         assert!(base.store.by_dbms(decoy_store::Dbms::CouchDb).is_empty());
+    }
+
+    #[tokio::test]
+    async fn spooled_run_recovers_identical_events() {
+        let dir = std::env::temp_dir().join(format!("decoy-spool-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ExperimentConfig::direct(5, 0.005).persist_to(&dir);
+        let live = run(config.clone()).await.unwrap();
+        live.store.close_journal().unwrap();
+
+        let (recovered, stats) = ExperimentResult::recover(config, &dir).unwrap();
+        assert!(stats.is_clean(), "{}", stats.summary());
+        assert_eq!(stats.records_kept as usize, live.store.len());
+        assert!(
+            recovered.store.events_eq(&live.store),
+            "journal replay diverged from the live store"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[tokio::test]

@@ -100,16 +100,61 @@ impl Mutator {
         let mut input = seed.clone();
         let rounds = 1 + self.rng.below(4);
         for _ in 0..rounds {
-            match self.rng.below(6) {
-                0 => self.bit_flip(&mut input),
-                1 => self.byte_set(&mut input),
-                2 => self.truncate(&mut input),
-                3 => self.extend(&mut input),
-                4 => self.splice(&mut input, seeds),
-                _ => self.length_tamper(&mut input),
-            }
+            self.mutate_once(&mut input, seeds);
         }
         input
+    }
+
+    /// Apply one randomly chosen byte-level mutation in place.
+    fn mutate_once(&mut self, input: &mut Vec<u8>, seeds: &[Vec<u8>]) {
+        match self.rng.below(6) {
+            0 => self.bit_flip(input),
+            1 => self.byte_set(input),
+            2 => self.truncate(input),
+            3 => self.extend(input),
+            4 => self.splice(input, seeds),
+            _ => self.length_tamper(input),
+        }
+    }
+
+    /// Produce a corrupted variant of an encoded journal — a list of
+    /// segment byte buffers in replay order. On top of the byte-level set
+    /// (bit flips, truncations, splices, length tampering inside one
+    /// segment), journals get whole-segment faults: a dropped segment, a
+    /// duplicated segment, and a reordered pair — the shapes a sick
+    /// filesystem or a botched copy produces. The recovery property under
+    /// test: replay yields a prefix of the original events, never a panic.
+    pub fn mutate_journal(&mut self, segments: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let mut out: Vec<Vec<u8>> = segments.to_vec();
+        let rounds = 1 + self.rng.below(3);
+        for _ in 0..rounds {
+            if out.is_empty() {
+                break;
+            }
+            match self.rng.below(10) {
+                0 => {
+                    out.remove(self.rng.below(out.len()));
+                }
+                1 => {
+                    let i = self.rng.below(out.len());
+                    if let Some(seg) = out.get(i).cloned() {
+                        out.insert(i, seg);
+                    }
+                }
+                2 => {
+                    let i = self.rng.below(out.len());
+                    let j = self.rng.below(out.len());
+                    out.swap(i, j);
+                }
+                _ => {
+                    let i = self.rng.below(out.len());
+                    if let Some(seg) = out.get_mut(i) {
+                        self.mutate_once(seg, segments);
+                    }
+                }
+            }
+        }
+        out
     }
 
     fn bit_flip(&mut self, input: &mut [u8]) {
@@ -265,6 +310,26 @@ mod tests {
     fn empty_seed_list_yields_empty_input() {
         let mut m = Mutator::new(5);
         assert!(m.mutate(&[]).is_empty());
+        assert!(m.mutate_journal(&[]).is_empty());
+    }
+
+    #[test]
+    fn journal_mutations_are_deterministic_and_varied() {
+        let segments = vec![vec![0x11u8; 40], vec![0x22u8; 40], vec![0x33u8; 40]];
+        let mut a = Mutator::new(77);
+        let mut b = Mutator::new(77);
+        for _ in 0..100 {
+            assert_eq!(a.mutate_journal(&segments), b.mutate_journal(&segments));
+        }
+        let mut m = Mutator::new(78);
+        let outputs: Vec<Vec<Vec<u8>>> = (0..100).map(|_| m.mutate_journal(&segments)).collect();
+        let distinct: std::collections::HashSet<_> = outputs.iter().collect();
+        assert!(distinct.len() > 20, "journal mutations look degenerate");
+        // whole-segment ops fire: some variant changes the segment count
+        assert!(
+            outputs.iter().any(|o| o.len() != segments.len()),
+            "no drop/duplicate mutation observed in 100 rounds"
+        );
     }
 
     #[test]

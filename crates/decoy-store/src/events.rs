@@ -224,6 +224,10 @@ pub struct EventStore {
     fault_hook: RwLock<Option<FaultHook>>,
     /// Appends dropped by the fault hook.
     dropped: AtomicU64,
+    /// Durable journal writer, when spooling is enabled (see
+    /// [`EventStore::with_journal`]). Kept here so the store owns the
+    /// writer's lifetime: dropping the store flushes and joins the writer.
+    journal: RwLock<Option<crate::journal::JournalWriter>>,
 }
 
 /// Wrapper so the hook can live inside a `Debug` store.
@@ -241,12 +245,22 @@ struct Inner {
     by_src: HashMap<IpAddr, Vec<usize>>,
     by_dbms: HashMap<Dbms, Vec<usize>>,
     by_session: HashMap<(HoneypotId, SessionKey), Vec<usize>>,
+    /// Journal mirror, when spooling is enabled. Living inside `Inner`
+    /// means the mirror happens under the same write lock as the append,
+    /// so the journal sees events in exactly the store's order.
+    sink: Option<crate::journal::JournalSink>,
 }
 
 impl Inner {
     /// Append one event under the held write lock, maintaining every
-    /// secondary index. The single place indexes are updated.
+    /// secondary index and mirroring to the journal sink when spooling.
+    /// The single place indexes are updated — the fault hook has already
+    /// run by the time an event gets here, so a dropped append is dropped
+    /// from the journal too.
     fn append_locked(&mut self, event: Event) {
+        if let Some(sink) = &self.sink {
+            sink.send(&event);
+        }
         let idx = self.events.len();
         self.by_src.entry(event.src).or_default().push(idx);
         self.by_dbms
@@ -309,6 +323,37 @@ impl EventStore {
                 true
             }
             _ => false,
+        }
+    }
+
+    /// Attach a durable journal: every event that survives the fault hook
+    /// is mirrored to `writer` from inside `append_locked`, under the same
+    /// write lock as the in-memory append, so the on-disk order is exactly
+    /// the store order. The store takes ownership of the writer; call
+    /// [`EventStore::close_journal`] (or drop the store) to flush and
+    /// fsync, and [`EventStore::journal_sync`] for an explicit barrier.
+    pub fn with_journal(&self, writer: crate::journal::JournalWriter) {
+        self.inner.write().sink = writer.sink();
+        *self.journal.write() = Some(writer);
+    }
+
+    /// Block until every event logged so far is on disk (no-op without an
+    /// attached journal).
+    pub fn journal_sync(&self) -> std::io::Result<()> {
+        match self.journal.read().as_ref() {
+            Some(writer) => writer.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Detach and shut down the journal, returning its final counters
+    /// (`Ok(None)` when no journal was attached).
+    pub fn close_journal(&self) -> std::io::Result<Option<crate::journal::WriterStats>> {
+        self.inner.write().sink = None;
+        let writer = self.journal.write().take();
+        match writer {
+            Some(writer) => writer.close().map(Some),
+            None => Ok(None),
         }
     }
 

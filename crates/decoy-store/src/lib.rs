@@ -14,13 +14,21 @@
 //! * [`docdb`] — a miniature MongoDB engine (databases → collections →
 //!   BSON documents) that gives the high-interaction honeypot a *real*
 //!   database to steal from and ransom, per §6.3.
+//! * [`journal`] — a durable, segmented, append-only binary journal with
+//!   crash recovery and streaming replay, so a run (and its evidence) can
+//!   outlive the process that captured it.
 
 pub mod docdb;
 pub mod events;
+pub mod journal;
 pub mod kv;
 pub mod mask;
 
 pub use events::{
     ConfigVariant, Dbms, Event, EventKind, EventStore, HoneypotId, InteractionLevel, SessionKey,
+};
+pub use journal::{
+    recover_events, recover_store, JournalConfig, JournalError, JournalErrorKind, JournalReader,
+    JournalWriter, RecoveryStats, WriterStats,
 };
 pub use mask::normalize_action;

@@ -25,7 +25,7 @@ use std::process::ExitCode;
 const ENFORCED_PREFIXES: [&str; 2] = ["crates/decoy-wire/src/", "crates/decoy-honeypots/src/"];
 
 /// Individually enforced files outside the blanket prefixes.
-const ENFORCED_FILES: [&str; 10] = [
+const ENFORCED_FILES: [&str; 11] = [
     "crates/decoy-net/src/codec.rs",
     "crates/decoy-net/src/cursor.rs",
     "crates/decoy-net/src/framed.rs",
@@ -36,6 +36,8 @@ const ENFORCED_FILES: [&str; 10] = [
     "crates/decoy-net/src/supervisor.rs",
     "crates/decoy-net/src/chaos.rs",
     "crates/decoy-store/src/events.rs",
+    // the journal's recovery path parses potentially corrupt on-disk bytes
+    "crates/decoy-store/src/journal/decode.rs",
 ];
 
 /// True when the full rule set applies to `rel` (workspace-relative, `/`
@@ -243,6 +245,9 @@ mod tests {
         assert!(is_enforced("crates/decoy-net/src/supervisor.rs"));
         assert!(is_enforced("crates/decoy-net/src/chaos.rs"));
         assert!(is_enforced("crates/decoy-store/src/events.rs"));
+        assert!(is_enforced("crates/decoy-store/src/journal/decode.rs"));
+        // the journal write path never parses untrusted bytes
+        assert!(!is_enforced("crates/decoy-store/src/journal/encode.rs"));
         // analysis/reporting code is out of scope
         assert!(!is_enforced("crates/decoy-analysis/src/lib.rs"));
         assert!(!is_enforced("crates/decoy-net/src/time.rs"));

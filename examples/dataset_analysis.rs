@@ -1,24 +1,112 @@
 //! Analyze a previously captured dataset — the consumer side of the paper's
-//! public-dataset release (Appendix B).
+//! public-dataset release (Appendix B) — and demonstrate the durable
+//! journal's crash → recover → identical-report property.
 //!
-//! Run: `cargo run --release --example dataset_analysis [dataset.jsonl]`
+//! Modes (diagnostics go to stderr; only report/analysis text is printed to
+//! stdout, so outputs can be compared with `cmp`):
 //!
-//! Without an argument, a small demonstration dataset is generated first
-//! (the same JSON-lines format `live_fleet` exports). The example then runs
-//! the full pipeline over it: enrichment, classification, clustering,
-//! campaign tagging, and a cluster inventory for manual review.
+//! * `cargo run --release --example dataset_analysis [dataset.jsonl]` —
+//!   JSON-lines pipeline demo: enrichment, classification, clustering,
+//!   campaign tagging over a provided or generated capture.
+//! * `--report` — run the demonstration capture uninterrupted and print the
+//!   full report to stdout (the reference output).
+//! * `--spool DIR [--crash]` — run the same capture spooling every event
+//!   into a journal at `DIR`; with `--crash`, exit the process immediately
+//!   after the run without closing the journal (destructors skipped), the
+//!   way a real crash would.
+//! * `--replay DIR` — recover the journal at `DIR` (torn tails truncated,
+//!   corruption reported, never a panic) and print the report built from
+//!   the replayed events. After a fault-free spool, this output is
+//!   byte-identical to `--report`.
 
 use decoy_databases::analysis::classify::{classify_sources, ClassCounts};
 use decoy_databases::analysis::cluster::cluster_sources;
 use decoy_databases::analysis::tagging::tag_sources;
+use decoy_databases::core::report::Report;
 use decoy_databases::core::runner::{run, ExperimentConfig};
 use decoy_databases::geo::GeoDb;
 use decoy_databases::store::{Dbms, EventStore};
 use std::collections::BTreeMap;
 
+/// Fixed parameters so `--report`, `--spool`, and `--replay` all describe
+/// the same deterministic run.
+const DEMO_SEED: u64 = 7;
+const DEMO_SCALE: f64 = 0.01;
+
+fn demo_config() -> ExperimentConfig {
+    ExperimentConfig::direct(DEMO_SEED, DEMO_SCALE)
+}
+
+fn usage_err(msg: &str) -> std::io::Error {
+    std::io::Error::other(format!(
+        "{msg}\nusage: dataset_analysis [dataset.jsonl | --report | --spool DIR [--crash] | --replay DIR]"
+    ))
+}
+
 #[tokio::main]
 async fn main() -> std::io::Result<()> {
-    let path = std::env::args().nth(1);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--report") => report_mode().await,
+        Some("--spool") => spool_mode(&args).await,
+        Some("--replay") => replay_mode(&args),
+        _ => json_demo(args.first().cloned()).await,
+    }
+}
+
+/// The uninterrupted reference: run and print the report.
+async fn report_mode() -> std::io::Result<()> {
+    eprintln!(
+        "running the demonstration capture uninterrupted (seed {DEMO_SEED}, scale {DEMO_SCALE})"
+    );
+    let result = run(demo_config()).await?;
+    print!("{}", Report::generate(&result).render_text());
+    Ok(())
+}
+
+/// Spool the run into a journal; optionally die without cleanup.
+async fn spool_mode(args: &[String]) -> std::io::Result<()> {
+    let dir = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| usage_err("--spool needs a journal directory"))?;
+    let crash = args.iter().any(|a| a == "--crash");
+    eprintln!("spooling the demonstration capture into {dir}");
+    let result = run(demo_config().persist_to(dir)).await?;
+    eprintln!("spooled {} events", result.store.len());
+    if crash {
+        // A real crash: no close, no drop, no final flush beyond the
+        // durability barrier run() already performed. Recovery must cope.
+        eprintln!("simulating a crash: exiting without closing the journal");
+        std::process::exit(0);
+    }
+    let stats = result.store.close_journal()?;
+    if let Some(stats) = stats {
+        eprintln!(
+            "journal closed cleanly: {} records, {} rotations",
+            stats.records, stats.rotations
+        );
+    }
+    Ok(())
+}
+
+/// Recover a journal directory and print the report it yields.
+fn replay_mode(args: &[String]) -> std::io::Result<()> {
+    let dir = args
+        .get(1)
+        .ok_or_else(|| usage_err("--replay needs a journal directory"))?;
+    eprintln!("recovering journal at {dir}");
+    let (report, stats) = Report::from_journal(demo_config(), dir)?;
+    eprintln!("recovery: {}", stats.summary());
+    if stats.error.is_some() {
+        eprintln!("warning: journal was corrupt; the report covers the recovered prefix only");
+    }
+    print!("{}", report.render_text());
+    Ok(())
+}
+
+/// The original JSON-lines pipeline demo.
+async fn json_demo(path: Option<String>) -> std::io::Result<()> {
     let text = match &path {
         Some(p) => {
             eprintln!("loading dataset from {p}");

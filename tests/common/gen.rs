@@ -1,0 +1,127 @@
+//! Proptest strategies for arbitrary [`Event`]s, shared by the round-trip
+//! and recovery suites.
+//!
+//! Unlike the narrower generator in `frame_properties.rs` (tuned to make
+//! aggregate collisions likely), this one is built for *serialization*
+//! properties: it covers every enum variant the store can log — all seven
+//! DBMS families, all three interaction levels, all five config variants,
+//! every `EventKind` including fleet `Health` telemetry — plus IPv6
+//! sources, empty strings, and non-ASCII text, so an encoding that forgets
+//! a branch or mishandles a length cannot pass.
+
+use decoy_databases::net::supervisor::HealthState;
+use decoy_databases::net::time::Timestamp;
+use decoy_databases::store::{ConfigVariant, Dbms, Event, EventKind, HoneypotId, InteractionLevel};
+use proptest::prelude::*;
+use std::net::IpAddr;
+
+pub fn arb_dbms() -> impl Strategy<Value = Dbms> {
+    prop_oneof![
+        Just(Dbms::MySql),
+        Just(Dbms::Postgres),
+        Just(Dbms::Redis),
+        Just(Dbms::Mssql),
+        Just(Dbms::Elastic),
+        Just(Dbms::MongoDb),
+        Just(Dbms::CouchDb),
+    ]
+}
+
+pub fn arb_level() -> impl Strategy<Value = InteractionLevel> {
+    prop_oneof![
+        Just(InteractionLevel::Low),
+        Just(InteractionLevel::Medium),
+        Just(InteractionLevel::High),
+    ]
+}
+
+pub fn arb_config() -> impl Strategy<Value = ConfigVariant> {
+    prop_oneof![
+        Just(ConfigVariant::Default),
+        Just(ConfigVariant::FakeData),
+        Just(ConfigVariant::LoginDisabled),
+        Just(ConfigVariant::MultiService),
+        Just(ConfigVariant::SingleService),
+    ]
+}
+
+pub fn arb_health_state() -> impl Strategy<Value = HealthState> {
+    prop_oneof![
+        Just(HealthState::Healthy),
+        Just(HealthState::Degraded),
+        Just(HealthState::Down),
+    ]
+}
+
+/// Text as attackers actually send it: possibly empty, possibly non-ASCII
+/// (UTF-8 lengths differ from char counts — a classic varint-length bug).
+fn arb_text() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        "[ -~]{1,24}",
+        "[\\x20-\\x7e\u{00e9}\u{4e2d}\u{1f600}]{1,12}",
+    ]
+}
+
+pub fn arb_kind() -> impl Strategy<Value = EventKind> {
+    prop_oneof![
+        Just(EventKind::Connect),
+        Just(EventKind::Disconnect),
+        (arb_text(), arb_text(), any::<bool>()).prop_map(|(username, password, success)| {
+            EventKind::LoginAttempt {
+                username,
+                password,
+                success,
+            }
+        }),
+        (arb_text(), arb_text()).prop_map(|(action, raw)| EventKind::Command { action, raw }),
+        (
+            proptest::num::usize::ANY,
+            proptest::option::of(arb_text()),
+            arb_text()
+        )
+            .prop_map(|(len, recognized, preview)| EventKind::Payload {
+                len,
+                recognized,
+                preview,
+            }),
+        arb_text().prop_map(|detail| EventKind::Malformed { detail }),
+        (arb_health_state(), any::<u32>(), arb_text()).prop_map(|(state, restarts, detail)| {
+            EventKind::Health {
+                state,
+                restarts,
+                detail,
+            }
+        }),
+    ]
+}
+
+/// Either address family; the journal's ip tag must round-trip both.
+pub fn arb_ip() -> impl Strategy<Value = IpAddr> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(IpAddr::from),
+        any::<[u8; 16]>().prop_map(IpAddr::from),
+    ]
+}
+
+pub fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        any::<u64>().prop_map(|ms| ms % (1u64 << 50)),
+        arb_dbms(),
+        arb_level(),
+        arb_config(),
+        any::<u16>(),
+        arb_ip(),
+        any::<u64>(),
+        arb_kind(),
+    )
+        .prop_map(
+            |(ms, dbms, level, config, instance, src, session, kind)| Event {
+                ts: Timestamp::from_millis(ms),
+                honeypot: HoneypotId::new(dbms, level, config, instance),
+                src,
+                session,
+                kind,
+            },
+        )
+}

@@ -5,6 +5,8 @@
 use decoy_databases::store::EventStore;
 use std::time::{Duration, Instant};
 
+pub mod gen;
+
 /// Poll `pred` over the store until it holds or `deadline` elapses.
 ///
 /// Events land asynchronously: a client's `connect()` returns on SYN-ACK,
