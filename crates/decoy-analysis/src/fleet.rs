@@ -9,7 +9,7 @@
 //! byte-identical to pre-supervisor output.
 
 use decoy_net::supervisor::HealthState;
-use decoy_store::{EventKind, EventStore, HoneypotId};
+use decoy_store::{Event, EventKind, EventStore, HoneypotId};
 use std::collections::BTreeMap;
 
 /// Uptime summary for one supervised listener.
@@ -35,36 +35,51 @@ pub struct ListenerUptime {
 /// ordered by [`HoneypotId`]. Empty when the run logged no health telemetry.
 pub fn fleet_uptime(store: &EventStore) -> Vec<ListenerUptime> {
     let mut rows: BTreeMap<HoneypotId, ListenerUptime> = BTreeMap::new();
-    store.fold((), |(), event| {
-        if let EventKind::Health {
-            state,
-            restarts,
-            detail,
-        } = &event.kind
-        {
-            let row = rows
-                .entry(event.honeypot)
-                .or_insert_with(|| ListenerUptime {
-                    honeypot: event.honeypot,
-                    transitions: 0,
-                    degraded: 0,
-                    down: 0,
-                    restarts: 0,
-                    final_state: *state,
-                    final_detail: detail.clone(),
-                });
-            row.transitions += 1;
-            match state {
-                HealthState::Healthy => {}
-                HealthState::Degraded => row.degraded += 1,
-                HealthState::Down => row.down += 1,
-            }
-            row.restarts = row.restarts.max(*restarts);
-            row.final_state = *state;
-            row.final_detail = detail.clone();
-        }
-    });
+    store.fold((), |(), event| fold_health(&mut rows, event));
     rows.into_values().collect()
+}
+
+/// [`fleet_uptime`] over a borrowed event slice — the streaming-frame path,
+/// which renders the fleet section from
+/// [`AnalysisFrame::health_events`](crate::frame::AnalysisFrame::health_events)
+/// without materializing an [`EventStore`]. Non-health events are ignored.
+pub fn fleet_uptime_events<'a>(events: impl IntoIterator<Item = &'a Event>) -> Vec<ListenerUptime> {
+    let mut rows: BTreeMap<HoneypotId, ListenerUptime> = BTreeMap::new();
+    for event in events {
+        fold_health(&mut rows, event);
+    }
+    rows.into_values().collect()
+}
+
+/// Fold one event (health or otherwise) into the per-listener row map.
+fn fold_health(rows: &mut BTreeMap<HoneypotId, ListenerUptime>, event: &Event) {
+    if let EventKind::Health {
+        state,
+        restarts,
+        detail,
+    } = &event.kind
+    {
+        let row = rows
+            .entry(event.honeypot)
+            .or_insert_with(|| ListenerUptime {
+                honeypot: event.honeypot,
+                transitions: 0,
+                degraded: 0,
+                down: 0,
+                restarts: 0,
+                final_state: *state,
+                final_detail: detail.clone(),
+            });
+        row.transitions += 1;
+        match state {
+            HealthState::Healthy => {}
+            HealthState::Degraded => row.degraded += 1,
+            HealthState::Down => row.down += 1,
+        }
+        row.restarts = row.restarts.max(*restarts);
+        row.final_state = *state;
+        row.final_detail = detail.clone();
+    }
 }
 
 /// Totals across the whole fleet table.
@@ -151,6 +166,8 @@ mod tests {
         store.log(health(b, HealthState::Down, 3, "crash loop"));
 
         let rows = fleet_uptime(&store);
+        // the slice-based fold (streaming path) agrees with the store fold
+        assert_eq!(store.read(|events| fleet_uptime_events(events)), rows);
         assert_eq!(rows.len(), 2);
         // BTreeMap order: MySql sorts before Redis in the Dbms enum.
         assert_eq!(rows[0].honeypot, b);

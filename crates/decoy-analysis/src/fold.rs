@@ -1,0 +1,416 @@
+//! Incrementally foldable analysis frames.
+//!
+//! The batch pipeline builds one [`AnalysisFrame`] after the run ends; a
+//! live multi-week capture (ROADMAP north star) cannot afford that. A
+//! [`PartialFrame`] is a self-contained fold over *any* contiguous slice of
+//! the event log — it owns its [`Interner`], session index, geo memo, and
+//! per-partition counters — and two partials combine with
+//! [`PartialFrame::merge`], an associative operator that is insensitive to
+//! the order segments arrive in. [`PartialFrame::seal`] then produces an
+//! [`AnalysisFrame`] identical to what [`AnalysisFrame::build`] would have
+//! computed over the concatenated events, so every report section works
+//! unchanged over a streamed frame.
+//!
+//! Positioning is keyed by the journal's global sequence numbers: a partial
+//! started with [`PartialFrame::new`]`(seq)` covers `[seq, seq + span)`.
+//! Merge coalesces adjacent runs, deduplicates replicas of the same
+//! segment (same start, same length — the shard-join case where two nodes
+//! hold copies of one segment file), and keeps disjoint runs apart so gaps
+//! remain visible through [`PartialFrame::run_ranges`].
+
+use crate::frame::{AnalysisFrame, FrameEvent, FrameKind, Interner};
+use decoy_geo::{GeoEnricher, IpMeta};
+use decoy_store::{Event, EventKind, HoneypotId, InteractionLevel, SessionKey};
+use std::collections::HashMap;
+use std::net::IpAddr;
+use std::sync::Arc;
+
+/// One contiguous folded run of events, starting at a global sequence
+/// number. Index vectors (`low`, `med_high`, session postings) are relative
+/// to `events`; splicing two adjacent runs only requires offsetting the
+/// later run's indices by the earlier run's length.
+#[derive(Debug, Clone, PartialEq)]
+struct Run {
+    /// Global sequence number of the first record folded into this run.
+    start: u64,
+    /// Number of input records consumed (health telemetry included), i.e.
+    /// the run covers sequences `[start, start + span)`.
+    span: u64,
+    events: Vec<FrameEvent>,
+    low: Vec<usize>,
+    med_high: Vec<usize>,
+    sessions: HashMap<(HoneypotId, SessionKey), Vec<usize>>,
+    health: Vec<Event>,
+}
+
+impl Run {
+    /// An empty run positioned at `start`.
+    fn at(start: u64) -> Self {
+        Run {
+            start,
+            span: 0,
+            events: Vec::new(),
+            low: Vec::new(),
+            med_high: Vec::new(),
+            sessions: HashMap::new(),
+            health: Vec::new(),
+        }
+    }
+
+    /// One past the last sequence number this run covers.
+    fn end(&self) -> u64 {
+        self.start.saturating_add(self.span)
+    }
+
+    /// Append `next` (which must start exactly at `self.end()`), rebasing
+    /// its event indices onto this run.
+    fn splice(&mut self, next: Run) {
+        let base = self.events.len();
+        self.events.extend(next.events);
+        self.low.extend(next.low.into_iter().map(|i| base + i));
+        self.med_high
+            .extend(next.med_high.into_iter().map(|i| base + i));
+        for (key, idxs) in next.sessions {
+            self.sessions
+                .entry(key)
+                .or_default()
+                .extend(idxs.into_iter().map(|i| base + i));
+        }
+        self.health.extend(next.health);
+        self.span = self.span.saturating_add(next.span);
+    }
+}
+
+/// A self-contained fold over one slice of the event log.
+///
+/// Build with [`PartialFrame::new`] + [`PartialFrame::push`] (one partial
+/// per closed journal segment), combine across segments or shards with
+/// [`PartialFrame::merge`], and finish with [`PartialFrame::seal`]. The
+/// fold is the *only* frame-construction code path:
+/// [`AnalysisFrame::build`] itself folds one partial and seals it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartialFrame {
+    /// Folded runs, kept sorted by start and pairwise disjoint.
+    runs: Vec<Run>,
+    /// This partial's own string pool; merge unions pools.
+    interner: Interner,
+    /// Geo memo: each distinct source enriched at most once per partial.
+    meta: HashMap<IpAddr, Option<Arc<IpMeta>>>,
+}
+
+impl PartialFrame {
+    /// An empty partial positioned at global sequence number `start`.
+    pub fn new(start: u64) -> Self {
+        PartialFrame {
+            runs: vec![Run::at(start)],
+            interner: Interner::new(),
+            meta: HashMap::new(),
+        }
+    }
+
+    /// Fold one event into the partial's trailing run.
+    ///
+    /// Health telemetry is diverted to the frame's fleet-health side
+    /// channel (it carries a zero source/session and would pollute the
+    /// session/geo/partition aggregations) but still advances the sequence
+    /// span, since it occupies a journal sequence number like any record.
+    pub fn push(&mut self, event: &Event, enricher: &GeoEnricher) {
+        let run = match self.runs.last_mut() {
+            Some(run) => run,
+            None => {
+                self.runs.push(Run::at(0));
+                // just pushed, so the vec is non-empty; re-borrow it
+                match self.runs.last_mut() {
+                    Some(run) => run,
+                    None => return,
+                }
+            }
+        };
+        run.span = run.span.saturating_add(1);
+        if matches!(event.kind, EventKind::Health { .. }) {
+            run.health.push(event.clone());
+            return;
+        }
+        let idx = run.events.len();
+        match event.honeypot.level {
+            InteractionLevel::Low => run.low.push(idx),
+            InteractionLevel::Medium | InteractionLevel::High => run.med_high.push(idx),
+        }
+        run.sessions
+            .entry((
+                event.honeypot,
+                SessionKey {
+                    src: event.src,
+                    session: event.session,
+                },
+            ))
+            .or_default()
+            .push(idx);
+        self.meta
+            .entry(event.src)
+            .or_insert_with(|| enricher.lookup(event.src));
+        run.events.push(FrameEvent {
+            ts: event.ts,
+            honeypot: event.honeypot,
+            src: event.src,
+            session: event.session,
+            kind: FrameKind::from_kind(&event.kind, &mut self.interner),
+        });
+    }
+
+    /// Combine two partials into one.
+    ///
+    /// Associative and insensitive to the order segments were folded or
+    /// merged in (up to canonicalization): runs are re-sorted by start,
+    /// adjacent runs coalesce, and replicas of the same segment — runs
+    /// that start inside an already-covered range, as when two shards hold
+    /// copies of one segment file — are dropped. Interner pools union;
+    /// geo memos union with first-insert-wins (lookups are deterministic,
+    /// so both sides agree on shared keys).
+    pub fn merge(a: PartialFrame, b: PartialFrame) -> PartialFrame {
+        let PartialFrame {
+            runs: runs_a,
+            mut interner,
+            mut meta,
+        } = a;
+        let PartialFrame {
+            runs: runs_b,
+            interner: interner_b,
+            meta: meta_b,
+        } = b;
+        interner.absorb(interner_b);
+        for (ip, m) in meta_b {
+            meta.entry(ip).or_insert(m);
+        }
+        let mut pending: Vec<Run> = runs_a
+            .into_iter()
+            .chain(runs_b)
+            .filter(|r| r.span > 0)
+            .collect();
+        // Longest run first at equal starts, so a replica (same start,
+        // shorter or equal span) lands inside the covered range and drops.
+        pending.sort_by(|x, y| x.start.cmp(&y.start).then(y.span.cmp(&x.span)));
+        let mut runs: Vec<Run> = Vec::with_capacity(pending.len());
+        for run in pending {
+            match runs.last_mut() {
+                Some(last) if run.start < last.end() => {
+                    // Overlap: a duplicate of a segment already folded (in
+                    // practice an exact replica — shards are copies of the
+                    // same journal's segment files). Keep the first.
+                }
+                Some(last) if run.start == last.end() => last.splice(run),
+                _ => runs.push(run),
+            }
+        }
+        if runs.is_empty() {
+            runs.push(Run::at(0));
+        }
+        PartialFrame {
+            runs,
+            interner,
+            meta,
+        }
+    }
+
+    /// Finish the fold, producing the [`AnalysisFrame`] every report
+    /// section consumes.
+    ///
+    /// Runs are concatenated in sequence order; if gaps remain (lost
+    /// segments), the frame covers exactly the folded records — inspect
+    /// [`PartialFrame::run_ranges`] before sealing to detect that.
+    pub fn seal(self) -> AnalysisFrame {
+        let PartialFrame {
+            runs,
+            interner,
+            meta,
+        } = self;
+        let mut iter = runs.into_iter();
+        let mut acc = iter.next().unwrap_or_else(|| Run::at(0));
+        for run in iter {
+            acc.splice(run);
+        }
+        AnalysisFrame::from_parts(
+            acc.events,
+            acc.low,
+            acc.med_high,
+            acc.sessions,
+            meta,
+            interner.len(),
+            acc.health,
+        )
+    }
+
+    /// Number of non-telemetry events folded so far.
+    pub fn len(&self) -> usize {
+        self.runs.iter().map(|r| r.events.len()).sum()
+    }
+
+    /// True when nothing has been folded.
+    pub fn is_empty(&self) -> bool {
+        self.span() == 0
+    }
+
+    /// Total input records consumed (health telemetry included).
+    pub fn span(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|r| r.span)
+            .fold(0, u64::saturating_add)
+    }
+
+    /// The sequence number the next pushed record will occupy.
+    pub fn next_seq(&self) -> u64 {
+        self.runs.last().map(Run::end).unwrap_or(0)
+    }
+
+    /// The contiguous `[start, end)` sequence ranges covered, in order.
+    /// A single range starting at the journal's first sequence means the
+    /// fold is gapless.
+    pub fn run_ranges(&self) -> Vec<(u64, u64)> {
+        self.runs
+            .iter()
+            .filter(|r| r.span > 0)
+            .map(|r| (r.start, r.end()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Partition;
+    use decoy_geo::GeoDb;
+    use decoy_net::supervisor::HealthState;
+    use decoy_net::time::EXPERIMENT_START;
+    use decoy_store::{ConfigVariant, Dbms, EventStore};
+
+    fn hp(dbms: Dbms, level: InteractionLevel) -> HoneypotId {
+        HoneypotId::new(dbms, level, ConfigVariant::Default, 0)
+    }
+
+    fn ev(dbms: Dbms, level: InteractionLevel, src: &str, session: u64, action: &str) -> Event {
+        Event {
+            ts: EXPERIMENT_START,
+            honeypot: hp(dbms, level),
+            src: src.parse().unwrap(),
+            session,
+            kind: EventKind::Command {
+                action: action.into(),
+                raw: action.into(),
+            },
+        }
+    }
+
+    fn health() -> Event {
+        Event {
+            ts: EXPERIMENT_START,
+            honeypot: hp(Dbms::Redis, InteractionLevel::Medium),
+            src: "0.0.0.0".parse().unwrap(),
+            session: 0,
+            kind: EventKind::Health {
+                state: HealthState::Degraded,
+                restarts: 1,
+                detail: "accept stall".into(),
+            },
+        }
+    }
+
+    fn fixture() -> Vec<Event> {
+        vec![
+            ev(
+                Dbms::Mssql,
+                InteractionLevel::Low,
+                "198.51.100.7",
+                1,
+                "LOGIN",
+            ),
+            ev(
+                Dbms::Redis,
+                InteractionLevel::Medium,
+                "203.0.113.9",
+                2,
+                "INFO server",
+            ),
+            health(),
+            ev(
+                Dbms::Redis,
+                InteractionLevel::Medium,
+                "198.51.100.7",
+                3,
+                "INFO server",
+            ),
+            ev(
+                Dbms::Postgres,
+                InteractionLevel::High,
+                "203.0.113.9",
+                1,
+                "SELECT 1",
+            ),
+        ]
+    }
+
+    fn batch(events: &[Event]) -> AnalysisFrame {
+        let store = EventStore::new();
+        store.log_many(events.iter().cloned());
+        AnalysisFrame::build(&store, &GeoDb::builtin())
+    }
+
+    fn fold_all(events: &[Event], start: u64) -> PartialFrame {
+        let enricher = GeoEnricher::new(GeoDb::builtin());
+        let mut partial = PartialFrame::new(start);
+        for e in events {
+            partial.push(e, &enricher);
+        }
+        partial
+    }
+
+    #[test]
+    fn seal_of_one_fold_matches_batch_build() {
+        let events = fixture();
+        let sealed = fold_all(&events, 0).seal();
+        assert_eq!(sealed, batch(&events));
+        assert_eq!(sealed.len(), 4); // health diverted
+        assert_eq!(sealed.health_events().len(), 1);
+        assert_eq!(sealed.view(Partition::Low).len(), 1);
+        assert_eq!(sealed.view(Partition::MedHigh).len(), 3);
+    }
+
+    #[test]
+    fn split_fold_merges_to_the_same_frame_in_either_order() {
+        let events = fixture();
+        let head = fold_all(&events[..2], 0);
+        let tail = fold_all(&events[2..], 2);
+        assert_eq!(head.next_seq(), 2);
+        assert_eq!(tail.next_seq(), 5);
+        let forward = PartialFrame::merge(head.clone(), tail.clone());
+        let reversed = PartialFrame::merge(tail, head);
+        assert_eq!(forward, reversed);
+        assert_eq!(forward.run_ranges(), vec![(0, 5)]);
+        assert_eq!(forward.seal(), batch(&events));
+    }
+
+    #[test]
+    fn replica_segments_deduplicate() {
+        let events = fixture();
+        let head = fold_all(&events[..2], 0);
+        let tail = fold_all(&events[2..], 2);
+        let replica = fold_all(&events[..2], 0);
+        let merged = PartialFrame::merge(PartialFrame::merge(head, replica), tail);
+        assert_eq!(merged.span(), 5);
+        assert_eq!(merged.seal(), batch(&events));
+    }
+
+    #[test]
+    fn gaps_stay_visible_and_empty_partials_are_neutral() {
+        let events = fixture();
+        let head = fold_all(&events[..2], 0);
+        let gap_tail = fold_all(&events[3..], 3); // sequence 2 lost
+        let merged = PartialFrame::merge(PartialFrame::merge(head, PartialFrame::new(7)), gap_tail);
+        assert_eq!(merged.run_ranges(), vec![(0, 2), (3, 5)]);
+        assert_eq!(merged.span(), 4);
+        let empty = PartialFrame::new(0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.run_ranges(), Vec::new());
+        assert!(empty.seal().is_empty());
+    }
+}

@@ -18,13 +18,13 @@
 
 use decoy_geo::{GeoDb, GeoEnricher, IpMeta};
 use decoy_net::time::Timestamp;
-use decoy_store::{Dbms, EventKind, EventStore, HoneypotId, InteractionLevel, SessionKey};
+use decoy_store::{Dbms, Event, EventKind, EventStore, HoneypotId, SessionKey};
 use std::collections::{HashMap, HashSet};
 use std::net::IpAddr;
 use std::sync::Arc;
 
 /// A deduplicating `Arc<str>` pool: equal strings share one allocation.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Interner {
     pool: HashSet<Arc<str>>,
 }
@@ -33,6 +33,17 @@ impl Interner {
     /// An empty pool.
     pub fn new() -> Self {
         Interner::default()
+    }
+
+    /// Union another pool into this one (the merge half of the fold).
+    ///
+    /// Strings present in both pools keep this pool's allocation; the
+    /// distinct-string count after absorbing is exactly the count a single
+    /// interner would have reached over the concatenated input.
+    pub(crate) fn absorb(&mut self, other: Interner) {
+        for s in other.pool {
+            self.pool.insert(s);
+        }
     }
 
     /// The shared `Arc<str>` for `s`, allocating only on first sight.
@@ -107,7 +118,7 @@ pub enum FrameKind {
 
 impl FrameKind {
     /// Intern one store event kind.
-    fn from_kind(kind: &EventKind, interner: &mut Interner) -> FrameKind {
+    pub(crate) fn from_kind(kind: &EventKind, interner: &mut Interner) -> FrameKind {
         match kind {
             EventKind::Connect => FrameKind::Connect,
             EventKind::Disconnect => FrameKind::Disconnect,
@@ -185,7 +196,7 @@ pub enum Partition {
 }
 
 /// The one-pass materialized view of an [`EventStore`].
-#[derive(Debug)]
+#[derive(Debug, PartialEq)]
 pub struct AnalysisFrame {
     events: Vec<FrameEvent>,
     low: Vec<usize>,
@@ -193,6 +204,7 @@ pub struct AnalysisFrame {
     sessions: HashMap<(HoneypotId, SessionKey), Vec<usize>>,
     meta: HashMap<IpAddr, Option<Arc<IpMeta>>>,
     interned_strings: usize,
+    health: Vec<Event>,
 }
 
 impl AnalysisFrame {
@@ -202,58 +214,41 @@ impl AnalysisFrame {
     }
 
     /// Build the frame, enriching through an existing (possibly pre-warmed)
-    /// cache. This is the single full event scan of the report path.
+    /// cache.
+    ///
+    /// Internally this is "fold one [`PartialFrame`](crate::fold::PartialFrame),
+    /// seal" — the same code path the streaming/segment fold uses, so batch
+    /// and incremental construction cannot drift apart.
     pub fn build_with(store: &EventStore, enricher: &GeoEnricher) -> Self {
-        let mut interner = Interner::new();
-        let mut frame = store.read(|events| {
-            let mut frame = AnalysisFrame {
-                events: Vec::with_capacity(events.len()),
-                low: Vec::new(),
-                med_high: Vec::new(),
-                sessions: HashMap::new(),
-                meta: HashMap::new(),
-                interned_strings: 0,
-            };
+        store.read(|events| {
+            let mut partial = crate::fold::PartialFrame::new(0);
             for event in events.iter() {
-                // Operational telemetry (supervisor health transitions) is
-                // not attacker traffic: it carries a zero source/session and
-                // would pollute source, geo, and session aggregations. The
-                // fleet-uptime table reads the store directly instead.
-                if matches!(event.kind, EventKind::Health { .. }) {
-                    continue;
-                }
-                let idx = frame.events.len();
-                match event.honeypot.level {
-                    InteractionLevel::Low => frame.low.push(idx),
-                    InteractionLevel::Medium | InteractionLevel::High => frame.med_high.push(idx),
-                }
-                frame
-                    .sessions
-                    .entry((
-                        event.honeypot,
-                        SessionKey {
-                            src: event.src,
-                            session: event.session,
-                        },
-                    ))
-                    .or_default()
-                    .push(idx);
-                frame
-                    .meta
-                    .entry(event.src)
-                    .or_insert_with(|| enricher.lookup(event.src));
-                frame.events.push(FrameEvent {
-                    ts: event.ts,
-                    honeypot: event.honeypot,
-                    src: event.src,
-                    session: event.session,
-                    kind: FrameKind::from_kind(&event.kind, &mut interner),
-                });
+                partial.push(event, enricher);
             }
-            frame
-        });
-        frame.interned_strings = interner.len();
-        frame
+            partial.seal()
+        })
+    }
+
+    /// Assemble a frame from already-folded parts (the seal step of
+    /// [`PartialFrame`](crate::fold::PartialFrame)).
+    pub(crate) fn from_parts(
+        events: Vec<FrameEvent>,
+        low: Vec<usize>,
+        med_high: Vec<usize>,
+        sessions: HashMap<(HoneypotId, SessionKey), Vec<usize>>,
+        meta: HashMap<IpAddr, Option<Arc<IpMeta>>>,
+        interned_strings: usize,
+        health: Vec<Event>,
+    ) -> Self {
+        AnalysisFrame {
+            events,
+            low,
+            med_high,
+            sessions,
+            meta,
+            interned_strings,
+            health,
+        }
     }
 
     /// All events in log order.
@@ -315,6 +310,17 @@ impl AnalysisFrame {
     /// Number of distinct strings in the `Arc<str>` pool.
     pub fn interned_strings(&self) -> usize {
         self.interned_strings
+    }
+
+    /// Fleet-health telemetry in log order.
+    ///
+    /// Supervisor transitions are not attacker traffic: they carry a zero
+    /// source/session and are kept out of the session, geo, and partition
+    /// aggregations above. The fleet-uptime table folds these instead, so a
+    /// streamed frame can render the fleet section without an
+    /// [`EventStore`].
+    pub fn health_events(&self) -> &[Event] {
+        &self.health
     }
 }
 
@@ -421,7 +427,7 @@ impl<'a> FrameView<'a> {
 mod tests {
     use super::*;
     use decoy_net::time::EXPERIMENT_START;
-    use decoy_store::{ConfigVariant, Event};
+    use decoy_store::{ConfigVariant, InteractionLevel};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

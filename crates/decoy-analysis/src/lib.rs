@@ -32,11 +32,16 @@
 //!   Appendix E listing style.
 //! * [`fleet`] — fleet-uptime rows folded from the supervisor's
 //!   [`EventKind::Health`](decoy_store::EventKind) telemetry.
+//! * [`fold`] — the incrementally foldable
+//!   [`PartialFrame`](fold::PartialFrame): fold per journal segment, merge
+//!   associatively across segments or shards, seal into the same
+//!   [`AnalysisFrame`](frame::AnalysisFrame) the batch path builds.
 
 pub mod classify;
 pub mod cluster;
 pub mod ecdf;
 pub mod fleet;
+pub mod fold;
 pub mod forensics;
 pub mod frame;
 pub mod honeytokens;
@@ -52,6 +57,7 @@ pub mod ward;
 pub use classify::{classify_sources, classify_view, Behavior, BehaviorProfile};
 pub use cluster::{cluster_sources, cluster_view, Dendrogram};
 pub use ecdf::Ecdf;
-pub use fleet::{fleet_totals, fleet_uptime, FleetTotals, ListenerUptime};
+pub use fleet::{fleet_totals, fleet_uptime, fleet_uptime_events, FleetTotals, ListenerUptime};
+pub use fold::PartialFrame;
 pub use frame::{AnalysisFrame, FrameEvent, FrameKind, FrameView, Partition};
 pub use tf::{action_sequences, action_sequences_view, TfVector, Vocabulary};

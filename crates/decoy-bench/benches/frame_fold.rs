@@ -1,0 +1,131 @@
+//! Batch frame build vs fold-and-merge over segment-sized chunks, across
+//! event counts spanning three orders of magnitude. Three measurements per
+//! size:
+//!
+//! * `batch_build` — `AnalysisFrame::build` over the whole store at once
+//!   (the pre-streaming baseline, one full scan)
+//! * `fold_merge_seal` — cut the same stream into 64k-event chunks, fold
+//!   each into a [`PartialFrame`], reduce with `merge`, then `seal` — the
+//!   work the streaming report paths do per journal segment
+//! * `merge_only` — re-merge pre-folded partials (the shard-join operator
+//!   in isolation, without the per-event fold cost)
+//!
+//! Results are recorded in `BENCH_fold.json` at the repo root.
+//!
+//! Run: `cargo bench -p decoy-bench --bench frame_fold`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use decoy_analysis::fold::PartialFrame;
+use decoy_analysis::frame::AnalysisFrame;
+use decoy_bench::BENCH_SEED;
+use decoy_geo::{GeoDb, GeoEnricher};
+use decoy_store::{
+    ConfigVariant, Dbms, Event, EventKind, EventStore, HoneypotId, InteractionLevel,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::net::{IpAddr, Ipv4Addr};
+
+/// Synthetic capture shaped like the real log mix (same generator shape as
+/// the journal_ingest bench, so the two suites describe one pipeline).
+fn synthetic_events(n: usize) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(BENCH_SEED);
+    let dbms = [Dbms::Redis, Dbms::MySql, Dbms::Postgres, Dbms::Mssql];
+    (0..n)
+        .map(|i| {
+            let kind = match rng.gen_range(0..10) {
+                0..=2 => EventKind::Connect,
+                3..=4 => EventKind::Disconnect,
+                5..=7 => EventKind::Command {
+                    action: format!("ACTION_{}", rng.gen_range(0..48)),
+                    raw: format!("command body {i} with arguments"),
+                },
+                8 => EventKind::LoginAttempt {
+                    username: "root".into(),
+                    password: format!("pw{}", rng.gen_range(0..1000)),
+                    success: false,
+                },
+                _ => EventKind::Payload {
+                    len: rng.gen_range(16..512),
+                    recognized: None,
+                    preview: "\\x03\\x00\\x00\\x13".into(),
+                },
+            };
+            Event {
+                ts: decoy_net::time::EXPERIMENT_START.add_millis(i as u64),
+                honeypot: HoneypotId::new(
+                    dbms[i % dbms.len()],
+                    if i % 3 == 0 {
+                        InteractionLevel::Low
+                    } else {
+                        InteractionLevel::Medium
+                    },
+                    ConfigVariant::Default,
+                    0,
+                ),
+                src: IpAddr::V4(Ipv4Addr::from(rng.gen::<u32>() % 4096)),
+                session: (i / 8) as u64,
+                kind,
+            }
+        })
+        .collect()
+}
+
+/// Fold `events` into per-chunk partials anchored at their global offsets.
+fn fold_chunks(events: &[Event], enricher: &GeoEnricher) -> Vec<PartialFrame> {
+    events
+        .chunks(65_536)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let mut partial = PartialFrame::new((i * 65_536) as u64);
+            for event in chunk {
+                partial.push(event, enricher);
+            }
+            partial
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("frame_fold");
+    group.sample_size(10);
+    let geo = GeoDb::builtin();
+    for n in [10_000usize, 100_000, 1_000_000] {
+        let events = synthetic_events(n);
+        group.throughput(Throughput::Elements(n as u64));
+
+        let store = EventStore::new();
+        store.log_many(events.iter().cloned());
+        group.bench_with_input(BenchmarkId::new("batch_build", n), &n, |b, _| {
+            b.iter(|| black_box(AnalysisFrame::build(&store, &geo)))
+        });
+
+        group.bench_with_input(BenchmarkId::new("fold_merge_seal", n), &n, |b, _| {
+            b.iter(|| {
+                let enricher = GeoEnricher::new(std::sync::Arc::clone(&geo));
+                let folded = fold_chunks(&events, &enricher)
+                    .into_iter()
+                    .fold(PartialFrame::new(0), PartialFrame::merge);
+                black_box(folded.seal())
+            })
+        });
+
+        let enricher = GeoEnricher::new(std::sync::Arc::clone(&geo));
+        let partials = fold_chunks(&events, &enricher);
+        group.bench_with_input(BenchmarkId::new("merge_only", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    partials
+                        .iter()
+                        .cloned()
+                        .fold(PartialFrame::new(0), PartialFrame::merge),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

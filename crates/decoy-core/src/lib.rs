@@ -16,11 +16,15 @@
 //! * [`report`] — regenerates every table and figure of the paper from the
 //!   collected events, annotated with the paper's published values for
 //!   side-by-side comparison (EXPERIMENTS.md is generated from this).
+//!   Besides the batch path, the report folds: segment-streamed from a
+//!   journal with bounded memory ([`Report::from_journal_streaming`]),
+//!   merged across sharded journal directories ([`Report::from_shards`]),
+//!   or re-rendered live while a run is still writing ([`LiveReport`]).
 
 pub mod deployment;
 pub mod report;
 pub mod runner;
 
 pub use deployment::{DeploymentPlan, InstanceRef};
-pub use report::Report;
+pub use report::{LiveReport, Report};
 pub use runner::{ExperimentConfig, ExperimentResult, Mode};

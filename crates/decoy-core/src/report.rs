@@ -6,22 +6,30 @@
 //! are compared as ratios/rankings; scale-invariant ones (percentages,
 //! orderings, who-wins) directly.
 //!
-//! Two generation paths exist. [`Report::generate`] materializes one
-//! [`AnalysisFrame`] from the store — a single full event scan with
-//! memoized geo enrichment and interned strings — and renders every
-//! section from that shared view, in parallel. [`Report::generate_legacy`]
-//! is the original per-section store-scanning pipeline, kept as the
-//! byte-identical reference the golden test compares against. Both paths
-//! share the same formatting functions, so any divergence is a data bug,
-//! not a formatting one.
+//! Every generation path funnels into one section pipeline,
+//! [`render_sections`], which renders the paper from a sealed
+//! [`AnalysisFrame`] plus the three inputs no event carries (volume scale,
+//! planted bait, final fleet snapshot). [`Report::generate`] folds the
+//! in-memory store into one frame ("fold one partial, seal");
+//! [`Report::from_journal_streaming`] folds a journal segment by segment
+//! with peak memory bounded by the largest segment;
+//! [`Report::from_shards`] merges per-segment partial frames from several
+//! journal directories into one global report; and [`LiveReport`] keeps a
+//! running fold over a journal that is still being written.
+//! [`Report::generate_legacy`] is the original per-section store-scanning
+//! pipeline, kept as the byte-identical reference the golden test compares
+//! against. All paths share the same formatting functions, so any
+//! divergence is a data bug, not a formatting one.
 
-use crate::runner::ExperimentResult;
+use crate::deployment::DeploymentPlan;
+use crate::runner::{ExperimentConfig, ExperimentResult};
 use decoy_analysis::classify::{
     classify_sources, classify_view, Behavior, BehaviorProfile, ClassCounts,
 };
 use decoy_analysis::cluster::{cluster_sources, cluster_view, refine_by_behavior};
 use decoy_analysis::ecdf::{retention_days, retention_days_view, single_day_fraction, Ecdf};
-use decoy_analysis::fleet::{fleet_totals, fleet_uptime};
+use decoy_analysis::fleet::{fleet_totals, fleet_uptime, fleet_uptime_events, ListenerUptime};
+use decoy_analysis::fold::PartialFrame;
 use decoy_analysis::frame::{AnalysisFrame, FrameKind, FrameView, Partition};
 use decoy_analysis::honeytokens::{detect_reuse, detect_reuse_view, HoneytokenReport};
 use decoy_analysis::intel::{coverage, IntelFeed};
@@ -29,9 +37,13 @@ use decoy_analysis::tables;
 use decoy_analysis::tagging::{tag_sources, tag_sources_view, CampaignTag};
 use decoy_analysis::timeseries::{hourly_series, hourly_series_view, HourlySeries};
 use decoy_analysis::upset::{upset, upset_view, UpSet};
-use decoy_geo::GeoEnricher;
+use decoy_geo::{GeoDb, GeoEnricher};
+use decoy_net::supervisor::FleetHealth;
 use decoy_net::time::EXPERIMENT_START;
-use decoy_store::{ConfigVariant, Dbms, EventKind, EventStore, InteractionLevel};
+use decoy_store::{
+    ConfigVariant, Dbms, EventKind, EventStore, InteractionLevel, JournalError, JournalErrorKind,
+    JournalReader, JournalTail, RecoveryStats,
+};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::net::IpAddr;
@@ -66,83 +78,137 @@ pub struct Report {
 impl Report {
     /// Build every artifact from a finished run.
     ///
-    /// Materializes one [`AnalysisFrame`] (the only full event scan), then
-    /// renders every section concurrently from that shared view. Sections
-    /// land in paper order regardless of completion order.
+    /// Folds the store into one [`PartialFrame`] and seals it (the only
+    /// full event scan), then renders every section concurrently from that
+    /// shared view. Sections land in paper order regardless of completion
+    /// order.
     pub fn generate(result: &ExperimentResult) -> Report {
         let enricher = GeoEnricher::new(Arc::clone(&result.geo));
         let frame = AnalysisFrame::build_with(&result.store, &enricher);
-        let frame = &frame;
-        let scale = result.config.scale;
-        let sections: Vec<Section> = std::thread::scope(|s| {
-            let low = frame.view(Partition::Low);
-            let mh = frame.view(Partition::MedHigh);
-            let all = frame.view(Partition::All);
-            let mut handles = Vec::new();
-            handles.push(s.spawn(move || sec5_summary_frame(low, scale)));
-            handles.push(
-                s.spawn(move || fig2_frame(low, None, "Figure 2", "all low-interaction honeypots")),
-            );
-            for (dbms, fig) in [
-                (Dbms::Mssql, "Figure 6"),
-                (Dbms::MySql, "Figure 7"),
-                (Dbms::Postgres, "Figure 8"),
-                (Dbms::Redis, "Figure 9"),
-            ] {
-                handles.push(s.spawn(move || fig2_frame(low, Some(dbms), fig, dbms.label())));
-            }
-            handles.push(s.spawn(move || fig3_frame(low)));
-            handles.push(s.spawn(move || fmt_table5(tables::logins_by_country_view(low))));
-            handles.push(s.spawn(move || fmt_table6(tables::asn_table_view(low))));
-            handles.push(s.spawn(move || fmt_table7(tables::astype_login_ips_view(low))));
-            handles.push(
-                s.spawn(move || fmt_table12(tables::top_credentials_view(low, Dbms::Mssql, 10))),
-            );
-            handles.push(s.spawn(move || fmt_fig4(upset_view(mh, &MED_HIGH_FAMILIES))));
-            handles.push(s.spawn(move || fmt_table8(table8_data_frame(mh))));
-            handles.push(s.spawn(move || fmt_table9(table9_data_frame(mh))));
-            handles.push(s.spawn(move || {
-                fmt_table10(tables::exploit_countries_view(mh, &MED_HIGH_FAMILIES))
-            }));
-            handles.push(
-                s.spawn(move || fmt_table11(tables::astype_behavior_view(mh, &MED_HIGH_FAMILIES))),
-            );
-            handles.push(s.spawn(move || {
-                fmt_fig5(
-                    &classify_view(mh, None),
-                    &retention_days_view(mh, None, EXPERIMENT_START),
-                )
-            }));
-            handles
-                .push(s.spawn(move || fmt_sec5_control(tables::control_group_summary_view(low))));
-            handles.push(s.spawn(move || fmt_sec6_config(sec6_config_data_frame(all))));
-            handles.push(s.spawn(move || {
-                fmt_sec6_fake_data(&detect_reuse_view(all, &fake_data_bait(result)))
-            }));
-            handles.push(s.spawn(move || sec6_intel_frame(low, mh)));
-            handles.push(s.spawn(move || sec_fleet(result)));
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("report section thread panicked"))
-                .collect()
-        });
+        let sections = render_sections(
+            &frame,
+            result.config.scale,
+            &fake_data_bait(&result.plan),
+            result.fleet.as_ref(),
+        );
         Report { sections }
     }
 
     /// Build every artifact from a spooled journal directory instead of a
-    /// live run: the store is recovered through the journal's total replay
-    /// path (torn tails truncated, corruption surfaced in the returned
-    /// [`decoy_store::RecoveryStats`], never a panic) and the rest of the
-    /// result is reconstructed deterministically from `config`. On a
-    /// fault-free journal of a run with the same config, the rendered
-    /// report is byte-identical to the one the original process would have
-    /// produced.
+    /// live run. Since the report depends only on the event stream plus
+    /// values derived deterministically from `config`, this is simply
+    /// [`Report::from_journal_streaming`]: the journal is folded segment by
+    /// segment (torn tails truncated, corruption surfaced in the returned
+    /// [`RecoveryStats`], never a panic) without ever materializing the
+    /// whole store. On a fault-free journal of a run with the same config,
+    /// the rendered report is byte-identical to the one the original
+    /// process would have produced. Forensic workflows that need the events
+    /// themselves should use [`decoy_store::recover_full_store`].
     pub fn from_journal(
-        config: crate::runner::ExperimentConfig,
+        config: ExperimentConfig,
         dir: impl AsRef<std::path::Path>,
-    ) -> std::io::Result<(Report, decoy_store::RecoveryStats)> {
-        let (result, stats) = ExperimentResult::recover(config, dir)?;
-        Ok((Report::generate(&result), stats))
+    ) -> std::io::Result<(Report, RecoveryStats)> {
+        Report::from_journal_streaming(config, dir)
+    }
+
+    /// Stream a journal directory segment by segment, folding each closed
+    /// segment into a running [`PartialFrame`] and sealing once at the end.
+    /// Peak memory is bounded by the largest single segment plus the fold
+    /// itself — the whole event store is never resident. Replay strictness
+    /// matches the total recovery path: the fold halts at the first
+    /// corruption or sequence gap, later decodable records are counted as
+    /// dropped, and a torn tail on the final segment (the normal crash
+    /// shape) is truncated silently.
+    pub fn from_journal_streaming(
+        config: ExperimentConfig,
+        dir: impl AsRef<std::path::Path>,
+    ) -> std::io::Result<(Report, RecoveryStats)> {
+        let reader = JournalReader::open(dir)?;
+        let geo = GeoDb::builtin();
+        let enricher = GeoEnricher::new(geo);
+        let (partial, stats) = fold_journal(&reader, &enricher);
+        let frame = partial.seal();
+        let plan =
+            DeploymentPlan::scaled_with(config.seed, config.deployment_scale, config.extensions);
+        let sections = render_sections(&frame, config.scale, &fake_data_bait(&plan), None);
+        Ok((Report { sections }, stats))
+    }
+
+    /// Join several journal directories — shards of one logical run, keyed
+    /// by global sequence number — into a single report. Each shard's
+    /// segments are folded into per-segment [`PartialFrame`]s anchored at
+    /// their first sequence number and merged; the merge deduplicates
+    /// replicated segments and keeps disjoint ranges in global order, so
+    /// shard order on the command line does not matter. The join is
+    /// lenient per shard (a shard's own torn tail is swallowed as
+    /// truncation), but if the union of shards leaves a hole in the global
+    /// sequence range the first gap is surfaced as a
+    /// [`JournalErrorKind::SequenceGap`] in the returned stats while the
+    /// report still renders from everything that survived.
+    pub fn from_shards<P: AsRef<std::path::Path>>(
+        config: ExperimentConfig,
+        dirs: &[P],
+    ) -> std::io::Result<(Report, RecoveryStats)> {
+        let geo = GeoDb::builtin();
+        let enricher = GeoEnricher::new(geo);
+        let mut merged = PartialFrame::new(0);
+        let mut stats = RecoveryStats::default();
+        for dir in dirs {
+            let reader = JournalReader::open(dir)?;
+            for next in reader.segments() {
+                stats.segments_scanned = stats.segments_scanned.saturating_add(1);
+                let batch = match next {
+                    Ok(batch) => batch,
+                    Err(err) => {
+                        if stats.error.is_none() {
+                            stats.error = Some(JournalError {
+                                segment: stats.segments_scanned.saturating_sub(1),
+                                offset: 0,
+                                kind: JournalErrorKind::Io {
+                                    message: err.to_string(),
+                                },
+                            });
+                        }
+                        continue;
+                    }
+                };
+                stats.records_dropped = stats.records_dropped.saturating_add(batch.records_dropped);
+                stats.bytes_truncated = stats.bytes_truncated.saturating_add(batch.bytes_truncated);
+                if !batch.header_ok {
+                    // the segment contributed nothing; the coverage check
+                    // below surfaces the hole it leaves
+                    if stats.error.is_none() {
+                        stats.error = batch.error;
+                    }
+                    continue;
+                }
+                if let Some(err) = batch.error {
+                    if stats.error.is_none() {
+                        stats.error = Some(err);
+                    }
+                }
+                let mut partial = PartialFrame::new(batch.first_seq);
+                for event in &batch.events {
+                    partial.push(event, &enricher);
+                }
+                merged = PartialFrame::merge(merged, partial);
+            }
+        }
+        stats.records_kept = merged.span();
+        if stats.error.is_none() {
+            if let Some((expected, found)) = coverage_gap(&merged.run_ranges()) {
+                stats.error = Some(JournalError {
+                    segment: 0,
+                    offset: 0,
+                    kind: JournalErrorKind::SequenceGap { expected, found },
+                });
+            }
+        }
+        let frame = merged.seal();
+        let plan =
+            DeploymentPlan::scaled_with(config.seed, config.deployment_scale, config.extensions);
+        let sections = render_sections(&frame, config.scale, &fake_data_bait(&plan), None);
+        Ok((Report { sections }, stats))
     }
 
     /// The pre-frame generation path: every section re-scans the store
@@ -199,7 +265,7 @@ impl Report {
         sections.push(fmt_sec6_config(sec6_config_data(store)));
         sections.push(fmt_sec6_fake_data(&detect_reuse(
             &result.store,
-            &fake_data_bait(result),
+            &fake_data_bait(&result.plan),
         )));
         sections.push(sec6_intel(&low, &med_high));
         sections.push(sec_fleet(result));
@@ -220,6 +286,259 @@ impl Report {
     /// Find a section by id.
     pub fn section(&self, id: &str) -> Option<&Section> {
         self.sections.iter().find(|s| s.id == id)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The section pipeline — shared by every frame-based generation path
+// ---------------------------------------------------------------------------
+
+/// Render every section of the paper, in order, from one sealed
+/// [`AnalysisFrame`]. This is the single section pipeline: the batch path
+/// ([`Report::generate`]), the streaming paths
+/// ([`Report::from_journal_streaming`], [`LiveReport`]) and the shard join
+/// ([`Report::from_shards`]) all feed it a frame plus the three inputs no
+/// event carries — the volume scale, the planted bait credentials, and the
+/// optional final fleet snapshot.
+fn render_sections(
+    frame: &AnalysisFrame,
+    scale: f64,
+    bait: &[(String, String)],
+    fleet: Option<&FleetHealth>,
+) -> Vec<Section> {
+    std::thread::scope(|s| {
+        let low = frame.view(Partition::Low);
+        let mh = frame.view(Partition::MedHigh);
+        let all = frame.view(Partition::All);
+        let mut handles = Vec::new();
+        handles.push(s.spawn(move || sec5_summary_frame(low, scale)));
+        handles.push(
+            s.spawn(move || fig2_frame(low, None, "Figure 2", "all low-interaction honeypots")),
+        );
+        for (dbms, fig) in [
+            (Dbms::Mssql, "Figure 6"),
+            (Dbms::MySql, "Figure 7"),
+            (Dbms::Postgres, "Figure 8"),
+            (Dbms::Redis, "Figure 9"),
+        ] {
+            handles.push(s.spawn(move || fig2_frame(low, Some(dbms), fig, dbms.label())));
+        }
+        handles.push(s.spawn(move || fig3_frame(low)));
+        handles.push(s.spawn(move || fmt_table5(tables::logins_by_country_view(low))));
+        handles.push(s.spawn(move || fmt_table6(tables::asn_table_view(low))));
+        handles.push(s.spawn(move || fmt_table7(tables::astype_login_ips_view(low))));
+        handles
+            .push(s.spawn(move || fmt_table12(tables::top_credentials_view(low, Dbms::Mssql, 10))));
+        handles.push(s.spawn(move || fmt_fig4(upset_view(mh, &MED_HIGH_FAMILIES))));
+        handles.push(s.spawn(move || fmt_table8(table8_data_frame(mh))));
+        handles.push(s.spawn(move || fmt_table9(table9_data_frame(mh))));
+        handles.push(
+            s.spawn(move || fmt_table10(tables::exploit_countries_view(mh, &MED_HIGH_FAMILIES))),
+        );
+        handles.push(
+            s.spawn(move || fmt_table11(tables::astype_behavior_view(mh, &MED_HIGH_FAMILIES))),
+        );
+        handles.push(s.spawn(move || {
+            fmt_fig5(
+                &classify_view(mh, None),
+                &retention_days_view(mh, None, EXPERIMENT_START),
+            )
+        }));
+        handles.push(s.spawn(move || fmt_sec5_control(tables::control_group_summary_view(low))));
+        handles.push(s.spawn(move || fmt_sec6_config(sec6_config_data_frame(all))));
+        handles.push(s.spawn(move || fmt_sec6_fake_data(&detect_reuse_view(all, bait))));
+        handles.push(s.spawn(move || sec6_intel_frame(low, mh)));
+        handles.push(s.spawn(move || fmt_fleet(fleet_uptime_events(frame.health_events()), fleet)));
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("report section thread panicked"))
+            .collect()
+    })
+}
+
+/// Fold a journal directory segment by segment into one [`PartialFrame`],
+/// with replay strictness that mirrors the total recovery path: halt at the
+/// first corruption, I/O failure, or inter-segment sequence gap; count
+/// decodable records found after the halt as dropped (the drop scan); and
+/// truncate a torn tail on the *final* segment silently — that is the
+/// normal crash shape, not damage. Only one segment's bytes are resident at
+/// a time.
+fn fold_journal(reader: &JournalReader, enricher: &GeoEnricher) -> (PartialFrame, RecoveryStats) {
+    let mut partial = PartialFrame::new(0);
+    let mut stats = RecoveryStats::default();
+    let mut halted = false;
+    let batches = reader.segments();
+    let total = batches.len();
+    for (pos, next) in batches.enumerate() {
+        let is_final = pos.saturating_add(1) == total;
+        stats.segments_scanned = stats.segments_scanned.saturating_add(1);
+        let batch = match next {
+            Ok(batch) => batch,
+            Err(err) => {
+                if stats.error.is_none() {
+                    stats.error = Some(JournalError {
+                        segment: stats.segments_scanned.saturating_sub(1),
+                        offset: 0,
+                        kind: JournalErrorKind::Io {
+                            message: err.to_string(),
+                        },
+                    });
+                }
+                halted = true;
+                continue;
+            }
+        };
+        if halted {
+            // drop scan: data past the first corruption exists on disk but
+            // cannot be replayed without breaking order
+            stats.records_dropped = stats
+                .records_dropped
+                .saturating_add(batch.events.len() as u64)
+                .saturating_add(batch.records_dropped);
+            stats.bytes_truncated = stats.bytes_truncated.saturating_add(batch.bytes_truncated);
+            continue;
+        }
+        if !batch.header_ok {
+            stats.bytes_truncated = stats.bytes_truncated.saturating_add(batch.bytes_truncated);
+            let torn_header = matches!(
+                batch.error.as_ref().map(|e| &e.kind),
+                Some(JournalErrorKind::HeaderTruncated { .. })
+            );
+            // a truncated header on the final segment is a crash caught
+            // between segment creation and the first flush
+            if !(is_final && torn_header) && stats.error.is_none() {
+                stats.error = batch.error;
+            }
+            halted = true;
+            continue;
+        }
+        if batch.first_seq != partial.next_seq() {
+            if stats.error.is_none() {
+                stats.error = Some(JournalError {
+                    segment: batch.index,
+                    offset: 8,
+                    kind: JournalErrorKind::SequenceGap {
+                        expected: partial.next_seq(),
+                        found: batch.first_seq,
+                    },
+                });
+            }
+            stats.records_dropped = stats
+                .records_dropped
+                .saturating_add(batch.events.len() as u64)
+                .saturating_add(batch.records_dropped);
+            stats.bytes_truncated = stats.bytes_truncated.saturating_add(batch.bytes_truncated);
+            halted = true;
+            continue;
+        }
+        for event in &batch.events {
+            partial.push(event, enricher);
+        }
+        stats.records_kept = stats.records_kept.saturating_add(batch.events.len() as u64);
+        stats.records_dropped = stats.records_dropped.saturating_add(batch.records_dropped);
+        stats.bytes_truncated = stats.bytes_truncated.saturating_add(batch.bytes_truncated);
+        if batch.error.is_some() {
+            if stats.error.is_none() {
+                stats.error = batch.error;
+            }
+            halted = true;
+            continue;
+        }
+        if let Some(torn) = batch.torn {
+            if !is_final {
+                if stats.error.is_none() {
+                    stats.error = Some(torn);
+                }
+                halted = true;
+            }
+        }
+    }
+    (partial, stats)
+}
+
+/// First hole in a merged frame's sequence coverage, as `(expected, found)`
+/// — `None` when the runs cover a contiguous range starting at 0.
+fn coverage_gap(ranges: &[(u64, u64)]) -> Option<(u64, u64)> {
+    let mut expected = 0u64;
+    for &(start, end) in ranges {
+        if start != expected {
+            return Some((expected, start));
+        }
+        expected = end;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Live report
+// ---------------------------------------------------------------------------
+
+/// A live, incrementally folded report over a journal directory that is
+/// still being written — report-as-you-ingest.
+///
+/// Each [`poll`](LiveReport::poll) drains the records the journal has
+/// completed since the last poll (via [`JournalTail`], which never reads a
+/// frame that could still be half-written) into a running [`PartialFrame`];
+/// [`render`](LiveReport::render) seals a snapshot of the fold and renders
+/// the full report from it, so a reader can re-render every N seconds while
+/// the experiment is still running. Once the writer has closed the journal
+/// and a final poll has drained it, the rendered report is byte-identical
+/// to [`Report::from_journal_streaming`] over the finished directory.
+pub struct LiveReport {
+    scale: f64,
+    bait: Vec<(String, String)>,
+    enricher: GeoEnricher,
+    tail: JournalTail,
+    partial: PartialFrame,
+    events_seen: u64,
+}
+
+impl LiveReport {
+    /// Open a live view over `dir`. Infallible: a directory that does not
+    /// exist yet simply has nothing to fold until the writer creates it.
+    pub fn open(config: &ExperimentConfig, dir: impl AsRef<std::path::Path>) -> LiveReport {
+        let plan =
+            DeploymentPlan::scaled_with(config.seed, config.deployment_scale, config.extensions);
+        LiveReport {
+            scale: config.scale,
+            bait: fake_data_bait(&plan),
+            enricher: GeoEnricher::new(GeoDb::builtin()),
+            tail: JournalTail::open(dir),
+            partial: PartialFrame::new(0),
+            events_seen: 0,
+        }
+    }
+
+    /// Drain every record the journal has completed since the last poll
+    /// into the running fold; returns how many events were folded. An `Err`
+    /// is a transient I/O failure (retry later); journal damage parks the
+    /// tail permanently and surfaces in [`journal_error`](Self::journal_error).
+    pub fn poll(&mut self) -> std::io::Result<usize> {
+        let events = self.tail.poll()?;
+        for event in &events {
+            self.partial.push(event, &self.enricher);
+        }
+        self.events_seen = self.events_seen.saturating_add(events.len() as u64);
+        Ok(events.len())
+    }
+
+    /// Seal a snapshot of the current fold and render the full report from
+    /// it. The running fold is untouched, so polling can continue.
+    pub fn render(&self) -> Report {
+        let frame = self.partial.clone().seal();
+        Report {
+            sections: render_sections(&frame, self.scale, &self.bait, None),
+        }
+    }
+
+    /// Total events folded so far.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// The journal damage the tail has parked on (sticky), if any.
+    pub fn journal_error(&self) -> Option<&JournalError> {
+        self.tail.error()
     }
 }
 
@@ -888,10 +1207,13 @@ fn fmt_sec6_config((open, restricted, type_walks): (u64, u64, usize)) -> Section
 // Section 6 fake-data knowledge
 // ---------------------------------------------------------------------------
 
-/// Collect the bait planted across all fake-data Redis instances.
-fn fake_data_bait(result: &ExperimentResult) -> Vec<(String, String)> {
+/// Collect the bait planted across all fake-data Redis instances. Takes the
+/// deployment plan rather than a run result so the journal-streaming paths —
+/// which reconstruct the plan deterministically from the config — can share
+/// it.
+fn fake_data_bait(plan: &DeploymentPlan) -> Vec<(String, String)> {
     let mut bait: Vec<(String, String)> = Vec::new();
-    for inst in &result.plan.instances {
+    for inst in &plan.instances {
         if inst.id.dbms == Dbms::Redis && inst.id.config == ConfigVariant::FakeData {
             bait.extend(crate::deployment::fake_redis_entries(inst.seed));
         }
@@ -1007,14 +1329,15 @@ fn sec6_intel_frame(low: FrameView<'_>, mh: FrameView<'_>) -> Section {
 // Fleet health
 // ---------------------------------------------------------------------------
 
-/// The supervised-fleet uptime table. Shared verbatim by both generation
-/// paths: health telemetry is tiny and lives outside the attacker-traffic
-/// frame, so both read the store directly and render identically.
-fn sec_fleet(result: &ExperimentResult) -> Section {
-    let rows = fleet_uptime(&result.store);
+/// Format the supervised-fleet uptime table from pre-folded rows plus the
+/// optional final snapshot. The frame path folds the rows from the frame's
+/// carried health events ([`AnalysisFrame::health_events`]); the legacy
+/// path folds them from the store via [`sec_fleet`]. Both render
+/// identically.
+fn fmt_fleet(rows: Vec<ListenerUptime>, fleet: Option<&FleetHealth>) -> Section {
     let totals = fleet_totals(&rows);
     let mut body = String::new();
-    match &result.fleet {
+    match fleet {
         Some(fleet) => {
             let _ = writeln!(body, "final snapshot: {}", fleet.summary());
         }
@@ -1058,6 +1381,11 @@ fn sec_fleet(result: &ExperimentResult) -> Section {
         title: "supervised listener uptime".into(),
         body,
     }
+}
+
+/// The store-scanning wrapper kept for [`Report::generate_legacy`].
+fn sec_fleet(result: &ExperimentResult) -> Section {
+    fmt_fleet(fleet_uptime(&result.store), result.fleet.as_ref())
 }
 
 // ---------------------------------------------------------------------------

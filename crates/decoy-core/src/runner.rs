@@ -57,6 +57,11 @@ pub struct ExperimentConfig {
     /// segmented journal in this directory (see `decoy_store::journal`), so
     /// a crashed run can be recovered with [`ExperimentResult::recover`].
     pub persist: Option<PathBuf>,
+    /// Live rendering interval (spool mode only): when set, a sidecar
+    /// thread tails the journal with a [`crate::report::LiveReport`] and
+    /// rewrites `live-report.txt` in the journal directory every this many
+    /// milliseconds while the run executes, plus once after the final sync.
+    pub live_report_every_ms: Option<u64>,
 }
 
 impl ExperimentConfig {
@@ -71,6 +76,7 @@ impl ExperimentConfig {
             extensions: false,
             faults: None,
             persist: None,
+            live_report_every_ms: None,
         }
     }
 
@@ -85,6 +91,15 @@ impl ExperimentConfig {
     /// Enable spool mode: journal every event into `dir`.
     pub fn persist_to(mut self, dir: impl Into<PathBuf>) -> Self {
         self.persist = Some(dir.into());
+        self
+    }
+
+    /// Enable live rendering: while a spooled run executes, re-render the
+    /// full report from the journal tail every `ms` milliseconds into
+    /// `live-report.txt` next to the segments. No effect without
+    /// [`persist_to`](Self::persist_to).
+    pub fn live_report_every(mut self, ms: u64) -> Self {
+        self.live_report_every_ms = Some(ms);
         self
     }
 }
@@ -105,6 +120,9 @@ pub struct ExperimentResult {
     pub errors: usize,
     /// Final fleet-health snapshot (network mode; `None` in direct mode).
     pub fleet: Option<FleetHealth>,
+    /// Times the live-report sidecar rewrote `live-report.txt` (spool mode
+    /// with [`ExperimentConfig::live_report_every`] set; 0 otherwise).
+    pub live_renders: u64,
     /// The config that produced this result.
     pub config: ExperimentConfig,
 }
@@ -123,7 +141,7 @@ impl ExperimentResult {
         config: ExperimentConfig,
         dir: impl AsRef<std::path::Path>,
     ) -> std::io::Result<(ExperimentResult, RecoveryStats)> {
-        let (store, stats) = decoy_store::recover_store(dir)?;
+        let (store, stats) = decoy_store::recover_full_store(dir)?;
         let plan =
             DeploymentPlan::scaled_with(config.seed, config.deployment_scale, config.extensions);
         Ok((
@@ -135,6 +153,7 @@ impl ExperimentResult {
                 connections: 0,
                 errors: 0,
                 fleet: None,
+                live_renders: 0,
                 config,
             },
             stats,
@@ -155,6 +174,47 @@ pub async fn run(config: ExperimentConfig) -> std::io::Result<ExperimentResult> 
         let journal = JournalWriter::open(JournalConfig::spool(dir).with_clock(clock.clone()))?;
         store.with_journal(journal);
     }
+
+    // Report-as-you-ingest: a sidecar thread tails the journal this run is
+    // writing and periodically re-renders the full report beside it. It only
+    // ever reads completed frames, so it observes the same prefix any
+    // concurrent external reader would.
+    let live = match (&config.persist, config.live_report_every_ms) {
+        (Some(dir), Some(every_ms)) => {
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let flag = Arc::clone(&stop);
+            let dir = dir.clone();
+            let cfg = config.clone();
+            let handle = std::thread::Builder::new()
+                .name("live-report".into())
+                .spawn(move || {
+                    let mut live = crate::report::LiveReport::open(&cfg, &dir);
+                    let mut renders = 0u64;
+                    let interval = std::time::Duration::from_millis(every_ms.max(1));
+                    let mut last_render = std::time::Instant::now();
+                    loop {
+                        // Read the stop flag before polling: everything the
+                        // run flushed before setting it is drained by this
+                        // final poll, so the last render sees the full run.
+                        let stopping = flag.load(std::sync::atomic::Ordering::Acquire);
+                        let _ = live.poll();
+                        if stopping || last_render.elapsed() >= interval {
+                            let text = live.render().render_text();
+                            if std::fs::write(dir.join("live-report.txt"), text).is_ok() {
+                                renders = renders.saturating_add(1);
+                            }
+                            last_render = std::time::Instant::now();
+                        }
+                        if stopping {
+                            return renders;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                })?;
+            Some((stop, handle))
+        }
+        _ => None,
+    };
 
     let mut plan =
         DeploymentPlan::scaled_with(config.seed, config.deployment_scale, config.extensions);
@@ -219,6 +279,16 @@ pub async fn run(config: ExperimentConfig) -> std::io::Result<ExperimentResult> 
     // (a crash, in the dataset_analysis example) loses nothing.
     store.journal_sync()?;
 
+    // The final live render happens after the sync barrier above, so
+    // `live-report.txt` covers the complete run when run() returns.
+    let live_renders = match live {
+        Some((stop, handle)) => {
+            stop.store(true, std::sync::atomic::Ordering::Release);
+            handle.join().unwrap_or(0)
+        }
+        None => 0,
+    };
+
     Ok(ExperimentResult {
         store,
         geo,
@@ -227,6 +297,7 @@ pub async fn run(config: ExperimentConfig) -> std::io::Result<ExperimentResult> 
         connections,
         errors,
         fleet,
+        live_renders,
         config,
     })
 }
@@ -389,6 +460,23 @@ mod tests {
             recovered.store.events_eq(&live.store),
             "journal replay diverged from the live store"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[tokio::test]
+    async fn live_report_renders_during_spooled_run() {
+        let dir = std::env::temp_dir().join(format!("decoy-live-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = ExperimentConfig::direct(5, 0.005)
+            .persist_to(&dir)
+            .live_report_every(25);
+        let result = run(config).await.unwrap();
+        assert!(result.live_renders >= 1, "no live renders happened");
+        // the final live render (written after the journal sync barrier)
+        // matches the batch report over the finished run
+        let live_text = std::fs::read_to_string(dir.join("live-report.txt")).unwrap();
+        let batch_text = crate::report::Report::generate(&result).render_text();
+        assert_eq!(live_text, batch_text);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -255,7 +255,7 @@ impl<'a> Cur<'a> {
 
 /// Parse a segment header, returning the sequence number of the segment's
 /// first record.
-fn parse_header(buf: &[u8]) -> Result<u64, JournalErrorKind> {
+pub(crate) fn parse_header(buf: &[u8]) -> Result<u64, JournalErrorKind> {
     if buf.len() < HEADER_LEN {
         return Err(JournalErrorKind::HeaderTruncated {
             available: buf.len(),
@@ -302,7 +302,7 @@ fn read_u64_le(cur: &mut Cur<'_>) -> Option<u64> {
 }
 
 /// Outcome of reading one record frame at a given offset.
-enum FrameOutcome {
+pub(crate) enum FrameOutcome {
     /// The segment ended exactly at the frame boundary.
     End,
     /// A complete, CRC-valid, in-sequence record.
@@ -324,7 +324,7 @@ enum FrameOutcome {
 }
 
 /// Read the frame starting at `start`, expecting sequence `expected_seq`.
-fn read_frame(buf: &[u8], start: usize, expected_seq: u64) -> FrameOutcome {
+pub(crate) fn read_frame(buf: &[u8], start: usize, expected_seq: u64) -> FrameOutcome {
     let mut cur = Cur::new(buf, start);
     if cur.remaining() == 0 {
         return FrameOutcome::End;
@@ -397,7 +397,7 @@ fn read_frame(buf: &[u8], start: usize, expected_seq: u64) -> FrameOutcome {
 
 /// Like [`read_frame`] but only checks structure (length + CRC), for the
 /// post-corruption drop scan. Returns the next offset on success.
-fn check_frame(buf: &[u8], start: usize) -> Result<Option<usize>, ()> {
+pub(crate) fn check_frame(buf: &[u8], start: usize) -> Result<Option<usize>, ()> {
     let mut cur = Cur::new(buf, start);
     if cur.remaining() == 0 {
         return Ok(None);

@@ -22,8 +22,10 @@
 
 pub mod decode;
 pub mod encode;
+pub mod stream;
 
 pub use decode::{recover_events, JournalError, JournalErrorKind, RecoveryStats, Replay};
+pub use stream::{JournalTail, SegmentBatch, Segments};
 
 use crate::events::{Event, EventStore};
 use decoy_net::time::{Clock, Timestamp};
@@ -478,7 +480,13 @@ impl ExactSizeIterator for SegmentFiles {}
 /// Replay a journal directory into a fresh [`EventStore`] (indexes rebuilt
 /// through the normal `append_locked` path), returning the store and what
 /// recovery saw.
-pub fn recover_store(dir: impl AsRef<Path>) -> io::Result<(Arc<EventStore>, RecoveryStats)> {
+///
+/// This materializes the whole journal in memory; it stays available for
+/// forensics (per-source session reconstruction, ad-hoc store queries).
+/// Report generation should use the segment-streaming fold instead
+/// ([`JournalReader::segments`] / `Report::from_journal_streaming` in
+/// `decoy-core`), whose peak memory is bounded by one segment.
+pub fn recover_full_store(dir: impl AsRef<Path>) -> io::Result<(Arc<EventStore>, RecoveryStats)> {
     let reader = JournalReader::open(dir)?;
     let mut replay = reader.replay();
     let store = EventStore::new();
@@ -599,7 +607,7 @@ mod tests {
         assert!(bytes.len() > encode::HEADER_LEN + 3);
         fs::write(&last, &bytes[..bytes.len() - 3]).expect("write");
 
-        let (store, recovered) = recover_store(&dir).expect("recover");
+        let (store, recovered) = recover_full_store(&dir).expect("recover");
         assert!(recovered.error.is_none(), "torn tail is not an error");
         assert!(recovered.bytes_truncated > 0);
         assert_eq!(store.len() as u64, recovered.records_kept);
@@ -621,7 +629,7 @@ mod tests {
         bytes[encode::HEADER_LEN + 2] ^= 0x40;
         fs::write(&first, &bytes).expect("write");
 
-        let (store, recovered) = recover_store(&dir).expect("recover");
+        let (store, recovered) = recover_full_store(&dir).expect("recover");
         assert_eq!(store.len(), 0, "corruption in record 0 yields empty prefix");
         assert!(
             recovered.records_dropped > 0,
@@ -648,7 +656,7 @@ mod tests {
             }
             writer.close().expect("close");
         }
-        let (store, recovered) = recover_store(&dir).expect("recover");
+        let (store, recovered) = recover_full_store(&dir).expect("recover");
         assert!(recovered.is_clean(), "{}", recovered.summary());
         assert_eq!(store.len(), 12);
         store.read(|events| assert_eq!(events, &(0..12).map(ev).collect::<Vec<_>>()[..]));
@@ -672,7 +680,7 @@ mod tests {
             }
             writer.close().expect("close");
         }
-        let (store, recovered) = recover_store(&dir).expect("recover");
+        let (store, recovered) = recover_full_store(&dir).expect("recover");
         assert!(recovered.is_clean(), "repair must leave a clean journal");
         assert_eq!(store.len(), 14);
         store.read(|events| assert_eq!(events, &(0..14).map(ev).collect::<Vec<_>>()[..]));
@@ -693,7 +701,7 @@ mod tests {
             writer.append(&ev(6));
             writer.close().expect("close");
         }
-        let (store, recovered) = recover_store(&dir).expect("recover");
+        let (store, recovered) = recover_full_store(&dir).expect("recover");
         assert!(recovered.is_clean(), "{}", recovered.summary());
         assert_eq!(store.len(), 7);
         assert!(
@@ -714,7 +722,7 @@ mod tests {
             writer.append(&ev(i));
         }
         writer.sync().expect("sync");
-        let (store, recovered) = recover_store(&dir).expect("recover");
+        let (store, recovered) = recover_full_store(&dir).expect("recover");
         assert_eq!(store.len(), 5);
         assert!(recovered.error.is_none());
         drop(writer);
@@ -775,7 +783,7 @@ mod tests {
         let stats = store.close_journal().expect("close").expect("attached");
         assert_eq!(stats.records, 18, "6 of 24 appends fault-dropped");
 
-        let (replayed, recovered) = recover_store(&dir).expect("recover");
+        let (replayed, recovered) = recover_full_store(&dir).expect("recover");
         assert!(recovered.is_clean(), "{}", recovered.summary());
         assert!(
             replayed.events_eq(&store),
@@ -789,7 +797,7 @@ mod tests {
     #[test]
     fn empty_directory_replays_empty() {
         let dir = temp_dir("empty");
-        let (store, recovered) = recover_store(&dir).expect("recover");
+        let (store, recovered) = recover_full_store(&dir).expect("recover");
         assert!(store.is_empty());
         assert!(recovered.is_clean());
         assert_eq!(recovered.segments_scanned, 0);

@@ -28,7 +28,7 @@ pub use events::{
     ConfigVariant, Dbms, Event, EventKind, EventStore, HoneypotId, InteractionLevel, SessionKey,
 };
 pub use journal::{
-    recover_events, recover_store, JournalConfig, JournalError, JournalErrorKind, JournalReader,
-    JournalWriter, RecoveryStats, WriterStats,
+    recover_events, recover_full_store, JournalConfig, JournalError, JournalErrorKind,
+    JournalReader, JournalTail, JournalWriter, RecoveryStats, SegmentBatch, Segments, WriterStats,
 };
 pub use mask::normalize_action;

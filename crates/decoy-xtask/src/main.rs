@@ -25,7 +25,7 @@ use std::process::ExitCode;
 const ENFORCED_PREFIXES: [&str; 2] = ["crates/decoy-wire/src/", "crates/decoy-honeypots/src/"];
 
 /// Individually enforced files outside the blanket prefixes.
-const ENFORCED_FILES: [&str; 11] = [
+const ENFORCED_FILES: [&str; 12] = [
     "crates/decoy-net/src/codec.rs",
     "crates/decoy-net/src/cursor.rs",
     "crates/decoy-net/src/framed.rs",
@@ -38,6 +38,8 @@ const ENFORCED_FILES: [&str; 11] = [
     "crates/decoy-store/src/events.rs",
     // the journal's recovery path parses potentially corrupt on-disk bytes
     "crates/decoy-store/src/journal/decode.rs",
+    // the segment/tail streaming layer parses the same untrusted bytes
+    "crates/decoy-store/src/journal/stream.rs",
 ];
 
 /// True when the full rule set applies to `rel` (workspace-relative, `/`
@@ -246,6 +248,7 @@ mod tests {
         assert!(is_enforced("crates/decoy-net/src/chaos.rs"));
         assert!(is_enforced("crates/decoy-store/src/events.rs"));
         assert!(is_enforced("crates/decoy-store/src/journal/decode.rs"));
+        assert!(is_enforced("crates/decoy-store/src/journal/stream.rs"));
         // the journal write path never parses untrusted bytes
         assert!(!is_enforced("crates/decoy-store/src/journal/encode.rs"));
         // analysis/reporting code is out of scope

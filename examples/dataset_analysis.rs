@@ -17,12 +17,20 @@
 //! * `--replay DIR` — recover the journal at `DIR` (torn tails truncated,
 //!   corruption reported, never a panic) and print the report built from
 //!   the replayed events. After a fault-free spool, this output is
-//!   byte-identical to `--report`.
+//!   byte-identical to `--report`. Internally the journal is folded segment
+//!   by segment, so peak memory stays bounded by one segment.
+//! * `--follow DIR [--exit-idle MS]` — tail a journal that another process
+//!   (`--spool`) is still writing, folding completed records as they land;
+//!   with `--exit-idle`, print the final report and exit once the journal
+//!   has been quiet that long (otherwise follow forever).
+//! * `--merge DIR1 DIR2 ...` — join several journal directories (shards of
+//!   one logical run, keyed by global sequence number) into one report;
+//!   shard order does not matter and replicated segments deduplicate.
 
 use decoy_databases::analysis::classify::{classify_sources, ClassCounts};
 use decoy_databases::analysis::cluster::cluster_sources;
 use decoy_databases::analysis::tagging::tag_sources;
-use decoy_databases::core::report::Report;
+use decoy_databases::core::report::{LiveReport, Report};
 use decoy_databases::core::runner::{run, ExperimentConfig};
 use decoy_databases::geo::GeoDb;
 use decoy_databases::store::{Dbms, EventStore};
@@ -39,7 +47,7 @@ fn demo_config() -> ExperimentConfig {
 
 fn usage_err(msg: &str) -> std::io::Error {
     std::io::Error::other(format!(
-        "{msg}\nusage: dataset_analysis [dataset.jsonl | --report | --spool DIR [--crash] | --replay DIR]"
+        "{msg}\nusage: dataset_analysis [dataset.jsonl | --report | --spool DIR [--crash] | --replay DIR | --follow DIR [--exit-idle MS] | --merge DIR1 DIR2 ...]"
     ))
 }
 
@@ -50,6 +58,8 @@ async fn main() -> std::io::Result<()> {
         Some("--report") => report_mode().await,
         Some("--spool") => spool_mode(&args).await,
         Some("--replay") => replay_mode(&args),
+        Some("--follow") => follow_mode(&args).await,
+        Some("--merge") => merge_mode(&args),
         _ => json_demo(args.first().cloned()).await,
     }
 }
@@ -100,6 +110,67 @@ fn replay_mode(args: &[String]) -> std::io::Result<()> {
     eprintln!("recovery: {}", stats.summary());
     if stats.error.is_some() {
         eprintln!("warning: journal was corrupt; the report covers the recovered prefix only");
+    }
+    print!("{}", report.render_text());
+    Ok(())
+}
+
+/// Tail a journal another process is writing, folding as records complete.
+async fn follow_mode(args: &[String]) -> std::io::Result<()> {
+    let dir = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or_else(|| usage_err("--follow needs a journal directory"))?;
+    let exit_idle_ms: Option<u64> = match args.iter().position(|a| a == "--exit-idle") {
+        Some(pos) => Some(
+            args.get(pos + 1)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| usage_err("--exit-idle needs a duration in milliseconds"))?,
+        ),
+        None => None,
+    };
+    eprintln!("following journal at {dir} (fold-as-you-ingest)");
+    let mut live = LiveReport::open(&demo_config(), dir);
+    let mut idle_ms: u64 = 0;
+    loop {
+        let folded = live.poll()?;
+        if let Some(err) = live.journal_error() {
+            eprintln!("journal damaged; report covers the prefix before it: {err}");
+            break;
+        }
+        if folded > 0 {
+            idle_ms = 0;
+            eprintln!("folded {folded} events ({} total)", live.events_seen());
+        } else {
+            idle_ms = idle_ms.saturating_add(200);
+            if exit_idle_ms.is_some_and(|limit| live.events_seen() > 0 && idle_ms >= limit) {
+                eprintln!("journal idle for {idle_ms} ms; rendering the final report");
+                break;
+            }
+        }
+        tokio::time::sleep(std::time::Duration::from_millis(200)).await;
+    }
+    print!("{}", live.render().render_text());
+    Ok(())
+}
+
+/// Join several journal shards into one globally ordered report.
+fn merge_mode(args: &[String]) -> std::io::Result<()> {
+    let dirs: Vec<&String> = args
+        .iter()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    if dirs.len() < 2 {
+        return Err(usage_err("--merge needs at least two journal directories"));
+    }
+    eprintln!("merging {} journal shards", dirs.len());
+    let (report, stats) = Report::from_shards(demo_config(), &dirs)?;
+    eprintln!("merge: {}", stats.summary());
+    if stats.error.is_some() {
+        eprintln!(
+            "warning: shard coverage is damaged or incomplete; the report covers what survived"
+        );
     }
     print!("{}", report.render_text());
     Ok(())

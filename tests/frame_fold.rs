@@ -1,0 +1,252 @@
+//! Foldable-frame campaign: partial frames folded over arbitrary segment
+//! cuts must seal into exactly the frame a batch build produces.
+//!
+//! The streaming-analysis contract (DESIGN.md §9) is that
+//! `PartialFrame` is a fold any event slice can enter, `merge` is
+//! associative and order-insensitive across segments, and `seal` of the
+//! merged fold equals `AnalysisFrame::build` over the whole store. The
+//! property suite attacks that contract with arbitrary events (every
+//! DBMS, every `EventKind` including `Health`, IPv6, non-ASCII) and
+//! arbitrary cut points; the end-to-end tests then pin the report layer:
+//! segment-streamed, live-tailed, and shard-merged reports must render
+//! byte-identically to the batch report over the same run.
+
+mod common;
+
+use common::gen::arb_event;
+use decoy_databases::analysis::fold::PartialFrame;
+use decoy_databases::analysis::frame::AnalysisFrame;
+use decoy_databases::core::report::{LiveReport, Report};
+use decoy_databases::core::runner::{run, ExperimentConfig};
+use decoy_databases::geo::{GeoDb, GeoEnricher};
+use decoy_databases::store::{Event, EventStore, JournalConfig, JournalWriter};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The batch oracle: one store, one full-scan frame build.
+fn batch_frame(events: &[Event]) -> AnalysisFrame {
+    let store = EventStore::new();
+    store.log_many(events.iter().cloned());
+    AnalysisFrame::build(&store, &GeoDb::builtin())
+}
+
+/// Cut `events` into contiguous segments at `cuts` (taken modulo the event
+/// count, deduplicated) and fold each window into its own `PartialFrame`
+/// anchored at its global start position.
+fn fold_segments(events: &[Event], cuts: &[usize], enricher: &GeoEnricher) -> Vec<PartialFrame> {
+    let mut bounds: Vec<usize> = vec![0, events.len()];
+    bounds.extend(cuts.iter().map(|c| c % (events.len() + 1)));
+    bounds.sort_unstable();
+    bounds.dedup();
+    bounds
+        .windows(2)
+        .map(|w| {
+            let (start, end) = (w[0], w[1]);
+            let mut partial = PartialFrame::new(start as u64);
+            for event in &events[start..end] {
+                partial.push(event, enricher);
+            }
+            partial
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// seal(fold(segment) ∘ merge) == AnalysisFrame::build(store), for any
+    /// cut of the stream into contiguous segments.
+    #[test]
+    fn sealed_fold_equals_batch_build(
+        events in proptest::collection::vec(arb_event(), 0..60),
+        cuts in proptest::collection::vec(0usize..64, 0..6),
+    ) {
+        let enricher = GeoEnricher::new(GeoDb::builtin());
+        let folded = fold_segments(&events, &cuts, &enricher)
+            .into_iter()
+            .fold(PartialFrame::new(0), PartialFrame::merge);
+        prop_assert_eq!(folded.seal(), batch_frame(&events));
+    }
+
+    /// merge is associative, and the sealed result does not depend on the
+    /// order segments arrive in.
+    #[test]
+    fn merge_is_associative_and_permutation_invariant(
+        events in proptest::collection::vec(arb_event(), 1..48),
+        cuts in proptest::collection::vec(0usize..64, 2..6),
+        shuffle_seed in any::<u64>(),
+    ) {
+        let enricher = GeoEnricher::new(GeoDb::builtin());
+        let parts = fold_segments(&events, &cuts, &enricher);
+
+        // associativity on a three-way split of the parts
+        if parts.len() >= 3 {
+            let (a, b, c) = (parts[0].clone(), parts[1].clone(), parts[2].clone());
+            let left = PartialFrame::merge(PartialFrame::merge(a.clone(), b.clone()), c.clone());
+            let right = PartialFrame::merge(a, PartialFrame::merge(b, c));
+            prop_assert_eq!(left, right);
+        }
+
+        // permutation invariance: shuffled arrival seals identically
+        let in_order = parts
+            .iter()
+            .cloned()
+            .fold(PartialFrame::new(0), PartialFrame::merge);
+        let mut shuffled = parts;
+        shuffled.shuffle(&mut StdRng::seed_from_u64(shuffle_seed));
+        let out_of_order = shuffled
+            .into_iter()
+            .fold(PartialFrame::new(0), PartialFrame::merge);
+        prop_assert_eq!(&in_order, &out_of_order);
+        prop_assert_eq!(in_order.seal(), batch_frame(&events));
+    }
+
+    /// Empty partials are neutral elements and singleton segments fold
+    /// cleanly — the degenerate shapes a tail poll produces constantly.
+    #[test]
+    fn empty_and_singleton_segments_fold_cleanly(
+        events in proptest::collection::vec(arb_event(), 0..10),
+        empty_anchor in any::<u64>(),
+    ) {
+        let enricher = GeoEnricher::new(GeoDb::builtin());
+        // every event in its own singleton segment
+        let cuts: Vec<usize> = (0..events.len()).collect();
+        let mut folded = fold_segments(&events, &cuts, &enricher)
+            .into_iter()
+            .fold(PartialFrame::new(0), PartialFrame::merge);
+        // interleave empty partials anywhere: they must change nothing
+        folded = PartialFrame::merge(folded, PartialFrame::new(empty_anchor));
+        folded = PartialFrame::merge(PartialFrame::new(0), folded);
+        prop_assert_eq!(folded.len(), events.len());
+        prop_assert_eq!(folded.seal(), batch_frame(&events));
+    }
+}
+
+/// Journal a finished run's store into `dir` with small segments, forcing
+/// the streaming paths to cross many rotation boundaries.
+fn spool_store(store: &EventStore, dir: &std::path::Path) {
+    let journal = JournalWriter::open(JournalConfig {
+        segment_bytes: 16 * 1024,
+        fsync: false,
+        ..JournalConfig::spool(dir)
+    })
+    .unwrap();
+    store.read(|events| {
+        for event in events {
+            journal.append(event);
+        }
+    });
+    journal.close().unwrap();
+}
+
+/// Segment files of `dir` in replay order.
+fn segment_files(dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+    let mut segs: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|entry| entry.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "dcyj"))
+        .collect();
+    segs.sort();
+    segs
+}
+
+fn copy_into(segs: &[std::path::PathBuf], dir: &std::path::Path) {
+    std::fs::create_dir_all(dir).unwrap();
+    for seg in segs {
+        std::fs::copy(seg, dir.join(seg.file_name().unwrap())).unwrap();
+    }
+}
+
+/// The golden pin of the acceptance criterion: a report folded from journal
+/// segments — streamed, live-tailed, or shard-merged — renders
+/// byte-identically to the batch report over the same run.
+#[tokio::test]
+async fn streaming_report_is_byte_identical_to_batch() {
+    let dir = std::env::temp_dir().join(format!("decoy-fold-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ExperimentConfig::direct(7, 0.005);
+    let result = run(config.clone()).await.unwrap();
+    let batch_text = Report::generate(&result).render_text();
+
+    spool_store(&result.store, &dir);
+    let segs = segment_files(&dir);
+    assert!(segs.len() >= 3, "need several segments, got {}", segs.len());
+
+    // segment-streamed fold (and from_journal, which now routes through it)
+    let (streamed, stats) = Report::from_journal_streaming(config.clone(), &dir).unwrap();
+    assert!(stats.is_clean(), "{}", stats.summary());
+    assert_eq!(stats.records_kept as usize, result.store.len());
+    assert_eq!(streamed.render_text(), batch_text);
+    let (routed, _) = Report::from_journal(config.clone(), &dir).unwrap();
+    assert_eq!(routed.render_text(), batch_text);
+
+    // live tail over the finished journal drains into the same report
+    let mut live = LiveReport::open(&config, &dir);
+    while live.poll().unwrap() > 0 {}
+    assert!(live.journal_error().is_none(), "{:?}", live.journal_error());
+    assert_eq!(live.events_seen() as usize, result.store.len());
+    assert_eq!(live.render().render_text(), batch_text);
+
+    // shard join: alternate segments across two directories, pass them in
+    // scrambled order — merge reassembles the global sequence
+    let shard_a = dir.join("shard-a");
+    let shard_b = dir.join("shard-b");
+    let (even, odd): (Vec<_>, Vec<_>) = segs
+        .iter()
+        .cloned()
+        .enumerate()
+        .partition(|(i, _)| i % 2 == 0);
+    copy_into(
+        &even.into_iter().map(|(_, p)| p).collect::<Vec<_>>(),
+        &shard_a,
+    );
+    copy_into(
+        &odd.into_iter().map(|(_, p)| p).collect::<Vec<_>>(),
+        &shard_b,
+    );
+    let (merged, merge_stats) = Report::from_shards(config, &[&shard_b, &shard_a]).unwrap();
+    assert!(merge_stats.error.is_none(), "{}", merge_stats.summary());
+    assert_eq!(merge_stats.records_kept as usize, result.store.len());
+    assert_eq!(merged.render_text(), batch_text);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shard joins are lenient but not blind: a hole in the global sequence
+/// range is surfaced in the stats while the report still renders.
+#[tokio::test]
+async fn shard_join_detects_missing_segments() {
+    let dir = std::env::temp_dir().join(format!("decoy-fold-gap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ExperimentConfig::direct(7, 0.005);
+    let result = run(config.clone()).await.unwrap();
+    spool_store(&result.store, &dir);
+    let segs = segment_files(&dir);
+    assert!(segs.len() >= 3, "need several segments, got {}", segs.len());
+
+    // shard A is missing the second segment; shard B replicates the first
+    // (the duplicate must deduplicate, the hole must surface)
+    let shard_a = dir.join("shard-a");
+    let shard_b = dir.join("shard-b");
+    let mut without_middle = segs.clone();
+    without_middle.remove(1);
+    copy_into(&without_middle, &shard_a);
+    copy_into(&segs[..1], &shard_b);
+
+    let (report, stats) = Report::from_shards(config, &[&shard_a, &shard_b]).unwrap();
+    let err = stats
+        .error
+        .expect("missing segment must surface as an error");
+    assert_eq!(err.kind.label(), "sequence-gap", "{err}");
+    assert!(
+        (stats.records_kept as usize) < result.store.len(),
+        "kept {} of {}",
+        stats.records_kept,
+        result.store.len()
+    );
+    assert!(!report.render_text().is_empty());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
