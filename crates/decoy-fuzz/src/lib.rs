@@ -50,7 +50,7 @@ impl XorShift64 {
 
     /// A pseudo-random byte.
     pub fn byte(&mut self) -> u8 {
-        // decoy-lint: allow(cast) -- low 8 bits of the PRNG word, truncation intended
+        // low 8 bits of the PRNG word, truncation intended
         (self.next_u64() & 0xFF) as u8
     }
 
@@ -221,7 +221,7 @@ impl Mutator {
                 value.to_be_bytes().to_vec()
             }
         } else {
-            // decoy-lint: allow(cast) -- low 16 bits selected on purpose
+            // low 16 bits selected on purpose
             let v16 = (value & 0xFFFF) as u16;
             if le {
                 v16.to_le_bytes().to_vec()

@@ -11,6 +11,8 @@
 //! the `decoy-xtask lint` panic-freedom wall: no `unwrap`/`expect`/`panic!`,
 //! no slice indexing, no `as` truncation.
 
+// decoy-hot-path: file -- per-connection framing loop; every inbound byte passes through
+
 use crate::error::{NetError, NetResult};
 use bytes::BytesMut;
 
@@ -81,8 +83,8 @@ impl Codec for LineCodec {
         if line.last() == Some(&b'\r') {
             line.truncate(line.len().saturating_sub(1));
         }
-        match String::from_utf8(line.to_vec()) {
-            Ok(s) => Ok(Some(s)),
+        match std::str::from_utf8(&line) {
+            Ok(s) => Ok(Some(s.to_owned())),
             Err(_) => Err(NetError::protocol("line is not valid utf-8")),
         }
     }

@@ -257,6 +257,7 @@ impl Inner {
     /// The single place indexes are updated — the fault hook has already
     /// run by the time an event gets here, so a dropped append is dropped
     /// from the journal too.
+    // decoy-hot-path: fn -- runs under the store write lock, once per logged event
     fn append_locked(&mut self, event: Event) {
         if let Some(sink) = &self.sink {
             sink.send(&event);
@@ -467,12 +468,23 @@ impl EventStore {
 
     /// True when both stores hold identical event sequences — iterator
     /// equality without cloning either side.
+    ///
+    /// Two locks of the same kind are taken, so the acquisition order is
+    /// fixed by address: concurrent `a.events_eq(b)` / `b.events_eq(a)`
+    /// callers take the locks in the same global order and cannot
+    /// deadlock each other.
     pub fn events_eq(&self, other: &EventStore) -> bool {
         if std::ptr::eq(self, other) {
             return true;
         }
-        let a = self.inner.read();
-        let b = other.inner.read();
+        let (first, second) = if std::ptr::from_ref(self) < std::ptr::from_ref(other) {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        // decoy-lint: allow(lock-order) -- address-ordered acquisition above fixes a global order
+        let a = first.inner.read();
+        let b = second.inner.read();
         a.events == b.events
     }
 

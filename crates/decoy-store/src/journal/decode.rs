@@ -14,6 +14,8 @@
 //! replay at the last contiguous record instead of replaying out-of-order
 //! survivors.
 
+// decoy-hot-path: file -- recovery replay touches every committed frame
+
 use super::encode::{crc32, HEADER_LEN, MAGIC, MAX_RECORD_LEN, VERSION};
 use crate::events::{ConfigVariant, Dbms, Event, EventKind, HoneypotId, InteractionLevel};
 use decoy_net::supervisor::HealthState;

@@ -8,6 +8,8 @@
 //! the observed traffic uses it; a chunked request is a protocol error that
 //! gets logged raw).
 
+// decoy-hot-path: file -- per-request decode/encode, one call per wire message
+
 use bytes::{Buf, BytesMut};
 use decoy_net::codec::Codec;
 use decoy_net::error::{NetError, NetResult, WireError, WireErrorKind, WireProtocol};

@@ -7,6 +7,8 @@
 //! campaigns of §6.3 (Listings 7–8) are full `find` → `drop` → `insert`
 //! round trips over this code.
 
+// decoy-hot-path: file -- per-frame decode/encode, one call per wire message
+
 pub mod bson;
 
 use bson::Document;

@@ -10,6 +10,8 @@
 //! payload length, 1-byte sequence id, payload. All parsing is total via
 //! [`ByteCursor`]; malformed payloads surface as [`decoy_net::WireError`].
 
+// decoy-hot-path: file -- per-packet decode/encode, one call per wire message
+
 use bytes::{Buf, BufMut, BytesMut};
 use decoy_net::codec::Codec;
 use decoy_net::cursor::{sat_u32, sat_u8, usize_from, ByteCursor};
@@ -233,10 +235,12 @@ impl LoginRequest {
         } else if self.auth_response.is_empty() {
             String::new()
         } else {
-            self.auth_response
-                .iter()
-                .map(|b| format!("{b:02x}"))
-                .collect()
+            use std::fmt::Write as _;
+            let mut hex = String::with_capacity(self.auth_response.len() * 2);
+            for b in &self.auth_response {
+                let _ = write!(hex, "{b:02x}"); // writing to a String is infallible
+            }
+            hex
         }
     }
 

@@ -9,6 +9,8 @@
 //! Decoding is total: every read goes through [`ByteCursor`], so malformed
 //! frames surface as [`decoy_net::WireError`] values, never panics.
 
+// decoy-hot-path: file -- per-message decode/encode, one call per wire message
+
 use bytes::{Buf, BufMut, BytesMut};
 use decoy_net::codec::{peek_u32_be, Codec};
 use decoy_net::cursor::{sat_i32, sat_u16, sat_u32, usize_from, ByteCursor};

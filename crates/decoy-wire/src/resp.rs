@@ -11,6 +11,8 @@
 //! violations surface as [`decoy_net::WireError`] values carrying the byte
 //! offset of the damage.
 
+// decoy-hot-path: file -- per-value decode/encode, one call per wire message
+
 use bytes::{Buf, BytesMut};
 use decoy_net::codec::Codec;
 use decoy_net::error::{NetError, NetResult, WireError, WireErrorKind, WireProtocol};

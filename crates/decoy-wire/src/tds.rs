@@ -11,6 +11,8 @@
 //! bounds-checked with `.get()` before any read, and violations become
 //! structured [`decoy_net::WireError`] values.
 
+// decoy-hot-path: file -- per-packet decode/encode, one call per wire message
+
 use bytes::{Buf, BufMut, BytesMut};
 use decoy_net::codec::Codec;
 use decoy_net::cursor::{sat_u16, sat_u32, sat_u8, usize_from};

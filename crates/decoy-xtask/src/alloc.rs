@@ -1,0 +1,343 @@
+//! Hot-path allocation pass: ban per-frame heap allocation in modules
+//! tagged as serving the wire hot path.
+//!
+//! Tagging is explicit and in-file, so the blast radius is visible where
+//! the code lives:
+//!
+//! ```text
+//! // decoy-hot-path: file -- per-connection decode loop, one call per frame
+//! // decoy-hot-path: fn -- append_locked runs under the store write lock
+//! ```
+//!
+//! `file` scope covers the whole file; `fn` scope covers the next `fn` item
+//! after the tag. Untagged files are ignored by this pass; the orchestrator
+//! separately checks a registry of files that are *expected* to carry a tag
+//! (`hot-path-tag-missing`) so tags cannot silently vanish.
+//!
+//! Inside a hot region these allocate per call and are banned:
+//!
+//! | rule | rejects |
+//! |---|---|
+//! | `alloc-vec` | `Vec::new()` / `Vec::with_capacity(..)` |
+//! | `alloc-to-vec` | `.to_vec()` |
+//! | `alloc-clone` | `.clone()` |
+//! | `alloc-format` | `format!(..)` |
+//! | `alloc-box` | `Box::new(..)` |
+//! | `alloc-string-from` | `String::from(..)` (exactly `from`; `from_utf8` etc. are distinct idents) |
+//!
+//! Escape hatch: `// decoy-lint: allow(alloc-*) -- <reason>`, same semantics
+//! as every other rule. Cold error arms, one-time setup, and genuinely
+//! necessary copies go through the allow comment or the suppression
+//! baseline; the point is that each one is *written down*.
+
+use crate::diag::{Finding, SourceFile};
+use crate::tok::TokKind;
+
+/// Scope of one `decoy-hot-path:` tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TagScope {
+    File,
+    Fn,
+}
+
+/// Parsed tags: (1-based line, scope); malformed tags become findings.
+fn parse_tags(sf: &SourceFile) -> (Vec<(usize, TagScope)>, Vec<Finding>) {
+    let mut tags = Vec::new();
+    let mut bad = Vec::new();
+    for (idx, line) in sf.src.lines().enumerate() {
+        let lineno = idx + 1;
+        let Some(pos) = line.find("decoy-hot-path:") else {
+            continue;
+        };
+        let after = line
+            .get(pos + "decoy-hot-path:".len()..)
+            .unwrap_or_default()
+            .trim_start();
+        let scope = if after.starts_with("file") {
+            Some(TagScope::File)
+        } else if after.starts_with("fn") {
+            Some(TagScope::Fn)
+        } else {
+            None
+        };
+        let has_reason = after
+            .split_once("--")
+            .is_some_and(|(_, r)| !r.trim().is_empty());
+        match scope {
+            Some(s) if has_reason => tags.push((lineno, s)),
+            _ => bad.push(Finding {
+                file: sf.rel.clone(),
+                line: lineno,
+                col: pos + 1,
+                rule: "bad-hot-path-tag",
+                pass: "alloc",
+                message: "malformed decoy-hot-path tag: expected \
+                          `decoy-hot-path: file|fn -- <reason>`"
+                    .to_string(),
+            }),
+        }
+    }
+    (tags, bad)
+}
+
+/// True when `sf` carries any well-formed hot-path tag (used by the
+/// orchestrator's expected-files registry).
+pub fn has_tag(sf: &SourceFile) -> bool {
+    let (tags, _) = parse_tags(sf);
+    !tags.is_empty()
+}
+
+/// 1-based-line hot mask for `sf` (index 0 unused).
+fn hot_lines(sf: &SourceFile, tags: &[(usize, TagScope)]) -> Vec<bool> {
+    let nlines = sf.src.lines().count();
+    let mut hot = vec![false; nlines + 1];
+    for &(tagline, scope) in tags {
+        match scope {
+            TagScope::File => {
+                for slot in hot.iter_mut() {
+                    *slot = true;
+                }
+                return hot;
+            }
+            TagScope::Fn => {
+                // the next fn item at or below the tag
+                let target = sf
+                    .fns
+                    .iter()
+                    .filter(|f| f.line >= tagline)
+                    .min_by_key(|f| f.line);
+                let Some(f) = target else { continue };
+                let end_line = f
+                    .body
+                    .and_then(|(_, close)| sf.toks.get(close))
+                    .map(|t| t.line)
+                    .unwrap_or(f.line);
+                for l in f.line..=end_line {
+                    if let Some(slot) = hot.get_mut(l) {
+                        *slot = true;
+                    }
+                }
+            }
+        }
+    }
+    hot
+}
+
+/// True when tokens at `i` spell `First::second(` (path call).
+fn path_call(sf: &SourceFile, i: usize, first: &str, second: &str) -> bool {
+    sf.toks
+        .get(i)
+        .is_some_and(|t| t.is_ident(&sf.stripped, first))
+        && sf.toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Punct(b':'))
+        && sf.toks.get(i + 2).map(|t| t.kind) == Some(TokKind::Punct(b':'))
+        && sf
+            .toks
+            .get(i + 3)
+            .is_some_and(|t| t.is_ident(&sf.stripped, second))
+        && sf.toks.get(i + 4).map(|t| t.kind) == Some(TokKind::Punct(b'('))
+}
+
+/// Run the allocation rules over one file. Files without a hot-path tag
+/// yield only malformed-tag findings.
+pub fn check(sf: &SourceFile) -> Vec<Finding> {
+    let (tags, mut findings) = parse_tags(sf);
+    if tags.is_empty() {
+        return findings;
+    }
+    let hot = hot_lines(sf, &tags);
+    let mut push = |line: usize, col: usize, rule: &'static str, message: String| {
+        findings.push(Finding {
+            file: sf.rel.clone(),
+            line,
+            col,
+            rule,
+            pass: "alloc",
+            message,
+        });
+    };
+    for (i, t) in sf.toks.iter().enumerate() {
+        if !hot.get(t.line).copied().unwrap_or(false) || sf.in_test_at(i) {
+            continue;
+        }
+        let prev_dot = i
+            .checked_sub(1)
+            .and_then(|p| sf.toks.get(p))
+            .map(|p| p.kind == TokKind::Punct(b'.'))
+            .unwrap_or(false);
+        let next_paren = sf.toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Punct(b'('));
+        match t.kind {
+            TokKind::Ident => {
+                let word = t.text(&sf.stripped);
+                match word {
+                    "Vec"
+                        if (path_call(sf, i, "Vec", "new")
+                            || path_call(sf, i, "Vec", "with_capacity")) =>
+                    {
+                        if !sf.allowed(t.line, "alloc-vec") {
+                            let ctor = sf.text(i + 3).to_string();
+                            push(
+                                t.line,
+                                t.col,
+                                "alloc-vec",
+                                format!(
+                                    "Vec::{ctor} allocates on the hot path; reuse a \
+                                     caller-provided buffer"
+                                ),
+                            );
+                        }
+                    }
+                    "Box" if path_call(sf, i, "Box", "new") => {
+                        if !sf.allowed(t.line, "alloc-box") {
+                            push(
+                                t.line,
+                                t.col,
+                                "alloc-box",
+                                "Box::new allocates on the hot path; store by value or \
+                                 preallocate"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                    "String" if path_call(sf, i, "String", "from") => {
+                        if !sf.allowed(t.line, "alloc-string-from") {
+                            push(
+                                t.line,
+                                t.col,
+                                "alloc-string-from",
+                                "String::from allocates on the hot path; borrow a &str or \
+                                 intern"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                    "to_vec" if prev_dot && next_paren => {
+                        if !sf.allowed(t.line, "alloc-to-vec") {
+                            push(
+                                t.line,
+                                t.col,
+                                "alloc-to-vec",
+                                ".to_vec() copies the frame on the hot path; borrow the \
+                                 slice instead"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                    "clone" if prev_dot && next_paren => {
+                        if !sf.allowed(t.line, "alloc-clone") {
+                            push(
+                                t.line,
+                                t.col,
+                                "alloc-clone",
+                                ".clone() on the hot path; borrow or take ownership once"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                    "format"
+                        if sf.toks.get(i + 1).map(|t| t.kind) == Some(TokKind::Punct(b'!')) =>
+                    {
+                        if !sf.allowed(t.line, "alloc-format") {
+                            push(
+                                t.line,
+                                t.col,
+                                "alloc-format",
+                                "format! allocates a String per call on the hot path; write \
+                                 into a reused buffer"
+                                    .to_string(),
+                            );
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(src: &str) -> Vec<&'static str> {
+        check(&SourceFile::new("t.rs", src))
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    const FILE_TAG: &str = "// decoy-hot-path: file -- test decode loop\n";
+
+    #[test]
+    fn untagged_files_are_ignored() {
+        let src = "fn f() { let v = Vec::new(); let s = format!(\"x\"); b.to_vec(); }";
+        assert!(rules_of(src).is_empty());
+    }
+
+    #[test]
+    fn file_tag_bans_all_six() {
+        let src = format!(
+            "{FILE_TAG}fn f() {{\n    let v: Vec<u8> = Vec::new();\n    let w = Vec::with_capacity(8);\n    let b = x.to_vec();\n    let c = y.clone();\n    let s = format!(\"{{z}}\");\n    let bx = Box::new(1);\n    let st = String::from(\"a\");\n}}\n"
+        );
+        assert_eq!(
+            rules_of(&src),
+            vec![
+                "alloc-vec",
+                "alloc-vec",
+                "alloc-to-vec",
+                "alloc-clone",
+                "alloc-format",
+                "alloc-box",
+                "alloc-string-from",
+            ]
+        );
+    }
+
+    #[test]
+    fn lookalikes_are_not_flagged() {
+        let src = format!(
+            "{FILE_TAG}fn f() {{\n    let a = String::from_utf8(v);\n    let b = String::from_utf8_lossy(&v);\n    let c = x.clone_from_slice(&y);\n    let d = x.to_vec_deque;\n    let e = VecDeque::new();\n}}\n"
+        );
+        // VecDeque::new is a different ident than Vec — not matched
+        assert!(rules_of(&src).is_empty(), "{:?}", rules_of(&src));
+    }
+
+    #[test]
+    fn fn_tag_covers_only_the_next_fn() {
+        let src = "fn cold() { let v = Vec::new(); }\n// decoy-hot-path: fn -- under the write lock\nfn hot(&self) { let v = Vec::new(); }\nfn cold2() { let v = Vec::new(); }\n";
+        let f = check(&SourceFile::new("t.rs", src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn allow_comment_and_tests_are_exempt() {
+        let src = format!(
+            "{FILE_TAG}fn f() {{\n    // decoy-lint: allow(alloc-clone) -- cold error arm\n    let c = y.clone();\n}}\n#[cfg(test)]\nmod tests {{\n    fn t() {{ let v = Vec::new(); }}\n}}\n"
+        );
+        assert!(rules_of(&src).is_empty());
+    }
+
+    #[test]
+    fn malformed_tag_is_a_finding() {
+        let src = "// decoy-hot-path: file\nfn f() {}\n";
+        assert_eq!(rules_of(src), vec!["bad-hot-path-tag"]);
+        let src = "// decoy-hot-path: module -- reason\nfn f() {}\n";
+        assert_eq!(rules_of(src), vec!["bad-hot-path-tag"]);
+    }
+
+    #[test]
+    fn has_tag_reflects_wellformed_tags_only() {
+        assert!(has_tag(&SourceFile::new("t.rs", FILE_TAG)));
+        assert!(has_tag(&SourceFile::new(
+            "t.rs",
+            "// decoy-hot-path: fn -- locked append\nfn f() {}"
+        )));
+        assert!(!has_tag(&SourceFile::new("t.rs", "fn f() {}")));
+        assert!(!has_tag(&SourceFile::new(
+            "t.rs",
+            "// decoy-hot-path: file"
+        )));
+    }
+}

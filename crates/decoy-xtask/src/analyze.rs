@@ -1,0 +1,359 @@
+//! The `analyze` orchestrator: walks the workspace once, builds a
+//! [`SourceFile`] per module, runs every pass over its scope, and applies
+//! the suppression baseline.
+//!
+//! Pass scopes:
+//!
+//! * **lint** (panic-freedom) — the enforced byte-path set
+//!   ([`ENFORCED_PREFIXES`] / [`ENFORCED_FILES`]), plus the crate-root
+//!   `#![forbid(unsafe_code)]` wall for every crate.
+//! * **locks** — everything under `decoy-net`, `decoy-store`, and
+//!   `decoy-core` (`src/` trees), analyzed together as one program so
+//!   inter-file call chains contribute lock-order edges.
+//! * **alloc** — every workspace `.rs` file (tags opt modules in), plus the
+//!   [`HOT_PATH_EXPECTED`] registry: files that *must* carry a
+//!   `decoy-hot-path` tag so coverage cannot silently regress.
+//! * **bench** — `BENCH_*.json` at the workspace root, with the PR ordinal
+//!   derived from `CHANGES.md`.
+//!
+//! The baseline (`ANALYSIS_BASELINE.json`) is applied last, uniformly:
+//! a finding matching an unexhausted `(file, rule, trimmed-line)` entry is
+//! suppressed and counted; everything else fails the run. Regenerate with
+//! `--write-baseline` after reviewing what it would hide.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{report_json, Baseline, Finding, SourceFile};
+use crate::{alloc, bench, lint, locks};
+
+/// Modules where the full panic-freedom rule set applies. Everything under
+/// these paths parses or serves attacker-controlled bytes.
+pub const ENFORCED_PREFIXES: [&str; 2] = ["crates/decoy-wire/src/", "crates/decoy-honeypots/src/"];
+
+/// Individually enforced files outside the blanket prefixes.
+pub const ENFORCED_FILES: [&str; 12] = [
+    "crates/decoy-net/src/codec.rs",
+    "crates/decoy-net/src/cursor.rs",
+    "crates/decoy-net/src/framed.rs",
+    "crates/decoy-net/src/error.rs",
+    "crates/decoy-net/src/server.rs",
+    "crates/decoy-net/src/proxy.rs",
+    "crates/decoy-net/src/limiter.rs",
+    "crates/decoy-net/src/supervisor.rs",
+    "crates/decoy-net/src/chaos.rs",
+    "crates/decoy-store/src/events.rs",
+    // the journal's recovery path parses potentially corrupt on-disk bytes
+    "crates/decoy-store/src/journal/decode.rs",
+    // the segment/tail streaming layer parses the same untrusted bytes
+    "crates/decoy-store/src/journal/stream.rs",
+];
+
+/// Crate `src/` trees the lock-discipline pass analyzes as one program.
+pub const LOCK_SCOPE: [&str; 3] = [
+    "crates/decoy-net/src/",
+    "crates/decoy-store/src/",
+    "crates/decoy-core/src/",
+];
+
+/// Files that must carry a `decoy-hot-path` tag: the six wire decoders,
+/// the journal decode path, the codec write path, and the store's
+/// `append_locked` (fn-scope tag in events.rs).
+pub const HOT_PATH_EXPECTED: [&str; 9] = [
+    "crates/decoy-wire/src/http.rs",
+    "crates/decoy-wire/src/mongo.rs",
+    "crates/decoy-wire/src/mysql.rs",
+    "crates/decoy-wire/src/pgwire.rs",
+    "crates/decoy-wire/src/resp.rs",
+    "crates/decoy-wire/src/tds.rs",
+    "crates/decoy-store/src/journal/decode.rs",
+    "crates/decoy-net/src/codec.rs",
+    "crates/decoy-store/src/events.rs",
+];
+
+/// True when the panic-freedom rule set applies to `rel`
+/// (workspace-relative, `/`-separated).
+pub fn is_enforced(rel: &str) -> bool {
+    ENFORCED_PREFIXES.iter().any(|p| rel.starts_with(p)) || ENFORCED_FILES.contains(&rel)
+}
+
+/// What `analyze` produces: fresh findings (post-baseline) plus the
+/// bookkeeping the report and exit code are built from.
+pub struct Outcome {
+    /// Findings not covered by the baseline — these fail the run.
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by baseline entries.
+    pub suppressed: usize,
+    /// Baseline budget left over (code was fixed; baseline needs a regen).
+    pub stale_baseline: usize,
+    /// Rendered unified JSON report.
+    pub json: String,
+    /// Set when `--write-baseline` rewrote the baseline file.
+    pub wrote_baseline: Option<PathBuf>,
+}
+
+/// Options for one `analyze` run.
+pub struct Options {
+    pub root: PathBuf,
+    /// Apply `ANALYSIS_BASELINE.json` when present (`--no-baseline` turns
+    /// this off for a raw view).
+    pub use_baseline: bool,
+    /// Regenerate the baseline from the current findings instead of
+    /// failing on them.
+    pub write_baseline: bool,
+}
+
+/// All `.rs` files under `dir`, recursively, sorted for stable output.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace-relative, `/`-separated form of `path`.
+fn rel_of(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Every crate `src/` dir in the workspace (top-level `src/` included).
+fn crate_src_dirs(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut dirs = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut entries: Vec<_> = std::fs::read_dir(&crates_dir)
+            .map_err(|e| format!("read {}: {e}", crates_dir.display()))?
+            .collect::<Result<_, _>>()
+            .map_err(|e| format!("read {}: {e}", crates_dir.display()))?;
+        entries.sort_by_key(|e| e.file_name());
+        for entry in entries {
+            dirs.push(entry.path().join("src"));
+        }
+    }
+    Ok(dirs)
+}
+
+/// Run every pass over the workspace at `root` and apply the baseline.
+pub fn run(opts: &Options) -> Result<Outcome, String> {
+    let root = &opts.root;
+    // a mistyped --root must not report success over an empty walk
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "{} is not a workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+
+    // ---- gather sources
+    let mut files = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for src_dir in crate_src_dirs(root)? {
+        if !src_dir.is_dir() {
+            continue;
+        }
+        rust_files(&src_dir, &mut files).map_err(|e| format!("walk {}: {e}", src_dir.display()))?;
+        // crate-root unsafe wall applies to every crate, enforced or not
+        for rootfile in ["lib.rs", "main.rs"] {
+            let candidate = src_dir.join(rootfile);
+            if candidate.is_file() {
+                let rel = rel_of(root, &candidate);
+                let src =
+                    std::fs::read_to_string(&candidate).map_err(|e| format!("read {rel}: {e}"))?;
+                findings.extend(lint::check_forbid_unsafe(&rel, &src));
+            }
+        }
+    }
+    files.sort();
+    files.dedup();
+    let mut sources: Vec<SourceFile> = Vec::new();
+    for path in &files {
+        let rel = rel_of(root, path);
+        // the analyzer does not scan itself: its source is saturated with
+        // rule-pattern literals (docs, test fixtures, directive strings)
+        // that would self-match; its correctness is covered by its own
+        // unit/integration suite instead (the crate-root unsafe wall above
+        // still applies)
+        if rel.starts_with("crates/decoy-xtask/src/") {
+            continue;
+        }
+        let src = std::fs::read_to_string(path).map_err(|e| format!("read {rel}: {e}"))?;
+        sources.push(SourceFile::new(&rel, &src));
+    }
+
+    // ---- per-file passes
+    for sf in &sources {
+        findings.extend(sf.bad_allows.iter().cloned());
+        if is_enforced(&sf.rel) {
+            findings.extend(lint::check(sf));
+        }
+        findings.extend(alloc::check(sf));
+    }
+    // hot-path tag registry
+    for expected in HOT_PATH_EXPECTED {
+        let Some(sf) = sources.iter().find(|sf| sf.rel == expected) else {
+            continue; // file moved/removed: the registry is updated with it
+        };
+        if !alloc::has_tag(sf) {
+            findings.push(Finding {
+                file: expected.to_string(),
+                line: 1,
+                col: 1,
+                rule: "hot-path-tag-missing",
+                pass: "alloc",
+                message: "this file is in the hot-path registry but carries no \
+                          `decoy-hot-path:` tag; re-tag it (or remove it from \
+                          HOT_PATH_EXPECTED with a review)"
+                    .to_string(),
+            });
+        }
+    }
+
+    // ---- lock discipline over net+store+core as one program
+    let lock_sources: Vec<&SourceFile> = sources
+        .iter()
+        .filter(|sf| LOCK_SCOPE.iter().any(|p| sf.rel.starts_with(p)))
+        .collect();
+    findings.extend(locks::check(&lock_sources));
+
+    // ---- bench freshness
+    let mut bench_files: Vec<(String, String)> = Vec::new();
+    let mut entries: Vec<_> = std::fs::read_dir(root)
+        .map_err(|e| format!("read {}: {e}", root.display()))?
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("read {}: {e}", root.display()))?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("BENCH_") && name.ends_with(".json") {
+            let src =
+                std::fs::read_to_string(entry.path()).map_err(|e| format!("read {name}: {e}"))?;
+            bench_files.push((name, src));
+        }
+    }
+    let changes = std::fs::read_to_string(root.join("CHANGES.md")).unwrap_or_default();
+    findings.extend(bench::check(&bench_files, bench::current_pr(&changes)));
+
+    findings
+        .sort_by(|x, y| (&x.file, x.line, x.col, x.rule).cmp(&(&y.file, y.line, y.col, y.rule)));
+
+    // ---- baseline
+    // key: the trimmed text of the finding's line, looked up in whichever
+    // corpus the finding came from
+    let mut texts: HashMap<String, String> = HashMap::new();
+    for sf in &sources {
+        texts.insert(sf.rel.clone(), sf.src.clone());
+    }
+    for (rel, src) in &bench_files {
+        texts.insert(rel.clone(), src.clone());
+    }
+    let key_of = |f: &Finding| -> String {
+        texts
+            .get(&f.file)
+            .and_then(|src| src.lines().nth(f.line.saturating_sub(1)))
+            .unwrap_or_default()
+            .trim()
+            .to_string()
+    };
+    let baseline_path = root.join("ANALYSIS_BASELINE.json");
+
+    if opts.write_baseline {
+        let keyed: Vec<(Finding, String)> = findings
+            .into_iter()
+            .map(|f| (f.clone(), key_of(&f)))
+            .collect();
+        let baseline = Baseline::from_findings(keyed.iter().map(|(f, k)| (f, k.as_str())));
+        std::fs::write(&baseline_path, baseline.render())
+            .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
+        let json = report_json(&[], keyed.len(), 0);
+        return Ok(Outcome {
+            findings: Vec::new(),
+            suppressed: keyed.len(),
+            stale_baseline: 0,
+            json,
+            wrote_baseline: Some(baseline_path),
+        });
+    }
+
+    let (fresh, suppressed, stale_baseline) = if opts.use_baseline && baseline_path.is_file() {
+        let text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+        let baseline =
+            Baseline::parse(&text).map_err(|e| format!("{}: {e}", baseline_path.display()))?;
+        baseline.apply(findings, key_of)
+    } else {
+        (findings, 0, 0)
+    };
+    let json = report_json(&fresh, suppressed, stale_baseline);
+    Ok(Outcome {
+        findings: fresh,
+        suppressed,
+        stale_baseline,
+        json,
+        wrote_baseline: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enforced_set_covers_the_byte_path() {
+        assert!(is_enforced("crates/decoy-wire/src/pgwire.rs"));
+        assert!(is_enforced("crates/decoy-wire/src/mongo/bson.rs"));
+        assert!(is_enforced("crates/decoy-honeypots/src/low.rs"));
+        assert!(is_enforced("crates/decoy-net/src/codec.rs"));
+        assert!(is_enforced("crates/decoy-net/src/supervisor.rs"));
+        assert!(is_enforced("crates/decoy-net/src/chaos.rs"));
+        assert!(is_enforced("crates/decoy-store/src/events.rs"));
+        assert!(is_enforced("crates/decoy-store/src/journal/decode.rs"));
+        assert!(is_enforced("crates/decoy-store/src/journal/stream.rs"));
+        // the journal write path never parses untrusted bytes
+        assert!(!is_enforced("crates/decoy-store/src/journal/encode.rs"));
+        // analysis/reporting code is out of scope
+        assert!(!is_enforced("crates/decoy-analysis/src/lib.rs"));
+        assert!(!is_enforced("crates/decoy-net/src/time.rs"));
+        assert!(!is_enforced("src/main.rs"));
+    }
+
+    #[test]
+    fn lock_scope_is_the_three_serving_crates() {
+        assert!(LOCK_SCOPE
+            .iter()
+            .any(|p| "crates/decoy-net/src/supervisor.rs".starts_with(p)));
+        assert!(LOCK_SCOPE
+            .iter()
+            .any(|p| "crates/decoy-store/src/events.rs".starts_with(p)));
+        assert!(LOCK_SCOPE
+            .iter()
+            .any(|p| "crates/decoy-core/src/runner.rs".starts_with(p)));
+        assert!(!LOCK_SCOPE
+            .iter()
+            .any(|p| "crates/decoy-analysis/src/frame.rs".starts_with(p)));
+    }
+
+    #[test]
+    fn hot_path_registry_names_the_decoders() {
+        for f in [
+            "crates/decoy-wire/src/mysql.rs",
+            "crates/decoy-wire/src/resp.rs",
+            "crates/decoy-store/src/journal/decode.rs",
+            "crates/decoy-net/src/codec.rs",
+            "crates/decoy-store/src/events.rs",
+        ] {
+            assert!(HOT_PATH_EXPECTED.contains(&f), "{f} missing from registry");
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Bench-freshness pass: committed `BENCH_*.json` placeholders must not
+//! outlive their grace period.
+//!
+//! Every bench landed so far was authored in an offline container, so the
+//! JSON carries `"median_ms": null` placeholders plus a `placeholder_since`
+//! field naming the PR that introduced them (`"placeholder_since": "PR 6"`).
+//! The current PR number is derived from `CHANGES.md` — one non-empty line
+//! is appended per PR, so the line count *is* the PR ordinal. The rules:
+//!
+//! | rule | fires when |
+//! |---|---|
+//! | `bench-stale` | a file still has `median_ms: null` more than one PR after `placeholder_since` |
+//! | `bench-missing-since` | a file has `median_ms: null` but no `placeholder_since` |
+//!
+//! One PR of grace means a placeholder may be *introduced* offline, but the
+//! very next PR must either populate the numbers (networked machine) or
+//! consciously re-baseline. JSON has no comments, so the only escape hatch
+//! is the suppression baseline — which is the point: going stale must be a
+//! reviewed decision, not a default.
+
+use crate::diag::Finding;
+
+/// The current PR ordinal: one non-empty line is appended to `CHANGES.md`
+/// per PR.
+pub fn current_pr(changes: &str) -> usize {
+    changes.lines().filter(|l| !l.trim().is_empty()).count()
+}
+
+/// Parse `"placeholder_since": "PR <n>"` out of a bench JSON, with the
+/// 1-based line it sits on.
+fn placeholder_since(src: &str) -> Option<(usize, usize)> {
+    for (idx, line) in src.lines().enumerate() {
+        let Some(pos) = line.find("\"placeholder_since\"") else {
+            continue;
+        };
+        let after = line.get(pos..)?.split_once(':')?.1;
+        let val = after.split('"').nth(1)?;
+        let n = val
+            .trim()
+            .strip_prefix("PR")?
+            .trim()
+            .parse::<usize>()
+            .ok()?;
+        return Some((n, idx + 1));
+    }
+    None
+}
+
+/// 1-based line of the first `"median_ms": null` in a bench JSON.
+fn first_null_median(src: &str) -> Option<usize> {
+    for (idx, line) in src.lines().enumerate() {
+        if let Some(pos) = line.find("\"median_ms\"") {
+            let after = line.get(pos..).unwrap_or_default();
+            if after
+                .split_once(':')
+                .is_some_and(|(_, v)| v.trim_start().starts_with("null"))
+            {
+                return Some(idx + 1);
+            }
+        }
+    }
+    None
+}
+
+/// Check bench placeholder freshness. `files` are `(workspace-relative
+/// path, content)` pairs for every `BENCH_*.json`; `current` is the PR
+/// ordinal from [`current_pr`].
+pub fn check(files: &[(String, String)], current: usize) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (rel, src) in files {
+        let Some(null_line) = first_null_median(src) else {
+            continue; // numbers are populated — fresh by definition
+        };
+        match placeholder_since(src) {
+            None => findings.push(Finding {
+                file: rel.clone(),
+                line: null_line,
+                col: 1,
+                rule: "bench-missing-since",
+                pass: "bench",
+                message: "median_ms is null but there is no placeholder_since field; add \
+                          `\"placeholder_since\": \"PR <n>\"` so staleness can be tracked"
+                    .to_string(),
+            }),
+            Some((since, since_line)) if current > since + 1 => findings.push(Finding {
+                file: rel.clone(),
+                line: since_line,
+                col: 1,
+                rule: "bench-stale",
+                pass: "bench",
+                message: format!(
+                    "bench placeholder is stale: median_ms has been null since PR {since} \
+                     and this is PR {current} (grace is one PR); run the bench on a \
+                     networked machine and populate the numbers"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_json(median: &str, since: Option<&str>) -> String {
+        let since_field = since
+            .map(|s| format!("  \"placeholder_since\": \"{s}\",\n"))
+            .unwrap_or_default();
+        format!(
+            "{{\n  \"bench\": \"x\",\n{since_field}  \"targets\": {{\n    \"a\": {{\"median_ms\": {median}}}\n  }}\n}}\n"
+        )
+    }
+
+    fn run(median: &str, since: Option<&str>, current: usize) -> Vec<&'static str> {
+        let files = vec![("BENCH_x.json".to_string(), bench_json(median, since))];
+        check(&files, current).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn current_pr_counts_nonempty_lines() {
+        assert_eq!(current_pr("- one\n- two\n\n- three\n"), 3);
+        assert_eq!(current_pr(""), 0);
+    }
+
+    #[test]
+    fn populated_benches_are_always_fresh() {
+        assert!(run("12.5", Some("PR 1"), 9).is_empty());
+        assert!(run("0.004", None, 9).is_empty());
+    }
+
+    #[test]
+    fn null_median_within_grace_is_fine() {
+        assert!(run("null", Some("PR 6"), 6).is_empty());
+        assert!(run("null", Some("PR 6"), 7).is_empty());
+    }
+
+    #[test]
+    fn null_median_past_grace_is_stale() {
+        assert_eq!(run("null", Some("PR 6"), 8), vec!["bench-stale"]);
+        assert_eq!(run("null", Some("PR 2"), 9), vec!["bench-stale"]);
+    }
+
+    #[test]
+    fn null_median_without_since_is_flagged() {
+        assert_eq!(run("null", None, 3), vec!["bench-missing-since"]);
+    }
+
+    #[test]
+    fn finding_points_at_a_real_line() {
+        let files = vec![("BENCH_x.json".to_string(), bench_json("null", Some("PR 1")))];
+        let f = check(&files, 9);
+        assert_eq!(f.len(), 1);
+        let src = &files[0].1;
+        let line = src.lines().nth(f[0].line - 1).unwrap();
+        assert!(line.contains("placeholder_since"));
+    }
+}

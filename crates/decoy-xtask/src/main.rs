@@ -1,52 +1,21 @@
 #![forbid(unsafe_code)]
-//! # decoy-xtask
+//! Thin CLI over the `decoy_xtask` library.
 //!
-//! Workspace automation, run as `cargo run -p decoy-xtask -- <command>`.
+//! * `lint` — the panic-freedom audit of the attacker-facing byte path
+//!   (kept for muscle memory; `analyze` is a superset).
+//! * `analyze` — all static-analysis passes (lint, lock-discipline,
+//!   hot-path allocation, bench freshness) with the suppression baseline.
 //!
-//! The only command today is `lint`: the panic-freedom audit of the
-//! attacker-facing byte path. It walks the workspace source (no network, no
-//! dependencies), applies the rules in [`lint`] to every *enforced* module —
-//! the `decoy-wire` decoders, the `decoy-net` codec/server/proxy layers, the
-//! honeypot read paths, and the event store — and checks every crate root
-//! for `#![forbid(unsafe_code)]`. Diagnostics are `file:line:col` (or
-//! `--json` for machines) and the exit code is the contract CI relies on:
+//! Exit codes are the contract CI relies on:
 //!
 //! * `0` — clean
 //! * `1` — findings
 //! * `2` — usage or I/O error
 
-mod lint;
-
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Modules where the full rule set applies. Everything under these paths
-/// parses or serves attacker-controlled bytes.
-const ENFORCED_PREFIXES: [&str; 2] = ["crates/decoy-wire/src/", "crates/decoy-honeypots/src/"];
-
-/// Individually enforced files outside the blanket prefixes.
-const ENFORCED_FILES: [&str; 12] = [
-    "crates/decoy-net/src/codec.rs",
-    "crates/decoy-net/src/cursor.rs",
-    "crates/decoy-net/src/framed.rs",
-    "crates/decoy-net/src/error.rs",
-    "crates/decoy-net/src/server.rs",
-    "crates/decoy-net/src/proxy.rs",
-    "crates/decoy-net/src/limiter.rs",
-    "crates/decoy-net/src/supervisor.rs",
-    "crates/decoy-net/src/chaos.rs",
-    "crates/decoy-store/src/events.rs",
-    // the journal's recovery path parses potentially corrupt on-disk bytes
-    "crates/decoy-store/src/journal/decode.rs",
-    // the segment/tail streaming layer parses the same untrusted bytes
-    "crates/decoy-store/src/journal/stream.rs",
-];
-
-/// True when the full rule set applies to `rel` (workspace-relative, `/`
-/// separated).
-fn is_enforced(rel: &str) -> bool {
-    ENFORCED_PREFIXES.iter().any(|p| rel.starts_with(p)) || ENFORCED_FILES.contains(&rel)
-}
+use decoy_xtask::{analyze, diag};
 
 /// Workspace root: `--root` wins, then the manifest dir's grandparent
 /// (`crates/decoy-xtask` → repo root), then the current directory.
@@ -65,129 +34,45 @@ fn workspace_root(explicit: Option<&str>) -> PathBuf {
     PathBuf::from(".")
 }
 
-/// All `.rs` files under `dir`, recursively, sorted for stable output.
-fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
-    entries.sort_by_key(|e| e.file_name());
-    for entry in entries {
-        let path = entry.path();
-        if path.is_dir() {
-            rust_files(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
+const USAGE: &str = "usage: decoy-xtask <command> [options]\n\
+\n\
+commands:\n\
+  lint      panic-freedom audit of the byte path (subset of analyze)\n\
+  analyze   all passes: lint, lock-discipline, hot-path alloc, bench freshness\n\
+\n\
+options:\n\
+  --json             machine-readable report on stdout\n\
+  --root <path>      workspace root (default: inferred)\n\
+  --no-baseline      analyze: ignore ANALYSIS_BASELINE.json (raw view)\n\
+  --write-baseline   analyze: regenerate ANALYSIS_BASELINE.json from findings";
 
-/// The workspace-relative, `/`-separated form of `path`.
-fn rel_of(root: &Path, path: &Path) -> String {
-    path.strip_prefix(root)
-        .unwrap_or(path)
-        .components()
-        .map(|c| c.as_os_str().to_string_lossy().into_owned())
-        .collect::<Vec<_>>()
-        .join("/")
+/// The old standalone `lint` walk: enforced byte-path files only.
+fn run_lint(root: &Path) -> Result<Vec<diag::Finding>, String> {
+    let outcome = analyze::run(&analyze::Options {
+        root: root.to_path_buf(),
+        use_baseline: false,
+        write_baseline: false,
+    })?;
+    Ok(outcome
+        .findings
+        .into_iter()
+        .filter(|f| f.pass == "lint")
+        .collect())
 }
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn report_json(findings: &[lint::Finding]) -> String {
-    let mut out = String::from("{\"findings\":[");
-    for (i, f) in findings.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!(
-            "{{\"file\":\"{}\",\"line\":{},\"col\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
-            json_escape(&f.file),
-            f.line,
-            f.col,
-            f.rule,
-            json_escape(&f.message)
-        ));
-    }
-    out.push_str(&format!("],\"count\":{}}}", findings.len()));
-    out
-}
-
-/// Run the lint over the workspace at `root`. Returns all findings, or an
-/// I/O error message.
-fn run_lint(root: &Path) -> Result<Vec<lint::Finding>, String> {
-    // a mistyped --root must not report success over an empty walk
-    if !root.join("Cargo.toml").is_file() {
-        return Err(format!(
-            "{} is not a workspace root (no Cargo.toml)",
-            root.display()
-        ));
-    }
-    let mut files = Vec::new();
-    let crates_dir = root.join("crates");
-    let mut crate_src_dirs: Vec<PathBuf> = vec![root.join("src")];
-    if crates_dir.is_dir() {
-        let mut entries: Vec<_> = std::fs::read_dir(&crates_dir)
-            .map_err(|e| format!("read {}: {e}", crates_dir.display()))?
-            .collect::<Result<_, _>>()
-            .map_err(|e| format!("read {}: {e}", crates_dir.display()))?;
-        entries.sort_by_key(|e| e.file_name());
-        for entry in entries {
-            crate_src_dirs.push(entry.path().join("src"));
-        }
-    }
-    let mut findings = Vec::new();
-    for src_dir in &crate_src_dirs {
-        if !src_dir.is_dir() {
-            continue;
-        }
-        rust_files(src_dir, &mut files).map_err(|e| format!("walk {}: {e}", src_dir.display()))?;
-        // crate-root unsafe wall applies to every crate, enforced or not
-        for rootfile in ["lib.rs", "main.rs"] {
-            let candidate = src_dir.join(rootfile);
-            if candidate.is_file() {
-                let rel = rel_of(root, &candidate);
-                let src =
-                    std::fs::read_to_string(&candidate).map_err(|e| format!("read {rel}: {e}"))?;
-                findings.extend(lint::check_forbid_unsafe(&rel, &src));
-            }
-        }
-    }
-    files.sort();
-    files.dedup();
-    for path in &files {
-        let rel = rel_of(root, path);
-        if !is_enforced(&rel) {
-            continue;
-        }
-        let src = std::fs::read_to_string(path).map_err(|e| format!("read {rel}: {e}"))?;
-        findings.extend(lint::lint_source(&rel, &src));
-    }
-    Ok(findings)
-}
-
-const USAGE: &str = "usage: decoy-xtask lint [--json] [--root <path>]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut cmd = None;
+    let mut cmd: Option<&str> = None;
     let mut json = false;
     let mut root_arg: Option<String> = None;
+    let mut use_baseline = true;
+    let mut write_baseline = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => json = true,
+            "--no-baseline" => use_baseline = false,
+            "--write-baseline" => write_baseline = true,
             "--root" => match it.next() {
                 Some(v) => root_arg = Some(v.clone()),
                 None => {
@@ -196,81 +81,94 @@ fn main() -> ExitCode {
                 }
             },
             "lint" if cmd.is_none() => cmd = Some("lint"),
+            "analyze" if cmd.is_none() => cmd = Some("analyze"),
             other => {
                 eprintln!("unknown argument {other:?}\n{USAGE}");
                 return ExitCode::from(2);
             }
         }
     }
-    if cmd != Some("lint") {
-        eprintln!("{USAGE}");
-        return ExitCode::from(2);
-    }
     let root = workspace_root(root_arg.as_deref());
-    match run_lint(&root) {
-        Err(msg) => {
-            eprintln!("decoy-xtask lint: {msg}");
+    match cmd {
+        Some("lint") => match run_lint(&root) {
+            Err(msg) => {
+                eprintln!("decoy-xtask lint: {msg}");
+                ExitCode::from(2)
+            }
+            Ok(findings) => {
+                if json {
+                    println!("{}", diag::report_json(&findings, 0, 0));
+                } else if findings.is_empty() {
+                    println!("decoy-xtask lint: clean (byte path is panic-free by construction)");
+                } else {
+                    for f in &findings {
+                        println!("{}", f.render());
+                    }
+                    println!("decoy-xtask lint: {} finding(s)", findings.len());
+                }
+                if findings.is_empty() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::from(1)
+                }
+            }
+        },
+        Some("analyze") => {
+            let opts = analyze::Options {
+                root,
+                use_baseline,
+                write_baseline,
+            };
+            match analyze::run(&opts) {
+                Err(msg) => {
+                    eprintln!("decoy-xtask analyze: {msg}");
+                    ExitCode::from(2)
+                }
+                Ok(outcome) => {
+                    if let Some(path) = &outcome.wrote_baseline {
+                        eprintln!(
+                            "decoy-xtask analyze: wrote {} ({} entr{}) — review the diff",
+                            path.display(),
+                            outcome.suppressed,
+                            if outcome.suppressed == 1 { "y" } else { "ies" }
+                        );
+                        return ExitCode::SUCCESS;
+                    }
+                    if json {
+                        println!("{}", outcome.json);
+                    } else {
+                        for f in &outcome.findings {
+                            println!("{}", f.render());
+                        }
+                        println!(
+                            "decoy-xtask analyze: {} finding(s), {} suppressed by baseline",
+                            outcome.findings.len(),
+                            outcome.suppressed
+                        );
+                    }
+                    if outcome.stale_baseline > 0 {
+                        eprintln!(
+                            "decoy-xtask analyze: warning: {} stale baseline entr{} \
+                             (fixed code still excused) — regenerate with --write-baseline",
+                            outcome.stale_baseline,
+                            if outcome.stale_baseline == 1 {
+                                "y"
+                            } else {
+                                "ies"
+                            }
+                        );
+                    }
+                    if outcome.findings.is_empty() {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    }
+                }
+            }
+        }
+        _ => {
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
-        Ok(findings) if findings.is_empty() => {
-            if json {
-                println!("{}", report_json(&findings));
-            } else {
-                println!("decoy-xtask lint: clean (byte path is panic-free by construction)");
-            }
-            ExitCode::SUCCESS
-        }
-        Ok(findings) => {
-            if json {
-                println!("{}", report_json(&findings));
-            } else {
-                for f in &findings {
-                    println!("{}", f.render());
-                }
-                println!("decoy-xtask lint: {} finding(s)", findings.len());
-            }
-            ExitCode::from(1)
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn enforced_set_covers_the_byte_path() {
-        assert!(is_enforced("crates/decoy-wire/src/pgwire.rs"));
-        assert!(is_enforced("crates/decoy-wire/src/mongo/bson.rs"));
-        assert!(is_enforced("crates/decoy-honeypots/src/low.rs"));
-        assert!(is_enforced("crates/decoy-net/src/codec.rs"));
-        assert!(is_enforced("crates/decoy-net/src/supervisor.rs"));
-        assert!(is_enforced("crates/decoy-net/src/chaos.rs"));
-        assert!(is_enforced("crates/decoy-store/src/events.rs"));
-        assert!(is_enforced("crates/decoy-store/src/journal/decode.rs"));
-        assert!(is_enforced("crates/decoy-store/src/journal/stream.rs"));
-        // the journal write path never parses untrusted bytes
-        assert!(!is_enforced("crates/decoy-store/src/journal/encode.rs"));
-        // analysis/reporting code is out of scope
-        assert!(!is_enforced("crates/decoy-analysis/src/lib.rs"));
-        assert!(!is_enforced("crates/decoy-net/src/time.rs"));
-        assert!(!is_enforced("src/main.rs"));
-    }
-
-    #[test]
-    fn json_report_is_well_formed() {
-        let f = lint::Finding {
-            file: "a \"b\".rs".into(),
-            line: 3,
-            col: 9,
-            rule: "unwrap",
-            message: "bad\nthing".into(),
-        };
-        let j = report_json(&[f]);
-        assert!(j.contains("\"file\":\"a \\\"b\\\".rs\""));
-        assert!(j.contains("\"line\":3"));
-        assert!(j.contains("\\nthing"));
-        assert!(j.ends_with("\"count\":1}"));
-        assert_eq!(report_json(&[]), "{\"findings\":[],\"count\":0}");
     }
 }

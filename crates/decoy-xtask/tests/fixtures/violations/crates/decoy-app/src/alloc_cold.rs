@@ -1,0 +1,8 @@
+//! NEGATIVE: identical allocations in an untagged file (expect 0 — the
+//! pass only fires inside `decoy-hot-path` regions).
+fn setup(name: &str) -> Out {
+    let mut scratch: Vec<u8> = Vec::new();
+    let label = format!("setup for {name}");
+    let title = String::from(name);
+    Out { scratch, label, title }
+}

@@ -1,0 +1,12 @@
+//! FN SCOPE: only the tagged function is hot (expect exactly 1
+//! alloc-vec, from `hot`, none from the cold neighbours).
+fn cold_before() -> Vec<u8> {
+    Vec::new()
+}
+// decoy-hot-path: fn -- fixture: runs under the store write lock
+fn hot() -> Vec<u8> {
+    Vec::new()
+}
+fn cold_after() -> Vec<u8> {
+    Vec::new()
+}

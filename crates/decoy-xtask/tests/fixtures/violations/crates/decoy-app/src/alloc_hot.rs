@@ -1,0 +1,16 @@
+//! POSITIVE: a file-tagged hot path with one of each banned allocation
+//! (expect alloc-vec, alloc-to-vec, alloc-clone, alloc-format,
+//! alloc-box, alloc-string-from — 6 findings) plus one allowed clone.
+
+// decoy-hot-path: file -- fixture decode loop, one call per frame
+fn decode(frame: &[u8], name: &str) -> Out {
+    let mut scratch: Vec<u8> = Vec::new();
+    let copy = frame.to_vec();
+    let owned = scratch.clone();
+    let label = format!("frame from {name}");
+    let boxed = Box::new(copy);
+    let title = String::from(name);
+    // decoy-lint: allow(alloc-clone) -- fixture: cold error arm keeps its copy
+    let excused = owned.clone();
+    Out { scratch, boxed, label, title, excused }
+}

@@ -1,0 +1,5 @@
+//! Fixture standing in for the real codec module, deliberately missing
+//! its `decoy-hot-path` tag (expect 1 hot-path-tag-missing).
+fn passthrough(x: u64) -> u64 {
+    x
+}

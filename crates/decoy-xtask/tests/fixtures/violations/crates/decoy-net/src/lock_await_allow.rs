@@ -1,0 +1,8 @@
+//! ALLOW: the escape hatch suppresses a deliberate guard-across-await
+//! (expect 0 findings).
+async fn single_threaded(&self) {
+    // decoy-lint: allow(lock-await) -- current-thread runtime, no second task can contend
+    let guard = self.state.lock();
+    self.io.send().await;
+    guard.touch();
+}

@@ -1,0 +1,23 @@
+//! NEGATIVE: guards dropped, scoped, or statement-bounded before the
+//! `.await` (expect 0 findings).
+async fn scoped(&self) {
+    {
+        let guard = self.state.lock();
+        guard.touch();
+    }
+    self.io.send().await;
+}
+async fn explicit_drop(&self) {
+    let guard = self.state.lock();
+    guard.touch();
+    drop(guard);
+    self.io.send().await;
+}
+async fn statement_temporary(&self) {
+    let n = self.state.lock().len();
+    self.io.send_n(n).await;
+}
+async fn io_read_is_not_a_lock(&self, buf: &mut [u8]) {
+    let n = self.sock.read(buf);
+    self.io.send_n(n).await;
+}

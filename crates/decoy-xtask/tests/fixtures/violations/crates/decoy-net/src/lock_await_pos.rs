@@ -1,0 +1,6 @@
+//! POSITIVE: a guard held across `.await` (expect 1 lock-await).
+async fn hold_across_await(&self) {
+    let guard = self.state.lock();
+    self.io.send().await;
+    guard.touch();
+}

@@ -1,0 +1,8 @@
+//! ALLOW: caller-ordered double acquisition with the documented escape
+//! hatch (expect 0 findings).
+fn eq(&self, other: &Self) {
+    // decoy-lint: allow(lock-order) -- address-ordered acquisition fixes a global order
+    let a = self.epsilon.read();
+    let b = other.epsilon.read();
+    a.events == b.events
+}

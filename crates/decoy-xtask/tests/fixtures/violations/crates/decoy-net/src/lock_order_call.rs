@@ -1,0 +1,11 @@
+//! POSITIVE: interprocedural cycle — `zeta` is held across a bare call
+//! whose callee acquires `eta` then `zeta` (expect 1 lock-order cycle).
+fn holds_zeta(&self) {
+    let z = self.zeta.lock();
+    reorders(z);
+}
+fn reorders(z: Guard) {
+    let e = GLOBAL.eta.lock();
+    let z2 = GLOBAL.zeta.lock();
+    e.touch(&z2);
+}

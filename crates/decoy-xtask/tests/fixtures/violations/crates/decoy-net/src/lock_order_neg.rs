@@ -1,0 +1,11 @@
+//! NEGATIVE: consistent acquisition order everywhere (expect 0).
+fn first(&self) {
+    let g = self.gamma.lock();
+    let d = self.delta.lock();
+    g.touch(&d);
+}
+fn second(&self) {
+    let g = self.gamma.lock();
+    let d = self.delta.lock();
+    d.touch(&g);
+}

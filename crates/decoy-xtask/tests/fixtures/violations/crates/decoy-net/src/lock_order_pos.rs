@@ -1,0 +1,12 @@
+//! POSITIVE: two functions acquire the same pair of locks in opposite
+//! order (expect 1 lock-order cycle).
+fn alpha_then_beta(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+    a.touch(&b);
+}
+fn beta_then_alpha(&self) {
+    let b = self.beta.lock();
+    let a = self.alpha.lock();
+    b.touch(&a);
+}

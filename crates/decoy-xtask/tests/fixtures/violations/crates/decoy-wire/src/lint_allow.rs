@@ -1,0 +1,5 @@
+//! ALLOW: a violation excused with a reasoned escape hatch (expect 0).
+fn checked(v: Option<u8>) -> u8 {
+    // decoy-lint: allow(unwrap) -- fixture: v is Some by construction
+    v.unwrap()
+}

@@ -1,0 +1,6 @@
+//! BAD ALLOW: a directive without a reason is itself a finding and the
+//! violation still fires (expect bad-allow + unwrap).
+fn sloppy(v: Option<u8>) -> u8 {
+    // decoy-lint: allow(unwrap)
+    v.unwrap()
+}

@@ -1,0 +1,7 @@
+//! NEGATIVE: total equivalents of every banned construct (expect 0).
+fn good(v: Option<u8>, buf: &[u8], n: u64) -> u8 {
+    let a = v.unwrap_or(0);
+    let c = buf.first().copied().unwrap_or_default();
+    let d = u8::try_from(n & 0xFF).unwrap_or_default();
+    a.wrapping_add(c).wrapping_add(d)
+}

@@ -1,0 +1,11 @@
+//! POSITIVE: one of each panic-freedom violation (expect unwrap,
+//! expect, panic, index, cast — 5 findings).
+fn bad(v: Option<u8>, buf: &[u8], n: u64) -> u8 {
+    let a = v.unwrap();
+    let b = v.expect("present");
+    if buf.is_empty() {
+        panic!("empty");
+    }
+    let c = buf[0];
+    a + b + c + (n as u8)
+}
