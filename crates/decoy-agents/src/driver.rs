@@ -222,7 +222,10 @@ async fn mssql_brute(
             framed
                 .write_frame(&tds::TdsPacket::eom(
                     tds::PKT_PRELOGIN,
-                    tds::build_prelogin(&[(0x00, vec![15, 0, 0, 0, 0, 0]), (0x01, vec![2])]),
+                    tds::build_prelogin(&[
+                        (0x00, vec![15, 0, 0, 0, 0, 0].into()),
+                        (0x01, vec![2].into()),
+                    ]),
                 ))
                 .await
                 .map_err(io_err)?;
@@ -364,7 +367,7 @@ async fn redis_exchange(
     let cmd = resp::RespValue::Array(
         parts
             .iter()
-            .map(|p| resp::RespValue::Bulk(p.clone().into_bytes()))
+            .map(|p| resp::RespValue::Bulk(p.clone().into_bytes().into()))
             .collect(),
     );
     framed.write_frame(&cmd).await.map_err(io_err)?;
@@ -600,7 +603,10 @@ async fn mysql_scout(addr: SocketAddr, src: SocketAddr) -> SessionOutcome {
                 let mut q = vec![0x03];
                 q.extend_from_slice(sql.as_bytes());
                 framed
-                    .write_frame(&mysql::MySqlPacket { seq: 0, payload: q })
+                    .write_frame(&mysql::MySqlPacket {
+                        seq: 0,
+                        payload: q.into(),
+                    })
                     .await
                     .map_err(io_err)?;
                 // drain the 5-packet result set
@@ -615,7 +621,7 @@ async fn mysql_scout(addr: SocketAddr, src: SocketAddr) -> SessionOutcome {
             let _ = framed
                 .write_frame(&mysql::MySqlPacket {
                     seq: 0,
-                    payload: vec![0x01],
+                    payload: vec![0x01].into(),
                 })
                 .await;
         }

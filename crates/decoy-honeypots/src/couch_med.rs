@@ -221,7 +221,13 @@ impl CouchHoneypot {
             };
             log.command(&rendered);
             let resp = self.respond(&req);
-            framed.write_frame(&resp).await?;
+            // vectored head+body write: the body never enters the write buffer
+            framed
+                .write_split(
+                    |buf| decoy_wire::http::encode_response_head(&resp, buf),
+                    &resp.body,
+                )
+                .await?;
             let close = req
                 .header("connection")
                 .map(|v| v.eq_ignore_ascii_case("close"))

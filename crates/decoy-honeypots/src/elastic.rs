@@ -280,10 +280,17 @@ impl ElasticPot {
             if decoy_wire::foreign::recognize(&req.body).is_some()
                 || decoy_wire::foreign::recognize(req.target.as_bytes()).is_some()
             {
-                log.payload(&[req.target.as_bytes(), b" ", &req.body].concat());
+                log.payload(&[req.target.as_bytes(), b" ", req.body.as_ref()].concat());
             }
             let resp = self.respond(&req);
-            framed.write_frame(&resp).await?;
+            // head renders into the pooled write buffer; the body (often a
+            // shared canned response) goes out borrowed via vectored I/O
+            framed
+                .write_split(
+                    |buf| decoy_wire::http::encode_response_head(&resp, buf),
+                    &resp.body,
+                )
+                .await?;
             let close = req
                 .header("connection")
                 .map(|v| v.eq_ignore_ascii_case("close"))

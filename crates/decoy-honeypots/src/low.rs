@@ -174,7 +174,7 @@ async fn pg_session(
             pgwire::FrontendMessage::Terminate => return Ok(()),
             pgwire::FrontendMessage::CancelRequest { .. } => return Ok(()),
             pgwire::FrontendMessage::Other { tag, body } => {
-                log.payload(&[&[tag], body.as_slice()].concat());
+                log.payload(&[&[tag], body.as_ref()].concat());
                 return Ok(());
             }
         }
@@ -433,7 +433,10 @@ mod tests {
         framed
             .write_frame(&tds::TdsPacket::eom(
                 tds::PKT_PRELOGIN,
-                tds::build_prelogin(&[(0x00, vec![0, 0, 0, 0, 0, 0]), (0x01, vec![0])]),
+                tds::build_prelogin(&[
+                    (0x00, vec![0, 0, 0, 0, 0, 0].into()),
+                    (0x01, vec![0].into()),
+                ]),
             ))
             .await
             .unwrap();

@@ -295,7 +295,7 @@ impl MongoHoneypot {
                     log.malformed("client sent OP_REPLY");
                 }
                 MongoBody::Unknown { opcode, bytes } => {
-                    log.payload(bytes);
+                    log.payload(bytes.as_ref());
                     log.malformed(format!("unknown opcode {opcode}"));
                 }
             }

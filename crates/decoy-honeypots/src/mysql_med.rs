@@ -114,7 +114,7 @@ impl MySqlHoneypot {
                     }
                 }
                 Ok(mysql::MySqlCommand::Other(op, body)) => {
-                    log.payload(&[&[op], body.as_slice()].concat());
+                    log.payload(&[&[op], body.as_ref()].concat());
                     framed
                         .write_frame(&MySqlPacket {
                             seq: 1,
@@ -137,7 +137,7 @@ fn single_value_result(column: &str, value: &str) -> Vec<MySqlPacket> {
     // column count
     out.push(MySqlPacket {
         seq: 1,
-        payload: vec![1],
+        payload: vec![1].into(),
     });
     // column definition (catalog "def", empty schema/table, name, type var_string)
     let mut def = BytesMut::new();
@@ -154,12 +154,12 @@ fn single_value_result(column: &str, value: &str) -> Vec<MySqlPacket> {
     def.put_u16_le(0); // filler
     out.push(MySqlPacket {
         seq: 2,
-        payload: def.to_vec(),
+        payload: def.freeze(),
     });
     // EOF (pre-deprecate form keeps old clients happy)
     out.push(MySqlPacket {
         seq: 3,
-        payload: vec![0xfe, 0, 0, 0x02, 0],
+        payload: vec![0xfe, 0, 0, 0x02, 0].into(),
     });
     // row
     let mut row = BytesMut::new();
@@ -167,12 +167,12 @@ fn single_value_result(column: &str, value: &str) -> Vec<MySqlPacket> {
     row.extend_from_slice(value.as_bytes());
     out.push(MySqlPacket {
         seq: 4,
-        payload: row.to_vec(),
+        payload: row.freeze(),
     });
     // EOF
     out.push(MySqlPacket {
         seq: 5,
-        payload: vec![0xfe, 0, 0, 0x02, 0],
+        payload: vec![0xfe, 0, 0, 0x02, 0].into(),
     });
     out
 }
@@ -274,7 +274,10 @@ mod tests {
         let mut q = vec![0x03];
         q.extend_from_slice(b"SELECT @@version");
         framed
-            .write_frame(&MySqlPacket { seq: 0, payload: q })
+            .write_frame(&MySqlPacket {
+                seq: 0,
+                payload: q.into(),
+            })
             .await
             .unwrap();
         // column count, def, EOF, row, EOF
@@ -303,7 +306,10 @@ mod tests {
         let mut q = vec![0x03];
         q.extend_from_slice(attack.as_bytes());
         framed
-            .write_frame(&MySqlPacket { seq: 0, payload: q })
+            .write_frame(&MySqlPacket {
+                seq: 0,
+                payload: q.into(),
+            })
             .await
             .unwrap();
         // SELECT answers a result set (5 packets)
@@ -313,7 +319,10 @@ mod tests {
         let mut q = vec![0x03];
         q.extend_from_slice(b"CREATE TABLE pwn(cmd text)");
         framed
-            .write_frame(&MySqlPacket { seq: 0, payload: q })
+            .write_frame(&MySqlPacket {
+                seq: 0,
+                payload: q.into(),
+            })
             .await
             .unwrap();
         let reply = framed.read_frame().await.unwrap().unwrap();
@@ -332,7 +341,10 @@ mod tests {
         let mut q = vec![0x03];
         q.extend_from_slice(b"FROBNICATE ALL THE THINGS");
         framed
-            .write_frame(&MySqlPacket { seq: 0, payload: q })
+            .write_frame(&MySqlPacket {
+                seq: 0,
+                payload: q.into(),
+            })
             .await
             .unwrap();
         let reply = framed.read_frame().await.unwrap().unwrap();
@@ -343,7 +355,10 @@ mod tests {
         let mut q = vec![0x03];
         q.extend_from_slice(b"SELECT 1");
         framed
-            .write_frame(&MySqlPacket { seq: 0, payload: q })
+            .write_frame(&MySqlPacket {
+                seq: 0,
+                payload: q.into(),
+            })
             .await
             .unwrap();
         framed.read_frame().await.unwrap().unwrap();

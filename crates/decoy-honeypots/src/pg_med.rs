@@ -137,7 +137,7 @@ impl StickyElephant {
                 FrontendMessage::Terminate => return Ok(()),
                 FrontendMessage::CancelRequest { .. } => return Ok(()),
                 FrontendMessage::Other { tag, body } => {
-                    log.payload(&[&[tag], body.as_slice()].concat());
+                    log.payload(&[&[tag], body.as_ref()].concat());
                     framed
                         .write_frame(&BackendMessage::ErrorResponse {
                             severity: "ERROR".into(),

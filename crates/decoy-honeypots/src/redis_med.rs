@@ -84,7 +84,7 @@ impl RedisHoneypot {
                 let (Some(key), Some(value)) = (cmd.arg_text(0), cmd.args.get(1)) else {
                     return wrong_args("set");
                 };
-                self.kv.set(&key, value.clone());
+                self.kv.set(&key, value.to_vec());
                 RespValue::Simple("OK".into())
             }
             "GET" => {
@@ -92,7 +92,7 @@ impl RedisHoneypot {
                     return wrong_args("get");
                 };
                 match self.kv.get(&key) {
-                    Some(v) => RespValue::Bulk(v),
+                    Some(v) => RespValue::Bulk(v.into()),
                     None => RespValue::NullBulk,
                 }
             }
@@ -140,14 +140,14 @@ impl RedisHoneypot {
                 else {
                     return wrong_args("hset");
                 };
-                RespValue::Integer(self.kv.hset(&key, &field, value.clone()) as i64)
+                RespValue::Integer(self.kv.hset(&key, &field, value.to_vec()) as i64)
             }
             "HGET" => {
                 let (Some(key), Some(field)) = (cmd.arg_text(0), cmd.arg_text(1)) else {
                     return wrong_args("hget");
                 };
                 match self.kv.hget(&key, &field) {
-                    Some(v) => RespValue::Bulk(v),
+                    Some(v) => RespValue::Bulk(v.into()),
                     None => RespValue::NullBulk,
                 }
             }
@@ -158,7 +158,7 @@ impl RedisHoneypot {
                 let mut items = Vec::new();
                 for (field, value) in self.kv.hgetall(&key) {
                     items.push(RespValue::bulk(field));
-                    items.push(RespValue::Bulk(value));
+                    items.push(RespValue::Bulk(value.into()));
                 }
                 RespValue::Array(items)
             }
@@ -169,7 +169,13 @@ impl RedisHoneypot {
                 if cmd.args.len() < 2 {
                     return wrong_args("rpush");
                 }
-                let tail = cmd.args.get(1..).unwrap_or_default().to_vec();
+                let tail: Vec<Vec<u8>> = cmd
+                    .args
+                    .get(1..)
+                    .unwrap_or_default()
+                    .iter()
+                    .map(|b| b.to_vec())
+                    .collect();
                 RespValue::Integer(self.kv.rpush(&key, tail) as i64)
             }
             "LRANGE" => {
@@ -185,7 +191,7 @@ impl RedisHoneypot {
                     self.kv
                         .lrange(&key, start, stop)
                         .into_iter()
-                        .map(RespValue::Bulk)
+                        .map(|v| RespValue::Bulk(v.into()))
                         .collect(),
                 )
             }
@@ -195,7 +201,7 @@ impl RedisHoneypot {
                 };
                 RespValue::Integer(self.kv.llen(&key) as i64)
             }
-            "INFO" => RespValue::Bulk(self.info_text(cmd.arg_text(0)).into_bytes()),
+            "INFO" => RespValue::Bulk(self.info_text(cmd.arg_text(0)).into_bytes().into()),
             "CONFIG" => match cmd.arg_text(0).map(|s| s.to_uppercase()).as_deref() {
                 Some("GET") => {
                     let param = cmd.arg_text(1).unwrap_or_else(|| "*".into());

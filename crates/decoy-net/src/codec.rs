@@ -14,7 +14,7 @@
 // decoy-hot-path: file -- per-connection framing loop; every inbound byte passes through
 
 use crate::error::{NetError, NetResult};
-use bytes::BytesMut;
+use bytes::{Bytes, BytesMut};
 
 /// An incremental encoder/decoder for one protocol's frames.
 pub trait Codec {
@@ -111,46 +111,57 @@ impl Codec for LineCodec {
 pub struct RawCodec;
 
 impl Codec for RawCodec {
-    type In = Vec<u8>;
-    type Out = Vec<u8>;
+    type In = Bytes;
+    type Out = Bytes;
 
-    fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<Vec<u8>>> {
+    fn decode(&mut self, buf: &mut BytesMut) -> NetResult<Option<Bytes>> {
         if buf.is_empty() {
             return Ok(None);
         }
-        let all = buf.split_to(buf.len());
-        Ok(Some(all.to_vec()))
+        // Zero-copy: detach the readable bytes and hand out a shared view.
+        Ok(Some(buf.split_to(buf.len()).freeze()))
     }
 
-    fn encode(&mut self, frame: &Vec<u8>, buf: &mut BytesMut) -> NetResult<()> {
+    fn encode(&mut self, frame: &Bytes, buf: &mut BytesMut) -> NetResult<()> {
         buf.extend_from_slice(frame);
         Ok(())
     }
 }
 
-/// Drain as many complete frames as `codec` can decode from `bytes`.
+/// Drain as many complete frames as `codec` can decode from `bytes` into
+/// `frames`, returning how many were appended.
 ///
 /// Test/analysis helper: replays a captured byte stream through a codec
-/// without any I/O.
-pub fn decode_all<C: Codec>(codec: &mut C, bytes: &[u8]) -> NetResult<Vec<C::In>> {
+/// without any I/O. The output vector is caller-provided so replay loops
+/// (and the load harness) can reuse one allocation across streams.
+pub fn decode_all_into<C: Codec>(
+    codec: &mut C,
+    bytes: &[u8],
+    frames: &mut Vec<C::In>,
+) -> NetResult<usize> {
     let mut buf = BytesMut::from(bytes);
-    let mut frames = Vec::new();
+    let before = frames.len();
     while let Some(f) = codec.decode(&mut buf)? {
         frames.push(f);
         if buf.is_empty() {
             break;
         }
     }
-    Ok(frames)
+    Ok(frames.len().saturating_sub(before))
 }
 
-/// Encode a sequence of frames to a contiguous byte vector.
-pub fn encode_all<C: Codec>(codec: &mut C, frames: &[C::Out]) -> NetResult<Vec<u8>> {
-    let mut buf = BytesMut::new();
+/// Append the encoding of a sequence of frames to `buf`. The buffer is
+/// caller-provided (typically checked out of [`crate::pool::BufferPool`])
+/// so batch encoding never allocates per call.
+pub fn encode_all_into<C: Codec>(
+    codec: &mut C,
+    frames: &[C::Out],
+    buf: &mut BytesMut,
+) -> NetResult<()> {
     for f in frames {
-        codec.encode(f, &mut buf)?;
+        codec.encode(f, buf)?;
     }
-    Ok(buf.to_vec())
+    Ok(())
 }
 
 #[cfg(test)]
@@ -178,10 +189,26 @@ mod tests {
     #[test]
     fn decode_encode_all_helpers() {
         let mut c = LineCodec::default();
-        let bytes = encode_all(&mut c, &["a".to_string(), "b".to_string()]).unwrap();
-        assert_eq!(bytes, b"a\r\nb\r\n");
-        let frames = decode_all(&mut c, &bytes).unwrap();
+        let mut bytes = BytesMut::new();
+        encode_all_into(&mut c, &["a".to_string(), "b".to_string()], &mut bytes).unwrap();
+        assert_eq!(&bytes[..], b"a\r\nb\r\n");
+        let mut frames = Vec::new();
+        let n = decode_all_into(&mut c, &bytes, &mut frames).unwrap();
+        assert_eq!(n, 2);
         assert_eq!(frames, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn raw_codec_is_zero_copy() {
+        let mut c = RawCodec;
+        let mut buf = BytesMut::from(&b"opaque scanner probe"[..]);
+        let frame = c.decode(&mut buf).unwrap().unwrap();
+        assert_eq!(&frame[..], b"opaque scanner probe");
+        assert!(buf.is_empty());
+        assert_eq!(c.decode(&mut buf).unwrap(), None);
+        let mut out = BytesMut::new();
+        c.encode(&frame, &mut out).unwrap();
+        assert_eq!(&out[..], &frame[..]);
     }
 
     #[test]

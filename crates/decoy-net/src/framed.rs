@@ -3,10 +3,20 @@
 //! Split from [`crate::codec`] so the codec layer itself stays synchronous
 //! and I/O-free — decoders over attacker bytes can be compiled, tested, and
 //! fuzzed without a runtime.
+//!
+//! Both buffers are checked out of the process-wide
+//! [`crate::pool::BufferPool`] and restored when the `Framed` is dropped,
+//! so a churning session fleet reuses framing buffers instead of hitting
+//! the allocator per connection. [`Framed::write_split`] writes a
+//! pooled-buffer head and a borrowed body with one vectored syscall, so
+//! large response bodies (HTTP, bulk documents) are never copied into the
+//! write buffer at all.
 
 use crate::codec::Codec;
 use crate::error::{NetError, NetResult};
+use crate::pool::{BufferPool, PooledBuf, SMALL_CLASS};
 use bytes::BytesMut;
+use std::io::IoSlice;
 use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
 
 /// A frame-oriented wrapper around a byte stream.
@@ -16,8 +26,8 @@ use tokio::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
 pub struct Framed<S, C> {
     stream: S,
     codec: C,
-    read_buf: BytesMut,
-    write_buf: BytesMut,
+    read_buf: PooledBuf,
+    write_buf: PooledBuf,
 }
 
 impl<S, C> Framed<S, C>
@@ -25,20 +35,27 @@ where
     S: AsyncRead + AsyncWrite + Unpin,
     C: Codec,
 {
-    /// Wrap `stream` with `codec`.
+    /// Wrap `stream` with `codec`, using pooled framing buffers.
     pub fn new(stream: S, codec: C) -> Self {
-        Self::with_initial(stream, codec, BytesMut::with_capacity(4096))
+        let pool = BufferPool::global();
+        Framed {
+            stream,
+            codec,
+            read_buf: pool.checkout_guarded(SMALL_CLASS),
+            write_buf: pool.checkout_guarded(SMALL_CLASS),
+        }
     }
 
     /// Wrap `stream` with `codec`, seeding the read buffer with bytes that
     /// were already consumed from the stream (e.g. while peeking for a
-    /// PROXY protocol header).
+    /// PROXY protocol header). The seeded buffer was allocated by the
+    /// peeker, so it lives detached from the pool.
     pub fn with_initial(stream: S, codec: C, initial: BytesMut) -> Self {
         Framed {
             stream,
             codec,
-            read_buf: initial,
-            write_buf: BytesMut::with_capacity(4096),
+            read_buf: PooledBuf::detached(initial),
+            write_buf: BufferPool::global().checkout_guarded(SMALL_CLASS),
         }
     }
 
@@ -64,7 +81,7 @@ where
                     got: self.read_buf.len(),
                 });
             }
-            let n = self.stream.read_buf(&mut self.read_buf).await?;
+            let n = self.stream.read_buf(&mut *self.read_buf).await?;
             if n == 0 {
                 return if self.read_buf.is_empty() {
                     Ok(None)
@@ -91,10 +108,47 @@ where
         Ok(())
     }
 
+    /// Write a response as a head rendered into the pooled write buffer
+    /// plus a borrowed body, using vectored I/O.
+    ///
+    /// `encode_head` renders everything that precedes the body (status
+    /// line, headers, length prefix) into the cleared write buffer; the
+    /// body is then sent from its own slice without ever being copied into
+    /// the buffer. One `writev` covers both in the common case.
+    pub async fn write_split<F>(&mut self, encode_head: F, body: &[u8]) -> NetResult<()>
+    where
+        F: FnOnce(&mut BytesMut),
+    {
+        self.write_buf.clear();
+        encode_head(&mut self.write_buf);
+        let head_len = self.write_buf.len();
+        let total = head_len.saturating_add(body.len());
+        let mut written = 0usize;
+        while written < total {
+            let head_rest = self.write_buf.get(written..).unwrap_or(&[]);
+            let body_off = written.saturating_sub(head_len);
+            let body_rest = body.get(body_off..).unwrap_or(&[]);
+            let n = if head_rest.is_empty() {
+                self.stream.write(body_rest).await?
+            } else {
+                let slices = [IoSlice::new(head_rest), IoSlice::new(body_rest)];
+                self.stream.write_vectored(&slices).await?
+            };
+            if n == 0 {
+                return Err(NetError::Io(std::io::Error::from(
+                    std::io::ErrorKind::WriteZero,
+                )));
+            }
+            written = written.saturating_add(n);
+        }
+        self.stream.flush().await?;
+        Ok(())
+    }
+
     /// Consume the wrapper, returning the underlying stream and any
-    /// unconsumed buffered bytes.
+    /// unconsumed buffered bytes. The write buffer returns to the pool.
     pub fn into_parts(self) -> (S, BytesMut) {
-        (self.stream, self.read_buf)
+        (self.stream, self.read_buf.into_inner())
     }
 }
 
@@ -102,6 +156,7 @@ where
 mod tests {
     use super::*;
     use crate::codec::{LineCodec, RawCodec};
+    use bytes::Bytes;
     use tokio::io::duplex;
 
     #[tokio::test]
@@ -122,7 +177,9 @@ mod tests {
         let (a, b) = duplex(256);
         let mut fa = Framed::new(a, LineCodec::default());
         let mut fb = Framed::new(b, RawCodec);
-        fb.write_frame(&b"incomplete".to_vec()).await.unwrap();
+        fb.write_frame(&Bytes::from_static(b"incomplete"))
+            .await
+            .unwrap();
         drop(fb);
         assert!(matches!(
             fa.read_frame().await,
@@ -135,10 +192,51 @@ mod tests {
         let (a, b) = duplex(4096);
         let mut fa = Framed::new(a, LineCodec::with_max_len(8));
         let mut fb = Framed::new(b, RawCodec);
-        fb.write_frame(&vec![b'x'; 64]).await.unwrap();
+        fb.write_frame(&Bytes::from(vec![b'x'; 64])).await.unwrap();
         assert!(matches!(
             fa.read_frame().await,
             Err(NetError::FrameTooLarge { .. })
         ));
+    }
+
+    #[tokio::test]
+    async fn write_split_sends_head_then_body() {
+        let (a, b) = duplex(64); // smaller than the payload: forces partial writes
+        let mut fa = Framed::new(a, RawCodec);
+        let mut fb = Framed::new(b, RawCodec);
+        let body = vec![b'Z'; 300];
+        let expect_body = body.clone();
+        let writer = async move {
+            fa.write_split(|buf| buf.extend_from_slice(b"HEAD:"), &body)
+                .await
+                .unwrap();
+            fa
+        };
+        let reader = async move {
+            let mut got = Vec::new();
+            while got.len() < 305 {
+                match fb.read_frame().await.unwrap() {
+                    Some(chunk) => got.extend_from_slice(&chunk),
+                    None => break,
+                }
+            }
+            got
+        };
+        let (_fa, got) = tokio::join!(writer, reader);
+        assert_eq!(&got[..5], b"HEAD:");
+        assert_eq!(&got[5..], &expect_body[..]);
+    }
+
+    #[tokio::test]
+    async fn write_split_with_empty_body() {
+        let (a, b) = duplex(256);
+        let mut fa = Framed::new(a, RawCodec);
+        let mut fb = Framed::new(b, RawCodec);
+        fa.write_split(|buf| buf.extend_from_slice(b"only-head"), &[])
+            .await
+            .unwrap();
+        drop(fa);
+        let got = fb.read_frame().await.unwrap().unwrap();
+        assert_eq!(&got[..], b"only-head");
     }
 }

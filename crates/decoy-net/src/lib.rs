@@ -28,6 +28,9 @@
 //! * [`cursor`] — [`cursor::ByteCursor`], the fallible, offset-tracking
 //!   reader every `decoy-wire` decoder uses so adversarial bytes can never
 //!   panic the capture layer (errors surface as [`error::WireError`]).
+//! * [`pool`] — a thread-safe, size-classed [`pool::BufferPool`] so session
+//!   framing buffers are reused across connections instead of allocated per
+//!   session.
 //! * [`limiter`] — per-source token-bucket rate limiting and connection caps,
 //!   protecting honeypots from accidental self-DoS during replay.
 //! * [`server`] — a supervised TCP listener: accept loop, per-session tasks,
@@ -48,6 +51,7 @@ pub mod cursor;
 pub mod error;
 pub mod framed;
 pub mod limiter;
+pub mod pool;
 pub mod proxy;
 pub mod server;
 pub mod supervisor;
@@ -59,6 +63,7 @@ pub use cursor::ByteCursor;
 pub use error::{NetError, WireError, WireErrorKind, WireProtocol};
 pub use framed::Framed;
 pub use limiter::{ConnectionGate, RateLimiter};
+pub use pool::{BufferPool, PooledBuf};
 pub use server::{
     Listener, ListenerExit, ListenerOptions, ServerHandle, SessionCtx, SessionHandler,
     SessionLimits, SessionStream, ShutdownSignal,

@@ -175,19 +175,26 @@ impl RecoveryStats {
         self.error.is_none() && self.records_dropped == 0 && self.bytes_truncated == 0
     }
 
-    /// One-line human summary.
+    /// One-line human summary. Stats implement [`fmt::Display`], so callers
+    /// that only ever log on the error path can defer rendering entirely
+    /// (`{stats}` in a format string) instead of building a `String` per
+    /// recovery.
     pub fn summary(&self) -> String {
-        format!(
-            "kept {} records over {} segments; dropped {}, truncated {} bytes{}",
-            self.records_kept,
-            self.segments_scanned,
-            self.records_dropped,
-            self.bytes_truncated,
-            match &self.error {
-                Some(e) => format!("; first error: {e}"),
-                None => String::new(),
-            }
-        )
+        self.to_string()
+    }
+}
+
+impl fmt::Display for RecoveryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "kept {} records over {} segments; dropped {}, truncated {} bytes",
+            self.records_kept, self.segments_scanned, self.records_dropped, self.bytes_truncated,
+        )?;
+        if let Some(e) = &self.error {
+            write!(f, "; first error: {e}")?;
+        }
+        Ok(())
     }
 }
 

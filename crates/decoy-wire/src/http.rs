@@ -10,9 +10,10 @@
 
 // decoy-hot-path: file -- per-request decode/encode, one call per wire message
 
-use bytes::{Buf, BytesMut};
+use bytes::{Buf, Bytes, BytesMut};
 use decoy_net::codec::Codec;
 use decoy_net::error::{NetError, NetResult, WireError, WireErrorKind, WireProtocol};
+use std::fmt::Write as _;
 
 /// Shorthand for an HTTP wire error at `offset`.
 fn herr(offset: usize, kind: WireErrorKind) -> NetError {
@@ -30,8 +31,8 @@ pub struct HttpRequest {
     pub version: String,
     /// Header name/value pairs in arrival order.
     pub headers: Vec<(String, String)>,
-    /// Request body.
-    pub body: Vec<u8>,
+    /// Request body (a zero-copy view of the read buffer on decode).
+    pub body: Bytes,
 }
 
 impl HttpRequest {
@@ -42,12 +43,12 @@ impl HttpRequest {
             target: target.into(),
             version: "HTTP/1.1".into(),
             headers: vec![("Host".into(), "localhost".into())],
-            body: Vec::new(),
+            body: Bytes::new(),
         }
     }
 
     /// Attach a body and its `Content-Type`/`Content-Length` headers.
-    pub fn with_body(mut self, content_type: &str, body: impl Into<Vec<u8>>) -> Self {
+    pub fn with_body(mut self, content_type: &str, body: impl Into<Bytes>) -> Self {
         let body = body.into();
         self.headers
             .push(("Content-Type".into(), content_type.into()));
@@ -90,13 +91,14 @@ pub struct HttpResponse {
     pub reason: String,
     /// Header name/value pairs.
     pub headers: Vec<(String, String)>,
-    /// Response body.
-    pub body: Vec<u8>,
+    /// Response body. `Bytes`-backed so canned honeypot responses are
+    /// shared, not re-copied per session.
+    pub body: Bytes,
 }
 
 impl HttpResponse {
     /// A JSON response with Elasticsearch-style headers.
-    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Self {
+    pub fn json(status: u16, body: impl Into<Bytes>) -> Self {
         let body = body.into();
         HttpResponse {
             status,
@@ -173,6 +175,7 @@ fn parse_head(buf: &[u8]) -> NetResult<Option<ParsedHead>> {
             )
         })?
         .to_string();
+    // decoy-lint: allow(alloc-vec) -- header names/values are inherently owned strings
     let mut headers = Vec::new();
     for line in lines {
         if line.is_empty() {
@@ -285,7 +288,7 @@ impl Codec for HttpServerCodec {
             .to_string();
         let version = parts.next().unwrap_or("HTTP/1.0").to_string();
         buf.advance(head_len);
-        let body = buf.split_to(body_len).to_vec();
+        let body = buf.split_to(body_len).freeze();
         Ok(Some(HttpRequest {
             method,
             target,
@@ -296,11 +299,7 @@ impl Codec for HttpServerCodec {
     }
 
     fn encode(&mut self, resp: &HttpResponse, buf: &mut BytesMut) -> NetResult<()> {
-        buf.extend_from_slice(format!("HTTP/1.1 {} {}\r\n", resp.status, resp.reason).as_bytes());
-        for (k, v) in &resp.headers {
-            buf.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
-        }
-        buf.extend_from_slice(b"\r\n");
+        encode_response_head(resp, buf);
         buf.extend_from_slice(&resp.body);
         Ok(())
     }
@@ -308,6 +307,18 @@ impl Codec for HttpServerCodec {
     fn max_frame_len(&self) -> usize {
         MAX_HEADER_BYTES + MAX_BODY_BYTES
     }
+}
+
+/// Render the status line and headers of `resp` (through the terminating
+/// blank line) into `buf`, without the body. Pairs with
+/// `Framed::write_split` so honeypots send large canned bodies via
+/// vectored I/O instead of copying them into the write buffer.
+pub fn encode_response_head(resp: &HttpResponse, buf: &mut BytesMut) {
+    let _ = write!(buf, "HTTP/1.1 {} {}\r\n", resp.status, resp.reason);
+    for (k, v) in &resp.headers {
+        let _ = write!(buf, "{k}: {v}\r\n");
+    }
+    buf.extend_from_slice(b"\r\n");
 }
 
 /// Client-side codec: encodes [`HttpRequest`], decodes [`HttpResponse`].
@@ -350,7 +361,7 @@ impl Codec for HttpClientCodec {
             })?;
         let reason = parts.next().unwrap_or_default().to_string();
         buf.advance(head_len);
-        let body = buf.split_to(body_len).to_vec();
+        let body = buf.split_to(body_len).freeze();
         Ok(Some(HttpResponse {
             status,
             reason,
@@ -360,18 +371,16 @@ impl Codec for HttpClientCodec {
     }
 
     fn encode(&mut self, req: &HttpRequest, buf: &mut BytesMut) -> NetResult<()> {
-        buf.extend_from_slice(
-            format!("{} {} {}\r\n", req.method, req.target, req.version).as_bytes(),
-        );
+        let _ = write!(buf, "{} {} {}\r\n", req.method, req.target, req.version);
         let mut has_length = false;
         for (k, v) in &req.headers {
             if k.eq_ignore_ascii_case("content-length") {
                 has_length = true;
             }
-            buf.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+            let _ = write!(buf, "{k}: {v}\r\n");
         }
         if !has_length && !req.body.is_empty() {
-            buf.extend_from_slice(format!("Content-Length: {}\r\n", req.body.len()).as_bytes());
+            let _ = write!(buf, "Content-Length: {}\r\n", req.body.len());
         }
         buf.extend_from_slice(b"\r\n");
         buf.extend_from_slice(&req.body);

@@ -12,7 +12,7 @@
 pub mod bson;
 
 use bson::Document;
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use decoy_net::codec::Codec;
 use decoy_net::cursor::{sat_i32, ByteCursor};
 use decoy_net::error::{NetError, NetResult, WireError, WireErrorKind, WireProtocol};
@@ -76,8 +76,8 @@ pub enum MongoBody {
     Unknown {
         /// The opcode observed.
         opcode: i32,
-        /// Raw body bytes.
-        bytes: Vec<u8>,
+        /// Raw body bytes (a zero-copy view of the read buffer).
+        bytes: Bytes,
     },
 }
 
@@ -90,7 +90,7 @@ impl MongoMessage {
             body: MongoBody::Msg {
                 flags: 0,
                 doc,
-                sequences: Vec::new(),
+                sequences: vec![],
             },
         }
     }
@@ -103,7 +103,7 @@ impl MongoMessage {
             body: MongoBody::Msg {
                 flags: 0,
                 doc,
-                sequences: Vec::new(),
+                sequences: vec![],
             },
         }
     }
@@ -172,8 +172,10 @@ impl Codec for MongoCodec {
             return Ok(None);
         }
         buf.advance(16);
-        let body_bytes = buf.split_to(len - 16);
-        let body = parse_body(opcode, &body_bytes)?;
+        // Zero-copy: the body detaches as a shared view; `Unknown` keeps it
+        // whole, the typed opcodes parse out of the borrow.
+        let body_bytes = buf.split_to(len - 16).freeze();
+        let body = parse_body(opcode, body_bytes)?;
         Ok(Some(MongoMessage {
             request_id,
             response_to,
@@ -182,13 +184,22 @@ impl Codec for MongoCodec {
     }
 
     fn encode(&mut self, frame: &MongoMessage, buf: &mut BytesMut) -> NetResult<()> {
-        let mut body = BytesMut::new();
-        let opcode = encode_body(&frame.body, &mut body)?;
-        buf.put_i32_le(sat_i32(body.len().saturating_add(16)));
+        // Reserve the length and opcode words, encode the body directly
+        // into `buf`, then patch — no staging buffer, no body copy.
+        let start = buf.len();
+        buf.put_i32_le(0); // messageLength, patched below
         buf.put_i32_le(frame.request_id);
         buf.put_i32_le(frame.response_to);
-        buf.put_i32_le(opcode);
-        buf.extend_from_slice(&body);
+        let op_pos = buf.len();
+        buf.put_i32_le(0); // opCode, patched below
+        let opcode = encode_body(&frame.body, buf)?;
+        let total = sat_i32(buf.len().saturating_sub(start));
+        if let Some(slot) = buf.get_mut(start..start.saturating_add(4)) {
+            slot.copy_from_slice(&total.to_le_bytes());
+        }
+        if let Some(slot) = buf.get_mut(op_pos..op_pos.saturating_add(4)) {
+            slot.copy_from_slice(&opcode.to_le_bytes());
+        }
         Ok(())
     }
 
@@ -227,7 +238,7 @@ fn parse_op_msg(bytes: &[u8]) -> NetResult<MongoBody> {
         rest = rest.get(..keep).unwrap_or_default();
     }
     let mut doc = None;
-    let mut sequences = Vec::new();
+    let mut sequences = vec![];
     while let Some((&kind, tail)) = rest.split_first() {
         at += 1;
         match kind {
@@ -283,7 +294,7 @@ fn parse_op_msg(bytes: &[u8]) -> NetResult<MongoBody> {
                     String::from_utf8_lossy(section.get(..nul).unwrap_or_default()).into_owned();
                 section = section.get(nul + 1..).unwrap_or_default();
                 section_at += nul + 1;
-                let mut docs = Vec::new();
+                let mut docs = vec![];
                 while !section.is_empty() {
                     let (d, used) = bson::decode_document_at(section, section_at)?;
                     section = section.get(used..).unwrap_or_default();
@@ -318,11 +329,11 @@ fn parse_op_msg(bytes: &[u8]) -> NetResult<MongoBody> {
     })
 }
 
-fn parse_body(opcode: i32, bytes: &[u8]) -> NetResult<MongoBody> {
+fn parse_body(opcode: i32, bytes: Bytes) -> NetResult<MongoBody> {
     match opcode {
-        OP_MSG => parse_op_msg(bytes),
+        OP_MSG => parse_op_msg(&bytes),
         OP_QUERY => {
-            let mut cur = ByteCursor::with_base(bytes, WireProtocol::Mongo, 16);
+            let mut cur = ByteCursor::with_base(&bytes, WireProtocol::Mongo, 16);
             cur.skip(4)?; // flags
             let collection = cur.cstring_lossy()?;
             let skip = cur.i32_le()?;
@@ -337,14 +348,14 @@ fn parse_body(opcode: i32, bytes: &[u8]) -> NetResult<MongoBody> {
             })
         }
         OP_REPLY => {
-            let mut cur = ByteCursor::with_base(bytes, WireProtocol::Mongo, 16);
+            let mut cur = ByteCursor::with_base(&bytes, WireProtocol::Mongo, 16);
             cur.skip(4)?; // responseFlags
             let cursor_id = cur.i64_le()?;
             let starting_from = cur.i32_le()?;
             let n = cur.i32_le()?;
             let mut doc_at = cur.offset();
             let mut rest = cur.rest();
-            let mut documents = Vec::new();
+            let mut documents = vec![];
             for _ in 0..n.max(0) {
                 let (d, used) = bson::decode_document_at(rest, doc_at)?;
                 rest = rest.get(used..).unwrap_or_default();
@@ -359,7 +370,7 @@ fn parse_body(opcode: i32, bytes: &[u8]) -> NetResult<MongoBody> {
         }
         other => Ok(MongoBody::Unknown {
             opcode: other,
-            bytes: bytes.to_vec(),
+            bytes,
         }),
     }
 }
@@ -514,7 +525,7 @@ mod tests {
             response_to: 0,
             body: MongoBody::Unknown {
                 opcode: 2010,
-                bytes: vec![1, 2, 3],
+                bytes: Bytes::from_static(&[1, 2, 3]),
             },
         };
         assert_eq!(roundtrip(msg.clone()), msg);

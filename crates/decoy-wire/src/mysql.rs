@@ -12,7 +12,7 @@
 
 // decoy-hot-path: file -- per-packet decode/encode, one call per wire message
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use decoy_net::codec::Codec;
 use decoy_net::cursor::{sat_u32, sat_u8, usize_from, ByteCursor};
 use decoy_net::error::{NetResult, WireError, WireErrorKind, WireProtocol};
@@ -31,8 +31,9 @@ pub const CLIENT_CONNECT_WITH_DB: u32 = 0x0000_0008;
 pub struct MySqlPacket {
     /// Sequence id; increments within a command/response exchange.
     pub seq: u8,
-    /// Packet payload.
-    pub payload: Vec<u8>,
+    /// Packet payload — a shared view into the decode buffer (zero-copy)
+    /// or a frozen build buffer.
+    pub payload: Bytes,
 }
 
 /// Codec for the MySQL packet transport. Payload interpretation is done by
@@ -65,7 +66,7 @@ impl Codec for MySqlCodec {
             return Ok(None);
         }
         buf.advance(4);
-        let payload = buf.split_to(len).to_vec();
+        let payload = buf.split_to(len).freeze();
         Ok(Some(MySqlPacket { seq, payload }))
     }
 
@@ -135,7 +136,7 @@ impl Greeting {
     }
 
     /// Serialize into a packet payload.
-    pub fn build(&self) -> Vec<u8> {
+    pub fn build(&self) -> Bytes {
         let (part1, part2) = self.auth_data.split_at(8);
         let [cap0, cap1, cap2, cap3] = self.capabilities.to_le_bytes();
         let mut p = BytesMut::new();
@@ -157,7 +158,7 @@ impl Greeting {
         p.put_u8(0); // part-2 terminator
         p.extend_from_slice(self.auth_plugin.as_bytes());
         p.put_u8(0);
-        p.to_vec()
+        p.freeze()
     }
 
     /// Parse a greeting payload (client side).
@@ -210,7 +211,7 @@ pub struct LoginRequest {
     pub username: String,
     /// Raw auth response: cleartext password (clear-password plugin, with a
     /// trailing NUL) or a 20-byte native-password scramble.
-    pub auth_response: Vec<u8>,
+    pub auth_response: Bytes,
     /// Optional initial database.
     pub database: Option<String>,
     /// Client auth plugin name, when announced.
@@ -246,8 +247,9 @@ impl LoginRequest {
 
     /// Build a cleartext-plugin login (the form brute-force drivers use).
     pub fn cleartext(username: &str, password: &str, database: Option<&str>) -> Self {
-        let mut auth = password.as_bytes().to_vec();
-        auth.push(0);
+        let mut auth = BytesMut::with_capacity(password.len().saturating_add(1));
+        auth.extend_from_slice(password.as_bytes());
+        auth.put_u8(0);
         LoginRequest {
             capabilities: CLIENT_PROTOCOL_41
                 | CLIENT_SECURE_CONNECTION
@@ -258,14 +260,14 @@ impl LoginRequest {
                     0
                 },
             username: username.into(),
-            auth_response: auth,
+            auth_response: auth.freeze(),
             database: database.map(String::from),
             auth_plugin: Some("mysql_clear_password".into()),
         }
     }
 
     /// Serialize into a packet payload.
-    pub fn build(&self) -> Vec<u8> {
+    pub fn build(&self) -> Bytes {
         let mut p = BytesMut::new();
         p.put_u32_le(self.capabilities);
         p.put_u32_le(16 << 20); // max packet size
@@ -284,7 +286,7 @@ impl LoginRequest {
             p.extend_from_slice(plugin.as_bytes());
             p.put_u8(0);
         }
-        p.to_vec()
+        p.freeze()
     }
 
     /// Parse a `HandshakeResponse41` payload (server side).
@@ -306,7 +308,8 @@ impl LoginRequest {
         cur.skip(23)?; // reserved filler
         let username = cur.cstring_lossy()?;
         let auth_len = usize::from(cur.u8()?);
-        let auth_response = cur.take(auth_len)?.to_vec();
+        // Bounded copy (≤ 255 bytes): the credential must outlive the frame.
+        let auth_response = Bytes::copy_from_slice(cur.take(auth_len)?);
         let mut rest = cur.rest();
         let database = if capabilities & CLIENT_CONNECT_WITH_DB != 0 && !rest.is_empty() {
             let (db, tail) = split_optional_cstring(rest);
@@ -336,35 +339,46 @@ impl LoginRequest {
 }
 
 /// Build an `ERR` packet payload.
-pub fn build_err(code: u16, sql_state: &str, message: &str) -> Vec<u8> {
+pub fn build_err(code: u16, sql_state: &str, message: &str) -> Bytes {
     let mut p = BytesMut::new();
+    build_err_into(code, sql_state, message, &mut p);
+    p.freeze()
+}
+
+/// Append an `ERR` packet payload to a caller-provided (pooled) buffer.
+pub fn build_err_into(code: u16, sql_state: &str, message: &str, p: &mut BytesMut) {
+    let start = p.len();
     p.put_u8(0xff);
     p.put_u16_le(code);
     p.put_u8(b'#');
     let state = sql_state.as_bytes();
     p.extend_from_slice(state.get(..5.min(state.len())).unwrap_or_default());
-    while p.len() < 4 + 5 {
+    while p.len() < start + 4 + 5 {
         p.put_u8(b'0');
     }
     p.extend_from_slice(message.as_bytes());
-    p.to_vec()
 }
 
 /// The access-denied error a real server sends for a failed login.
-pub fn access_denied(user: &str, host: &str, using_password: bool) -> Vec<u8> {
-    build_err(
-        1045,
-        "28000",
-        &format!(
-            "Access denied for user '{user}'@'{host}' (using password: {})",
-            if using_password { "YES" } else { "NO" }
-        ),
-    )
+pub fn access_denied(user: &str, host: &str, using_password: bool) -> Bytes {
+    use std::fmt::Write as _;
+    let mut p = BytesMut::new();
+    p.put_u8(0xff);
+    p.put_u16_le(1045);
+    p.put_u8(b'#');
+    p.extend_from_slice(b"28000");
+    // render the message straight into the payload buffer — no temporary String
+    let _ = write!(
+        p,
+        "Access denied for user '{user}'@'{host}' (using password: {})",
+        if using_password { "YES" } else { "NO" }
+    );
+    p.freeze()
 }
 
-/// Build an `OK` packet payload.
-pub fn build_ok() -> Vec<u8> {
-    vec![0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00]
+/// The `OK` packet payload (static: it never varies).
+pub fn build_ok() -> Bytes {
+    Bytes::from_static(&[0x00, 0x00, 0x00, 0x02, 0x00, 0x00, 0x00])
 }
 
 /// Classify a post-auth command payload.
@@ -376,12 +390,13 @@ pub enum MySqlCommand {
     Quit,
     /// `COM_PING`.
     Ping,
-    /// Anything else, preserved raw.
-    Other(u8, Vec<u8>),
+    /// Anything else, preserved raw as a zero-copy view of the payload.
+    Other(u8, Bytes),
 }
 
-/// Parse a command-phase packet payload.
-pub fn parse_command(payload: &[u8]) -> NetResult<MySqlCommand> {
+/// Parse a command-phase packet payload. Takes the packet's `Bytes` so the
+/// `Other` arm can hold a zero-copy sub-view rather than a copy.
+pub fn parse_command(payload: &Bytes) -> NetResult<MySqlCommand> {
     let Some((&op, rest)) = payload.split_first() else {
         return Err(WireError::new(
             WireProtocol::MySql,
@@ -396,7 +411,7 @@ pub fn parse_command(payload: &[u8]) -> NetResult<MySqlCommand> {
         0x03 => MySqlCommand::Query(String::from_utf8_lossy(rest).into_owned()),
         0x01 => MySqlCommand::Quit,
         0x0e => MySqlCommand::Ping,
-        other => MySqlCommand::Other(other, rest.to_vec()),
+        other => MySqlCommand::Other(other, payload.slice_ref(rest)),
     })
 }
 
@@ -425,7 +440,7 @@ mod tests {
         let mut c = MySqlCodec;
         let pkt = MySqlPacket {
             seq: 1,
-            payload: vec![1, 2, 3, 4, 5],
+            payload: Bytes::from_static(&[1, 2, 3, 4, 5]),
         };
         let mut buf = BytesMut::new();
         c.encode(&pkt, &mut buf).unwrap();
@@ -460,7 +475,7 @@ mod tests {
         let login = LoginRequest {
             capabilities: CLIENT_PROTOCOL_41 | CLIENT_SECURE_CONNECTION | CLIENT_PLUGIN_AUTH,
             username: "sa".into(),
-            auth_response: vec![0xde, 0xad],
+            auth_response: Bytes::from_static(&[0xde, 0xad]),
             database: None,
             auth_plugin: Some("mysql_native_password".into()),
         };
@@ -490,16 +505,20 @@ mod tests {
         let mut q = vec![0x03];
         q.extend_from_slice(b"SELECT @@version");
         assert_eq!(
-            parse_command(&q).unwrap(),
+            parse_command(&Bytes::from(q)).unwrap(),
             MySqlCommand::Query("SELECT @@version".into())
         );
-        assert_eq!(parse_command(&[0x01]).unwrap(), MySqlCommand::Quit);
-        assert_eq!(parse_command(&[0x0e]).unwrap(), MySqlCommand::Ping);
-        assert!(matches!(
-            parse_command(&[0x1b, 9]).unwrap(),
-            MySqlCommand::Other(0x1b, _)
-        ));
-        assert!(parse_command(&[]).is_err());
+        assert_eq!(
+            parse_command(&Bytes::from_static(&[0x01])).unwrap(),
+            MySqlCommand::Quit
+        );
+        assert_eq!(
+            parse_command(&Bytes::from_static(&[0x0e])).unwrap(),
+            MySqlCommand::Ping
+        );
+        let other = parse_command(&Bytes::from_static(&[0x1b, 9])).unwrap();
+        assert!(matches!(other, MySqlCommand::Other(0x1b, ref b) if b[..] == [9]));
+        assert!(parse_command(&Bytes::new()).is_err());
     }
 
     #[test]

@@ -11,10 +11,11 @@
 
 // decoy-hot-path: file -- per-message decode/encode, one call per wire message
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use decoy_net::codec::{peek_u32_be, Codec};
 use decoy_net::cursor::{sat_i32, sat_u16, sat_u32, usize_from, ByteCursor};
 use decoy_net::error::{NetResult, WireError, WireErrorKind, WireProtocol};
+use std::fmt::Write as _;
 
 /// Protocol version number for v3.0 startup packets.
 pub const PROTOCOL_V3: u32 = 196_608;
@@ -50,8 +51,9 @@ pub enum FrontendMessage {
     Other {
         /// Message tag byte.
         tag: u8,
-        /// Raw body after the length word.
-        body: Vec<u8>,
+        /// Raw body after the length word (a zero-copy view of the read
+        /// buffer).
+        body: Bytes,
     },
 }
 
@@ -120,19 +122,26 @@ pub enum BackendMessage {
 impl BackendMessage {
     /// The standard "password authentication failed" error.
     pub fn auth_failed(user: &str) -> Self {
+        let mut message = String::with_capacity(44_usize.saturating_add(user.len()));
+        let _ = write!(
+            message,
+            "password authentication failed for user \"{user}\""
+        );
         BackendMessage::ErrorResponse {
             severity: "FATAL".into(),
             code: "28P01".into(),
-            message: format!("password authentication failed for user \"{user}\""),
+            message,
         }
     }
 
     /// A generic syntax error, used by the honeypot for unintelligible SQL.
     pub fn syntax_error(near: &str) -> Self {
+        let mut message = String::with_capacity(28_usize.saturating_add(near.len()));
+        let _ = write!(message, "syntax error at or near \"{near}\"");
         BackendMessage::ErrorResponse {
             severity: "ERROR".into(),
             code: "42601".into(),
-            message: format!("syntax error at or near \"{near}\""),
+            message,
         }
     }
 }
@@ -155,6 +164,7 @@ fn parse_startup_body(body: &[u8]) -> NetResult<FrontendMessage> {
             Ok(FrontendMessage::CancelRequest { pid, secret })
         }
         PROTOCOL_V3 => {
+            // decoy-lint: allow(alloc-vec) -- startup happens once per session
             let mut params = Vec::new();
             while !matches!(cur.peek_u8(), None | Some(0)) {
                 let k = cur.cstring_lossy()?;
@@ -263,7 +273,9 @@ impl Codec for PgServerCodec {
             return Ok(None);
         }
         buf.advance(5);
-        let body = buf.split_to(len - 4).to_vec();
+        // Zero-copy: the body is a shared view of the read buffer; only
+        // `Other` keeps it, the typed arms parse out of the borrow.
+        let body = buf.split_to(len - 4).freeze();
         let msg = match tag {
             b'p' => {
                 let mut cur = ByteCursor::with_base(&body, WireProtocol::Pgwire, 5);
@@ -323,7 +335,7 @@ impl Codec for PgClientCodec {
             return Ok(None);
         }
         buf.advance(5);
-        let body = buf.split_to(len - 4).to_vec();
+        let body = buf.split_to(len - 4);
         let msg = parse_backend(tag, &body)?;
         Ok(Some(msg))
     }
@@ -391,6 +403,7 @@ fn parse_backend(tag: u8, body: &[u8]) -> NetResult<BackendMessage> {
         }
         b'T' => {
             let n = usize::from(cur.u16_be()?);
+            // decoy-lint: allow(alloc-vec) -- client-side replay path; row shapes vary per response
             let mut columns = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
                 let name = cur.cstring_lossy()?;
@@ -402,6 +415,7 @@ fn parse_backend(tag: u8, body: &[u8]) -> NetResult<BackendMessage> {
         }
         b'D' => {
             let n = usize::from(cur.u16_be()?);
+            // decoy-lint: allow(alloc-vec) -- client-side replay path; row shapes vary per response
             let mut values = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
                 let len = cur.i32_be()?;
@@ -445,15 +459,20 @@ fn encode_frontend(msg: &FrontendMessage, buf: &mut BytesMut, sent_startup: &mut
             buf.put_u32(*secret);
         }
         FrontendMessage::Startup { params } => {
-            let mut body = BytesMut::new();
-            body.put_u32(PROTOCOL_V3);
+            // Length computed up front so the body renders straight into
+            // `buf` with no intermediate staging buffer.
+            let body_len: usize = params
+                .iter()
+                .map(|(k, v)| k.len().saturating_add(v.len()).saturating_add(2))
+                .sum::<usize>()
+                .saturating_add(5);
+            buf.put_u32(sat_u32(4usize.saturating_add(body_len)));
+            buf.put_u32(PROTOCOL_V3);
             for (k, v) in params {
-                put_cstring(&mut body, k);
-                put_cstring(&mut body, v);
+                put_cstring(buf, k);
+                put_cstring(buf, v);
             }
-            body.put_u8(0);
-            buf.put_u32(sat_u32(4 + body.len()));
-            buf.extend_from_slice(&body);
+            buf.put_u8(0);
             *sent_startup = true;
         }
         FrontendMessage::Password(pw) => {
@@ -521,49 +540,60 @@ fn encode_backend(msg: &BackendMessage, buf: &mut BytesMut) {
             code,
             message,
         } => {
-            let mut body = BytesMut::new();
-            body.put_u8(b'S');
-            put_cstring(&mut body, severity);
-            body.put_u8(b'C');
-            put_cstring(&mut body, code);
-            body.put_u8(b'M');
-            put_cstring(&mut body, message);
-            body.put_u8(0);
+            // Each field is tag byte + NUL-terminated value; +1 terminator.
+            let body_len = severity
+                .len()
+                .saturating_add(code.len())
+                .saturating_add(message.len())
+                .saturating_add(7);
             buf.put_u8(b'E');
-            buf.put_u32(sat_u32(4 + body.len()));
-            buf.extend_from_slice(&body);
+            buf.put_u32(sat_u32(4usize.saturating_add(body_len)));
+            buf.put_u8(b'S');
+            put_cstring(buf, severity);
+            buf.put_u8(b'C');
+            put_cstring(buf, code);
+            buf.put_u8(b'M');
+            put_cstring(buf, message);
+            buf.put_u8(0);
         }
         BackendMessage::RowDescription { columns } => {
-            let mut body = BytesMut::new();
-            body.put_u16(sat_u16(columns.len()));
-            for col in columns {
-                put_cstring(&mut body, col);
-                body.put_u32(0); // table oid
-                body.put_u16(0); // attribute number
-                body.put_u32(25); // type oid: text
-                body.put_i16(-1); // type size: variable
-                body.put_i32(-1); // type modifier
-                body.put_u16(0); // format: text
-            }
+            // Per column: name + NUL + 18 bytes of fixed descriptor fields.
+            let body_len: usize = columns
+                .iter()
+                .map(|c| c.len().saturating_add(19))
+                .sum::<usize>()
+                .saturating_add(2);
             buf.put_u8(b'T');
-            buf.put_u32(sat_u32(4 + body.len()));
-            buf.extend_from_slice(&body);
+            buf.put_u32(sat_u32(4usize.saturating_add(body_len)));
+            buf.put_u16(sat_u16(columns.len()));
+            for col in columns {
+                put_cstring(buf, col);
+                buf.put_u32(0); // table oid
+                buf.put_u16(0); // attribute number
+                buf.put_u32(25); // type oid: text
+                buf.put_i16(-1); // type size: variable
+                buf.put_i32(-1); // type modifier
+                buf.put_u16(0); // format: text
+            }
         }
         BackendMessage::DataRow { values } => {
-            let mut body = BytesMut::new();
-            body.put_u16(sat_u16(values.len()));
+            let body_len: usize = values
+                .iter()
+                .map(|v| v.as_ref().map_or(4, |s| s.len().saturating_add(4)))
+                .sum::<usize>()
+                .saturating_add(2);
+            buf.put_u8(b'D');
+            buf.put_u32(sat_u32(4usize.saturating_add(body_len)));
+            buf.put_u16(sat_u16(values.len()));
             for v in values {
                 match v {
-                    None => body.put_i32(-1),
+                    None => buf.put_i32(-1),
                     Some(s) => {
-                        body.put_i32(sat_i32(s.len()));
-                        body.extend_from_slice(s.as_bytes());
+                        buf.put_i32(sat_i32(s.len()));
+                        buf.extend_from_slice(s.as_bytes());
                     }
                 }
             }
-            buf.put_u8(b'D');
-            buf.put_u32(sat_u32(4 + body.len()));
-            buf.extend_from_slice(&body);
         }
         BackendMessage::CommandComplete { tag } => {
             buf.put_u8(b'C');
@@ -738,14 +768,14 @@ mod tests {
         server.decode(&mut buf).unwrap();
         let mut buf = client_encode(FrontendMessage::Other {
             tag: b'P',
-            body: b"\0SELECT 1\0\0\0".to_vec(),
+            body: Bytes::from_static(b"\0SELECT 1\0\0\0"),
         });
         let msg = server.decode(&mut buf).unwrap().unwrap();
         assert_eq!(
             msg,
             FrontendMessage::Other {
                 tag: b'P',
-                body: b"\0SELECT 1\0\0\0".to_vec()
+                body: Bytes::from_static(b"\0SELECT 1\0\0\0")
             }
         );
     }

@@ -13,9 +13,10 @@
 
 // decoy-hot-path: file -- per-value decode/encode, one call per wire message
 
-use bytes::{Buf, BytesMut};
+use bytes::{Bytes, BytesMut};
 use decoy_net::codec::Codec;
 use decoy_net::error::{NetError, NetResult, WireError, WireErrorKind, WireProtocol};
+use std::fmt::Write as _;
 
 /// Nesting bound for arrays-of-arrays from hostile clients.
 const MAX_DEPTH: u32 = 32;
@@ -31,8 +32,8 @@ pub enum RespValue {
     Error(String),
     /// `:42\r\n`
     Integer(i64),
-    /// `$5\r\nhello\r\n`
-    Bulk(Vec<u8>),
+    /// `$5\r\nhello\r\n` — the payload is a zero-copy view of the frame.
+    Bulk(Bytes),
     /// `$-1\r\n`
     NullBulk,
     /// `*2\r\n...`
@@ -47,7 +48,7 @@ pub enum RespValue {
 impl RespValue {
     /// Shorthand for a bulk string from text.
     pub fn bulk(s: impl AsRef<[u8]>) -> Self {
-        RespValue::Bulk(s.as_ref().to_vec())
+        RespValue::Bulk(Bytes::copy_from_slice(s.as_ref()))
     }
 
     /// Shorthand for a command array of bulk strings.
@@ -59,7 +60,7 @@ impl RespValue {
     pub fn as_text(&self) -> Option<String> {
         match self {
             RespValue::Bulk(b) => Some(String::from_utf8_lossy(b).into_owned()),
-            RespValue::Simple(s) | RespValue::Inline(s) => Some(s.clone()),
+            RespValue::Simple(s) | RespValue::Inline(s) => Some(s.to_owned()),
             _ => None,
         }
     }
@@ -70,8 +71,8 @@ impl RespValue {
 pub struct RedisCommand {
     /// Command name, normalized to uppercase (`SET`, `CONFIG`, ...).
     pub name: String,
-    /// Arguments, verbatim.
-    pub args: Vec<Vec<u8>>,
+    /// Arguments, verbatim — zero-copy views of the decoded frame.
+    pub args: Vec<Bytes>,
 }
 
 impl RedisCommand {
@@ -85,7 +86,9 @@ impl RedisCommand {
     /// Render the command the way the paper's logs render it
     /// (space-joined, lossy UTF-8).
     pub fn render(&self) -> String {
-        let mut out = self.name.clone();
+        let extra: usize = self.args.iter().map(|a| a.len().saturating_add(1)).sum();
+        let mut out = String::with_capacity(self.name.len().saturating_add(extra));
+        out.push_str(&self.name);
         for a in &self.args {
             out.push(' ');
             out.push_str(&String::from_utf8_lossy(a));
@@ -99,20 +102,25 @@ impl RedisCommand {
 pub fn as_command(value: &RespValue) -> Option<RedisCommand> {
     match value {
         RespValue::Array(items) => {
+            // decoy-lint: allow(alloc-vec) -- one argument vector per decoded command
             let mut parts = Vec::with_capacity(items.len());
             for item in items {
                 match item {
-                    RespValue::Bulk(b) => parts.push(b.clone()),
+                    // Shares the frame bytes; no payload copy.
+                    RespValue::Bulk(b) => parts.push(b.slice(..)),
                     RespValue::Simple(s) | RespValue::Inline(s) => {
-                        parts.push(s.clone().into_bytes())
+                        parts.push(Bytes::copy_from_slice(s.as_bytes()))
                     }
                     _ => return None,
                 }
             }
-            let (first, args) = parts.split_first()?;
+            if parts.is_empty() {
+                return None;
+            }
+            let first = parts.remove(0);
             Some(RedisCommand {
-                name: String::from_utf8_lossy(first).to_uppercase(),
-                args: args.to_vec(),
+                name: String::from_utf8_lossy(&first).to_uppercase(),
+                args: parts,
             })
         }
         RespValue::Inline(line) => {
@@ -120,7 +128,9 @@ pub fn as_command(value: &RespValue) -> Option<RedisCommand> {
             let name = parts.next()?.to_uppercase();
             Some(RedisCommand {
                 name,
-                args: parts.map(|p| p.as_bytes().to_vec()).collect(),
+                args: parts
+                    .map(|p| Bytes::copy_from_slice(p.as_bytes()))
+                    .collect(),
             })
         }
         _ => None,
@@ -178,11 +188,109 @@ fn parse_int(bytes: &[u8], offset: usize) -> NetResult<i64> {
     })
 }
 
-/// Recursive incremental parse over `buf`, which starts at absolute frame
-/// offset `base`. Returns `(value, consumed)` or `None` if incomplete.
-/// `depth` bounds nesting against hostile input; `max_bulk` bounds any
-/// declared bulk length.
+/// Measure pass: find the byte length of one complete RESP value at the
+/// front of `buf`, validating lengths and nesting, without building
+/// anything. Returns `None` if the frame is incomplete — so partial reads
+/// cost zero allocations. The build pass ([`parse_value`]) then runs over
+/// an exact frozen frame and shares payload bytes out of it.
+fn measure_value(buf: &[u8], base: usize, depth: u32, max_bulk: usize) -> NetResult<Option<usize>> {
+    if depth > MAX_DEPTH {
+        return Err(rerr(
+            base,
+            WireErrorKind::NestingTooDeep { limit: MAX_DEPTH },
+        ));
+    }
+    let Some(&type_byte) = buf.first() else {
+        return Ok(None);
+    };
+    match type_byte {
+        b'+' | b'-' | b':' => {
+            let Some(end) = find_crlf(buf, 1) else {
+                return Ok(None);
+            };
+            if type_byte == b':' {
+                parse_int(buf.get(1..end).unwrap_or_default(), base + 1)?;
+            }
+            Ok(Some(end + 2))
+        }
+        b'$' => {
+            let Some(end) = find_crlf(buf, 1) else {
+                return Ok(None);
+            };
+            let declared = parse_int(buf.get(1..end).unwrap_or_default(), base + 1)?;
+            let header = end + 2;
+            if declared < 0 {
+                return Ok(Some(header));
+            }
+            let len = usize::try_from(declared)
+                .ok()
+                .filter(|&n| n <= max_bulk)
+                .ok_or_else(|| {
+                    rerr(
+                        base + 1,
+                        WireErrorKind::LengthOutOfRange {
+                            declared: u64::try_from(declared).unwrap_or(u64::MAX),
+                            max: u64::try_from(max_bulk).unwrap_or(u64::MAX),
+                        },
+                    )
+                })?;
+            let total = header + len + 2;
+            if buf.len() < total {
+                return Ok(None);
+            }
+            if buf.get(header + len..total) != Some(&b"\r\n"[..]) {
+                return Err(rerr(
+                    base + header + len,
+                    WireErrorKind::Malformed {
+                        detail: "bulk string missing CRLF terminator",
+                    },
+                ));
+            }
+            Ok(Some(total))
+        }
+        b'*' => {
+            let Some(end) = find_crlf(buf, 1) else {
+                return Ok(None);
+            };
+            let declared = parse_int(buf.get(1..end).unwrap_or_default(), base + 1)?;
+            let mut consumed = end + 2;
+            if declared < 0 {
+                return Ok(Some(consumed));
+            }
+            if declared > MAX_ARRAY {
+                return Err(rerr(
+                    base + 1,
+                    WireErrorKind::TooManyElements {
+                        limit: u64::try_from(MAX_ARRAY).unwrap_or(u64::MAX),
+                    },
+                ));
+            }
+            let n = usize::try_from(declared).unwrap_or(0);
+            for _ in 0..n {
+                let tail = buf.get(consumed..).unwrap_or_default();
+                match measure_value(tail, base + consumed, depth + 1, max_bulk)? {
+                    Some(used) => consumed += used,
+                    None => return Ok(None),
+                }
+            }
+            Ok(Some(consumed))
+        }
+        _ => Err(rerr(
+            base,
+            WireErrorKind::BadMagic {
+                what: "RESP type byte",
+            },
+        )),
+    }
+}
+
+/// Build pass over a complete, already-measured frame. `frame` is the
+/// frozen frame and `buf` a subslice of it at absolute offset `base`, so
+/// bulk payloads are shared out of `frame` without copying. Returns
+/// `(value, consumed)`; `None`/validation errors can only occur if the two
+/// passes disagree, which [`RespCodec::decode`] treats as malformed.
 fn parse_value(
+    frame: &Bytes,
     buf: &[u8],
     base: usize,
     depth: u32,
@@ -236,18 +344,8 @@ fn parse_value(
             if buf.len() < total {
                 return Ok(None);
             }
-            if buf.get(header + len..total) != Some(&b"\r\n"[..]) {
-                return Err(rerr(
-                    base + header + len,
-                    WireErrorKind::Malformed {
-                        detail: "bulk string missing CRLF terminator",
-                    },
-                ));
-            }
-            Ok(Some((
-                RespValue::Bulk(buf.get(header..header + len).unwrap_or_default().to_vec()),
-                total,
-            )))
+            let payload = buf.get(header..header + len).unwrap_or_default();
+            Ok(Some((RespValue::Bulk(frame.slice_ref(payload)), total)))
         }
         b'*' => {
             let Some(end) = find_crlf(buf, 1) else {
@@ -267,10 +365,11 @@ fn parse_value(
                 ));
             }
             let n = usize::try_from(declared).unwrap_or(0);
+            // decoy-lint: allow(alloc-vec) -- decoded array elements; count validated by the measure pass
             let mut items = Vec::with_capacity(n.min(64));
             for _ in 0..n {
                 let tail = buf.get(consumed..).unwrap_or_default();
-                match parse_value(tail, base + consumed, depth + 1, max_bulk)? {
+                match parse_value(frame, tail, base + consumed, depth + 1, max_bulk)? {
                     Some((item, used)) => {
                         items.push(item);
                         consumed += used;
@@ -312,12 +411,20 @@ impl Codec for RespCodec {
                 String::from_utf8_lossy(&line).into_owned(),
             )));
         }
-        match parse_value(buf, 0, 0, self.max_frame)? {
-            Some((value, consumed)) => {
-                buf.advance(consumed);
-                Ok(Some(value))
-            }
-            None => Ok(None),
+        let Some(consumed) = measure_value(buf, 0, 0, self.max_frame)? else {
+            return Ok(None);
+        };
+        // The measure pass fixed the exact frame length; detach it as a
+        // shared view and build values whose bulk payloads borrow from it.
+        let frame = buf.split_to(consumed).freeze();
+        match parse_value(&frame, frame.as_ref(), 0, 0, self.max_frame)? {
+            Some((value, _)) => Ok(Some(value)),
+            None => Err(rerr(
+                0,
+                WireErrorKind::Malformed {
+                    detail: "frame incomplete after measurement",
+                },
+            )),
         }
     }
 
@@ -344,16 +451,18 @@ fn encode_value(v: &RespValue, buf: &mut BytesMut) {
             buf.extend_from_slice(b"\r\n");
         }
         RespValue::Integer(i) => {
-            buf.extend_from_slice(format!(":{i}\r\n").as_bytes());
+            // `write!` renders straight into the output buffer; no
+            // intermediate string.
+            let _ = write!(buf, ":{i}\r\n");
         }
         RespValue::Bulk(b) => {
-            buf.extend_from_slice(format!("${}\r\n", b.len()).as_bytes());
+            let _ = write!(buf, "${}\r\n", b.len());
             buf.extend_from_slice(b);
             buf.extend_from_slice(b"\r\n");
         }
         RespValue::NullBulk => buf.extend_from_slice(b"$-1\r\n"),
         RespValue::Array(items) => {
-            buf.extend_from_slice(format!("*{}\r\n", items.len()).as_bytes());
+            let _ = write!(buf, "*{}\r\n", items.len());
             for item in items {
                 encode_value(item, buf);
             }

@@ -13,10 +13,11 @@
 
 // decoy-hot-path: file -- per-packet decode/encode, one call per wire message
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use decoy_net::codec::Codec;
 use decoy_net::cursor::{sat_u16, sat_u32, sat_u8, usize_from};
 use decoy_net::error::{NetError, NetResult, WireError, WireErrorKind, WireProtocol};
+use std::fmt::Write as _;
 
 /// Packet type: PRELOGIN.
 pub const PKT_PRELOGIN: u8 = 0x12;
@@ -40,17 +41,18 @@ pub struct TdsPacket {
     pub ptype: u8,
     /// Status bits (0x01 = EOM).
     pub status: u8,
-    /// Payload after the 8-byte header.
-    pub payload: Vec<u8>,
+    /// Payload after the 8-byte header (a zero-copy view of the read
+    /// buffer on decode).
+    pub payload: Bytes,
 }
 
 impl TdsPacket {
     /// A single end-of-message packet.
-    pub fn eom(ptype: u8, payload: Vec<u8>) -> Self {
+    pub fn eom(ptype: u8, payload: impl Into<Bytes>) -> Self {
         TdsPacket {
             ptype,
             status: 0x01,
-            payload,
+            payload: payload.into(),
         }
     }
 }
@@ -89,7 +91,7 @@ impl Codec for TdsCodec {
             return Ok(None);
         }
         buf.advance(8);
-        let payload = buf.split_to(len - 8).to_vec();
+        let payload = buf.split_to(len - 8).freeze();
         Ok(Some(TdsPacket {
             ptype,
             status,
@@ -121,11 +123,7 @@ impl Codec for TdsCodec {
 
 /// Encode text as UCS-2 LE (BMP only, which covers observed credentials).
 pub fn ucs2_encode(s: &str) -> Vec<u8> {
-    let mut out = Vec::with_capacity(s.len() * 2);
-    for u in s.encode_utf16() {
-        out.extend_from_slice(&u.to_le_bytes());
-    }
-    out
+    s.encode_utf16().flat_map(u16::to_le_bytes).collect()
 }
 
 /// Decode UCS-2 LE text (lossy).
@@ -150,11 +148,14 @@ pub fn password_demangle(mangled: &[u8]) -> Vec<u8> {
 
 // --- PRELOGIN --------------------------------------------------------------
 
-/// A PRELOGIN option: `(token, data)`.
-pub type PreloginOption = (u8, Vec<u8>);
+/// A PRELOGIN option: `(token, data)`. The data is a zero-copy view of the
+/// packet payload on parse.
+pub type PreloginOption = (u8, Bytes);
 
-/// Parse a PRELOGIN payload into its option list.
-pub fn parse_prelogin(payload: &[u8]) -> NetResult<Vec<PreloginOption>> {
+/// Parse a PRELOGIN payload into its option list. Option data is shared
+/// out of `payload` without copying.
+pub fn parse_prelogin(payload: &Bytes) -> NetResult<Vec<PreloginOption>> {
+    // decoy-lint: allow(alloc-vec) -- prelogin happens once per session
     let mut options = Vec::new();
     let mut idx = 0usize;
     loop {
@@ -192,7 +193,7 @@ pub fn parse_prelogin(payload: &[u8]) -> NetResult<Vec<PreloginOption>> {
                 },
             ));
         };
-        options.push((token, data.to_vec()));
+        options.push((token, payload.slice_ref(data)));
         idx += 5;
         if options.len() > 16 {
             return Err(terr(idx, WireErrorKind::TooManyElements { limit: 16 }));
@@ -201,33 +202,35 @@ pub fn parse_prelogin(payload: &[u8]) -> NetResult<Vec<PreloginOption>> {
     Ok(options)
 }
 
-/// Build a PRELOGIN payload from options.
-pub fn build_prelogin(options: &[PreloginOption]) -> Vec<u8> {
+/// Build a PRELOGIN payload from options. The option table and data render
+/// into one sized buffer in a single pass each — no staging vectors.
+pub fn build_prelogin(options: &[PreloginOption]) -> Bytes {
     let header_len = options.len() * 5 + 1;
-    let mut data = Vec::new();
-    let mut header = Vec::with_capacity(header_len);
+    let data_len: usize = options.iter().map(|(_, b)| b.len()).sum();
+    let mut p = BytesMut::with_capacity(header_len + data_len);
     let mut offset = header_len;
     for (token, bytes) in options {
-        header.push(*token);
-        header.extend_from_slice(&sat_u16(offset).to_be_bytes());
-        header.extend_from_slice(&sat_u16(bytes.len()).to_be_bytes());
-        data.extend_from_slice(bytes);
+        p.put_u8(*token);
+        p.put_u16(sat_u16(offset));
+        p.put_u16(sat_u16(bytes.len()));
         offset += bytes.len();
     }
-    header.push(0xff);
-    header.extend_from_slice(&data);
-    header
+    p.put_u8(0xff);
+    for (_, bytes) in options {
+        p.extend_from_slice(bytes);
+    }
+    p.freeze()
 }
 
 /// The PRELOGIN response our honeypot sends: SQL Server 2019 version token
 /// and "encryption not supported" (keeps brute-forcers in cleartext).
-pub fn honeypot_prelogin_response() -> Vec<u8> {
+pub fn honeypot_prelogin_response() -> Bytes {
     build_prelogin(&[
-        (0x00, vec![15, 0, 0x08, 0x0b, 0, 0]), // VERSION 15.0.2091
-        (0x01, vec![2]),                       // ENCRYPT_NOT_SUP
-        (0x02, vec![0]),                       // INSTOPT
-        (0x03, vec![0, 0, 0, 0]),              // THREADID
-        (0x04, vec![0]),                       // MARS off
+        (0x00, Bytes::from_static(&[15, 0, 0x08, 0x0b, 0, 0])), // VERSION 15.0.2091
+        (0x01, Bytes::from_static(&[2])),                       // ENCRYPT_NOT_SUP
+        (0x02, Bytes::from_static(&[0])),                       // INSTOPT
+        (0x03, Bytes::from_static(&[0, 0, 0, 0])),              // THREADID
+        (0x04, Bytes::from_static(&[0])),                       // MARS off
     ])
 }
 
@@ -254,27 +257,20 @@ const LOGIN7_FIXED: usize = 94;
 
 impl Login7 {
     /// Serialize into a LOGIN7 payload.
-    pub fn build(&self) -> Vec<u8> {
+    pub fn build(&self) -> Bytes {
         let fields = [
             ucs2_encode(&self.hostname),
             ucs2_encode(&self.username),
             password_mangle(&ucs2_encode(&self.password)),
             ucs2_encode(&self.appname),
             ucs2_encode(&self.servername),
-            Vec::new(), // unused / extension
+            ucs2_encode(""), // unused / extension
             ucs2_encode("ODBC"),
-            Vec::new(), // language
+            ucs2_encode(""), // language
             ucs2_encode(&self.database),
         ];
-        let mut var = Vec::new();
-        let mut pairs = Vec::new();
-        let mut offset = LOGIN7_FIXED;
-        for f in &fields {
-            pairs.push((sat_u16(offset), sat_u16(f.len() / 2)));
-            var.extend_from_slice(f);
-            offset += f.len();
-        }
-        let total = LOGIN7_FIXED + var.len();
+        let var_len: usize = fields.iter().map(Vec::len).sum();
+        let total = LOGIN7_FIXED + var_len;
         let mut p = BytesMut::with_capacity(total);
         p.put_u32_le(sat_u32(total));
         p.put_u32_le(0x7400_0004); // TDS 7.4
@@ -288,9 +284,11 @@ impl Login7 {
         p.put_u8(0); // option flags 3
         p.put_i32_le(0); // timezone
         p.put_u32_le(0x0409); // LCID en-US
-        for (off, len) in &pairs {
-            p.put_u16_le(*off);
-            p.put_u16_le(*len);
+        let mut offset = LOGIN7_FIXED;
+        for f in &fields {
+            p.put_u16_le(sat_u16(offset));
+            p.put_u16_le(sat_u16(f.len() / 2));
+            offset += f.len();
         }
         p.extend_from_slice(&[0, 1, 2, 3, 4, 5]); // client MAC
         p.put_u16_le(0); // SSPI offset
@@ -301,8 +299,10 @@ impl Login7 {
         p.put_u16_le(0);
         p.put_u32_le(0); // cbSSPILong
         debug_assert_eq!(p.len(), LOGIN7_FIXED);
-        p.extend_from_slice(&var);
-        p.to_vec()
+        for f in &fields {
+            p.extend_from_slice(f);
+        }
+        p.freeze()
     }
 
     /// Parse a LOGIN7 payload, deobfuscating the password.
@@ -384,30 +384,34 @@ pub const TOKEN_LOGINACK: u8 = 0xAD;
 pub const TOKEN_DONE: u8 = 0xFD;
 
 /// Build the token-stream payload for a failed login (error 18456).
-pub fn build_login_failed(username: &str) -> Vec<u8> {
-    let msg = format!("Login failed for user '{username}'.");
+pub fn build_login_failed(username: &str) -> Bytes {
+    let mut msg = String::with_capacity(28_usize.saturating_add(username.len()));
+    let _ = write!(msg, "Login failed for user '{username}'.");
     let msg_ucs2 = ucs2_encode(&msg);
     let server = ucs2_encode("HONEYDB");
-    let mut body = BytesMut::new();
-    body.put_i32_le(18456); // error number
-    body.put_u8(1); // state
-    body.put_u8(14); // class/severity
-    body.put_u16_le(sat_u16(msg.encode_utf16().count()));
-    body.extend_from_slice(&msg_ucs2);
-    body.put_u8(sat_u8(server.len() / 2));
-    body.extend_from_slice(&server);
-    body.put_u8(0); // proc name length
-    body.put_u32_le(1); // line number
-    let mut p = BytesMut::new();
+    // ERROR token body: number(4) state(1) class(1) msg-len(2) msg
+    // server-len(1) server proc-len(1) line(4).
+    let body_len = 14_usize
+        .saturating_add(msg_ucs2.len())
+        .saturating_add(server.len());
+    let mut p = BytesMut::with_capacity(body_len.saturating_add(16));
     p.put_u8(TOKEN_ERROR);
-    p.put_u16_le(sat_u16(body.len()));
-    p.extend_from_slice(&body);
-    // DONE token: error, no count
+    p.put_u16_le(sat_u16(body_len));
+    p.put_i32_le(18456); // error number
+    p.put_u8(1); // state
+    p.put_u8(14); // class/severity
+    p.put_u16_le(sat_u16(msg.encode_utf16().count()));
+    p.extend_from_slice(&msg_ucs2);
+    p.put_u8(sat_u8(server.len() / 2));
+    p.extend_from_slice(&server);
+    p.put_u8(0); // proc name length
+    p.put_u32_le(1); // line number
+                     // DONE token: error, no count
     p.put_u8(TOKEN_DONE);
     p.put_u16_le(0x0002); // status: DONE_ERROR
     p.put_u16_le(0);
     p.put_u64_le(0);
-    p.to_vec()
+    p.freeze()
 }
 
 /// Extract the error message from a token-stream response (client side).
@@ -480,9 +484,9 @@ mod tests {
     #[test]
     fn prelogin_roundtrip() {
         let options = vec![
-            (0x00u8, vec![15, 0, 0, 0, 0, 0]),
-            (0x01u8, vec![0]),
-            (0x04u8, vec![1]),
+            (0x00u8, Bytes::from_static(&[15, 0, 0, 0, 0, 0])),
+            (0x01u8, Bytes::from_static(&[0])),
+            (0x04u8, Bytes::from_static(&[1])),
         ];
         let payload = build_prelogin(&options);
         assert_eq!(parse_prelogin(&payload).unwrap(), options);
@@ -490,15 +494,15 @@ mod tests {
         let resp = honeypot_prelogin_response();
         let parsed = parse_prelogin(&resp).unwrap();
         assert_eq!(parsed[0].0, 0x00);
-        assert_eq!(parsed[1], (0x01, vec![2]));
+        assert_eq!(parsed[1], (0x01, Bytes::from_static(&[2])));
     }
 
     #[test]
     fn prelogin_rejects_overruns() {
         // option pointing past the payload
-        let bad = vec![0x00, 0x00, 0xff, 0x00, 0x10, 0xff];
+        let bad = Bytes::from_static(&[0x00, 0x00, 0xff, 0x00, 0x10, 0xff]);
         assert!(parse_prelogin(&bad).is_err());
-        assert!(parse_prelogin(&[0x00]).is_err());
+        assert!(parse_prelogin(&Bytes::from_static(&[0x00])).is_err());
     }
 
     #[test]
@@ -541,7 +545,7 @@ mod tests {
             servername: String::new(),
             database: String::new(),
         };
-        let mut bytes = login.build();
+        let mut bytes = login.build().to_vec();
         // Corrupt the username offset to point past the end.
         bytes[40] = 0xff;
         bytes[41] = 0xff;

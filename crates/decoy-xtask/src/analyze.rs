@@ -274,6 +274,22 @@ pub fn run(opts: &Options) -> Result<Outcome, String> {
             .map(|f| (f.clone(), key_of(&f)))
             .collect();
         let baseline = Baseline::from_findings(keyed.iter().map(|(f, k)| (f, k.as_str())));
+        // ratchet: a regeneration may hold or shrink the hot-path
+        // allocation budget, never grow it back
+        if baseline_path.is_file() {
+            let old_text = std::fs::read_to_string(&baseline_path)
+                .map_err(|e| format!("read {}: {e}", baseline_path.display()))?;
+            if let Ok(old) = Baseline::parse(&old_text) {
+                let (was, now) = (old.alloc_budget(), baseline.alloc_budget());
+                if now > was {
+                    return Err(format!(
+                        "refusing to write baseline: the hot-path allocation budget would \
+                         grow from {was} to {now}; burn the new allocations down (see the \
+                         alloc pass findings) instead of re-baselining them"
+                    ));
+                }
+            }
+        }
         std::fs::write(&baseline_path, baseline.render())
             .map_err(|e| format!("write {}: {e}", baseline_path.display()))?;
         let json = report_json(&[], keyed.len(), 0);

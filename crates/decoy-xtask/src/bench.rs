@@ -2,15 +2,17 @@
 //! outlive their grace period.
 //!
 //! Every bench landed so far was authored in an offline container, so the
-//! JSON carries `"median_ms": null` placeholders plus a `placeholder_since`
-//! field naming the PR that introduced them (`"placeholder_since": "PR 6"`).
-//! The current PR number is derived from `CHANGES.md` — one non-empty line
-//! is appended per PR, so the line count *is* the PR ordinal. The rules:
+//! JSON carries `"median_ms": null` placeholders (throughput benches such
+//! as `BENCH_wire.json` use `"sessions_per_sec": null`) plus a
+//! `placeholder_since` field naming the PR that introduced them
+//! (`"placeholder_since": "PR 6"`). The current PR number is derived from
+//! `CHANGES.md` — one non-empty line is appended per PR, so the line count
+//! *is* the PR ordinal. The rules:
 //!
 //! | rule | fires when |
 //! |---|---|
-//! | `bench-stale` | a file still has `median_ms: null` more than one PR after `placeholder_since` |
-//! | `bench-missing-since` | a file has `median_ms: null` but no `placeholder_since` |
+//! | `bench-stale` | a file still has a null metric more than one PR after `placeholder_since` |
+//! | `bench-missing-since` | a file has a null metric but no `placeholder_since` |
 //!
 //! One PR of grace means a placeholder may be *introduced* offline, but the
 //! very next PR must either populate the numbers (networked machine) or
@@ -46,16 +48,23 @@ fn placeholder_since(src: &str) -> Option<(usize, usize)> {
     None
 }
 
-/// 1-based line of the first `"median_ms": null` in a bench JSON.
+/// Metric keys whose `null` value marks a bench as placeholder-only.
+/// `median_ms` is the criterion benches' metric; `sessions_per_sec` is the
+/// wire load harness's (`BENCH_wire.json`).
+const PLACEHOLDER_KEYS: [&str; 2] = ["\"median_ms\"", "\"sessions_per_sec\""];
+
+/// 1-based line of the first null placeholder metric in a bench JSON.
 fn first_null_median(src: &str) -> Option<usize> {
     for (idx, line) in src.lines().enumerate() {
-        if let Some(pos) = line.find("\"median_ms\"") {
-            let after = line.get(pos..).unwrap_or_default();
-            if after
-                .split_once(':')
-                .is_some_and(|(_, v)| v.trim_start().starts_with("null"))
-            {
-                return Some(idx + 1);
+        for key in PLACEHOLDER_KEYS {
+            if let Some(pos) = line.find(key) {
+                let after = line.get(pos..).unwrap_or_default();
+                if after
+                    .split_once(':')
+                    .is_some_and(|(_, v)| v.trim_start().starts_with("null"))
+                {
+                    return Some(idx + 1);
+                }
             }
         }
     }
@@ -145,6 +154,18 @@ mod tests {
     #[test]
     fn null_median_without_since_is_flagged() {
         assert_eq!(run("null", None, 3), vec!["bench-missing-since"]);
+    }
+
+    #[test]
+    fn sessions_per_sec_null_is_a_placeholder_too() {
+        let wire = "{\n  \"bench\": \"wire_load\",\n  \"placeholder_since\": \"PR 2\",\n  \
+                    \"targets\": {\n    \"pgwire\": {\"sessions_per_sec\": null}\n  }\n}\n";
+        let files = vec![("BENCH_wire.json".to_string(), wire.to_string())];
+        let rules: Vec<_> = check(&files, 9).into_iter().map(|f| f.rule).collect();
+        assert_eq!(rules, vec!["bench-stale"]);
+        let fresh = wire.replace("null", "812.4");
+        let files = vec![("BENCH_wire.json".to_string(), fresh)];
+        assert!(check(&files, 9).is_empty());
     }
 
     #[test]

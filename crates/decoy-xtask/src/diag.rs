@@ -290,12 +290,30 @@ impl Baseline {
         Ok(Baseline { entries })
     }
 
+    /// Total allocation budget this baseline grants the hot path: the sum
+    /// of counts across `alloc-*` entries. `analyze --write-baseline`
+    /// refuses to regenerate a baseline whose budget is larger than the
+    /// committed one, so hot-path allocations can only be burned down.
+    pub fn alloc_budget(&self) -> usize {
+        self.entries
+            .iter()
+            .filter(|((_, rule, _), _)| rule.starts_with("alloc-"))
+            .map(|(_, count)| count)
+            .sum()
+    }
+
     /// Serialize in the format [`Baseline::parse`] reads: sorted, one entry
-    /// per line, stable across regenerations.
+    /// per line, stable across regenerations. The `alloc_budget` field is
+    /// informational (recomputed from entries on parse) but keeps the
+    /// hot-path allocation budget visible in diffs.
     pub fn render(&self) -> String {
         let mut sorted: Vec<(&(String, String, String), &usize)> = self.entries.iter().collect();
         sorted.sort();
-        let mut out = String::from("{\n  \"comment\": \"decoy-xtask analyze suppression baseline; regenerate with `cargo run -p decoy-xtask -- analyze --write-baseline` and review the diff\",\n  \"entries\": [\n");
+        let mut out = String::from("{\n  \"comment\": \"decoy-xtask analyze suppression baseline; regenerate with `cargo run -p decoy-xtask -- analyze --write-baseline` and review the diff\",\n");
+        out.push_str(&format!(
+            "  \"alloc_budget\": {},\n  \"entries\": [\n",
+            self.alloc_budget()
+        ));
         for (i, ((file, rule, key), count)) in sorted.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"file\":\"{}\",\"rule\":\"{}\",\"key\":\"{}\",\"count\":{}}}{}\n",
@@ -432,6 +450,19 @@ mod tests {
         // only one finding: one stale unit left over
         let (fresh, suppressed, stale) = parsed.apply(vec![f1], |_| "x.clone();".to_string());
         assert_eq!((fresh.len(), suppressed, stale), (0, 1, 1));
+    }
+
+    #[test]
+    fn alloc_budget_counts_only_alloc_rules() {
+        let f1 = finding("a.rs", "alloc-clone", 5);
+        let f2 = finding("a.rs", "alloc-vec", 6);
+        let f3 = finding("b.rs", "unwrap", 7);
+        let b = Baseline::from_findings([(&f1, "k1"), (&f2, "k2"), (&f3, "k3")]);
+        assert_eq!(b.alloc_budget(), 2);
+        // the rendered field is informational; parse recomputes from entries
+        let rendered = b.render();
+        assert!(rendered.contains("\"alloc_budget\": 2"));
+        assert_eq!(Baseline::parse(&rendered).unwrap().alloc_budget(), 2);
     }
 
     #[test]

@@ -217,6 +217,53 @@ fn baseline_roundtrip_suppresses_everything_then_goes_stale() {
 }
 
 #[test]
+fn rewriting_the_baseline_cannot_grow_the_alloc_budget() {
+    let scratch = std::env::temp_dir().join(format!(
+        "decoy-xtask-ratchet-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&scratch);
+    copy_tree(&fixture_root(), &scratch).expect("copy fixtures");
+
+    run(&Options {
+        root: scratch.clone(),
+        use_baseline: true,
+        write_baseline: true,
+    })
+    .expect("write initial baseline");
+
+    // seed one more hot-path allocation and try to re-baseline it away
+    let hot = scratch.join("crates/decoy-app/src/alloc_hot.rs");
+    let src = std::fs::read_to_string(&hot).expect("read alloc_hot");
+    std::fs::write(
+        &hot,
+        format!("{src}\nfn grew() {{ let _ = format!(\"{{}}\", 1); }}\n"),
+    )
+    .expect("grow alloc_hot");
+    let err = run(&Options {
+        root: scratch.clone(),
+        use_baseline: true,
+        write_baseline: true,
+    });
+    match err {
+        Err(msg) => assert!(msg.contains("allocation budget"), "{msg}"),
+        Ok(_) => panic!("baseline regeneration with a larger alloc budget must fail"),
+    }
+
+    // restoring the file makes regeneration legal again (budget shrinks back)
+    std::fs::write(&hot, src).expect("restore alloc_hot");
+    run(&Options {
+        root: scratch.clone(),
+        use_baseline: true,
+        write_baseline: true,
+    })
+    .expect("rewrite at equal budget");
+
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
 fn missing_root_is_an_error_not_a_clean_run() {
     let err = run(&Options {
         root: PathBuf::from("/nonexistent/nowhere"),

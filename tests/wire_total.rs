@@ -124,11 +124,11 @@ fn mysql_decoder_is_total() {
         &[
             MySqlPacket {
                 seq: 0,
-                payload: vec![0x0a, b'8', b'.', b'0', 0x00],
+                payload: vec![0x0a, b'8', b'.', b'0', 0x00].into(),
             },
             MySqlPacket {
                 seq: 1,
-                payload: b"\x03SELECT @@version".to_vec(),
+                payload: b"\x03SELECT @@version".to_vec().into(),
             },
         ],
     );
@@ -144,12 +144,12 @@ fn resp_decoders_are_total() {
         &[
             RespValue::Simple("OK".into()),
             RespValue::Integer(42),
-            RespValue::Bulk(b"hello".to_vec()),
+            RespValue::bulk("hello"),
             RespValue::NullBulk,
             RespValue::Array(vec![
-                RespValue::Bulk(b"CONFIG".to_vec()),
-                RespValue::Bulk(b"GET".to_vec()),
-                RespValue::Bulk(b"dir".to_vec()),
+                RespValue::bulk("CONFIG"),
+                RespValue::bulk("GET"),
+                RespValue::bulk("dir"),
             ]),
         ],
     );
