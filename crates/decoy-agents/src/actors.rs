@@ -109,6 +109,11 @@ pub enum ActorScript {
         /// Attempts per visit against login-disabled instances.
         burst: u32,
     },
+    /// A fingerprinting scanner: probes each target's banner, capability
+    /// flags, and error catalog the way anti-honeypot tooling does (the
+    /// §7 arms-race adversary the `decoy-fingerprint` crate defends
+    /// against).
+    Fingerprinter,
     /// A Table 9 campaign, one script per visit.
     Campaign(SessionScript),
 }
@@ -211,6 +216,7 @@ impl Actor {
                     }
                 }
             }
+            ActorScript::Fingerprinter => SessionScript::FingerprintProbe,
             ActorScript::Campaign(script) => script.clone(),
         }
     }
@@ -334,6 +340,21 @@ mod tests {
             SessionScript::JdwpProbe
         );
         assert_eq!(a.expected_visits(), 2.0);
+    }
+
+    #[test]
+    fn fingerprinter_probes_every_target_once() {
+        let a = actor(ActorScript::Fingerprinter);
+        let mut rng = StdRng::seed_from_u64(0);
+        for t in [
+            TargetSelector::medium(Dbms::Redis, None),
+            TargetSelector::medium(Dbms::MySql, None),
+            TargetSelector::high_mongo(),
+        ] {
+            let script = a.script_for_visit(&t, 0, 1, &mut rng);
+            assert_eq!(script, SessionScript::FingerprintProbe);
+            assert_eq!(script.connections_per_visit(), 1);
+        }
     }
 
     #[test]

@@ -301,6 +301,42 @@ pub fn emit_session(sink: &mut DirectSink<'_>, session: &PlannedSession) {
             );
             k.payload(ts, src, s, body.as_bytes());
         }),
+        SessionScript::FingerprintProbe => one(sink, &|k, s| match hp.dbms {
+            Dbms::Redis => {
+                k.command(ts, src, s, "INFO server");
+                k.command(ts, src, s, "FINGERPRINTPROBE arg");
+            }
+            Dbms::Postgres => {
+                k.login(ts, src, s, "postgres", "postgres", pg_open);
+                if pg_open {
+                    k.command(ts, src, s, "SELECT version();");
+                    k.command(ts, src, s, "FROBNICATE the catalog");
+                }
+            }
+            Dbms::MySql => {
+                let ok = hp.level == decoy_store::InteractionLevel::Medium;
+                k.login(ts, src, s, "root", "root", ok);
+                if ok {
+                    k.command(ts, src, s, "SELECT @@version");
+                    k.command(ts, src, s, "FINGERPRINT PROBE");
+                }
+            }
+            Dbms::MongoDb => {
+                k.command(ts, src, s, "ismaster");
+                k.command(ts, src, s, "buildInfo");
+                k.command(ts, src, s, "fingerprintprobe");
+            }
+            Dbms::Elastic => {
+                k.command(ts, src, s, "GET /");
+                k.command(ts, src, s, "GET /fingerprint_probe_missing");
+            }
+            Dbms::CouchDb => {
+                k.command(ts, src, s, "GET /");
+                k.command(ts, src, s, "GET /fingerprint_probe_missing_db");
+            }
+            // no probe battery for the remaining families: connect only
+            _ => {}
+        }),
     }
 }
 

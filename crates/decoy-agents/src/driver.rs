@@ -110,6 +110,186 @@ async fn dispatch(addr: SocketAddr, session: &PlannedSession) -> SessionOutcome 
             )
             .await
         }
+        SessionScript::FingerprintProbe => {
+            fingerprint_probe(addr, src, session.target.dbms).await
+        }
+    }
+}
+
+/// The scanner side of the fingerprinting arms race: grab the banner,
+/// cross-check an advertised capability, and elicit one error-catalog
+/// response — the abbreviated network shape of the `decoy-fingerprint`
+/// probe battery.
+async fn fingerprint_probe(
+    addr: SocketAddr,
+    src: SocketAddr,
+    dbms: decoy_store::Dbms,
+) -> SessionOutcome {
+    use decoy_store::Dbms;
+    match dbms {
+        Dbms::Redis => {
+            let Ok(mut framed) = redis_connect(addr, src).await else {
+                return err_outcome(1);
+            };
+            let run = async {
+                redis_exchange(&mut framed, &["INFO".to_string(), "server".to_string()]).await?;
+                redis_exchange(
+                    &mut framed,
+                    &["FINGERPRINTPROBE".to_string(), "arg".to_string()],
+                )
+                .await?;
+                Ok::<(), std::io::Error>(())
+            };
+            match run.await {
+                Ok(()) => ok_outcome(1),
+                Err(_) => err_outcome(1),
+            }
+        }
+        Dbms::Postgres => {
+            pg_session(
+                addr,
+                src,
+                &[
+                    "SELECT version();".to_string(),
+                    "FROBNICATE the catalog".to_string(),
+                ],
+            )
+            .await
+        }
+        Dbms::MySql => mysql_fingerprint(addr, src).await,
+        Dbms::MongoDb => {
+            let Ok(mut framed) = mongo_connect(addr, src).await else {
+                return err_outcome(1);
+            };
+            let mut rid = 0i32;
+            let run = async {
+                mongo_command(
+                    &mut framed,
+                    &mut rid,
+                    doc! { "isMaster" => 1i32, "$db" => "admin" },
+                )
+                .await?;
+                mongo_command(
+                    &mut framed,
+                    &mut rid,
+                    doc! { "buildInfo" => 1i32, "$db" => "admin" },
+                )
+                .await?;
+                mongo_command(
+                    &mut framed,
+                    &mut rid,
+                    doc! { "fingerprintProbe" => 1i32, "$db" => "admin" },
+                )
+                .await?;
+                Ok::<(), std::io::Error>(())
+            };
+            match run.await {
+                Ok(()) => ok_outcome(1),
+                Err(_) => err_outcome(1),
+            }
+        }
+        Dbms::Elastic => {
+            let Ok(mut framed) = connect(addr, src, http::HttpClientCodec).await else {
+                return err_outcome(1);
+            };
+            let run = async {
+                http_request(&mut framed, http::HttpRequest::new("GET", "/")).await?;
+                http_request(
+                    &mut framed,
+                    http::HttpRequest::new("GET", "/fingerprint_probe_missing"),
+                )
+                .await?;
+                Ok::<(), std::io::Error>(())
+            };
+            match run.await {
+                Ok(()) => ok_outcome(1),
+                Err(_) => err_outcome(1),
+            }
+        }
+        Dbms::CouchDb => {
+            let Ok(mut framed) = connect(addr, src, http::HttpClientCodec).await else {
+                return err_outcome(1);
+            };
+            let run = async {
+                http_request(&mut framed, http::HttpRequest::new("GET", "/")).await?;
+                http_request(
+                    &mut framed,
+                    http::HttpRequest::new("GET", "/fingerprint_probe_missing_db"),
+                )
+                .await?;
+                Ok::<(), std::io::Error>(())
+            };
+            match run.await {
+                Ok(()) => ok_outcome(1),
+                Err(_) => err_outcome(1),
+            }
+        }
+        // no fingerprint client for the remaining protocols: banner-grab only
+        _ => connect_only(addr, src).await,
+    }
+}
+
+/// MySQL fingerprinting: greeting facts, a version cross-check, and one
+/// deliberate parse error.
+async fn mysql_fingerprint(addr: SocketAddr, src: SocketAddr) -> SessionOutcome {
+    let run = async {
+        let mut framed = connect(addr, src, mysql::MySqlCodec).await?;
+        let greeting = framed
+            .read_frame()
+            .await
+            .map_err(io_err)?
+            .ok_or_else(|| io_err_msg("no greeting"))?;
+        mysql::Greeting::parse(&greeting.payload).map_err(io_err)?;
+        framed
+            .write_frame(&mysql::MySqlPacket {
+                seq: greeting.seq.wrapping_add(1),
+                payload: mysql::LoginRequest::cleartext("root", "root", None).build(),
+            })
+            .await
+            .map_err(io_err)?;
+        let reply = framed
+            .read_frame()
+            .await
+            .map_err(io_err)?
+            .ok_or_else(|| io_err_msg("no auth reply"))?;
+        if reply.payload.first() == Some(&0x00) {
+            let mut q = vec![0x03];
+            q.extend_from_slice(b"SELECT @@version");
+            framed
+                .write_frame(&mysql::MySqlPacket {
+                    seq: 0,
+                    payload: q.into(),
+                })
+                .await
+                .map_err(io_err)?;
+            for _ in 0..5 {
+                framed
+                    .read_frame()
+                    .await
+                    .map_err(io_err)?
+                    .ok_or_else(|| io_err_msg("result truncated"))?;
+            }
+            // the error-catalog probe: gibberish SQL, one ERR packet back
+            let mut bad = vec![0x03];
+            bad.extend_from_slice(b"FINGERPRINT PROBE");
+            framed
+                .write_frame(&mysql::MySqlPacket {
+                    seq: 0,
+                    payload: bad.into(),
+                })
+                .await
+                .map_err(io_err)?;
+            framed
+                .read_frame()
+                .await
+                .map_err(io_err)?
+                .ok_or_else(|| io_err_msg("no error reply"))?;
+        }
+        Ok::<(), std::io::Error>(())
+    };
+    match run.await {
+        Ok(()) => ok_outcome(1),
+        Err(_) => err_outcome(1),
     }
 }
 

@@ -1026,6 +1026,25 @@ fn extension_cohorts() -> Vec<Cohort> {
                 Some(ConfigVariant::Default),
             )]),
         },
+        // The §7 arms-race adversary: anti-honeypot scanners running the
+        // multistage fingerprint battery across every protocol family.
+        Cohort {
+            name: "fingerprint-scanners",
+            count: 12,
+            pinned: false,
+            pool: SourcePool::of(&[(398722, None, 2.0), (14061, None, 1.0)]),
+            retention: Retention::Short,
+            visits_per_day: 0.5,
+            behavior: B::Fingerprinter,
+            targets: CohortTargets::Exact(vec![
+                TargetSelector::medium(Dbms::MySql, None),
+                TargetSelector::medium(Dbms::Postgres, None),
+                TargetSelector::medium(Dbms::Redis, None),
+                TargetSelector::medium(Dbms::Elastic, None),
+                TargetSelector::medium(Dbms::CouchDb, None),
+                TargetSelector::high_mongo(),
+            ]),
+        },
     ]
 }
 
@@ -1043,6 +1062,7 @@ mod tests {
         assert!(extended.iter().any(|a| a.cohort == "couch-scanners"));
         assert!(extended.iter().any(|a| a.cohort == "couch-ransom"));
         assert!(extended.iter().any(|a| a.cohort == "mysql-med-visitors"));
+        assert!(extended.iter().any(|a| a.cohort == "fingerprint-scanners"));
         assert!(extended.len() > plain.len());
     }
 

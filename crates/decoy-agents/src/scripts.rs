@@ -102,6 +102,11 @@ pub enum SessionScript {
     VmwareRecon,
     /// Craft CMS CVE-2023-41892 probe (Listing 14).
     CraftCms,
+    /// Honeypot-fingerprinting probe: banner grab, capability
+    /// cross-check, and one deliberately unknown/malformed request — the
+    /// network shape of the `decoy-fingerprint` battery (the arms-race
+    /// adversary of §7).
+    FingerprintProbe,
 }
 
 /// Parameters a campaign script needs rendered (loader addresses etc.).

@@ -1,0 +1,61 @@
+//! Counter-fingerprinting detection (§7 arms race): recognize the
+//! multistage probe battery of `decoy-fingerprint` — or anti-honeypot
+//! tooling shaped like it — in captured traffic.
+//!
+//! The battery's requests are deliberately conspicuous on the wire: each
+//! stage sends exactly one command a production client never would (a
+//! gibberish query to elicit the error catalog, a made-up command word, a
+//! GET for a sentinel path). That makes the scanner itself detectable,
+//! which is the defender's half of the arms race: the report's
+//! "Detectability" section tallies who is probing which family.
+
+/// True when a captured command is one of the fingerprint battery's
+/// distinctive requests.
+///
+/// Matches the error-catalog elicitors (`FINGERPRINT PROBE` for MySQL,
+/// `FROBNICATE the catalog` for PostgreSQL, the `FINGERPRINTPROBE` /
+/// `fingerprintProbe` made-up command words for Redis and MongoDB) and the
+/// HTTP sentinel paths the Elasticsearch/CouchDB stages request. Banner
+/// grabs and capability cross-checks are *not* matched — those are
+/// indistinguishable from legitimate client handshakes.
+pub fn is_fingerprint_probe(raw: &str) -> bool {
+    raw == "FINGERPRINT PROBE"
+        || raw == "FROBNICATE the catalog"
+        || raw.starts_with("FINGERPRINTPROBE")
+        || raw.eq_ignore_ascii_case("fingerprintprobe")
+        || raw.starts_with("GET /fingerprint_probe_missing")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn battery_commands_are_recognized() {
+        for raw in [
+            "FINGERPRINT PROBE",
+            "FROBNICATE the catalog",
+            "FINGERPRINTPROBE arg",
+            "fingerprintprobe",
+            "GET /fingerprint_probe_missing",
+            "GET /fingerprint_probe_missing_db",
+        ] {
+            assert!(is_fingerprint_probe(raw), "{raw}");
+        }
+    }
+
+    #[test]
+    fn ordinary_traffic_is_not() {
+        for raw in [
+            "SELECT version();",
+            "SELECT @@version",
+            "INFO server",
+            "GET /",
+            "ismaster",
+            "buildInfo",
+            "SHOW DATABASES",
+        ] {
+            assert!(!is_fingerprint_probe(raw), "{raw}");
+        }
+    }
+}

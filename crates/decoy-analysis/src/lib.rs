@@ -28,6 +28,8 @@
 //!   coverage-gap measurement.
 //! * [`honeytokens`] — bait-credential reuse detection (§4.2's fake-data
 //!   objective and the honeytoken tripwire of the related work).
+//! * [`detect`] — counter-fingerprinting: recognize the `decoy-fingerprint`
+//!   probe battery (or tooling shaped like it) in captured traffic.
 //! * [`forensics`] — per-source session reconstruction in the paper's
 //!   Appendix E listing style.
 //! * [`fleet`] — fleet-uptime rows folded from the supervisor's
@@ -39,6 +41,7 @@
 
 pub mod classify;
 pub mod cluster;
+pub mod detect;
 pub mod ecdf;
 pub mod fleet;
 pub mod fold;
@@ -56,6 +59,7 @@ pub mod ward;
 
 pub use classify::{classify_sources, classify_view, Behavior, BehaviorProfile};
 pub use cluster::{cluster_sources, cluster_view, Dendrogram};
+pub use detect::is_fingerprint_probe;
 pub use ecdf::Ecdf;
 pub use fleet::{fleet_totals, fleet_uptime, fleet_uptime_events, FleetTotals, ListenerUptime};
 pub use fold::PartialFrame;

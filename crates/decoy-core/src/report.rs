@@ -268,6 +268,7 @@ impl Report {
             &fake_data_bait(&result.plan),
         )));
         sections.push(sec6_intel(&low, &med_high));
+        sections.push(sec_detectability(store));
         sections.push(sec_fleet(result));
         Report { sections }
     }
@@ -348,6 +349,7 @@ fn render_sections(
         handles.push(s.spawn(move || fmt_sec6_config(sec6_config_data_frame(all))));
         handles.push(s.spawn(move || fmt_sec6_fake_data(&detect_reuse_view(all, bait))));
         handles.push(s.spawn(move || sec6_intel_frame(low, mh)));
+        handles.push(s.spawn(move || sec_detectability_frame(all)));
         handles.push(s.spawn(move || fmt_fleet(fleet_uptime_events(frame.health_events()), fleet)));
         handles
             .into_iter()
@@ -1326,6 +1328,59 @@ fn sec6_intel_frame(low: FrameView<'_>, mh: FrameView<'_>) -> Section {
 }
 
 // ---------------------------------------------------------------------------
+// Detectability (§7 arms race)
+// ---------------------------------------------------------------------------
+
+fn sec_detectability(store: &EventStore) -> Section {
+    let mut rows: BTreeMap<&'static str, (BTreeSet<IpAddr>, u64)> = BTreeMap::new();
+    for e in store.filter(|e| {
+        matches!(&e.kind, EventKind::Command { raw, .. }
+            if decoy_analysis::detect::is_fingerprint_probe(raw))
+    }) {
+        let entry = rows.entry(e.honeypot.dbms.label()).or_default();
+        entry.0.insert(e.src);
+        entry.1 = entry.1.saturating_add(1);
+    }
+    fmt_detectability(&rows)
+}
+
+fn sec_detectability_frame(all: FrameView<'_>) -> Section {
+    let mut rows: BTreeMap<&'static str, (BTreeSet<IpAddr>, u64)> = BTreeMap::new();
+    for e in all.events() {
+        if let FrameKind::Command { raw, .. } = &e.kind {
+            if decoy_analysis::detect::is_fingerprint_probe(raw) {
+                let entry = rows.entry(e.honeypot.dbms.label()).or_default();
+                entry.0.insert(e.src);
+                entry.1 = entry.1.saturating_add(1);
+            }
+        }
+    }
+    fmt_detectability(&rows)
+}
+
+/// The defender's half of the fingerprinting arms race: which families the
+/// anti-honeypot probe battery touched, from how many sources. The
+/// offensive half — how detectable *our* fleet is — lives in the
+/// `fingerprint_scorecard` binary and its ratcheted baseline.
+fn fmt_detectability(rows: &BTreeMap<&'static str, (BTreeSet<IpAddr>, u64)>) -> Section {
+    let mut body = String::new();
+    if rows.is_empty() {
+        body.push_str("no fingerprinting probes observed\n");
+    } else {
+        let _ = writeln!(body, "{:<14} {:>8} {:>8}", "Family", "sources", "probes");
+        for (family, (sources, probes)) in rows {
+            let _ = writeln!(body, "{:<14} {:>8} {:>8}", family, sources.len(), probes);
+        }
+    }
+    body.push_str("fleet surface: see FINGERPRINT_BASELINE.json (fingerprint_scorecard --check)\n");
+    Section {
+        id: "Detectability".into(),
+        title: "Fingerprinting probes observed and fleet surface (§7)".into(),
+        body,
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Fleet health
 // ---------------------------------------------------------------------------
 
@@ -1519,6 +1574,7 @@ mod tests {
             "Section 6 fake data",
             "Figure 6",
             "Figure 9",
+            "Detectability",
             "Fleet health",
         ] {
             assert!(report.section(id).is_some(), "missing {id}");

@@ -1,0 +1,55 @@
+//! `decoy-fingerprint`: the fingerprinting arms race, instrumented.
+//!
+//! The paper's deployment depends on attackers treating the decoys as
+//! real databases; a scanner that can cheaply distinguish a honeypot
+//! changes the observed attack mix. This crate keeps the fleet honest
+//! with a three-part loop:
+//!
+//! * [`probes`] -- a multistage probe battery (banner consistency,
+//!   capability-flag coherence, error-catalog fidelity, timing
+//!   distribution) that inspects a captured [`Surface`] the way a
+//!   fingerprinting scanner would and emits weighted findings.
+//! * [`engine`] -- drives that battery against live honeypot listeners
+//!   over loopback TCP using the genuine client codecs.
+//! * [`score`] -- folds findings into a per-family detectability
+//!   [`Scorecard`], persisted as `FINGERPRINT_BASELINE.json` with a
+//!   write-baseline ratchet that refuses regressions.
+//!
+//! [`corpus`] pins the pre-hardening surfaces so the score improvement
+//! from the hardening layer (`decoy_honeypots::catalog`, the seeded
+//! latency shaper in `decoy-net`) stays measurable and regression-proof.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+#![cfg_attr(not(test), deny(clippy::expect_used))]
+#![cfg_attr(not(test), deny(clippy::indexing_slicing))]
+#![cfg_attr(not(test), deny(clippy::panic))]
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corpus;
+pub mod engine;
+pub mod probes;
+pub mod score;
+
+pub use engine::{fingerprint_fleet, EngineOptions};
+pub use probes::{run_all, ProbeFinding, Surface, FAMILIES};
+pub use score::Scorecard;
+
+/// Probe a set of surfaces and fold the findings into a scorecard.
+pub fn evaluate(surfaces: &[Surface]) -> (Vec<ProbeFinding>, Scorecard) {
+    let findings: Vec<ProbeFinding> = surfaces.iter().flat_map(probes::run_all).collect();
+    let card = Scorecard::tally(&findings);
+    (findings, card)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluate_scores_the_hardened_corpus_at_zero() {
+        let (findings, card) = evaluate(&corpus::hardened());
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(card.total(), 0);
+    }
+}

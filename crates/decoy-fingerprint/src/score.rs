@@ -1,0 +1,180 @@
+//! The detectability scorecard and its write-baseline ratchet.
+//!
+//! A [`Scorecard`] folds probe findings into one weighted score per
+//! honeypot family. The committed `FINGERPRINT_BASELINE.json` at the
+//! workspace root records the fleet's current scores, and
+//! [`Scorecard::ratchet`] enforces the same one-way discipline as the
+//! hot-path allocation baseline: a rewrite that would *worsen* any
+//! family's score is refused, so detectability regressions cannot be
+//! silently re-baselined away.
+//!
+//! The JSON render/parse here is deliberately hand-rolled and
+//! line-based (the same idiom `decoy-xtask` uses for the bench
+//! manifests) so the module stays `std`-only.
+
+use std::fmt::Write as _;
+
+use crate::probes::{ProbeFinding, FAMILIES};
+
+/// Weighted detectability score per honeypot family. Lower is better;
+/// zero means the probe battery found no tells.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Scorecard {
+    entries: Vec<(String, u32)>,
+}
+
+impl Scorecard {
+    /// Fold findings into per-family scores. Every family in
+    /// [`FAMILIES`] gets an entry (zero when clean), so a scorecard
+    /// always covers the whole fleet.
+    pub fn tally(findings: &[ProbeFinding]) -> Scorecard {
+        let mut entries: Vec<(String, u32)> =
+            FAMILIES.iter().map(|f| (f.to_string(), 0)).collect();
+        for f in findings {
+            if let Some(entry) = entries.iter_mut().find(|(name, _)| *name == f.family) {
+                entry.1 += f.weight;
+            } else {
+                entries.push((f.family.clone(), f.weight));
+            }
+        }
+        entries.sort();
+        Scorecard { entries }
+    }
+
+    /// The per-family scores, sorted by family name.
+    pub fn entries(&self) -> &[(String, u32)] {
+        &self.entries
+    }
+
+    /// The score for one family, if present.
+    pub fn get(&self, family: &str) -> Option<u32> {
+        self.entries
+            .iter()
+            .find(|(name, _)| name == family)
+            .map(|(_, score)| *score)
+    }
+
+    /// Sum of all family scores.
+    pub fn total(&self) -> u32 {
+        self.entries.iter().map(|(_, score)| score).sum()
+    }
+
+    /// Render the scorecard as the `FINGERPRINT_BASELINE.json` document.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(
+            "  \"comment\": \"Detectability scorecard: weighted fingerprinting score per honeypot family (lower is better, 0 = no tells). Maintained by `fingerprint_scorecard --write-baseline`; the ratchet refuses regressions.\",\n",
+        );
+        out.push_str("  \"scores\": {\n");
+        let last = self.entries.len().saturating_sub(1);
+        for (i, (family, score)) in self.entries.iter().enumerate() {
+            let comma = if i == last { "" } else { "," };
+            let _ = writeln!(out, "    \"{family}\": {score}{comma}");
+        }
+        out.push_str("  },\n");
+        let _ = writeln!(out, "  \"total\": {}", self.total());
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parse a `FINGERPRINT_BASELINE.json` document produced by
+    /// [`Scorecard::render_json`]. Line-based and tolerant of
+    /// whitespace; returns `None` when no per-family scores are found.
+    pub fn parse_json(src: &str) -> Option<Scorecard> {
+        let mut entries = Vec::new();
+        for line in src.lines() {
+            let line = line.trim().trim_end_matches(',');
+            let rest = match line.strip_prefix('"') {
+                Some(rest) => rest,
+                None => continue,
+            };
+            let (key, rest) = match rest.split_once('"') {
+                Some(parts) => parts,
+                None => continue,
+            };
+            let value = rest.trim_start_matches(':').trim();
+            if key == "total" || key == "comment" {
+                continue;
+            }
+            if let Ok(score) = value.parse::<u32>() {
+                entries.push((key.to_string(), score));
+            }
+        }
+        if entries.is_empty() {
+            return None;
+        }
+        entries.sort();
+        Some(Scorecard { entries })
+    }
+
+    /// The write-baseline ratchet: refuse to replace `baseline` with
+    /// `fresh` if any family's score would grow. Families absent from
+    /// the baseline are new and start their own budget.
+    pub fn ratchet(baseline: &Scorecard, fresh: &Scorecard) -> Result<(), String> {
+        for (family, now) in &fresh.entries {
+            let was = match baseline.get(family) {
+                Some(was) => was,
+                None => continue,
+            };
+            if *now > was {
+                return Err(format!(
+                    "refusing to write baseline: the detectability score for {family} would grow from {was} to {now}; burn the new probe findings down (see the fingerprint report) instead of re-baselining them"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(family: &str, weight: u32) -> ProbeFinding {
+        ProbeFinding {
+            family: family.to_string(),
+            probe: "error",
+            weight,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn tally_covers_every_family_and_sums_weights() {
+        let card = Scorecard::tally(&[hit("redis", 3), hit("redis", 2), hit("mysql", 4)]);
+        assert_eq!(card.entries().len(), FAMILIES.len());
+        assert_eq!(card.get("redis"), Some(5));
+        assert_eq!(card.get("mysql"), Some(4));
+        assert_eq!(card.get("couchdb"), Some(0));
+        assert_eq!(card.total(), 9);
+    }
+
+    #[test]
+    fn render_and_parse_round_trip() {
+        let card = Scorecard::tally(&[hit("postgres", 6), hit("elastic", 9)]);
+        let parsed = Scorecard::parse_json(&card.render_json()).unwrap();
+        assert_eq!(parsed, card);
+    }
+
+    #[test]
+    fn parse_rejects_documents_without_scores() {
+        assert!(Scorecard::parse_json("{\n  \"total\": 3\n}\n").is_none());
+    }
+
+    #[test]
+    fn ratchet_refuses_a_worsened_score() {
+        let baseline = Scorecard::tally(&[hit("redis", 2)]);
+        let worse = Scorecard::tally(&[hit("redis", 5)]);
+        let err = Scorecard::ratchet(&baseline, &worse).unwrap_err();
+        assert!(err.contains("refusing to write baseline"), "{err}");
+        assert!(err.contains("from 2 to 5"), "{err}");
+    }
+
+    #[test]
+    fn ratchet_accepts_improvements_and_new_families() {
+        let baseline = Scorecard::tally(&[hit("redis", 5)]);
+        let better = Scorecard::tally(&[hit("redis", 2), hit("tarantool", 9)]);
+        assert!(Scorecard::ratchet(&baseline, &better).is_ok());
+    }
+}

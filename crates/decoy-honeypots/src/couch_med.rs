@@ -9,6 +9,7 @@
 //! reads, `PUT`/`DELETE` actually mutate — which is exactly what the
 //! well-known CouchDB ransom waves did.
 
+use crate::catalog;
 use crate::logging::SessionLogger;
 use crate::low::read_or_fault;
 use decoy_fakedata::FakeDataGenerator;
@@ -81,8 +82,8 @@ impl CouchHoneypot {
                 200,
                 json!({
                     "couchdb": "Welcome",
-                    "version": "3.3.2",
-                    "git_sha": "11a234070",
+                    "version": catalog::COUCH_VERSION,
+                    "git_sha": catalog::COUCH_GIT_SHA,
                     "uuid": "f9a5d3a8e1b24a0c8d5e7f0182b3c4d5",
                     "features": ["access-ready", "partitioned", "pluggable-storage-engines"],
                     "vendor": {"name": "The Apache Software Foundation"}
@@ -165,10 +166,9 @@ impl CouchHoneypot {
 }
 
 fn not_found() -> HttpResponse {
-    HttpResponse::json(
-        404,
-        json!({"error": "not_found", "reason": "missing"}).to_string(),
-    )
+    let mut body = String::new();
+    let _ = catalog::couch_not_found(&mut body);
+    HttpResponse::json(404, body)
 }
 
 fn doc_to_json(d: &Document) -> Value {

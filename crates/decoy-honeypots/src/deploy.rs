@@ -2,6 +2,7 @@
 //! listener. The experiment runner in `decoy-core` uses this to stand up
 //! the full Table 4 fleet; the examples use it for single instances.
 
+use crate::catalog::{Family, VersionProfile};
 use crate::elastic::{ElasticPot, ResponseBook};
 use crate::low::LowHoneypot;
 use crate::mongo_high::MongoHoneypot;
@@ -106,6 +107,14 @@ async fn bind_listener(
     addr: SocketAddr,
 ) -> std::io::Result<ServerHandle> {
     let id = spec.id;
+    // Capability-flag coherence gate: an incoherent version profile (e.g.
+    // a Mongo 4.4 banner with the wrong wire-version ceiling) is exactly
+    // what fingerprinting scanners cross-reference, so it never binds.
+    if let Some(family) = catalog_family(id.dbms) {
+        VersionProfile::of(family)
+            .validate()
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+    }
     let server = match (id.level, id.dbms) {
         (InteractionLevel::Low, _) => {
             Listener::bind(addr, LowHoneypot::new(store, id), options).await?
@@ -172,6 +181,20 @@ async fn bind_listener(
         }
     };
     Ok(server)
+}
+
+/// The catalog family whose version profile a deployment of `dbms` must
+/// satisfy (MSSQL is low-interaction-only and carries no profile).
+fn catalog_family(dbms: Dbms) -> Option<Family> {
+    match dbms {
+        Dbms::MySql => Some(Family::MySql),
+        Dbms::Postgres => Some(Family::Postgres),
+        Dbms::MongoDb => Some(Family::MongoDb),
+        Dbms::Redis => Some(Family::Redis),
+        Dbms::Elastic => Some(Family::Elastic),
+        Dbms::CouchDb => Some(Family::CouchDb),
+        Dbms::Mssql => None,
+    }
 }
 
 /// A honeypot kept alive by a [`Supervisor`]: the listener is rebound at

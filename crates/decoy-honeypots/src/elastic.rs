@@ -10,6 +10,7 @@
 //! Lucifer campaign hit (`/`, `/_nodes`, `/_cluster/health`, `/_cat/indices`,
 //! `/_search` including `script_fields` payloads).
 
+use crate::catalog;
 use crate::logging::SessionLogger;
 use crate::low::read_or_fault;
 use decoy_net::error::NetResult;
@@ -140,9 +141,9 @@ impl ElasticPot {
                     "cluster_name": self.cluster_name,
                     "cluster_uuid": "Hl0H4cyrSseJp5pYrMio5g",
                     "version": {
-                        "number": "5.6.16",
-                        "build_hash": "3a740d1",
-                        "lucene_version": "6.6.1"
+                        "number": catalog::ELASTIC_VERSION,
+                        "build_hash": catalog::ELASTIC_BUILD_HASH,
+                        "lucene_version": catalog::LUCENE_VERSION
                     },
                     "tagline": "You Know, for Search"
                 })
@@ -170,7 +171,7 @@ impl ElasticPot {
                         "x1CefFEJTIyBV2uxjLUYdw": {
                             "name": "node-1",
                             "host": "172.17.0.2",
-                            "version": "5.6.16",
+                            "version": catalog::ELASTIC_VERSION,
                             "os": {"name": "Linux", "arch": "amd64"}
                         }
                     }
@@ -197,18 +198,14 @@ impl ElasticPot {
                 .to_string(),
             ),
             ("DELETE", _) => HttpResponse::json(200, json!({"acknowledged": true}).to_string()),
-            _ => HttpResponse::json(
-                404,
-                json!({
-                    "error": {
-                        "root_cause": [{"type": "index_not_found_exception", "reason": "no such index"}],
-                        "type": "index_not_found_exception",
-                        "reason": "no such index"
-                    },
-                    "status": 404
-                })
-                .to_string(),
-            ),
+            // real ES 5.x sends the full resource envelope on 404; the
+            // bare type+reason body was a probe-visible tell
+            _ => {
+                let index = path.trim_start_matches('/').split('/').next().unwrap_or("");
+                let mut body = String::new();
+                let _ = catalog::elastic_index_not_found(&mut body, index);
+                HttpResponse::json(404, body)
+            }
         }
     }
 

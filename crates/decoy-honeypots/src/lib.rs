@@ -34,7 +34,13 @@
 //! source addresses exactly as a production load balancer would. Honeypots
 //! never execute captured payloads (Appendix A): exploit bytes are stored,
 //! recognized, and answered with the protocol's plausible response.
+//!
+//! The [`catalog`] module is the fingerprinting-hardening layer: one
+//! authoritative version profile and real error-message catalog per DBMS,
+//! validated for coherence at deploy time and shared with the
+//! `decoy-fingerprint` probe corpus so honeypot strings cannot drift.
 
+pub mod catalog;
 pub mod couch_med;
 pub mod deploy;
 pub mod elastic;

@@ -6,6 +6,7 @@
 //! the full §6.3 kill chain. The wire side speaks `OP_MSG` and the legacy
 //! `OP_QUERY` handshake scanners still use.
 
+use crate::catalog;
 use crate::logging::SessionLogger;
 use crate::low::read_or_fault;
 use decoy_fakedata::FakeDataGenerator;
@@ -86,7 +87,7 @@ impl MongoHoneypot {
                     "maxBsonObjectSize" => 16 * 1024 * 1024i32,
                     "maxMessageSizeBytes" => 48_000_000i32,
                     "maxWriteBatchSize" => 100_000i32,
-                    "maxWireVersion" => 9i32,
+                    "maxWireVersion" => catalog::MONGO_MAX_WIRE_VERSION,
                     "minWireVersion" => 0i32,
                     "readOnly" => false,
                     "ok" => 1.0f64,
@@ -95,8 +96,8 @@ impl MongoHoneypot {
             "buildinfo" => {
                 log.command("buildInfo");
                 doc! {
-                    "version" => "4.4.18",
-                    "gitVersion" => "8ed32b5c2c68ebe7f8ae2ebe8d23f36037a17dea",
+                    "version" => catalog::MONGO_VERSION,
+                    "gitVersion" => catalog::MONGO_GIT_VERSION,
                     "openssl" => doc! { "running" => "OpenSSL 1.1.1f" },
                     "sysInfo" => "deprecated",
                     "bits" => 64i32,
@@ -121,7 +122,12 @@ impl MongoHoneypot {
             }
             "serverstatus" => {
                 log.command("serverStatus");
-                doc! { "host" => "db-prod-01", "version" => "4.4.18", "uptime" => 86_4000.0f64, "ok" => 1.0f64 }
+                doc! {
+                    "host" => "db-prod-01",
+                    "version" => catalog::MONGO_VERSION,
+                    "uptime" => catalog::MONGO_UPTIME_SECS,
+                    "ok" => 1.0f64,
+                }
             }
             "listdatabases" => {
                 log.command("listDatabases");
@@ -232,8 +238,14 @@ fn cursor_reply(db: &str, coll: &str, docs: Vec<Document>) -> Document {
     }
 }
 
+// Real servers pair every `code` with its `codeName`; scanners check.
 fn error_reply(code: i32, msg: &str) -> Document {
-    doc! { "ok" => 0.0f64, "errmsg" => msg, "code" => code }
+    doc! {
+        "ok" => 0.0f64,
+        "errmsg" => msg,
+        "code" => code,
+        "codeName" => catalog::mongo_code_name(code),
+    }
 }
 
 impl SessionHandler for MongoHoneypot {
@@ -514,6 +526,8 @@ mod tests {
         let mut f = Framed::new(stream, MongoCodec);
         let status = send(&mut f, 1, doc! { "serverStatus" => 1i32, "$db" => "admin" }).await;
         assert_eq!(status.get_str("version"), Some("4.4.18"));
+        // ten days, correctly grouped (the old literal read 86_4000.0)
+        assert_eq!(status.get_f64("uptime"), Some(864_000.0));
         let log = send(&mut f, 2, doc! { "getLog" => "global", "$db" => "admin" }).await;
         assert_eq!(log.get_f64("ok"), Some(1.0));
         let uri = send(&mut f, 3, doc! { "whatsmyuri" => 1i32, "$db" => "admin" }).await;
@@ -568,6 +582,7 @@ mod tests {
         )
         .await;
         assert_eq!(bogus.get_f64("ok"), Some(0.0));
+        assert_eq!(bogus.get_str("codeName"), Some("CommandNotFound"));
         let auth = send(
             &mut f,
             2,

@@ -10,6 +10,7 @@
 //! `COM_QUERY` with scripted, protocol-correct result sets so SQL attack
 //! scripts keep talking.
 
+use crate::catalog;
 use crate::logging::SessionLogger;
 use crate::low::read_or_fault;
 use bytes::{BufMut, BytesMut};
@@ -182,7 +183,7 @@ fn single_value_result(column: &str, value: &str) -> Vec<MySqlPacket> {
 pub fn scripted_result(sql: &str) -> Vec<MySqlPacket> {
     let upper = sql.trim().to_uppercase();
     if upper.contains("@@VERSION") || upper.starts_with("SELECT VERSION") {
-        return single_value_result("@@version", "8.0.36");
+        return single_value_result("@@version", catalog::MYSQL_VERSION);
     }
     if upper.starts_with("SELECT DATABASE()") {
         return single_value_result("database()", "app_production");
@@ -208,14 +209,15 @@ pub fn scripted_result(sql: &str) -> Vec<MySqlPacket> {
             payload: mysql::build_ok(),
         }];
     }
+    // 1064 with the full manual clause real servers send — truncating it
+    // was a probe-visible tell (catalog keeps the honeypots and the
+    // fingerprint corpus on the same string).
     let near: String = sql.chars().take(24).collect();
+    let mut msg = String::new();
+    let _ = catalog::mysql_syntax_error(&mut msg, &near);
     vec![MySqlPacket {
         seq: 1,
-        payload: mysql::build_err(
-            1064,
-            "42000",
-            &format!("You have an error in your SQL syntax near '{near}'"),
-        ),
+        payload: mysql::build_err(1064, "42000", &msg),
     }]
 }
 
@@ -351,6 +353,8 @@ mod tests {
         let (code, msg) = mysql::parse_err(&reply.payload).unwrap();
         assert_eq!(code, 1064);
         assert!(msg.contains("SQL syntax"));
+        assert!(msg.contains("check the manual"), "real 1064 manual clause");
+        assert!(msg.ends_with("at line 1"));
         // connection still usable
         let mut q = vec![0x03];
         q.extend_from_slice(b"SELECT 1");

@@ -7,6 +7,7 @@
 //! (default, anyone gets in) and `allow_login = false` (the restricted
 //! variant that attracted twice the login attempts).
 
+use crate::catalog;
 use crate::logging::SessionLogger;
 use crate::low::read_or_fault;
 use decoy_net::error::NetResult;
@@ -87,7 +88,7 @@ impl StickyElephant {
                             .write_frame(&BackendMessage::AuthenticationOk)
                             .await?;
                         for (name, value) in [
-                            ("server_version", "11.3 (Debian 11.3-1.pgdg90+1)"),
+                            ("server_version", catalog::PG_SERVER_VERSION),
                             ("server_encoding", "UTF8"),
                             ("client_encoding", "UTF8"),
                         ] {
@@ -177,10 +178,7 @@ pub fn scripted_response(query: &str) -> Vec<BackendMessage> {
                         columns: vec!["version".into()],
                     },
                     BackendMessage::DataRow {
-                        values: vec![Some(
-                            "PostgreSQL 11.3 (Debian 11.3-1.pgdg90+1) on x86_64-pc-linux-gnu"
-                                .into(),
-                        )],
+                        values: vec![Some(catalog::PG_VERSION_BANNER.into())],
                     },
                     BackendMessage::CommandComplete {
                         tag: "SELECT 1".into(),

@@ -10,6 +10,7 @@
 //! Ethics parity with the paper: `MODULE LOAD` and `system.exec` record the
 //! attempt and answer an error; nothing is ever executed.
 
+use crate::catalog;
 use crate::logging::SessionLogger;
 use crate::low::read_or_fault;
 use decoy_net::error::NetResult;
@@ -65,7 +66,7 @@ impl RedisHoneypot {
                 RespValue::bulk("server"),
                 RespValue::bulk("redis"),
                 RespValue::bulk("version"),
-                RespValue::bulk("5.0.7"),
+                RespValue::bulk(catalog::REDIS_VERSION),
                 RespValue::bulk("proto"),
                 RespValue::Integer(2),
                 RespValue::bulk("mode"),
@@ -78,7 +79,15 @@ impl RedisHoneypot {
                 .first()
                 .map(|a| RespValue::Bulk(a.clone()))
                 .unwrap_or_else(|| wrong_args("echo")),
-            "SELECT" => RespValue::Simple("OK".into()),
+            // real Redis validates the index: 16 databases, integers only
+            "SELECT" => match cmd.arg_text(0).map(|s| s.parse::<i64>()) {
+                Some(Ok(ix)) if (0..16).contains(&ix) => RespValue::Simple("OK".into()),
+                Some(Ok(_)) => RespValue::Error("ERR DB index is out of range".into()),
+                Some(Err(_)) => {
+                    RespValue::Error("ERR value is not an integer or out of range".into())
+                }
+                None => wrong_args("select"),
+            },
             "AUTH" => RespValue::Error("ERR Client sent AUTH, but no password is set.".into()),
             "SET" => {
                 let (Some(key), Some(value)) = (cmd.arg_text(0), cmd.args.get(1)) else {
@@ -258,27 +267,48 @@ impl RedisHoneypot {
             },
             // `system.exec` / `eval` arrive from rogue-module and CVE
             // exploits; with no module loaded they fail exactly like this.
-            "SYSTEM.EXEC" => RespValue::Error("ERR unknown command 'system.exec'".into()),
+            "SYSTEM.EXEC" => unknown_command(cmd, "system.exec"),
             "EVAL" => {
                 RespValue::Error("ERR Error compiling script (new function): user_script:1".into())
             }
-            other => RespValue::Error(format!("ERR unknown command '{other}'")),
+            other => unknown_command(cmd, other),
         }
     }
 
-    fn info_text(&self, _section: Option<String>) -> String {
-        let role = match self.kv.role() {
-            ReplicationRole::Master => "role:master".to_string(),
-            ReplicationRole::SlaveOf { host, port } => {
-                format!("role:slave\r\nmaster_host:{host}\r\nmaster_port:{port}")
-            }
-        };
-        format!(
-            "# Server\r\nredis_version:5.0.7\r\nredis_mode:standalone\r\nos:Linux 4.15.0 x86_64\r\n\
-             tcp_port:6379\r\n# Clients\r\nconnected_clients:1\r\n# Replication\r\n{role}\r\n\
-             connected_slaves:0\r\n# Keyspace\r\ndb0:keys={},expires=0,avg_ttl=0\r\n",
-            self.kv.len()
-        )
+    // Real Redis returns only the requested section (`INFO server` has no
+    // Keyspace block, an unknown section yields an empty bulk) — answering
+    // everything regardless was a probe-visible tell.
+    fn info_text(&self, section: Option<String>) -> String {
+        let want = section.map(|s| s.to_ascii_lowercase());
+        let want = want.as_deref();
+        let all = matches!(want, None | Some("all" | "default" | "everything"));
+        let mut out = String::new();
+        if all || want == Some("server") {
+            out.push_str(&format!(
+                "# Server\r\nredis_version:{}\r\nredis_mode:standalone\r\n\
+                 os:Linux 4.15.0 x86_64\r\ntcp_port:6379\r\n",
+                catalog::REDIS_VERSION
+            ));
+        }
+        if all || want == Some("clients") {
+            out.push_str("# Clients\r\nconnected_clients:1\r\n");
+        }
+        if all || want == Some("replication") {
+            let role = match self.kv.role() {
+                ReplicationRole::Master => "role:master".to_string(),
+                ReplicationRole::SlaveOf { host, port } => {
+                    format!("role:slave\r\nmaster_host:{host}\r\nmaster_port:{port}")
+                }
+            };
+            out.push_str(&format!("# Replication\r\n{role}\r\nconnected_slaves:0\r\n"));
+        }
+        if all || want == Some("keyspace") {
+            out.push_str(&format!(
+                "# Keyspace\r\ndb0:keys={},expires=0,avg_ttl=0\r\n",
+                self.kv.len()
+            ));
+        }
+        out
     }
 }
 
@@ -358,7 +388,21 @@ impl RedisHoneypot {
 }
 
 fn wrong_args(cmd: &str) -> RespValue {
-    RespValue::Error(format!("ERR wrong number of arguments for '{cmd}' command"))
+    let mut msg = String::new();
+    let _ = catalog::redis_wrong_args(&mut msg, cmd);
+    RespValue::Error(msg)
+}
+
+// Redis ≥5 echoes the command in backticks with its leading args; the old
+// quoted pre-5 format contradicted the advertised 5.0.7 banner.
+fn unknown_command(cmd: &RedisCommand, name: &str) -> RespValue {
+    let mut msg = String::new();
+    let _ = catalog::redis_unknown_command(
+        &mut msg,
+        name,
+        (0..cmd.args.len()).filter_map(|i| cmd.arg_text(i)),
+    );
+    RespValue::Error(msg)
 }
 
 #[cfg(test)]
@@ -566,6 +610,17 @@ mod tests {
         let text = String::from_utf8_lossy(&info).into_owned();
         assert!(text.contains("role:slave"));
         assert!(text.contains("master_port:8886"));
+        // a sectioned INFO answers only that section, like the real server
+        let RespValue::Bulk(info) = roundtrip(&mut f, &["INFO", "server"]).await else {
+            panic!();
+        };
+        let text = String::from_utf8_lossy(&info).into_owned();
+        assert!(text.contains("redis_version:5.0.7"));
+        assert!(!text.contains("# Keyspace"));
+        let RespValue::Bulk(info) = roundtrip(&mut f, &["INFO", "nonsense"]).await else {
+            panic!();
+        };
+        assert!(info.is_empty());
         server.shutdown().await;
     }
 
@@ -645,10 +700,12 @@ mod tests {
         let (server, store, _hp) = spawn(false).await;
         let stream = TcpStream::connect(server.local_addr()).await.unwrap();
         let mut f = Framed::new(stream, RespCodec::client());
-        let reply = roundtrip(&mut f, &["TOTALLYBOGUS"]).await;
+        let reply = roundtrip(&mut f, &["TOTALLYBOGUS", "arg1"]).await;
         assert_eq!(
             reply,
-            RespValue::Error("ERR unknown command 'TOTALLYBOGUS'".into())
+            RespValue::Error(
+                "ERR unknown command `TOTALLYBOGUS`, with args beginning with: `arg1`, ".into()
+            )
         );
         server.shutdown().await;
         assert_eq!(

@@ -33,6 +33,9 @@
 //!   session.
 //! * [`limiter`] — per-source token-bucket rate limiting and connection caps,
 //!   protecting honeypots from accidental self-DoS during replay.
+//! * [`latency`] — a seeded, deterministic [`latency::LatencyShaper`] that
+//!   draws per-op response delays from a configurable distribution, so
+//!   honeypot responses stop being timing-fingerprintable.
 //! * [`server`] — a supervised TCP listener: accept loop, per-session tasks,
 //!   uniform session limits (deadline, idle timeout, byte budget), and
 //!   graceful shutdown, following the Tokio guide idioms.
@@ -50,6 +53,7 @@ pub mod codec;
 pub mod cursor;
 pub mod error;
 pub mod framed;
+pub mod latency;
 pub mod limiter;
 pub mod pool;
 pub mod proxy;
@@ -62,6 +66,7 @@ pub use codec::Codec;
 pub use cursor::ByteCursor;
 pub use error::{NetError, WireError, WireErrorKind, WireProtocol};
 pub use framed::Framed;
+pub use latency::{LatencyProfile, LatencyShaper};
 pub use limiter::{ConnectionGate, RateLimiter};
 pub use pool::{BufferPool, PooledBuf};
 pub use server::{

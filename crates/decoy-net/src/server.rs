@@ -11,6 +11,7 @@
 //! wait for in-flight sessions to drain.
 
 use crate::chaos::{AcceptFault, ChaosStream, FaultPlan, SessionFaults};
+use crate::latency::LatencyShaper;
 use crate::limiter::ConnectionGate;
 use crate::time::Clock;
 use std::future::Future;
@@ -132,6 +133,10 @@ pub struct ListenerOptions {
     /// Stable identifier keying this listener's fault decisions (the
     /// deployment uses the instance seed).
     pub fault_key: u64,
+    /// Response-latency shaping; `None` (the default) answers immediately.
+    /// On a simulated clock the shared clock advances instead of the task
+    /// sleeping, so shaped experiments stay deterministic and instant.
+    pub latency: Option<LatencyShaper>,
 }
 
 impl Default for ListenerOptions {
@@ -142,6 +147,7 @@ impl Default for ListenerOptions {
             limits: SessionLimits::default(),
             faults: None,
             fault_key: 0,
+            latency: None,
         }
     }
 }
@@ -176,11 +182,27 @@ pub struct SessionStream {
     idle: Option<IdleTimer>,
     budget: Option<u64>,
     cut: Option<SessionCut>,
+    shape: Option<ShapeState>,
 }
 
 struct IdleTimer {
     window: Duration,
     sleep: Pin<Box<Sleep>>,
+}
+
+/// Per-session latency-shaping state: one deterministic delay is armed on
+/// the first write after each read (one "op" = one request/response turn).
+struct ShapeState {
+    shaper: LatencyShaper,
+    clock: Clock,
+    session: u64,
+    op: u64,
+    /// Delay cap so a shaped delay can never outlive the session deadline.
+    cap: Option<Duration>,
+    /// A read completed since the last shaped write: the next write is the
+    /// start of a response and gets a delay.
+    awaiting: bool,
+    pending: Option<Pin<Box<Sleep>>>,
 }
 
 impl SessionStream {
@@ -201,7 +223,34 @@ impl SessionStream {
             }),
             budget: limits.byte_budget,
             cut: None,
+            shape: None,
         }
+    }
+
+    /// Enable deterministic response-latency shaping on this session.
+    ///
+    /// Each read→write turn draws one delay from `shaper` keyed by
+    /// `(session, op)`. On a simulated clock the shared clock advances by
+    /// the delay instead of the task sleeping; on the wall clock the write
+    /// is held back for the drawn duration. `cap` (normally the session
+    /// deadline) bounds every draw.
+    pub fn with_shaping(
+        mut self,
+        shaper: LatencyShaper,
+        clock: Clock,
+        session: u64,
+        cap: Option<Duration>,
+    ) -> Self {
+        self.shape = Some(ShapeState {
+            shaper,
+            clock,
+            session,
+            op: 0,
+            cap,
+            awaiting: true,
+            pending: None,
+        });
+        self
     }
 
     /// A stream with no limits and no faults — for drivers and tests that
@@ -267,6 +316,9 @@ impl AsyncRead for SessionStream {
                 if let Some(b) = this.budget.as_mut() {
                     *b = b.saturating_sub(n);
                 }
+                if let Some(shape) = this.shape.as_mut() {
+                    shape.awaiting = true;
+                }
             }
         }
         res
@@ -286,6 +338,27 @@ impl AsyncWrite for SessionStream {
                 io::ErrorKind::TimedOut,
                 "session deadline exceeded",
             )));
+        }
+        if let Some(shape) = this.shape.as_mut() {
+            if shape.pending.is_none() && shape.awaiting {
+                shape.awaiting = false;
+                shape.op += 1;
+                let delay = shape
+                    .shaper
+                    .delay_within(shape.session, shape.op, shape.cap);
+                match shape.clock.sim() {
+                    // Simulated time: the experiment clock advances by the
+                    // drawn delay and the write proceeds immediately.
+                    Some(sim) => sim.advance_millis(delay.as_millis() as u64),
+                    None => shape.pending = Some(Box::pin(tokio::time::sleep(delay))),
+                }
+            }
+            if let Some(sleep) = shape.pending.as_mut() {
+                match sleep.as_mut().poll(cx) {
+                    Poll::Ready(()) => shape.pending = None,
+                    Poll::Pending => return Poll::Pending,
+                }
+            }
         }
         match &mut this.inner {
             StreamInner::Plain(s) => Pin::new(s).poll_write(cx, buf),
@@ -389,7 +462,15 @@ impl Listener {
                     },
                     session_seq,
                 };
-                let stream = SessionStream::new(stream, &options.limits, session_faults);
+                let mut stream = SessionStream::new(stream, &options.limits, session_faults);
+                if let Some(shaper) = options.latency.as_ref() {
+                    stream = stream.with_shaping(
+                        shaper.clone(),
+                        options.clock.clone(),
+                        options.fault_key ^ session_seq,
+                        options.limits.deadline,
+                    );
+                }
                 let handler = handler.clone();
                 let hard_cap = options.limits.deadline.map(|d| d + HARD_CAP_GRACE);
                 tokio::spawn(async move {
@@ -690,6 +771,54 @@ mod tests {
         let gate = server.gate.clone();
         server.shutdown_with_deadline(Duration::from_secs(5)).await;
         assert_eq!(gate.active(), 0, "drain deadline did not wait for session");
+    }
+
+    #[tokio::test]
+    async fn latency_shaping_advances_the_sim_clock() {
+        use crate::latency::{LatencyProfile, LatencyShaper};
+        let clock = Clock::simulated();
+        let sim = clock.sim().unwrap().clone();
+        let t0 = sim.now();
+        let options = ListenerOptions {
+            clock,
+            latency: Some(LatencyShaper::new(11, LatencyProfile::lan())),
+            ..ListenerOptions::default()
+        };
+        let handler = Arc::new(Echo {
+            sessions: AtomicUsize::new(0),
+        });
+        let server = Listener::bind(loopback(), handler, options).await.unwrap();
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut framed = Framed::new(stream, LineCodec::default());
+        for i in 0..10 {
+            let msg = format!("ping-{i}");
+            framed.write_frame(&msg).await.unwrap();
+            assert_eq!(framed.read_frame().await.unwrap(), Some(msg));
+        }
+        server.shutdown().await;
+        // Each response advanced the simulated clock instead of sleeping.
+        assert!(sim.now() > t0, "shaped responses left the sim clock still");
+    }
+
+    #[tokio::test]
+    async fn latency_shaping_on_wall_clock_still_echoes() {
+        use crate::latency::{LatencyProfile, LatencyShaper};
+        let options = ListenerOptions {
+            latency: Some(LatencyShaper::new(7, LatencyProfile::cache())),
+            ..ListenerOptions::default()
+        };
+        let handler = Arc::new(Echo {
+            sessions: AtomicUsize::new(0),
+        });
+        let server = Listener::bind(loopback(), handler, options).await.unwrap();
+        let stream = TcpStream::connect(server.local_addr()).await.unwrap();
+        let mut framed = Framed::new(stream, LineCodec::default());
+        framed.write_frame(&"shaped".to_string()).await.unwrap();
+        assert_eq!(
+            framed.read_frame().await.unwrap(),
+            Some("shaped".to_string())
+        );
+        server.shutdown().await;
     }
 
     #[tokio::test]

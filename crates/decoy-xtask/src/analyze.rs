@@ -32,7 +32,7 @@ use crate::{alloc, bench, lint, locks};
 pub const ENFORCED_PREFIXES: [&str; 2] = ["crates/decoy-wire/src/", "crates/decoy-honeypots/src/"];
 
 /// Individually enforced files outside the blanket prefixes.
-pub const ENFORCED_FILES: [&str; 12] = [
+pub const ENFORCED_FILES: [&str; 14] = [
     "crates/decoy-net/src/codec.rs",
     "crates/decoy-net/src/cursor.rs",
     "crates/decoy-net/src/framed.rs",
@@ -42,11 +42,15 @@ pub const ENFORCED_FILES: [&str; 12] = [
     "crates/decoy-net/src/limiter.rs",
     "crates/decoy-net/src/supervisor.rs",
     "crates/decoy-net/src/chaos.rs",
+    // the latency shaper sits on every accept/response path
+    "crates/decoy-net/src/latency.rs",
     "crates/decoy-store/src/events.rs",
     // the journal's recovery path parses potentially corrupt on-disk bytes
     "crates/decoy-store/src/journal/decode.rs",
     // the segment/tail streaming layer parses the same untrusted bytes
     "crates/decoy-store/src/journal/stream.rs",
+    // the probe engine parses live honeypot responses (attacker-shaped bytes)
+    "crates/decoy-fingerprint/src/probes.rs",
 ];
 
 /// Crate `src/` trees the lock-discipline pass analyzes as one program.
@@ -57,9 +61,10 @@ pub const LOCK_SCOPE: [&str; 3] = [
 ];
 
 /// Files that must carry a `decoy-hot-path` tag: the six wire decoders,
-/// the journal decode path, the codec write path, and the store's
-/// `append_locked` (fn-scope tag in events.rs).
-pub const HOT_PATH_EXPECTED: [&str; 9] = [
+/// the journal decode path, the codec write path, the store's
+/// `append_locked` (fn-scope tag in events.rs), the latency shaper's
+/// draw path, and the error-catalog render path.
+pub const HOT_PATH_EXPECTED: [&str; 11] = [
     "crates/decoy-wire/src/http.rs",
     "crates/decoy-wire/src/mongo.rs",
     "crates/decoy-wire/src/mysql.rs",
@@ -69,6 +74,10 @@ pub const HOT_PATH_EXPECTED: [&str; 9] = [
     "crates/decoy-store/src/journal/decode.rs",
     "crates/decoy-net/src/codec.rs",
     "crates/decoy-store/src/events.rs",
+    // per-response latency shaping runs inside every session loop
+    "crates/decoy-net/src/latency.rs",
+    // the shared error catalog renders on every scripted error response
+    "crates/decoy-honeypots/src/catalog.rs",
 ];
 
 /// True when the panic-freedom rule set applies to `rel`
@@ -336,6 +345,8 @@ mod tests {
         assert!(is_enforced("crates/decoy-store/src/events.rs"));
         assert!(is_enforced("crates/decoy-store/src/journal/decode.rs"));
         assert!(is_enforced("crates/decoy-store/src/journal/stream.rs"));
+        assert!(is_enforced("crates/decoy-net/src/latency.rs"));
+        assert!(is_enforced("crates/decoy-fingerprint/src/probes.rs"));
         // the journal write path never parses untrusted bytes
         assert!(!is_enforced("crates/decoy-store/src/journal/encode.rs"));
         // analysis/reporting code is out of scope
@@ -368,6 +379,8 @@ mod tests {
             "crates/decoy-store/src/journal/decode.rs",
             "crates/decoy-net/src/codec.rs",
             "crates/decoy-store/src/events.rs",
+            "crates/decoy-net/src/latency.rs",
+            "crates/decoy-honeypots/src/catalog.rs",
         ] {
             assert!(HOT_PATH_EXPECTED.contains(&f), "{f} missing from registry");
         }
